@@ -1,0 +1,35 @@
+//! Criterion timing for experiment E6: assertion cost with full active
+//! propagation on the §4 crime database (recognition, co-reference,
+//! closure, rules). The companion table is `experiments e6`.
+
+use classic_bench::workload::crime::{build, CrimeConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_crime_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_active_build");
+    group.sample_size(10);
+    for crimes in [100usize, 400, 1600] {
+        let cfg = CrimeConfig {
+            crimes,
+            ..CrimeConfig::default()
+        };
+        group.throughput(Throughput::Elements(crimes as u64));
+        group.bench_with_input(BenchmarkId::new("with_rules", crimes), &cfg, |b, cfg| {
+            b.iter(|| black_box(build(cfg).total_derived()))
+        });
+        let no_rules = CrimeConfig {
+            with_rules: false,
+            ..cfg.clone()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("without_rules", crimes),
+            &no_rules,
+            |b, cfg| b.iter(|| black_box(build(cfg).total_derived())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crime_build);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion timing for experiment E2: building the subsumption hierarchy
+//! ("all concepts in the schema are … compared to each other to establish
+//! the subsumption hierarchy", paper §5), pruned vs brute classification.
+//! The companion table is `experiments e2`.
+
+use classic_bench::workload::schema_gen::{generate_schema, SchemaGenConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_schema_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_schema_build");
+    group.sample_size(10);
+    for n in [100usize, 400, 1600] {
+        let cfg = SchemaGenConfig {
+            concepts: n,
+            layer_width: (n / 8).max(8),
+            ..SchemaGenConfig::default()
+        };
+        let schema = generate_schema(&cfg);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("pruned", n), &schema, |b, schema| {
+            b.iter(|| black_box(schema.build_kb().taxonomy().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_classify_query(c: &mut Criterion) {
+    // Classifying one fresh concept against a standing schema — the
+    // operation every retrieval performs first.
+    let mut group = c.benchmark_group("e2_classify_one");
+    for n in [100usize, 400, 1600] {
+        let cfg = SchemaGenConfig {
+            concepts: n,
+            layer_width: (n / 8).max(8),
+            ..SchemaGenConfig::default()
+        };
+        let kb = generate_schema(&cfg).build_kb();
+        let probe = kb
+            .schema()
+            .symbols
+            .find_concept("C30")
+            .expect("generated concept");
+        let nf = kb.schema().concept_nf(probe).expect("defined").clone();
+        group.bench_with_input(BenchmarkId::new("pruned", n), &(), |b, ()| {
+            b.iter(|| black_box(kb.taxonomy().classify(black_box(&nf)).tests))
+        });
+        group.bench_with_input(BenchmarkId::new("brute", n), &(), |b, ()| {
+            b.iter(|| black_box(kb.taxonomy().classify_brute(black_box(&nf)).tests))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schema_build, bench_classify_query);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion timing for experiment E5: normalization cost vs expression
+//! size (the preprocessing §5 relies on: "all concepts in the schema are
+//! reduced to a normal form"). The companion table is `experiments e5`.
+
+use classic_bench::workload::concepts::{ConceptGen, ConceptGenConfig};
+use classic_core::desc::Concept;
+use classic_core::normal::normalize;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_normalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_normalize");
+    for size in [8usize, 32, 128, 512] {
+        let mut g = ConceptGen::new(&ConceptGenConfig::default());
+        let concepts: Vec<Concept> = (0..16).map(|_| g.concept(size)).collect();
+        let mut schema = g.schema;
+        group.throughput(Throughput::Elements(concepts.len() as u64));
+        group.bench_with_input(BenchmarkId::new("random", size), &concepts, |b, cs| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for c in cs {
+                    total += normalize(black_box(c), &mut schema).expect("coherent").size();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_equivalence_check(c: &mut Criterion) {
+    // The §2.2 path: normalize both sides and compare canonical forms.
+    let mut group = c.benchmark_group("e5_equivalence");
+    for size in [16usize, 64, 256] {
+        let mut g = ConceptGen::new(&ConceptGenConfig::default());
+        let pairs: Vec<(Concept, Concept)> = (0..16).map(|_| g.equivalent_pair(size)).collect();
+        let mut schema = g.schema;
+        group.throughput(Throughput::Elements(pairs.len() as u64));
+        group.bench_with_input(BenchmarkId::new("pairs", size), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut equal = 0usize;
+                for (a, bexpr) in pairs {
+                    let na = normalize(black_box(a), &mut schema).expect("coherent");
+                    let nb = normalize(black_box(bexpr), &mut schema).expect("coherent");
+                    equal += usize::from(na == nb);
+                }
+                assert_eq!(equal, pairs.len());
+                equal
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_normalize, bench_equivalence_check);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion timing for experiment E7: CLASSIC's open-world answer modes
+//! vs the closed-world relational baseline over the same data
+//! (paper §3.5.2/§3.5.3). The companion table is `experiments e7`.
+
+use classic_bench::workload::crime::{build, CrimeConfig};
+use classic_core::desc::Concept;
+use classic_rel::{export_kb, Atom, ConjunctiveQuery, Term};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_answer_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_answer_modes");
+    group.sample_size(20);
+    let mut ckb = build(&CrimeConfig {
+        crimes: 1_000,
+        ..CrimeConfig::default()
+    });
+    let db = export_kb(&ckb.kb);
+    let perp = ckb.kb.schema().symbols.find_role("perpetrator").expect("r");
+    let crime = Concept::Name(ckb.kb.schema().symbols.find_concept("CRIME").expect("c"));
+    let q = Concept::and([crime, Concept::AtLeast(1, perp)]);
+    let nf = ckb.kb.normalize(&q).expect("coherent");
+    let kb = ckb.kb;
+    let cq = ConjunctiveQuery::new(
+        &["x"],
+        vec![
+            Atom::new("concept:CRIME", vec![Term::var("x")]),
+            Atom::new("role:perpetrator", vec![Term::var("x"), Term::var("y")]),
+        ],
+    );
+
+    group.bench_function(BenchmarkId::new("classic_known", 1000), |b| {
+        b.iter(|| black_box(classic_query::retrieve_nf(&kb, &nf).known.len()))
+    });
+    group.bench_function(BenchmarkId::new("classic_possible", 1000), |b| {
+        b.iter(|| {
+            let n = kb
+                .ind_ids()
+                .filter(|&id| kb.possible_instance(id, &nf))
+                .count();
+            black_box(n)
+        })
+    });
+    group.bench_function(BenchmarkId::new("relational_cw", 1000), |b| {
+        b.iter(|| black_box(cq.evaluate(&db).len()))
+    });
+    group.bench_function(BenchmarkId::new("export", 1000), |b| {
+        b.iter(|| black_box(export_kb(&kb).total_tuples()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_answer_modes);
+criterion_main!(benches);

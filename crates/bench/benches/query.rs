@@ -1,0 +1,54 @@
+//! Criterion timing for experiments E3/E8: retrieval via classification
+//! vs the naive scan (paper §5), on the software-information-system
+//! workload. The companion tables are `experiments e3` and
+//! `experiments e8`.
+
+use classic_bench::workload::software::{build, SoftwareConfig};
+use classic_core::normal::NormalForm;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_retrieval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_retrieval");
+    for functions in [500usize, 4_000, 16_000] {
+        let cfg = SoftwareConfig {
+            modules: (functions / 25).max(4),
+            functions,
+            ..SoftwareConfig::default()
+        };
+        let mut sw = build(&cfg);
+        let queries = sw.queries();
+        let nfs: Vec<NormalForm> = queries
+            .iter()
+            .map(|(_, q)| sw.kb.normalize(q).expect("coherent"))
+            .collect();
+        let kb = sw.kb;
+        group.throughput(Throughput::Elements(nfs.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("classified", functions),
+            &nfs,
+            |b, nfs| {
+                b.iter(|| {
+                    let mut n = 0usize;
+                    for nf in nfs {
+                        n += classic_query::retrieve_nf(black_box(&kb), nf).known.len();
+                    }
+                    n
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("naive", functions), &nfs, |b, nfs| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for nf in nfs {
+                    n += classic_query::retrieve_naive_nf(black_box(&kb), nf).known.len();
+                }
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrieval);
+criterion_main!(benches);

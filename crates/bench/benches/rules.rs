@@ -1,0 +1,73 @@
+//! Criterion timing for experiment E4: forward-chaining rule propagation
+//! to a fixed point (paper §5: bounded by #classes × #individuals). The
+//! companion table is `experiments e4`.
+
+use classic_core::desc::Concept;
+use classic_kb::Kb;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Rule chain of length `k` (see experiments::e4_rules for the shape).
+fn chain_kb(k: usize) -> Kb {
+    let mut kb = Kb::new();
+    for i in 0..=k {
+        kb.define_role(&format!("r{i}")).expect("fresh");
+    }
+    kb.define_concept("BASE", Concept::primitive(Concept::thing(), "base"))
+        .expect("fresh");
+    let base = Concept::Name(kb.schema().symbols.find_concept("BASE").expect("c"));
+    for i in 1..=k {
+        let r = kb.schema().symbols.find_role(&format!("r{i}")).expect("r");
+        kb.define_concept(
+            &format!("C{i}"),
+            Concept::and([base.clone(), Concept::AtLeast(1, r)]),
+        )
+        .expect("fresh");
+    }
+    for i in 1..=k {
+        let next = kb
+            .schema()
+            .symbols
+            .find_role(&format!("r{}", (i + 1).min(k)))
+            .expect("r");
+        let consequent = if i < k {
+            Concept::AtLeast(1, next)
+        } else {
+            Concept::AtMost(64, next)
+        };
+        kb.assert_rule(&format!("C{i}"), consequent)
+            .expect("rule ok");
+    }
+    kb
+}
+
+fn bench_rule_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_rule_chain");
+    group.sample_size(10);
+    for k in [4usize, 16, 64] {
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::new("cascade", k), &k, |b, &k| {
+            b.iter_with_setup(
+                || {
+                    let mut kb = chain_kb(k);
+                    let base = Concept::Name(
+                        kb.schema().symbols.find_concept("BASE").expect("c"),
+                    );
+                    kb.create_ind("x").expect("fresh");
+                    kb.assert_ind("x", &base).expect("coherent");
+                    kb
+                },
+                |mut kb| {
+                    // One assertion cascades through all k rules.
+                    let r1 = kb.schema().symbols.find_role("r1").expect("r");
+                    kb.assert_ind("x", &Concept::AtLeast(1, r1)).expect("coherent");
+                    black_box(kb.stats.rules_fired.get())
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rule_chain);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion timing for experiment E1: subsumption vs concept size
+//! (paper §5: "time proportional to the sizes of the two concepts").
+//! The companion table is `experiments e1`.
+
+use classic_bench::workload::concepts::{ConceptGen, ConceptGenConfig};
+use classic_core::desc::Concept;
+use classic_core::normal::{normalize, NormalForm};
+use classic_core::subsume::subsumes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn prepare(target: usize, pairs: usize) -> Vec<(NormalForm, NormalForm, NormalForm)> {
+    let mut g = ConceptGen::new(&ConceptGenConfig::default());
+    (0..pairs)
+        .map(|_| {
+            let a = g.concept(target);
+            let b = g.concept(target);
+            let both = Concept::And(vec![a.clone(), b.clone()]);
+            (
+                normalize(&a, &mut g.schema).expect("coherent"),
+                normalize(&b, &mut g.schema).expect("coherent"),
+                normalize(&both, &mut g.schema).expect("coherent"),
+            )
+        })
+        .collect()
+}
+
+fn bench_subsumption(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_subsumption");
+    for size in [8usize, 32, 128, 512] {
+        let prepared = prepare(size, 32);
+        group.throughput(Throughput::Elements(prepared.len() as u64 * 2));
+        group.bench_with_input(BenchmarkId::new("mixed", size), &prepared, |b, prepared| {
+            b.iter(|| {
+                let mut hits = 0u32;
+                for (na, nb, nboth) in prepared {
+                    // Full succeeding traversal + typically-failing test.
+                    hits += u32::from(subsumes(black_box(na), black_box(nboth)));
+                    hits += u32::from(subsumes(black_box(na), black_box(nb)));
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_subsumption);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Experiment runner: regenerates every quantitative result of the
+//! reproduction (see DESIGN.md §5 and EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run -p classic-bench --release --bin experiments           # all
+//! cargo run -p classic-bench --release --bin experiments -- e3 e7  # some
+//! cargo run -p classic-bench --release --bin experiments -- list
+//! ```
+
+use classic_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "list") {
+        for (id, desc, _) in experiments::registry() {
+            println!("{id}: {desc}");
+        }
+        return;
+    }
+    let ids: Vec<String> = if args.is_empty() {
+        vec!["all".to_owned()]
+    } else {
+        args
+    };
+    for id in ids {
+        match experiments::run(&id) {
+            Some(report) => println!("{report}"),
+            None => {
+                eprintln!("unknown experiment {id:?}; try `list`");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Dump a generated workload as a CLASSIC command script.
+//!
+//! Bridges the benchmark generators and the interactive tooling: the
+//! emitted script replays through the REPL (`cargo run --example repl --
+//! <file>`) or `classic_store::replay`, so generated databases can be
+//! inspected interactively or persisted.
+//!
+//! ```text
+//! cargo run -p classic-bench --release --bin workload_dump -- crime 200 > crime.classic
+//! cargo run -p classic-bench --release --bin workload_dump -- software 500 > sw.classic
+//! cargo run -p classic-bench --release --bin workload_dump -- schema 100 > schema.classic
+//! ```
+
+use classic_bench::workload::{crime, schema_gen, software};
+use classic_store::snapshot_to_string;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: workload_dump <crime|software|schema> [size]";
+    let kind = args.first().map(String::as_str).unwrap_or("crime");
+    let size: usize = args
+        .get(1)
+        .map(|s| s.parse().expect("size must be a number"))
+        .unwrap_or(100);
+    let kb = match kind {
+        "crime" => {
+            crime::build(&crime::CrimeConfig {
+                crimes: size,
+                ..crime::CrimeConfig::default()
+            })
+            .kb
+        }
+        "software" => {
+            software::build(&software::SoftwareConfig {
+                modules: (size / 25).max(2),
+                functions: size,
+                ..software::SoftwareConfig::default()
+            })
+            .kb
+        }
+        "schema" => schema_gen::generate_schema(&schema_gen::SchemaGenConfig {
+            concepts: size,
+            ..schema_gen::SchemaGenConfig::default()
+        })
+        .build_kb(),
+        other => {
+            eprintln!("unknown workload {other:?}\n{usage}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", snapshot_to_string(&kb));
+}

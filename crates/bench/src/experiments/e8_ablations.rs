@@ -1,0 +1,165 @@
+//! E8 — ablations of the design choices §5 calls out.
+//!
+//! The paper motivates three implementation decisions; each ablation
+//! removes one and measures the cost on a fixed software-IS workload:
+//!
+//! * **A1 — taxonomy pruning off.** Retrieval tests every individual
+//!   instead of classifying the query (§5's central technique).
+//! * **A2 — extension index off.** The query is still classified, but
+//!   candidates are drawn from the whole database rather than the
+//!   most-specific subsumers' extensions (isolates the index's
+//!   contribution from subsumee short-circuiting).
+//! * **A3 — normal-form reuse off.** The query is re-normalized on every
+//!   execution instead of once ("a great deal of preprocessing in order
+//!   to facilitate query answering", §5).
+
+use crate::experiments::{ns_per, time};
+use crate::workload::software::{build, SoftwareConfig};
+use classic_core::normal::NormalForm;
+use classic_kb::Kb;
+use std::fmt::Write as _;
+
+pub fn run() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== E8: ablations (fixed workload: 8000 functions) =========");
+    let cfg = SoftwareConfig {
+        modules: 320,
+        functions: 8_000,
+        ..SoftwareConfig::default()
+    };
+    let mut sw = build(&cfg);
+    let queries = sw.queries();
+    let nfs: Vec<NormalForm> = queries
+        .iter()
+        .map(|(_, q)| sw.kb.normalize(q).expect("coherent"))
+        .collect();
+    let reps = 8usize;
+    let n_q = (reps * nfs.len()) as u64;
+    // Warm caches so the first-measured configuration isn't penalized.
+    for nf in &nfs {
+        let _ = classic_query::retrieve_nf(&sw.kb, nf);
+        let _ = classic_query::retrieve_naive_nf(&sw.kb, nf);
+    }
+
+    let _ = writeln!(
+        out,
+        "{:<44} {:>10} {:>12} {:>9}",
+        "configuration", "tests/q", "µs/query", "slowdown"
+    );
+
+    // Full system.
+    let mut tested = 0u64;
+    let (_, t_full) = time(|| {
+        for _ in 0..reps {
+            for nf in &nfs {
+                tested += classic_query::retrieve_nf(&sw.kb, nf).stats.tested as u64;
+            }
+        }
+    });
+    let base = t_full.as_secs_f64();
+    let _ = writeln!(
+        out,
+        "{:<44} {:>10} {:>12.1} {:>8.1}x",
+        "full system (classified, indexed, cached NF)",
+        tested / n_q,
+        ns_per(t_full, n_q) / 1000.0,
+        1.0
+    );
+
+    // A1: no classification — scan everything.
+    let mut tested = 0u64;
+    let (_, t_naive) = time(|| {
+        for _ in 0..reps {
+            for nf in &nfs {
+                tested += classic_query::retrieve_naive_nf(&sw.kb, nf).stats.tested as u64;
+            }
+        }
+    });
+    let _ = writeln!(
+        out,
+        "{:<44} {:>10} {:>12.1} {:>8.1}x",
+        "A1: taxonomy pruning off (naive scan)",
+        tested / n_q,
+        ns_per(t_naive, n_q) / 1000.0,
+        t_naive.as_secs_f64() / base
+    );
+
+    // A2: classified but candidates = whole database.
+    let mut tested = 0u64;
+    let (_, t_noindex) = time(|| {
+        for _ in 0..reps {
+            for nf in &nfs {
+                tested += retrieve_without_extension_index(&sw.kb, nf) as u64;
+            }
+        }
+    });
+    let _ = writeln!(
+        out,
+        "{:<44} {:>10} {:>12.1} {:>8.1}x",
+        "A2: extension index off (classify, scan all)",
+        tested / n_q,
+        ns_per(t_noindex, n_q) / 1000.0,
+        t_noindex.as_secs_f64() / base
+    );
+
+    // A3: re-normalize the query expression every execution.
+    let mut tested = 0u64;
+    let (_, t_renorm) = time(|| {
+        for _ in 0..reps {
+            for (_, q) in &queries {
+                let nf = sw.kb.normalize(q).expect("coherent");
+                tested += classic_query::retrieve_nf(&sw.kb, &nf).stats.tested as u64;
+            }
+        }
+    });
+    let _ = writeln!(
+        out,
+        "{:<44} {:>10} {:>12.1} {:>8.1}x",
+        "A3: normal-form reuse off (re-normalize/query)",
+        tested / n_q,
+        ns_per(t_renorm, n_q) / 1000.0,
+        t_renorm.as_secs_f64() / base
+    );
+
+    let _ = writeln!(
+        out,
+        "expected shape: A1 and A2 well above full (the §5 technique is the"
+    );
+    let _ = writeln!(
+        out,
+        "big win); A3 statistically indistinguishable from full at this"
+    );
+    let _ = writeln!(
+        out,
+        "query size (re-normalizing a ~10-node query costs microseconds"
+    );
+    let _ = writeln!(
+        out,
+        "against a ~0.5 ms retrieval) — the preprocessing §5 celebrates"
+    );
+    let _ = writeln!(out, "matters as queries and schemas grow, not here.");
+    out
+}
+
+/// Classify the query (so subsumee extensions still short-circuit), but
+/// test candidates drawn from the entire database.
+fn retrieve_without_extension_index(kb: &Kb, nf: &NormalForm) -> usize {
+    let cls = kb.taxonomy().classify(nf);
+    let mut free: std::collections::BTreeSet<classic_kb::IndId> = Default::default();
+    if let Some(eq) = cls.equivalent {
+        free.extend(kb.instances_of_node(eq));
+        // Even with an exact match, the ablation re-tests everyone else.
+    }
+    for &c in &cls.children {
+        free.extend(kb.instances_of_node(c));
+    }
+    let mut tested = 0usize;
+    for id in kb.ind_ids() {
+        if free.contains(&id) {
+            continue;
+        }
+        tested += 1;
+        let _ = kb.known_instance(id, nf);
+    }
+    tested
+}

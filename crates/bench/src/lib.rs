@@ -1,0 +1,16 @@
+//! # classic-bench
+//!
+//! Workload generators and the experiment harness for the CLASSIC
+//! reproduction. The paper (SIGMOD 1989) contains no numbered tables or
+//! figures; the experiments here regenerate its quantitative claims —
+//! see DESIGN.md §5 for the experiment index (E1…E8) and EXPERIMENTS.md
+//! for paper-vs-measured results.
+//!
+//! * `cargo run -p classic-bench --release --bin experiments` prints every
+//!   experiment table;
+//! * `cargo bench` runs the Criterion timings over the same code paths.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod workload;

@@ -1,0 +1,10 @@
+//! Deterministic workload generators for the benchmark harness.
+//!
+//! Every generator is seeded (`rand` + `StdRng`), so each experiment in
+//! EXPERIMENTS.md regenerates identical inputs run to run and machine to
+//! machine.
+
+pub mod concepts;
+pub mod crime;
+pub mod schema_gen;
+pub mod software;

@@ -1,0 +1,205 @@
+//! Error types shared across the CLASSIC engine.
+//!
+//! CLASSIC updates are "either accepted or rejected because of constraint
+//! violations" (paper §3.1); every rejection surfaces as a
+//! [`ClassicError`] and leaves the database unchanged.
+//!
+//! Some failure modes one might expect have no variants because the
+//! design makes them unreachable: definition cycles cannot form
+//! (references must already be defined and redefinition is rejected),
+//! host individuals cannot even be addressed by role assertions (only
+//! named CLASSIC individuals are assertable), `SAME-AS` imposes
+//! single-valuedness rather than requiring a declaration, and asserting a
+//! `TEST` concept *tells* the database the test holds — "TEST concepts
+//! act just like primitive ones" (§2.2) — rather than running it as a
+//! gate.
+
+use crate::symbol::{ConceptName, IndName, PrimId, RoleId, TestId};
+use std::fmt;
+
+/// Any error the CLASSIC engine can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassicError {
+    /// A role name was used without a prior `define-role`.
+    ///
+    /// `define-role` exists so the DBMS can "later detect errors such as
+    /// typos" (§3.1 footnote 3).
+    UndefinedRole(RoleId),
+    /// A concept name was referenced but never defined.
+    UndefinedConcept(ConceptName),
+    /// A concept name was defined twice. Definitions "are not supposed to
+    /// change meaning over time" (§2.2), so redefinition is rejected.
+    ConceptRedefined(ConceptName),
+    /// A primitive index was re-registered under an incompatible parent.
+    PrimitiveReparented(PrimId),
+    /// A `TEST` concept referenced an unregistered test function.
+    UndefinedTest(TestId),
+    /// `SAME-AS` was given an empty path.
+    EmptySameAsPath,
+    /// An individual name was used without a prior `create-ind`.
+    UnknownIndividual(IndName),
+    /// `create-ind` on a name that already exists.
+    IndividualExists(IndName),
+    /// An assertion would make an individual's description incoherent;
+    /// the update is rejected and rolled back (§3.4).
+    Inconsistent {
+        /// The individual at which the clash was detected.
+        individual: Option<IndName>,
+        /// Human-readable clash description.
+        reason: Clash,
+    },
+    /// Destructive updates are out of scope: the paper defers them
+    /// ("we … are now implementing a facility for making 'destructive
+    /// updates' … and will report on this at a future date", §3.2).
+    DestructiveUpdate,
+    /// A rule was attached to something other than a defined named concept.
+    RuleOnUndefinedConcept(ConceptName),
+    /// A syntax or arity problem detected while building a description.
+    Malformed(String),
+}
+
+/// The specific contradiction that made a description incoherent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Clash {
+    /// `AT-LEAST n` conflicts with an effective `AT-MOST m`, `n > m`.
+    Cardinality {
+        /// The role whose bounds crossed.
+        role: RoleId,
+        /// The effective lower bound.
+        at_least: u32,
+        /// The effective upper bound.
+        at_most: u32,
+    },
+    /// Two distinct primitives from the same disjoint grouping.
+    DisjointPrimitives(PrimId, PrimId),
+    /// An enumeration became empty (e.g. intersecting disjoint `ONE-OF`s,
+    /// or filtering by an incompatible layer).
+    EmptyEnumeration,
+    /// CLASSIC-THING conjoined with HOST-THING, or two distinct host
+    /// classes.
+    LayerClash,
+    /// A known filler is provably not an instance of a value restriction.
+    FillerViolation {
+        /// The role whose filler violates the restriction.
+        role: RoleId,
+    },
+    /// A closed role has fewer fillers than an `AT-LEAST` demands, or more
+    /// fillers than an `AT-MOST` allows.
+    ClosedRoleCardinality {
+        /// The closed role.
+        role: RoleId,
+    },
+    /// A `SAME-AS` constraint equated provably distinct individuals (under
+    /// the unique-name assumption for named individuals).
+    CoreferenceClash {
+        /// The final role of the clashing chain.
+        role: RoleId,
+    },
+    /// The conjunction was already incoherent for a recorded reason that
+    /// has been erased by normalization (kept as a catch-all so ⊥ can be
+    /// conjoined without carrying provenance).
+    Incoherent,
+}
+
+impl fmt::Display for ClassicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassicError::UndefinedRole(r) => write!(f, "undefined role {r}"),
+            ClassicError::UndefinedConcept(c) => {
+                write!(f, "undefined concept #{}", c.index())
+            }
+            ClassicError::ConceptRedefined(c) => {
+                write!(f, "concept #{} already defined", c.index())
+            }
+            ClassicError::PrimitiveReparented(p) => {
+                write!(f, "primitive #{} re-registered with a different parent", p.index())
+            }
+            ClassicError::UndefinedTest(t) => write!(f, "undefined test #{}", t.index()),
+            ClassicError::EmptySameAsPath => write!(f, "SAME-AS path is empty"),
+            ClassicError::UnknownIndividual(i) => {
+                write!(f, "unknown individual #{}", i.index())
+            }
+            ClassicError::IndividualExists(i) => {
+                write!(f, "individual #{} already exists", i.index())
+            }
+            ClassicError::Inconsistent { individual, reason } => match individual {
+                Some(i) => write!(f, "inconsistent update at individual #{}: {reason}", i.index()),
+                None => write!(f, "inconsistent description: {reason}"),
+            },
+            ClassicError::DestructiveUpdate => {
+                write!(f, "destructive updates are not supported (paper defers them)")
+            }
+            ClassicError::RuleOnUndefinedConcept(c) => {
+                write!(f, "rule attached to undefined concept #{}", c.index())
+            }
+            ClassicError::Malformed(m) => write!(f, "malformed expression: {m}"),
+        }
+    }
+}
+
+impl fmt::Display for Clash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Clash::Cardinality { role, at_least, at_most } => write!(
+                f,
+                "AT-LEAST {at_least} exceeds AT-MOST {at_most} on {role}"
+            ),
+            Clash::DisjointPrimitives(a, b) => write!(
+                f,
+                "disjoint primitives #{} and #{} conjoined",
+                a.index(),
+                b.index()
+            ),
+            Clash::EmptyEnumeration => write!(f, "empty ONE-OF enumeration"),
+            Clash::LayerClash => write!(f, "CLASSIC-THING/HOST-THING layer clash"),
+            Clash::FillerViolation { role } => {
+                write!(f, "known filler violates value restriction on {role}")
+            }
+            Clash::ClosedRoleCardinality { role } => {
+                write!(f, "closed role {role} violates its cardinality bounds")
+            }
+            Clash::CoreferenceClash { role } => {
+                write!(f, "SAME-AS equates distinct individuals via {role}")
+            }
+            Clash::Incoherent => write!(f, "incoherent description"),
+        }
+    }
+}
+
+impl std::error::Error for ClassicError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ClassicError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_without_panicking() {
+        let errs = [
+            ClassicError::UndefinedRole(RoleId::from_index(1)),
+            ClassicError::DestructiveUpdate,
+            ClassicError::Inconsistent {
+                individual: Some(IndName::from_index(0)),
+                reason: Clash::EmptyEnumeration,
+            },
+            ClassicError::Malformed("x".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn clash_display() {
+        let c = Clash::Cardinality {
+            role: RoleId::from_index(2),
+            at_least: 3,
+            at_most: 1,
+        };
+        let s = c.to_string();
+        assert!(s.contains("AT-LEAST 3"));
+        assert!(s.contains("AT-MOST 1"));
+    }
+}

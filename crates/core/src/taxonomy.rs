@@ -1,0 +1,600 @@
+//! Classification: maintaining the induced IS-A hierarchy.
+//!
+//! "The subsumption relationship induces an acyclic directed graph over the
+//! space of named concepts — the (in)famous IS-A hierarchy" (paper §3.5.1,
+//! including its footnote: for non-primitive concepts the hierarchy "is
+//! induced by the definitions, and is not an independent structure under
+//! control of the user"). The [`Taxonomy`] maintains the Hasse diagram of
+//! that order: each node's `parents`/`children` are its *immediate*
+//! subsumers/subsumees.
+//!
+//! "Classification is the operation by which all known subsuming and
+//! subsumed concepts are found" (§5 footnote 6). Insertion uses the
+//! classical two-phase traversal: a top-down search for the most specific
+//! subsumers (pruned — a node's children are only examined if the node
+//! itself subsumes the candidate), then a bottom-up search for the most
+//! general subsumees among the common descendants. The same traversal
+//! classifies *query* concepts without inserting them, which is what makes
+//! query answering cheap (§5; experiments E2/E3).
+
+use crate::normal::NormalForm;
+use crate::subsume::subsumes;
+use crate::symbol::ConceptName;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Index of a node in the taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The node for `THING` (top of the hierarchy).
+    pub const TOP: NodeId = NodeId(0);
+    /// The node for the empty concept (bottom).
+    pub const BOTTOM: NodeId = NodeId(1);
+
+    /// Raw index into the taxonomy's node arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One node of the IS-A DAG: a concept meaning plus every name bound to it.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The normal form this node stands for.
+    pub nf: NormalForm,
+    /// All schema names classified as equivalent to this meaning.
+    /// ("Two concepts are equivalent if and only if they subsume each
+    /// other", §3.5.1 — equivalent definitions share a node.)
+    pub names: Vec<ConceptName>,
+    /// Immediate subsumers.
+    pub parents: BTreeSet<NodeId>,
+    /// Immediate subsumees.
+    pub children: BTreeSet<NodeId>,
+}
+
+/// Result of classifying a concept against the taxonomy.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// Most specific subsumers ("immediate parents").
+    pub parents: Vec<NodeId>,
+    /// Most general subsumees ("immediate children").
+    pub children: Vec<NodeId>,
+    /// A node with the same meaning, if one exists.
+    pub equivalent: Option<NodeId>,
+    /// Number of subsumption tests performed (experiment E2's cost metric).
+    pub tests: usize,
+}
+
+/// The IS-A hierarchy over named (and transiently, query) concepts.
+#[derive(Debug, Clone)]
+pub struct Taxonomy {
+    nodes: Vec<Node>,
+    by_name: HashMap<ConceptName, NodeId>,
+    /// Cumulative subsumption-test counter across all operations.
+    tests_total: u64,
+}
+
+impl Default for Taxonomy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Taxonomy {
+    /// A taxonomy containing only `THING` and the empty concept.
+    pub fn new() -> Self {
+        let top = Node {
+            nf: NormalForm::top(),
+            names: Vec::new(),
+            parents: BTreeSet::new(),
+            children: BTreeSet::from([NodeId::BOTTOM]),
+        };
+        let bottom = Node {
+            nf: NormalForm::bottom(crate::error::Clash::Incoherent),
+            names: Vec::new(),
+            parents: BTreeSet::from([NodeId::TOP]),
+            children: BTreeSet::new(),
+        };
+        Taxonomy {
+            nodes: vec![top, bottom],
+            by_name: HashMap::new(),
+            tests_total: 0,
+        }
+    }
+
+    /// The node stored at `id`.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Total nodes, including `TOP` and `BOTTOM`.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Never empty: `TOP` and `BOTTOM` are always present.
+    pub fn is_empty(&self) -> bool {
+        false // TOP and BOTTOM are always present
+    }
+
+    /// The node a schema name was classified into, if any.
+    pub fn node_of(&self, name: ConceptName) -> Option<NodeId> {
+        self.by_name.get(&name).copied()
+    }
+
+    /// Total subsumption tests performed so far (E2 instrumentation).
+    pub fn tests_total(&self) -> u64 {
+        self.tests_total
+    }
+
+    /// All node ids except TOP/BOTTOM, in insertion order.
+    pub fn interior_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (2..self.nodes.len()).map(|i| NodeId(i as u32))
+    }
+
+    /// Classify `nf` against the current taxonomy without inserting it.
+    pub fn classify(&self, nf: &NormalForm) -> Classification {
+        let mut tests = 0usize;
+        if nf.is_incoherent() {
+            return Classification {
+                parents: self.node(NodeId::BOTTOM).parents.iter().copied().collect(),
+                children: Vec::new(),
+                equivalent: Some(NodeId::BOTTOM),
+                tests,
+            };
+        }
+        let parents = self.most_specific_subsumers(nf, &mut tests);
+        // Equivalence: a parent that is also subsumed by nf.
+        let mut equivalent = None;
+        for &p in &parents {
+            tests += 1;
+            if subsumes(nf, &self.node(p).nf) {
+                equivalent = Some(p);
+                break;
+            }
+        }
+        let children = if equivalent.is_some() {
+            Vec::new()
+        } else {
+            self.most_general_subsumees(nf, &parents, &mut tests)
+        };
+        Classification {
+            parents,
+            children,
+            equivalent,
+            tests,
+        }
+    }
+
+    /// Insert a named concept, wiring it into the Hasse diagram.
+    /// Returns the node it lives at (an existing node if the meaning is
+    /// already present) plus the classification report.
+    pub fn insert(&mut self, name: ConceptName, nf: NormalForm) -> (NodeId, Classification) {
+        let report = self.classify(&nf);
+        self.tests_total += report.tests as u64;
+        if let Some(eq) = report.equivalent {
+            self.nodes[eq.index()].names.push(name);
+            self.by_name.insert(name, eq);
+            return (eq, report);
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        let parents: BTreeSet<NodeId> = report.parents.iter().copied().collect();
+        let children: BTreeSet<NodeId> = if report.children.is_empty() {
+            BTreeSet::from([NodeId::BOTTOM])
+        } else {
+            report.children.iter().copied().collect()
+        };
+        // Remove direct parent→child edges now mediated by the new node.
+        for &p in &parents {
+            for &c in &children {
+                self.nodes[p.index()].children.remove(&c);
+                self.nodes[c.index()].parents.remove(&p);
+            }
+        }
+        for &p in &parents {
+            self.nodes[p.index()].children.insert(id);
+        }
+        for &c in &children {
+            self.nodes[c.index()].parents.insert(id);
+        }
+        self.nodes.push(Node {
+            nf,
+            names: vec![name],
+            parents,
+            children,
+        });
+        self.by_name.insert(name, id);
+        (id, report)
+    }
+
+    /// Top-down search for the most specific subsumers of `nf`.
+    ///
+    /// A node's children are examined only when the node itself subsumes
+    /// `nf`; the node joins the frontier when none of its children do.
+    fn most_specific_subsumers(&self, nf: &NormalForm, tests: &mut usize) -> Vec<NodeId> {
+        let mut cache: HashMap<NodeId, bool> = HashMap::new();
+        cache.insert(NodeId::TOP, true);
+        let mut subsumes_nf = |taxo: &Taxonomy, id: NodeId, tests: &mut usize| -> bool {
+            if let Some(&v) = cache.get(&id) {
+                return v;
+            }
+            *tests += 1;
+            let v = subsumes(&taxo.node(id).nf, nf);
+            cache.insert(id, v);
+            v
+        };
+        let mut frontier = Vec::new();
+        let mut visited: BTreeSet<NodeId> = BTreeSet::new();
+        let mut queue = VecDeque::from([NodeId::TOP]);
+        while let Some(n) = queue.pop_front() {
+            if !visited.insert(n) {
+                continue;
+            }
+            let mut has_subsuming_child = false;
+            for &c in &self.node(n).children {
+                if c == NodeId::BOTTOM {
+                    continue;
+                }
+                if subsumes_nf(self, c, tests) {
+                    has_subsuming_child = true;
+                    queue.push_back(c);
+                }
+            }
+            if !has_subsuming_child {
+                frontier.push(n);
+            }
+        }
+        // The frontier may contain non-minimal nodes reached along
+        // different paths; keep only nodes with no *other* frontier node
+        // strictly below them.
+        let set: BTreeSet<NodeId> = frontier.iter().copied().collect();
+        frontier.retain(|&n| {
+            !self
+                .strict_descendants(n)
+                .iter()
+                .any(|d| set.contains(d) && *d != n)
+        });
+        frontier.sort();
+        frontier.dedup();
+        frontier
+    }
+
+    /// Bottom-up search for the most general subsumees among the common
+    /// descendants of the subsumer frontier.
+    fn most_general_subsumees(
+        &self,
+        nf: &NormalForm,
+        parents: &[NodeId],
+        tests: &mut usize,
+    ) -> Vec<NodeId> {
+        // Candidates: nodes below every most-specific subsumer (any
+        // subsumee of nf must be).
+        let mut common: Option<BTreeSet<NodeId>> = None;
+        for &p in parents {
+            let d = self.strict_descendants(p);
+            common = Some(match common {
+                None => d,
+                Some(c) => c.intersection(&d).copied().collect(),
+            });
+        }
+        let candidates = common.unwrap_or_default();
+        let mut selected: BTreeSet<NodeId> = BTreeSet::new();
+        for &m in &candidates {
+            if m == NodeId::BOTTOM {
+                continue;
+            }
+            *tests += 1;
+            if subsumes(nf, &self.node(m).nf) {
+                selected.insert(m);
+            }
+        }
+        // Keep maximal elements only.
+        let mut result: Vec<NodeId> = selected
+            .iter()
+            .copied()
+            .filter(|&m| {
+                !self
+                    .strict_ancestors(m)
+                    .iter()
+                    .any(|a| selected.contains(a))
+            })
+            .collect();
+        result.sort();
+        result
+    }
+
+    /// All nodes strictly below `id` (descendants, excluding `id`).
+    pub fn strict_descendants(&self, id: NodeId) -> BTreeSet<NodeId> {
+        self.reachable(id, false)
+    }
+
+    /// All nodes strictly above `id` (ancestors, excluding `id`).
+    pub fn strict_ancestors(&self, id: NodeId) -> BTreeSet<NodeId> {
+        self.reachable(id, true)
+    }
+
+    fn reachable(&self, id: NodeId, up: bool) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        let mut queue = VecDeque::from([id]);
+        while let Some(n) = queue.pop_front() {
+            let next = if up {
+                &self.node(n).parents
+            } else {
+                &self.node(n).children
+            };
+            for &m in next {
+                if out.insert(m) {
+                    queue.push_back(m);
+                }
+            }
+        }
+        out.remove(&id);
+        out
+    }
+
+    /// Brute-force classification: compare against every node in both
+    /// directions. The naive baseline for experiment E2's ablation.
+    pub fn classify_brute(&self, nf: &NormalForm) -> Classification {
+        let mut tests = 0usize;
+        if nf.is_incoherent() {
+            return Classification {
+                parents: self.node(NodeId::BOTTOM).parents.iter().copied().collect(),
+                children: Vec::new(),
+                equivalent: Some(NodeId::BOTTOM),
+                tests,
+            };
+        }
+        let mut above = Vec::new();
+        let mut below = Vec::new();
+        let mut equivalent = None;
+        for i in 0..self.nodes.len() {
+            let id = NodeId(i as u32);
+            if id == NodeId::BOTTOM {
+                continue;
+            }
+            tests += 2;
+            let up = subsumes(&self.node(id).nf, nf);
+            let down = subsumes(nf, &self.node(id).nf);
+            if up && down {
+                equivalent = Some(id);
+            } else if up {
+                above.push(id);
+            } else if down {
+                below.push(id);
+            }
+        }
+        if let Some(eq) = equivalent {
+            // Match `classify`'s representation: an equivalent node stands
+            // in for the parent frontier.
+            return Classification {
+                parents: vec![eq],
+                children: Vec::new(),
+                equivalent,
+                tests,
+            };
+        }
+        let above_set: BTreeSet<NodeId> = above.iter().copied().collect();
+        let below_set: BTreeSet<NodeId> = below.iter().copied().collect();
+        let parents = above
+            .iter()
+            .copied()
+            .filter(|&a| {
+                !self
+                    .strict_descendants(a)
+                    .iter()
+                    .any(|d| above_set.contains(d))
+            })
+            .collect();
+        let children = below
+            .iter()
+            .copied()
+            .filter(|&b| {
+                !self
+                    .strict_ancestors(b)
+                    .iter()
+                    .any(|a| below_set.contains(a))
+            })
+            .collect();
+        Classification {
+            parents,
+            children,
+            equivalent,
+            tests,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desc::Concept;
+    use crate::normal::normalize;
+    use crate::schema::Schema;
+
+    struct Fix {
+        schema: Schema,
+        taxo: Taxonomy,
+    }
+
+    fn fix() -> Fix {
+        Fix {
+            schema: Schema::new(),
+            taxo: Taxonomy::new(),
+        }
+    }
+
+    fn define(f: &mut Fix, name: &str, c: Concept) -> NodeId {
+        let id = f.schema.define_concept(name, c).unwrap();
+        let nf = f.schema.concept_nf(id).unwrap().clone();
+        f.taxo.insert(id, nf).0
+    }
+
+    fn named(f: &mut Fix, n: &str) -> Concept {
+        Concept::Name(f.schema.symbols.concept(n))
+    }
+
+    #[test]
+    fn fresh_taxonomy_has_top_and_bottom() {
+        let f = fix();
+        assert_eq!(f.taxo.len(), 2);
+        assert!(f.taxo.node(NodeId::TOP).children.contains(&NodeId::BOTTOM));
+        assert!(f.taxo.node(NodeId::BOTTOM).parents.contains(&NodeId::TOP));
+    }
+
+    #[test]
+    fn primitive_chain_classifies_linearly() {
+        let mut f = fix();
+        let car = define(&mut f, "CAR", Concept::primitive(Concept::thing(), "car"));
+        let sports_parent = named(&mut f, "CAR");
+        let sports = define(
+            &mut f,
+            "SPORTS-CAR",
+            Concept::primitive(sports_parent, "sports-car"),
+        );
+        assert!(f.taxo.node(sports).parents.contains(&car));
+        assert!(f.taxo.node(car).children.contains(&sports));
+        // CAR's direct link to BOTTOM is rerouted through SPORTS-CAR.
+        assert!(!f.taxo.node(car).children.contains(&NodeId::BOTTOM));
+        assert!(f.taxo.node(sports).children.contains(&NodeId::BOTTOM));
+    }
+
+    #[test]
+    fn defined_concept_slots_between_parent_and_child() {
+        let mut f = fix();
+        let r = f.schema.define_role("thing-driven").unwrap();
+        let person = define(
+            &mut f,
+            "PERSON",
+            Concept::primitive(Concept::thing(), "person"),
+        );
+        let p = named(&mut f, "PERSON");
+        let driver3 = define(
+            &mut f,
+            "TRIPLE-DRIVER",
+            Concept::and([p.clone(), Concept::AtLeast(3, r)]),
+        );
+        // Now insert PERSON-with-at-least-2, which belongs between.
+        let driver2 = define(
+            &mut f,
+            "DOUBLE-DRIVER",
+            Concept::and([p, Concept::AtLeast(2, r)]),
+        );
+        assert!(f.taxo.node(driver2).parents.contains(&person));
+        assert!(f.taxo.node(driver2).children.contains(&driver3));
+        assert!(!f.taxo.node(person).children.contains(&driver3));
+        assert!(f.taxo.node(driver3).parents.contains(&driver2));
+    }
+
+    #[test]
+    fn equivalent_definitions_share_a_node() {
+        let mut f = fix();
+        let r = f.schema.define_role("r").unwrap();
+        let a = define(
+            &mut f,
+            "A",
+            Concept::and([Concept::AtLeast(1, r), Concept::AtMost(1, r)]),
+        );
+        let b = define(&mut f, "B", Concept::exactly(1, r));
+        assert_eq!(a, b);
+        assert_eq!(f.taxo.node(a).names.len(), 2);
+        let a_name = f.schema.symbols.find_concept("A").unwrap();
+        let b_name = f.schema.symbols.find_concept("B").unwrap();
+        assert_eq!(f.taxo.node_of(a_name), f.taxo.node_of(b_name));
+    }
+
+    #[test]
+    fn incoherent_definition_goes_to_bottom() {
+        let mut f = fix();
+        let r = f.schema.define_role("r").unwrap();
+        let bot = define(
+            &mut f,
+            "IMPOSSIBLE",
+            Concept::and([Concept::AtLeast(2, r), Concept::AtMost(1, r)]),
+        );
+        assert_eq!(bot, NodeId::BOTTOM);
+    }
+
+    #[test]
+    fn multiple_parents() {
+        let mut f = fix();
+        define(&mut f, "CAR", Concept::primitive(Concept::thing(), "car"));
+        define(
+            &mut f,
+            "EXPENSIVE-THING",
+            Concept::primitive(Concept::thing(), "expensive"),
+        );
+        let car = named(&mut f, "CAR");
+        let exp = named(&mut f, "EXPENSIVE-THING");
+        // §2.1.1: SPORTS-CAR as a primitive below (AND CAR EXPENSIVE-THING).
+        let sports = define(
+            &mut f,
+            "SPORTS-CAR",
+            Concept::primitive(Concept::and([car, exp]), "sports-car"),
+        );
+        let parents = &f.taxo.node(sports).parents;
+        assert_eq!(parents.len(), 2);
+    }
+
+    #[test]
+    fn classify_transient_matches_insert() {
+        let mut f = fix();
+        let r = f.schema.define_role("r").unwrap();
+        define(&mut f, "CAR", Concept::primitive(Concept::thing(), "car"));
+        let car = named(&mut f, "CAR");
+        let q = Concept::and([car, Concept::AtLeast(1, r)]);
+        let nf = normalize(&q, &mut f.schema).unwrap();
+        let c1 = f.taxo.classify(&nf);
+        let c2 = f.taxo.classify_brute(&nf);
+        assert_eq!(c1.parents, c2.parents);
+        assert_eq!(c1.children, c2.children);
+        assert_eq!(c1.equivalent, c2.equivalent);
+    }
+
+    #[test]
+    fn brute_and_pruned_agree_on_a_small_random_schema() {
+        let mut f = fix();
+        let roles: Vec<_> = (0..4)
+            .map(|i| f.schema.define_role(&format!("r{i}")).unwrap())
+            .collect();
+        // A small diamond-ish schema.
+        define(&mut f, "P0", Concept::primitive(Concept::thing(), "p0"));
+        let p0 = named(&mut f, "P0");
+        for i in 0..8u32 {
+            let c = Concept::and([
+                p0.clone(),
+                Concept::AtLeast(i % 3, roles[(i % 4) as usize]),
+                Concept::AtMost(3 + (i % 2), roles[((i + 1) % 4) as usize]),
+            ]);
+            define(&mut f, &format!("C{i}"), c);
+        }
+        for i in 0..8u32 {
+            let q = Concept::and([
+                p0.clone(),
+                Concept::AtLeast(i % 4, roles[(i % 4) as usize]),
+            ]);
+            let nf = normalize(&q, &mut f.schema).unwrap();
+            let a = f.taxo.classify(&nf);
+            let b = f.taxo.classify_brute(&nf);
+            assert_eq!(a.parents, b.parents, "parents differ for i={i}");
+            assert_eq!(a.children, b.children, "children differ for i={i}");
+            assert_eq!(a.equivalent, b.equivalent, "equiv differs for i={i}");
+            assert!(a.tests <= b.tests, "pruned search did more tests");
+        }
+    }
+
+    #[test]
+    fn ancestors_and_descendants() {
+        let mut f = fix();
+        let car = define(&mut f, "CAR", Concept::primitive(Concept::thing(), "car"));
+        let c = named(&mut f, "CAR");
+        let sports = define(&mut f, "SPORTS-CAR", Concept::primitive(c, "sc"));
+        let anc = f.taxo.strict_ancestors(sports);
+        assert!(anc.contains(&car));
+        assert!(anc.contains(&NodeId::TOP));
+        assert!(!anc.contains(&sports));
+        let desc = f.taxo.strict_descendants(car);
+        assert!(desc.contains(&sports));
+        assert!(desc.contains(&NodeId::BOTTOM));
+    }
+}

@@ -1,0 +1,736 @@
+//! The CLASSIC knowledge base: schema + taxonomy + individuals + rules.
+//!
+//! [`Kb`] is the paper's "database": it exposes the operator vocabulary of
+//! §3 — `define-role`, `define-attribute`, `define-concept` (DDL, freely
+//! interleaved with everything else), `create-ind` and `assert-ind` (DML
+//! under the open-world assumption), `assert-rule` (limited forward
+//! chaining), and the introspection/query surface consumed by
+//! `classic-query`.
+//!
+//! Every update is atomic: "updates … are either accepted or rejected
+//! because of constraint violations" (§3.1). A rejected `assert-ind` (or
+//! `assert-rule`) rolls back every propagated consequence via an internal
+//! journal of first-touch snapshots.
+
+use crate::individual::{IndId, Individual};
+use crate::propagate::Propagation;
+use classic_core::desc::{Concept, IndRef};
+use classic_core::error::{ClassicError, Result};
+use classic_core::normal::{conjoin_expression, NormalForm};
+use classic_core::schema::{Schema, TestArg};
+use classic_core::symbol::{ConceptName, IndName, RoleId, TestId};
+use classic_core::taxonomy::{NodeId, Taxonomy};
+use std::cell::Cell;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// A forward-chaining rule: "if an individual is a `<concept1>` then it is
+/// also a `<concept2>`" (§3.3). Rules are "triggers activated only when a new
+/// individual is found of which the antecedent concept description holds" —
+/// *not* part of the antecedent's definition.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// The named concept the rule is attached to.
+    pub antecedent: ConceptName,
+    /// The taxonomy node the antecedent classifies at.
+    pub node: NodeId,
+    /// The consequent description, conjoined onto every recognized
+    /// instance.
+    pub consequent: Concept,
+}
+
+/// Cumulative instrumentation counters (experiments E3/E4/E6).
+#[derive(Debug, Default, Clone)]
+pub struct KbStats {
+    /// Top-level `assert-ind` calls accepted.
+    pub assertions: Cell<u64>,
+    /// Worklist items processed by the propagation engine.
+    pub propagation_steps: Cell<u64>,
+    /// Descriptions pushed onto fillers by `ALL` restrictions.
+    pub fills_propagations: Cell<u64>,
+    /// Fillers derived through `SAME-AS` co-reference.
+    pub coref_propagations: Cell<u64>,
+    /// Rule firings (each rule at most once per individual).
+    pub rules_fired: Cell<u64>,
+    /// Individual (re-)realizations performed.
+    pub realizations: Cell<u64>,
+    /// Node-level instance tests performed during realization/queries.
+    pub instance_tests: Cell<u64>,
+}
+
+/// Per-assertion report: what one accepted update caused (E6's
+/// derived-facts-per-asserted-fact metric).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct AssertReport {
+    /// Worklist steps the propagation took.
+    pub steps: u64,
+    /// `ALL` restrictions propagated onto fillers.
+    pub fills_propagated: u64,
+    /// Role fillers derived via `SAME-AS`.
+    pub corefs_derived: u64,
+    /// Rules fired.
+    pub rules_fired: u64,
+    /// Individuals whose recognized concepts changed.
+    pub reclassified: u64,
+    /// Individuals created implicitly by being referenced.
+    pub inds_created: u64,
+}
+
+/// Rollback journal for one update transaction.
+#[derive(Default)]
+pub(crate) struct Journal {
+    /// First-touch snapshots of modified individuals.
+    touched: HashMap<IndId, Individual>,
+    /// Individuals created during the transaction (in creation order —
+    /// they occupy the arena tail).
+    created: Vec<IndId>,
+    /// Reverse-filler edges added during the transaction.
+    reverse_added: Vec<(IndId, IndId)>,
+}
+
+impl Journal {
+    pub(crate) fn touch(&mut self, kb: &Kb, id: IndId) {
+        if !self.touched.contains_key(&id) && !self.created.contains(&id) {
+            self.touched.insert(id, kb.inds[id.index()].clone());
+        }
+    }
+
+    pub(crate) fn push_reverse(&mut self, filler: IndId, host: IndId) {
+        self.reverse_added.push((filler, host));
+    }
+}
+
+/// The CLASSIC knowledge base.
+#[derive(Debug)]
+pub struct Kb {
+    pub(crate) schema: Schema,
+    pub(crate) taxonomy: Taxonomy,
+    pub(crate) inds: Vec<Individual>,
+    pub(crate) by_name: HashMap<IndName, IndId>,
+    /// Direct extensions: for each taxonomy node, the individuals whose
+    /// *most specific* concepts include it. Instances of a node = direct
+    /// extensions of the node and all its descendants.
+    pub(crate) extensions: Vec<BTreeSet<IndId>>,
+    pub(crate) rules: Vec<Rule>,
+    pub(crate) rules_by_node: HashMap<NodeId, Vec<usize>>,
+    /// filler → individuals having it as a role filler (the reclassification
+    /// cascade of §5 walks this).
+    pub(crate) reverse_fillers: HashMap<IndId, BTreeSet<IndId>>,
+    /// Cumulative instrumentation counters.
+    pub stats: KbStats,
+}
+
+impl Default for Kb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kb {
+    /// An empty knowledge base (schema, taxonomy and data all empty).
+    pub fn new() -> Kb {
+        let taxonomy = Taxonomy::new();
+        let extensions = vec![BTreeSet::new(); taxonomy.len()];
+        Kb {
+            schema: Schema::new(),
+            taxonomy,
+            inds: Vec::new(),
+            by_name: HashMap::new(),
+            extensions,
+            rules: Vec::new(),
+            rules_by_node: HashMap::new(),
+            reverse_fillers: HashMap::new(),
+            stats: KbStats::default(),
+        }
+    }
+
+    // ---- accessors -------------------------------------------------------
+
+    /// The schema (roles, named concepts, primitives, tests).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Mutable schema access (interning names for ad-hoc expressions).
+    pub fn schema_mut(&mut self) -> &mut Schema {
+        &mut self.schema
+    }
+
+    /// The IS-A hierarchy over the defined concepts.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// The individual stored at `id`.
+    pub fn ind(&self, id: IndId) -> &Individual {
+        &self.inds[id.index()]
+    }
+
+    /// Number of CLASSIC individuals in the database.
+    pub fn ind_count(&self) -> usize {
+        self.inds.len()
+    }
+
+    /// Every individual handle, in creation order.
+    pub fn ind_ids(&self) -> impl Iterator<Item = IndId> {
+        (0..self.inds.len()).map(IndId::from_index)
+    }
+
+    /// Resolve a created individual by name.
+    pub fn ind_id(&self, name: IndName) -> Result<IndId> {
+        self.by_name
+            .get(&name)
+            .copied()
+            .ok_or(ClassicError::UnknownIndividual(name))
+    }
+
+    /// The forward-chaining rules, in assertion order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Normalize an ad-hoc concept expression against this KB's schema.
+    pub fn normalize(&mut self, c: &Concept) -> Result<NormalForm> {
+        classic_core::normal::normalize(c, &mut self.schema)
+    }
+
+    // ---- DDL --------------------------------------------------------------
+
+    /// `define-role[name]` (§3.1).
+    pub fn define_role(&mut self, name: &str) -> Result<RoleId> {
+        self.schema.define_role(name)
+    }
+
+    /// Declare a single-valued role, usable in `SAME-AS` chains.
+    pub fn define_attribute(&mut self, name: &str) -> Result<RoleId> {
+        self.schema.define_attribute(name)
+    }
+
+    /// Register a host-language `TEST` function (§2.1.4).
+    pub fn register_test<F>(&mut self, name: &str, f: F) -> TestId
+    where
+        F: Fn(&TestArg<'_>) -> bool + Send + Sync + 'static,
+    {
+        self.schema.register_test(name, f)
+    }
+
+    /// `define-concept[name, expr]` (§3.1): normalize, store, classify into
+    /// the taxonomy, and *recognize* any existing individuals that already
+    /// satisfy the new definition — the schema can grow "any time it seems
+    /// useful" and the data immediately reflects it.
+    pub fn define_concept(&mut self, name: &str, told: Concept) -> Result<ConceptName> {
+        let cname = self.schema.define_concept(name, told)?;
+        let nf = self.schema.concept_nf(cname)?.clone();
+        let (node, _) = self.taxonomy.insert(cname, nf);
+        while self.extensions.len() < self.taxonomy.len() {
+            self.extensions.push(BTreeSet::new());
+        }
+        // Candidates for recognition: individuals already recognized under
+        // every parent of the new node (any instance of the new concept
+        // must be). For a fresh node under TOP that is every individual.
+        let parents: Vec<NodeId> = self.taxonomy.node(node).parents.iter().copied().collect();
+        let mut candidates: Option<BTreeSet<IndId>> = None;
+        for p in parents {
+            let inst = self.instances_of_node(p);
+            candidates = Some(match candidates {
+                None => inst,
+                Some(c) => c.intersection(&inst).copied().collect(),
+            });
+        }
+        let candidates = match candidates {
+            Some(c) => c,
+            None => self.ind_ids().collect(),
+        };
+        for id in candidates {
+            self.realize(id);
+        }
+        Ok(cname)
+    }
+
+    // ---- individuals -------------------------------------------------------
+
+    /// `create-ind[name]` (§3.2): "creates an individual … about whom
+    /// nothing is known (except that it is a THING)". Establishes identity
+    /// independent of properties.
+    pub fn create_ind(&mut self, name: &str) -> Result<IndId> {
+        let iname = self.schema.symbols.individual(name);
+        if self.by_name.contains_key(&iname) {
+            return Err(ClassicError::IndividualExists(iname));
+        }
+        Ok(self.create_ind_unchecked(iname))
+    }
+
+    pub(crate) fn create_ind_unchecked(&mut self, iname: IndName) -> IndId {
+        let id = IndId::from_index(self.inds.len());
+        self.inds.push(Individual::new(iname));
+        self.by_name.insert(iname, id);
+        self.realize(id);
+        id
+    }
+
+    /// Get the individual named `name`, creating it if referenced for the
+    /// first time (the paper's examples assert facts about `Volvo-17`
+    /// without a prior `create-ind`).
+    pub(crate) fn ensure_ind(&mut self, iname: IndName, journal: &mut Journal) -> IndId {
+        match self.by_name.get(&iname) {
+            Some(&id) => id,
+            None => {
+                let id = self.create_ind_unchecked(iname);
+                journal.created.push(id);
+                id
+            }
+        }
+    }
+
+    /// `assert-ind[name, desc]` (§3.2): incrementally add (possibly
+    /// partial) information. Accepted atomically or rejected with a rolled
+    /// back state and the clash that caused the rejection (§3.4).
+    ///
+    /// Recognition is automatic (§3.3): asserting the parts of a defined
+    /// concept makes the individual an instance of it.
+    ///
+    /// ```
+    /// use classic_core::Concept;
+    /// use classic_kb::Kb;
+    ///
+    /// let mut kb = Kb::new();
+    /// let enrolled = kb.define_role("enrolled-at")?;
+    /// kb.define_concept("PERSON", Concept::primitive(Concept::thing(), "person"))?;
+    /// let person = kb.schema().symbols.find_concept("PERSON").unwrap();
+    /// kb.define_concept(
+    ///     "STUDENT",
+    ///     Concept::and([Concept::Name(person), Concept::AtLeast(1, enrolled)]),
+    /// )?;
+    /// let student = kb.schema().symbols.find_concept("STUDENT").unwrap();
+    ///
+    /// let rocky = kb.create_ind("Rocky")?;
+    /// kb.assert_ind("Rocky", &Concept::Name(person))?;
+    /// assert!(!kb.is_instance_of(rocky, student)?);
+    /// kb.assert_ind("Rocky", &Concept::AtLeast(1, enrolled))?;
+    /// assert!(kb.is_instance_of(rocky, student)?); // recognized, not asserted
+    /// # Ok::<(), classic_core::ClassicError>(())
+    /// ```
+    pub fn assert_ind(&mut self, name: &str, desc: &Concept) -> Result<AssertReport> {
+        let iname = self.schema.symbols.individual(name);
+        let id = self.ind_id(iname)?;
+        self.assert_ind_by_id(id, desc)
+    }
+
+    /// `assert-ind` addressed by handle.
+    pub fn assert_ind_by_id(&mut self, id: IndId, desc: &Concept) -> Result<AssertReport> {
+        let mut journal = Journal::default();
+        match self.assert_txn(id, desc, &mut journal) {
+            Ok(mut report) => {
+                report.inds_created = journal.created.len() as u64;
+                self.stats.assertions.set(self.stats.assertions.get() + 1);
+                Ok(report)
+            }
+            Err(e) => {
+                self.rollback(journal);
+                Err(e)
+            }
+        }
+    }
+
+    fn assert_txn(
+        &mut self,
+        id: IndId,
+        desc: &Concept,
+        journal: &mut Journal,
+    ) -> Result<AssertReport> {
+        journal.touch(self, id);
+        // Auto-create any individuals the description references, so
+        // FILLS/ONE-OF targets exist (paper examples rely on this).
+        self.ensure_referenced_inds(desc, journal);
+        self.inds[id.index()].told.push(desc.clone());
+        // Conjoin the asserted expression *contextually* (CLOSE applies to
+        // the currently known fillers — §3.2).
+        let mut derived = std::mem::take(&mut self.inds[id.index()].derived);
+        let res = conjoin_expression(desc, &mut self.schema, &mut derived);
+        self.inds[id.index()].derived = derived;
+        res?;
+        let mut report = AssertReport::default();
+        let mut work: VecDeque<IndId> = VecDeque::from([id]);
+        Propagation::run(self, &mut work, journal, &mut report)?;
+        Ok(report)
+    }
+
+    fn ensure_referenced_inds(&mut self, desc: &Concept, journal: &mut Journal) {
+        match desc {
+            Concept::OneOf(inds) | Concept::Fills(_, inds) => {
+                for i in inds {
+                    if let IndRef::Classic(n) = i {
+                        self.ensure_ind(*n, journal);
+                    }
+                }
+            }
+            Concept::All(_, inner) => self.ensure_referenced_inds(inner, journal),
+            Concept::And(parts) => {
+                for p in parts {
+                    self.ensure_referenced_inds(p, journal);
+                }
+            }
+            Concept::Primitive { parent, .. } | Concept::DisjointPrimitive { parent, .. } => {
+                self.ensure_referenced_inds(parent, journal)
+            }
+            _ => {}
+        }
+    }
+
+    /// Hypothetical assertion: would `desc` be accepted, and what would it
+    /// derive? The update is run through the full propagation engine and
+    /// then rolled back unconditionally, leaving the database untouched
+    /// either way.
+    ///
+    /// This is the question every configuration session asks ("can this
+    /// part still be added?") and the natural complement of the paper's
+    /// accept-or-reject update model: the same journal that makes rejected
+    /// updates atomic (§3.4) makes accepted ones reversible for free.
+    pub fn what_if(&mut self, name: &str, desc: &Concept) -> Result<AssertReport> {
+        let iname = self.schema.symbols.individual(name);
+        let id = self.ind_id(iname)?;
+        let mut journal = Journal::default();
+        let result = self.assert_txn(id, desc, &mut journal);
+        self.rollback(journal);
+        result
+    }
+
+    /// The unsupported destructive update surface: the paper defers it
+    /// ("we … are now implementing … and will report on this at a future
+    /// date", §3.2). Always an error; present so callers get a precise
+    /// diagnosis rather than a missing method.
+    pub fn retract_ind(&mut self, _name: &str, _desc: &Concept) -> Result<()> {
+        Err(ClassicError::DestructiveUpdate)
+    }
+
+    // ---- rules --------------------------------------------------------------
+
+    /// `assert-rule[C1, C2]` (§3.3): attach a forward-chaining trigger to a
+    /// *named* concept and immediately apply it to every currently
+    /// recognized instance, propagating "until a fixed point is reached"
+    /// (§5). If applying the rule makes any individual inconsistent the
+    /// rule is rejected and the database left unchanged.
+    pub fn assert_rule(&mut self, antecedent: &str, consequent: Concept) -> Result<usize> {
+        let cname = self.schema.symbols.concept(antecedent);
+        let node = self
+            .taxonomy
+            .node_of(cname)
+            .ok_or(ClassicError::RuleOnUndefinedConcept(cname))?;
+        // Validate the consequent normalizes at all.
+        classic_core::normal::normalize(&consequent, &mut self.schema)?;
+        let rule_ix = self.rules.len();
+        self.rules.push(Rule {
+            antecedent: cname,
+            node,
+            consequent,
+        });
+        self.rules_by_node.entry(node).or_default().push(rule_ix);
+
+        let mut journal = Journal::default();
+        let instances: Vec<IndId> = self.instances_of_node(node).into_iter().collect();
+        let mut work: VecDeque<IndId> = instances.into();
+        for &i in &work {
+            journal.touch(self, i);
+        }
+        let mut report = AssertReport::default();
+        match Propagation::run(self, &mut work, &mut journal, &mut report) {
+            Ok(()) => Ok(rule_ix),
+            Err(e) => {
+                self.rollback(journal);
+                let ix = self.rules_by_node.get_mut(&node).expect("just added");
+                ix.retain(|&r| r != rule_ix);
+                self.rules.pop();
+                Err(e)
+            }
+        }
+    }
+
+    // ---- extensions -----------------------------------------------------------
+
+    /// All individuals recognized as instances of a taxonomy node (its
+    /// direct extension plus those of every descendant).
+    pub fn instances_of_node(&self, node: NodeId) -> BTreeSet<IndId> {
+        if node == NodeId::TOP {
+            return self.ind_ids().collect();
+        }
+        let mut out = self.extensions[node.index()].clone();
+        for d in self.taxonomy.strict_descendants(node) {
+            out.extend(self.extensions[d.index()].iter().copied());
+        }
+        out
+    }
+
+    /// Visit every instance of a node without materializing the set.
+    /// Individuals with several most-specific concepts may be visited more
+    /// than once; callers needing distinctness must deduplicate.
+    pub fn for_each_instance(&self, node: NodeId, mut f: impl FnMut(IndId)) {
+        if node == NodeId::TOP {
+            for id in self.ind_ids() {
+                f(id);
+            }
+            return;
+        }
+        for id in self.extensions[node.index()].iter().copied() {
+            f(id);
+        }
+        for d in self.taxonomy.strict_descendants(node) {
+            for id in self.extensions[d.index()].iter().copied() {
+                f(id);
+            }
+        }
+    }
+
+    /// Cheap upper bound on a node's instance count (duplicates across
+    /// multiple most-specific concepts counted repeatedly). Used to pick
+    /// the most selective subsumer during retrieval.
+    pub fn extension_size_bound(&self, node: NodeId) -> usize {
+        if node == NodeId::TOP {
+            return self.ind_count();
+        }
+        let mut n = self.extensions[node.index()].len();
+        for d in self.taxonomy.strict_descendants(node) {
+            n += self.extensions[d.index()].len();
+        }
+        n
+    }
+
+    /// Instances of a *named* concept (extensional query, §3.5.3).
+    pub fn instances_of(&self, name: ConceptName) -> Result<BTreeSet<IndId>> {
+        let node = self
+            .taxonomy
+            .node_of(name)
+            .ok_or(ClassicError::UndefinedConcept(name))?;
+        Ok(self.instances_of_node(node))
+    }
+
+    /// Direct extension of one node (individuals whose msc includes it).
+    pub fn direct_extension(&self, node: NodeId) -> &BTreeSet<IndId> {
+        &self.extensions[node.index()]
+    }
+
+    // ---- diagnostics ------------------------------------------------------------
+
+    /// Verify the database's internal invariants, returning the first
+    /// violation found. Intended for tests and debugging; a healthy `Kb`
+    /// always passes:
+    ///
+    /// 1. no committed individual is incoherent (§3.4 — inconsistent
+    ///    updates are rejected, never stored);
+    /// 2. the extension index and per-individual realizations agree in
+    ///    both directions;
+    /// 3. every individual's `msc` is an antichain whose upward closure
+    ///    is exactly `instance_nodes`.
+    pub fn check_invariants(&self) -> Result<()> {
+        let fail = |msg: String| Err(ClassicError::Malformed(format!("invariant violated: {msg}")));
+        for id in self.ind_ids() {
+            let ind = self.ind(id);
+            if ind.derived.is_incoherent() {
+                return fail(format!("individual {:?} is incoherent", ind.name));
+            }
+            for &node in &ind.msc {
+                if !self.extensions[node.index()].contains(&id) {
+                    return fail(format!(
+                        "extension index missing {:?} at node {}",
+                        ind.name,
+                        node.index()
+                    ));
+                }
+                // msc is an antichain: no msc member strictly above another.
+                for &other in &ind.msc {
+                    if other != node && self.taxonomy.strict_ancestors(other).contains(&node) {
+                        return fail(format!(
+                            "msc of {:?} is not an antichain",
+                            ind.name
+                        ));
+                    }
+                }
+            }
+            // Upward closure of msc == instance_nodes.
+            let mut closure: BTreeSet<NodeId> = ind.msc.clone();
+            for &node in &ind.msc {
+                closure.extend(self.taxonomy.strict_ancestors(node));
+            }
+            closure.remove(&NodeId::BOTTOM);
+            let mut expected = ind.instance_nodes.clone();
+            expected.insert(NodeId::TOP);
+            closure.insert(NodeId::TOP);
+            if closure != expected {
+                return fail(format!(
+                    "instance set of {:?} is not the closure of its msc",
+                    ind.name
+                ));
+            }
+        }
+        let mut all_nodes: Vec<NodeId> = vec![NodeId::TOP, NodeId::BOTTOM];
+        all_nodes.extend(self.taxonomy.interior_nodes());
+        for node in all_nodes {
+            for &id in &self.extensions[node.index()] {
+                if !self.ind(id).msc.contains(&node) {
+                    return fail(format!(
+                        "extension at node {} lists a non-member individual",
+                        node.index()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- rollback ---------------------------------------------------------------
+
+    pub(crate) fn rollback(&mut self, journal: Journal) {
+        // Undo reverse-filler edges added during the transaction.
+        for (filler, host) in journal.reverse_added.into_iter().rev() {
+            if let Some(set) = self.reverse_fillers.get_mut(&filler) {
+                set.remove(&host);
+                if set.is_empty() {
+                    self.reverse_fillers.remove(&filler);
+                }
+            }
+        }
+        // Remove individuals created during the transaction (arena tail).
+        for id in journal.created.into_iter().rev() {
+            let ind = self.inds.pop().expect("created individual present");
+            self.by_name.remove(&ind.name);
+            for n in &ind.msc {
+                self.extensions[n.index()].remove(&id);
+            }
+            self.reverse_fillers.remove(&id);
+        }
+        // Restore touched individuals and their extension entries.
+        for (id, old) in journal.touched {
+            if id.index() >= self.inds.len() {
+                continue; // was a created individual, already popped
+            }
+            let cur_msc: Vec<NodeId> = self.inds[id.index()].msc.iter().copied().collect();
+            for n in cur_msc {
+                self.extensions[n.index()].remove(&id);
+            }
+            for n in &old.msc {
+                self.extensions[n.index()].insert(id);
+            }
+            self.inds[id.index()] = old;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classic_core::desc::Concept;
+
+    fn kb_with_person() -> Kb {
+        let mut kb = Kb::new();
+        kb.define_role("r").unwrap();
+        kb.define_concept("PERSON", Concept::primitive(Concept::thing(), "person"))
+            .unwrap();
+        kb
+    }
+
+    #[test]
+    fn unknown_individual_is_reported() {
+        let mut kb = kb_with_person();
+        let err = kb.assert_ind("Ghost", &Concept::thing()).unwrap_err();
+        assert!(matches!(err, ClassicError::UnknownIndividual(_)));
+    }
+
+    #[test]
+    fn instances_of_undefined_concept_is_an_error() {
+        let kb = kb_with_person();
+        let ghost = ConceptName::from_index(99);
+        assert!(matches!(
+            kb.instances_of(ghost),
+            Err(ClassicError::UndefinedConcept(_))
+        ));
+    }
+
+    #[test]
+    fn rule_on_undefined_concept_is_rejected() {
+        let mut kb = kb_with_person();
+        let err = kb.assert_rule("GHOST", Concept::thing()).unwrap_err();
+        assert!(matches!(err, ClassicError::RuleOnUndefinedConcept(_)));
+        assert!(kb.rules().is_empty());
+    }
+
+    #[test]
+    fn rule_contradicting_existing_instances_is_rejected_atomically() {
+        let mut kb = kb_with_person();
+        let r = kb.schema().symbols.find_role("r").unwrap();
+        let person = kb.schema().symbols.find_concept("PERSON").unwrap();
+        kb.create_ind("X").unwrap();
+        kb.assert_ind("X", &Concept::Name(person)).unwrap();
+        kb.assert_ind("X", &Concept::AtLeast(2, r)).unwrap();
+        // Rule: every PERSON has at most 1 filler for r — contradicts X.
+        let err = kb
+            .assert_rule("PERSON", Concept::AtMost(1, r))
+            .unwrap_err();
+        assert!(matches!(err, ClassicError::Inconsistent { .. }));
+        // The rule was fully removed and X is untouched.
+        assert!(kb.rules().is_empty());
+        let x = kb
+            .ind_id(kb.schema().symbols.find_individual("X").unwrap())
+            .unwrap();
+        assert_eq!(kb.ind(x).derived.role(r).at_most, None);
+        assert!(!kb.ind(x).derived.is_incoherent());
+    }
+
+    #[test]
+    fn assert_by_id_equals_assert_by_name() {
+        let mut kb = kb_with_person();
+        let person = kb.schema().symbols.find_concept("PERSON").unwrap();
+        let id = kb.create_ind("X").unwrap();
+        kb.assert_ind_by_id(id, &Concept::Name(person)).unwrap();
+        assert!(kb.is_instance_of(id, person).unwrap());
+    }
+
+    #[test]
+    fn direct_extension_tracks_msc_only() {
+        let mut kb = kb_with_person();
+        let r = kb.schema().symbols.find_role("r").unwrap();
+        let person = kb.schema().symbols.find_concept("PERSON").unwrap();
+        let p = Concept::Name(person);
+        kb.define_concept("BUSY", Concept::and([p.clone(), Concept::AtLeast(1, r)]))
+            .unwrap();
+        let busy = kb.schema().symbols.find_concept("BUSY").unwrap();
+        let id = kb.create_ind("X").unwrap();
+        kb.assert_ind("X", &p).unwrap();
+        kb.assert_ind("X", &Concept::AtLeast(1, r)).unwrap();
+        let person_node = kb.taxonomy().node_of(person).unwrap();
+        let busy_node = kb.taxonomy().node_of(busy).unwrap();
+        // X's most specific concept is BUSY, so it sits in BUSY's direct
+        // extension, not PERSON's — but is an instance of both.
+        assert!(kb.direct_extension(busy_node).contains(&id));
+        assert!(!kb.direct_extension(person_node).contains(&id));
+        assert!(kb.instances_of_node(person_node).contains(&id));
+    }
+
+    #[test]
+    fn for_each_instance_covers_instances_of_node() {
+        let mut kb = kb_with_person();
+        let person = kb.schema().symbols.find_concept("PERSON").unwrap();
+        for i in 0..5 {
+            let name = format!("X{i}");
+            kb.create_ind(&name).unwrap();
+            kb.assert_ind(&name, &Concept::Name(person)).unwrap();
+        }
+        let node = kb.taxonomy().node_of(person).unwrap();
+        let set = kb.instances_of_node(node);
+        let mut visited = std::collections::BTreeSet::new();
+        kb.for_each_instance(node, |id| {
+            visited.insert(id);
+        });
+        assert_eq!(set, visited);
+        assert!(kb.extension_size_bound(node) >= set.len());
+    }
+
+    #[test]
+    fn normalize_interns_without_declaring() {
+        let mut kb = kb_with_person();
+        // An undeclared role in an ad-hoc expression is an error...
+        let ghost = kb.schema_mut().symbols.role("ghost");
+        let res = kb.normalize(&Concept::AtLeast(1, ghost));
+        assert!(matches!(res, Err(ClassicError::UndefinedRole(_))));
+        // ...and the failed normalize didn't corrupt the schema.
+        assert!(kb.define_role("ghost").is_ok());
+        assert!(kb.normalize(&Concept::AtLeast(1, ghost)).is_ok());
+    }
+}

@@ -1,0 +1,776 @@
+//! The operator language: parsed commands and their evaluation against a
+//! knowledge base.
+//!
+//! This is the "simple and uniform interface" of paper §6: "through the
+//! use of multiple operators, a single language is used to specify the
+//! schema (including integrity constraints), the information added to the
+//! database, and the queries to it". Commands are written as
+//! s-expressions, e.g.:
+//!
+//! ```text
+//! (define-role thing-driven)
+//! (define-concept RICH-KID (AND STUDENT (ALL thing-driven SPORTS-CAR)
+//!                                (AT-LEAST 2 thing-driven)))
+//! (create-ind Rocky)
+//! (assert-ind Rocky (FILLS thing-driven Volvo-17))
+//! (assert-rule STUDENT (ALL eat JUNK-FOOD))
+//! (retrieve (AND STUDENT (AT-LEAST 2 thing-driven)))
+//! (ask-description (AND STUDENT (ALL eat ?:THING)))
+//! (subsumes? PERSON STUDENT)
+//! ```
+//!
+//! The same command stream doubles as the persistence format
+//! (`classic-store`), honoring the paper's point that one language plays
+//! every role.
+
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::parser::Parser;
+use classic_core::aspect::AspectKind;
+use classic_core::desc::{Concept, IndRef};
+use classic_core::error::{ClassicError, Result};
+use classic_kb::{AssertReport, Kb};
+use classic_query::MarkedQuery;
+
+/// A parsed top-level command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `(define-role name)` (§3.1).
+    DefineRole(String),
+    /// `(define-attribute name)`: a single-valued role.
+    DefineAttribute(String),
+    /// `(define-concept NAME expr)` (§3.1).
+    DefineConcept(String, Concept),
+    /// `(create-ind Name)` (§3.2).
+    CreateInd(String),
+    /// `(assert-ind Name expr)` (§3.2).
+    AssertInd(String, Concept),
+    /// `(assert-rule NAME expr)` (§3.3).
+    AssertRule(String, Concept),
+    /// `(retrieve q)` / `(instances q)`: known answers.
+    Retrieve(MarkedQuery),
+    /// `(possible q)`: open-world possible answers.
+    Possible(Concept),
+    /// `(ask-necessary-set q)`: fillers at the marker across answers.
+    AskNecessarySet(MarkedQuery),
+    /// `(ask-description q)`: intensional answer.
+    AskDescription(MarkedQuery),
+    /// `(subsumes? C1 C2)`.
+    Subsumes(Concept, Concept),
+    /// `(equivalent? C1 C2)`.
+    Equivalent(Concept, Concept),
+    /// `(disjoint? C1 C2)`.
+    Disjoint(Concept, Concept),
+    /// `(concept-aspect NAME KIND [role])`.
+    ConceptAspect(String, AspectKind, Option<String>),
+    /// `(ind-aspect Name KIND [role])`.
+    IndAspect(String, AspectKind, Option<String>),
+    /// `(describe Name)`: descriptive answer for one individual.
+    Describe(String),
+    /// `(parents NAME)`: immediate subsumers in the taxonomy.
+    Parents(String),
+    /// `(children NAME)`: immediate subsumees in the taxonomy.
+    Children(String),
+    /// `(classify expr)`: immediate named parents/children/equivalents of
+    /// an arbitrary concept expression (§3.5.1).
+    Classify(Concept),
+    /// `(why? Ind NAME)`: explain why the individual is or is not
+    /// recognized under the named concept (the explanation extension).
+    Why(String, String),
+    /// `(what-if? Ind expr)`: hypothetical assertion — report whether the
+    /// update would be accepted and what it would derive, then roll it
+    /// back unconditionally.
+    WhatIf(String, Concept),
+}
+
+/// The result of evaluating one command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Nothing to report (DDL, create).
+    Ok,
+    /// An accepted assertion, with its propagation report.
+    Asserted(AssertReport),
+    /// A list of individual names / host values.
+    Individuals(Vec<String>),
+    /// A yes/no answer.
+    Bool(bool),
+    /// A description rendered in the surface syntax.
+    Description(String),
+    /// A list of concept names.
+    Concepts(Vec<String>),
+    /// An aspect value rendered as text.
+    Aspect(String),
+}
+
+/// Split an input string into top-level s-expressions and parse each as a
+/// command. Used by the REPL and the persistence log reader.
+pub fn parse_commands(input: &str, kb: &mut Kb) -> Result<Vec<Command>> {
+    let tokens = tokenize(input)?;
+    let mut commands = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokenKind::LParen => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            TokenKind::RParen => {
+                if depth == 0 {
+                    return Err(ClassicError::Malformed(format!(
+                        "{}: unbalanced ')'",
+                        t.pos
+                    )));
+                }
+                depth -= 1;
+                if depth == 0 {
+                    commands.push(parse_command_tokens(&tokens[start..=i], kb)?);
+                }
+            }
+            _ if depth == 0 => {
+                return Err(ClassicError::Malformed(format!(
+                    "{}: expected '(' to start a command",
+                    t.pos
+                )))
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(ClassicError::Malformed("unbalanced '('".into()));
+    }
+    Ok(commands)
+}
+
+/// Parse a single command from text.
+pub fn parse_command(input: &str, kb: &mut Kb) -> Result<Command> {
+    let mut cmds = parse_commands(input, kb)?;
+    match cmds.len() {
+        1 => Ok(cmds.pop().expect("one command")),
+        n => Err(ClassicError::Malformed(format!(
+            "expected exactly one command, found {n}"
+        ))),
+    }
+}
+
+fn parse_command_tokens(tokens: &[Token], kb: &mut Kb) -> Result<Command> {
+    // Reconstruct the source slice for sub-parsers: simplest robust path
+    // is re-rendering tokens, but we can parse directly from the token
+    // window instead by locating the operator and argument boundaries.
+    let mut w = TokenWindow { tokens, ix: 0 };
+    w.expect(&TokenKind::LParen)?;
+    let op = w.symbol()?;
+    let cmd = match op.as_str() {
+        "define-role" => Command::DefineRole(w.symbol()?),
+        "define-attribute" => Command::DefineAttribute(w.symbol()?),
+        "define-concept" => {
+            let name = w.symbol()?;
+            let c = w.concept(kb, false)?;
+            Command::DefineConcept(name, c)
+        }
+        "create-ind" => Command::CreateInd(w.symbol()?),
+        "assert-ind" => {
+            let name = w.symbol()?;
+            let c = w.concept(kb, false)?;
+            Command::AssertInd(name, c)
+        }
+        "assert-rule" => {
+            let name = w.symbol()?;
+            let c = w.concept(kb, false)?;
+            Command::AssertRule(name, c)
+        }
+        "retrieve" | "instances" => {
+            let q = w.query(kb)?;
+            Command::Retrieve(q)
+        }
+        "possible" => Command::Possible(w.concept(kb, false)?),
+        "ask-necessary-set" => Command::AskNecessarySet(w.query(kb)?),
+        "ask-description" => Command::AskDescription(w.query(kb)?),
+        "subsumes?" => {
+            let a = w.concept(kb, false)?;
+            let b = w.concept(kb, false)?;
+            Command::Subsumes(a, b)
+        }
+        "equivalent?" => {
+            let a = w.concept(kb, false)?;
+            let b = w.concept(kb, false)?;
+            Command::Equivalent(a, b)
+        }
+        "disjoint?" => {
+            let a = w.concept(kb, false)?;
+            let b = w.concept(kb, false)?;
+            Command::Disjoint(a, b)
+        }
+        "concept-aspect" => {
+            let name = w.symbol()?;
+            let kind = w.aspect_kind()?;
+            let role = w.optional_symbol();
+            Command::ConceptAspect(name, kind, role)
+        }
+        "ind-aspect" => {
+            let name = w.symbol()?;
+            let kind = w.aspect_kind()?;
+            let role = w.optional_symbol();
+            Command::IndAspect(name, kind, role)
+        }
+        "describe" => Command::Describe(w.symbol()?),
+        "classify" => Command::Classify(w.concept(kb, false)?),
+        "why?" => {
+            let ind = w.symbol()?;
+            let concept = w.symbol()?;
+            Command::Why(ind, concept)
+        }
+        "what-if?" => {
+            let ind = w.symbol()?;
+            let c = w.concept(kb, false)?;
+            Command::WhatIf(ind, c)
+        }
+        "parents" => Command::Parents(w.symbol()?),
+        "children" => Command::Children(w.symbol()?),
+        other => {
+            return Err(ClassicError::Malformed(format!(
+                "unknown operator {other:?}"
+            )))
+        }
+    };
+    w.expect(&TokenKind::RParen)?;
+    w.expect_end()?;
+    Ok(cmd)
+}
+
+/// Minimal cursor over a token window, delegating concept parsing to
+/// [`Parser`] by re-rendering the sub-span.
+struct TokenWindow<'a> {
+    tokens: &'a [Token],
+    ix: usize,
+}
+
+impl TokenWindow<'_> {
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        match self.tokens.get(self.ix) {
+            Some(t) if t.kind == *kind => {
+                self.ix += 1;
+                Ok(())
+            }
+            Some(t) => Err(ClassicError::Malformed(format!(
+                "{}: expected {kind:?}, found {:?}",
+                t.pos, t.kind
+            ))),
+            None => Err(ClassicError::Malformed("unexpected end of command".into())),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<()> {
+        if self.ix == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(ClassicError::Malformed(
+                "trailing tokens after command".into(),
+            ))
+        }
+    }
+
+    fn symbol(&mut self) -> Result<String> {
+        match self.tokens.get(self.ix) {
+            Some(Token {
+                kind: TokenKind::Symbol(s),
+                ..
+            }) => {
+                self.ix += 1;
+                Ok(s.clone())
+            }
+            Some(t) => Err(ClassicError::Malformed(format!(
+                "{}: expected a name, found {:?}",
+                t.pos, t.kind
+            ))),
+            None => Err(ClassicError::Malformed("unexpected end of command".into())),
+        }
+    }
+
+    fn optional_symbol(&mut self) -> Option<String> {
+        match self.tokens.get(self.ix) {
+            Some(Token {
+                kind: TokenKind::Symbol(s),
+                ..
+            }) => {
+                self.ix += 1;
+                Some(s.clone())
+            }
+            _ => None,
+        }
+    }
+
+    fn aspect_kind(&mut self) -> Result<AspectKind> {
+        let s = self.symbol()?;
+        Ok(match s.as_str() {
+            "ONE-OF" => AspectKind::OneOf,
+            "ALL" => AspectKind::All,
+            "AT-LEAST" => AspectKind::AtLeast,
+            "AT-MOST" => AspectKind::AtMost,
+            "FILLS" => AspectKind::Fills,
+            "CLOSE" => AspectKind::Close,
+            other => {
+                return Err(ClassicError::Malformed(format!(
+                    "unknown aspect kind {other:?}"
+                )))
+            }
+        })
+    }
+
+    /// The span of the next complete expression (symbol or balanced
+    /// parenthesis group, with optional leading marker).
+    fn expression_span(&self) -> Result<(usize, usize)> {
+        let mut ix = self.ix;
+        if matches!(
+            self.tokens.get(ix),
+            Some(Token {
+                kind: TokenKind::Marker,
+                ..
+            })
+        ) {
+            ix += 1;
+        }
+        match self.tokens.get(ix) {
+            Some(Token {
+                kind: TokenKind::LParen,
+                ..
+            }) => {
+                let mut depth = 0usize;
+                let mut end = ix;
+                for (off, t) in self.tokens[ix..].iter().enumerate() {
+                    match t.kind {
+                        TokenKind::LParen => depth += 1,
+                        TokenKind::RParen => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = ix + off;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if depth != 0 && end == ix {
+                    return Err(ClassicError::Malformed("unbalanced expression".into()));
+                }
+                Ok((self.ix, end + 1))
+            }
+            Some(_) => Ok((self.ix, ix + 1)),
+            None => Err(ClassicError::Malformed("expected an expression".into())),
+        }
+    }
+
+    fn render(&self, span: (usize, usize)) -> String {
+        let mut out = String::new();
+        for t in &self.tokens[span.0..span.1] {
+            match &t.kind {
+                TokenKind::LParen => out.push('('),
+                TokenKind::RParen => {
+                    // Trim a space before ')'.
+                    if out.ends_with(' ') {
+                        out.pop();
+                    }
+                    out.push_str(") ");
+                    continue;
+                }
+                TokenKind::Symbol(s) => out.push_str(s),
+                TokenKind::Int(i) => out.push_str(&i.to_string()),
+                TokenKind::Float(v) => out.push_str(&v.to_string()),
+                TokenKind::Str(s) => {
+                    out.push('"');
+                    out.push_str(&s.replace('\\', "\\\\").replace('"', "\\\""));
+                    out.push('"');
+                }
+                TokenKind::QuotedSym(s) => {
+                    out.push('\'');
+                    out.push_str(s);
+                }
+                TokenKind::Marker => {
+                    out.push_str("?:");
+                    continue;
+                }
+            }
+            if !matches!(t.kind, TokenKind::LParen) {
+                out.push(' ');
+            }
+        }
+        out.trim_end().to_owned()
+    }
+
+    fn concept(&mut self, kb: &mut Kb, _allow_marker: bool) -> Result<Concept> {
+        let span = self.expression_span()?;
+        let text = self.render(span);
+        self.ix = span.1;
+        Parser::parse_concept_complete(&text, kb.schema_mut())
+    }
+
+    fn query(&mut self, kb: &mut Kb) -> Result<MarkedQuery> {
+        let span = self.expression_span()?;
+        let text = self.render(span);
+        self.ix = span.1;
+        Parser::parse_query_complete(&text, kb.schema_mut())
+    }
+}
+
+/// Evaluate a parsed command against a knowledge base.
+pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
+    match cmd {
+        Command::DefineRole(name) => {
+            kb.define_role(name)?;
+            Ok(Outcome::Ok)
+        }
+        Command::DefineAttribute(name) => {
+            kb.define_attribute(name)?;
+            Ok(Outcome::Ok)
+        }
+        Command::DefineConcept(name, c) => {
+            kb.define_concept(name, c.clone())?;
+            Ok(Outcome::Ok)
+        }
+        Command::CreateInd(name) => {
+            kb.create_ind(name)?;
+            Ok(Outcome::Ok)
+        }
+        Command::AssertInd(name, c) => {
+            let report = kb.assert_ind(name, c)?;
+            Ok(Outcome::Asserted(report))
+        }
+        Command::AssertRule(name, c) => {
+            kb.assert_rule(name, c.clone())?;
+            Ok(Outcome::Ok)
+        }
+        Command::Retrieve(q) => {
+            if q.marker.is_empty() {
+                let ans = classic_query::retrieve(kb, &q.concept)?;
+                Ok(Outcome::Individuals(
+                    ans.known
+                        .into_iter()
+                        .map(|id| {
+                            kb.schema()
+                                .symbols
+                                .individual_name(kb.ind(id).name)
+                                .to_owned()
+                        })
+                        .collect(),
+                ))
+            } else {
+                let fillers = classic_query::ask_necessary_set(kb, q)?;
+                Ok(Outcome::Individuals(render_ind_refs(kb, &fillers)))
+            }
+        }
+        Command::Possible(c) => {
+            let ids = classic_query::possible(kb, c)?;
+            Ok(Outcome::Individuals(
+                ids.into_iter()
+                    .map(|id| {
+                        kb.schema()
+                            .symbols
+                            .individual_name(kb.ind(id).name)
+                            .to_owned()
+                    })
+                    .collect(),
+            ))
+        }
+        Command::AskNecessarySet(q) => {
+            let fillers = classic_query::ask_necessary_set(kb, q)?;
+            Ok(Outcome::Individuals(render_ind_refs(kb, &fillers)))
+        }
+        Command::AskDescription(q) => {
+            let nf = classic_query::ask_description(kb, q)?;
+            let c = nf.to_concept(kb.schema());
+            Ok(Outcome::Description(
+                c.display(&kb.schema().symbols).to_string(),
+            ))
+        }
+        Command::Subsumes(a, b) => {
+            let na = kb.normalize(a)?;
+            let nb = kb.normalize(b)?;
+            Ok(Outcome::Bool(classic_core::subsumes(&na, &nb)))
+        }
+        Command::Equivalent(a, b) => {
+            let na = kb.normalize(a)?;
+            let nb = kb.normalize(b)?;
+            Ok(Outcome::Bool(classic_core::equivalent(&na, &nb)))
+        }
+        Command::Disjoint(a, b) => {
+            let na = kb.normalize(a)?;
+            let nb = kb.normalize(b)?;
+            Ok(Outcome::Bool(classic_core::disjoint(&na, &nb, kb.schema())))
+        }
+        Command::ConceptAspect(name, kind, role) => {
+            let cname = kb
+                .schema()
+                .symbols
+                .find_concept(name)
+                .ok_or_else(|| ClassicError::Malformed(format!("unknown concept {name:?}")))?;
+            let role = resolve_role(kb, role.as_deref())?;
+            let nf = kb.schema().concept_nf(cname)?;
+            let aspect = classic_core::aspect::concept_aspect(nf, *kind, role);
+            Ok(Outcome::Aspect(render_aspect(kb, &aspect)))
+        }
+        Command::IndAspect(name, kind, role) => {
+            let iname = kb
+                .schema()
+                .symbols
+                .find_individual(name)
+                .ok_or_else(|| ClassicError::Malformed(format!("unknown individual {name:?}")))?;
+            let id = kb.ind_id(iname)?;
+            let role = resolve_role(kb, role.as_deref())?;
+            let aspect = kb.ind_aspect(id, *kind, role);
+            Ok(Outcome::Aspect(render_aspect(kb, &aspect)))
+        }
+        Command::Describe(name) => {
+            let iname = kb
+                .schema()
+                .symbols
+                .find_individual(name)
+                .ok_or_else(|| ClassicError::Malformed(format!("unknown individual {name:?}")))?;
+            let id = kb.ind_id(iname)?;
+            let c = classic_query::describe(kb, id);
+            Ok(Outcome::Description(
+                c.display(&kb.schema().symbols).to_string(),
+            ))
+        }
+        Command::Classify(c) => {
+            let placement = kb.classify_concept(c)?;
+            let render = |kb: &Kb, names: &[classic_core::ConceptName]| -> Vec<String> {
+                names
+                    .iter()
+                    .map(|&n| kb.schema().symbols.concept_name(n).to_owned())
+                    .collect()
+            };
+            let mut lines = Vec::new();
+            if !placement.equivalent.is_empty() {
+                lines.push(format!(
+                    "equivalent: {}",
+                    render(kb, &placement.equivalent).join(" ")
+                ));
+            }
+            lines.push(format!("parents: {}", render(kb, &placement.parents).join(" ")));
+            lines.push(format!(
+                "children: {}",
+                render(kb, &placement.children).join(" ")
+            ));
+            Ok(Outcome::Description(lines.join("\n")))
+        }
+        Command::Why(ind_name, concept_name) => {
+            let iname = kb
+                .schema()
+                .symbols
+                .find_individual(ind_name)
+                .ok_or_else(|| {
+                    ClassicError::Malformed(format!("unknown individual {ind_name:?}"))
+                })?;
+            let id = kb.ind_id(iname)?;
+            let cname = kb
+                .schema()
+                .symbols
+                .find_concept(concept_name)
+                .ok_or_else(|| {
+                    ClassicError::Malformed(format!("unknown concept {concept_name:?}"))
+                })?;
+            let e = kb.explain_membership(id, cname)?;
+            let verdict = if e.satisfied {
+                format!("{ind_name} IS a {concept_name}:\n")
+            } else {
+                format!("{ind_name} is NOT provably a {concept_name}:\n")
+            };
+            Ok(Outcome::Description(format!("{verdict}{}", e.render())))
+        }
+        Command::WhatIf(name, c) => match kb.what_if(name, c) {
+            Ok(report) => Ok(Outcome::Description(format!(
+                "would be ACCEPTED (steps={} fills={} corefs={} rules={} reclassified={}); nothing was changed",
+                report.steps,
+                report.fills_propagated,
+                report.corefs_derived,
+                report.rules_fired,
+                report.reclassified
+            ))),
+            Err(ClassicError::Inconsistent { reason, .. }) => Ok(Outcome::Description(
+                format!("would be REJECTED: {reason}; nothing was changed"),
+            )),
+            Err(other) => Err(other),
+        },
+        Command::Parents(name) | Command::Children(name) => {
+            let cname = kb
+                .schema()
+                .symbols
+                .find_concept(name)
+                .ok_or_else(|| ClassicError::Malformed(format!("unknown concept {name:?}")))?;
+            let node = kb
+                .taxonomy()
+                .node_of(cname)
+                .ok_or(ClassicError::UndefinedConcept(cname))?;
+            let neighbors = if matches!(cmd, Command::Parents(_)) {
+                &kb.taxonomy().node(node).parents
+            } else {
+                &kb.taxonomy().node(node).children
+            };
+            let mut names = Vec::new();
+            for &n in neighbors {
+                for &cn in &kb.taxonomy().node(n).names {
+                    names.push(kb.schema().symbols.concept_name(cn).to_owned());
+                }
+                if n == classic_core::taxonomy::NodeId::TOP {
+                    names.push("THING".to_owned());
+                }
+            }
+            names.sort();
+            names.dedup();
+            Ok(Outcome::Concepts(names))
+        }
+    }
+}
+
+fn resolve_role(kb: &Kb, role: Option<&str>) -> Result<Option<classic_core::RoleId>> {
+    match role {
+        None => Ok(None),
+        Some(r) => kb
+            .schema()
+            .symbols
+            .find_role(r)
+            .map(Some)
+            .ok_or_else(|| ClassicError::Malformed(format!("unknown role {r:?}"))),
+    }
+}
+
+fn render_ind_refs(kb: &Kb, refs: &[IndRef]) -> Vec<String> {
+    refs.iter()
+        .map(|r| match r {
+            IndRef::Classic(n) => kb.schema().symbols.individual_name(*n).to_owned(),
+            IndRef::Host(v) => v.to_string(),
+        })
+        .collect()
+}
+
+fn render_aspect(kb: &Kb, aspect: &classic_core::aspect::Aspect) -> String {
+    use classic_core::aspect::Aspect;
+    match aspect {
+        Aspect::None => "none".to_owned(),
+        Aspect::Bound(n) => n.to_string(),
+        Aspect::Closed(b) => b.to_string(),
+        Aspect::Enumeration(v) | Aspect::Fillers(v) => {
+            let names = render_ind_refs(kb, v);
+            format!("({})", names.join(" "))
+        }
+        Aspect::ValueRestriction(nf) => nf
+            .to_concept(kb.schema())
+            .display(&kb.schema().symbols)
+            .to_string(),
+    }
+}
+
+/// Parse then evaluate each command in `input`, returning all outcomes.
+/// Macro-free; for scripts using `define-macro`, use [`Session`].
+pub fn run_script(kb: &mut Kb, input: &str) -> Result<Vec<Outcome>> {
+    let commands = parse_commands(input, kb)?;
+    commands.iter().map(|c| eval(kb, c)).collect()
+}
+
+/// A stateful interpreter session: a knowledge base plus the macro table
+/// of §2.1.4's anticipated "macro-definition facility". `define-macro`
+/// forms register syntactic templates; every other command is
+/// macro-expanded before parsing.
+///
+/// ```
+/// use classic_lang::{Outcome, Session};
+///
+/// let mut s = Session::new();
+/// let out = s.run(r#"
+///     (define-macro EXACTLY-ONE (r) (AND (AT-LEAST 1 r) (AT-MOST 1 r)))
+///     (define-role wheel)
+///     (equivalent? (EXACTLY-ONE wheel)
+///                  (AND (AT-LEAST 1 wheel) (AT-MOST 1 wheel)))
+/// "#)?;
+/// assert_eq!(out.last().unwrap(), &Outcome::Bool(true));
+/// # Ok::<(), classic_core::ClassicError>(())
+/// ```
+#[derive(Default)]
+pub struct Session {
+    /// The knowledge base the session operates on.
+    pub kb: Kb,
+    macros: crate::macros::MacroTable,
+}
+
+impl Session {
+    /// A fresh session over an empty knowledge base.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// A session over an existing knowledge base.
+    pub fn with_kb(kb: Kb) -> Session {
+        Session {
+            kb,
+            macros: crate::macros::MacroTable::new(),
+        }
+    }
+
+    /// Names of the macros defined so far.
+    pub fn macro_names(&self) -> Vec<&str> {
+        self.macros.names().collect()
+    }
+
+    /// Run a script: `define-macro` forms extend the macro table, all
+    /// other commands are expanded and evaluated in order.
+    pub fn run(&mut self, input: &str) -> Result<Vec<Outcome>> {
+        let tokens = tokenize(input)?;
+        let mut outcomes = Vec::new();
+        for form in split_forms(&tokens)? {
+            let is_define_macro = matches!(
+                form.get(1).map(|t| &t.kind),
+                Some(TokenKind::Symbol(s)) if s == "define-macro"
+            );
+            if is_define_macro {
+                self.macros.define_from_tokens(form)?;
+                outcomes.push(Outcome::Ok);
+                continue;
+            }
+            let expanded = self.macros.expand(form.to_vec())?;
+            let cmd = parse_command_tokens(&expanded, &mut self.kb)?;
+            outcomes.push(eval(&mut self.kb, &cmd)?);
+        }
+        Ok(outcomes)
+    }
+}
+
+/// Split a token stream into top-level balanced forms.
+fn split_forms(tokens: &[Token]) -> Result<Vec<&[Token]>> {
+    let mut forms = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokenKind::LParen => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            TokenKind::RParen => {
+                if depth == 0 {
+                    return Err(ClassicError::Malformed(format!(
+                        "{}: unbalanced ')'",
+                        t.pos
+                    )));
+                }
+                depth -= 1;
+                if depth == 0 {
+                    forms.push(&tokens[start..=i]);
+                }
+            }
+            _ if depth == 0 => {
+                return Err(ClassicError::Malformed(format!(
+                    "{}: expected '(' to start a command",
+                    t.pos
+                )))
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(ClassicError::Malformed("unbalanced '('".into()));
+    }
+    Ok(forms)
+}

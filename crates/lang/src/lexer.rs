@@ -1,0 +1,329 @@
+//! Tokenizer for the CLASSIC surface syntax.
+//!
+//! The concrete syntax follows the paper's parenthesized prefix notation
+//! (Appendix A), uniformly s-expression shaped — including the operator
+//! forms, which the paper writes with brackets (`assert-ind[Rocky, …]`)
+//! and we write as `(assert-ind Rocky …)`.
+//!
+//! Token kinds: parentheses, bare symbols (`RICH-KID`, `thing-driven`,
+//! `Rocky`), integers (`42`, `-7`), double-quoted strings with `\\`/`\"`
+//! escapes, quoted symbols (`'red`) for host symbols, and the query marker
+//! `?:`. Comments run from `;` to end of line.
+
+use classic_core::error::{ClassicError, Result};
+use std::fmt;
+
+/// Source position, 1-based, for error reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// A bare identifier (concept, role, individual, or keyword).
+    Symbol(String),
+    /// A host integer literal.
+    Int(i64),
+    /// A host float literal, e.g. `1.5` (must contain a `.` or exponent).
+    Float(classic_core::host::F64),
+    /// A host string literal.
+    Str(String),
+    /// A quoted host symbol, `'red`.
+    QuotedSym(String),
+    /// The `?:` query marker (§3.5.3).
+    Marker,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it started.
+    pub pos: Pos,
+}
+
+/// Tokenize a complete input string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        ($c:expr) => {{
+            if $c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let pos = Pos { line, col };
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+                bump!(c);
+            }
+            ';' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    bump!(c);
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                chars.next();
+                bump!('(');
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    pos,
+                });
+            }
+            ')' => {
+                chars.next();
+                bump!(')');
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    pos,
+                });
+            }
+            '"' => {
+                chars.next();
+                bump!('"');
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some(c) = chars.next() {
+                    bump!(c);
+                    match c {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => match chars.next() {
+                            Some(e) => {
+                                bump!(e);
+                                s.push(match e {
+                                    'n' => '\n',
+                                    't' => '\t',
+                                    other => other,
+                                });
+                            }
+                            None => break,
+                        },
+                        other => s.push(other),
+                    }
+                }
+                if !closed {
+                    return Err(ClassicError::Malformed(format!(
+                        "{pos}: unterminated string literal"
+                    )));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    pos,
+                });
+            }
+            '\'' => {
+                chars.next();
+                bump!('\'');
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if is_symbol_char(c) {
+                        s.push(c);
+                        chars.next();
+                        bump!(c);
+                    } else {
+                        break;
+                    }
+                }
+                if s.is_empty() {
+                    return Err(ClassicError::Malformed(format!(
+                        "{pos}: empty quoted symbol"
+                    )));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::QuotedSym(s),
+                    pos,
+                });
+            }
+            '?' => {
+                chars.next();
+                bump!('?');
+                match chars.peek() {
+                    Some(':') => {
+                        chars.next();
+                        bump!(':');
+                        tokens.push(Token {
+                            kind: TokenKind::Marker,
+                            pos,
+                        });
+                    }
+                    _ => {
+                        return Err(ClassicError::Malformed(format!(
+                            "{pos}: expected ':' after '?' (query marker is '?:')"
+                        )))
+                    }
+                }
+            }
+            c if c == '-' || c.is_ascii_digit() || is_symbol_char(c) => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    // '?' may continue a symbol (`subsumes?`) but never
+                    // start one (token-initial '?' is the query marker).
+                    if is_symbol_char(c) || c == '?' {
+                        s.push(c);
+                        chars.next();
+                        bump!(c);
+                    } else {
+                        break;
+                    }
+                }
+                // A symbol that parses entirely as an integer is a host
+                // integer literal; one that starts numerically and parses
+                // as an f64 is a float (`1.5`, `-2e3`); names like
+                // `Volvo-17` stay symbols.
+                let numeric_start = s
+                    .trim_start_matches('-')
+                    .starts_with(|c: char| c.is_ascii_digit());
+                let kind = if let Ok(i) = s.parse::<i64>() {
+                    TokenKind::Int(i)
+                } else if numeric_start && s.parse::<f64>().is_ok() {
+                    TokenKind::Float(classic_core::host::F64(
+                        s.parse::<f64>().expect("just checked"),
+                    ))
+                } else {
+                    TokenKind::Symbol(s)
+                };
+                tokens.push(Token { kind, pos });
+            }
+            other => {
+                return Err(ClassicError::Malformed(format!(
+                    "{pos}: unexpected character {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Characters permitted inside bare symbols — generous, to cover the
+/// paper's identifiers (`thing-driven`, `SPORTS-CAR`, `Volvo-17`, `?:`
+/// excluded).
+fn is_symbol_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '-' | '_' | '+' | '*' | '/' | '.' | '!' | '<' | '>' | '=')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_expression() {
+        let ks = kinds("(AND STUDENT (AT-LEAST 2 thing-driven))");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::LParen,
+                TokenKind::Symbol("AND".into()),
+                TokenKind::Symbol("STUDENT".into()),
+                TokenKind::LParen,
+                TokenKind::Symbol("AT-LEAST".into()),
+                TokenKind::Int(2),
+                TokenKind::Symbol("thing-driven".into()),
+                TokenKind::RParen,
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_number_vs_dashed_name() {
+        assert_eq!(kinds("-42"), vec![TokenKind::Int(-42)]);
+        assert_eq!(
+            kinds("Volvo-17"),
+            vec![TokenKind::Symbol("Volvo-17".into())]
+        );
+    }
+
+    #[test]
+    fn float_literals() {
+        use classic_core::host::F64;
+        assert_eq!(kinds("1.5"), vec![TokenKind::Float(F64(1.5))]);
+        assert_eq!(kinds("-0.25"), vec![TokenKind::Float(F64(-0.25))]);
+        assert_eq!(kinds("2e3"), vec![TokenKind::Float(F64(2000.0))]);
+        // Dotted names are still symbols.
+        assert_eq!(kinds("v1.x"), vec![TokenKind::Symbol("v1.x".into())]);
+    }
+
+    #[test]
+    fn strings_and_quoted_symbols() {
+        assert_eq!(
+            kinds(r#""Murray Hill" 'red"#),
+            vec![
+                TokenKind::Str("Murray Hill".into()),
+                TokenKind::QuotedSym("red".into())
+            ]
+        );
+        assert_eq!(
+            kinds(r#""esc \" aped""#),
+            vec![TokenKind::Str("esc \" aped".into())]
+        );
+    }
+
+    #[test]
+    fn marker_token() {
+        assert_eq!(
+            kinds("?:PERSON"),
+            vec![TokenKind::Marker, TokenKind::Symbol("PERSON".into())]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("; a comment\nPERSON ; trailing\n"),
+            vec![TokenKind::Symbol("PERSON".into())]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = tokenize("(\n  PERSON\n)").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+        assert_eq!(toks[2].pos, Pos { line: 3, col: 1 });
+    }
+
+    #[test]
+    fn lexer_errors() {
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("?x").is_err());
+        assert!(tokenize("'").is_err());
+        assert!(tokenize("#").is_err());
+    }
+}

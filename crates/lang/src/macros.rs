@@ -1,0 +1,376 @@
+//! The macro-definition facility the paper anticipates.
+//!
+//! §2.1.4: "we did not define the constructor EXACTLY-ONE, which is easily
+//! derivable as the AND of AT-LEAST 1 and AT-MOST 1. It is our intention
+//! to add a macro-definition facility in order to allow syntactic
+//! extensions such as EXACTLY-ONE, which might simplify CLASSIC
+//! expressions."
+//!
+//! Macros are purely *syntactic*: a named template over token sequences.
+//!
+//! ```text
+//! (define-macro EXACTLY-ONE (r) (AND (AT-LEAST 1 r) (AT-MOST 1 r)))
+//! (define-concept SOLO-DRIVER (AND PERSON (EXACTLY-ONE thing-driven)))
+//! ```
+//!
+//! A macro call `(NAME arg …)` is recognized wherever an expression can
+//! appear; each argument is one balanced token group (a symbol, literal,
+//! or parenthesized form), substituted textually for the corresponding
+//! parameter in the body. Expansion repeats until no macro heads remain,
+//! with a depth bound so mutually recursive macros are rejected rather
+//! than looping.
+
+use crate::lexer::{Token, TokenKind};
+use classic_core::error::{ClassicError, Result};
+use std::collections::HashMap;
+
+/// One macro definition: parameter names and the body token template.
+#[derive(Debug, Clone)]
+struct MacroDef {
+    params: Vec<String>,
+    body: Vec<Token>,
+}
+
+/// The registry of defined macros.
+#[derive(Debug, Clone, Default)]
+pub struct MacroTable {
+    defs: HashMap<String, MacroDef>,
+}
+
+/// Expansion nesting bound: deeper means a recursive macro.
+const MAX_DEPTH: usize = 32;
+
+impl MacroTable {
+    /// An empty macro table.
+    pub fn new() -> MacroTable {
+        MacroTable::default()
+    }
+
+    /// Have any macros been defined?
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Is `name` a defined macro?
+    pub fn contains(&self, name: &str) -> bool {
+        self.defs.contains_key(name)
+    }
+
+    /// The defined macro names, in arbitrary order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.defs.keys().map(String::as_str)
+    }
+
+    /// Register a macro from its `define-macro` form tokens:
+    /// `( define-macro NAME ( params… ) body… )`.
+    pub fn define_from_tokens(&mut self, tokens: &[Token]) -> Result<String> {
+        let mut ix = 0usize;
+        expect(tokens, &mut ix, &TokenKind::LParen)?;
+        let head = symbol(tokens, &mut ix)?;
+        if head != "define-macro" {
+            return Err(ClassicError::Malformed(
+                "not a define-macro form".into(),
+            ));
+        }
+        let name = symbol(tokens, &mut ix)?;
+        if is_reserved(&name) {
+            return Err(ClassicError::Malformed(format!(
+                "macro name {name:?} shadows a built-in constructor"
+            )));
+        }
+        expect(tokens, &mut ix, &TokenKind::LParen)?;
+        let mut params = Vec::new();
+        loop {
+            match tokens.get(ix).map(|t| &t.kind) {
+                Some(TokenKind::RParen) => {
+                    ix += 1;
+                    break;
+                }
+                Some(TokenKind::Symbol(_)) => params.push(symbol(tokens, &mut ix)?),
+                other => {
+                    return Err(ClassicError::Malformed(format!(
+                        "macro parameter list: expected symbol or ')', found {other:?}"
+                    )))
+                }
+            }
+        }
+        // The body is everything up to the final closing paren.
+        if tokens.last().map(|t| &t.kind) != Some(&TokenKind::RParen) {
+            return Err(ClassicError::Malformed("unterminated define-macro".into()));
+        }
+        let body: Vec<Token> = tokens[ix..tokens.len() - 1].to_vec();
+        if body.is_empty() {
+            return Err(ClassicError::Malformed(format!(
+                "macro {name:?} has an empty body"
+            )));
+        }
+        self.defs.insert(name.clone(), MacroDef { params, body });
+        Ok(name)
+    }
+
+    /// Expand every macro call in `tokens`, to a fixed point.
+    pub fn expand(&self, tokens: Vec<Token>) -> Result<Vec<Token>> {
+        if self.defs.is_empty() {
+            return Ok(tokens);
+        }
+        let mut current = tokens;
+        for _ in 0..MAX_DEPTH {
+            let (expanded, changed) = self.expand_once(&current)?;
+            if !changed {
+                return Ok(expanded);
+            }
+            current = expanded;
+        }
+        Err(ClassicError::Malformed(format!(
+            "macro expansion exceeded depth {MAX_DEPTH} (recursive macro?)"
+        )))
+    }
+
+    fn expand_once(&self, tokens: &[Token]) -> Result<(Vec<Token>, bool)> {
+        let mut out = Vec::with_capacity(tokens.len());
+        let mut changed = false;
+        let mut ix = 0usize;
+        while ix < tokens.len() {
+            // A macro call site: '(' SYMBOL(name in table) …
+            let is_call = matches!(tokens[ix].kind, TokenKind::LParen)
+                && matches!(
+                    tokens.get(ix + 1).map(|t| &t.kind),
+                    Some(TokenKind::Symbol(s)) if self.defs.contains_key(s)
+                );
+            if !is_call {
+                out.push(tokens[ix].clone());
+                ix += 1;
+                continue;
+            }
+            let call_pos = tokens[ix].pos;
+            let name = match &tokens[ix + 1].kind {
+                TokenKind::Symbol(s) => s.clone(),
+                _ => unreachable!("checked above"),
+            };
+            let def = &self.defs[&name];
+            // Collect one balanced group per parameter.
+            let mut cursor = ix + 2;
+            let mut args: Vec<&[Token]> = Vec::with_capacity(def.params.len());
+            for _ in &def.params {
+                let (start, end) = group(tokens, cursor).ok_or_else(|| {
+                    ClassicError::Malformed(format!(
+                        "{call_pos}: macro {name:?} expects {} arguments",
+                        def.params.len()
+                    ))
+                })?;
+                args.push(&tokens[start..end]);
+                cursor = end;
+            }
+            match tokens.get(cursor).map(|t| &t.kind) {
+                Some(TokenKind::RParen) => cursor += 1,
+                _ => {
+                    return Err(ClassicError::Malformed(format!(
+                        "{call_pos}: macro {name:?} takes exactly {} arguments",
+                        def.params.len()
+                    )))
+                }
+            }
+            // Substitute parameters into the body.
+            for t in &def.body {
+                match &t.kind {
+                    TokenKind::Symbol(s) => {
+                        if let Some(k) = def.params.iter().position(|p| p == s) {
+                            out.extend(args[k].iter().cloned());
+                        } else {
+                            out.push(t.clone());
+                        }
+                    }
+                    _ => out.push(t.clone()),
+                }
+            }
+            changed = true;
+            ix = cursor;
+        }
+        Ok((out, changed))
+    }
+}
+
+/// The span `[start, end)` of one balanced token group at `ix`.
+fn group(tokens: &[Token], ix: usize) -> Option<(usize, usize)> {
+    match tokens.get(ix).map(|t| &t.kind)? {
+        TokenKind::LParen => {
+            let mut depth = 0usize;
+            for (off, t) in tokens[ix..].iter().enumerate() {
+                match t.kind {
+                    TokenKind::LParen => depth += 1,
+                    TokenKind::RParen => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some((ix, ix + off + 1));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        TokenKind::RParen => None,
+        TokenKind::Marker => {
+            // A marker prefixes the following group.
+            let (_, end) = group(tokens, ix + 1)?;
+            Some((ix, end))
+        }
+        _ => Some((ix, ix + 1)),
+    }
+}
+
+fn is_reserved(name: &str) -> bool {
+    matches!(
+        name,
+        "AND" | "ALL"
+            | "AT-LEAST"
+            | "AT-MOST"
+            | "EXACTLY"
+            | "ONE-OF"
+            | "FILLS"
+            | "CLOSE"
+            | "SAME-AS"
+            | "PRIMITIVE"
+            | "DISJOINT-PRIMITIVE"
+            | "TEST"
+            | "THING"
+            | "CLASSIC-THING"
+            | "HOST-THING"
+    )
+}
+
+fn expect(tokens: &[Token], ix: &mut usize, kind: &TokenKind) -> Result<()> {
+    match tokens.get(*ix) {
+        Some(t) if t.kind == *kind => {
+            *ix += 1;
+            Ok(())
+        }
+        other => Err(ClassicError::Malformed(format!(
+            "expected {kind:?}, found {other:?}"
+        ))),
+    }
+}
+
+fn symbol(tokens: &[Token], ix: &mut usize) -> Result<String> {
+    match tokens.get(*ix) {
+        Some(Token {
+            kind: TokenKind::Symbol(s),
+            ..
+        }) => {
+            *ix += 1;
+            Ok(s.clone())
+        }
+        other => Err(ClassicError::Malformed(format!(
+            "expected a symbol, found {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn table_with(def: &str) -> MacroTable {
+        let mut t = MacroTable::new();
+        t.define_from_tokens(&tokenize(def).unwrap()).unwrap();
+        t
+    }
+
+    fn expand_to_text(table: &MacroTable, input: &str) -> String {
+        let tokens = table.expand(tokenize(input).unwrap()).unwrap();
+        let mut out = String::new();
+        for t in tokens {
+            match t.kind {
+                TokenKind::LParen => out.push('('),
+                TokenKind::RParen => {
+                    if out.ends_with(' ') {
+                        out.pop();
+                    }
+                    out.push_str(") ");
+                }
+                TokenKind::Symbol(s) => {
+                    out.push_str(&s);
+                    out.push(' ');
+                }
+                TokenKind::Int(i) => {
+                    out.push_str(&i.to_string());
+                    out.push(' ');
+                }
+                other => {
+                    out.push_str(&format!("{other:?} "));
+                }
+            }
+        }
+        out.trim_end().to_owned()
+    }
+
+    #[test]
+    fn exactly_one_from_the_paper() {
+        let t = table_with("(define-macro EXACTLY-ONE (r) (AND (AT-LEAST 1 r) (AT-MOST 1 r)))");
+        assert_eq!(
+            expand_to_text(&t, "(EXACTLY-ONE wheel)"),
+            "(AND (AT-LEAST 1 wheel) (AT-MOST 1 wheel))"
+        );
+    }
+
+    #[test]
+    fn parenthesized_arguments() {
+        let t = table_with("(define-macro ALL-BOTH (r c d) (AND (ALL r c) (ALL r d)))");
+        assert_eq!(
+            expand_to_text(&t, "(ALL-BOTH drives (AND CAR FAST) SAFE)"),
+            "(AND (ALL drives (AND CAR FAST)) (ALL drives SAFE))"
+        );
+    }
+
+    #[test]
+    fn nested_macro_calls_expand_to_fixpoint() {
+        let mut t = table_with("(define-macro SOME (r) (AT-LEAST 1 r))");
+        t.define_from_tokens(
+            &tokenize("(define-macro SOME-BOTH (r s) (AND (SOME r) (SOME s)))").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            expand_to_text(&t, "(SOME-BOTH a b)"),
+            "(AND (AT-LEAST 1 a) (AT-LEAST 1 b))"
+        );
+    }
+
+    #[test]
+    fn recursive_macros_are_rejected() {
+        let t = table_with("(define-macro LOOP (r) (AND (LOOP r)))");
+        let err = t.expand(tokenize("(LOOP x)").unwrap()).unwrap_err();
+        assert!(err.to_string().contains("depth"));
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        let t = table_with("(define-macro PAIR (a b) (AND a b))");
+        assert!(t.expand(tokenize("(PAIR x)").unwrap()).is_err());
+        assert!(t.expand(tokenize("(PAIR x y z)").unwrap()).is_err());
+    }
+
+    #[test]
+    fn reserved_names_cannot_be_shadowed() {
+        let mut t = MacroTable::new();
+        let err = t
+            .define_from_tokens(&tokenize("(define-macro AND (a) a)").unwrap())
+            .unwrap_err();
+        assert!(err.to_string().contains("shadows"));
+    }
+
+    #[test]
+    fn zero_parameter_macros() {
+        let t = table_with("(define-macro LONELY () (AT-MOST 0 friend))");
+        assert_eq!(expand_to_text(&t, "(LONELY)"), "(AT-MOST 0 friend)");
+    }
+
+    #[test]
+    fn non_macro_tokens_pass_through() {
+        let t = table_with("(define-macro SOME (r) (AT-LEAST 1 r))");
+        assert_eq!(
+            expand_to_text(&t, "(AND PERSON (SOME pet))"),
+            "(AND PERSON (AT-LEAST 1 pet))"
+        );
+    }
+}

@@ -1,0 +1,488 @@
+//! Recursive-descent parser for CLASSIC concept expressions and queries.
+//!
+//! Implements the grammar of the paper's Appendix A over the token stream
+//! of [`crate::lexer`]. Concept expressions parse into
+//! [`classic_core::Concept`] trees; query expressions additionally accept
+//! one `?:` marker in front of a subexpression reachable through `ALL`
+//! chains, producing a [`classic_query::MarkedQuery`] (§3.5.3).
+//!
+//! Name resolution: bare upper-case-style symbols in concept position are
+//! builtin layers (`THING`, `INTEGER`, …) or named concepts; symbols in
+//! role position intern as roles; `ONE-OF`/`FILLS` operands are
+//! individuals, host integers (`42`), host strings (`"…"`), or host
+//! symbols (`'red`). Interning never *declares* anything — undeclared
+//! roles and undefined concepts are still rejected by normalization, which
+//! is how the paper's "detect errors such as typos" promise is kept.
+
+use crate::lexer::{tokenize, Token, TokenKind};
+use classic_core::desc::{Concept, IndRef, Path};
+use classic_core::error::{ClassicError, Result};
+use classic_core::host::{HostValue, Layer};
+use classic_core::schema::Schema;
+use classic_core::symbol::RoleId;
+use classic_query::MarkedQuery;
+
+/// Parser state over a token slice.
+pub struct Parser<'a> {
+    tokens: Vec<Token>,
+    ix: usize,
+    schema: &'a mut Schema,
+    /// Marker path discovered so far (query parsing only).
+    marker: Option<Path>,
+    /// Role chain from the root to the current position.
+    role_stack: Path,
+    /// Whether the current context permits a marker (only along pure
+    /// `ALL`/`AND` chains from the root).
+    marker_allowed: bool,
+}
+
+impl<'a> Parser<'a> {
+    /// Tokenize `input` and prepare to parse against `schema`.
+    pub fn new(input: &str, schema: &'a mut Schema) -> Result<Parser<'a>> {
+        Ok(Parser {
+            tokens: tokenize(input)?,
+            ix: 0,
+            schema,
+            marker: None,
+            role_stack: Vec::new(),
+            marker_allowed: true,
+        })
+    }
+
+    /// Parse a single concept expression; trailing tokens are an error.
+    pub fn parse_concept_complete(input: &str, schema: &mut Schema) -> Result<Concept> {
+        let mut p = Parser::new(input, schema)?;
+        p.marker_allowed = false;
+        let c = p.concept()?;
+        p.expect_end()?;
+        Ok(c)
+    }
+
+    /// Parse a query: a concept expression with at most one `?:` marker.
+    /// A query without a marker gets the subject marker (`?:C` ≡ `C`).
+    pub fn parse_query_complete(input: &str, schema: &mut Schema) -> Result<MarkedQuery> {
+        let mut p = Parser::new(input, schema)?;
+        let c = p.concept()?;
+        p.expect_end()?;
+        Ok(MarkedQuery {
+            concept: c,
+            marker: p.marker.unwrap_or_default(),
+        })
+    }
+
+    // ---- token helpers ---------------------------------------------------
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.ix).map(|t| &t.kind)
+    }
+
+    fn pos(&self) -> String {
+        self.tokens
+            .get(self.ix)
+            .map(|t| t.pos.to_string())
+            .unwrap_or_else(|| "<eof>".to_owned())
+    }
+
+    fn next(&mut self) -> Result<&TokenKind> {
+        let t = self
+            .tokens
+            .get(self.ix)
+            .ok_or_else(|| ClassicError::Malformed("unexpected end of input".into()))?;
+        self.ix += 1;
+        Ok(&t.kind)
+    }
+
+    fn expect_lparen(&mut self) -> Result<()> {
+        let pos = self.pos();
+        match self.next()? {
+            TokenKind::LParen => Ok(()),
+            other => Err(ClassicError::Malformed(format!(
+                "{pos}: expected '(', found {other:?}"
+            ))),
+        }
+    }
+
+    fn expect_rparen(&mut self) -> Result<()> {
+        let pos = self.pos();
+        match self.next()? {
+            TokenKind::RParen => Ok(()),
+            other => Err(ClassicError::Malformed(format!(
+                "{pos}: expected ')', found {other:?}"
+            ))),
+        }
+    }
+
+    /// Require that all tokens have been consumed.
+    pub fn expect_end(&mut self) -> Result<()> {
+        if self.ix == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.err("trailing tokens after expression".into()))
+        }
+    }
+
+    fn err(&self, msg: String) -> ClassicError {
+        ClassicError::Malformed(format!("{}: {msg}", self.pos()))
+    }
+
+    fn symbol(&mut self, what: &str) -> Result<String> {
+        let pos = self.pos();
+        match self.next()? {
+            TokenKind::Symbol(s) => Ok(s.clone()),
+            other => Err(ClassicError::Malformed(format!(
+                "{pos}: expected {what}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn role(&mut self) -> Result<RoleId> {
+        let name = self.symbol("role name")?;
+        Ok(self.schema.symbols.role(&name))
+    }
+
+    fn number(&mut self) -> Result<u32> {
+        let pos = self.pos();
+        match self.next()? {
+            TokenKind::Int(i) if *i >= 0 => Ok(*i as u32),
+            other => Err(ClassicError::Malformed(format!(
+                "{pos}: expected non-negative integer, found {other:?}"
+            ))),
+        }
+    }
+
+    /// An individual operand: name, host integer, string, or symbol.
+    pub fn individual(&mut self) -> Result<IndRef> {
+        let pos = self.pos();
+        match self.next()? {
+            TokenKind::Symbol(s) => {
+                let s = s.clone();
+                Ok(IndRef::Classic(self.schema.symbols.individual(&s)))
+            }
+            TokenKind::Int(i) => Ok(IndRef::Host(HostValue::Int(*i))),
+            TokenKind::Float(v) => Ok(IndRef::Host(HostValue::Float(*v))),
+            TokenKind::Str(s) => Ok(IndRef::Host(HostValue::Str(s.clone()))),
+            TokenKind::QuotedSym(s) => Ok(IndRef::Host(HostValue::Sym(s.clone()))),
+            other => Err(ClassicError::Malformed(format!(
+                "{pos}: expected an individual, found {other:?}"
+            ))),
+        }
+    }
+
+    fn path(&mut self) -> Result<Path> {
+        self.expect_lparen()?;
+        let mut path = Path::new();
+        loop {
+            match self.peek() {
+                Some(TokenKind::RParen) => {
+                    self.next()?;
+                    break;
+                }
+                Some(_) => path.push(self.role()?),
+                None => return Err(self.err("unterminated SAME-AS path".into())),
+            }
+        }
+        Ok(path)
+    }
+
+    // ---- grammar ----------------------------------------------------------
+
+    /// `concept := NAME | builtin | (CONSTRUCTOR …)`, optionally preceded
+    /// by the `?:` marker when parsing a query.
+    pub fn concept(&mut self) -> Result<Concept> {
+        if matches!(self.peek(), Some(TokenKind::Marker)) {
+            if !self.marker_allowed {
+                return Err(self.err(
+                    "?: marker only allowed along ALL chains from the query root".into(),
+                ));
+            }
+            if self.marker.is_some() {
+                return Err(self.err("a query may contain only one ?: marker".into()));
+            }
+            self.next()?;
+            self.marker = Some(self.role_stack.clone());
+            // The marked subexpression itself may not contain another
+            // marker (enforced by the is_some check above).
+            return self.concept_unmarked();
+        }
+        self.concept_unmarked()
+    }
+
+    fn concept_unmarked(&mut self) -> Result<Concept> {
+        let pos = self.pos();
+        match self.next()? {
+            TokenKind::Symbol(s) => {
+                let s = s.clone();
+                if let Some(layer) = Layer::from_name(&s) {
+                    Ok(Concept::Builtin(layer))
+                } else {
+                    Ok(Concept::Name(self.schema.symbols.concept(&s)))
+                }
+            }
+            TokenKind::LParen => {
+                let head = self.symbol("constructor")?;
+                let c = self.constructor(&head)?;
+                self.expect_rparen()?;
+                Ok(c)
+            }
+            other => Err(ClassicError::Malformed(format!(
+                "{pos}: expected a concept expression, found {other:?}"
+            ))),
+        }
+    }
+
+    fn constructor(&mut self, head: &str) -> Result<Concept> {
+        match head {
+            "AND" => {
+                let mut parts = Vec::new();
+                while !matches!(self.peek(), Some(TokenKind::RParen) | None) {
+                    parts.push(self.concept()?);
+                }
+                Ok(Concept::And(parts))
+            }
+            "ALL" => {
+                let role = self.role()?;
+                self.role_stack.push(role);
+                let inner = self.concept()?;
+                self.role_stack.pop();
+                Ok(Concept::all(role, inner))
+            }
+            "AT-LEAST" => {
+                let n = self.number()?;
+                let role = self.role()?;
+                Ok(Concept::AtLeast(n, role))
+            }
+            "AT-MOST" => {
+                let n = self.number()?;
+                let role = self.role()?;
+                Ok(Concept::AtMost(n, role))
+            }
+            "EXACTLY" => {
+                // The macro facility the paper anticipates (§2.1.4):
+                // (EXACTLY n r) expands to AND(AT-LEAST, AT-MOST).
+                let n = self.number()?;
+                let role = self.role()?;
+                Ok(Concept::exactly(n, role))
+            }
+            "ONE-OF" => {
+                let mut inds = Vec::new();
+                while !matches!(self.peek(), Some(TokenKind::RParen) | None) {
+                    inds.push(self.individual()?);
+                }
+                Ok(Concept::OneOf(inds))
+            }
+            "FILLS" => {
+                let role = self.role()?;
+                let mut inds = Vec::new();
+                while !matches!(self.peek(), Some(TokenKind::RParen) | None) {
+                    inds.push(self.individual()?);
+                }
+                Ok(Concept::Fills(role, inds))
+            }
+            "CLOSE" => {
+                let role = self.role()?;
+                Ok(Concept::Close(role))
+            }
+            "SAME-AS" => {
+                let p = self.path()?;
+                let q = self.path()?;
+                Ok(Concept::SameAs(p, q))
+            }
+            "PRIMITIVE" => {
+                let parent = self.no_marker(Self::concept_unmarked)?;
+                let index = self.symbol("primitive index")?;
+                Ok(Concept::primitive(parent, &index))
+            }
+            "DISJOINT-PRIMITIVE" => {
+                let parent = self.no_marker(Self::concept_unmarked)?;
+                let grouping = self.symbol("disjointness grouping")?;
+                let index = self.symbol("primitive index")?;
+                Ok(Concept::disjoint_primitive(parent, &grouping, &index))
+            }
+            "TEST" => {
+                let name = self.symbol("test name")?;
+                let id = self
+                    .schema
+                    .symbols
+                    .find_test(&name)
+                    .ok_or_else(|| self.err(format!("unknown TEST function {name:?}")))?;
+                Ok(Concept::Test(id))
+            }
+            other => Err(self.err(format!("unknown constructor {other:?}"))),
+        }
+    }
+
+    fn no_marker<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+        let saved = self.marker_allowed;
+        self.marker_allowed = false;
+        let r = f(self);
+        self.marker_allowed = saved;
+        r
+    }
+}
+
+/// Parse a concept expression (no marker).
+pub fn parse_concept(input: &str, schema: &mut Schema) -> Result<Concept> {
+    Parser::parse_concept_complete(input, schema)
+}
+
+/// Parse a query expression with an optional `?:` marker.
+pub fn parse_query(input: &str, schema: &mut Schema) -> Result<MarkedQuery> {
+    Parser::parse_query_complete(input, schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.define_role("thing-driven").unwrap();
+        s.define_role("maker").unwrap();
+        s.define_attribute("driver").unwrap();
+        s.define_attribute("insurance").unwrap();
+        s.define_attribute("payer").unwrap();
+        s.define_role("wheel").unwrap();
+        s
+    }
+
+    #[test]
+    fn parses_paper_rich_kid() {
+        let mut s = schema();
+        let c = parse_concept(
+            "(AND STUDENT (ALL thing-driven SPORTS-CAR) (AT-LEAST 2 thing-driven))",
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(
+            c.display(&s.symbols).to_string(),
+            "(AND STUDENT (ALL thing-driven SPORTS-CAR) (AT-LEAST 2 thing-driven))"
+        );
+    }
+
+    #[test]
+    fn parses_nested_paper_example() {
+        // §2.1.3's full composite example.
+        let mut s = schema();
+        let c = parse_concept(
+            "(AND STUDENT \
+               (ALL thing-driven (AND SPORTS-CAR (ALL maker ITALIAN-COMPANY))) \
+               (AT-LEAST 1 thing-driven) \
+               (AT-MOST 2 thing-driven))",
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(c.size(), 9);
+    }
+
+    #[test]
+    fn parses_same_as() {
+        let mut s = schema();
+        let c = parse_concept("(SAME-AS (driver) (insurance payer))", &mut s).unwrap();
+        assert_eq!(
+            c.display(&s.symbols).to_string(),
+            "(SAME-AS (driver) (insurance payer))"
+        );
+    }
+
+    #[test]
+    fn parses_one_of_with_host_values() {
+        let mut s = schema();
+        let c = parse_concept("(ONE-OF GM Ford 42 \"label\" 'red)", &mut s).unwrap();
+        match c {
+            Concept::OneOf(v) => {
+                assert_eq!(v.len(), 5);
+                assert!(matches!(v[2], IndRef::Host(HostValue::Int(42))));
+                assert!(matches!(v[3], IndRef::Host(HostValue::Str(_))));
+                assert!(matches!(v[4], IndRef::Host(HostValue::Sym(_))));
+            }
+            other => panic!("expected ONE-OF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_builtins() {
+        let mut s = schema();
+        assert_eq!(
+            parse_concept("THING", &mut s).unwrap(),
+            Concept::Builtin(Layer::Thing)
+        );
+        assert_eq!(
+            parse_concept("INTEGER", &mut s).unwrap(),
+            Concept::Builtin(Layer::Host(Some(classic_core::HostClass::Integer)))
+        );
+    }
+
+    #[test]
+    fn parses_primitive_forms() {
+        let mut s = schema();
+        let c = parse_concept("(PRIMITIVE THING car)", &mut s).unwrap();
+        assert!(matches!(c, Concept::Primitive { .. }));
+        let d = parse_concept("(DISJOINT-PRIMITIVE PERSON gender male)", &mut s).unwrap();
+        assert!(matches!(d, Concept::DisjointPrimitive { .. }));
+    }
+
+    #[test]
+    fn exactly_macro() {
+        let mut s = schema();
+        let c = parse_concept("(EXACTLY 1 wheel)", &mut s).unwrap();
+        assert!(matches!(c, Concept::And(v) if v.len() == 2));
+    }
+
+    #[test]
+    fn query_marker_on_subject() {
+        let mut s = schema();
+        let q = parse_query("?:PERSON", &mut s).unwrap();
+        assert!(q.marker.is_empty());
+    }
+
+    #[test]
+    fn query_marker_along_all_chain() {
+        // (AND STUDENT (ALL thing-driven ?:(ALL maker (ONE-OF Ferrari))))
+        let mut s = schema();
+        let q = parse_query(
+            "(AND STUDENT (ALL thing-driven ?:(ALL maker (ONE-OF Ferrari))))",
+            &mut s,
+        )
+        .unwrap();
+        let driven = s.symbols.find_role("thing-driven").unwrap();
+        assert_eq!(q.marker, vec![driven]);
+    }
+
+    #[test]
+    fn double_marker_rejected() {
+        let mut s = schema();
+        assert!(parse_query("(AND ?:PERSON ?:STUDENT)", &mut s).is_err());
+    }
+
+    #[test]
+    fn marker_rejected_in_concept_position() {
+        let mut s = schema();
+        assert!(parse_concept("?:PERSON", &mut s).is_err());
+    }
+
+    #[test]
+    fn unknown_constructor_rejected() {
+        let mut s = schema();
+        let err = parse_concept("(OR A B)", &mut s).unwrap_err();
+        // The paper deliberately omits OR (§5); the diagnosis names it.
+        assert!(err.to_string().contains("OR"));
+    }
+
+    #[test]
+    fn unknown_test_rejected() {
+        let mut s = schema();
+        assert!(parse_concept("(TEST even)", &mut s).is_err());
+        s.register_test("even", |_| true);
+        assert!(parse_concept("(TEST even)", &mut s).is_ok());
+    }
+
+    #[test]
+    fn arity_errors() {
+        let mut s = schema();
+        assert!(parse_concept("(AT-LEAST wheel 2)", &mut s).is_err());
+        assert!(parse_concept("(AT-LEAST -1 wheel)", &mut s).is_err());
+        assert!(parse_concept("(ALL)", &mut s).is_err());
+        assert!(parse_concept("(AND PERSON", &mut s).is_err());
+        assert!(parse_concept("PERSON STUDENT", &mut s).is_err());
+    }
+}

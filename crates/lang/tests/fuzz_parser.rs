@@ -1,0 +1,138 @@
+//! Parser robustness: arbitrary input must never panic — every outcome is
+//! either a parsed expression or a positioned `Malformed` error. (The
+//! paper's `define-role`-catches-typos promise, §3.1 footnote 3, only
+//! works if the front end survives the typo.)
+
+use classic_core::schema::Schema;
+use classic_lang::{parse_concept, parse_query};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    let mut s = Schema::new();
+    s.define_role("r").unwrap();
+    s.define_concept(
+        "C",
+        classic_core::Concept::primitive(classic_core::Concept::thing(), "c"),
+    )
+    .unwrap();
+    s.register_test("t", |_| true);
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Completely arbitrary strings (including non-ASCII and control
+    /// characters) never panic the lexer/parser.
+    #[test]
+    fn arbitrary_strings_never_panic(input in ".{0,120}") {
+        let mut s = schema();
+        let _ = parse_concept(&input, &mut s);
+        let _ = parse_query(&input, &mut s);
+    }
+
+    /// Syntax-shaped soup: random sequences of plausible tokens.
+    #[test]
+    fn token_soup_never_panics(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("(".to_owned()),
+                Just(")".to_owned()),
+                Just("AND".to_owned()),
+                Just("ALL".to_owned()),
+                Just("AT-LEAST".to_owned()),
+                Just("AT-MOST".to_owned()),
+                Just("ONE-OF".to_owned()),
+                Just("FILLS".to_owned()),
+                Just("CLOSE".to_owned()),
+                Just("SAME-AS".to_owned()),
+                Just("PRIMITIVE".to_owned()),
+                Just("TEST".to_owned()),
+                Just("THING".to_owned()),
+                Just("C".to_owned()),
+                Just("r".to_owned()),
+                Just("?:".to_owned()),
+                Just("3".to_owned()),
+                Just("-7".to_owned()),
+                Just("'sym".to_owned()),
+                Just("\"str\"".to_owned()),
+                Just("; comment".to_owned()),
+            ],
+            0..24,
+        )
+    ) {
+        let input = parts.join(" ");
+        let mut s = schema();
+        let _ = parse_concept(&input, &mut s);
+        let _ = parse_query(&input, &mut s);
+    }
+
+    /// Valid expressions with one random mutation (deletion, insertion,
+    /// duplication) still never panic — the common typo case.
+    #[test]
+    fn mutated_valid_expressions_never_panic(
+        pos in 0usize..60,
+        mutation in 0u8..3,
+    ) {
+        let base = "(AND C (ALL r (ONE-OF A B)) (AT-LEAST 2 r) (TEST t))";
+        let bytes: Vec<char> = base.chars().collect();
+        let pos = pos % bytes.len();
+        let mutated: String = match mutation {
+            0 => bytes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != pos)
+                .map(|(_, c)| *c)
+                .collect(),
+            1 => {
+                let mut v = bytes.clone();
+                v.insert(pos, '(');
+                v.into_iter().collect()
+            }
+            _ => {
+                let mut v = bytes.clone();
+                let c = v[pos];
+                v.insert(pos, c);
+                v.into_iter().collect()
+            }
+        };
+        let mut s = schema();
+        let _ = parse_concept(&mutated, &mut s);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The command layer (splitting, macro expansion, evaluation) is
+    /// panic-free on arbitrary input too; errors come back as values.
+    #[test]
+    fn command_soup_never_panics(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("(".to_owned()),
+                Just(")".to_owned()),
+                Just("define-role".to_owned()),
+                Just("define-concept".to_owned()),
+                Just("define-macro".to_owned()),
+                Just("create-ind".to_owned()),
+                Just("assert-ind".to_owned()),
+                Just("retrieve".to_owned()),
+                Just("subsumes?".to_owned()),
+                Just("why?".to_owned()),
+                Just("what-if?".to_owned()),
+                Just("classify".to_owned()),
+                Just("AND".to_owned()),
+                Just("X".to_owned()),
+                Just("r".to_owned()),
+                Just("?:".to_owned()),
+                Just("2".to_owned()),
+            ],
+            0..20,
+        )
+    ) {
+        let input = parts.join(" ");
+        let mut session = classic_lang::Session::new();
+        let _ = session.run(&input);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property: printing a concept in the surface syntax and re-parsing it
+//! yields the identical AST. This is the guarantee the persistence layer
+//! (`classic-store`) leans on — the command stream is only a sound
+//! serialization format if parse ∘ print is the identity.
+
+use classic_core::desc::{Concept, IndRef};
+use classic_core::schema::Schema;
+use classic_core::symbol::{RoleId, TestId};
+use classic_core::HostValue;
+use classic_lang::parse_concept;
+use proptest::prelude::*;
+
+const N_ROLES: usize = 4;
+
+fn vocabulary() -> Schema {
+    let mut schema = Schema::new();
+    for i in 0..N_ROLES {
+        schema.define_role(&format!("role-{i}")).unwrap();
+    }
+    schema.define_attribute("attr-a").unwrap();
+    schema.define_attribute("attr-b").unwrap();
+    schema
+        .define_concept("NAMED-0", Concept::primitive(Concept::thing(), "n0"))
+        .unwrap();
+    schema
+        .define_concept("NAMED-1", Concept::primitive(Concept::thing(), "n1"))
+        .unwrap();
+    schema.register_test("test-fn", |_| true);
+    for i in 0..6 {
+        schema.symbols.individual(&format!("Ind-{i}"));
+    }
+    schema
+}
+
+fn role(i: usize) -> RoleId {
+    RoleId::from_index(i % N_ROLES)
+}
+
+fn ind(i: usize) -> IndRef {
+    match i % 6 {
+        4 => IndRef::Host(HostValue::Int(i as i64 - 10)),
+        5 => IndRef::Host(HostValue::Sym(format!("sym{}", i % 3))),
+        k => IndRef::Classic(classic_core::IndName::from_index(k)),
+    }
+}
+
+/// Strategy over printable concepts (names/tests resolved against the
+/// fixed vocabulary built in every test case).
+fn concept_strategy() -> impl Strategy<Value = Concept> {
+    let leaf = prop_oneof![
+        Just(Concept::thing()),
+        Just(Concept::Builtin(classic_core::Layer::Classic)),
+        Just(Concept::Builtin(classic_core::Layer::Host(Some(
+            classic_core::HostClass::Str
+        )))),
+        (0usize..2).prop_map(|i| Concept::Name(classic_core::ConceptName::from_index(i))),
+        (0usize..N_ROLES, 0u32..5).prop_map(|(r, n)| Concept::AtLeast(n, role(r))),
+        (0usize..N_ROLES, 0u32..5).prop_map(|(r, n)| Concept::AtMost(n, role(r))),
+        (0usize..N_ROLES).prop_map(|r| Concept::Close(role(r))),
+        Just(Concept::Test(TestId::from_index(0))),
+        proptest::collection::vec(0usize..12, 1..4)
+            .prop_map(|v| Concept::OneOf(v.into_iter().map(ind).collect())),
+        (0usize..N_ROLES, proptest::collection::vec(0usize..12, 1..3))
+            .prop_map(|(r, v)| Concept::Fills(role(r), v.into_iter().map(ind).collect())),
+        // SAME-AS over the two attributes.
+        Just(Concept::SameAs(
+            vec![RoleId::from_index(N_ROLES)],
+            vec![RoleId::from_index(N_ROLES + 1)],
+        )),
+        Just(Concept::primitive(Concept::thing(), "fresh-prim")),
+        Just(Concept::disjoint_primitive(Concept::thing(), "grp", "left")),
+    ];
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        prop_oneof![
+            (0usize..N_ROLES, inner.clone()).prop_map(|(r, c)| Concept::all(role(r), c)),
+            proptest::collection::vec(inner, 1..4).prop_map(Concept::And),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_then_parse_is_identity(c in concept_strategy()) {
+        let mut schema = vocabulary();
+        let printed = c.display(&schema.symbols).to_string();
+        let reparsed = parse_concept(&printed, &mut schema)
+            .unwrap_or_else(|e| panic!("reparse failed on {printed:?}: {e}"));
+        prop_assert_eq!(&c, &reparsed, "surface form: {}", printed);
+    }
+
+    #[test]
+    fn printed_forms_normalize_like_the_original(c in concept_strategy()) {
+        let mut schema = vocabulary();
+        let printed = c.display(&schema.symbols).to_string();
+        let reparsed = parse_concept(&printed, &mut schema).expect("reparse");
+        let n1 = classic_core::normalize(&c, &mut schema).expect("normalizes");
+        let n2 = classic_core::normalize(&reparsed, &mut schema).expect("normalizes");
+        prop_assert_eq!(n1, n2);
+    }
+}

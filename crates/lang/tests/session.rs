@@ -1,0 +1,144 @@
+//! Session-level tests: the macro facility (§2.1.4's anticipated
+//! extension) working end to end with the rest of the language.
+
+use classic_lang::{Outcome, Session};
+
+#[test]
+fn exactly_one_macro_defines_usable_concepts() {
+    let mut s = Session::new();
+    let out = s
+        .run(
+            r#"
+            (define-macro EXACTLY-ONE (r)
+                (AND (AT-LEAST 1 r) (AT-MOST 1 r)))
+            (define-role wheel)
+            (define-concept UNICYCLE (EXACTLY-ONE wheel))
+            (subsumes? (AT-LEAST 1 wheel) UNICYCLE)
+            (equivalent? UNICYCLE (AND (AT-LEAST 1 wheel) (AT-MOST 1 wheel)))
+            "#,
+        )
+        .expect("script");
+    assert_eq!(out[3], Outcome::Bool(true));
+    assert_eq!(out[4], Outcome::Bool(true));
+    assert_eq!(s.macro_names(), vec!["EXACTLY-ONE"]);
+}
+
+#[test]
+fn macros_expand_inside_assertions_and_queries() {
+    let mut s = Session::new();
+    let out = s
+        .run(
+            r#"
+            (define-macro DRIVES-ONLY (c) (ALL thing-driven c))
+            (define-role thing-driven)
+            (define-concept CAR (PRIMITIVE THING car))
+            (create-ind Rocky)
+            (assert-ind Rocky (DRIVES-ONLY CAR))
+            (assert-ind Rocky (FILLS thing-driven Volvo-17))
+            (retrieve CAR)
+            "#,
+        )
+        .expect("script");
+    assert_eq!(
+        out.last().expect("one"),
+        &Outcome::Individuals(vec!["Volvo-17".into()])
+    );
+}
+
+#[test]
+fn macros_compose() {
+    let mut s = Session::new();
+    let out = s
+        .run(
+            r#"
+            (define-macro SOME (r) (AT-LEAST 1 r))
+            (define-macro BUSY (r) (AND (SOME r) (AT-LEAST 3 r)))
+            (define-role calls)
+            (define-concept HUB (BUSY calls))
+            (subsumes? (AT-LEAST 3 calls) HUB)
+            "#,
+        )
+        .expect("script");
+    assert_eq!(out.last().expect("one"), &Outcome::Bool(true));
+}
+
+#[test]
+fn macro_errors_are_reported() {
+    let mut s = Session::new();
+    // Recursive macro.
+    s.run("(define-macro LOOP (x) (AND (LOOP x)))").expect("definition ok");
+    let err = s.run("(define-role r) (classify (LOOP r))").unwrap_err();
+    assert!(err.to_string().contains("depth"));
+    // Shadowing a builtin.
+    let err = s.run("(define-macro AND (x) x)").unwrap_err();
+    assert!(err.to_string().contains("shadows"));
+}
+
+#[test]
+fn session_without_macros_behaves_like_run_script() {
+    let mut s = Session::new();
+    let out = s
+        .run(
+            r#"
+            (define-role r)
+            (define-concept PERSON (PRIMITIVE THING person))
+            (create-ind X)
+            (assert-ind X PERSON)
+            (retrieve PERSON)
+            "#,
+        )
+        .expect("script");
+    assert_eq!(
+        out.last().expect("one"),
+        &Outcome::Individuals(vec!["X".into()])
+    );
+}
+
+#[test]
+fn macros_work_with_query_markers() {
+    let mut s = Session::new();
+    let out = s
+        .run(
+            r#"
+            (define-macro EATEN-BY (c) (AND c (ALL eat ?:THING)))
+            (define-role eat)
+            (define-concept PERSON (PRIMITIVE THING person))
+            (create-ind Rocky)
+            (assert-ind Rocky PERSON)
+            (assert-ind Rocky (FILLS eat Pizza-1))
+            (retrieve (EATEN-BY PERSON))
+            "#,
+        )
+        .expect("script");
+    assert_eq!(
+        out.last().expect("one"),
+        &Outcome::Individuals(vec!["Pizza-1".into()])
+    );
+}
+
+#[test]
+fn what_if_reports_hypothetically() {
+    let mut s = Session::new();
+    s.run(
+        r#"
+        (define-role r)
+        (create-ind X)
+        (assert-ind X (FILLS r V))
+        "#,
+    )
+    .expect("setup");
+    // A contradictory hypothetical reports rejection without mutating.
+    let out = s.run("(what-if? X (AT-MOST 0 r))").expect("hypothetical");
+    match out.last().expect("one") {
+        Outcome::Description(d) => assert!(d.contains("REJECTED"), "got {d}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    // A consistent one reports acceptance — and still nothing changed.
+    let out = s.run("(what-if? X (AT-MOST 3 r))").expect("hypothetical");
+    match out.last().expect("one") {
+        Outcome::Description(d) => assert!(d.contains("ACCEPTED"), "got {d}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    let out = s.run("(ind-aspect X AT-MOST r)").expect("aspect");
+    assert_eq!(out.last().expect("one"), &Outcome::Aspect("none".into()));
+}

@@ -1,0 +1,491 @@
+//! # classic-query
+//!
+//! Query processing for the CLASSIC reproduction (paper §3.5):
+//!
+//! * **Concepts as queries** — any concept expression asks for the
+//!   individuals satisfying it ([`retrieve`]); answered with the §5
+//!   technique: "first, the query concept is itself classified with
+//!   respect to the concepts in the schema; then the instances of the
+//!   parent concepts are tested individually … all instances of schema
+//!   concepts that are subsumed by the query are known to satisfy the
+//!   query and are therefore not explicitly tested."
+//!   [`retrieve_naive`] is the unpruned baseline (experiments E3/E8).
+//! * **Open-world answer modes** — "sets of individuals that are *known*
+//!   to satisfy the query, sets of individuals that *might* satisfy the
+//!   query" ([`possible`]), and
+//! * **intensional answers** — "a most-specific description of the
+//!   necessary properties of the objects, known or unknown, that might
+//!   satisfy the query" ([`ask_description`]), including information
+//!   contributed by forward-chaining rules (the JUNK-FOOD example).
+//! * **Marked queries** — the `?:` marker distinguishing the subexpression
+//!   whose instances are wanted ([`MarkedQuery`], [`ask_necessary_set`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conjunctive;
+
+pub use conjunctive::{answer, KbAtom, KbQuery, KbTerm};
+
+use classic_core::desc::{Concept, IndRef};
+use classic_core::error::Result;
+use classic_core::normal::NormalForm;
+use classic_core::symbol::RoleId;
+use classic_core::taxonomy::NodeId;
+use classic_kb::{IndId, Kb};
+use std::collections::BTreeSet;
+
+/// A query concept with a `?:` marker: the marker sits in front of the
+/// value restriction reached by following `marker` through nested `ALL`s.
+///
+/// `?:PERSON` is `{ concept: PERSON, marker: [] }`; the paper's
+///
+/// ```text
+/// (AND STUDENT (ALL thing-driven ?:(ALL maker (ONE-OF Ferrari))))
+/// ```
+///
+/// is `{ concept: (AND STUDENT (ALL thing-driven (ALL maker (ONE-OF
+/// Ferrari)))), marker: [thing-driven] }` — "the objects that are driven
+/// by students and have maker Ferrari" (§3.5.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkedQuery {
+    /// The full query concept (marker removed).
+    pub concept: Concept,
+    /// Role chain from the query subject to the marked subexpression.
+    pub marker: Vec<RoleId>,
+}
+
+impl MarkedQuery {
+    /// A marker on the query subject itself (`?:C`).
+    pub fn subject(concept: Concept) -> MarkedQuery {
+        MarkedQuery {
+            concept,
+            marker: Vec::new(),
+        }
+    }
+}
+
+/// Instrumentation for one retrieval (experiment E3's cost model: tested
+/// candidates are the disk-access proxy).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Individuals accepted without an instance test, because they are
+    /// instances of schema concepts subsumed by the query.
+    pub free: usize,
+    /// Individuals individually tested against the query.
+    pub tested: usize,
+    /// Subsumption tests spent classifying the query concept.
+    pub classify_tests: usize,
+}
+
+/// An extensional answer: the individuals *known* to satisfy the query.
+#[derive(Debug, Clone)]
+pub struct Answers {
+    /// Individuals provably satisfying the query, in id order.
+    pub known: Vec<IndId>,
+    /// How the answer was computed.
+    pub stats: QueryStats,
+}
+
+/// Evaluate a concept-as-query via classification (§5).
+///
+/// ```
+/// use classic_core::Concept;
+/// use classic_kb::Kb;
+///
+/// let mut kb = Kb::new();
+/// let wheels = kb.define_role("wheel")?;
+/// kb.define_concept("VEHICLE", Concept::primitive(Concept::thing(), "v"))?;
+/// let vehicle = kb.schema().symbols.find_concept("VEHICLE").unwrap();
+/// for (name, n) in [("Bike", 2), ("Trike", 3), ("Car", 4)] {
+///     kb.create_ind(name)?;
+///     kb.assert_ind(name, &Concept::Name(vehicle))?;
+///     kb.assert_ind(name, &Concept::AtLeast(n, wheels))?;
+/// }
+/// let q = Concept::and([Concept::Name(vehicle), Concept::AtLeast(3, wheels)]);
+/// let answers = classic_query::retrieve(&mut kb, &q)?;
+/// assert_eq!(answers.known.len(), 2); // Trike and Car
+/// # Ok::<(), classic_core::ClassicError>(())
+/// ```
+pub fn retrieve(kb: &mut Kb, query: &Concept) -> Result<Answers> {
+    let nf = kb.normalize(query)?;
+    Ok(retrieve_nf(kb, &nf))
+}
+
+/// Evaluate an already-normalized query via classification.
+pub fn retrieve_nf(kb: &Kb, nf: &NormalForm) -> Answers {
+    let mut stats = QueryStats::default();
+    if nf.is_incoherent() {
+        return Answers {
+            known: Vec::new(),
+            stats,
+        };
+    }
+    let cls = kb.taxonomy().classify(nf);
+    stats.classify_tests = cls.tests;
+    // An exactly-matching schema concept answers from the extension index
+    // alone.
+    if let Some(eq) = cls.equivalent {
+        let known: Vec<IndId> = kb.instances_of_node(eq).into_iter().collect();
+        stats.free = known.len();
+        return Answers { known, stats };
+    }
+    // Dense bitmap bookkeeping: answers and already-visited candidates,
+    // indexed by the individual arena (O(1) membership; the per-query
+    // allocation is two bytes per individual).
+    let n = kb.ind_count();
+    let mut in_answer = vec![false; n];
+    let mut visited = vec![false; n];
+    // Instances of subsumed schema concepts are answers for free.
+    for &c in &cls.children {
+        if c == NodeId::BOTTOM {
+            continue;
+        }
+        kb.for_each_instance(c, |id| {
+            if !in_answer[id.index()] {
+                in_answer[id.index()] = true;
+                stats.free += 1;
+            }
+        });
+    }
+    // Candidates: every answer is an instance of *each* most-specific
+    // subsumer, so the most selective one (smallest extension) suffices
+    // as the candidate source; per-candidate instance tests filter the
+    // rest.
+    let best_parent = cls
+        .parents
+        .iter()
+        .copied()
+        .min_by_key(|&p| kb.extension_size_bound(p));
+    if let Some(p) = best_parent {
+        kb.for_each_instance(p, |id| {
+            if in_answer[id.index()] || visited[id.index()] {
+                return;
+            }
+            visited[id.index()] = true;
+            stats.tested += 1;
+            if kb.known_instance(id, nf) {
+                in_answer[id.index()] = true;
+            }
+        });
+    }
+    let known: Vec<IndId> = (0..n)
+        .filter(|&i| in_answer[i])
+        .map(IndId::from_index)
+        .collect();
+    Answers { known, stats }
+}
+
+/// The naive baseline: test every individual in the database against the
+/// query (what a system without the classification index must do).
+pub fn retrieve_naive(kb: &mut Kb, query: &Concept) -> Result<Answers> {
+    let nf = kb.normalize(query)?;
+    Ok(retrieve_naive_nf(kb, &nf))
+}
+
+/// Naive retrieval over an already-normalized query.
+pub fn retrieve_naive_nf(kb: &Kb, nf: &NormalForm) -> Answers {
+    let mut stats = QueryStats::default();
+    let mut known = Vec::new();
+    if nf.is_incoherent() {
+        return Answers { known, stats };
+    }
+    for id in kb.ind_ids() {
+        stats.tested += 1;
+        if kb.known_instance(id, nf) {
+            known.push(id);
+        }
+    }
+    Answers { known, stats }
+}
+
+/// The individuals that *might* satisfy the query under the open-world
+/// assumption (§3.5.3): everything whose derived description is not
+/// provably disjoint from the query. Always a superset of the known
+/// answers.
+pub fn possible(kb: &mut Kb, query: &Concept) -> Result<Vec<IndId>> {
+    let nf = kb.normalize(query)?;
+    Ok(kb
+        .ind_ids()
+        .filter(|&id| kb.possible_instance(id, &nf))
+        .collect())
+}
+
+/// `ask-necessary-set`: evaluate a marked query and return the fillers at
+/// the marker position across all known answers (§3.5.3). Fillers may be
+/// host values.
+pub fn ask_necessary_set(kb: &mut Kb, q: &MarkedQuery) -> Result<Vec<IndRef>> {
+    let subjects = retrieve(kb, &q.concept)?.known;
+    let mut frontier: BTreeSet<IndRef> = subjects
+        .into_iter()
+        .map(|id| IndRef::Classic(kb.ind(id).name))
+        .collect();
+    for &role in &q.marker {
+        let mut next: BTreeSet<IndRef> = BTreeSet::new();
+        for x in frontier {
+            if let IndRef::Classic(n) = x {
+                if let Ok(id) = kb.ind_id(n) {
+                    next.extend(kb.ind(id).fillers(role));
+                }
+            }
+        }
+        frontier = next;
+    }
+    Ok(frontier.into_iter().collect())
+}
+
+/// `ask-description`: the most specific description that *necessarily*
+/// holds of every possible object at the marker position — "independent of
+/// the known examples" (§3.5.3).
+///
+/// The description is assembled from the query's value restrictions along
+/// the marker path, then repeatedly augmented with the consequents of
+/// every rule attached to a schema concept that subsumes it ("the
+/// description of this set, in light of the forward-chaining rules in
+/// effect at that time, might include JUNK-FOOD"), to a fixed point.
+pub fn ask_description(kb: &mut Kb, q: &MarkedQuery) -> Result<NormalForm> {
+    let mut subject = kb.normalize(&q.concept)?;
+    // A singleton enumeration names a known individual: fold in everything
+    // the database has derived about it — the paper's crime15 pattern,
+    // "to see if crime15 was classified as a kind of crime for which
+    // additional descriptive information about its suspect can be
+    // inferred" (§4).
+    if let Some(s) = &subject.one_of {
+        if s.len() == 1 {
+            if let Some(IndRef::Classic(n)) = s.iter().next().cloned() {
+                if let Ok(id) = kb.ind_id(n) {
+                    let derived = kb.ind(id).derived.clone();
+                    subject.conjoin(&derived, kb.schema());
+                }
+            }
+        }
+    }
+    // Rules attached to concepts subsuming the *subject* contribute value
+    // restrictions visible at the marker (the JUNK-FOOD example)…
+    augment_with_rules(kb, &mut subject)?;
+    let mut desc = path_restriction(&subject, &q.marker);
+    // …and the marked description may itself trigger further rules.
+    augment_with_rules(kb, &mut desc)?;
+    Ok(desc)
+}
+
+/// Conjoin, to a fixed point, the consequents of every rule attached to a
+/// schema concept that subsumes `desc`. Each rule applies at most once.
+fn augment_with_rules(kb: &mut Kb, desc: &mut NormalForm) -> Result<()> {
+    let mut applied: BTreeSet<usize> = BTreeSet::new();
+    loop {
+        let cls = kb.taxonomy().classify(desc);
+        let mut subsumers: BTreeSet<NodeId> = BTreeSet::new();
+        if let Some(eq) = cls.equivalent {
+            subsumers.insert(eq);
+            subsumers.extend(kb.taxonomy().strict_ancestors(eq));
+        } else {
+            for &p in &cls.parents {
+                subsumers.insert(p);
+                subsumers.extend(kb.taxonomy().strict_ancestors(p));
+            }
+        }
+        let due: Vec<usize> = kb
+            .rules()
+            .iter()
+            .enumerate()
+            .filter(|(ix, r)| !applied.contains(ix) && subsumers.contains(&r.node))
+            .map(|(ix, _)| ix)
+            .collect();
+        if due.is_empty() {
+            return Ok(());
+        }
+        for ix in due {
+            applied.insert(ix);
+            let consequent = kb.rules()[ix].consequent.clone();
+            let cnf = kb.normalize(&consequent)?;
+            desc.conjoin(&cnf, kb.schema());
+        }
+    }
+}
+
+/// The value restriction reached by following `path` through the query's
+/// normalized `ALL` structure (`THING` where unrestricted).
+pub fn path_restriction(nf: &NormalForm, path: &[RoleId]) -> NormalForm {
+    match nf.at_path(path) {
+        Some(sub) => sub.clone(),
+        None => NormalForm::top(),
+    }
+}
+
+/// Render an individual's complete derived description as a concept
+/// expression — the descriptive answer form for individuals.
+pub fn describe(kb: &Kb, id: IndId) -> Concept {
+    kb.ind(id).derived.to_concept(kb.schema())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classic_core::desc::Concept;
+
+    fn kb_with_schema() -> Kb {
+        let mut kb = Kb::new();
+        kb.define_role("enrolled-at").unwrap();
+        kb.define_role("eat").unwrap();
+        kb.define_concept("PERSON", Concept::primitive(Concept::thing(), "person"))
+            .unwrap();
+        let person = Concept::Name(kb.schema_mut().symbols.concept("PERSON"));
+        let enrolled = kb.schema_mut().symbols.find_role("enrolled-at").unwrap();
+        kb.define_concept(
+            "STUDENT",
+            Concept::and([person, Concept::AtLeast(1, enrolled)]),
+        )
+        .unwrap();
+        kb
+    }
+
+    #[test]
+    fn retrieve_uses_subsumed_extensions_for_free() {
+        let mut kb = kb_with_schema();
+        let person = kb.schema_mut().symbols.concept("PERSON");
+        let enrolled = kb.schema_mut().symbols.find_role("enrolled-at").unwrap();
+        for i in 0..10 {
+            let name = format!("S{i}");
+            kb.create_ind(&name).unwrap();
+            kb.assert_ind(&name, &Concept::Name(person)).unwrap();
+            kb.assert_ind(&name, &Concept::AtLeast(1, enrolled))
+                .unwrap();
+        }
+        // Query = exactly STUDENT's definition: answered via equivalence,
+        // zero per-individual tests.
+        let q = Concept::and([
+            Concept::Name(person),
+            Concept::AtLeast(1, enrolled),
+        ]);
+        let ans = retrieve(&mut kb, &q).unwrap();
+        assert_eq!(ans.known.len(), 10);
+        assert_eq!(ans.stats.tested, 0);
+        // The naive baseline tests everyone.
+        let naive = retrieve_naive(&mut kb, &q).unwrap();
+        assert_eq!(naive.known.len(), 10);
+        assert_eq!(naive.stats.tested, kb.ind_count());
+    }
+
+    #[test]
+    fn retrieve_strict_refinement_tests_candidates() {
+        let mut kb = kb_with_schema();
+        let person = kb.schema_mut().symbols.concept("PERSON");
+        let enrolled = kb.schema_mut().symbols.find_role("enrolled-at").unwrap();
+        for i in 0..6 {
+            let name = format!("P{i}");
+            kb.create_ind(&name).unwrap();
+            kb.assert_ind(&name, &Concept::Name(person)).unwrap();
+            kb.assert_ind(&name, &Concept::AtLeast(i as u32, enrolled))
+                .unwrap();
+        }
+        // STUDENTs enrolled at ≥ 3 places: a strict refinement of STUDENT.
+        let q = Concept::and([
+            Concept::Name(person),
+            Concept::AtLeast(3, enrolled),
+        ]);
+        let ans = retrieve(&mut kb, &q).unwrap();
+        assert_eq!(ans.known.len(), 3); // P3, P4, P5
+        // Candidates came from STUDENT's extension (P1..P5 = 5), not the
+        // whole DB.
+        assert!(ans.stats.tested <= 5);
+        let naive = retrieve_naive(&mut kb, &q).unwrap();
+        let mut a = ans.known.clone();
+        let mut b = naive.known.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn possible_is_superset_of_known() {
+        let mut kb = kb_with_schema();
+        let person = kb.schema_mut().symbols.concept("PERSON");
+        kb.create_ind("Maybe").unwrap();
+        kb.create_ind("Yes").unwrap();
+        kb.assert_ind("Yes", &Concept::Name(person)).unwrap();
+        let q = Concept::Name(person);
+        let known = retrieve(&mut kb, &q).unwrap().known;
+        let poss = possible(&mut kb, &q).unwrap();
+        assert_eq!(known.len(), 1);
+        // Open world: Maybe is not *known* to be a PERSON but *might* be.
+        assert_eq!(poss.len(), 2);
+        for k in &known {
+            assert!(poss.contains(k));
+        }
+    }
+
+    #[test]
+    fn marked_query_collects_fillers() {
+        let mut kb = kb_with_schema();
+        let eat = kb.schema_mut().symbols.find_role("eat").unwrap();
+        let person = kb.schema_mut().symbols.concept("PERSON");
+        kb.create_ind("Rocky").unwrap();
+        kb.assert_ind("Rocky", &Concept::Name(person)).unwrap();
+        let pizza = IndRef::Classic(kb.schema_mut().symbols.individual("Pizza-1"));
+        kb.assert_ind("Rocky", &Concept::Fills(eat, vec![pizza.clone()]))
+            .unwrap();
+        // (AND PERSON (ALL eat ?:THING)) — "things eaten by persons".
+        let q = MarkedQuery {
+            concept: Concept::Name(person),
+            marker: vec![eat],
+        };
+        let fillers = ask_necessary_set(&mut kb, &q).unwrap();
+        assert_eq!(fillers, vec![pizza]);
+    }
+
+    #[test]
+    fn ask_description_includes_rule_consequences() {
+        // The paper's JUNK-FOOD example: the description of what students
+        // eat includes JUNK-FOOD because of the rule, with no junk food
+        // instance anywhere in the database.
+        let mut kb = kb_with_schema();
+        kb.define_concept("JUNK-FOOD", Concept::primitive(Concept::thing(), "junk"))
+            .unwrap();
+        let junk = kb.schema_mut().symbols.concept("JUNK-FOOD");
+        let eat = kb.schema_mut().symbols.find_role("eat").unwrap();
+        kb.assert_rule("STUDENT", Concept::all(eat, Concept::Name(junk)))
+            .unwrap();
+        let student = kb.schema_mut().symbols.concept("STUDENT");
+        // (AND STUDENT (ALL eat ?:THING))
+        let q = MarkedQuery {
+            concept: Concept::Name(student),
+            marker: vec![eat],
+        };
+        let desc = ask_description(&mut kb, &q).unwrap();
+        let junk_nf = kb.schema().concept_nf(junk).unwrap();
+        assert!(classic_core::subsumes(junk_nf, &desc));
+    }
+
+    #[test]
+    fn describe_round_trips_through_language() {
+        let mut kb = kb_with_schema();
+        let person = kb.schema_mut().symbols.concept("PERSON");
+        let enrolled = kb.schema_mut().symbols.find_role("enrolled-at").unwrap();
+        kb.create_ind("Rocky").unwrap();
+        kb.assert_ind("Rocky", &Concept::Name(person)).unwrap();
+        kb.assert_ind("Rocky", &Concept::AtLeast(2, enrolled))
+            .unwrap();
+        let rocky = kb
+            .ind_id(kb.schema().symbols.find_individual("Rocky").unwrap())
+            .unwrap();
+        let c = describe(&kb, rocky);
+        // Re-normalizing the description reproduces the derived NF.
+        let renf = kb.normalize(&c).unwrap();
+        assert_eq!(renf, kb.ind(rocky).derived);
+    }
+
+    #[test]
+    fn incoherent_query_has_no_answers() {
+        let mut kb = kb_with_schema();
+        kb.create_ind("X").unwrap();
+        let enrolled = kb.schema_mut().symbols.find_role("enrolled-at").unwrap();
+        let q = Concept::and([
+            Concept::AtLeast(2, enrolled),
+            Concept::AtMost(1, enrolled),
+        ]);
+        assert!(retrieve(&mut kb, &q).unwrap().known.is_empty());
+        assert!(retrieve_naive(&mut kb, &q).unwrap().known.is_empty());
+        assert!(possible(&mut kb, &q).unwrap().is_empty());
+    }
+}

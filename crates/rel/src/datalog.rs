@@ -1,0 +1,384 @@
+//! A positive Datalog evaluator over the relational view.
+//!
+//! The paper positions CLASSIC against "the field of logic (or deductive)
+//! databases" (§1): deductive rules over relations are expressive but the
+//! general problem "is equivalent to theorem proving … known to be
+//! undecidable", so CLASSIC instead restricts its *language*. This module
+//! supplies the deductive-database side of that comparison: positive
+//! (negation-free) Datalog programs evaluated semi-naively to a fixed
+//! point over the closed-world relational export.
+//!
+//! It is deliberately exactly as strong as the paper's foil — recursive
+//! rules over extensional relations under the closed-world assumption —
+//! and exactly as weak: no existentials in rule heads, no disjunction,
+//! no open world. The E7 discussion in EXPERIMENTS.md uses it to show
+//! what each side can and cannot answer.
+
+use crate::db::Database;
+use crate::query::{Atom, Binding, Term};
+use crate::relation::{Relation, Tuple};
+use std::collections::BTreeSet;
+
+/// One Datalog rule: `head :- body₁, …, bodyₙ` (all positive atoms).
+/// Head terms must be variables bound by the body or constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The derived atom.
+    pub head: Atom,
+    /// The positive conditions.
+    pub body: Vec<Atom>,
+}
+
+impl Rule {
+    /// `head :- body₁, …, bodyₙ`.
+    pub fn new(head: Atom, body: Vec<Atom>) -> Rule {
+        Rule { head, body }
+    }
+}
+
+/// A positive Datalog program.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The rules, evaluated together to a fixed point.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// A program from a rule list.
+    pub fn new(rules: Vec<Rule>) -> Program {
+        Program { rules }
+    }
+
+    /// Evaluate to a fixed point over `db`, returning a database extended
+    /// with the derived relations (the input is not modified).
+    ///
+    /// Semi-naive evaluation: each round joins only against tuples that
+    /// are new since the previous round (per derived relation), so the
+    /// work per round is proportional to the frontier, not the whole
+    /// database. Positive programs are monotone, hence the fixed point
+    /// exists and is reached in at most |derivable tuples| rounds.
+    pub fn evaluate(&self, db: &Database) -> Database {
+        let mut out = db.clone();
+        // Ensure every head relation exists.
+        for rule in &self.rules {
+            if out.relation(&rule.head.relation).is_none() {
+                out.insert_relation(Relation::new(&rule.head.relation, rule.head.terms.len()));
+            }
+        }
+        // Delta per derived relation name.
+        let mut delta: Vec<(String, BTreeSet<Tuple>)> = self
+            .rules
+            .iter()
+            .map(|r| (r.head.relation.clone(), BTreeSet::new()))
+            .collect();
+        delta.sort();
+        delta.dedup_by(|a, b| a.0 == b.0);
+        // Round 0: naive evaluation seeds the deltas.
+        let mut frontier: BTreeSet<(String, Tuple)> = BTreeSet::new();
+        for rule in &self.rules {
+            for t in derive(rule, &out, None) {
+                if !out
+                    .relation(&rule.head.relation)
+                    .is_some_and(|r| r.contains(&t))
+                {
+                    frontier.insert((rule.head.relation.clone(), t));
+                }
+            }
+        }
+        let mut guard = 0usize;
+        while !frontier.is_empty() {
+            guard += 1;
+            assert!(
+                guard <= 1 + out.total_tuples() + frontier.len() * 4 + 1_000,
+                "semi-naive evaluation failed to converge"
+            );
+            // Commit the frontier.
+            let committed: Vec<(String, Tuple)> = frontier.iter().cloned().collect();
+            for (rel, t) in &committed {
+                let arity = t.len();
+                out.insert_tuple(rel, arity, t.clone());
+            }
+            // Next frontier: rules whose body mentions a relation that
+            // just grew, restricted to using ≥1 new tuple.
+            let mut next: BTreeSet<(String, Tuple)> = BTreeSet::new();
+            let grown: BTreeSet<&str> = committed.iter().map(|(r, _)| r.as_str()).collect();
+            for rule in &self.rules {
+                if !rule.body.iter().any(|a| grown.contains(a.relation.as_str())) {
+                    continue;
+                }
+                for t in derive(rule, &out, Some(&frontier)) {
+                    if !out
+                        .relation(&rule.head.relation)
+                        .is_some_and(|r| r.contains(&t))
+                    {
+                        next.insert((rule.head.relation.clone(), t));
+                    }
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+}
+
+/// All head tuples derivable by one rule. With `delta`, only derivations
+/// using at least one delta tuple are produced (the semi-naive filter).
+fn derive(
+    rule: &Rule,
+    db: &Database,
+    delta: Option<&BTreeSet<(String, Tuple)>>,
+) -> Vec<Tuple> {
+    // For semi-naive: for each position i in the body, evaluate with
+    // atom i restricted to delta tuples and earlier atoms to full
+    // relations — the standard delta expansion. Without delta, one pass
+    // over full relations.
+    let passes: Vec<Option<usize>> = match delta {
+        None => vec![None],
+        Some(_) => (0..rule.body.len()).map(Some).collect(),
+    };
+    let mut out = Vec::new();
+    for delta_pos in passes {
+        let mut bindings: Vec<Binding> = vec![Binding::new()];
+        for (i, atom) in rule.body.iter().enumerate() {
+            let use_delta = delta_pos == Some(i);
+            let rel = db.relation_or_empty(&atom.relation, atom.terms.len());
+            let mut next: Vec<Binding> = Vec::new();
+            for b in &bindings {
+                if use_delta {
+                    for (rname, t) in delta.expect("delta pass") {
+                        if rname == &atom.relation {
+                            if let Some(e) = match_atom(atom, t, b) {
+                                next.push(e);
+                            }
+                        }
+                    }
+                } else {
+                    for t in rel.iter() {
+                        if let Some(e) = match_atom(atom, t, b) {
+                            next.push(e);
+                        }
+                    }
+                }
+            }
+            bindings = next;
+            if bindings.is_empty() {
+                break;
+            }
+        }
+        for b in bindings {
+            if let Some(t) = instantiate_head(&rule.head, &b) {
+                out.push(t);
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn match_atom(atom: &Atom, tuple: &Tuple, binding: &Binding) -> Option<Binding> {
+    let mut b = binding.clone();
+    for (term, value) in atom.terms.iter().zip(tuple) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return None;
+                }
+            }
+            Term::Var(v) => match b.get(v) {
+                Some(bound) if bound != value => return None,
+                Some(_) => {}
+                None => {
+                    b.insert(v.clone(), value.clone());
+                }
+            },
+        }
+    }
+    Some(b)
+}
+
+fn instantiate_head(head: &Atom, binding: &Binding) -> Option<Tuple> {
+    head.terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(v) => Some(v.clone()),
+            Term::Var(v) => binding.get(v).cloned(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Value;
+
+    fn sym(s: &str) -> Value {
+        Value::Sym(s.to_owned())
+    }
+
+    fn edge_db(edges: &[(&str, &str)]) -> Database {
+        let mut db = Database::new();
+        let mut r = Relation::new("edge", 2);
+        for (a, b) in edges {
+            r.insert(vec![sym(a), sym(b)]);
+        }
+        db.insert_relation(r);
+        db
+    }
+
+    /// path(x,y) :- edge(x,y).  path(x,z) :- path(x,y), edge(y,z).
+    fn path_program() -> Program {
+        Program::new(vec![
+            Rule::new(
+                Atom::new("path", vec![Term::var("x"), Term::var("y")]),
+                vec![Atom::new("edge", vec![Term::var("x"), Term::var("y")])],
+            ),
+            Rule::new(
+                Atom::new("path", vec![Term::var("x"), Term::var("z")]),
+                vec![
+                    Atom::new("path", vec![Term::var("x"), Term::var("y")]),
+                    Atom::new("edge", vec![Term::var("y"), Term::var("z")]),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn transitive_closure_of_a_chain() {
+        let db = edge_db(&[("a", "b"), ("b", "c"), ("c", "d")]);
+        let out = path_program().evaluate(&db);
+        let path = out.relation("path").unwrap();
+        assert_eq!(path.len(), 6); // ab ac ad bc bd cd
+        assert!(path.contains(&[sym("a"), sym("d")]));
+        assert!(!path.contains(&[sym("d"), sym("a")]));
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let db = edge_db(&[("a", "b"), ("b", "a")]);
+        let out = path_program().evaluate(&db);
+        let path = out.relation("path").unwrap();
+        // aa ab ba bb.
+        assert_eq!(path.len(), 4);
+        assert!(path.contains(&[sym("a"), sym("a")]));
+    }
+
+    #[test]
+    fn non_recursive_rules_are_plain_joins() {
+        let mut db = edge_db(&[("a", "b")]);
+        let mut color = Relation::new("color", 2);
+        color.insert(vec![sym("b"), sym("red")]);
+        db.insert_relation(color);
+        let program = Program::new(vec![Rule::new(
+            Atom::new("reaches-red", vec![Term::var("x")]),
+            vec![
+                Atom::new("edge", vec![Term::var("x"), Term::var("y")]),
+                Atom::new("color", vec![Term::var("y"), Term::sym("red")]),
+            ],
+        )]);
+        let out = program.evaluate(&db);
+        let r = out.relation("reaches-red").unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[sym("a")]));
+    }
+
+    #[test]
+    fn input_database_is_untouched() {
+        let db = edge_db(&[("a", "b"), ("b", "c")]);
+        let before = db.total_tuples();
+        let _ = path_program().evaluate(&db);
+        assert_eq!(db.total_tuples(), before);
+        assert!(db.relation("path").is_none());
+    }
+
+    #[test]
+    fn constants_in_heads() {
+        let db = edge_db(&[("a", "b")]);
+        let program = Program::new(vec![Rule::new(
+            Atom::new("tagged", vec![Term::var("x"), Term::sym("seen")]),
+            vec![Atom::new("edge", vec![Term::var("x"), Term::var("y")])],
+        )]);
+        let out = program.evaluate(&db);
+        assert!(out
+            .relation("tagged")
+            .unwrap()
+            .contains(&[sym("a"), sym("seen")]));
+    }
+
+    #[test]
+    fn mutually_recursive_rules() {
+        // even(x) / odd(x) distance from a root along a chain.
+        let db = {
+            let mut db = edge_db(&[("n0", "n1"), ("n1", "n2"), ("n2", "n3")]);
+            let mut root = Relation::new("root", 1);
+            root.insert(vec![sym("n0")]);
+            db.insert_relation(root);
+            db
+        };
+        let program = Program::new(vec![
+            Rule::new(
+                Atom::new("even", vec![Term::var("x")]),
+                vec![Atom::new("root", vec![Term::var("x")])],
+            ),
+            Rule::new(
+                Atom::new("odd", vec![Term::var("y")]),
+                vec![
+                    Atom::new("even", vec![Term::var("x")]),
+                    Atom::new("edge", vec![Term::var("x"), Term::var("y")]),
+                ],
+            ),
+            Rule::new(
+                Atom::new("even", vec![Term::var("y")]),
+                vec![
+                    Atom::new("odd", vec![Term::var("x")]),
+                    Atom::new("edge", vec![Term::var("x"), Term::var("y")]),
+                ],
+            ),
+        ]);
+        let out = program.evaluate(&db);
+        assert!(out.relation("even").unwrap().contains(&[sym("n0")]));
+        assert!(out.relation("odd").unwrap().contains(&[sym("n1")]));
+        assert!(out.relation("even").unwrap().contains(&[sym("n2")]));
+        assert!(out.relation("odd").unwrap().contains(&[sym("n3")]));
+    }
+
+    #[test]
+    fn semi_naive_matches_naive() {
+        // Cross-check on a denser random-ish graph.
+        let edges: Vec<(String, String)> = (0..30u32)
+            .map(|i| {
+                (
+                    format!("v{}", i % 10),
+                    format!("v{}", (i * 7 + 3) % 10),
+                )
+            })
+            .collect();
+        let refs: Vec<(&str, &str)> = edges
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
+        let db = edge_db(&refs);
+        let semi = path_program().evaluate(&db);
+        // Naive reference: iterate full evaluation until stable.
+        let mut naive = db.clone();
+        naive.insert_relation(Relation::new("path", 2));
+        loop {
+            let mut added = false;
+            for rule in &path_program().rules {
+                for t in derive(rule, &naive, None) {
+                    if !naive.relation("path").unwrap().contains(&t) {
+                        naive.insert_tuple("path", 2, t);
+                        added = true;
+                    }
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+        assert_eq!(
+            semi.relation("path").unwrap(),
+            naive.relation("path").unwrap()
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # classic-rel
+//!
+//! The relational substrate of the CLASSIC reproduction (paper §3.5.2):
+//! an ordinary in-memory relational engine, an exporter that materializes
+//! a knowledge base's *known* facts as relations ("consider each role as a
+//! binary relation, and every primitive concept as a unary relation"),
+//! and a conjunctive-query evaluator operating under the closed-world
+//! assumption.
+//!
+//! Its purpose in this repository is to be the baseline CLASSIC is
+//! compared against (experiment E7): the same data, the same questions,
+//! but with the closed-world semantics the paper deliberately rejects for
+//! incrementally-acquired knowledge.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datalog;
+pub mod db;
+pub mod query;
+pub mod relation;
+
+pub use datalog::{Program, Rule as DatalogRule};
+pub use db::{export_kb, Database};
+pub use query::{Atom, Binding, ConjunctiveQuery, Term};
+pub use relation::{Relation, Tuple, Value};

@@ -1,0 +1,230 @@
+//! Conjunctive queries over the relational view, evaluated closed-world.
+//!
+//! The comparator for experiment E7: the same questions CLASSIC answers
+//! open-world ("known" vs "possible" answer sets) are phrased as
+//! conjunctive queries here and answered under the closed-world
+//! assumption — "a relationship does not hold unless we know of it"
+//! (paper §3.2, describing exactly the assumption CLASSIC does *not*
+//! make).
+
+use crate::db::Database;
+use crate::relation::{Tuple, Value};
+use std::collections::BTreeMap;
+
+/// A term in a query atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Term {
+    /// A variable, bound during evaluation.
+    Var(String),
+    /// A constant that must match exactly.
+    Const(Value),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var(name: &str) -> Term {
+        Term::Var(name.to_owned())
+    }
+
+    /// A symbolic-constant term.
+    pub fn sym(name: &str) -> Term {
+        Term::Const(Value::Sym(name.to_owned()))
+    }
+}
+
+/// One atom: `relation(term, …)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// The relation name.
+    pub relation: String,
+    /// One term per column.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// `relation(terms…)`.
+    pub fn new(relation: &str, terms: Vec<Term>) -> Atom {
+        Atom {
+            relation: relation.to_owned(),
+            terms,
+        }
+    }
+}
+
+/// A conjunctive query: `head(x, …) :- atom1, atom2, …`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// The answer variables, in output order.
+    pub head: Vec<String>,
+    /// The conjunctive conditions.
+    pub body: Vec<Atom>,
+}
+
+/// A variable binding.
+pub type Binding = BTreeMap<String, Value>;
+
+impl ConjunctiveQuery {
+    /// `head(vars…) :- body`.
+    pub fn new(head: &[&str], body: Vec<Atom>) -> ConjunctiveQuery {
+        ConjunctiveQuery {
+            head: head.iter().map(|s| (*s).to_owned()).collect(),
+            body,
+        }
+    }
+
+    /// Evaluate against a database, closed-world: only stored tuples
+    /// satisfy atoms. Returns the distinct head projections.
+    pub fn evaluate(&self, db: &Database) -> Vec<Tuple> {
+        let mut bindings: Vec<Binding> = vec![Binding::new()];
+        for atom in &self.body {
+            let rel = db.relation_or_empty(&atom.relation, atom.terms.len());
+            let mut next: Vec<Binding> = Vec::new();
+            for b in &bindings {
+                for t in rel.iter() {
+                    if let Some(extended) = match_atom(atom, t, b) {
+                        next.push(extended);
+                    }
+                }
+            }
+            bindings = next;
+            if bindings.is_empty() {
+                break;
+            }
+        }
+        let mut out: Vec<Tuple> = bindings
+            .into_iter()
+            .filter_map(|b| {
+                self.head
+                    .iter()
+                    .map(|v| b.get(v).cloned())
+                    .collect::<Option<Tuple>>()
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+fn match_atom(atom: &Atom, tuple: &Tuple, binding: &Binding) -> Option<Binding> {
+    let mut b = binding.clone();
+    for (term, value) in atom.terms.iter().zip(tuple) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return None;
+                }
+            }
+            Term::Var(v) => match b.get(v) {
+                Some(bound) if bound != value => return None,
+                Some(_) => {}
+                None => {
+                    b.insert(v.clone(), value.clone());
+                }
+            },
+        }
+    }
+    Some(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut person = Relation::new("concept:PERSON", 1);
+        for p in ["Rocky", "Pat"] {
+            person.insert(vec![Value::Sym(p.into())]);
+        }
+        db.insert_relation(person);
+        let mut drives = Relation::new("role:drives", 2);
+        drives.insert(vec![Value::Sym("Rocky".into()), Value::Sym("Volvo".into())]);
+        drives.insert(vec![Value::Sym("Pat".into()), Value::Sym("Saab".into())]);
+        drives.insert(vec![Value::Sym("Rocky".into()), Value::Sym("Saab".into())]);
+        db.insert_relation(drives);
+        let mut maker = Relation::new("role:maker", 2);
+        maker.insert(vec![Value::Sym("Volvo".into()), Value::Sym("VolvoAB".into())]);
+        db.insert_relation(maker);
+        db
+    }
+
+    #[test]
+    fn single_atom_query() {
+        let q = ConjunctiveQuery::new(
+            &["x"],
+            vec![Atom::new("concept:PERSON", vec![Term::var("x")])],
+        );
+        let ans = q.evaluate(&db());
+        assert_eq!(ans.len(), 2);
+    }
+
+    #[test]
+    fn join_query() {
+        // Who drives something with a known maker?
+        let q = ConjunctiveQuery::new(
+            &["p", "m"],
+            vec![
+                Atom::new("role:drives", vec![Term::var("p"), Term::var("c")]),
+                Atom::new("role:maker", vec![Term::var("c"), Term::var("m")]),
+            ],
+        );
+        let ans = q.evaluate(&db());
+        assert_eq!(
+            ans,
+            vec![vec![Value::Sym("Rocky".into()), Value::Sym("VolvoAB".into())]]
+        );
+    }
+
+    #[test]
+    fn constants_filter() {
+        let q = ConjunctiveQuery::new(
+            &["c"],
+            vec![Atom::new(
+                "role:drives",
+                vec![Term::sym("Rocky"), Term::var("c")],
+            )],
+        );
+        let ans = q.evaluate(&db());
+        assert_eq!(ans.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variables_enforce_equality() {
+        // Self-driving: drives(x, x) — empty here.
+        let q = ConjunctiveQuery::new(
+            &["x"],
+            vec![Atom::new(
+                "role:drives",
+                vec![Term::var("x"), Term::var("x")],
+            )],
+        );
+        assert!(q.evaluate(&db()).is_empty());
+    }
+
+    #[test]
+    fn missing_relation_means_no_answers_closed_world() {
+        // The closed world: asking about an unrecorded relation yields
+        // nothing (CLASSIC would instead distinguish known from possible).
+        let q = ConjunctiveQuery::new(
+            &["x"],
+            vec![Atom::new("role:owns", vec![Term::var("x"), Term::var("y")])],
+        );
+        assert!(q.evaluate(&db()).is_empty());
+    }
+
+    #[test]
+    fn conjunction_across_unary_and_binary() {
+        // Persons who drive Saab.
+        let q = ConjunctiveQuery::new(
+            &["p"],
+            vec![
+                Atom::new("concept:PERSON", vec![Term::var("p")]),
+                Atom::new("role:drives", vec![Term::var("p"), Term::sym("Saab")]),
+            ],
+        );
+        let ans = q.evaluate(&db());
+        assert_eq!(ans.len(), 2);
+    }
+}

@@ -1,0 +1,252 @@
+//! A minimal in-memory relational engine.
+//!
+//! Paper §3.5.2: "just consider each role as a binary relation, and every
+//! primitive concept as a unary relation, and one has an ordinary
+//! relational database (modulo the closed world assumption)". This module
+//! is that ordinary relational database: named relations of fixed arity
+//! with set semantics, and the classical operators (selection, projection,
+//! natural join, union, difference). It exists as the closed-world
+//! baseline for experiment E7 — the comparator CLASSIC's open-world
+//! answers are measured against.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A relational value: individual names map to symbols, host values to
+/// their natural types.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// An individual (or other symbolic) constant.
+    Sym(String),
+    /// A host integer.
+    Int(i64),
+    /// A host float (total order via [`classic_core::host::F64`]).
+    Float(classic_core::host::F64),
+    /// A host string.
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Sym(s) => f.write_str(s),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// A tuple of values.
+pub type Tuple = Vec<Value>;
+
+/// A named relation with set semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    /// The relation's name (its key in a [`crate::Database`]).
+    pub name: String,
+    /// Number of columns; every tuple has exactly this length.
+    pub arity: usize,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation.
+    pub fn new(name: &str, arity: usize) -> Relation {
+        Relation {
+            name: name.to_owned(),
+            arity,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Insert a tuple; panics on arity mismatch (programmer error).
+    pub fn insert(&mut self, t: Tuple) {
+        assert_eq!(
+            t.len(),
+            self.arity,
+            "arity mismatch inserting into {}",
+            self.name
+        );
+        self.tuples.insert(t);
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Does the relation hold no tuples?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Is this exact tuple stored?
+    pub fn contains(&self, t: &[Value]) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Iterate the tuples in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// σ: keep tuples where column `col` equals `v`.
+    pub fn select_eq(&self, col: usize, v: &Value) -> Relation {
+        let mut out = Relation::new(&format!("σ({})", self.name), self.arity);
+        for t in &self.tuples {
+            if &t[col] == v {
+                out.tuples.insert(t.clone());
+            }
+        }
+        out
+    }
+
+    /// σ: keep tuples where two columns are equal.
+    pub fn select_cols_eq(&self, a: usize, b: usize) -> Relation {
+        let mut out = Relation::new(&format!("σ({})", self.name), self.arity);
+        for t in &self.tuples {
+            if t[a] == t[b] {
+                out.tuples.insert(t.clone());
+            }
+        }
+        out
+    }
+
+    /// π: project onto the given columns (in order, duplicates allowed).
+    pub fn project(&self, cols: &[usize]) -> Relation {
+        let mut out = Relation::new(&format!("π({})", self.name), cols.len());
+        for t in &self.tuples {
+            out.tuples.insert(cols.iter().map(|&c| t[c].clone()).collect());
+        }
+        out
+    }
+
+    /// ⋈: join on pairs of (left column, right column); the result is the
+    /// left tuple extended with the right tuple's non-join columns.
+    pub fn join(&self, other: &Relation, on: &[(usize, usize)]) -> Relation {
+        let right_keep: Vec<usize> = (0..other.arity)
+            .filter(|c| !on.iter().any(|(_, rc)| rc == c))
+            .collect();
+        let mut out = Relation::new(
+            &format!("({}⋈{})", self.name, other.name),
+            self.arity + right_keep.len(),
+        );
+        // Hash join on the key columns.
+        use std::collections::HashMap;
+        let mut index: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::new();
+        for rt in &other.tuples {
+            let key: Vec<&Value> = on.iter().map(|&(_, rc)| &rt[rc]).collect();
+            index.entry(key).or_default().push(rt);
+        }
+        for lt in &self.tuples {
+            let key: Vec<&Value> = on.iter().map(|&(lc, _)| &lt[lc]).collect();
+            if let Some(matches) = index.get(&key) {
+                for rt in matches {
+                    let mut t = lt.clone();
+                    t.extend(right_keep.iter().map(|&c| rt[c].clone()));
+                    out.tuples.insert(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// ∪ (arities must match).
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.arity, other.arity, "union arity mismatch");
+        let mut out = self.clone();
+        out.name = format!("({}∪{})", self.name, other.name);
+        out.tuples.extend(other.tuples.iter().cloned());
+        out
+    }
+
+    /// − (set difference; arities must match).
+    pub fn difference(&self, other: &Relation) -> Relation {
+        assert_eq!(self.arity, other.arity, "difference arity mismatch");
+        let mut out = Relation::new(&format!("({}−{})", self.name, other.name), self.arity);
+        for t in &self.tuples {
+            if !other.tuples.contains(t) {
+                out.tuples.insert(t.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Value {
+        Value::Sym(s.to_owned())
+    }
+
+    fn rel(name: &str, tuples: &[&[&str]]) -> Relation {
+        let arity = tuples.first().map_or(1, |t| t.len());
+        let mut r = Relation::new(name, arity);
+        for t in tuples {
+            r.insert(t.iter().map(|s| sym(s)).collect());
+        }
+        r
+    }
+
+    #[test]
+    fn set_semantics() {
+        let mut r = Relation::new("r", 1);
+        r.insert(vec![sym("a")]);
+        r.insert(vec![sym("a")]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn select_and_project() {
+        let r = rel("drives", &[&["Rocky", "Volvo"], &["Pat", "Saab"], &["Rocky", "Saab"]]);
+        let rocky = r.select_eq(0, &sym("Rocky"));
+        assert_eq!(rocky.len(), 2);
+        let cars = r.project(&[1]);
+        assert_eq!(cars.len(), 2); // Volvo, Saab (set semantics)
+    }
+
+    #[test]
+    fn select_cols_eq() {
+        let r = rel("pairs", &[&["a", "a"], &["a", "b"]]);
+        assert_eq!(r.select_cols_eq(0, 1).len(), 1);
+    }
+
+    #[test]
+    fn hash_join() {
+        let drives = rel("drives", &[&["Rocky", "Volvo"], &["Pat", "Saab"]]);
+        let maker = rel("maker", &[&["Volvo", "VolvoAB"], &["Saab", "SaabAB"]]);
+        let j = drives.join(&maker, &[(1, 0)]);
+        assert_eq!(j.arity, 3);
+        assert_eq!(j.len(), 2);
+        assert!(j.contains(&[sym("Rocky"), sym("Volvo"), sym("VolvoAB")]));
+    }
+
+    #[test]
+    fn join_with_no_matches_is_empty() {
+        let a = rel("a", &[&["x", "y"]]);
+        let b = rel("b", &[&["z", "w"]]);
+        assert!(a.join(&b, &[(1, 0)]).is_empty());
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = rel("a", &[&["x"], &["y"]]);
+        let b = rel("b", &[&["y"], &["z"]]);
+        assert_eq!(a.union(&b).len(), 3);
+        let d = a.difference(&b);
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&[sym("x")]));
+    }
+
+    #[test]
+    fn mixed_value_types_order() {
+        let mut r = Relation::new("vals", 1);
+        r.insert(vec![Value::Int(3)]);
+        r.insert(vec![Value::Str("3".into())]);
+        r.insert(vec![sym("3")]);
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,218 @@
+//! Snapshots: serializing a knowledge base as a CLASSIC command script.
+//!
+//! The paper's "single language, multiple roles" point (§6) extends
+//! naturally to persistence: the DDL/DML command stream *is* the
+//! serialization format. A snapshot is a script of `define-role`,
+//! `define-concept`, `assert-rule`, `create-ind` and `assert-ind`
+//! commands that, replayed against a fresh `Kb`, reconstructs the same
+//! state — propagation is deterministic and monotone, so replaying the
+//! *told* information rebuilds every *derived* fact.
+//!
+//! `TEST` functions are host-language closures and cannot be serialized;
+//! a snapshot records the registered test names in a header comment, and
+//! [`crate::replay`] requires them to be re-registered first (the same
+//! contract the 1989 system had with its LISP environment).
+
+use classic_core::error::Result;
+use classic_kb::Kb;
+use std::fmt::Write as _;
+
+/// Render the complete state of a knowledge base as a command script.
+pub fn snapshot_to_string(kb: &Kb) -> String {
+    let mut out = String::new();
+    let symbols = &kb.schema().symbols;
+    out.push_str("; CLASSIC snapshot (replayable command script)\n");
+    // Required host test registrations, as a machine-readable comment.
+    let tests: Vec<&str> = (0..)
+        .map_while(|i| {
+            let id = classic_core::TestId::from_index(i);
+            kb.schema().check_test(id).ok().map(|()| symbols.test_name(id))
+        })
+        .collect();
+    if !tests.is_empty() {
+        let _ = writeln!(out, ";!tests: {}", tests.join(" "));
+    }
+    // Roles (attributes distinguished), sorted by name so the snapshot
+    // text is canonical regardless of interning order.
+    let mut roles: Vec<(&str, bool)> = symbols
+        .roles()
+        .filter_map(|(role, name)| {
+            kb.schema().role_decl(role).map(|d| (name, d.attribute))
+        })
+        .collect();
+    roles.sort();
+    for (name, attribute) in roles {
+        if attribute {
+            let _ = writeln!(out, "(define-attribute {name})");
+        } else {
+            let _ = writeln!(out, "(define-role {name})");
+        }
+    }
+    // Concept definitions, in definition order (references only point
+    // backwards, so replay succeeds).
+    for cname in kb.schema().defined_concepts() {
+        let told = kb
+            .schema()
+            .concept_told(cname)
+            .expect("defined concept has a told form");
+        let _ = writeln!(
+            out,
+            "(define-concept {} {})",
+            symbols.concept_name(cname),
+            told.display(symbols)
+        );
+    }
+    // Rules.
+    for rule in kb.rules() {
+        let _ = writeln!(
+            out,
+            "(assert-rule {} {})",
+            symbols.concept_name(rule.antecedent),
+            rule.consequent.display(symbols)
+        );
+    }
+    // Individuals: identities first (forward references in FILLS are
+    // legal, but being explicit keeps the script order-insensitive), then
+    // the told assertions.
+    for id in kb.ind_ids() {
+        let _ = writeln!(out, "(create-ind {})", symbols.individual_name(kb.ind(id).name));
+    }
+    for id in kb.ind_ids() {
+        let name = symbols.individual_name(kb.ind(id).name);
+        for told in &kb.ind(id).told {
+            let _ = writeln!(out, "(assert-ind {name} {})", told.display(symbols));
+        }
+    }
+    out
+}
+
+/// Replay a snapshot (or any command script) against a knowledge base.
+/// Returns the number of commands executed.
+///
+/// If the script carries a `;!tests:` header (written by
+/// [`snapshot_to_string`]), every named host test function must already
+/// be registered on `kb` — test closures cannot be serialized, so the
+/// header is the contract between snapshot writer and reader. A missing
+/// registration fails fast here instead of surfacing later as a puzzling
+/// `UndefinedTest` mid-replay.
+pub fn replay(kb: &mut Kb, script: &str) -> Result<usize> {
+    for line in script.lines() {
+        if let Some(names) = line.strip_prefix(";!tests:") {
+            for name in names.split_whitespace() {
+                let registered = kb
+                    .schema()
+                    .symbols
+                    .find_test(name)
+                    .map(|t| kb.schema().check_test(t).is_ok())
+                    .unwrap_or(false);
+                if !registered {
+                    return Err(classic_core::ClassicError::Malformed(format!(
+                        "snapshot requires host test {name:?}; register it                          before replaying"
+                    )));
+                }
+            }
+        }
+    }
+    let outcomes = classic_lang::run_script(kb, script)?;
+    Ok(outcomes.len())
+}
+
+/// Convenience: snapshot `kb`'s state and rebuild a fresh KB from it,
+/// carrying over the registered test functions via `register_tests`.
+pub fn roundtrip(kb: &Kb, register_tests: impl FnOnce(&mut Kb)) -> Result<Kb> {
+    let script = snapshot_to_string(kb);
+    let mut fresh = Kb::new();
+    register_tests(&mut fresh);
+    replay(&mut fresh, &script)?;
+    Ok(fresh)
+}
+
+/// Pretty assertion helper used by tests and examples: do two KBs agree on
+/// schema size, individuals, and every individual's derived description?
+pub fn same_state(a: &Kb, b: &Kb) -> bool {
+    if a.ind_count() != b.ind_count()
+        || a.schema().concept_count() != b.schema().concept_count()
+        || a.rules().len() != b.rules().len()
+    {
+        return false;
+    }
+    for id in a.ind_ids() {
+        let an = a.schema().symbols.individual_name(a.ind(id).name);
+        let Some(bn) = b.schema().symbols.find_individual(an) else {
+            return false;
+        };
+        let Ok(bid) = b.ind_id(bn) else {
+            return false;
+        };
+        // Compare derived descriptions via their rendered concepts (ids
+        // may differ between the two symbol tables).
+        let ac = a.ind(id).derived.to_concept(a.schema());
+        let bc = b.ind(bid).derived.to_concept(b.schema());
+        if ac.display(&a.schema().symbols).to_string()
+            != bc.display(&b.schema().symbols).to_string()
+        {
+            return false;
+        }
+        if a.most_specific_concepts(id).len() != b.most_specific_concepts(bid).len() {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classic_core::desc::Concept;
+    use classic_core::schema::TestArg;
+
+    #[test]
+    fn snapshot_records_required_tests_and_replay_enforces_them() {
+        let mut kb = Kb::new();
+        kb.register_test("even", |arg| {
+            matches!(arg, TestArg::Host(classic_core::HostValue::Int(i)) if i % 2 == 0)
+        });
+        kb.define_role("age").unwrap();
+        let even = kb.schema().symbols.find_test("even").unwrap();
+        let age = kb.schema().symbols.find_role("age").unwrap();
+        kb.define_concept(
+            "EVEN-AGED",
+            Concept::all(age, Concept::Test(even)),
+        )
+        .unwrap();
+        let script = snapshot_to_string(&kb);
+        assert!(script.contains(";!tests: even"));
+        // Replaying without the registration fails fast with a clear
+        // message…
+        let mut bare = Kb::new();
+        let err = replay(&mut bare, &script).unwrap_err();
+        assert!(err.to_string().contains("even"));
+        // …and succeeds once registered.
+        let mut ready = Kb::new();
+        ready.register_test("even", |_| true);
+        assert!(replay(&mut ready, &script).is_ok());
+    }
+
+    #[test]
+    fn empty_kb_snapshot_is_replayable() {
+        let kb = Kb::new();
+        let script = snapshot_to_string(&kb);
+        let mut fresh = Kb::new();
+        assert_eq!(replay(&mut fresh, &script).unwrap(), 0);
+    }
+
+    #[test]
+    fn same_state_detects_differences() {
+        let mut a = Kb::new();
+        a.define_role("r").unwrap();
+        a.create_ind("X").unwrap();
+        let mut b = Kb::new();
+        b.define_role("r").unwrap();
+        assert!(!same_state(&a, &b), "individual counts differ");
+        b.create_ind("X").unwrap();
+        assert!(same_state(&a, &b));
+        let r = classic_core::RoleId::from_index(0);
+        a.assert_ind("X", &Concept::AtLeast(1, r)).unwrap();
+        assert!(!same_state(&a, &b), "derived descriptions differ");
+    }
+}

@@ -1,0 +1,455 @@
+//! Durable storage: a write-ahead operation log plus snapshot compaction.
+//!
+//! The paper frames the database as "a cache for persistent information of
+//! limited complexity" (§1) and names secondary storage as the major open
+//! issue (§5). [`DurableKb`] is the straightforward answer for the
+//! reproduction: every *accepted* mutating operator is appended to a log
+//! file in the surface syntax before the call returns, and
+//! [`DurableKb::compact`] rewrites the log as a snapshot. Opening a store
+//! replays snapshot + log, rebuilding all derived state deterministically.
+//!
+//! Rejected updates are never logged — the log records exactly the
+//! accepted history, so replay cannot fail on integrity grounds.
+
+use crate::snapshot::{replay, snapshot_to_string};
+use classic_core::desc::Concept;
+use classic_core::error::{ClassicError, Result};
+use classic_core::schema::TestArg;
+use classic_core::symbol::{ConceptName, RoleId, TestId};
+use classic_kb::{AssertReport, IndId, Kb};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// A knowledge base backed by an on-disk operation log.
+pub struct DurableKb {
+    kb: Kb,
+    log_path: PathBuf,
+    log: BufWriter<File>,
+    /// Operations appended since open/compact.
+    ops_since_compact: u64,
+}
+
+impl DurableKb {
+    /// Open (or create) a store rooted at `path`. `path` is the log file;
+    /// `path` with extension `.snapshot` holds the last compaction.
+    /// `register_tests` must register every host test function the logged
+    /// history references.
+    pub fn open(path: impl AsRef<Path>, register_tests: impl FnOnce(&mut Kb)) -> Result<DurableKb> {
+        let log_path = path.as_ref().to_path_buf();
+        let mut kb = Kb::new();
+        register_tests(&mut kb);
+        // Replay snapshot first, then the tail log.
+        let snap_path = snapshot_path(&log_path);
+        if snap_path.exists() {
+            let script = read_file(&snap_path)?;
+            replay(&mut kb, &script)?;
+        }
+        if log_path.exists() {
+            recover_log(&mut kb, &log_path)?;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&log_path)
+            .map_err(io_err)?;
+        Ok(DurableKb {
+            kb,
+            log_path,
+            log: BufWriter::new(file),
+            ops_since_compact: 0,
+        })
+    }
+
+    /// The underlying knowledge base (read-only; mutations must go through
+    /// the logged operators).
+    pub fn kb(&self) -> &Kb {
+        &self.kb
+    }
+
+    /// Mutable access for *query* paths that need `&mut Kb` (ad-hoc
+    /// normalization interns symbols but asserts nothing durable).
+    pub fn kb_mut_for_queries(&mut self) -> &mut Kb {
+        &mut self.kb
+    }
+
+    fn append(&mut self, line: &str) -> Result<()> {
+        self.log.write_all(line.as_bytes()).map_err(io_err)?;
+        self.log.write_all(b"\n").map_err(io_err)?;
+        self.log.flush().map_err(io_err)?;
+        self.ops_since_compact += 1;
+        Ok(())
+    }
+
+    // ---- logged operators -------------------------------------------------
+
+    /// `define-role`, logged on success.
+    pub fn define_role(&mut self, name: &str) -> Result<RoleId> {
+        let id = self.kb.define_role(name)?;
+        self.append(&format!("(define-role {name})"))?;
+        Ok(id)
+    }
+
+    /// `define-attribute`, logged on success.
+    pub fn define_attribute(&mut self, name: &str) -> Result<RoleId> {
+        let id = self.kb.define_attribute(name)?;
+        self.append(&format!("(define-attribute {name})"))?;
+        Ok(id)
+    }
+
+    /// `define-concept`, logged on success.
+    pub fn define_concept(&mut self, name: &str, told: Concept) -> Result<ConceptName> {
+        let rendered = told.display(&self.kb.schema().symbols).to_string();
+        let id = self.kb.define_concept(name, told)?;
+        self.append(&format!("(define-concept {name} {rendered})"))?;
+        Ok(id)
+    }
+
+    /// `create-ind`, logged on success.
+    pub fn create_ind(&mut self, name: &str) -> Result<IndId> {
+        let id = self.kb.create_ind(name)?;
+        self.append(&format!("(create-ind {name})"))?;
+        Ok(id)
+    }
+
+    /// `assert-ind`: applied to the KB first; logged only if accepted.
+    pub fn assert_ind(&mut self, name: &str, desc: &Concept) -> Result<AssertReport> {
+        let rendered = desc.display(&self.kb.schema().symbols).to_string();
+        let report = self.kb.assert_ind(name, desc)?;
+        self.append(&format!("(assert-ind {name} {rendered})"))?;
+        Ok(report)
+    }
+
+    /// `assert-rule`: applied to the KB first; logged only if accepted.
+    pub fn assert_rule(&mut self, antecedent: &str, consequent: Concept) -> Result<usize> {
+        let rendered = consequent.display(&self.kb.schema().symbols).to_string();
+        let ix = self.kb.assert_rule(antecedent, consequent)?;
+        self.append(&format!("(assert-rule {antecedent} {rendered})"))?;
+        Ok(ix)
+    }
+
+    /// Register a host test function. Not logged (closures are not
+    /// serializable); the snapshot header records the required names.
+    pub fn register_test<F>(&mut self, name: &str, f: F) -> TestId
+    where
+        F: Fn(&TestArg<'_>) -> bool + Send + Sync + 'static,
+    {
+        self.kb.register_test(name, f)
+    }
+
+    // ---- maintenance -------------------------------------------------------
+
+    /// Operations appended since the store was opened or last compacted.
+    pub fn pending_ops(&self) -> u64 {
+        self.ops_since_compact
+    }
+
+    /// Rewrite the snapshot from current state and truncate the log.
+    pub fn compact(&mut self) -> Result<()> {
+        let snap = snapshot_to_string(&self.kb);
+        let snap_path = snapshot_path(&self.log_path);
+        let tmp = snap_path.with_extension("snapshot.tmp");
+        std::fs::write(&tmp, snap).map_err(io_err)?;
+        std::fs::rename(&tmp, &snap_path).map_err(io_err)?;
+        // Truncate the log only after the snapshot is durable.
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&self.log_path)
+            .map_err(io_err)?;
+        self.log = BufWriter::new(file);
+        self.ops_since_compact = 0;
+        Ok(())
+    }
+}
+
+/// Replay the operation log line by line, tolerating a torn tail.
+///
+/// The log is written one command per line with a flush per append, so
+/// the only corruption a crash can produce is an incomplete final line.
+/// Recovery truncates that tail (after which the log is exactly the
+/// accepted history again); a malformed line *followed by* valid ones is
+/// genuine corruption and is reported as an error rather than repaired.
+fn recover_log(kb: &mut Kb, log_path: &Path) -> Result<()> {
+    let raw = read_file(log_path)?;
+    // Byte offset of the end of the last successfully replayed line.
+    let mut good_end = 0usize;
+    let mut pending_failure: Option<(usize, ClassicError)> = None;
+    let mut offset = 0usize;
+    for line in raw.split_inclusive('\n') {
+        let start = offset;
+        offset += line.len();
+        let text = line.trim();
+        if text.is_empty() || text.starts_with(';') {
+            good_end = offset;
+            continue;
+        }
+        if let Some((_, e)) = pending_failure {
+            // A valid-looking line after a failure ⇒ mid-log corruption.
+            return Err(ClassicError::Malformed(format!(
+                "operation log corrupted mid-file (not just a torn tail): {e}"
+            )));
+        }
+        match classic_lang::run_script(kb, text) {
+            Ok(_) => good_end = offset,
+            Err(e) => pending_failure = Some((start, e)),
+        }
+    }
+    if pending_failure.is_some() && good_end < raw.len() {
+        // Torn tail: truncate the log back to the last good record.
+        let file = OpenOptions::new()
+            .write(true)
+            .open(log_path)
+            .map_err(io_err)?;
+        file.set_len(good_end as u64).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn snapshot_path(log: &Path) -> PathBuf {
+    log.with_extension("snapshot")
+}
+
+fn read_file(path: &Path) -> Result<String> {
+    let mut s = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut s))
+        .map_err(io_err)?;
+    Ok(s)
+}
+
+fn io_err(e: std::io::Error) -> ClassicError {
+    ClassicError::Malformed(format!("storage I/O error: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::same_state;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "classic-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn populate(store: &mut DurableKb) {
+        store.define_role("thing-driven").unwrap();
+        store.define_role("enrolled-at").unwrap();
+        store
+            .define_concept("PERSON", Concept::primitive(Concept::thing(), "person"))
+            .unwrap();
+        let person = store.kb.schema().symbols.find_concept("PERSON").unwrap();
+        let enrolled = store.kb.schema().symbols.find_role("enrolled-at").unwrap();
+        store
+            .define_concept(
+                "STUDENT",
+                Concept::and([Concept::Name(person), Concept::AtLeast(1, enrolled)]),
+            )
+            .unwrap();
+        store.create_ind("Rocky").unwrap();
+        store.assert_ind("Rocky", &Concept::Name(person)).unwrap();
+        store
+            .assert_ind("Rocky", &Concept::AtLeast(1, enrolled))
+            .unwrap();
+    }
+
+    #[test]
+    fn log_replays_to_same_state() {
+        let dir = tmpdir("replay");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        populate(&mut store);
+        let before = snapshot_to_string(store.kb());
+        drop(store);
+
+        let reopened = DurableKb::open(&path, |_| {}).unwrap();
+        assert_eq!(before, snapshot_to_string(reopened.kb()));
+        // Derived state (recognition) was rebuilt, not just told facts.
+        let student = reopened
+            .kb()
+            .schema()
+            .symbols
+            .find_concept("STUDENT")
+            .unwrap();
+        let rocky = reopened
+            .kb()
+            .ind_id(
+                reopened
+                    .kb()
+                    .schema()
+                    .symbols
+                    .find_individual("Rocky")
+                    .unwrap(),
+            )
+            .unwrap();
+        assert!(reopened.kb().is_instance_of(rocky, student).unwrap());
+    }
+
+    #[test]
+    fn rejected_updates_are_not_logged() {
+        let dir = tmpdir("reject");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        populate(&mut store);
+        let driven = store.kb.schema().symbols.find_role("thing-driven").unwrap();
+        store
+            .assert_ind("Rocky", &Concept::AtMost(0, driven))
+            .unwrap();
+        // Now contradict it — rejected, and must not poison the log.
+        let v = classic_core::IndRef::Classic(
+            store.kb.schema_mut().symbols.individual("Volvo-17"),
+        );
+        assert!(store
+            .assert_ind("Rocky", &Concept::Fills(driven, vec![v]))
+            .is_err());
+        drop(store);
+        let reopened = DurableKb::open(&path, |_| {}).unwrap();
+        let rocky = reopened
+            .kb()
+            .ind_id(
+                reopened
+                    .kb()
+                    .schema()
+                    .symbols
+                    .find_individual("Rocky")
+                    .unwrap(),
+            )
+            .unwrap();
+        // Role ids are interning-order dependent; re-resolve by name.
+        let driven = reopened
+            .kb()
+            .schema()
+            .symbols
+            .find_role("thing-driven")
+            .unwrap();
+        assert!(reopened.kb().ind(rocky).is_closed(driven));
+    }
+
+    #[test]
+    fn compact_then_reopen() {
+        let dir = tmpdir("compact");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        populate(&mut store);
+        assert!(store.pending_ops() > 0);
+        store.compact().unwrap();
+        assert_eq!(store.pending_ops(), 0);
+        // More ops after compaction land in the fresh log.
+        store.create_ind("Bullwinkle").unwrap();
+        let before = snapshot_to_string(store.kb());
+        drop(store);
+        let reopened = DurableKb::open(&path, |_| {}).unwrap();
+        assert_eq!(before, snapshot_to_string(reopened.kb()));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_state() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        populate(&mut store);
+        let rebuilt = crate::snapshot::roundtrip(store.kb(), |_| {}).unwrap();
+        assert!(same_state(store.kb(), &rebuilt));
+    }
+
+    #[test]
+    fn torn_tail_is_recovered_and_truncated() {
+        let dir = tmpdir("torn");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        populate(&mut store);
+        drop(store);
+        // Simulate a crash mid-append: an incomplete final record.
+        let mut raw = std::fs::read_to_string(&path).unwrap();
+        let good_len = raw.len();
+        raw.push_str("(assert-ind Rocky (AT-LEA"); // torn write, no newline
+        std::fs::write(&path, &raw).unwrap();
+
+        let store = DurableKb::open(&path, |_| {}).unwrap();
+        // State is the full accepted history…
+        let rocky = store
+            .kb()
+            .schema()
+            .symbols
+            .find_individual("Rocky")
+            .unwrap();
+        assert!(store.kb().ind_id(rocky).is_ok());
+        drop(store);
+        // …and the log was truncated back to the last good record.
+        let recovered = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(recovered.len(), good_len);
+        // Reopening again is clean.
+        DurableKb::open(&path, |_| {}).unwrap();
+    }
+
+    #[test]
+    fn mid_log_corruption_is_an_error_not_silent_repair() {
+        let dir = tmpdir("midcorrupt");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        populate(&mut store);
+        store.create_ind("Bullwinkle").unwrap();
+        drop(store);
+        // Corrupt a line in the middle.
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = raw.lines().collect();
+        let mut bad: Vec<String> = lines.iter().map(|s| (*s).to_owned()).collect();
+        let mid = bad.len() / 2;
+        bad[mid] = "(assert-ind ??? broken".to_owned();
+        std::fs::write(&path, bad.join("\n") + "\n").unwrap();
+
+        let err = match DurableKb::open(&path, |_| {}) {
+            Err(e) => e,
+            Ok(_) => panic!("mid-log corruption must not open cleanly"),
+        };
+        assert!(err.to_string().contains("corrupted"), "got: {err}");
+    }
+
+    #[test]
+    fn rules_survive_persistence() {
+        let dir = tmpdir("rules");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        populate(&mut store);
+        store.define_role("eat").unwrap();
+        store
+            .define_concept("JUNK-FOOD", Concept::primitive(Concept::thing(), "junk"))
+            .unwrap();
+        let junk = store.kb.schema().symbols.find_concept("JUNK-FOOD").unwrap();
+        let eat = store.kb.schema().symbols.find_role("eat").unwrap();
+        store
+            .assert_rule("STUDENT", Concept::all(eat, Concept::Name(junk)))
+            .unwrap();
+        drop(store);
+        let reopened = DurableKb::open(&path, |_| {}).unwrap();
+        assert_eq!(reopened.kb().rules().len(), 1);
+        // And the rule had fired on Rocky during replay.
+        let rocky = reopened
+            .kb()
+            .ind_id(
+                reopened
+                    .kb()
+                    .schema()
+                    .symbols
+                    .find_individual("Rocky")
+                    .unwrap(),
+            )
+            .unwrap();
+        let eat = reopened.kb().schema().symbols.find_role("eat").unwrap();
+        let junk = reopened
+            .kb()
+            .schema()
+            .symbols
+            .find_concept("JUNK-FOOD")
+            .unwrap();
+        let junk_nf = reopened.kb().schema().concept_nf(junk).unwrap();
+        let vr = reopened.kb().ind(rocky).derived.value_restriction(eat);
+        assert!(classic_core::subsumes(junk_nf, &vr));
+    }
+}

@@ -1,0 +1,204 @@
+//! A computer-configuration knowledge base with `TEST` concepts.
+//!
+//! The paper mentions "a computer configuration task we have recently
+//! undertaken, with a CLASSIC database representing the parts inventory"
+//! as the application that proved the `TEST` escape hatch "pragmatically
+//! useful" (§2.1.4). This example models a parts inventory: host-valued
+//! attributes (wattage, RAM sizes), `TEST` concepts for ranges (the
+//! paper's original motivation: "integer ranges, limited-precision
+//! numbers, limited-length strings"), closure-based capacity checks, and
+//! integrity rejection of invalid configurations.
+//!
+//! Run with: `cargo run --example configurator`
+
+use classic::core::TestArg;
+use classic::{Concept, HostValue, IndRef, Kb};
+
+fn main() {
+    let mut kb = Kb::new();
+
+    // ---- host-language test functions (§2.1.4) ---------------------------
+    // "a host-language-specific procedure of one argument that returns
+    // true if and only if" — here, wattage/RAM sanity ranges.
+    let watts_ok = kb.register_test("watts-in-range", |arg| match arg {
+        TestArg::Host(HostValue::Int(w)) => (100..=1600).contains(w),
+        _ => false,
+    });
+    let ram_stick_ok = kb.register_test("ram-stick-size", |arg| match arg {
+        TestArg::Host(HostValue::Int(gb)) => [4, 8, 16, 32, 64].contains(gb),
+        _ => false,
+    });
+
+    // ---- schema -----------------------------------------------------------
+    kb.define_role("wattage").expect("fresh");
+    kb.define_role("ram-gb").expect("fresh");
+    kb.define_role("slot").expect("fresh");
+    kb.define_role("psu").expect("fresh");
+    let wattage = kb.schema().symbols.find_role("wattage").expect("r");
+    let ram_gb = kb.schema().symbols.find_role("ram-gb").expect("r");
+    let slot = kb.schema().symbols.find_role("slot").expect("r");
+    let psu = kb.schema().symbols.find_role("psu").expect("r");
+
+    kb.define_concept("PART", Concept::primitive(Concept::thing(), "part"))
+        .expect("fresh");
+    let part = Concept::Name(kb.schema().symbols.find_concept("PART").expect("c"));
+    // Disjoint part kinds (§3.4 idiom).
+    for kind in ["POWER-SUPPLY", "RAM-MODULE", "MOTHERBOARD"] {
+        kb.define_concept(
+            kind,
+            Concept::disjoint_primitive(part.clone(), "part-kind", &kind.to_lowercase()),
+        )
+        .expect("fresh");
+    }
+    let power_supply = Concept::Name(kb.schema().symbols.find_concept("POWER-SUPPLY").expect("c"));
+    let ram_module = Concept::Name(kb.schema().symbols.find_concept("RAM-MODULE").expect("c"));
+    let motherboard = Concept::Name(kb.schema().symbols.find_concept("MOTHERBOARD").expect("c"));
+
+    // EVEN-INTEGER-style TEST composition (§2.1.4):
+    // a VALID-PSU is a power supply whose wattage is an in-range integer.
+    kb.define_concept(
+        "VALID-PSU",
+        Concept::and([
+            power_supply.clone(),
+            Concept::exactly(1, wattage),
+            Concept::all(
+                wattage,
+                Concept::and([
+                    Concept::Builtin(classic::Layer::Host(Some(classic::core::HostClass::Integer))),
+                    Concept::Test(watts_ok),
+                ]),
+            ),
+        ]),
+    )
+    .expect("fresh");
+    kb.define_concept(
+        "VALID-RAM",
+        Concept::and([
+            ram_module.clone(),
+            Concept::exactly(1, ram_gb),
+            Concept::all(ram_gb, Concept::Test(ram_stick_ok)),
+        ]),
+    )
+    .expect("fresh");
+    // A dual-slot motherboard: exactly two RAM slots, each a valid module.
+    kb.define_concept(
+        "POPULATED-BOARD",
+        Concept::and([
+            motherboard.clone(),
+            Concept::exactly(2, slot),
+            Concept::all(
+                slot,
+                Concept::Name(kb.schema().symbols.find_concept("VALID-RAM").expect("c")),
+            ),
+            Concept::exactly(1, psu),
+            Concept::all(
+                psu,
+                Concept::Name(kb.schema().symbols.find_concept("VALID-PSU").expect("c")),
+            ),
+        ]),
+    )
+    .expect("fresh");
+
+    // ---- inventory ----------------------------------------------------------
+    kb.create_ind("psu-750").expect("fresh");
+    kb.assert_ind("psu-750", &power_supply).expect("ok");
+    kb.assert_ind(
+        "psu-750",
+        &Concept::and([
+            Concept::Fills(wattage, vec![IndRef::Host(HostValue::Int(750))]),
+            Concept::Close(wattage),
+        ]),
+    )
+    .expect("ok");
+    for (name, gb) in [("dimm-a", 16), ("dimm-b", 16)] {
+        kb.create_ind(name).expect("fresh");
+        kb.assert_ind(name, &ram_module).expect("ok");
+        kb.assert_ind(
+            name,
+            &Concept::and([
+                Concept::Fills(ram_gb, vec![IndRef::Host(HostValue::Int(gb))]),
+                Concept::Close(ram_gb),
+            ]),
+        )
+        .expect("ok");
+    }
+
+    // TESTs act as procedural recognizers: psu-750 is a VALID-PSU without
+    // anyone asserting it.
+    let valid_psu = kb.schema().symbols.find_concept("VALID-PSU").expect("c");
+    let psu_id = kb
+        .ind_id(kb.schema().symbols.find_individual("psu-750").expect("i"))
+        .expect("exists");
+    assert!(kb.is_instance_of(psu_id, valid_psu).expect("defined"));
+    println!("psu-750 recognized as VALID-PSU via the wattage TEST");
+
+    // ---- build a configuration --------------------------------------------
+    kb.create_ind("board-1").expect("fresh");
+    kb.assert_ind("board-1", &motherboard).expect("ok");
+    let dimm_a = IndRef::Classic(kb.schema_mut().symbols.individual("dimm-a"));
+    let dimm_b = IndRef::Classic(kb.schema_mut().symbols.individual("dimm-b"));
+    let psu_ref = IndRef::Classic(kb.schema_mut().symbols.individual("psu-750"));
+    kb.assert_ind(
+        "board-1",
+        &Concept::and([
+            Concept::Fills(slot, vec![dimm_a, dimm_b]),
+            Concept::Close(slot),
+            Concept::Fills(psu, vec![psu_ref]),
+            Concept::Close(psu),
+        ]),
+    )
+    .expect("ok");
+    let populated = kb
+        .schema()
+        .symbols
+        .find_concept("POPULATED-BOARD")
+        .expect("c");
+    let board = kb
+        .ind_id(kb.schema().symbols.find_individual("board-1").expect("i"))
+        .expect("exists");
+    assert!(kb.is_instance_of(board, populated).expect("defined"));
+    println!("board-1 recognized as POPULATED-BOARD (closure + per-filler tests)");
+
+    // ---- invalid parts are caught ------------------------------------------
+    // An out-of-range PSU cannot be *asserted* valid: the TEST refutes it.
+    kb.create_ind("psu-9000").expect("fresh");
+    kb.assert_ind("psu-9000", &power_supply).expect("ok");
+    kb.assert_ind(
+        "psu-9000",
+        &Concept::and([
+            Concept::Fills(wattage, vec![IndRef::Host(HostValue::Int(9000))]),
+            Concept::Close(wattage),
+        ]),
+    )
+    .expect("recording the wattage is fine");
+    let err = kb
+        .assert_ind("psu-9000", &Concept::Name(valid_psu))
+        .expect_err("9000W fails the range test");
+    println!("psu-9000 as VALID-PSU rejected: {err}");
+    // A third DIMM in a dual-slot board violates the closed role.
+    let dimm_c = IndRef::Classic(kb.schema_mut().symbols.individual("dimm-c"));
+    let err = kb
+        .assert_ind("board-1", &Concept::Fills(slot, vec![dimm_c.clone()]))
+        .expect_err("slots are closed at two");
+    println!("third DIMM rejected: {err}");
+
+    // ---- hypothetical reasoning ---------------------------------------------
+    // The configurator's working question: "could this part still go in?"
+    // what_if runs the full propagation and rolls back unconditionally.
+    let err = kb
+        .what_if("board-1", &Concept::Fills(slot, vec![dimm_c]))
+        .expect_err("hypothetically rejected too");
+    println!("what-if third DIMM: {err} (database untouched)");
+    let report = kb
+        .what_if("board-1", &Concept::AtMost(1, psu))
+        .expect("tightening the PSU bound would be fine");
+    println!(
+        "what-if AT-MOST 1 psu: would be accepted ({} propagation steps), database untouched",
+        report.steps
+    );
+    // And the explanation facility narrates recognition:
+    let e = kb.explain_membership(board, populated).expect("defined");
+    print!("why is board-1 a POPULATED-BOARD?
+{}", e.render());
+    println!("configurator OK");
+}

@@ -1,0 +1,139 @@
+//! The paper's §4 law-enforcement example, end to end.
+//!
+//! "A typical situation where one starts out with an incomplete view of
+//! the actual events, and incrementally fleshes out the details of the
+//! crime": open-world evidence accumulation, on-the-fly schema extension
+//! (the `heard-speaking` clue), co-reference deduction for domestic
+//! crimes, heuristic rules about typical suspects, and the three answer
+//! modes (known / possible / intensional description).
+//!
+//! Run with: `cargo run --example crime_db`
+
+use classic::lang::{run_script, Outcome};
+use classic::{ask_description, possible, retrieve, Concept, Kb, MarkedQuery};
+
+fn main() {
+    let mut kb = Kb::new();
+
+    // ---- schema: CRIME and DOMESTIC-CRIME exactly as in §4 --------------
+    run_script(
+        &mut kb,
+        r#"
+        (define-role perpetrator)
+        (define-role victim)
+        (define-attribute site)
+        (define-attribute domicile)
+        (define-role jobs)
+        (define-role typical-suspect)
+
+        (define-concept PERSON (PRIMITIVE THING person))
+        (define-concept ADULT  (PRIMITIVE PERSON adult))
+        (define-concept CRIME
+          (PRIMITIVE (AND (AT-LEAST 1 perpetrator)
+                          (ALL perpetrator PERSON)
+                          (AT-LEAST 1 victim)
+                          (AT-LEAST 1 site)
+                          (AT-MOST 1 site))
+                     crime))
+        ; "a crime perpetrated at the domicile of the (single) perpetrator"
+        (define-concept DOMESTIC-CRIME
+          (AND CRIME (AT-MOST 1 perpetrator)
+               (SAME-AS (site) (perpetrator domicile))))
+        ; "domestic criminals are typically adults, and have no jobs"
+        (assert-rule DOMESTIC-CRIME
+          (ALL typical-suspect (AND ADULT (AT-MOST 0 jobs))))
+        "#,
+    )
+    .expect("schema");
+
+    // DOMESTIC-CRIME has *exactly one* perpetrator — inferred, not stated.
+    let dc = kb
+        .schema()
+        .symbols
+        .find_concept("DOMESTIC-CRIME")
+        .expect("defined");
+    let perp = kb.schema().symbols.find_role("perpetrator").expect("role");
+    let nf = kb.schema().concept_nf(dc).expect("defined");
+    let rr = nf.roles.get(&perp).expect("restricted");
+    println!(
+        "inferred: DOMESTIC-CRIME has between {} and {:?} perpetrators",
+        rr.at_least, rr.at_most
+    );
+    assert_eq!((rr.at_least, rr.at_most), (1, Some(1)));
+
+    // ---- crime23: evidence accumulates (§4) ------------------------------
+    run_script(
+        &mut kb,
+        r#"
+        (create-ind crime23)
+        (assert-ind crime23 CRIME)
+        ; A witness saw a group of criminals leaving…
+        (assert-ind crime23 (AT-LEAST 2 perpetrator))
+        "#,
+    )
+    .expect("evidence");
+    // …and they were overheard speaking Ruritanian. The schema grows on
+    // the fly: "it seems hard to anticipate all possible kinds of clues".
+    kb.define_role("heard-speaking").expect("new role, new clue");
+    run_script(
+        &mut kb,
+        "(assert-ind crime23
+            (ALL perpetrator (ALL heard-speaking (ONE-OF Ruritanian))))",
+    )
+    .expect("clue recorded");
+
+    // crime23 cannot be domestic (two perpetrators ≥ 2 > 1).
+    let err = run_script(&mut kb, "(assert-ind crime23 DOMESTIC-CRIME)")
+        .expect_err("contradicts AT-LEAST 2");
+    println!("crime23 as DOMESTIC-CRIME rejected: {err}");
+
+    // ---- crime15: the co-reference deduction ------------------------------
+    run_script(
+        &mut kb,
+        r#"
+        (create-ind crime15)
+        (assert-ind crime15 CRIME)
+        (assert-ind crime15 (FILLS perpetrator Wife-1))
+        (assert-ind crime15 (FILLS site Home-1))
+        (assert-ind crime15 DOMESTIC-CRIME)
+        "#,
+    )
+    .expect("domestic crime recorded");
+    // SAME-AS (site) (perpetrator domicile) derived Wife-1's domicile.
+    let out = run_script(&mut kb, "(ind-aspect Wife-1 FILLS domicile)").expect("aspect");
+    println!("derived: Wife-1's domicile = {:?}", out.last().expect("one"));
+    assert_eq!(out.last().expect("one"), &Outcome::Aspect("(Home-1)".into()));
+
+    // ---- answer modes (§3.5.3) --------------------------------------------
+    let crime = Concept::Name(kb.schema().symbols.find_concept("CRIME").expect("c"));
+    let q = Concept::and([crime, Concept::AtLeast(1, perp)]);
+    let known = retrieve(&mut kb, &q).expect("query").known.len();
+    let poss = possible(&mut kb, &q).expect("query").len();
+    println!("crimes with ≥1 perpetrator: known={known} possible={poss}");
+    // Both crimes are *known* answers although crime23's perpetrators are
+    // still unidentified — existence is part of CRIME's definition.
+    assert_eq!(known, 2);
+
+    // Intensional answer: what do we know about crime15's typical suspect,
+    // "even when their properties are not fully known in the database"?
+    let suspect = kb
+        .schema()
+        .symbols
+        .find_role("typical-suspect")
+        .expect("role");
+    let crime15 = kb.schema().symbols.find_individual("crime15").expect("i");
+    let q = MarkedQuery {
+        concept: Concept::one_of([classic::IndRef::Classic(crime15)]),
+        marker: vec![suspect],
+    };
+    let desc = ask_description(&mut kb, &q).expect("description");
+    println!(
+        "necessary description of crime15's typical suspect:\n  {}",
+        desc.to_concept(kb.schema()).display(&kb.schema().symbols)
+    );
+    // The rule contributed ADULT and joblessness.
+    let adult = kb.schema().symbols.find_concept("ADULT").expect("c");
+    let adult_nf = kb.schema().concept_nf(adult).expect("defined");
+    assert!(classic::core::subsumes(adult_nf, &desc));
+    println!("crime_db OK");
+}

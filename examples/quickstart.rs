@@ -1,0 +1,107 @@
+//! Quickstart: the paper's §2–3 walk-through with Rocky and RICH-KID.
+//!
+//! Demonstrates the core loop of a CLASSIC database: define a schema of
+//! structured concepts, assert partial information about individuals
+//! under the open-world assumption, and watch the database *recognize*
+//! memberships and propagate consequences that were never asserted.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use classic::core::aspect::AspectKind;
+use classic::lang::{run_script, Outcome};
+use classic::Kb;
+
+fn main() {
+    let mut kb = Kb::new();
+
+    // ---- schema (§3.1): roles and structured concept definitions -------
+    run_script(
+        &mut kb,
+        r#"
+        (define-role thing-driven)
+        (define-role enrolled-at)
+        (define-role maker)
+
+        (define-concept PERSON          (PRIMITIVE THING person))
+        (define-concept CAR             (PRIMITIVE THING car))
+        (define-concept EXPENSIVE-THING (PRIMITIVE THING expensive))
+        ; §2.1.1: a primitive with a non-trivial parent.
+        (define-concept SPORTS-CAR
+            (PRIMITIVE (AND CAR EXPENSIVE-THING) sports-car))
+        ; §3.3: STUDENT is *defined* — membership is recognizable.
+        (define-concept STUDENT (AND PERSON (AT-LEAST 1 enrolled-at)))
+        ; §3.1: "a student that drives at least two things, all of which
+        ; are sports cars".
+        (define-concept RICH-KID
+            (AND STUDENT (ALL thing-driven SPORTS-CAR)
+                 (AT-LEAST 2 thing-driven)))
+        "#,
+    )
+    .expect("schema definition");
+    println!("schema: {} concepts defined", kb.schema().concept_count());
+
+    // ---- updates (§3.2): incremental, partial information ---------------
+    run_script(
+        &mut kb,
+        r#"
+        (create-ind Rocky)
+        (assert-ind Rocky PERSON)
+        ; Rocky is enrolled somewhere — we don't know where.
+        (assert-ind Rocky (AT-LEAST 1 enrolled-at))
+        ; Everything Rocky drives is a sports car — without knowing what.
+        (assert-ind Rocky (ALL thing-driven SPORTS-CAR))
+        (assert-ind Rocky (AT-LEAST 2 thing-driven))
+        "#,
+    )
+    .expect("assertions accepted");
+
+    // ---- recognition (§3.3): never asserted, still known ----------------
+    let answer = run_script(&mut kb, "(retrieve RICH-KID)").expect("query");
+    println!("rich kids: {:?}", answer.last().expect("one outcome"));
+    assert_eq!(
+        answer.last().expect("one"),
+        &Outcome::Individuals(vec!["Rocky".into()])
+    );
+
+    // ---- propagation: fillers inherit the ALL restriction ---------------
+    run_script(
+        &mut kb,
+        "(assert-ind Rocky (FILLS thing-driven Volvo-17))",
+    )
+    .expect("accepted");
+    let answer = run_script(&mut kb, "(retrieve SPORTS-CAR)").expect("query");
+    println!("recognized sports cars: {:?}", answer.last().expect("one"));
+
+    // ---- closure deduction (§3.3) ----------------------------------------
+    run_script(&mut kb, "(assert-ind Rocky (AT-MOST 2 thing-driven))").expect("accepted");
+    run_script(
+        &mut kb,
+        "(assert-ind Rocky (FILLS thing-driven Ferrari-512))",
+    )
+    .expect("accepted");
+    // AT-MOST 2 reached by two known fillers ⇒ the role closes itself.
+    let rocky = kb
+        .ind_id(kb.schema().symbols.find_individual("Rocky").expect("ind"))
+        .expect("exists");
+    let driven = kb.schema().symbols.find_role("thing-driven").expect("role");
+    println!(
+        "thing-driven closed after 2 fillers under AT-MOST 2: {:?}",
+        kb.ind_aspect(rocky, AspectKind::Close, Some(driven))
+    );
+
+    // ---- integrity (§3.4): contradictions are rejected atomically -------
+    let err = run_script(
+        &mut kb,
+        "(assert-ind Rocky (FILLS thing-driven Trabant-1))",
+    )
+    .expect_err("a third filler violates the closed role");
+    println!("third filler rejected: {err}");
+    assert_eq!(kb.ind(rocky).fillers(driven).len(), 2, "rolled back");
+
+    // ---- descriptive answers (§3.5.3) ------------------------------------
+    let out = run_script(&mut kb, "(describe Rocky)").expect("describe");
+    if let Some(Outcome::Description(d)) = out.last() {
+        println!("everything known about Rocky:\n  {d}");
+    }
+    println!("quickstart OK");
+}

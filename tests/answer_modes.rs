@@ -1,0 +1,205 @@
+//! The paper's §3.5.3 answer modes, end to end: extensional answers over
+//! known individuals, `?:`-marked filler collection across multi-step
+//! paths, possible answers under the open world, and intensional
+//! (descriptive) answers that "necessarily hold of all possible answers".
+
+use classic::lang::run_script;
+use classic::{
+    ask_description, ask_necessary_set, possible, retrieve, Concept, IndRef, Kb, MarkedQuery,
+};
+
+fn cars_kb() -> Kb {
+    let mut kb = Kb::new();
+    run_script(
+        &mut kb,
+        r#"
+        (define-role thing-driven)
+        (define-role maker)
+        (define-role enrolled-at)
+        (define-concept PERSON (PRIMITIVE THING person))
+        (define-concept COMPANY (PRIMITIVE THING company))
+        (define-concept ITALIAN-COMPANY (PRIMITIVE COMPANY italian))
+        (define-concept STUDENT (AND PERSON (AT-LEAST 1 enrolled-at)))
+
+        (create-ind Rocky)
+        (assert-ind Rocky STUDENT)
+        (assert-ind Rocky (FILLS thing-driven Ferrari-512))
+        (assert-ind Ferrari-512 (FILLS maker Ferrari))
+        (assert-ind Ferrari ITALIAN-COMPANY)
+        "#,
+    )
+    .expect("script");
+    kb
+}
+
+#[test]
+fn marked_query_walks_multi_step_paths() {
+    let mut kb = cars_kb();
+    let driven = kb.schema().symbols.find_role("thing-driven").unwrap();
+    let maker = kb.schema().symbols.find_role("maker").unwrap();
+    let student = kb.schema().symbols.find_concept("STUDENT").unwrap();
+    // The §3.5.3 example: (AND STUDENT (ALL thing-driven ?:(ALL maker …)))
+    // — "the objects that are driven by students". With a deeper marker,
+    // the makers of those objects.
+    let q = MarkedQuery {
+        concept: Concept::Name(student),
+        marker: vec![driven, maker],
+    };
+    let makers = ask_necessary_set(&mut kb, &q).expect("query");
+    let ferrari = kb.schema().symbols.find_individual("Ferrari").unwrap();
+    assert_eq!(makers, vec![IndRef::Classic(ferrari)]);
+}
+
+#[test]
+fn possible_excludes_provably_disjoint_individuals() {
+    let mut kb = Kb::new();
+    run_script(
+        &mut kb,
+        r#"
+        (define-role r)
+        (define-concept PERSON (PRIMITIVE THING person))
+        (define-concept MALE (DISJOINT-PRIMITIVE PERSON gender male))
+        (define-concept FEMALE (DISJOINT-PRIMITIVE PERSON gender female))
+        (create-ind Anna)
+        (assert-ind Anna FEMALE)
+        (create-ind Sam)
+        (assert-ind Sam PERSON)
+        "#,
+    )
+    .expect("script");
+    let male = kb.schema().symbols.find_concept("MALE").unwrap();
+    let q = Concept::Name(male);
+    let known = retrieve(&mut kb, &q).expect("query").known;
+    assert!(known.is_empty(), "nobody is known MALE");
+    let poss = possible(&mut kb, &q).expect("query");
+    // Sam might be MALE; Anna provably cannot (disjoint primitive).
+    let sam = kb
+        .ind_id(kb.schema().symbols.find_individual("Sam").unwrap())
+        .unwrap();
+    let anna = kb
+        .ind_id(kb.schema().symbols.find_individual("Anna").unwrap())
+        .unwrap();
+    assert!(poss.contains(&sam));
+    assert!(!poss.contains(&anna));
+}
+
+#[test]
+fn possible_respects_one_of_identity() {
+    let mut kb = Kb::new();
+    kb.define_role("r").unwrap();
+    kb.create_ind("A").unwrap();
+    kb.create_ind("B").unwrap();
+    let a_name = kb.schema().symbols.find_individual("A").unwrap();
+    let q = Concept::one_of([IndRef::Classic(a_name)]);
+    let poss = possible(&mut kb, &q).expect("query");
+    let a = kb.ind_id(a_name).unwrap();
+    assert_eq!(poss, vec![a], "only A can possibly be in (ONE-OF A)");
+}
+
+#[test]
+fn description_of_an_unrestricted_marker_is_thing() {
+    let mut kb = cars_kb();
+    let person = kb.schema().symbols.find_concept("PERSON").unwrap();
+    let driven = kb.schema().symbols.find_role("thing-driven").unwrap();
+    let q = MarkedQuery {
+        concept: Concept::Name(person),
+        marker: vec![driven],
+    };
+    let desc = ask_description(&mut kb, &q).expect("query");
+    assert!(desc.is_top(), "no constraints, no rules ⇒ THING");
+}
+
+#[test]
+fn description_collects_value_restrictions_along_the_marker() {
+    let mut kb = cars_kb();
+    let student = kb.schema().symbols.find_concept("STUDENT").unwrap();
+    let italian = kb.schema().symbols.find_concept("ITALIAN-COMPANY").unwrap();
+    let driven = kb.schema().symbols.find_role("thing-driven").unwrap();
+    let maker = kb.schema().symbols.find_role("maker").unwrap();
+    // (AND STUDENT (ALL thing-driven (ALL maker ?:ITALIAN-COMPANY)))
+    let q = MarkedQuery {
+        concept: Concept::and([
+            Concept::Name(student),
+            Concept::all(driven, Concept::all(maker, Concept::Name(italian))),
+        ]),
+        marker: vec![driven, maker],
+    };
+    let desc = ask_description(&mut kb, &q).expect("query");
+    let italian_nf = kb.schema().concept_nf(italian).unwrap();
+    assert!(classic::core::subsumes(italian_nf, &desc));
+    // The necessary description is at least ITALIAN-COMPANY (hence
+    // COMPANY too, by the primitive's parent).
+    let company = kb.schema().symbols.find_concept("COMPANY").unwrap();
+    let company_nf = kb.schema().concept_nf(company).unwrap();
+    assert!(classic::core::subsumes(company_nf, &desc));
+}
+
+#[test]
+fn retrieval_sees_host_and_classic_answers_separately() {
+    // Extensional retrieval returns CLASSIC individuals; marked retrieval
+    // can surface host fillers.
+    let mut kb = Kb::new();
+    run_script(
+        &mut kb,
+        r#"
+        (define-role age)
+        (define-concept PERSON (PRIMITIVE THING person))
+        (create-ind Rocky)
+        (assert-ind Rocky PERSON)
+        (assert-ind Rocky (FILLS age 41))
+        "#,
+    )
+    .expect("script");
+    let person = kb.schema().symbols.find_concept("PERSON").unwrap();
+    let age = kb.schema().symbols.find_role("age").unwrap();
+    let q = MarkedQuery {
+        concept: Concept::Name(person),
+        marker: vec![age],
+    };
+    let fillers = ask_necessary_set(&mut kb, &q).expect("query");
+    assert_eq!(fillers, vec![IndRef::Host(classic::HostValue::Int(41))]);
+}
+
+#[test]
+fn ask_description_is_sound_for_known_answers() {
+    // Soundness of intensional answers: the necessary description of the
+    // marker position must provably hold of every *known* filler there
+    // (they are among the "possible answers" it ranges over).
+    let mut kb = cars_kb();
+    // Close the evidence so the subject's membership is *provable*:
+    // Rocky drives exactly Ferrari-512, whose only maker is Ferrari.
+    run_script(
+        &mut kb,
+        "(assert-ind Rocky (CLOSE thing-driven))
+         (assert-ind Ferrari-512 (CLOSE maker))",
+    )
+    .expect("closures");
+    let student = kb.schema().symbols.find_concept("STUDENT").unwrap();
+    let italian = kb.schema().symbols.find_concept("ITALIAN-COMPANY").unwrap();
+    let driven = kb.schema().symbols.find_role("thing-driven").unwrap();
+    let q = MarkedQuery {
+        concept: Concept::and([
+            Concept::Name(student),
+            Concept::all(driven, Concept::all(
+                kb.schema().symbols.find_role("maker").unwrap(),
+                Concept::Name(italian),
+            )),
+        ]),
+        marker: vec![driven],
+    };
+    let desc = ask_description(&mut kb, &q).unwrap();
+    let fillers = ask_necessary_set(&mut kb, &q).unwrap();
+    assert!(!fillers.is_empty(), "Ferrari-512 is a known answer");
+    for f in fillers {
+        match f {
+            IndRef::Classic(n) => {
+                let id = kb.ind_id(n).unwrap();
+                assert!(
+                    kb.known_instance(id, &desc),
+                    "necessary description must hold of known answer"
+                );
+            }
+            IndRef::Host(v) => assert!(kb.host_satisfies(&v, &desc)),
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Host individuals end to end (paper §3.2): "every individual known to
+//! the database needs to be either a host individual — a valid value from
+//! the space of values of the host implementation language — or a regular
+//! (CLASSIC) individual. Host individuals cannot have roles, but are
+//! otherwise first class citizens — they can be grouped by enumerated
+//! concepts, for example."
+
+use classic::core::TestArg;
+use classic::lang::{run_script, Outcome};
+use classic::{Concept, HostValue, IndRef, Kb};
+
+#[test]
+fn host_values_flow_through_the_surface_syntax() {
+    let mut kb = Kb::new();
+    run_script(
+        &mut kb,
+        r#"
+        (define-role age)
+        (define-role color)
+        (define-concept PERSON (PRIMITIVE THING person))
+        ; Enumerated concept over host values (§3.2: "grouped by
+        ; enumerated concepts").
+        (define-concept PRIMARY-COLOR (ONE-OF 'red 'green 'blue))
+        (define-concept TEEN-AGE (ONE-OF 13 14 15 16 17 18 19))
+        (create-ind Rocky)
+        (assert-ind Rocky PERSON)
+        (assert-ind Rocky (FILLS age 15))
+        (assert-ind Rocky (FILLS color 'red))
+        "#,
+    )
+    .expect("script runs");
+    // Constraining the age role to the enumeration succeeds (15 ∈ TEEN-AGE)…
+    run_script(&mut kb, "(assert-ind Rocky (ALL age TEEN-AGE))").expect("15 is a teen age");
+    // …but a color outside PRIMARY-COLOR is rejected.
+    run_script(&mut kb, "(assert-ind Rocky (FILLS color 'mauve))").expect("recording is fine");
+    let err = run_script(&mut kb, "(assert-ind Rocky (ALL color PRIMARY-COLOR))")
+        .expect_err("'mauve is not a primary color");
+    assert!(matches!(err, classic::ClassicError::Inconsistent { .. }));
+}
+
+#[test]
+fn integer_layer_constrains_host_fillers() {
+    let mut kb = Kb::new();
+    run_script(
+        &mut kb,
+        r#"
+        (define-role age)
+        (create-ind Rocky)
+        (assert-ind Rocky (ALL age INTEGER))
+        (assert-ind Rocky (FILLS age 41))
+        "#,
+    )
+    .expect("integers pass the INTEGER restriction");
+    let err = run_script(&mut kb, r#"(assert-ind Rocky (FILLS age "forty-one"))"#)
+        .expect_err("a string is not an INTEGER");
+    assert!(matches!(err, classic::ClassicError::Inconsistent { .. }));
+}
+
+#[test]
+fn host_values_have_exact_identity_in_enumerations() {
+    let mut kb = Kb::new();
+    kb.define_role("r").unwrap();
+    // 3 (integer), "3" (string) and '3 (symbol) are three distinct host
+    // individuals.
+    let three_int = IndRef::Host(HostValue::Int(3));
+    let three_str = IndRef::Host(HostValue::Str("3".into()));
+    let three_sym = IndRef::Host(HostValue::Sym("3".into()));
+    let c = Concept::one_of([three_int.clone(), three_str, three_sym]);
+    let nf = kb.normalize(&c).unwrap();
+    assert_eq!(nf.one_of.as_ref().unwrap().len(), 3);
+    // Intersecting with INTEGER keeps exactly the integer.
+    let meet = Concept::and([c, Concept::Builtin(classic::Layer::Host(Some(
+        classic::core::HostClass::Integer,
+    )))]);
+    let nf = kb.normalize(&meet).unwrap();
+    assert_eq!(
+        nf.one_of.as_ref().unwrap().iter().cloned().collect::<Vec<_>>(),
+        vec![three_int]
+    );
+}
+
+#[test]
+fn tests_on_host_values_run_during_recognition() {
+    let mut kb = Kb::new();
+    let even = kb.register_test("even", |arg| match arg {
+        TestArg::Host(HostValue::Int(i)) => i % 2 == 0,
+        _ => false,
+    });
+    kb.define_role("age").unwrap();
+    let age = kb.schema().symbols.find_role("age").unwrap();
+    kb.define_concept(
+        "EVEN-AGED",
+        Concept::and([
+            Concept::exactly(1, age),
+            Concept::all(age, Concept::Test(even)),
+        ]),
+    )
+    .unwrap();
+    let even_aged = kb.schema().symbols.find_concept("EVEN-AGED").unwrap();
+    // One even, one odd.
+    for (name, n) in [("A", 42), ("B", 41)] {
+        kb.create_ind(name).unwrap();
+        kb.assert_ind(
+            name,
+            &Concept::and([
+                Concept::Fills(age, vec![IndRef::Host(HostValue::Int(n))]),
+                Concept::Close(age),
+            ]),
+        )
+        .unwrap();
+    }
+    let instances = kb.instances_of(even_aged).unwrap();
+    assert_eq!(instances.len(), 1);
+    let a = kb
+        .ind_id(kb.schema().symbols.find_individual("A").unwrap())
+        .unwrap();
+    assert!(instances.contains(&a));
+}
+
+#[test]
+fn classify_command_places_ad_hoc_concepts() {
+    let mut kb = Kb::new();
+    run_script(
+        &mut kb,
+        r#"
+        (define-role enrolled-at)
+        (define-concept PERSON (PRIMITIVE THING person))
+        (define-concept STUDENT (AND PERSON (AT-LEAST 1 enrolled-at)))
+        "#,
+    )
+    .expect("schema");
+    // A refinement between PERSON and STUDENT^3.
+    let out = run_script(
+        &mut kb,
+        "(classify (AND PERSON (AT-LEAST 1 enrolled-at)))",
+    )
+    .expect("classify");
+    match out.last().expect("one") {
+        Outcome::Description(d) => {
+            assert!(d.contains("equivalent: STUDENT"), "got {d}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    let out = run_script(
+        &mut kb,
+        "(classify (AND PERSON (AT-LEAST 3 enrolled-at)))",
+    )
+    .expect("classify");
+    match out.last().expect("one") {
+        Outcome::Description(d) => {
+            assert!(d.contains("parents: STUDENT"), "got {d}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn floats_and_the_number_hierarchy() {
+    // The paper's host "numbers" include floats; NUMBER is the abstract
+    // parent of INTEGER and FLOAT in the built-in hierarchy.
+    let mut kb = Kb::new();
+    run_script(
+        &mut kb,
+        r#"
+        (define-role temperature)
+        (create-ind Reactor)
+        (assert-ind Reactor (ALL temperature NUMBER))
+        (assert-ind Reactor (FILLS temperature 451))
+        (assert-ind Reactor (FILLS temperature 98.6))
+        "#,
+    )
+    .expect("both integers and floats are NUMBERs");
+    // But restricting to INTEGER clashes with the float filler.
+    let err = run_script(&mut kb, "(assert-ind Reactor (ALL temperature INTEGER))")
+        .expect_err("98.6 is not an INTEGER");
+    assert!(matches!(err, classic::ClassicError::Inconsistent { .. }));
+    // Subsumption in the layer lattice, through the surface syntax.
+    let out = run_script(&mut kb, "(subsumes? NUMBER FLOAT)").expect("q");
+    assert_eq!(out.last().unwrap(), &classic::lang::Outcome::Bool(true));
+    let out = run_script(&mut kb, "(subsumes? INTEGER FLOAT)").expect("q");
+    assert_eq!(out.last().unwrap(), &classic::lang::Outcome::Bool(false));
+    // Floats round-trip through describe/persistence rendering.
+    let reactor = kb
+        .ind_id(kb.schema().symbols.find_individual("Reactor").unwrap())
+        .unwrap();
+    let described = classic::query::describe(&kb, reactor);
+    let rendered = described.display(&kb.schema().symbols).to_string();
+    assert!(rendered.contains("98.6"), "got {rendered}");
+    let rebuilt = classic::store::roundtrip(&kb, |_| {}).expect("replayable");
+    assert!(classic::store::same_state(&kb, &rebuilt));
+}
