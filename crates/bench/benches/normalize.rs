@@ -19,7 +19,9 @@ fn bench_normalize(c: &mut Criterion) {
             b.iter(|| {
                 let mut total = 0usize;
                 for c in cs {
-                    total += normalize(black_box(c), &mut schema).expect("coherent").size();
+                    total += normalize(black_box(c), &mut schema)
+                        .expect("coherent")
+                        .size();
                 }
                 total
             })

@@ -24,24 +24,22 @@ fn bench_retrieval(c: &mut Criterion) {
             .collect();
         let kb = sw.kb;
         group.throughput(Throughput::Elements(nfs.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("classified", functions),
-            &nfs,
-            |b, nfs| {
-                b.iter(|| {
-                    let mut n = 0usize;
-                    for nf in nfs {
-                        n += classic_query::retrieve_nf(black_box(&kb), nf).known.len();
-                    }
-                    n
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("classified", functions), &nfs, |b, nfs| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for nf in nfs {
+                    n += classic_query::retrieve_nf(black_box(&kb), nf).known.len();
+                }
+                n
+            })
+        });
         group.bench_with_input(BenchmarkId::new("naive", functions), &nfs, |b, nfs| {
             b.iter(|| {
                 let mut n = 0usize;
                 for nf in nfs {
-                    n += classic_query::retrieve_naive_nf(black_box(&kb), nf).known.len();
+                    n += classic_query::retrieve_naive_nf(black_box(&kb), nf)
+                        .known
+                        .len();
                 }
                 n
             })

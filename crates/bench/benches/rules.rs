@@ -50,9 +50,7 @@ fn bench_rule_chain(c: &mut Criterion) {
             b.iter_with_setup(
                 || {
                     let mut kb = chain_kb(k);
-                    let base = Concept::Name(
-                        kb.schema().symbols.find_concept("BASE").expect("c"),
-                    );
+                    let base = Concept::Name(kb.schema().symbols.find_concept("BASE").expect("c"));
                     kb.create_ind("x").expect("fresh");
                     kb.assert_ind("x", &base).expect("coherent");
                     kb
@@ -60,7 +58,8 @@ fn bench_rule_chain(c: &mut Criterion) {
                 |mut kb| {
                     // One assertion cascades through all k rules.
                     let r1 = kb.schema().symbols.find_role("r1").expect("r");
-                    kb.assert_ind("x", &Concept::AtLeast(1, r1)).expect("coherent");
+                    kb.assert_ind("x", &Concept::AtLeast(1, r1))
+                        .expect("coherent");
                     black_box(kb.stats.rules_fired.get())
                 },
             )

@@ -13,7 +13,7 @@
 //! classification, schema extension over live data, and persistence of
 //! the whole KB through the surface-syntax snapshot.
 //!
-//! Run with: `cargo run --release --example software_is`
+//! Run with: `cargo run --release -p classic-bench --example software_is`
 
 use classic::{retrieve, Concept};
 use classic_bench::workload::software::{build, SoftwareConfig};
@@ -56,7 +56,12 @@ fn main() {
             Concept::and([function, Concept::AtLeast(6, calls)]),
         )
         .expect("fresh");
-    let god = sw.kb.schema().symbols.find_concept("GOD-FUNCTION").expect("c");
+    let god = sw
+        .kb
+        .schema()
+        .symbols
+        .find_concept("GOD-FUNCTION")
+        .expect("c");
     let gods = sw.kb.instances_of(god).expect("defined");
     println!(
         "GOD-FUNCTION defined after load: {} existing functions recognized",

@@ -21,7 +21,10 @@ use std::fmt::Write as _;
 
 pub fn run() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== E1: subsumption time vs concept size =================");
+    let _ = writeln!(
+        out,
+        "== E1: subsumption time vs concept size ================="
+    );
     let _ = writeln!(
         out,
         "paper claim (§5): time proportional to the product of concept sizes"

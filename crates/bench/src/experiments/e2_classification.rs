@@ -21,7 +21,10 @@ use std::fmt::Write as _;
 
 pub fn run() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== E2: schema classification (pruned vs all-pairs) ======");
+    let _ = writeln!(
+        out,
+        "== E2: schema classification (pruned vs all-pairs) ======"
+    );
     let _ = writeln!(
         out,
         "paper claim (§5): schema concepts are normalized then compared to"

@@ -21,7 +21,10 @@ use std::fmt::Write as _;
 
 pub fn run() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== E3: retrieval via classification vs naive scan ========");
+    let _ = writeln!(
+        out,
+        "== E3: retrieval via classification vs naive scan ========"
+    );
     let _ = writeln!(
         out,
         "paper claim (§5): instances of schema concepts subsumed by the query"
@@ -113,10 +116,7 @@ pub fn run() -> String {
     // candidates tested. This is the paper's "assuming the schema can fit
     // in main memory" trade: schema detail buys data-access reduction.
     let _ = writeln!(out);
-    let _ = writeln!(
-        out,
-        "-- schema granularity sweep (fixed 8000 functions) --"
-    );
+    let _ = writeln!(out, "-- schema granularity sweep (fixed 8000 functions) --");
     let _ = writeln!(
         out,
         "{:>8} {:>10} {:>10} {:>8}",

@@ -55,7 +55,10 @@ fn chain_kb(k: usize) -> (Kb, classic_core::RoleId) {
 
 pub fn run() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== E4: rule chains propagate to a fixed point ============");
+    let _ = writeln!(
+        out,
+        "== E4: rule chains propagate to a fixed point ============"
+    );
     let _ = writeln!(
         out,
         "paper claim (§5): fixpoint guaranteed, bounded by #classes × #inds"
@@ -65,7 +68,14 @@ pub fn run() -> String {
         "{:>5} {:>6} {:>10} {:>10} {:>10} {:>12} {:>12}",
         "K", "N", "fired", "bound K·N", "steps", "µs/assert", "ns/firing"
     );
-    for (k, n) in [(1usize, 200usize), (4, 200), (16, 200), (64, 200), (16, 50), (16, 800)] {
+    for (k, n) in [
+        (1usize, 200usize),
+        (4, 200),
+        (16, 200),
+        (64, 200),
+        (16, 50),
+        (16, 800),
+    ] {
         let (mut kb, r1) = chain_kb(k);
         let base = kb.schema().symbols.find_concept("BASE").expect("c");
         for i in 0..n {

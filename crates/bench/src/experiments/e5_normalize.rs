@@ -25,13 +25,19 @@ use std::fmt::Write as _;
 
 pub fn run() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== E5: normalization identifies the §2.2 equivalences ====");
+    let _ = writeln!(
+        out,
+        "== E5: normalization identifies the §2.2 equivalences ===="
+    );
 
     // (a) The paper's worked examples, verbatim through the parser.
     let mut g = ConceptGen::new(&ConceptGenConfig::default());
     g.schema.define_role("thing-driven").expect("fresh");
     g.schema
-        .define_concept("CAR", classic_core::Concept::primitive(classic_core::Concept::thing(), "car"))
+        .define_concept(
+            "CAR",
+            classic_core::Concept::primitive(classic_core::Concept::thing(), "car"),
+        )
         .expect("fresh");
     g.schema
         .define_concept(
@@ -88,7 +94,10 @@ pub fn run() -> String {
                 }
             }
         });
-        assert_eq!(identified, pairs, "every equivalent pair must be identified");
+        assert_eq!(
+            identified, pairs,
+            "every equivalent pair must be identified"
+        );
         let ops = (pairs * 2) as u64;
         let _ = writeln!(
             out,

@@ -17,7 +17,10 @@ use std::fmt::Write as _;
 
 pub fn run() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== E6: active deduction rate (crime DB of §4) ============");
+    let _ = writeln!(
+        out,
+        "== E6: active deduction rate (crime DB of §4) ============"
+    );
     let _ = writeln!(
         out,
         "paper claim (§3.3): the DB derives fillers, closures, memberships"

@@ -27,7 +27,10 @@ use std::fmt::Write as _;
 
 pub fn run() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== E7: open-world vs closed-world answer sets ============");
+    let _ = writeln!(
+        out,
+        "== E7: open-world vs closed-world answer sets ============"
+    );
     let _ = writeln!(
         out,
         "paper claim (§1/§3.2): partial knowledge needs answers beyond the"
@@ -58,7 +61,15 @@ pub fn run() -> String {
                 Atom::new("role:perpetrator", vec![Term::var("x"), Term::var("y")]),
             ],
         );
-        report_row(&mut out, crimes, "crimes with ≥1 perpetrator", &mut ckb.kb, &q1_classic, &q1_cw, &db);
+        report_row(
+            &mut out,
+            crimes,
+            "crimes with ≥1 perpetrator",
+            &mut ckb.kb,
+            &q1_classic,
+            &q1_cw,
+            &db,
+        );
 
         // Q2: domestic crimes (single perpetrator, site known).
         let dc = Concept::Name(
@@ -72,7 +83,15 @@ pub fn run() -> String {
             &["x"],
             vec![Atom::new("concept:DOMESTIC-CRIME", vec![Term::var("x")])],
         );
-        report_row(&mut out, crimes, "domestic crimes", &mut ckb.kb, &dc, &q2_cw, &db);
+        report_row(
+            &mut out,
+            crimes,
+            "domestic crimes",
+            &mut ckb.kb,
+            &dc,
+            &q2_cw,
+            &db,
+        );
 
         // Q3: crimes with at most one perpetrator — provable only via
         // bounds/closure; CW can merely count stored tuples, which under
@@ -123,7 +142,9 @@ pub fn run() -> String {
                 Concept::and([crime, Concept::AtLeast(1, perp)]),
             )],
         );
-        let certain = classic_query::answer(&mut ckb.kb, &kbq).expect("query").len();
+        let certain = classic_query::answer(&mut ckb.kb, &kbq)
+            .expect("query")
+            .len();
         let cw = ConjunctiveQuery::new(
             &["x"],
             vec![
@@ -145,7 +166,10 @@ pub fn run() -> String {
     // The paper's foil: Datalog can recurse where CLASSIC cannot, and
     // CLASSIC proves existence where Datalog (closed world) cannot.
     let _ = writeln!(out);
-    let _ = writeln!(out, "-- deductive-database complementarity (Datalog foil) --");
+    let _ = writeln!(
+        out,
+        "-- deductive-database complementarity (Datalog foil) --"
+    );
     let sw = build_sw(&SoftwareConfig {
         modules: 30,
         functions: 300,
@@ -157,7 +181,10 @@ pub fn run() -> String {
     let program = Program::new(vec![
         DatalogRule::new(
             Atom::new("reach", vec![Term::var("x"), Term::var("y")]),
-            vec![Atom::new("role:imports", vec![Term::var("x"), Term::var("y")])],
+            vec![Atom::new(
+                "role:imports",
+                vec![Term::var("x"), Term::var("y")],
+            )],
         ),
         DatalogRule::new(
             Atom::new("reach", vec![Term::var("x"), Term::var("z")]),
@@ -209,7 +236,10 @@ fn report_row(
     db: &classic_rel::Database,
 ) {
     let cw = cw_q.evaluate(db).len();
-    let known = classic_query::retrieve(kb, classic_q).expect("query").known.len();
+    let known = classic_query::retrieve(kb, classic_q)
+        .expect("query")
+        .known
+        .len();
     let poss = classic_query::possible(kb, classic_q).expect("query").len();
     assert!(known <= poss, "known answers must be a subset of possible");
     let _ = writeln!(

@@ -21,7 +21,10 @@ use std::fmt::Write as _;
 
 pub fn run() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== E8: ablations (fixed workload: 8000 functions) =========");
+    let _ = writeln!(
+        out,
+        "== E8: ablations (fixed workload: 8000 functions) ========="
+    );
     let cfg = SoftwareConfig {
         modules: 320,
         functions: 8_000,

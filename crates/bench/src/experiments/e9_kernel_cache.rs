@@ -1,0 +1,142 @@
+//! E9 — the subsumption kernel: memoized subsumption on interned normal
+//! forms plus the bitset transitive-closure index, against the seed's
+//! uncached classification path.
+//!
+//! The paper's §5 complexity argument prices classification in
+//! *subsumption tests*. The kernel attacks the constant factor twice:
+//! repeated tests between the same pair of (hash-consed) normal forms are
+//! answered from a memo, and reachability questions during the
+//! parents/children search are answered from transitive-closure bitsets
+//! instead of edge walks. Both are pure accelerations — E9 first asserts
+//! the two paths place every query identically, then measures the
+//! speedup and reports the kernel's own counters
+//! ([`classic_kb::Kb::kernel_stats`]).
+
+use crate::experiments::{ns_per, time};
+use crate::workload::software::{build, SoftwareConfig};
+use std::fmt::Write as _;
+
+pub fn run() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== E9: kernel memo + bitset closure vs uncached classification =="
+    );
+    let _ = writeln!(
+        out,
+        "same placements, fewer/cheaper subsumption tests; memo pays off on"
+    );
+    let _ = writeln!(out, "every repeated query concept");
+    let _ = writeln!(
+        out,
+        "{:>7} {:>9} {:>13} {:>13} {:>9} {:>8}",
+        "inds", "queries", "µs/clf (krn)", "µs/clf (unc)", "speedup", "hit%"
+    );
+    for functions in [500usize, 2_000, 8_000, 20_000] {
+        let cfg = SoftwareConfig {
+            modules: (functions / 25).max(4),
+            functions,
+            ..SoftwareConfig::default()
+        };
+        let mut sw = build(&cfg);
+        let queries = sw.queries();
+        let n_inds = sw.kb.ind_count();
+        let nfs: Vec<_> = queries
+            .iter()
+            .map(|(_, q)| sw.kb.normalize(q).expect("coherent query"))
+            .collect();
+        // Correctness first: both paths must place every query identically.
+        for nf in &nfs {
+            let k = sw.kb.taxonomy().classify(nf);
+            let u = sw.kb.taxonomy().classify_unmemoized(nf);
+            assert_eq!(k.parents, u.parents, "kernel path changed parents");
+            assert_eq!(k.children, u.children, "kernel path changed children");
+            assert_eq!(
+                k.equivalent, u.equivalent,
+                "kernel path changed equivalence"
+            );
+        }
+        let reps = 8usize;
+        let before = sw.kb.kernel_stats();
+        let (_, t_kernel) = time(|| {
+            for _ in 0..reps {
+                for nf in &nfs {
+                    std::hint::black_box(sw.kb.taxonomy().classify(nf));
+                }
+            }
+        });
+        let after = sw.kb.kernel_stats();
+        let (_, t_walk) = time(|| {
+            for _ in 0..reps {
+                for nf in &nfs {
+                    std::hint::black_box(sw.kb.taxonomy().classify_unmemoized(nf));
+                }
+            }
+        });
+        let n_queries = (reps * nfs.len()) as u64;
+        let hits = after.memo_hits - before.memo_hits;
+        let misses = after.memo_misses - before.memo_misses;
+        let _ = writeln!(
+            out,
+            "{:>7} {:>9} {:>13.1} {:>13.1} {:>8.1}x {:>7.1}%",
+            n_inds,
+            n_queries,
+            ns_per(t_kernel, n_queries) / 1000.0,
+            ns_per(t_walk, n_queries) / 1000.0,
+            t_walk.as_secs_f64() / t_kernel.as_secs_f64().max(1e-9),
+            100.0 * hits as f64 / (hits + misses).max(1) as f64,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "expected shape: ≥1x at every size; hit% → 100 as reps repeat the"
+    );
+    let _ = writeln!(out, "same query set against an unchanged schema.");
+
+    // Hot vs cold retrieval through the kernel path: the first pass over a
+    // query set seeds the memo, later passes ride it.
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "-- cold vs hot retrieval (kernel path, 8000 functions) --"
+    );
+    let cfg = SoftwareConfig {
+        modules: 320,
+        functions: 8_000,
+        ..SoftwareConfig::default()
+    };
+    let mut sw = build(&cfg);
+    let queries = sw.queries();
+    let nfs: Vec<_> = queries
+        .iter()
+        .map(|(_, q)| sw.kb.normalize(q).expect("coherent query"))
+        .collect();
+    let (cold_answers, t_cold) = time(|| {
+        nfs.iter()
+            .map(|nf| classic_query::retrieve_nf(&sw.kb, nf).known.len())
+            .sum::<usize>()
+    });
+    let (hot_answers, t_hot) = time(|| {
+        nfs.iter()
+            .map(|nf| classic_query::retrieve_nf(&sw.kb, nf).known.len())
+            .sum::<usize>()
+    });
+    assert_eq!(cold_answers, hot_answers, "retrieval must be deterministic");
+    let nq = nfs.len() as u64;
+    let _ = writeln!(
+        out,
+        "cold: {:>8.1} µs/q   hot: {:>8.1} µs/q   hot speedup: {:.2}x",
+        ns_per(t_cold, nq) / 1000.0,
+        ns_per(t_hot, nq) / 1000.0,
+        t_cold.as_secs_f64() / t_hot.as_secs_f64().max(1e-9),
+    );
+    let s = sw.kb.kernel_stats();
+    let _ = writeln!(out);
+    let _ = writeln!(out, "-- kernel counters (end of the 8000-function run) --");
+    let _ = writeln!(
+        out,
+        "interned forms: {}   intern hits: {}   memo hits: {}   memo misses: {}   closure rebuilds: {}",
+        s.interned, s.intern_hits, s.memo_hits, s.memo_misses, s.closure_rebuilds
+    );
+    out
+}

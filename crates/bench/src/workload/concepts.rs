@@ -62,7 +62,10 @@ impl ConceptGen {
             .map(|i| {
                 let name = format!("P{i}");
                 schema
-                    .define_concept(&name, Concept::primitive(Concept::thing(), &format!("p{i}")))
+                    .define_concept(
+                        &name,
+                        Concept::primitive(Concept::thing(), &format!("p{i}")),
+                    )
                     .expect("fresh prim");
                 Concept::Name(schema.symbols.find_concept(&name).expect("just defined"))
             })
@@ -195,10 +198,7 @@ impl ConceptGen {
                 if let Concept::And(parts) = inner {
                     if parts.len() > 1 && self.rng.gen_bool(0.5) {
                         return Concept::And(
-                            parts
-                                .into_iter()
-                                .map(|p| Concept::all(*r, p))
-                                .collect(),
+                            parts.into_iter().map(|p| Concept::all(*r, p)).collect(),
                         );
                     }
                     Concept::all(*r, Concept::And(parts))

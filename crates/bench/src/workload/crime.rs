@@ -93,10 +93,7 @@ pub fn build_schema(kb: &mut Kb, with_rules: bool) {
         // §4: "domestic criminals are typically adults, and have no jobs".
         kb.assert_rule(
             "DOMESTIC-CRIME",
-            Concept::all(
-                suspect,
-                Concept::and([adult, Concept::AtMost(0, jobs)]),
-            ),
+            Concept::all(suspect, Concept::and([adult, Concept::AtMost(0, jobs)])),
         )
         .expect("rule applies cleanly to an empty DB");
     }
@@ -111,40 +108,91 @@ pub fn build(cfg: &CrimeConfig) -> CrimeKb {
     let victim = kb.schema().symbols.find_role("victim").expect("r");
     let site = kb.schema().symbols.find_role("site").expect("r");
     let crime_name = kb.schema().symbols.find_concept("CRIME").expect("c");
-    let dc_name = kb.schema().symbols.find_concept("DOMESTIC-CRIME").expect("c");
+    let dc_name = kb
+        .schema()
+        .symbols
+        .find_concept("DOMESTIC-CRIME")
+        .expect("c");
     let person_name = kb.schema().symbols.find_concept("PERSON").expect("c");
 
     let mut reports = Vec::new();
     let mut told = 0usize;
-    let tell = |kb: &mut Kb, name: &str, c: &Concept, reports: &mut Vec<AssertReport>, told: &mut usize| {
+    let tell = |kb: &mut Kb,
+                name: &str,
+                c: &Concept,
+                reports: &mut Vec<AssertReport>,
+                told: &mut usize| {
         *told += 1;
-        reports.push(kb.assert_ind(name, c).expect("generated facts are coherent"));
+        reports.push(
+            kb.assert_ind(name, c)
+                .expect("generated facts are coherent"),
+        );
     };
 
     for i in 0..cfg.crimes {
         let cname = format!("crime-{i}");
         kb.create_ind(&cname).expect("fresh ind");
-        tell(&mut kb, &cname, &Concept::Name(crime_name), &mut reports, &mut told);
+        tell(
+            &mut kb,
+            &cname,
+            &Concept::Name(crime_name),
+            &mut reports,
+            &mut told,
+        );
         // A victim is always known (not necessarily a person! §4).
         let v = IndRef::Classic(kb.schema_mut().symbols.individual(&format!("victim-{i}")));
-        tell(&mut kb, &cname, &Concept::Fills(victim, vec![v]), &mut reports, &mut told);
+        tell(
+            &mut kb,
+            &cname,
+            &Concept::Fills(victim, vec![v]),
+            &mut reports,
+            &mut told,
+        );
         let domestic = rng.gen_bool(cfg.domestic_fraction);
         if domestic {
             // Perpetrator and site known; DOMESTIC-CRIME derives the
             // perpetrator's domicile via SAME-AS.
             let p = format!("suspect-{i}");
             let pref = IndRef::Classic(kb.schema_mut().symbols.individual(&p));
-            tell(&mut kb, &cname, &Concept::Fills(perp, vec![pref]), &mut reports, &mut told);
-            tell(&mut kb, &p, &Concept::Name(person_name), &mut reports, &mut told);
-            let home = IndRef::Classic(
-                kb.schema_mut().symbols.individual(&format!("home-{i}")),
+            tell(
+                &mut kb,
+                &cname,
+                &Concept::Fills(perp, vec![pref]),
+                &mut reports,
+                &mut told,
             );
-            tell(&mut kb, &cname, &Concept::Fills(site, vec![home]), &mut reports, &mut told);
-            tell(&mut kb, &cname, &Concept::Name(dc_name), &mut reports, &mut told);
+            tell(
+                &mut kb,
+                &p,
+                &Concept::Name(person_name),
+                &mut reports,
+                &mut told,
+            );
+            let home = IndRef::Classic(kb.schema_mut().symbols.individual(&format!("home-{i}")));
+            tell(
+                &mut kb,
+                &cname,
+                &Concept::Fills(site, vec![home]),
+                &mut reports,
+                &mut told,
+            );
+            tell(
+                &mut kb,
+                &cname,
+                &Concept::Name(dc_name),
+                &mut reports,
+                &mut told,
+            );
         } else {
             // Open case: number of perpetrators only bounded below.
             let n = rng.gen_range(1..=3);
-            tell(&mut kb, &cname, &Concept::AtLeast(n, perp), &mut reports, &mut told);
+            tell(
+                &mut kb,
+                &cname,
+                &Concept::AtLeast(n, perp),
+                &mut reports,
+                &mut told,
+            );
         }
     }
     CrimeKb {
@@ -197,7 +245,11 @@ mod tests {
             seed: 7,
         });
         let kb = &crime_kb.kb;
-        let dc = kb.schema().symbols.find_concept("DOMESTIC-CRIME").expect("c");
+        let dc = kb
+            .schema()
+            .symbols
+            .find_concept("DOMESTIC-CRIME")
+            .expect("c");
         let n_domestic = kb.instances_of(dc).expect("ok").len();
         assert!(n_domestic > 0);
         let fired: u64 = crime_kb.reports.iter().map(|r| r.rules_fired).sum();
@@ -217,7 +269,10 @@ mod tests {
         for id in kb.instances_of(crime).expect("ok") {
             let rr = kb.ind(id).derived.role(perp);
             assert!(rr.at_least >= 1);
-            assert!(!rr.closed, "open case must not have a closed perpetrator role");
+            assert!(
+                !rr.closed,
+                "open case must not have a closed perpetrator role"
+            );
         }
     }
 }

@@ -73,10 +73,7 @@ pub fn generate_schema(cfg: &SchemaGenConfig) -> GeneratedSchema {
     for i in 0..base {
         let name = format!("K{i}");
         let def = Concept::primitive(Concept::thing(), &format!("k{i}"));
-        let id = stage
-            .schema_mut()
-            .symbols
-            .concept(&name);
+        let id = stage.schema_mut().symbols.concept(&name);
         names.push((name.clone(), id));
         definitions.push((name, def));
     }
@@ -86,7 +83,11 @@ pub fn generate_schema(cfg: &SchemaGenConfig) -> GeneratedSchema {
         for _ in 0..width {
             let name = format!("C{defined}");
             // 1–2 parents from what exists so far.
-            let n_parents = if names.len() > 1 && rng.gen_bool(0.3) { 2 } else { 1 };
+            let n_parents = if names.len() > 1 && rng.gen_bool(0.3) {
+                2
+            } else {
+                1
+            };
             let mut parts: Vec<Concept> = (0..n_parents)
                 .map(|_| Concept::Name(names[rng.gen_range(0..names.len())].1))
                 .collect();
@@ -155,7 +156,10 @@ mod tests {
             .taxonomy()
             .interior_nodes()
             .filter(|&n| {
-                !kb.taxonomy().node(n).parents.contains(&classic_core::taxonomy::NodeId::TOP)
+                !kb.taxonomy()
+                    .node(n)
+                    .parents
+                    .contains(&classic_core::taxonomy::NodeId::TOP)
             })
             .count();
         assert!(deep > 10, "hierarchy too flat: {deep} deep nodes");

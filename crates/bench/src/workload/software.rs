@@ -68,7 +68,12 @@ pub fn build(cfg: &SoftwareConfig) -> SoftwareKb {
         Concept::primitive(Concept::thing(), "software-object"),
     )
     .expect("fresh");
-    let so = Concept::Name(kb.schema().symbols.find_concept("SOFTWARE-OBJECT").expect("c"));
+    let so = Concept::Name(
+        kb.schema()
+            .symbols
+            .find_concept("SOFTWARE-OBJECT")
+            .expect("c"),
+    );
     for kind in ["MODULE", "FUNCTION", "FILE"] {
         kb.define_concept(
             kind,
@@ -135,7 +140,8 @@ pub fn build(cfg: &SoftwareConfig) -> SoftwareKb {
                 .expect("coherent");
         } else if rng.gen_bool(0.5) {
             // Provably leaf: calls closed at zero.
-            kb.assert_ind(&name, &Concept::Close(calls)).expect("coherent");
+            kb.assert_ind(&name, &Concept::Close(calls))
+                .expect("coherent");
         }
         let lines = HostValue::Int(rng.gen_range(5..500));
         kb.assert_ind(&name, &Concept::Fills(loc, vec![IndRef::Host(lines)]))
@@ -242,8 +248,16 @@ mod tests {
         let a = build(&cfg);
         let b = build(&cfg);
         assert_eq!(a.kb.ind_count(), b.kb.ind_count());
-        let leaf_a = a.kb.schema().symbols.find_concept("LEAF-FUNCTION").expect("c");
-        let leaf_b = b.kb.schema().symbols.find_concept("LEAF-FUNCTION").expect("c");
+        let leaf_a =
+            a.kb.schema()
+                .symbols
+                .find_concept("LEAF-FUNCTION")
+                .expect("c");
+        let leaf_b =
+            b.kb.schema()
+                .symbols
+                .find_concept("LEAF-FUNCTION")
+                .expect("c");
         assert_eq!(
             a.kb.instances_of(leaf_a).expect("ok").len(),
             b.kb.instances_of(leaf_b).expect("ok").len()

@@ -45,11 +45,11 @@ fn invariants_hold_at_several_thousand_individuals() {
     }
 
     // 4. The whole database persists and replays identically.
-    let rebuilt = classic::store::roundtrip(&sw.kb, |_| {}).expect("replay");
-    assert!(classic::store::same_state(&sw.kb, &rebuilt));
+    let rebuilt = classic_store::roundtrip(&sw.kb, |_| {}).expect("replay");
+    assert!(classic_store::same_state(&sw.kb, &rebuilt));
 
     // 5. The relational export is consistent with the KB's known facts.
-    let db = classic::rel::export_kb(&sw.kb);
+    let db = classic_rel::export_kb(&sw.kb);
     let functions = sw
         .kb
         .schema()

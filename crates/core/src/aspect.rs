@@ -131,10 +131,7 @@ mod tests {
         s.define_concept("SPORTS-CAR", Concept::primitive(Concept::thing(), "sc"))
             .unwrap();
         let sc = Concept::Name(s.symbols.find_concept("SPORTS-CAR").unwrap());
-        let rich_kid = Concept::and([
-            Concept::all(r, sc),
-            Concept::AtLeast(2, r),
-        ]);
+        let rich_kid = Concept::and([Concept::all(r, sc), Concept::AtLeast(2, r)]);
         let nf = normalize(&rich_kid, &mut s).unwrap();
         assert_eq!(
             concept_aspect(&nf, AspectKind::AtLeast, Some(r)),
@@ -144,7 +141,10 @@ mod tests {
             concept_aspect(&nf, AspectKind::All, Some(r)),
             Aspect::ValueRestriction(_)
         ));
-        assert_eq!(concept_aspect(&nf, AspectKind::AtMost, Some(r)), Aspect::None);
+        assert_eq!(
+            concept_aspect(&nf, AspectKind::AtMost, Some(r)),
+            Aspect::None
+        );
         assert_eq!(roles_with_aspect(&nf, AspectKind::All), vec![r]);
         assert_eq!(roles_with_aspect(&nf, AspectKind::AtLeast), vec![r]);
         assert!(roles_with_aspect(&nf, AspectKind::Close).is_empty());

@@ -274,7 +274,11 @@ fn write_concept(c: &Concept, s: &SymbolTable, f: &mut fmt::Formatter<'_>) -> fm
             write_concept(parent, s, f)?;
             write!(f, " {index})")
         }
-        Concept::DisjointPrimitive { parent, grouping, index } => {
+        Concept::DisjointPrimitive {
+            parent,
+            grouping,
+            index,
+        } => {
             f.write_str("(DISJOINT-PRIMITIVE ")?;
             write_concept(parent, s, f)?;
             write!(f, " {grouping} {index})")
@@ -370,10 +374,7 @@ mod tests {
         assert_eq!(Concept::Name(c).size(), 1);
         assert_eq!(Concept::AtLeast(2, r).size(), 1);
         assert_eq!(Concept::singleton(i).size(), 2);
-        let e = Concept::and([
-            Concept::Name(c),
-            Concept::all(r, Concept::singleton(i)),
-        ]);
+        let e = Concept::and([Concept::Name(c), Concept::all(r, Concept::singleton(i))]);
         // AND(1) + Name(1) + ALL(1) + OneOf(1+1)
         assert_eq!(e.size(), 5);
     }

@@ -112,7 +112,11 @@ impl fmt::Display for ClassicError {
                 write!(f, "concept #{} already defined", c.index())
             }
             ClassicError::PrimitiveReparented(p) => {
-                write!(f, "primitive #{} re-registered with a different parent", p.index())
+                write!(
+                    f,
+                    "primitive #{} re-registered with a different parent",
+                    p.index()
+                )
             }
             ClassicError::UndefinedTest(t) => write!(f, "undefined test #{}", t.index()),
             ClassicError::EmptySameAsPath => write!(f, "SAME-AS path is empty"),
@@ -123,11 +127,18 @@ impl fmt::Display for ClassicError {
                 write!(f, "individual #{} already exists", i.index())
             }
             ClassicError::Inconsistent { individual, reason } => match individual {
-                Some(i) => write!(f, "inconsistent update at individual #{}: {reason}", i.index()),
+                Some(i) => write!(
+                    f,
+                    "inconsistent update at individual #{}: {reason}",
+                    i.index()
+                ),
                 None => write!(f, "inconsistent description: {reason}"),
             },
             ClassicError::DestructiveUpdate => {
-                write!(f, "destructive updates are not supported (paper defers them)")
+                write!(
+                    f,
+                    "destructive updates are not supported (paper defers them)"
+                )
             }
             ClassicError::RuleOnUndefinedConcept(c) => {
                 write!(f, "rule attached to undefined concept #{}", c.index())
@@ -140,10 +151,11 @@ impl fmt::Display for ClassicError {
 impl fmt::Display for Clash {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Clash::Cardinality { role, at_least, at_most } => write!(
-                f,
-                "AT-LEAST {at_least} exceeds AT-MOST {at_most} on {role}"
-            ),
+            Clash::Cardinality {
+                role,
+                at_least,
+                at_most,
+            } => write!(f, "AT-LEAST {at_least} exceeds AT-MOST {at_most} on {role}"),
             Clash::DisjointPrimitives(a, b) => write!(
                 f,
                 "disjoint primitives #{} and #{} conjoined",

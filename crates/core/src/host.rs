@@ -137,8 +137,7 @@ impl HostClass {
     /// everything subsumes itself, everything else is disjoint.
     pub fn subsumes(self, other: HostClass) -> bool {
         self == other
-            || (self == HostClass::Number
-                && matches!(other, HostClass::Integer | HostClass::Float))
+            || (self == HostClass::Number && matches!(other, HostClass::Integer | HostClass::Float))
     }
 
     /// Least upper bound within the host classes, if one exists below
@@ -217,9 +216,7 @@ impl Layer {
             other
         } else {
             match (self, other) {
-                (Layer::Host(Some(a)), Layer::Host(Some(b))) => {
-                    Layer::Host(a.join(b))
-                }
+                (Layer::Host(Some(a)), Layer::Host(Some(b))) => Layer::Host(a.join(b)),
                 (Layer::Host(_), Layer::Host(_)) => Layer::Host(None),
                 _ => Layer::Thing,
             }

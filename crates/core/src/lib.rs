@@ -16,7 +16,8 @@
 //!   ([`schema::Schema`]);
 //! * normalization to canonical structural normal forms
 //!   ([`normal::normalize`], §2.2/§5);
-//! * structural subsumption and equivalence ([`subsume`], §3.5.1);
+//! * structural subsumption and equivalence ([`subsume`], §3.5.1), with a
+//!   hash-consing interner and memoized subsumption kernel ([`intern`]);
 //! * classification into the induced IS-A taxonomy ([`taxonomy`], §5);
 //! * schema introspection, the paper's `concept-aspect` operator
 //!   ([`aspect`], §3.5.1).
@@ -31,6 +32,7 @@ pub mod aspect;
 pub mod desc;
 pub mod error;
 pub mod host;
+pub mod intern;
 pub mod normal;
 pub mod same_as;
 pub mod schema;
@@ -41,6 +43,7 @@ pub mod taxonomy;
 pub use desc::{Concept, IndRef, Path};
 pub use error::{Clash, ClassicError, Result};
 pub use host::{HostClass, HostValue, Layer, F64};
+pub use intern::{Kernel, KernelStats, NfId};
 pub use normal::{conjoin_expression, normalize, NormalForm, RoleRestriction};
 pub use schema::{Schema, TestArg};
 pub use subsume::{disjoint, equivalent, subsumes};

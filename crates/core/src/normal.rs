@@ -28,7 +28,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Canonical description of everything a concept says about one role.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct RoleRestriction {
     /// Conjoined `ALL` value restriction, normalized. `None` ≡ `THING`.
     pub all: Option<Box<NormalForm>>,
@@ -110,6 +110,26 @@ impl PartialEq for NormalForm {
 }
 
 impl Eq for NormalForm {}
+
+/// Hashing mirrors the manual [`PartialEq`]: every ⊥ hashes to the same
+/// marker (the clash payload is diagnostic, not semantic), and coherent
+/// forms hash their canonical structure. This is what lets normal forms be
+/// hash-consed into the subsumption kernel ([`crate::intern`]).
+impl std::hash::Hash for NormalForm {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        if self.is_incoherent() {
+            state.write_u8(0);
+            return;
+        }
+        state.write_u8(1);
+        self.layer.hash(state);
+        self.prims.hash(state);
+        self.tests.hash(state);
+        self.one_of.hash(state);
+        self.roles.hash(state);
+        self.same_as.hash(state);
+    }
+}
 
 impl NormalForm {
     /// The normal form of `THING` (says nothing).
@@ -523,10 +543,7 @@ impl NormalForm {
             // contradictory cardinality, which normalizes back to ⊥.
             let r = schema.any_role();
             return match r {
-                Some(r) => Concept::And(vec![
-                    Concept::AtLeast(1, r),
-                    Concept::AtMost(0, r),
-                ]),
+                Some(r) => Concept::And(vec![Concept::AtLeast(1, r), Concept::AtMost(0, r)]),
                 None => Concept::OneOf(vec![]),
             };
         }
@@ -546,9 +563,7 @@ impl NormalForm {
         let by_name = |inds: &BTreeSet<IndRef>| -> Vec<IndRef> {
             let mut v: Vec<IndRef> = inds.iter().cloned().collect();
             v.sort_by_key(|i| match i {
-                IndRef::Classic(n) => {
-                    (0u8, schema.symbols.individual_name(*n).to_owned())
-                }
+                IndRef::Classic(n) => (0u8, schema.symbols.individual_name(*n).to_owned()),
                 IndRef::Host(h) => (1u8, h.to_string()),
             });
             v
@@ -597,20 +612,40 @@ pub struct DisplayNf<'a> {
 
 impl fmt::Display for DisplayNf<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            let nf = self.nf;
-            if nf.is_incoherent() {
-                return write!(f, "⊥");
+        let nf = self.nf;
+        if nf.is_incoherent() {
+            return write!(f, "⊥");
+        }
+        write!(f, "[{}", nf.layer)?;
+        for &p in &nf.prims {
+            write!(f, " prim:{}", self.symbols.prim_key(p))?;
+        }
+        for &t in &nf.tests {
+            write!(f, " test:{}", self.symbols.test_name(t))?;
+        }
+        if let Some(s) = &nf.one_of {
+            write!(f, " one-of:{{")?;
+            for (i, ind) in s.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                crate::desc::write_ind(ind, self.symbols, f)?;
             }
-            write!(f, "[{}", nf.layer)?;
-            for &p in &nf.prims {
-                write!(f, " prim:{}", self.symbols.prim_key(p))?;
+            write!(f, "}}")?;
+        }
+        for (&r, rr) in &nf.roles {
+            write!(f, " {}:", self.symbols.role_name(r))?;
+            write!(f, "[{}..", rr.at_least)?;
+            match rr.at_most {
+                Some(m) => write!(f, "{m}]")?,
+                None => write!(f, "*]")?,
             }
-            for &t in &nf.tests {
-                write!(f, " test:{}", self.symbols.test_name(t))?;
+            if rr.closed {
+                write!(f, "closed")?;
             }
-            if let Some(s) = &nf.one_of {
-                write!(f, " one-of:{{")?;
-                for (i, ind) in s.iter().enumerate() {
+            if !rr.fillers.is_empty() {
+                write!(f, " fills:{{")?;
+                for (i, ind) in rr.fillers.iter().enumerate() {
                     if i > 0 {
                         write!(f, " ")?;
                     }
@@ -618,41 +653,21 @@ impl fmt::Display for DisplayNf<'_> {
                 }
                 write!(f, "}}")?;
             }
-            for (&r, rr) in &nf.roles {
-                write!(f, " {}:", self.symbols.role_name(r))?;
-                write!(f, "[{}..", rr.at_least)?;
-                match rr.at_most {
-                    Some(m) => write!(f, "{m}]")?,
-                    None => write!(f, "*]")?,
-                }
-                if rr.closed {
-                    write!(f, "closed")?;
-                }
-                if !rr.fillers.is_empty() {
-                    write!(f, " fills:{{")?;
-                    for (i, ind) in rr.fillers.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, " ")?;
-                        }
-                        crate::desc::write_ind(ind, self.symbols, f)?;
+            if let Some(all) = &rr.all {
+                write!(
+                    f,
+                    " all:{}",
+                    DisplayNf {
+                        nf: all,
+                        symbols: self.symbols
                     }
-                    write!(f, "}}")?;
-                }
-                if let Some(all) = &rr.all {
-                    write!(
-                        f,
-                        " all:{}",
-                        DisplayNf {
-                            nf: all,
-                            symbols: self.symbols
-                        }
-                    )?;
-                }
+                )?;
             }
-            if !nf.same_as.is_empty() {
-                write!(f, " same-as:{}", nf.same_as.display(self.symbols))?;
-            }
-            write!(f, "]")
+        }
+        if !nf.same_as.is_empty() {
+            write!(f, " same-as:{}", nf.same_as.display(self.symbols))?;
+        }
+        write!(f, "]")
     }
 }
 
@@ -699,11 +714,7 @@ pub fn normalize(c: &Concept, schema: &mut Schema) -> Result<NormalForm> {
 /// already knows. The paper's central example (§3.2): asserting `(CLOSE
 /// thing-driven)` on Rocky closes the role over Rocky's *currently known*
 /// fillers — it does not assert that the role is empty.
-pub fn conjoin_expression(
-    c: &Concept,
-    schema: &mut Schema,
-    target: &mut NormalForm,
-) -> Result<()> {
+pub fn conjoin_expression(c: &Concept, schema: &mut Schema, target: &mut NormalForm) -> Result<()> {
     build(c, schema, target)?;
     target.renormalize(schema);
     Ok(())
@@ -736,7 +747,11 @@ fn build(c: &Concept, schema: &mut Schema, nf: &mut NormalForm) -> Result<()> {
             parent_nf.prims.insert(prim);
             nf.merge_raw(&parent_nf);
         }
-        Concept::DisjointPrimitive { parent, grouping, index } => {
+        Concept::DisjointPrimitive {
+            parent,
+            grouping,
+            index,
+        } => {
             let mut parent_nf = normalize(parent, schema)?;
             let prim = schema.register_prim(index, Some(grouping), &parent_nf)?;
             if let Some(&q) = parent_nf

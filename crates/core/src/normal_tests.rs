@@ -278,7 +278,10 @@ fn host_layer_drops_vacuous_role_restrictions() {
             Concept::AtMost(3, r),
         ]),
     );
-    let without = nf(&mut f, &Concept::Builtin(Layer::Host(Some(HostClass::Integer))));
+    let without = nf(
+        &mut f,
+        &Concept::Builtin(Layer::Host(Some(HostClass::Integer))),
+    );
     assert_eq!(with, without);
 }
 

@@ -218,10 +218,7 @@ mod tests {
         let r = f.r;
         let car = name(&mut f, "CAR");
         let exp = name(&mut f, "EXPENSIVE-THING");
-        let lhs = Concept::and([
-            Concept::all(r, car.clone()),
-            Concept::all(r, exp.clone()),
-        ]);
+        let lhs = Concept::and([Concept::all(r, car.clone()), Concept::all(r, exp.clone())]);
         let rhs = Concept::all(r, Concept::and([car, exp]));
         let l = nf(&mut f, &lhs);
         let rr = nf(&mut f, &rhs);
@@ -429,7 +426,10 @@ mod tests {
         let t2 = f.schema.register_test("positive", |_| true);
         let a = nf(&mut f, &Concept::Test(t1));
         let b = nf(&mut f, &Concept::Test(t2));
-        let ab = nf(&mut f, &Concept::and([Concept::Test(t1), Concept::Test(t2)]));
+        let ab = nf(
+            &mut f,
+            &Concept::and([Concept::Test(t1), Concept::Test(t2)]),
+        );
         assert!(subsumes(&a, &ab));
         assert!(subsumes(&b, &ab));
         assert!(!subsumes(&a, &b));

@@ -16,11 +16,30 @@
 //! general subsumees among the common descendants. The same traversal
 //! classifies *query* concepts without inserting them, which is what makes
 //! query answering cheap (§5; experiments E2/E3).
+//!
+//! Two indexes accelerate the traversal beyond the seed algorithm:
+//!
+//! * a memoized subsumption [`Kernel`](crate::intern::Kernel) — node forms
+//!   are hash-consed to [`NfId`]s and `subsumes` results cached per id
+//!   pair, so repeated classifications of related queries skip the
+//!   structural walks entirely;
+//! * a transitive-closure bitset index — each node keeps its full ancestor
+//!   and descendant sets as bit rows, making reachability `O(words)`
+//!   instead of a DAG walk. The index is maintained incrementally on
+//!   insert (Hasse-edge rewiring never changes reachability, so updates
+//!   are add-only) and re-laid-out only when capacity grows, which the
+//!   kernel counts as a `closure_rebuild`.
+//!
+//! The seed path survives as [`Taxonomy::classify_unmemoized`] (the
+//! ablation baseline for experiment E9) and [`Taxonomy::classify_brute`]
+//! stays a pure edge-walking oracle for the property tests.
 
+use crate::intern::{Kernel, KernelStats, NfId};
 use crate::normal::NormalForm;
 use crate::subsume::subsumes;
 use crate::symbol::ConceptName;
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Mutex;
 
 /// Index of a node in the taxonomy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -62,22 +81,173 @@ pub struct Classification {
     pub children: Vec<NodeId>,
     /// A node with the same meaning, if one exists.
     pub equivalent: Option<NodeId>,
-    /// Number of subsumption tests performed (experiment E2's cost metric).
+    /// Number of subsumption tests performed (experiment E2's cost metric;
+    /// on the kernel path a memo hit still counts as one test).
     pub tests: usize,
 }
 
-/// The IS-A hierarchy over named (and transiently, query) concepts.
+/// Flattened ancestor/descendant bitsets, one row of `words` u64s per node.
+///
+/// Rows store *strict* reachability (a node is never in its own row).
+/// Updates are add-only: inserting a node unions its parents' ancestor
+/// rows (plus the parent bits) and its children's descendant rows (plus
+/// the child bits), then ORs its own bit into every ancestor's descendant
+/// row and every descendant's ancestor row. Removing the Hasse edges the
+/// new node mediates does not change reachability, so nothing is cleared.
 #[derive(Debug, Clone)]
+struct Closure {
+    /// u64 words per row.
+    words: usize,
+    /// Number of rows (== taxonomy nodes).
+    len: usize,
+    /// Strict-ancestor rows, row-major `[len][words]`.
+    anc: Vec<u64>,
+    /// Strict-descendant rows, row-major `[len][words]`.
+    desc: Vec<u64>,
+}
+
+/// Iterate the set bit positions of a row.
+fn iter_bits(row: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    row.iter().enumerate().flat_map(|(w, &word)| {
+        let base = w * 64;
+        std::iter::successors(if word == 0 { None } else { Some(word) }, |&rest| {
+            let rest = rest & (rest - 1);
+            if rest == 0 {
+                None
+            } else {
+                Some(rest)
+            }
+        })
+        .map(move |bits| base + bits.trailing_zeros() as usize)
+    })
+}
+
+impl Closure {
+    fn new() -> Closure {
+        Closure {
+            words: 1,
+            len: 0,
+            anc: Vec::new(),
+            desc: Vec::new(),
+        }
+    }
+
+    fn bit(id: usize) -> (usize, u64) {
+        (id / 64, 1u64 << (id % 64))
+    }
+
+    fn anc_row(&self, id: usize) -> &[u64] {
+        &self.anc[id * self.words..(id + 1) * self.words]
+    }
+
+    fn desc_row(&self, id: usize) -> &[u64] {
+        &self.desc[id * self.words..(id + 1) * self.words]
+    }
+
+    /// Is `anc` a strict ancestor of `id`?
+    fn has_ancestor(&self, id: usize, anc: usize) -> bool {
+        let (w, b) = Self::bit(anc);
+        self.anc_row(id)[w] & b != 0
+    }
+
+    /// Is `desc` a strict descendant of `id`?
+    fn has_descendant(&self, id: usize, desc: usize) -> bool {
+        let (w, b) = Self::bit(desc);
+        self.desc_row(id)[w] & b != 0
+    }
+
+    /// Append a row for node `self.len` with the given immediate
+    /// neighbors, updating every affected row. Returns `true` if the
+    /// index was re-laid-out to grow capacity (a "closure rebuild").
+    fn push(&mut self, parents: &BTreeSet<NodeId>, children: &BTreeSet<NodeId>) -> bool {
+        let id = self.len;
+        let rebuilt = id >= self.words * 64;
+        if rebuilt {
+            self.grow();
+        }
+        self.len += 1;
+        self.anc.resize(self.len * self.words, 0);
+        self.desc.resize(self.len * self.words, 0);
+        for &p in parents {
+            let pi = p.index();
+            for w in 0..self.words {
+                let v = self.anc[pi * self.words + w];
+                self.anc[id * self.words + w] |= v;
+            }
+            let (w, b) = Self::bit(pi);
+            self.anc[id * self.words + w] |= b;
+        }
+        for &c in children {
+            let ci = c.index();
+            for w in 0..self.words {
+                let v = self.desc[ci * self.words + w];
+                self.desc[id * self.words + w] |= v;
+            }
+            let (w, b) = Self::bit(ci);
+            self.desc[id * self.words + w] |= b;
+        }
+        let (nw, nb) = Self::bit(id);
+        let anc_row = self.anc_row(id).to_vec();
+        for a in iter_bits(&anc_row) {
+            self.desc[a * self.words + nw] |= nb;
+        }
+        let desc_row = self.desc_row(id).to_vec();
+        for d in iter_bits(&desc_row) {
+            self.anc[d * self.words + nw] |= nb;
+        }
+        rebuilt
+    }
+
+    /// Double the row stride, copying existing rows into the new layout.
+    /// Reachability content is unchanged — only the memory layout moves.
+    fn grow(&mut self) {
+        let new_words = self.words * 2;
+        let relayout = |old: &[u64], words: usize, len: usize| {
+            let mut out = vec![0u64; len * new_words];
+            for i in 0..len {
+                out[i * new_words..i * new_words + words]
+                    .copy_from_slice(&old[i * words..(i + 1) * words]);
+            }
+            out
+        };
+        self.anc = relayout(&self.anc, self.words, self.len);
+        self.desc = relayout(&self.desc, self.words, self.len);
+        self.words = new_words;
+    }
+}
+
+/// The IS-A hierarchy over named (and transiently, query) concepts.
+#[derive(Debug)]
 pub struct Taxonomy {
     nodes: Vec<Node>,
     by_name: HashMap<ConceptName, NodeId>,
     /// Cumulative subsumption-test counter across all operations.
     tests_total: u64,
+    /// Hash-consed node forms + memoized subsumption (see [`crate::intern`]).
+    /// Behind a mutex so `classify(&self)` can consult and extend it.
+    kernel: Mutex<Kernel>,
+    /// Interned id of each node's normal form, parallel to `nodes`.
+    nf_ids: Vec<NfId>,
+    /// Transitive-closure reachability index, parallel to `nodes`.
+    closure: Closure,
 }
 
 impl Default for Taxonomy {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Clone for Taxonomy {
+    fn clone(&self) -> Self {
+        Taxonomy {
+            nodes: self.nodes.clone(),
+            by_name: self.by_name.clone(),
+            tests_total: self.tests_total,
+            kernel: Mutex::new(self.kernel.lock().expect("kernel lock").clone()),
+            nf_ids: self.nf_ids.clone(),
+            closure: self.closure.clone(),
+        }
     }
 }
 
@@ -96,10 +266,18 @@ impl Taxonomy {
             parents: BTreeSet::from([NodeId::TOP]),
             children: BTreeSet::new(),
         };
+        let mut kernel = Kernel::new();
+        let nf_ids = vec![kernel.intern(&top.nf), kernel.intern(&bottom.nf)];
+        let mut closure = Closure::new();
+        closure.push(&BTreeSet::new(), &BTreeSet::new());
+        closure.push(&BTreeSet::from([NodeId::TOP]), &BTreeSet::new());
         Taxonomy {
             nodes: vec![top, bottom],
             by_name: HashMap::new(),
             tests_total: 0,
+            kernel: Mutex::new(kernel),
+            nf_ids,
+            closure,
         }
     }
 
@@ -128,12 +306,22 @@ impl Taxonomy {
         self.tests_total
     }
 
+    /// Snapshot of the subsumption kernel's counters (interning, memo
+    /// hit/miss, closure rebuilds).
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.kernel.lock().expect("kernel lock").stats()
+    }
+
     /// All node ids except TOP/BOTTOM, in insertion order.
     pub fn interior_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         (2..self.nodes.len()).map(|i| NodeId(i as u32))
     }
 
     /// Classify `nf` against the current taxonomy without inserting it.
+    ///
+    /// Runs on the kernel path: the query form is interned once and every
+    /// subsumption test goes through the memo; frontier minimality and
+    /// subsumee candidate generation use the closure bitsets.
     pub fn classify(&self, nf: &NormalForm) -> Classification {
         let mut tests = 0usize;
         if nf.is_incoherent() {
@@ -144,12 +332,14 @@ impl Taxonomy {
                 tests,
             };
         }
-        let parents = self.most_specific_subsumers(nf, &mut tests);
+        let mut kernel = self.kernel.lock().expect("kernel lock");
+        let q = kernel.intern(nf);
+        let parents = self.most_specific_subsumers_kernel(&mut kernel, q, &mut tests);
         // Equivalence: a parent that is also subsumed by nf.
         let mut equivalent = None;
         for &p in &parents {
             tests += 1;
-            if subsumes(nf, &self.node(p).nf) {
+            if kernel.subsumes_ids(q, self.nf_ids[p.index()]) {
                 equivalent = Some(p);
                 break;
             }
@@ -157,7 +347,7 @@ impl Taxonomy {
         let children = if equivalent.is_some() {
             Vec::new()
         } else {
-            self.most_general_subsumees(nf, &parents, &mut tests)
+            self.most_general_subsumees_kernel(&mut kernel, q, &parents, &mut tests)
         };
         Classification {
             parents,
@@ -186,6 +376,8 @@ impl Taxonomy {
             report.children.iter().copied().collect()
         };
         // Remove direct parent→child edges now mediated by the new node.
+        // (Reachability is unchanged, so the closure index needs no
+        // clearing — only the new node's add-only update below.)
         for &p in &parents {
             for &c in &children {
                 self.nodes[p.index()].children.remove(&c);
@@ -198,6 +390,11 @@ impl Taxonomy {
         for &c in &children {
             self.nodes[c.index()].parents.insert(id);
         }
+        let kernel = self.kernel.get_mut().expect("kernel lock");
+        self.nf_ids.push(kernel.intern(&nf));
+        if self.closure.push(&parents, &children) {
+            kernel.closure_rebuilds += 1;
+        }
         self.nodes.push(Node {
             nf,
             names: vec![name],
@@ -208,11 +405,141 @@ impl Taxonomy {
         (id, report)
     }
 
-    /// Top-down search for the most specific subsumers of `nf`.
-    ///
-    /// A node's children are examined only when the node itself subsumes
-    /// `nf`; the node joins the frontier when none of its children do.
-    fn most_specific_subsumers(&self, nf: &NormalForm, tests: &mut usize) -> Vec<NodeId> {
+    /// Top-down search for the most specific subsumers of `nf`, on the
+    /// kernel path. A node's children are examined only when the node
+    /// itself subsumes the query; the node joins the frontier when none of
+    /// its children do.
+    fn most_specific_subsumers_kernel(
+        &self,
+        kernel: &mut Kernel,
+        q: NfId,
+        tests: &mut usize,
+    ) -> Vec<NodeId> {
+        let mut cache: HashMap<NodeId, bool> = HashMap::new();
+        cache.insert(NodeId::TOP, true);
+        let mut frontier = Vec::new();
+        let mut visited: BTreeSet<NodeId> = BTreeSet::new();
+        let mut queue = VecDeque::from([NodeId::TOP]);
+        while let Some(n) = queue.pop_front() {
+            if !visited.insert(n) {
+                continue;
+            }
+            let mut has_subsuming_child = false;
+            for &c in &self.node(n).children {
+                if c == NodeId::BOTTOM {
+                    continue;
+                }
+                let v = match cache.get(&c) {
+                    Some(&v) => v,
+                    None => {
+                        *tests += 1;
+                        let v = kernel.subsumes_ids(self.nf_ids[c.index()], q);
+                        cache.insert(c, v);
+                        v
+                    }
+                };
+                if v {
+                    has_subsuming_child = true;
+                    queue.push_back(c);
+                }
+            }
+            if !has_subsuming_child {
+                frontier.push(n);
+            }
+        }
+        // The frontier may contain non-minimal nodes reached along
+        // different paths; keep only nodes with no *other* frontier node
+        // strictly below them (an O(words) bitset probe each).
+        let set: BTreeSet<NodeId> = frontier.iter().copied().collect();
+        frontier.retain(|&n| {
+            !set.iter()
+                .any(|&d| d != n && self.closure.has_descendant(n.index(), d.index()))
+        });
+        frontier.sort();
+        frontier.dedup();
+        frontier
+    }
+
+    /// Bottom-up search for the most general subsumees, on the kernel
+    /// path: candidates come from intersecting the parents' descendant
+    /// bit rows instead of walking the DAG.
+    fn most_general_subsumees_kernel(
+        &self,
+        kernel: &mut Kernel,
+        q: NfId,
+        parents: &[NodeId],
+        tests: &mut usize,
+    ) -> Vec<NodeId> {
+        let words = self.closure.words;
+        let mut common = vec![u64::MAX; words];
+        for &p in parents {
+            for (w, slot) in common.iter_mut().enumerate() {
+                *slot &= self.closure.desc_row(p.index())[w];
+            }
+        }
+        if parents.is_empty() {
+            common.fill(0);
+        }
+        let mut selected: BTreeSet<NodeId> = BTreeSet::new();
+        for m in iter_bits(&common) {
+            if m == NodeId::BOTTOM.index() {
+                continue;
+            }
+            *tests += 1;
+            if kernel.subsumes_ids(q, self.nf_ids[m]) {
+                selected.insert(NodeId(m as u32));
+            }
+        }
+        // Keep maximal elements only.
+        selected
+            .iter()
+            .copied()
+            .filter(|&m| {
+                !selected
+                    .iter()
+                    .any(|&a| a != m && self.closure.has_ancestor(m.index(), a.index()))
+            })
+            .collect()
+    }
+
+    /// Classify `nf` with the seed algorithm: plain (uncached) subsumption
+    /// tests and DAG-walking reachability. Kept as the ablation baseline
+    /// for experiment E9; produces the same answer as [`Taxonomy::classify`].
+    pub fn classify_unmemoized(&self, nf: &NormalForm) -> Classification {
+        let mut tests = 0usize;
+        if nf.is_incoherent() {
+            return Classification {
+                parents: self.node(NodeId::BOTTOM).parents.iter().copied().collect(),
+                children: Vec::new(),
+                equivalent: Some(NodeId::BOTTOM),
+                tests,
+            };
+        }
+        let parents = self.most_specific_subsumers_walk(nf, &mut tests);
+        let mut equivalent = None;
+        for &p in &parents {
+            tests += 1;
+            if subsumes(nf, &self.node(p).nf) {
+                equivalent = Some(p);
+                break;
+            }
+        }
+        let children = if equivalent.is_some() {
+            Vec::new()
+        } else {
+            self.most_general_subsumees_walk(nf, &parents, &mut tests)
+        };
+        Classification {
+            parents,
+            children,
+            equivalent,
+            tests,
+        }
+    }
+
+    /// Seed-path top-down search (uncached subsumption, walk-based
+    /// minimality filter).
+    fn most_specific_subsumers_walk(&self, nf: &NormalForm, tests: &mut usize) -> Vec<NodeId> {
         let mut cache: HashMap<NodeId, bool> = HashMap::new();
         cache.insert(NodeId::TOP, true);
         let mut subsumes_nf = |taxo: &Taxonomy, id: NodeId, tests: &mut usize| -> bool {
@@ -245,13 +572,10 @@ impl Taxonomy {
                 frontier.push(n);
             }
         }
-        // The frontier may contain non-minimal nodes reached along
-        // different paths; keep only nodes with no *other* frontier node
-        // strictly below them.
         let set: BTreeSet<NodeId> = frontier.iter().copied().collect();
         frontier.retain(|&n| {
             !self
-                .strict_descendants(n)
+                .reachable_walk(n, false)
                 .iter()
                 .any(|d| set.contains(d) && *d != n)
         });
@@ -260,9 +584,8 @@ impl Taxonomy {
         frontier
     }
 
-    /// Bottom-up search for the most general subsumees among the common
-    /// descendants of the subsumer frontier.
-    fn most_general_subsumees(
+    /// Seed-path bottom-up search over the common walked descendants.
+    fn most_general_subsumees_walk(
         &self,
         nf: &NormalForm,
         parents: &[NodeId],
@@ -272,7 +595,7 @@ impl Taxonomy {
         // subsumee of nf must be).
         let mut common: Option<BTreeSet<NodeId>> = None;
         for &p in parents {
-            let d = self.strict_descendants(p);
+            let d = self.reachable_walk(p, false);
             common = Some(match common {
                 None => d,
                 Some(c) => c.intersection(&d).copied().collect(),
@@ -295,7 +618,7 @@ impl Taxonomy {
             .copied()
             .filter(|&m| {
                 !self
-                    .strict_ancestors(m)
+                    .reachable_walk(m, true)
                     .iter()
                     .any(|a| selected.contains(a))
             })
@@ -305,16 +628,30 @@ impl Taxonomy {
     }
 
     /// All nodes strictly below `id` (descendants, excluding `id`).
+    /// Served from the closure bitset index in `O(words + |result|)`.
     pub fn strict_descendants(&self, id: NodeId) -> BTreeSet<NodeId> {
-        self.reachable(id, false)
+        iter_bits(self.closure.desc_row(id.index()))
+            .map(|i| NodeId(i as u32))
+            .collect()
     }
 
     /// All nodes strictly above `id` (ancestors, excluding `id`).
+    /// Served from the closure bitset index in `O(words + |result|)`.
     pub fn strict_ancestors(&self, id: NodeId) -> BTreeSet<NodeId> {
-        self.reachable(id, true)
+        iter_bits(self.closure.anc_row(id.index()))
+            .map(|i| NodeId(i as u32))
+            .collect()
     }
 
-    fn reachable(&self, id: NodeId, up: bool) -> BTreeSet<NodeId> {
+    /// Is `anc` strictly above `id`? `O(1)` closure probe.
+    pub fn is_strict_ancestor(&self, anc: NodeId, id: NodeId) -> bool {
+        self.closure.has_ancestor(id.index(), anc.index())
+    }
+
+    /// Edge-walking reachability, independent of the closure index. Used
+    /// by the seed classification path and [`Taxonomy::classify_brute`] so
+    /// the oracle cannot share a bug with the bitsets it checks.
+    fn reachable_walk(&self, id: NodeId, up: bool) -> BTreeSet<NodeId> {
         let mut out = BTreeSet::new();
         let mut queue = VecDeque::from([id]);
         while let Some(n) = queue.pop_front() {
@@ -334,7 +671,9 @@ impl Taxonomy {
     }
 
     /// Brute-force classification: compare against every node in both
-    /// directions. The naive baseline for experiment E2's ablation.
+    /// directions, using only plain subsumption and edge walks. The naive
+    /// baseline for experiment E2's ablation and the oracle for the
+    /// kernel-path property tests.
     pub fn classify_brute(&self, nf: &NormalForm) -> Classification {
         let mut tests = 0usize;
         if nf.is_incoherent() {
@@ -381,7 +720,7 @@ impl Taxonomy {
             .copied()
             .filter(|&a| {
                 !self
-                    .strict_descendants(a)
+                    .reachable_walk(a, false)
                     .iter()
                     .any(|d| above_set.contains(d))
             })
@@ -391,7 +730,7 @@ impl Taxonomy {
             .copied()
             .filter(|&b| {
                 !self
-                    .strict_ancestors(b)
+                    .reachable_walk(b, true)
                     .iter()
                     .any(|a| below_set.contains(a))
             })
@@ -440,6 +779,14 @@ mod tests {
         assert_eq!(f.taxo.len(), 2);
         assert!(f.taxo.node(NodeId::TOP).children.contains(&NodeId::BOTTOM));
         assert!(f.taxo.node(NodeId::BOTTOM).parents.contains(&NodeId::TOP));
+        assert!(f
+            .taxo
+            .strict_descendants(NodeId::TOP)
+            .contains(&NodeId::BOTTOM));
+        assert!(f
+            .taxo
+            .strict_ancestors(NodeId::BOTTOM)
+            .contains(&NodeId::TOP));
     }
 
     #[test]
@@ -569,17 +916,18 @@ mod tests {
             define(&mut f, &format!("C{i}"), c);
         }
         for i in 0..8u32 {
-            let q = Concept::and([
-                p0.clone(),
-                Concept::AtLeast(i % 4, roles[(i % 4) as usize]),
-            ]);
+            let q = Concept::and([p0.clone(), Concept::AtLeast(i % 4, roles[(i % 4) as usize])]);
             let nf = normalize(&q, &mut f.schema).unwrap();
             let a = f.taxo.classify(&nf);
             let b = f.taxo.classify_brute(&nf);
+            let u = f.taxo.classify_unmemoized(&nf);
             assert_eq!(a.parents, b.parents, "parents differ for i={i}");
             assert_eq!(a.children, b.children, "children differ for i={i}");
             assert_eq!(a.equivalent, b.equivalent, "equiv differs for i={i}");
-            assert!(a.tests <= b.tests, "pruned search did more tests");
+            assert_eq!(u.parents, b.parents, "walk parents differ for i={i}");
+            assert_eq!(u.children, b.children, "walk children differ for i={i}");
+            assert_eq!(u.equivalent, b.equivalent, "walk equiv differs for i={i}");
+            assert!(u.tests <= b.tests, "pruned search did more tests");
         }
     }
 
@@ -596,5 +944,83 @@ mod tests {
         let desc = f.taxo.strict_descendants(car);
         assert!(desc.contains(&sports));
         assert!(desc.contains(&NodeId::BOTTOM));
+        assert!(f.taxo.is_strict_ancestor(car, sports));
+        assert!(!f.taxo.is_strict_ancestor(sports, car));
+    }
+
+    #[test]
+    fn closure_matches_edge_walks_after_many_inserts() {
+        // Cross the 64-node word boundary so `grow()` is exercised, then
+        // check every node's bitset rows against a fresh edge walk.
+        let mut f = fix();
+        let roles: Vec<_> = (0..3)
+            .map(|i| f.schema.define_role(&format!("r{i}")).unwrap())
+            .collect();
+        define(&mut f, "P0", Concept::primitive(Concept::thing(), "p0"));
+        let p0 = named(&mut f, "P0");
+        for i in 0..80u32 {
+            let c = Concept::and([
+                p0.clone(),
+                Concept::AtLeast(i % 7, roles[(i % 3) as usize]),
+                Concept::AtMost(7 + (i % 5), roles[((i + 1) % 3) as usize]),
+            ]);
+            define(&mut f, &format!("C{i}"), c);
+        }
+        assert!(f.taxo.len() > 64, "must cross the word boundary");
+        assert!(
+            f.taxo.kernel_stats().closure_rebuilds >= 1,
+            "growth should have been counted"
+        );
+        for i in 0..f.taxo.len() {
+            let id = NodeId(i as u32);
+            assert_eq!(
+                f.taxo.strict_descendants(id),
+                f.taxo.reachable_walk(id, false),
+                "desc rows diverge at node {i}"
+            );
+            assert_eq!(
+                f.taxo.strict_ancestors(id),
+                f.taxo.reachable_walk(id, true),
+                "anc rows diverge at node {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_memo_pays_off_on_repeat_classification() {
+        let mut f = fix();
+        let r = f.schema.define_role("r").unwrap();
+        define(&mut f, "CAR", Concept::primitive(Concept::thing(), "car"));
+        let car = named(&mut f, "CAR");
+        let nf = normalize(&Concept::and([car, Concept::AtLeast(1, r)]), &mut f.schema).unwrap();
+        let _ = f.taxo.classify(&nf);
+        let misses_after_first = f.taxo.kernel_stats().memo_misses;
+        let _ = f.taxo.classify(&nf);
+        let stats = f.taxo.kernel_stats();
+        assert_eq!(
+            stats.memo_misses, misses_after_first,
+            "second classification must be all memo hits"
+        );
+        assert!(stats.memo_hits > 0);
+        assert!(stats.intern_hits > 0, "query form re-interned to same id");
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut f = fix();
+        define(&mut f, "CAR", Concept::primitive(Concept::thing(), "car"));
+        let snapshot = f.taxo.clone();
+        let before = snapshot.len();
+        let c = named(&mut f, "CAR");
+        define(&mut f, "SPORTS-CAR", Concept::primitive(c, "sc"));
+        assert_eq!(snapshot.len(), before);
+        assert_eq!(f.taxo.len(), before + 1);
+        // The clone's kernel still answers classifications.
+        let nf = f
+            .schema
+            .concept_nf(f.schema.symbols.find_concept("CAR").unwrap());
+        let nf = nf.unwrap().clone();
+        let cls = snapshot.classify(&nf);
+        assert!(cls.equivalent.is_some());
     }
 }

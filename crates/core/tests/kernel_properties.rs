@@ -1,0 +1,200 @@
+//! Property-based cross-validation of the subsumption kernel and the
+//! bitset taxonomy closure against the plain (unmemoized, edge-walking)
+//! procedures.
+//!
+//! The kernel memoizes `subsumes` on interned normal-form ids and the
+//! taxonomy answers reachability from transitive-closure bitsets; both
+//! are pure accelerations, so on every generated input they must agree
+//! exactly with the originals:
+//!
+//! * `Kernel::subsumes_nf` ≡ `subsumes` — on first query (cold memo) and
+//!   on every repeat (warm memo, answered from the cache);
+//! * `classify` (kernel + bitsets) ≡ `classify_unmemoized` (plain
+//!   subsumption + edge walks) ≡ `classify_brute` (exhaustive scan) on
+//!   randomly grown schemas, for parents, children, and equivalence.
+
+use classic_core::desc::Concept;
+use classic_core::normal::{normalize, NormalForm};
+use classic_core::schema::Schema;
+use classic_core::subsume::subsumes;
+use classic_core::symbol::RoleId;
+use classic_core::taxonomy::Taxonomy;
+use classic_core::Kernel;
+use proptest::prelude::*;
+
+const N_ROLES: usize = 3;
+const N_PRIMS: usize = 3;
+
+/// The fixed vocabulary every generated concept draws from.
+fn vocabulary() -> Schema {
+    let mut schema = Schema::new();
+    for i in 0..N_ROLES {
+        schema.define_role(&format!("r{i}")).unwrap();
+    }
+    for i in 0..N_PRIMS {
+        schema
+            .define_concept(
+                &format!("P{i}"),
+                Concept::primitive(Concept::thing(), &format!("p{i}")),
+            )
+            .unwrap();
+    }
+    schema
+}
+
+fn role(i: usize) -> RoleId {
+    RoleId::from_index(i % N_ROLES)
+}
+
+/// One conjunct: a primitive, a number restriction, or a value
+/// restriction on a primitive. Conjunctions of these produce a rich
+/// subsumption lattice (including incoherent corners via
+/// `AT-LEAST n > AT-MOST m`).
+fn conjunct_strategy() -> impl Strategy<Value = Concept> {
+    prop_oneof![
+        (0usize..N_PRIMS).prop_map(|i| Concept::primitive(Concept::thing(), &format!("p{i}"))),
+        (0usize..N_ROLES, 0u32..4).prop_map(|(r, n)| Concept::AtLeast(n, role(r))),
+        (0usize..N_ROLES, 0u32..4).prop_map(|(r, n)| Concept::AtMost(n, role(r))),
+        (0usize..N_ROLES, 0usize..N_PRIMS).prop_map(|(r, p)| Concept::all(
+            role(r),
+            Concept::primitive(Concept::thing(), &format!("p{p}"))
+        )),
+    ]
+}
+
+/// A small conjunction over the fixed vocabulary.
+fn concept_strategy() -> impl Strategy<Value = Concept> {
+    proptest::collection::vec(conjunct_strategy(), 1..4).prop_map(Concept::And)
+}
+
+fn norm(c: &Concept, schema: &mut Schema) -> NormalForm {
+    normalize(c, schema).expect("vocabulary is fully declared")
+}
+
+/// Grow a taxonomy from a list of generated definitions. Incoherent
+/// definitions are skipped (`Schema::define_concept` rejects ⊥), mirroring
+/// what a knowledge base does.
+fn grow(defs: &[Concept]) -> (Schema, Taxonomy) {
+    let mut schema = vocabulary();
+    let mut taxo = Taxonomy::new();
+    for (i, c) in defs.iter().enumerate() {
+        if let Ok(id) = schema.define_concept(&format!("C{i}"), c.clone()) {
+            let nf = schema.concept_nf(id).unwrap().clone();
+            taxo.insert(id, nf);
+        }
+    }
+    (schema, taxo)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The kernel is a transparent cache over `subsumes`: cold and warm
+    /// answers both equal the oracle, in both argument orders.
+    #[test]
+    fn kernel_agrees_with_plain_subsumes(
+        a in concept_strategy(),
+        b in concept_strategy(),
+    ) {
+        let mut schema = vocabulary();
+        let na = norm(&a, &mut schema);
+        let nb = norm(&b, &mut schema);
+        let mut kernel = Kernel::new();
+        let oracle_ab = subsumes(&na, &nb);
+        let oracle_ba = subsumes(&nb, &na);
+        // Cold memo.
+        prop_assert_eq!(kernel.subsumes_nf(&na, &nb), oracle_ab);
+        prop_assert_eq!(kernel.subsumes_nf(&nb, &na), oracle_ba);
+        // Warm memo: answered from the cache, still the oracle's answer.
+        prop_assert_eq!(kernel.subsumes_nf(&na, &nb), oracle_ab);
+        prop_assert_eq!(kernel.subsumes_nf(&nb, &na), oracle_ba);
+        let s = kernel.stats();
+        prop_assert!(s.memo_hits >= 2, "repeat queries must hit the memo");
+    }
+
+    /// Interning is hash-consing: equal forms share an id, and the id
+    /// resolves back to an equal form.
+    #[test]
+    fn interning_is_injective_on_meaning(c in concept_strategy()) {
+        let mut schema = vocabulary();
+        let nf = norm(&c, &mut schema);
+        let mut kernel = Kernel::new();
+        let id1 = kernel.intern(&nf);
+        let id2 = kernel.intern(&nf.clone());
+        prop_assert_eq!(id1, id2);
+        prop_assert_eq!(kernel.nf(id1), &nf);
+    }
+
+    /// All three classification paths agree on randomly grown schemas:
+    /// the kernel+bitset path, the plain-walk path, and the exhaustive
+    /// brute-force scan.
+    #[test]
+    fn classification_paths_agree_on_random_schemas(
+        defs in proptest::collection::vec(concept_strategy(), 2..10),
+        queries in proptest::collection::vec(concept_strategy(), 1..5),
+    ) {
+        let (mut schema, taxo) = grow(&defs);
+        for q in &queries {
+            let nf = norm(q, &mut schema);
+            let fast = taxo.classify(&nf);
+            let walk = taxo.classify_unmemoized(&nf);
+            let brute = taxo.classify_brute(&nf);
+            prop_assert_eq!(&fast.parents, &brute.parents);
+            prop_assert_eq!(&fast.children, &brute.children);
+            prop_assert_eq!(fast.equivalent, brute.equivalent);
+            prop_assert_eq!(&walk.parents, &brute.parents);
+            prop_assert_eq!(&walk.children, &brute.children);
+            prop_assert_eq!(walk.equivalent, brute.equivalent);
+        }
+    }
+
+    /// The bitset closure answers reachability exactly like an edge walk,
+    /// node by node, on randomly grown schemas.
+    #[test]
+    fn bitset_reachability_matches_edge_structure(
+        defs in proptest::collection::vec(concept_strategy(), 2..12),
+    ) {
+        use classic_core::taxonomy::NodeId;
+        let (_schema, taxo) = grow(&defs);
+        let all: Vec<NodeId> = taxo
+            .interior_nodes()
+            .chain([NodeId::TOP, NodeId::BOTTOM])
+            .collect();
+        for &a in &all {
+            let desc = taxo.strict_descendants(a);
+            let anc = taxo.strict_ancestors(a);
+            prop_assert!(!desc.contains(&a), "strict sets exclude the node");
+            prop_assert!(!anc.contains(&a), "strict sets exclude the node");
+            for &d in &desc {
+                prop_assert!(taxo.is_strict_ancestor(a, d));
+                prop_assert!(
+                    taxo.strict_ancestors(d).contains(&a),
+                    "ancestor/descendant rows must be transposes"
+                );
+            }
+        }
+    }
+
+    /// Classifying the same query twice through the kernel path costs the
+    /// same number of tests and yields the same placement — and the
+    /// second pass is answered from the memo.
+    #[test]
+    fn repeat_classification_is_memoized(
+        defs in proptest::collection::vec(concept_strategy(), 2..8),
+        q in concept_strategy(),
+    ) {
+        let (mut schema, taxo) = grow(&defs);
+        let nf = norm(&q, &mut schema);
+        let first = taxo.classify(&nf);
+        let before = taxo.kernel_stats();
+        let second = taxo.classify(&nf);
+        let after = taxo.kernel_stats();
+        prop_assert_eq!(first.parents, second.parents);
+        prop_assert_eq!(first.children, second.children);
+        prop_assert_eq!(first.equivalent, second.equivalent);
+        prop_assert_eq!(
+            after.memo_misses, before.memo_misses,
+            "a repeat classification must not miss the memo"
+        );
+    }
+}

@@ -83,15 +83,26 @@ fn concept_strategy() -> impl Strategy<Value = Concept> {
             // Resolve names lazily inside apply(); store as marker here.
             Concept::primitive(Concept::thing(), &format!("p{i}"))
         }),
-        Just(Concept::disjoint_primitive(Concept::thing(), "side", "left")),
-        Just(Concept::disjoint_primitive(Concept::thing(), "side", "right")),
+        Just(Concept::disjoint_primitive(
+            Concept::thing(),
+            "side",
+            "left"
+        )),
+        Just(Concept::disjoint_primitive(
+            Concept::thing(),
+            "side",
+            "right"
+        )),
         (0usize..N_ROLES, 0u32..4).prop_map(|(r, n)| Concept::AtLeast(n, role(r))),
         (0usize..N_ROLES, 0u32..4).prop_map(|(r, n)| Concept::AtMost(n, role(r))),
         (0usize..N_ROLES).prop_map(|r| Concept::Close(role(r))),
         proptest::collection::vec(0usize..16, 1..4)
             .prop_map(|ixs| Concept::OneOf(ixs.into_iter().map(OneOfMarker).map(marker).collect())),
         (0usize..N_ROLES, proptest::collection::vec(0usize..16, 1..3)).prop_map(|(r, ixs)| {
-            Concept::Fills(role(r), ixs.into_iter().map(OneOfMarker).map(marker).collect())
+            Concept::Fills(
+                role(r),
+                ixs.into_iter().map(OneOfMarker).map(marker).collect(),
+            )
         }),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
@@ -128,7 +139,11 @@ fn resolve(c: &Concept, schema: &Schema) -> Concept {
             parent: Box::new(resolve(parent, schema)),
             index: index.clone(),
         },
-        Concept::DisjointPrimitive { parent, grouping, index } => Concept::DisjointPrimitive {
+        Concept::DisjointPrimitive {
+            parent,
+            grouping,
+            index,
+        } => Concept::DisjointPrimitive {
             parent: Box::new(resolve(parent, schema)),
             grouping: grouping.clone(),
             index: index.clone(),
@@ -161,7 +176,11 @@ fn strip_close(c: &Concept) -> Concept {
             parent: Box::new(strip_close(parent)),
             index: index.clone(),
         },
-        Concept::DisjointPrimitive { parent, grouping, index } => Concept::DisjointPrimitive {
+        Concept::DisjointPrimitive {
+            parent,
+            grouping,
+            index,
+        } => Concept::DisjointPrimitive {
             parent: Box::new(strip_close(parent)),
             grouping: grouping.clone(),
             index: index.clone(),

@@ -38,9 +38,7 @@ fn recipe_strategy() -> impl Strategy<Value = DefRecipe> {
 }
 
 /// Materialize a schema + taxonomy from recipes; returns all normal forms.
-fn build(
-    recipes: &[DefRecipe],
-) -> (Schema, Taxonomy, Vec<classic_core::normal::NormalForm>) {
+fn build(recipes: &[DefRecipe]) -> (Schema, Taxonomy, Vec<classic_core::normal::NormalForm>) {
     let mut schema = Schema::new();
     for i in 0..N_ROLES {
         schema.define_role(&format!("r{i}")).unwrap();
@@ -51,7 +49,10 @@ fn build(
         .unwrap();
     let base = Concept::Name(schema.symbols.find_concept("BASE").unwrap());
     let mut taxo = Taxonomy::new();
-    let base_nf = schema.concept_nf(schema.symbols.find_concept("BASE").unwrap()).unwrap().clone();
+    let base_nf = schema
+        .concept_nf(schema.symbols.find_concept("BASE").unwrap())
+        .unwrap()
+        .clone();
     let base_name = schema.symbols.find_concept("BASE").unwrap();
     taxo.insert(base_name, base_nf.clone());
     let mut nfs = vec![base_nf];

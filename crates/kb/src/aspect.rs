@@ -97,6 +97,7 @@ impl Kb {
             .taxonomy()
             .node_of(concept)
             .ok_or(classic_core::ClassicError::UndefinedConcept(concept))?;
-        Ok(self.ind(id).instance_nodes.contains(&node) || node == classic_core::taxonomy::NodeId::TOP)
+        Ok(self.ind(id).instance_nodes.contains(&node)
+            || node == classic_core::taxonomy::NodeId::TOP)
     }
 }

@@ -80,8 +80,7 @@ impl Kb {
             return Explanation {
                 satisfied: false,
                 requirements: vec![Requirement {
-                    description: "the concept is incoherent (⊥) — nothing can satisfy it"
-                        .into(),
+                    description: "the concept is incoherent (⊥) — nothing can satisfy it".into(),
                     satisfied: false,
                 }],
             };
@@ -95,16 +94,13 @@ impl Kb {
         for &p in &nf.prims {
             let pc = self.schema().prim_concept(p);
             reqs.push(Requirement {
-                description: format!(
-                    "must be asserted under primitive {}",
-                    pc.display(symbols)
-                ),
+                description: format!("must be asserted under primitive {}", pc.display(symbols)),
                 satisfied: d.prims.contains(&p),
             });
         }
         for &t in &nf.tests {
             let passed = d.tests.contains(&t)
-                || ind.test_hits.borrow().get(&t) == Some(&true)
+                || ind.test_hits.lock().expect("test cache lock").get(&t) == Some(&true)
                 || {
                     let name = symbols.individual_name(ind.name);
                     self.schema()
@@ -256,7 +252,10 @@ mod tests {
         kb.assert_ind("Rocky", &Concept::Name(person)).unwrap();
         let e = kb.explain_membership(id, student).unwrap();
         assert!(!e.satisfied);
-        assert_eq!(e.satisfied, kb.known_instance(id, kb.schema().concept_nf(student).unwrap()));
+        assert_eq!(
+            e.satisfied,
+            kb.known_instance(id, kb.schema().concept_nf(student).unwrap())
+        );
         // Exactly one requirement is missing: the enrollment.
         let missing = e.missing();
         assert_eq!(missing.len(), 1);
@@ -275,15 +274,13 @@ mod tests {
         let mut kb = kb();
         let driven = kb.schema().symbols.find_role("thing-driven").unwrap();
         let person = kb.schema().symbols.find_concept("PERSON").unwrap();
-        kb.define_concept(
-            "PEOPLE-MOVER",
-            Concept::all(driven, Concept::Name(person)),
-        )
-        .unwrap();
+        kb.define_concept("PEOPLE-MOVER", Concept::all(driven, Concept::Name(person)))
+            .unwrap();
         let mover = kb.schema().symbols.find_concept("PEOPLE-MOVER").unwrap();
         let id = kb.create_ind("Bus").unwrap();
         let p = classic_core::IndRef::Classic(kb.schema_mut().symbols.individual("Pat"));
-        kb.assert_ind("Bus", &Concept::Fills(driven, vec![p])).unwrap();
+        kb.assert_ind("Bus", &Concept::Fills(driven, vec![p]))
+            .unwrap();
         // Open role: the ALL is not provable.
         let e = kb.explain_membership(id, mover).unwrap();
         assert!(!e.satisfied);

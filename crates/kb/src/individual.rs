@@ -12,8 +12,8 @@ use classic_core::normal::NormalForm;
 use classic_core::symbol::{IndName, TestId};
 use classic_core::taxonomy::NodeId;
 use classic_core::Concept;
-use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Mutex;
 
 /// Dense handle for an individual stored in the knowledge base.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -32,7 +32,7 @@ impl IndId {
 }
 
 /// Everything the database knows about one CLASSIC individual.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Individual {
     /// The individual's name. (The paper notes naming might be optional in
     /// a large database — §3.2 footnote 4; we require names, which is what
@@ -58,8 +58,23 @@ pub struct Individual {
     /// Cached *positive* test outcomes. Only `true` is cached: a test may
     /// start failing-to-prove and succeed later as the derived description
     /// grows, but a recorded success never needs re-running (monotone).
-    /// Interior-mutable so instance checks can run under `&Kb`.
-    pub test_hits: RefCell<HashMap<TestId, bool>>,
+    /// Interior-mutable so instance checks can run under `&Kb`; a mutex
+    /// (not a `RefCell`) so parallel retrieval workers can share the KB.
+    pub test_hits: Mutex<HashMap<TestId, bool>>,
+}
+
+impl Clone for Individual {
+    fn clone(&self) -> Self {
+        Individual {
+            name: self.name,
+            derived: self.derived.clone(),
+            told: self.told.clone(),
+            msc: self.msc.clone(),
+            instance_nodes: self.instance_nodes.clone(),
+            fired_rules: self.fired_rules.clone(),
+            test_hits: Mutex::new(self.test_hits.lock().expect("test cache lock").clone()),
+        }
+    }
 }
 
 impl Individual {
@@ -73,7 +88,7 @@ impl Individual {
             msc: BTreeSet::new(),
             instance_nodes: BTreeSet::new(),
             fired_rules: BTreeSet::new(),
-            test_hits: RefCell::new(HashMap::new()),
+            test_hits: Mutex::new(HashMap::new()),
         }
     }
 

@@ -20,8 +20,8 @@ use classic_core::normal::{conjoin_expression, NormalForm};
 use classic_core::schema::{Schema, TestArg};
 use classic_core::symbol::{ConceptName, IndName, RoleId, TestId};
 use classic_core::taxonomy::{NodeId, Taxonomy};
-use std::cell::Cell;
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A forward-chaining rule: "if an individual is a `<concept1>` then it is
 /// also a `<concept2>`" (§3.3). Rules are "triggers activated only when a new
@@ -38,23 +38,52 @@ pub struct Rule {
     pub consequent: Concept,
 }
 
+/// A monotone instrumentation counter. Atomic (relaxed) so parallel query
+/// workers can record statistics through a shared `&Kb` without losing
+/// updates; ordering guarantees are unnecessary for counters that are only
+/// ever read as totals.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Increment by one.
+    pub(crate) fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Clone for Counter {
+    fn clone(&self) -> Self {
+        Counter(AtomicU64::new(self.get()))
+    }
+}
+
 /// Cumulative instrumentation counters (experiments E3/E4/E6).
+///
+/// Kernel-level counters (interning, subsumption memo hit/miss, closure
+/// rebuilds) live with the taxonomy's kernel; snapshot them via
+/// [`Kb::kernel_stats`].
 #[derive(Debug, Default, Clone)]
 pub struct KbStats {
     /// Top-level `assert-ind` calls accepted.
-    pub assertions: Cell<u64>,
+    pub assertions: Counter,
     /// Worklist items processed by the propagation engine.
-    pub propagation_steps: Cell<u64>,
+    pub propagation_steps: Counter,
     /// Descriptions pushed onto fillers by `ALL` restrictions.
-    pub fills_propagations: Cell<u64>,
+    pub fills_propagations: Counter,
     /// Fillers derived through `SAME-AS` co-reference.
-    pub coref_propagations: Cell<u64>,
+    pub coref_propagations: Counter,
     /// Rule firings (each rule at most once per individual).
-    pub rules_fired: Cell<u64>,
+    pub rules_fired: Counter,
     /// Individual (re-)realizations performed.
-    pub realizations: Cell<u64>,
+    pub realizations: Counter,
     /// Node-level instance tests performed during realization/queries.
-    pub instance_tests: Cell<u64>,
+    pub instance_tests: Counter,
 }
 
 /// Per-assertion report: what one accepted update caused (E6's
@@ -158,6 +187,13 @@ impl Kb {
     /// The IS-A hierarchy over the defined concepts.
     pub fn taxonomy(&self) -> &Taxonomy {
         &self.taxonomy
+    }
+
+    /// Snapshot of the subsumption kernel's counters (normal-form
+    /// interning, memo hit/miss, closure rebuilds). Complements the ABox
+    /// counters in [`Kb::stats`]; experiment E9 reports both.
+    pub fn kernel_stats(&self) -> classic_core::KernelStats {
+        self.taxonomy.kernel_stats()
     }
 
     /// The individual stored at `id`.
@@ -321,7 +357,7 @@ impl Kb {
         match self.assert_txn(id, desc, &mut journal) {
             Ok(mut report) => {
                 report.inds_created = journal.created.len() as u64;
-                self.stats.assertions.set(self.stats.assertions.get() + 1);
+                self.stats.assertions.bump();
                 Ok(report)
             }
             Err(e) => {
@@ -520,7 +556,11 @@ impl Kb {
     /// 3. every individual's `msc` is an antichain whose upward closure
     ///    is exactly `instance_nodes`.
     pub fn check_invariants(&self) -> Result<()> {
-        let fail = |msg: String| Err(ClassicError::Malformed(format!("invariant violated: {msg}")));
+        let fail = |msg: String| {
+            Err(ClassicError::Malformed(format!(
+                "invariant violated: {msg}"
+            )))
+        };
         for id in self.ind_ids() {
             let ind = self.ind(id);
             if ind.derived.is_incoherent() {
@@ -537,10 +577,7 @@ impl Kb {
                 // msc is an antichain: no msc member strictly above another.
                 for &other in &ind.msc {
                     if other != node && self.taxonomy.strict_ancestors(other).contains(&node) {
-                        return fail(format!(
-                            "msc of {:?} is not an antichain",
-                            ind.name
-                        ));
+                        return fail(format!("msc of {:?} is not an antichain", ind.name));
                     }
                 }
             }
@@ -660,9 +697,7 @@ mod tests {
         kb.assert_ind("X", &Concept::Name(person)).unwrap();
         kb.assert_ind("X", &Concept::AtLeast(2, r)).unwrap();
         // Rule: every PERSON has at most 1 filler for r — contradicts X.
-        let err = kb
-            .assert_rule("PERSON", Concept::AtMost(1, r))
-            .unwrap_err();
+        let err = kb.assert_rule("PERSON", Concept::AtMost(1, r)).unwrap_err();
         assert!(matches!(err, ClassicError::Inconsistent { .. }));
         // The rule was fully removed and X is untouched.
         assert!(kb.rules().is_empty());

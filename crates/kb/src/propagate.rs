@@ -70,15 +70,16 @@ impl Propagation {
         // Generous safety bound far above the paper's #classes ×
         // #individuals argument (each enqueue follows an actual monotone
         // change; re-processing without change never re-enqueues).
-        let limit = 1_000_000u64
-            .max((kb.ind_count() as u64 + 16) * (kb.taxonomy().len() as u64 + kb.rules().len() as u64 + 16) * 8);
+        let limit = 1_000_000u64.max(
+            (kb.ind_count() as u64 + 16)
+                * (kb.taxonomy().len() as u64 + kb.rules().len() as u64 + 16)
+                * 8,
+        );
         let mut steps = 0u64;
         while let Some(id) = work.pop_front() {
             steps += 1;
             report.steps += 1;
-            kb.stats
-                .propagation_steps
-                .set(kb.stats.propagation_steps.get() + 1);
+            kb.stats.propagation_steps.bump();
             if steps > limit {
                 return Err(ClassicError::Malformed(
                     "propagation failed to reach a fixed point within bounds".into(),
@@ -126,19 +127,12 @@ impl Kb {
                 match f {
                     IndRef::Classic(name) => {
                         let fid = self.ensure_ind(name, journal);
-                        if self
-                            .reverse_fillers
-                            .entry(fid)
-                            .or_default()
-                            .insert(id)
-                        {
+                        if self.reverse_fillers.entry(fid).or_default().insert(id) {
                             journal.note_reverse_edge(fid, id);
                         }
                         if let Some(d) = &all {
                             if self.conjoin_nf(fid, d, journal, work, report)? {
-                                self.stats
-                                    .fills_propagations
-                                    .set(self.stats.fills_propagations.get() + 1);
+                                self.stats.fills_propagations.bump();
                                 report.fills_propagated += 1;
                             }
                         }
@@ -199,9 +193,7 @@ impl Kb {
                     );
                     fills.renormalize(&self.schema);
                     if self.conjoin_nf(holder, &fills, journal, work, report)? {
-                        self.stats
-                            .coref_propagations
-                            .set(self.stats.coref_propagations.get() + 1);
+                        self.stats.coref_propagations.bump();
                         report.corefs_derived += 1;
                     }
                 }
@@ -241,7 +233,7 @@ impl Kb {
             let changed = derived != before;
             self.inds[id.index()].derived = derived;
             res?;
-            self.stats.rules_fired.set(self.stats.rules_fired.get() + 1);
+            self.stats.rules_fired.bump();
             report.rules_fired += 1;
             if changed {
                 work.push_back(id);
@@ -324,7 +316,10 @@ impl Kb {
             match filler {
                 None => {
                     return if last {
-                        PathResolution::AtLastStep { holder: cur, last: role }
+                        PathResolution::AtLastStep {
+                            holder: cur,
+                            last: role,
+                        }
                     } else {
                         PathResolution::Unresolved
                     };
@@ -357,7 +352,7 @@ impl Kb {
     /// provably belongs to, its most-specific frontier, and the extension
     /// index. Returns (changed, newly entered nodes).
     pub(crate) fn realize(&mut self, id: IndId) -> (bool, BTreeSet<NodeId>) {
-        self.stats.realizations.set(self.stats.realizations.get() + 1);
+        self.stats.realizations.bump();
         let (qualifying, msc) = self.compute_recognition(id);
         let old = &self.inds[id.index()].instance_nodes;
         if *old == qualifying {
@@ -403,9 +398,7 @@ impl Kb {
                 } else if failed.contains(&c) {
                     false
                 } else {
-                    self.stats
-                        .instance_tests
-                        .set(self.stats.instance_tests.get() + 1);
+                    self.stats.instance_tests.bump();
                     let ok = self.known_instance(id, &self.taxonomy.node(c).nf);
                     if ok {
                         qualifying.insert(c);
@@ -501,7 +494,7 @@ impl Kb {
             if d.tests.contains(&t) {
                 continue;
             }
-            if ind.test_hits.borrow().get(&t) == Some(&true) {
+            if ind.test_hits.lock().expect("test cache lock").get(&t) == Some(&true) {
                 continue;
             }
             let name = self.schema.symbols.individual_name(ind.name);
@@ -510,7 +503,10 @@ impl Kb {
                 .run_test(t, &TestArg::Ind(Some(name), d))
                 .unwrap_or(false);
             if passed {
-                ind.test_hits.borrow_mut().insert(t, true);
+                ind.test_hits
+                    .lock()
+                    .expect("test cache lock")
+                    .insert(t, true);
             } else {
                 return false;
             }
@@ -617,7 +613,10 @@ impl Kb {
         if nf.is_incoherent() {
             return false;
         }
-        if !nf.layer.subsumes(classic_core::Layer::Host(Some(v.class()))) {
+        if !nf
+            .layer
+            .subsumes(classic_core::Layer::Host(Some(v.class())))
+        {
             return false;
         }
         // Primitive membership can never be established for a host value
@@ -631,11 +630,7 @@ impl Kb {
             }
         }
         for &t in &nf.tests {
-            if !self
-                .schema
-                .run_test(t, &TestArg::Host(v))
-                .unwrap_or(false)
-            {
+            if !self.schema.run_test(t, &TestArg::Host(v)).unwrap_or(false) {
                 return false;
             }
         }

@@ -23,21 +23,14 @@ fn schema() -> Kb {
     let animal = Concept::Name(kb.schema().symbols.find_concept("ANIMAL").unwrap());
     let barks = kb.schema().symbols.find_role("barks-at").unwrap();
     // A DOG is *defined*: an animal that barks at something.
-    kb.define_concept(
-        "DOG",
-        Concept::and([animal, Concept::AtLeast(1, barks)]),
-    )
-    .unwrap();
+    kb.define_concept("DOG", Concept::and([animal, Concept::AtLeast(1, barks)]))
+        .unwrap();
     let person = Concept::Name(kb.schema().symbols.find_concept("PERSON").unwrap());
     let dog = Concept::Name(kb.schema().symbols.find_concept("DOG").unwrap());
     let pet = kb.schema().symbols.find_role("pet").unwrap();
     kb.define_concept(
         "DOG-OWNER",
-        Concept::and([
-            person,
-            Concept::AtLeast(1, pet),
-            Concept::all(pet, dog),
-        ]),
+        Concept::and([person, Concept::AtLeast(1, pet), Concept::all(pet, dog)]),
     )
     .unwrap();
     kb
@@ -82,10 +75,7 @@ fn cascades_chain_through_multiple_levels() {
     let owner_c = Concept::Name(kb.schema().symbols.find_concept("DOG-OWNER").unwrap());
     kb.define_concept(
         "OWNER-WATCHER",
-        Concept::and([
-            Concept::AtLeast(1, watches),
-            Concept::all(watches, owner_c),
-        ]),
+        Concept::and([Concept::AtLeast(1, watches), Concept::all(watches, owner_c)]),
     )
     .unwrap();
     let watcher_c = kb.schema().symbols.find_concept("OWNER-WATCHER").unwrap();
@@ -117,7 +107,10 @@ fn cascades_chain_through_multiple_levels() {
     // Cam→OWNER-WATCHER.
     let report = kb.assert_ind("Rex", &Concept::AtLeast(1, barks)).unwrap();
     assert!(kb.is_instance_of(cam, watcher_c).unwrap());
-    assert!(report.reclassified >= 2, "at least Pat and Cam reclassified");
+    assert!(
+        report.reclassified >= 2,
+        "at least Pat and Cam reclassified"
+    );
 }
 
 #[test]
@@ -131,7 +124,8 @@ fn rejected_cascade_rolls_back_every_level() {
     kb.create_ind("Pat").unwrap();
     kb.assert_ind("Pat", &Concept::Name(person)).unwrap();
     let rex = IndRef::Classic(kb.schema_mut().symbols.individual("Rex"));
-    kb.assert_ind("Pat", &Concept::Fills(pet, vec![rex])).unwrap();
+    kb.assert_ind("Pat", &Concept::Fills(pet, vec![rex]))
+        .unwrap();
     // Rex barks at the mailman.
     let mailman = IndRef::Classic(kb.schema_mut().symbols.individual("Mailman"));
     kb.assert_ind("Rex", &Concept::Fills(barks, vec![mailman]))
@@ -145,7 +139,10 @@ fn rejected_cascade_rolls_back_every_level() {
     let err = kb
         .assert_ind("Pat", &Concept::all(pet, Concept::AtMost(0, barks)))
         .unwrap_err();
-    assert!(matches!(err, classic_core::ClassicError::Inconsistent { .. }));
+    assert!(matches!(
+        err,
+        classic_core::ClassicError::Inconsistent { .. }
+    ));
     assert_eq!(kb.ind(rex_id).derived, before, "Rex fully restored");
     let pat_id = kb
         .ind_id(kb.schema().symbols.find_individual("Pat").unwrap())
@@ -181,7 +178,8 @@ fn what_if_reports_without_mutating() {
     kb.create_ind("Pat").unwrap();
     kb.assert_ind("Pat", &Concept::Name(person)).unwrap();
     let rex = IndRef::Classic(kb.schema_mut().symbols.individual("Rex"));
-    kb.assert_ind("Pat", &Concept::Fills(pet, vec![rex])).unwrap();
+    kb.assert_ind("Pat", &Concept::Fills(pet, vec![rex]))
+        .unwrap();
     let count_before = kb.ind_count();
     let pat = kb
         .ind_id(kb.schema().symbols.find_individual("Pat").unwrap())
@@ -200,7 +198,10 @@ fn what_if_reports_without_mutating() {
     // Nothing actually changed — including the hypothetical Mailman.
     assert_eq!(kb.ind_count(), count_before, "Mailman rolled back");
     assert_eq!(kb.ind(pat).derived, derived_before);
-    assert!(kb.schema().symbols.find_individual("Mailman").is_some(), "interned is fine");
+    assert!(
+        kb.schema().symbols.find_individual("Mailman").is_some(),
+        "interned is fine"
+    );
     let mailman_name = kb.schema().symbols.find_individual("Mailman").unwrap();
     assert!(kb.ind_id(mailman_name).is_err(), "but never created");
 
@@ -209,6 +210,9 @@ fn what_if_reports_without_mutating() {
     let err = kb
         .what_if("Pat", &Concept::AtMost(0, pet))
         .expect_err("contradicts the known filler");
-    assert!(matches!(err, classic_core::ClassicError::Inconsistent { .. }));
+    assert!(matches!(
+        err,
+        classic_core::ClassicError::Inconsistent { .. }
+    ));
     assert_eq!(kb.ind(pat).derived, derived_before);
 }

@@ -111,7 +111,8 @@ fn rich_kid_recognized_from_conjuncts() {
     kb.assert_ind("Rocky", &Concept::all(driven, Concept::Name(sports)))
         .unwrap();
     assert!(!kb.is_instance_of(rocky, rich).unwrap());
-    kb.assert_ind("Rocky", &Concept::AtLeast(2, driven)).unwrap();
+    kb.assert_ind("Rocky", &Concept::AtLeast(2, driven))
+        .unwrap();
     assert!(kb.is_instance_of(rocky, rich).unwrap());
 }
 
@@ -177,10 +178,12 @@ fn close_applies_to_currently_known_fillers() {
     assert!(matches!(err, ClassicError::Inconsistent { .. }));
     // …and the rejection rolled everything back, including the implicitly
     // created Saab-9.
-    assert!(kb.schema().symbols.find_individual("Saab-9").is_none()
-        || kb
-            .ind_id(kb.schema().symbols.find_individual("Saab-9").unwrap())
-            .is_err());
+    assert!(
+        kb.schema().symbols.find_individual("Saab-9").is_none()
+            || kb
+                .ind_id(kb.schema().symbols.find_individual("Saab-9").unwrap())
+                .is_err()
+    );
     assert_eq!(kb.ind(rocky).fillers(driven).len(), 1);
 }
 
@@ -428,11 +431,8 @@ fn test_concepts_act_as_procedural_recognizers() {
     assert!(matches!(err, ClassicError::Inconsistent { .. }));
 
     // A fresh individual with an even age passes and is *recognized*.
-    kb.define_concept(
-        "EVEN-AGED",
-        Concept::all(age, Concept::Test(even)),
-    )
-    .unwrap();
+    kb.define_concept("EVEN-AGED", Concept::all(age, Concept::Test(even)))
+        .unwrap();
     let even_aged = cname(&mut kb, "EVEN-AGED");
     kb.create_ind("Bullwinkle").unwrap();
     kb.assert_ind(
@@ -531,16 +531,15 @@ fn crime_example_end_to_end() {
     // crime23 accumulates evidence.
     kb.create_ind("crime23").unwrap();
     let crime_name = kb.schema_mut().symbols.concept("CRIME");
-    kb.assert_ind("crime23", &Concept::Name(crime_name)).unwrap();
-    kb.assert_ind("crime23", &Concept::AtLeast(2, perp)).unwrap();
+    kb.assert_ind("crime23", &Concept::Name(crime_name))
+        .unwrap();
+    kb.assert_ind("crime23", &Concept::AtLeast(2, perp))
+        .unwrap();
     let heard = kb.schema_mut().symbols.find_role("heard-speaking").unwrap();
     let ruritanian = ind_ref(&mut kb, "Ruritanian");
     kb.assert_ind(
         "crime23",
-        &Concept::all(
-            perp,
-            Concept::all(heard, Concept::OneOf(vec![ruritanian])),
-        ),
+        &Concept::all(perp, Concept::all(heard, Concept::OneOf(vec![ruritanian]))),
     )
     .unwrap();
     // It is now NOT a domestic crime candidate (2 perpetrators ≥ 2 > 1 is
@@ -556,7 +555,8 @@ fn crime_example_end_to_end() {
     kb.create_ind("crime15").unwrap();
     let wife = ind_ref(&mut kb, "Wife-1");
     let home = ind_ref(&mut kb, "Home-1");
-    kb.assert_ind("crime15", &Concept::Name(crime_name)).unwrap();
+    kb.assert_ind("crime15", &Concept::Name(crime_name))
+        .unwrap();
     kb.assert_ind("crime15", &Concept::Fills(perp, vec![wife]))
         .unwrap();
     kb.assert_ind("crime15", &Concept::Fills(site, vec![home.clone()]))

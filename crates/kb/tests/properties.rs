@@ -42,8 +42,11 @@ fn schema_kb() -> Kb {
     .unwrap();
     let r0 = RoleId::from_index(0);
     let r1 = RoleId::from_index(1);
-    kb.define_concept("HAS-R0", Concept::and([p0.clone(), Concept::AtLeast(1, r0)]))
-        .unwrap();
+    kb.define_concept(
+        "HAS-R0",
+        Concept::and([p0.clone(), Concept::AtLeast(1, r0)]),
+    )
+    .unwrap();
     kb.define_concept(
         "BUSY",
         Concept::and([p0, Concept::AtLeast(2, r0), Concept::AtMost(6, r1)]),
@@ -68,27 +71,42 @@ enum Step {
 
 fn step_strategy() -> impl Strategy<Value = Step> {
     prop_oneof![
-        (0..N_INDS, prop_oneof![Just("P0"), Just("D-LEFT"), Just("D-RIGHT")])
+        (
+            0..N_INDS,
+            prop_oneof![Just("P0"), Just("D-LEFT"), Just("D-RIGHT")]
+        )
             .prop_map(|(i, n)| Step::Prim(i, n)),
         (0..N_INDS, 0..N_ROLES, 0u32..4).prop_map(|(i, r, n)| Step::AtLeast(i, r, n)),
         (0..N_INDS, 0..N_ROLES, 0u32..4).prop_map(|(i, r, n)| Step::AtMost(i, r, n)),
         (0..N_INDS, 0..N_ROLES, 0..N_INDS).prop_map(|(i, r, j)| Step::Fills(i, r, j)),
         (0..N_INDS, 0..N_ROLES).prop_map(|(i, r)| Step::Close(i, r)),
-        (0..N_INDS, 0..N_ROLES, prop_oneof![Just("P0"), Just("D-LEFT")])
+        (
+            0..N_INDS,
+            0..N_ROLES,
+            prop_oneof![Just("P0"), Just("D-LEFT")]
+        )
             .prop_map(|(i, r, n)| Step::All(i, r, n)),
     ]
 }
 
 fn step_concept(kb: &mut Kb, step: &Step) -> (String, Concept) {
-    let name_of = |kb: &mut Kb, j: usize| IndRef::Classic(kb.schema_mut().symbols.individual(&format!("x{j}")));
+    let name_of = |kb: &mut Kb, j: usize| {
+        IndRef::Classic(kb.schema_mut().symbols.individual(&format!("x{j}")))
+    };
     let cname = |kb: &mut Kb, n: &str| Concept::Name(kb.schema_mut().symbols.concept(n));
     match step {
         Step::Prim(i, n) => (format!("x{i}"), cname(kb, n)),
-        Step::AtLeast(i, r, n) => (format!("x{i}"), Concept::AtLeast(*n, RoleId::from_index(*r))),
+        Step::AtLeast(i, r, n) => (
+            format!("x{i}"),
+            Concept::AtLeast(*n, RoleId::from_index(*r)),
+        ),
         Step::AtMost(i, r, n) => (format!("x{i}"), Concept::AtMost(*n, RoleId::from_index(*r))),
         Step::Fills(i, r, j) => {
             let f = name_of(kb, *j);
-            (format!("x{i}"), Concept::Fills(RoleId::from_index(*r), vec![f]))
+            (
+                format!("x{i}"),
+                Concept::Fills(RoleId::from_index(*r), vec![f]),
+            )
         }
         Step::Close(i, r) => (format!("x{i}"), Concept::Close(RoleId::from_index(*r))),
         Step::All(i, r, n) => {

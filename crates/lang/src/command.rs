@@ -29,7 +29,7 @@ use classic_core::aspect::AspectKind;
 use classic_core::desc::{Concept, IndRef};
 use classic_core::error::{ClassicError, Result};
 use classic_kb::{AssertReport, Kb};
-use classic_query::MarkedQuery;
+use classic_query::{MarkedQuery, Query};
 
 /// A parsed top-level command.
 #[derive(Debug, Clone, PartialEq)]
@@ -442,7 +442,10 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
         }
         Command::Retrieve(q) => {
             if q.marker.is_empty() {
-                let ans = classic_query::retrieve(kb, &q.concept)?;
+                let ans = Query::concept(q.concept.clone())
+                    .run(kb)?
+                    .into_known()
+                    .expect("a Known query yields Answer::Known");
                 Ok(Outcome::Individuals(
                     ans.known
                         .into_iter()
@@ -455,12 +458,19 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
                         .collect(),
                 ))
             } else {
-                let fillers = classic_query::ask_necessary_set(kb, q)?;
+                let fillers = Query::marked(q.clone())
+                    .run(kb)?
+                    .into_necessary_set()
+                    .expect("a NecessarySet query yields Answer::NecessarySet");
                 Ok(Outcome::Individuals(render_ind_refs(kb, &fillers)))
             }
         }
         Command::Possible(c) => {
-            let ids = classic_query::possible(kb, c)?;
+            let ids = Query::concept(c.clone())
+                .possible()
+                .run(kb)?
+                .into_possible()
+                .expect("a Possible query yields Answer::Possible");
             Ok(Outcome::Individuals(
                 ids.into_iter()
                     .map(|id| {
@@ -473,11 +483,18 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
             ))
         }
         Command::AskNecessarySet(q) => {
-            let fillers = classic_query::ask_necessary_set(kb, q)?;
+            let fillers = Query::marked(q.clone())
+                .run(kb)?
+                .into_necessary_set()
+                .expect("a NecessarySet query yields Answer::NecessarySet");
             Ok(Outcome::Individuals(render_ind_refs(kb, &fillers)))
         }
         Command::AskDescription(q) => {
-            let nf = classic_query::ask_description(kb, q)?;
+            let nf = Query::marked(q.clone())
+                .description()
+                .run(kb)?
+                .into_description()
+                .expect("a Description query yields Answer::Description");
             let c = nf.to_concept(kb.schema());
             Ok(Outcome::Description(
                 c.display(&kb.schema().symbols).to_string(),

@@ -74,9 +74,11 @@ mod tests {
         assert_eq!(out, vec![Outcome::Bool(true)]);
         let out = run_script(&mut kb, "(subsumes? A (AT-LEAST 1 r))").unwrap();
         assert_eq!(out, vec![Outcome::Bool(false)]);
-        let out =
-            run_script(&mut kb, "(equivalent? (EXACTLY 1 r) (AND (AT-LEAST 1 r) (AT-MOST 1 r)))")
-                .unwrap();
+        let out = run_script(
+            &mut kb,
+            "(equivalent? (EXACTLY 1 r) (AND (AT-LEAST 1 r) (AT-MOST 1 r)))",
+        )
+        .unwrap();
         assert_eq!(out, vec![Outcome::Bool(true)]);
     }
 

@@ -68,9 +68,7 @@ impl MacroTable {
         expect(tokens, &mut ix, &TokenKind::LParen)?;
         let head = symbol(tokens, &mut ix)?;
         if head != "define-macro" {
-            return Err(ClassicError::Malformed(
-                "not a define-macro form".into(),
-            ));
+            return Err(ClassicError::Malformed("not a define-macro form".into()));
         }
         let name = symbol(tokens, &mut ix)?;
         if is_reserved(&name) {
@@ -222,7 +220,8 @@ fn group(tokens: &[Token], ix: usize) -> Option<(usize, usize)> {
 fn is_reserved(name: &str) -> bool {
     matches!(
         name,
-        "AND" | "ALL"
+        "AND"
+            | "ALL"
             | "AT-LEAST"
             | "AT-MOST"
             | "EXACTLY"

@@ -191,9 +191,9 @@ impl<'a> Parser<'a> {
     pub fn concept(&mut self) -> Result<Concept> {
         if matches!(self.peek(), Some(TokenKind::Marker)) {
             if !self.marker_allowed {
-                return Err(self.err(
-                    "?: marker only allowed along ALL chains from the query root".into(),
-                ));
+                return Err(
+                    self.err("?: marker only allowed along ALL chains from the query root".into())
+                );
             }
             if self.marker.is_some() {
                 return Err(self.err("a query may contain only one ?: marker".into()));

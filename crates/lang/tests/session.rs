@@ -66,7 +66,8 @@ fn macros_compose() {
 fn macro_errors_are_reported() {
     let mut s = Session::new();
     // Recursive macro.
-    s.run("(define-macro LOOP (x) (AND (LOOP x)))").expect("definition ok");
+    s.run("(define-macro LOOP (x) (AND (LOOP x)))")
+        .expect("definition ok");
     let err = s.run("(define-role r) (classify (LOOP r))").unwrap_err();
     assert!(err.to_string().contains("depth"));
     // Shadowing a builtin.

@@ -92,8 +92,7 @@ pub fn answer(kb: &mut Kb, q: &KbQuery) -> Result<Vec<Vec<IndRef>>> {
     }
     let mut out: Vec<Vec<IndRef>> = Vec::new();
     for b in bindings {
-        let tuple: Option<Vec<IndRef>> =
-            q.head.iter().map(|v| b.get(v).cloned()).collect();
+        let tuple: Option<Vec<IndRef>> = q.head.iter().map(|v| b.get(v).cloned()).collect();
         match tuple {
             Some(t) => out.push(t),
             None => {
@@ -223,17 +222,21 @@ mod tests {
         // Rocky: a student driving a Ferrari (Italian) …
         kb.create_ind("Rocky").unwrap();
         kb.assert_ind("Rocky", &Concept::Name(personc)).unwrap();
-        kb.assert_ind("Rocky", &Concept::AtLeast(1, enrolled)).unwrap();
+        kb.assert_ind("Rocky", &Concept::AtLeast(1, enrolled))
+            .unwrap();
         let f512 = IndRef::Classic(kb.schema_mut().symbols.individual("Ferrari-512"));
-        kb.assert_ind("Rocky", &Concept::Fills(driven, vec![f512])).unwrap();
+        kb.assert_ind("Rocky", &Concept::Fills(driven, vec![f512]))
+            .unwrap();
         let ferrari = IndRef::Classic(kb.schema_mut().symbols.individual("Ferrari"));
-        kb.assert_ind("Ferrari-512", &Concept::Fills(maker, vec![ferrari])).unwrap();
+        kb.assert_ind("Ferrari-512", &Concept::Fills(maker, vec![ferrari]))
+            .unwrap();
         kb.assert_ind("Ferrari", &Concept::Name(italian)).unwrap();
         // … Pat: a mere person driving a Volvo (maker unknown).
         kb.create_ind("Pat").unwrap();
         kb.assert_ind("Pat", &Concept::Name(personc)).unwrap();
         let volvo = IndRef::Classic(kb.schema_mut().symbols.individual("Volvo-1"));
-        kb.assert_ind("Pat", &Concept::Fills(driven, vec![volvo])).unwrap();
+        kb.assert_ind("Pat", &Concept::Fills(driven, vec![volvo]))
+            .unwrap();
         (kb, driven, maker)
     }
 
@@ -243,9 +246,7 @@ mod tests {
         //            ITALIAN-COMPANY(m).
         let (mut kb, driven, maker) = kb();
         let student = Concept::Name(kb.schema().symbols.find_concept("STUDENT").unwrap());
-        let italian = Concept::Name(
-            kb.schema().symbols.find_concept("ITALIAN-COMPANY").unwrap(),
-        );
+        let italian = Concept::Name(kb.schema().symbols.find_concept("ITALIAN-COMPANY").unwrap());
         let q = KbQuery::new(
             &["s", "m"],
             vec![
@@ -281,10 +282,7 @@ mod tests {
         let (mut kb, driven, _) = kb();
         let q = KbQuery::new(
             &["p"],
-            vec![KbAtom::IsA(
-                KbTerm::var("p"),
-                Concept::AtLeast(1, driven),
-            )],
+            vec![KbAtom::IsA(KbTerm::var("p"), Concept::AtLeast(1, driven))],
         );
         let ans = answer(&mut kb, &q).unwrap();
         assert_eq!(ans.len(), 2, "Rocky and Pat both drive something");
@@ -356,9 +354,7 @@ mod tests {
         // "who drives something Italian-made" for Pat (and no fabricated
         // negative either — the atom is simply not provable).
         let (mut kb, driven, maker) = kb();
-        let italian = Concept::Name(
-            kb.schema().symbols.find_concept("ITALIAN-COMPANY").unwrap(),
-        );
+        let italian = Concept::Name(kb.schema().symbols.find_concept("ITALIAN-COMPANY").unwrap());
         let q = KbQuery::new(
             &["p"],
             vec![

@@ -19,6 +19,12 @@
 //!   contributed by forward-chaining rules (the JUNK-FOOD example).
 //! * **Marked queries** — the `?:` marker distinguishing the subexpression
 //!   whose instances are wanted ([`MarkedQuery`], [`ask_necessary_set`]).
+//!
+//! All four answer forms are fronted by one builder, [`Query`], whose
+//! [`Query::run`] returns a structured [`Answer`]; the free functions are
+//! retained as thin entry points over the same machinery. Candidate
+//! instance tests inside [`retrieve_nf`] fan out across scoped threads
+//! when the candidate set is large.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -85,6 +91,175 @@ pub struct Answers {
     pub known: Vec<IndId>,
     /// How the answer was computed.
     pub stats: QueryStats,
+}
+
+/// Which of the paper's answer forms a [`Query`] asks for (§3.5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueryMode {
+    /// Individuals *known* to satisfy the query (closed answer).
+    Known,
+    /// Individuals that *might* satisfy it under the open world.
+    Possible,
+    /// The fillers at the `?:` marker across all known answers.
+    NecessarySet,
+    /// The most-specific *description* of the marked objects, known
+    /// examples or not.
+    Description,
+}
+
+/// A query under construction: one concept expression, an optional `?:`
+/// marker path, and the answer form wanted. This is the single front door
+/// to the §3.5 query facilities; the free functions ([`retrieve`],
+/// [`possible`], [`ask_necessary_set`], [`ask_description`]) remain as
+/// thin entry points over the same machinery.
+///
+/// ```
+/// use classic_core::Concept;
+/// use classic_kb::Kb;
+/// use classic_query::{Answer, Query};
+///
+/// let mut kb = Kb::new();
+/// kb.define_concept("PERSON", Concept::primitive(Concept::thing(), "p"))?;
+/// let person = kb.schema().symbols.find_concept("PERSON").unwrap();
+/// kb.create_ind("Rocky")?;
+/// kb.assert_ind("Rocky", &Concept::Name(person))?;
+/// let ans = Query::concept(Concept::Name(person)).run(&mut kb)?;
+/// match ans {
+///     Answer::Known(a) => assert_eq!(a.known.len(), 1),
+///     _ => unreachable!("a Known query returns Answer::Known"),
+/// }
+/// # Ok::<(), classic_core::ClassicError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Query {
+    concept: Concept,
+    marker: Vec<RoleId>,
+    mode: QueryMode,
+}
+
+impl Query {
+    /// Start a query from a concept expression; defaults to the *known*
+    /// answer set (`retrieve`).
+    pub fn concept(concept: Concept) -> Query {
+        Query {
+            concept,
+            marker: Vec::new(),
+            mode: QueryMode::Known,
+        }
+    }
+
+    /// Start from a marked query (`?:`); defaults to the necessary filler
+    /// set, the answer form marked queries exist for.
+    pub fn marked(q: MarkedQuery) -> Query {
+        Query {
+            concept: q.concept,
+            marker: q.marker,
+            mode: QueryMode::NecessarySet,
+        }
+    }
+
+    /// Place the `?:` marker at the end of `path` (role chain from the
+    /// query subject).
+    pub fn marker(mut self, path: impl IntoIterator<Item = RoleId>) -> Query {
+        self.marker = path.into_iter().collect();
+        self
+    }
+
+    /// Ask for the individuals *known* to satisfy the query.
+    pub fn known(mut self) -> Query {
+        self.mode = QueryMode::Known;
+        self
+    }
+
+    /// Ask for the individuals that *might* satisfy the query (open world).
+    pub fn possible(mut self) -> Query {
+        self.mode = QueryMode::Possible;
+        self
+    }
+
+    /// Ask for the fillers at the marker across all known answers.
+    pub fn necessary_set(mut self) -> Query {
+        self.mode = QueryMode::NecessarySet;
+        self
+    }
+
+    /// Ask for the most-specific description of the marked objects.
+    pub fn description(mut self) -> Query {
+        self.mode = QueryMode::Description;
+        self
+    }
+
+    /// The marked form of this query (concept + marker path).
+    fn marked_query(&self) -> MarkedQuery {
+        MarkedQuery {
+            concept: self.concept.clone(),
+            marker: self.marker.clone(),
+        }
+    }
+
+    /// Evaluate against a knowledge base. The [`Answer`] variant always
+    /// matches the requested mode.
+    pub fn run(&self, kb: &mut Kb) -> Result<Answer> {
+        match self.mode {
+            QueryMode::Known => Ok(Answer::Known(retrieve(kb, &self.concept)?)),
+            QueryMode::Possible => Ok(Answer::Possible(possible(kb, &self.concept)?)),
+            QueryMode::NecessarySet => Ok(Answer::NecessarySet(ask_necessary_set(
+                kb,
+                &self.marked_query(),
+            )?)),
+            QueryMode::Description => Ok(Answer::Description(ask_description(
+                kb,
+                &self.marked_query(),
+            )?)),
+        }
+    }
+}
+
+/// A structured answer: one variant per answer form of [`Query`].
+#[derive(Debug, Clone)]
+pub enum Answer {
+    /// The individuals known to satisfy the query, with retrieval stats.
+    Known(Answers),
+    /// The individuals that might satisfy the query (open world).
+    Possible(Vec<IndId>),
+    /// The necessary filler set at the `?:` marker.
+    NecessarySet(Vec<IndRef>),
+    /// The intensional description of the marked objects.
+    Description(NormalForm),
+}
+
+impl Answer {
+    /// The known-answer payload, if this is a [`Answer::Known`].
+    pub fn into_known(self) -> Option<Answers> {
+        match self {
+            Answer::Known(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The possible-answer payload, if this is a [`Answer::Possible`].
+    pub fn into_possible(self) -> Option<Vec<IndId>> {
+        match self {
+            Answer::Possible(ids) => Some(ids),
+            _ => None,
+        }
+    }
+
+    /// The filler set, if this is a [`Answer::NecessarySet`].
+    pub fn into_necessary_set(self) -> Option<Vec<IndRef>> {
+        match self {
+            Answer::NecessarySet(fs) => Some(fs),
+            _ => None,
+        }
+    }
+
+    /// The description, if this is a [`Answer::Description`].
+    pub fn into_description(self) -> Option<NormalForm> {
+        match self {
+            Answer::Description(nf) => Some(nf),
+            _ => None,
+        }
+    }
 }
 
 /// Evaluate a concept-as-query via classification (§5).
@@ -158,22 +333,65 @@ pub fn retrieve_nf(kb: &Kb, nf: &NormalForm) -> Answers {
         .copied()
         .min_by_key(|&p| kb.extension_size_bound(p));
     if let Some(p) = best_parent {
+        let mut candidates: Vec<IndId> = Vec::new();
         kb.for_each_instance(p, |id| {
             if in_answer[id.index()] || visited[id.index()] {
                 return;
             }
             visited[id.index()] = true;
-            stats.tested += 1;
-            if kb.known_instance(id, nf) {
-                in_answer[id.index()] = true;
-            }
+            candidates.push(id);
         });
+        stats.tested += candidates.len();
+        for id in test_candidates(kb, nf, &candidates) {
+            in_answer[id.index()] = true;
+        }
     }
     let known: Vec<IndId> = (0..n)
         .filter(|&i| in_answer[i])
         .map(IndId::from_index)
         .collect();
     Answers { known, stats }
+}
+
+/// Below this many candidates a sequential scan beats thread start-up.
+const PARALLEL_THRESHOLD: usize = 256;
+
+/// Filter `candidates` down to the known instances of `nf`, fanning the
+/// instance tests out across threads when the candidate set is large.
+/// Instance testing only *reads* the knowledge base (the interior-mutable
+/// caches — test memos, kernel memo — are behind mutexes), so a scoped
+/// borrow of `&Kb` can be shared across workers with no new dependencies.
+fn test_candidates(kb: &Kb, nf: &NormalForm, candidates: &[IndId]) -> Vec<IndId> {
+    if candidates.len() < PARALLEL_THRESHOLD {
+        return candidates
+            .iter()
+            .copied()
+            .filter(|&id| kb.known_instance(id, nf))
+            .collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(candidates.len());
+    let chunk = candidates.len().div_ceil(workers);
+    let mut hits: Vec<IndId> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move || {
+                    part.iter()
+                        .copied()
+                        .filter(|&id| kb.known_instance(id, nf))
+                        .collect::<Vec<IndId>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            hits.extend(h.join().expect("retrieval worker panicked"));
+        }
+    });
+    hits
 }
 
 /// The naive baseline: test every individual in the database against the
@@ -354,10 +572,7 @@ mod tests {
         }
         // Query = exactly STUDENT's definition: answered via equivalence,
         // zero per-individual tests.
-        let q = Concept::and([
-            Concept::Name(person),
-            Concept::AtLeast(1, enrolled),
-        ]);
+        let q = Concept::and([Concept::Name(person), Concept::AtLeast(1, enrolled)]);
         let ans = retrieve(&mut kb, &q).unwrap();
         assert_eq!(ans.known.len(), 10);
         assert_eq!(ans.stats.tested, 0);
@@ -380,14 +595,11 @@ mod tests {
                 .unwrap();
         }
         // STUDENTs enrolled at ≥ 3 places: a strict refinement of STUDENT.
-        let q = Concept::and([
-            Concept::Name(person),
-            Concept::AtLeast(3, enrolled),
-        ]);
+        let q = Concept::and([Concept::Name(person), Concept::AtLeast(3, enrolled)]);
         let ans = retrieve(&mut kb, &q).unwrap();
         assert_eq!(ans.known.len(), 3); // P3, P4, P5
-        // Candidates came from STUDENT's extension (P1..P5 = 5), not the
-        // whole DB.
+                                        // Candidates came from STUDENT's extension (P1..P5 = 5), not the
+                                        // whole DB.
         assert!(ans.stats.tested <= 5);
         let naive = retrieve_naive(&mut kb, &q).unwrap();
         let mut a = ans.known.clone();
@@ -476,14 +688,102 @@ mod tests {
     }
 
     #[test]
+    fn query_builder_matches_free_functions() {
+        let mut kb = kb_with_schema();
+        let person = kb.schema_mut().symbols.concept("PERSON");
+        let eat = kb.schema_mut().symbols.find_role("eat").unwrap();
+        kb.create_ind("Rocky").unwrap();
+        kb.assert_ind("Rocky", &Concept::Name(person)).unwrap();
+        let pizza = IndRef::Classic(kb.schema_mut().symbols.individual("Pizza-1"));
+        kb.assert_ind("Rocky", &Concept::Fills(eat, vec![pizza.clone()]))
+            .unwrap();
+        kb.create_ind("Maybe").unwrap();
+
+        let q = Concept::Name(person);
+        let known = Query::concept(q.clone())
+            .run(&mut kb)
+            .unwrap()
+            .into_known()
+            .unwrap();
+        assert_eq!(known.known, retrieve(&mut kb, &q).unwrap().known);
+
+        let poss = Query::concept(q.clone())
+            .possible()
+            .run(&mut kb)
+            .unwrap()
+            .into_possible()
+            .unwrap();
+        assert_eq!(poss, possible(&mut kb, &q).unwrap());
+
+        let mq = MarkedQuery {
+            concept: q.clone(),
+            marker: vec![eat],
+        };
+        let set = Query::marked(mq.clone())
+            .run(&mut kb)
+            .unwrap()
+            .into_necessary_set()
+            .unwrap();
+        assert_eq!(set, ask_necessary_set(&mut kb, &mq).unwrap());
+        assert_eq!(set, vec![pizza]);
+
+        let desc = Query::concept(q)
+            .marker([eat])
+            .description()
+            .run(&mut kb)
+            .unwrap()
+            .into_description()
+            .unwrap();
+        assert_eq!(desc, ask_description(&mut kb, &mq).unwrap());
+    }
+
+    #[test]
+    fn answer_accessors_reject_other_variants() {
+        let ans = Answer::Possible(Vec::new());
+        assert!(ans.clone().into_known().is_none());
+        assert!(ans.clone().into_necessary_set().is_none());
+        assert!(ans.clone().into_description().is_none());
+        assert!(ans.into_possible().is_some());
+    }
+
+    #[test]
+    fn parallel_candidate_testing_agrees_with_sequential() {
+        // Enough candidates to cross PARALLEL_THRESHOLD, so the scoped
+        // thread fan-out actually runs and must reproduce the sequential
+        // (naive) answer exactly.
+        let mut kb = kb_with_schema();
+        let person = kb.schema_mut().symbols.concept("PERSON");
+        let enrolled = kb.schema_mut().symbols.find_role("enrolled-at").unwrap();
+        let total = PARALLEL_THRESHOLD + 64;
+        for i in 0..total {
+            let name = format!("P{i}");
+            kb.create_ind(&name).unwrap();
+            kb.assert_ind(&name, &Concept::Name(person)).unwrap();
+            kb.assert_ind(&name, &Concept::AtLeast((i % 5) as u32, enrolled))
+                .unwrap();
+        }
+        // Strict refinement of STUDENT: every PERSON with ≥ 1 enrollment
+        // is a candidate; only those with ≥ 3 pass the instance test.
+        let q = Concept::and([Concept::Name(person), Concept::AtLeast(3, enrolled)]);
+        let ans = retrieve(&mut kb, &q).unwrap();
+        assert!(
+            ans.stats.tested >= PARALLEL_THRESHOLD,
+            "expected the parallel path to engage (tested {})",
+            ans.stats.tested
+        );
+        let mut a = ans.known.clone();
+        a.sort();
+        let mut b = retrieve_naive(&mut kb, &q).unwrap().known;
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn incoherent_query_has_no_answers() {
         let mut kb = kb_with_schema();
         kb.create_ind("X").unwrap();
         let enrolled = kb.schema_mut().symbols.find_role("enrolled-at").unwrap();
-        let q = Concept::and([
-            Concept::AtLeast(2, enrolled),
-            Concept::AtMost(1, enrolled),
-        ]);
+        let q = Concept::and([Concept::AtLeast(2, enrolled), Concept::AtMost(1, enrolled)]);
         assert!(retrieve(&mut kb, &q).unwrap().known.is_empty());
         assert!(retrieve_naive(&mut kb, &q).unwrap().known.is_empty());
         assert!(possible(&mut kb, &q).unwrap().is_empty());

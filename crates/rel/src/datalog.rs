@@ -103,7 +103,11 @@ impl Program {
             let mut next: BTreeSet<(String, Tuple)> = BTreeSet::new();
             let grown: BTreeSet<&str> = committed.iter().map(|(r, _)| r.as_str()).collect();
             for rule in &self.rules {
-                if !rule.body.iter().any(|a| grown.contains(a.relation.as_str())) {
+                if !rule
+                    .body
+                    .iter()
+                    .any(|a| grown.contains(a.relation.as_str()))
+                {
                     continue;
                 }
                 for t in derive(rule, &out, Some(&frontier)) {
@@ -123,11 +127,7 @@ impl Program {
 
 /// All head tuples derivable by one rule. With `delta`, only derivations
 /// using at least one delta tuple are produced (the semi-naive filter).
-fn derive(
-    rule: &Rule,
-    db: &Database,
-    delta: Option<&BTreeSet<(String, Tuple)>>,
-) -> Vec<Tuple> {
+fn derive(rule: &Rule, db: &Database, delta: Option<&BTreeSet<(String, Tuple)>>) -> Vec<Tuple> {
     // For semi-naive: for each position i in the body, evaluate with
     // atom i restricted to delta tuples and earlier atoms to full
     // relations — the standard delta expansion. Without delta, one pass
@@ -346,12 +346,7 @@ mod tests {
     fn semi_naive_matches_naive() {
         // Cross-check on a denser random-ish graph.
         let edges: Vec<(String, String)> = (0..30u32)
-            .map(|i| {
-                (
-                    format!("v{}", i % 10),
-                    format!("v{}", (i * 7 + 3) % 10),
-                )
-            })
+            .map(|i| (format!("v{}", i % 10), format!("v{}", (i * 7 + 3) % 10)))
             .collect();
         let refs: Vec<(&str, &str)> = edges
             .iter()

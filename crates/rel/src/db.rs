@@ -153,10 +153,7 @@ mod tests {
         assert!(people.contains(&[Value::Sym("Rocky".into())]));
         assert_eq!(people.len(), 1);
         let drives_rel = db.relation("role:drives").unwrap();
-        assert!(drives_rel.contains(&[
-            Value::Sym("Rocky".into()),
-            Value::Sym("Volvo-17".into())
-        ]));
+        assert!(drives_rel.contains(&[Value::Sym("Rocky".into()), Value::Sym("Volvo-17".into())]));
         // Volvo-17 exists as an individual (implicitly created).
         assert_eq!(db.relation("ind").unwrap().len(), 2);
     }

@@ -145,7 +145,10 @@ mod tests {
         drives.insert(vec![Value::Sym("Rocky".into()), Value::Sym("Saab".into())]);
         db.insert_relation(drives);
         let mut maker = Relation::new("role:maker", 2);
-        maker.insert(vec![Value::Sym("Volvo".into()), Value::Sym("VolvoAB".into())]);
+        maker.insert(vec![
+            Value::Sym("Volvo".into()),
+            Value::Sym("VolvoAB".into()),
+        ]);
         db.insert_relation(maker);
         db
     }
@@ -173,7 +176,10 @@ mod tests {
         let ans = q.evaluate(&db());
         assert_eq!(
             ans,
-            vec![vec![Value::Sym("Rocky".into()), Value::Sym("VolvoAB".into())]]
+            vec![vec![
+                Value::Sym("Rocky".into()),
+                Value::Sym("VolvoAB".into())
+            ]]
         );
     }
 

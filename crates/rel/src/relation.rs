@@ -117,7 +117,8 @@ impl Relation {
     pub fn project(&self, cols: &[usize]) -> Relation {
         let mut out = Relation::new(&format!("π({})", self.name), cols.len());
         for t in &self.tuples {
-            out.tuples.insert(cols.iter().map(|&c| t[c].clone()).collect());
+            out.tuples
+                .insert(cols.iter().map(|&c| t[c].clone()).collect());
         }
         out
     }
@@ -201,7 +202,10 @@ mod tests {
 
     #[test]
     fn select_and_project() {
-        let r = rel("drives", &[&["Rocky", "Volvo"], &["Pat", "Saab"], &["Rocky", "Saab"]]);
+        let r = rel(
+            "drives",
+            &[&["Rocky", "Volvo"], &["Pat", "Saab"], &["Rocky", "Saab"]],
+        );
         let rocky = r.select_eq(0, &sym("Rocky"));
         assert_eq!(rocky.len(), 2);
         let cars = r.project(&[1]);

@@ -26,7 +26,10 @@ pub fn snapshot_to_string(kb: &Kb) -> String {
     let tests: Vec<&str> = (0..)
         .map_while(|i| {
             let id = classic_core::TestId::from_index(i);
-            kb.schema().check_test(id).ok().map(|()| symbols.test_name(id))
+            kb.schema()
+                .check_test(id)
+                .ok()
+                .map(|()| symbols.test_name(id))
         })
         .collect();
     if !tests.is_empty() {
@@ -36,9 +39,7 @@ pub fn snapshot_to_string(kb: &Kb) -> String {
     // text is canonical regardless of interning order.
     let mut roles: Vec<(&str, bool)> = symbols
         .roles()
-        .filter_map(|(role, name)| {
-            kb.schema().role_decl(role).map(|d| (name, d.attribute))
-        })
+        .filter_map(|(role, name)| kb.schema().role_decl(role).map(|d| (name, d.attribute)))
         .collect();
     roles.sort();
     for (name, attribute) in roles {
@@ -75,7 +76,11 @@ pub fn snapshot_to_string(kb: &Kb) -> String {
     // legal, but being explicit keeps the script order-insensitive), then
     // the told assertions.
     for id in kb.ind_ids() {
-        let _ = writeln!(out, "(create-ind {})", symbols.individual_name(kb.ind(id).name));
+        let _ = writeln!(
+            out,
+            "(create-ind {})",
+            symbols.individual_name(kb.ind(id).name)
+        );
     }
     for id in kb.ind_ids() {
         let name = symbols.individual_name(kb.ind(id).name);
@@ -169,17 +174,15 @@ mod tests {
     #[test]
     fn snapshot_records_required_tests_and_replay_enforces_them() {
         let mut kb = Kb::new();
-        kb.register_test("even", |arg| {
-            matches!(arg, TestArg::Host(classic_core::HostValue::Int(i)) if i % 2 == 0)
-        });
+        kb.register_test(
+            "even",
+            |arg| matches!(arg, TestArg::Host(classic_core::HostValue::Int(i)) if i % 2 == 0),
+        );
         kb.define_role("age").unwrap();
         let even = kb.schema().symbols.find_test("even").unwrap();
         let age = kb.schema().symbols.find_role("age").unwrap();
-        kb.define_concept(
-            "EVEN-AGED",
-            Concept::all(age, Concept::Test(even)),
-        )
-        .unwrap();
+        kb.define_concept("EVEN-AGED", Concept::all(age, Concept::Test(even)))
+            .unwrap();
         let script = snapshot_to_string(&kb);
         assert!(script.contains(";!tests: even"));
         // Replaying without the registration fails fast with a clear

@@ -229,10 +229,8 @@ mod tests {
     use crate::snapshot::same_state;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "classic-store-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("classic-store-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -302,9 +300,7 @@ mod tests {
             .assert_ind("Rocky", &Concept::AtMost(0, driven))
             .unwrap();
         // Now contradict it — rejected, and must not poison the log.
-        let v = classic_core::IndRef::Classic(
-            store.kb.schema_mut().symbols.individual("Volvo-17"),
-        );
+        let v = classic_core::IndRef::Classic(store.kb.schema_mut().symbols.individual("Volvo-17"));
         assert!(store
             .assert_ind("Rocky", &Concept::Fills(driven, vec![v]))
             .is_err());

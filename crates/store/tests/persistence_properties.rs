@@ -61,11 +61,17 @@ fn apply(kb: &mut Kb, op: &Op) {
             format!("x{i}"),
             Concept::Name(kb.schema().symbols.find_concept("P0").unwrap()),
         ),
-        Op::AtLeast(i, r, n) => (format!("x{i}"), Concept::AtLeast(*n, RoleId::from_index(*r))),
+        Op::AtLeast(i, r, n) => (
+            format!("x{i}"),
+            Concept::AtLeast(*n, RoleId::from_index(*r)),
+        ),
         Op::AtMost(i, r, n) => (format!("x{i}"), Concept::AtMost(*n, RoleId::from_index(*r))),
         Op::Fills(i, r, j) => {
             let f = IndRef::Classic(kb.schema_mut().symbols.individual(&format!("x{j}")));
-            (format!("x{i}"), Concept::Fills(RoleId::from_index(*r), vec![f]))
+            (
+                format!("x{i}"),
+                Concept::Fills(RoleId::from_index(*r), vec![f]),
+            )
         }
         Op::FillsHost(i, r, v) => (
             format!("x{i}"),

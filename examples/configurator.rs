@@ -64,7 +64,9 @@ fn main() {
             Concept::all(
                 wattage,
                 Concept::and([
-                    Concept::Builtin(classic::Layer::Host(Some(classic::core::HostClass::Integer))),
+                    Concept::Builtin(classic::Layer::Host(Some(
+                        classic::core::HostClass::Integer,
+                    ))),
                     Concept::Test(watts_ok),
                 ]),
             ),
@@ -198,7 +200,10 @@ fn main() {
     );
     // And the explanation facility narrates recognition:
     let e = kb.explain_membership(board, populated).expect("defined");
-    print!("why is board-1 a POPULATED-BOARD?
-{}", e.render());
+    print!(
+        "why is board-1 a POPULATED-BOARD?
+{}",
+        e.render()
+    );
     println!("configurator OK");
 }

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --example crime_db`
 
 use classic::lang::{run_script, Outcome};
-use classic::{ask_description, possible, retrieve, Concept, Kb, MarkedQuery};
+use classic::{Concept, Kb, MarkedQuery, Query};
 
 fn main() {
     let mut kb = Kb::new();
@@ -74,7 +74,8 @@ fn main() {
     .expect("evidence");
     // …and they were overheard speaking Ruritanian. The schema grows on
     // the fly: "it seems hard to anticipate all possible kinds of clues".
-    kb.define_role("heard-speaking").expect("new role, new clue");
+    kb.define_role("heard-speaking")
+        .expect("new role, new clue");
     run_script(
         &mut kb,
         "(assert-ind crime23
@@ -101,14 +102,32 @@ fn main() {
     .expect("domestic crime recorded");
     // SAME-AS (site) (perpetrator domicile) derived Wife-1's domicile.
     let out = run_script(&mut kb, "(ind-aspect Wife-1 FILLS domicile)").expect("aspect");
-    println!("derived: Wife-1's domicile = {:?}", out.last().expect("one"));
-    assert_eq!(out.last().expect("one"), &Outcome::Aspect("(Home-1)".into()));
+    println!(
+        "derived: Wife-1's domicile = {:?}",
+        out.last().expect("one")
+    );
+    assert_eq!(
+        out.last().expect("one"),
+        &Outcome::Aspect("(Home-1)".into())
+    );
 
     // ---- answer modes (§3.5.3) --------------------------------------------
     let crime = Concept::Name(kb.schema().symbols.find_concept("CRIME").expect("c"));
     let q = Concept::and([crime, Concept::AtLeast(1, perp)]);
-    let known = retrieve(&mut kb, &q).expect("query").known.len();
-    let poss = possible(&mut kb, &q).expect("query").len();
+    let known = Query::concept(q.clone())
+        .run(&mut kb)
+        .expect("query")
+        .into_known()
+        .expect("known answer")
+        .known
+        .len();
+    let poss = Query::concept(q)
+        .possible()
+        .run(&mut kb)
+        .expect("query")
+        .into_possible()
+        .expect("possible answer")
+        .len();
     println!("crimes with ≥1 perpetrator: known={known} possible={poss}");
     // Both crimes are *known* answers although crime23's perpetrators are
     // still unidentified — existence is part of CRIME's definition.
@@ -126,7 +145,12 @@ fn main() {
         concept: Concept::one_of([classic::IndRef::Classic(crime15)]),
         marker: vec![suspect],
     };
-    let desc = ask_description(&mut kb, &q).expect("description");
+    let desc = Query::marked(q)
+        .description()
+        .run(&mut kb)
+        .expect("description")
+        .into_description()
+        .expect("intensional answer");
     println!(
         "necessary description of crime15's typical suspect:\n  {}",
         desc.to_concept(kb.schema()).display(&kb.schema().symbols)

@@ -64,11 +64,7 @@ fn main() {
     );
 
     // ---- propagation: fillers inherit the ALL restriction ---------------
-    run_script(
-        &mut kb,
-        "(assert-ind Rocky (FILLS thing-driven Volvo-17))",
-    )
-    .expect("accepted");
+    run_script(&mut kb, "(assert-ind Rocky (FILLS thing-driven Volvo-17))").expect("accepted");
     let answer = run_script(&mut kb, "(retrieve SPORTS-CAR)").expect("query");
     println!("recognized sports cars: {:?}", answer.last().expect("one"));
 
@@ -90,11 +86,8 @@ fn main() {
     );
 
     // ---- integrity (§3.4): contradictions are rejected atomically -------
-    let err = run_script(
-        &mut kb,
-        "(assert-ind Rocky (FILLS thing-driven Trabant-1))",
-    )
-    .expect_err("a third filler violates the closed role");
+    let err = run_script(&mut kb, "(assert-ind Rocky (FILLS thing-driven Trabant-1))")
+        .expect_err("a third filler violates the closed role");
     println!("third filler rejected: {err}");
     assert_eq!(kb.ind(rocky).fillers(driven).len(), 2, "rolled back");
 

@@ -63,4 +63,6 @@ pub use classic_core::{
     Clash, ClassicError, Concept, HostValue, IndRef, Layer, NormalForm, Result,
 };
 pub use classic_kb::{AssertReport, IndId, Kb};
-pub use classic_query::{ask_description, ask_necessary_set, possible, retrieve, MarkedQuery};
+pub use classic_query::{
+    ask_description, ask_necessary_set, possible, retrieve, Answer, MarkedQuery, Query,
+};

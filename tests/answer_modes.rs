@@ -180,10 +180,13 @@ fn ask_description_is_sound_for_known_answers() {
     let q = MarkedQuery {
         concept: Concept::and([
             Concept::Name(student),
-            Concept::all(driven, Concept::all(
-                kb.schema().symbols.find_role("maker").unwrap(),
-                Concept::Name(italian),
-            )),
+            Concept::all(
+                driven,
+                Concept::all(
+                    kb.schema().symbols.find_role("maker").unwrap(),
+                    Concept::Name(italian),
+                ),
+            ),
         ]),
         marker: vec![driven],
     };

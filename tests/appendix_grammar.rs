@@ -37,7 +37,14 @@ fn round_trip(kb: &mut Kb, src: &str) -> Concept {
 #[test]
 fn builtin_primitives() {
     let mut kb = kb();
-    for b in ["THING", "CLASSIC-THING", "HOST-THING", "INTEGER", "STRING", "SYMBOL"] {
+    for b in [
+        "THING",
+        "CLASSIC-THING",
+        "HOST-THING",
+        "INTEGER",
+        "STRING",
+        "SYMBOL",
+    ] {
         round_trip(&mut kb, b);
     }
 }

@@ -69,12 +69,20 @@ fn host_values_have_exact_identity_in_enumerations() {
     let nf = kb.normalize(&c).unwrap();
     assert_eq!(nf.one_of.as_ref().unwrap().len(), 3);
     // Intersecting with INTEGER keeps exactly the integer.
-    let meet = Concept::and([c, Concept::Builtin(classic::Layer::Host(Some(
-        classic::core::HostClass::Integer,
-    )))]);
+    let meet = Concept::and([
+        c,
+        Concept::Builtin(classic::Layer::Host(Some(
+            classic::core::HostClass::Integer,
+        ))),
+    ]);
     let nf = kb.normalize(&meet).unwrap();
     assert_eq!(
-        nf.one_of.as_ref().unwrap().iter().cloned().collect::<Vec<_>>(),
+        nf.one_of
+            .as_ref()
+            .unwrap()
+            .iter()
+            .cloned()
+            .collect::<Vec<_>>(),
         vec![three_int]
     );
 }
@@ -130,22 +138,16 @@ fn classify_command_places_ad_hoc_concepts() {
     )
     .expect("schema");
     // A refinement between PERSON and STUDENT^3.
-    let out = run_script(
-        &mut kb,
-        "(classify (AND PERSON (AT-LEAST 1 enrolled-at)))",
-    )
-    .expect("classify");
+    let out =
+        run_script(&mut kb, "(classify (AND PERSON (AT-LEAST 1 enrolled-at)))").expect("classify");
     match out.last().expect("one") {
         Outcome::Description(d) => {
             assert!(d.contains("equivalent: STUDENT"), "got {d}");
         }
         other => panic!("unexpected {other:?}"),
     }
-    let out = run_script(
-        &mut kb,
-        "(classify (AND PERSON (AT-LEAST 3 enrolled-at)))",
-    )
-    .expect("classify");
+    let out =
+        run_script(&mut kb, "(classify (AND PERSON (AT-LEAST 3 enrolled-at)))").expect("classify");
     match out.last().expect("one") {
         Outcome::Description(d) => {
             assert!(d.contains("parents: STUDENT"), "got {d}");

@@ -79,7 +79,10 @@ fn contribution_2_active_discovery() {
     )
     .expect("facts");
     let out = run_script(&mut kb, "(retrieve STUDENT)").expect("q");
-    assert_eq!(out.last().unwrap(), &Outcome::Individuals(vec!["Rocky".into()]));
+    assert_eq!(
+        out.last().unwrap(),
+        &Outcome::Individuals(vec!["Rocky".into()])
+    );
     // …constructors add filler information (AT-MOST closes the role)…
     run_script(
         &mut kb,
@@ -122,7 +125,10 @@ fn contribution_3_single_language_uniform_closure() {
     )
     .expect("DML");
     let out = run_script(&mut kb, &format!("(retrieve {expr})")).expect("query");
-    assert_eq!(out.last().unwrap(), &Outcome::Individuals(vec!["Pat".into()]));
+    assert_eq!(
+        out.last().unwrap(),
+        &Outcome::Individuals(vec!["Pat".into()])
+    );
     // Schema objects are queried at any time, and *obtained as answers*:
     // classification returns concepts (LEARNER ≡ STUDENT here).
     let out = run_script(&mut kb, &format!("(classify {expr})")).expect("schema query");

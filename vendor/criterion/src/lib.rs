@@ -1,0 +1,268 @@
+//! Offline drop-in subset of the `criterion` benchmark API.
+//!
+//! The sandbox and CI for this repository run with no network access, so the
+//! workspace vendors the slice of criterion its benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`/`bench_with_input`, `BenchmarkId`,
+//! `Throughput::Elements`, and `Bencher::{iter, iter_with_setup}`.
+//!
+//! Statistics are deliberately simple — fixed warm-up, then timed batches
+//! reporting median ns/iter (no bootstrap, outlier analysis, or HTML
+//! reports). Good enough to compare before/after on the same machine, which
+//! is all the repo's benches are for.
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation; only element counts are used by this workspace.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Two-part benchmark id: function name + parameter, rendered `name/param`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Top-level driver handed to `criterion_group!` target functions.
+pub struct Criterion {
+    /// Number of timed samples per benchmark.
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let stats = run_samples(self.sample_size, &mut f);
+        report(&id.label, &stats, None);
+        self
+    }
+}
+
+/// Group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let stats = run_samples(self.sample_size, &mut f);
+        report(
+            &format!("{}/{}", self.name, id.label),
+            &stats,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let stats = run_samples(self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        report(
+            &format!("{}/{}", self.name, id.label),
+            &stats,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; `iter` times the supplied routine.
+pub struct Bencher {
+    /// ns per iteration measured for this sample.
+    sample_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate the batch size so one sample runs ≥ ~1ms, then time it.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                self.sample_ns = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            iters *= 4;
+        }
+    }
+
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Setup cost is excluded by timing each routine call individually.
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < Duration::from_millis(1) && iters < 1 << 20 {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.sample_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn run_samples<F: FnMut(&mut Bencher)>(samples: usize, f: &mut F) -> Vec<f64> {
+    // One untimed warm-up pass.
+    let mut b = Bencher { sample_ns: 0.0 };
+    f(&mut b);
+    (0..samples)
+        .map(|_| {
+            let mut b = Bencher { sample_ns: 0.0 };
+            f(&mut b);
+            b.sample_ns
+        })
+        .collect()
+}
+
+fn report(label: &str, samples: &[f64], throughput: Option<Throughput>) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    let min = sorted.first().copied().unwrap_or(0.0);
+    let max = sorted.last().copied().unwrap_or(0.0);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {:>10.3} Melem/s", n as f64 * 1000.0 / median)
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!(
+                "  {:>10.3} MiB/s",
+                n as f64 * 1e9 / median / (1024.0 * 1024.0)
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label:<48} time: [{} {} {}]{rate}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// `std::hint::black_box` re-export for benches importing it from criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

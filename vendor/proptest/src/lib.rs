@@ -1,0 +1,631 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The sandbox and CI for this repository run with no network access, so the
+//! workspace vendors the slice of proptest it uses: the `proptest!` macro,
+//! `prop_assert*`/`prop_assume!`/`prop_oneof!`, `Just`, integer-range and
+//! tuple strategies, `prop_map`, `prop_recursive`, `collection::vec`, and a
+//! string strategy for the one regex pattern the tests use (`.{0,120}`).
+//!
+//! Differences from upstream, deliberately accepted:
+//! - no shrinking: a failing case reports its inputs but is not minimized;
+//! - generation is a fixed deterministic stream per test (seeded from the
+//!   test name), so failures reproduce on re-run;
+//! - `prop_recursive` expands a bounded number of levels eagerly rather than
+//!   decaying probabilistically.
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    /// Error type produced by `prop_assert!`/`prop_assume!` inside a case.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case's preconditions were not met (`prop_assume!`); skipped.
+        Reject(String),
+        /// An assertion failed; the whole test fails.
+        Fail(String),
+    }
+
+    /// Subset of upstream's `Config`: only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic generator (SplitMix64) driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn seed_from(seed: u64) -> Self {
+            TestRng {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+    }
+
+    /// FNV-1a over the test name: decorrelates streams across tests.
+    pub fn name_seed(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// Value-generation strategy. Upstream's trait is much richer; this
+    /// subset supports generation only (no shrink trees).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+
+        /// Eagerly builds `depth` recursion levels over the leaf strategy and
+        /// samples uniformly across levels (upstream decays probabilistically;
+        /// the `_desired_size`/`_expected_branch` hints are ignored here).
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut levels: Vec<BoxedStrategy<Self::Value>> = vec![self.boxed()];
+            for _ in 0..depth {
+                // Inner draws mix all shallower levels so generated values
+                // vary in nesting depth, not just "exactly k deep".
+                let inner = Union::new(levels.clone()).boxed();
+                levels.push(f(inner).boxed());
+            }
+            Union::new(levels).boxed()
+        }
+    }
+
+    trait StrategyObj<T> {
+        fn generate_obj(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> StrategyObj<S::Value> for S {
+        fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy handle.
+    pub struct BoxedStrategy<T>(Arc<dyn StrategyObj<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_obj(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            Self::new_weighted(arms.into_iter().map(|s| (1, s)).collect())
+        }
+
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! weights sum to zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, arm) in &self.arms {
+                if pick < *w as u64 {
+                    return arm.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let x = rng.next_u64() as u128;
+                    (self.start as i128 + ((x * span) >> 64) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty inclusive range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    let x = rng.next_u64() as u128;
+                    (lo as i128 + ((x * span) >> 64) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<char> {
+        type Value = char;
+        fn generate(&self, rng: &mut TestRng) -> char {
+            let lo = self.start as u32;
+            let hi = self.end as u32;
+            assert!(lo < hi, "empty char range strategy");
+            loop {
+                let x = lo + rng.below((hi - lo) as u64) as u32;
+                if let Some(c) = char::from_u32(x) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    impl Strategy for bool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            // `any::<bool>()` replacement: the receiver value is ignored.
+            let _ = self;
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    /// String strategy from a regex-shaped pattern. Only the forms actually
+    /// used by this workspace's tests are supported: `.{a,b}`, `.{a}`, `.*`
+    /// and `.+` (any-char repetitions). Anything else panics loudly so an
+    /// unsupported pattern is an obvious error, not a silently wrong one.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (lo, hi) = parse_any_char_repeat(self).unwrap_or_else(|| {
+                panic!(
+                    "vendored proptest stub: unsupported regex strategy {self:?} \
+                     (supported: \".{{a,b}}\", \".{{a}}\", \".*\", \".+\")"
+                )
+            });
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len).map(|_| arbitrary_char(rng)).collect()
+        }
+    }
+
+    fn parse_any_char_repeat(pat: &str) -> Option<(usize, usize)> {
+        match pat {
+            ".*" => return Some((0, 32)),
+            ".+" => return Some((1, 32)),
+            _ => {}
+        }
+        let body = pat.strip_prefix(".{")?.strip_suffix('}')?;
+        match body.split_once(',') {
+            Some((a, b)) => {
+                let lo = a.parse().ok()?;
+                let hi = b.parse().ok()?;
+                (lo <= hi).then_some((lo, hi))
+            }
+            None => {
+                let n = body.parse().ok()?;
+                Some((n, n))
+            }
+        }
+    }
+
+    /// Adversarial char mix: ASCII printable, whitespace/control, Latin-1
+    /// and beyond, multi-byte CJK, and astral-plane code points.
+    fn arbitrary_char(rng: &mut TestRng) -> char {
+        loop {
+            let x = match rng.below(10) {
+                0..=4 => 0x20 + rng.below(0x5f) as u32, // ASCII printable
+                5 => rng.below(0x20) as u32,            // C0 controls
+                6 => 0x80 + rng.below(0x180) as u32,    // Latin-1/ext
+                7 => 0x2000 + rng.below(0x100) as u32,  // punctuation/space
+                8 => 0x4e00 + rng.below(0x400) as u32,  // CJK
+                _ => 0x1f300 + rng.below(0x200) as u32, // emoji
+            };
+            if let Some(c) = char::from_u32(x) {
+                return c;
+            }
+        }
+    }
+
+    /// Kept for signature compatibility in helper fns that spell out
+    /// `impl Strategy<Value = T>`; not otherwise used.
+    pub struct ValueTree<T>(PhantomData<T>);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for `collection::vec` (inclusive).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines deterministic property tests. Supports the upstream surface used
+/// here: an optional `#![proptest_config(...)]` header and `#[test]` fns with
+/// `pattern in strategy` parameters.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr; $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let seed = $crate::test_runner::name_seed(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut attempt: u64 = 0;
+            // Rejections (prop_assume!) don't consume a case; cap total work
+            // so a strategy that almost always rejects still terminates.
+            let max_attempts = (config.cases as u64) * 16 + 64;
+            while accepted < config.cases && attempt < max_attempts {
+                let mut rng = $crate::test_runner::TestRng::seed_from(
+                    seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                attempt += 1;
+                $(let $pat = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case failed (attempt {} of {}): {}",
+                            attempt, stringify!($name), msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    (cfg = $cfg:expr;) => {};
+}
+
+/// Chooses among strategies producing the same value type. Optional
+/// `weight => strategy` arms bias the choice.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(
+            vec![$(($weight, $crate::strategy::Strategy::boxed($strat))),+]
+        )
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(
+            vec![$($crate::strategy::Strategy::boxed($strat)),+]
+        )
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    l, r, format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `left != right`\n  both: `{:?}`",
+                l
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_owned(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod self_tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<u32>> {
+        crate::collection::vec(0u32..10, 0..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in 0u32..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (0usize..4, 0i64..100).prop_map(|(a, b)| (a, b * 2))) {
+            prop_assert!(pair.0 < 4);
+            prop_assert_eq!(pair.1 % 2, 0);
+        }
+
+        #[test]
+        fn vec_sizes(v in small_vec()) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn oneof_and_just(s in prop_oneof![Just("a".to_owned()), Just("b".to_owned())]) {
+            prop_assert!(s == "a" || s == "b");
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn regex_strings(s in ".{0,12}") {
+            prop_assert!(s.chars().count() <= 12);
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u32),
+        Node(Vec<Tree>),
+    }
+
+    fn tree_strategy() -> impl Strategy<Value = Tree> {
+        let leaf = (0u32..8).prop_map(Tree::Leaf);
+        leaf.prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+        })
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn recursive_bounded(t in tree_strategy()) {
+            prop_assert!(depth(&t) <= 3);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Offline drop-in subset of the `rand` crate API.
+//!
+//! The sandbox and CI for this repository run with no network access, so the
+//! workspace vendors the tiny slice of `rand` it actually uses: a seedable
+//! deterministic generator (`StdRng`) plus `Rng::{gen_range, gen_bool}`.
+//! The generator is SplitMix64 — statistically fine for workload synthesis,
+//! NOT a reproduction of upstream `StdRng`'s ChaCha stream (seeds produce
+//! different workloads than upstream would, which is irrelevant here since
+//! all consumers only need determinism, not upstream-identical streams).
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core generator trait: the subset of `rand::RngCore` we need.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding trait mirroring `rand::SeedableRng` for the entry points used.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling helpers mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        // 53 random mantissa bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types that can be drawn uniformly from a range.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from the inclusive range `[lo, hi_incl]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_incl: Self) -> Self;
+    /// Uniform draw from the half-open range `[lo, hi_excl)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_excl: Self) -> Self;
+}
+
+/// Ranges usable with `gen_range`.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty inclusive range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_incl: Self) -> Self {
+                let span = (hi_incl as i128 - lo as i128 + 1) as u128;
+                if span == 0 || span > u64::MAX as u128 {
+                    // Range covers (at least) the full 64-bit space.
+                    return rng.next_u64() as $t;
+                }
+                // Widening multiply keeps bias negligible for the span sizes
+                // used by the workload generators (all far below 2^64).
+                let x = rng.next_u64() as u128;
+                (lo as i128 + ((x * span) >> 64) as i128) as $t
+            }
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi_excl: Self) -> Self {
+                <$t as SampleUniform>::sample_inclusive(rng, lo, hi_excl - 1)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        Self::sample_inclusive(rng, lo, hi)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seedable generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng {
+                // Decorrelate tiny seeds before the first output.
+                state: state.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: usize = a.gen_range(3..17);
+            let y: usize = b.gen_range(3..17);
+            assert_eq!(x, y);
+            assert!((3..17).contains(&x));
+        }
+        let mut c = StdRng::seed_from_u64(7);
+        let k: u32 = c.gen_range(0..=0);
+        assert_eq!(k, 0);
+        let v: i64 = c.gen_range(-5..=5);
+        assert!((-5..=5).contains(&v));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline placeholder for `rand_chacha`. No source file in the workspace
+//! uses this crate today; the manifest dependency is kept satisfied so the
+//! workspace resolves without network access. `ChaCha8Rng` is aliased to the
+//! vendored deterministic `StdRng` (SplitMix64), which provides the same
+//! seed-determinism contract callers would rely on.
+#![forbid(unsafe_code)]
+
+pub type ChaCha8Rng = rand::rngs::StdRng;
+pub type ChaCha12Rng = rand::rngs::StdRng;
+pub type ChaCha20Rng = rand::rngs::StdRng;
