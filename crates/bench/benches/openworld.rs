@@ -30,7 +30,14 @@ fn bench_answer_modes(c: &mut Criterion) {
     );
 
     group.bench_function(BenchmarkId::new("classic_known", 1000), |b| {
-        b.iter(|| black_box(classic_query::retrieve_nf(&kb, &nf).known.len()))
+        b.iter(|| {
+            black_box(
+                classic_query::retrieve_nf(&kb, &nf)
+                    .expect("retrieval")
+                    .known
+                    .len(),
+            )
+        })
     });
     group.bench_function(BenchmarkId::new("classic_possible", 1000), |b| {
         b.iter(|| {

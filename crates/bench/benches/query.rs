@@ -28,7 +28,10 @@ fn bench_retrieval(c: &mut Criterion) {
             b.iter(|| {
                 let mut n = 0usize;
                 for nf in nfs {
-                    n += classic_query::retrieve_nf(black_box(&kb), nf).known.len();
+                    n += classic_query::retrieve_nf(black_box(&kb), nf)
+                        .expect("retrieval")
+                        .known
+                        .len();
                 }
                 n
             })
@@ -38,6 +41,7 @@ fn bench_retrieval(c: &mut Criterion) {
                 let mut n = 0usize;
                 for nf in nfs {
                     n += classic_query::retrieve_naive_nf(black_box(&kb), nf)
+                        .expect("retrieval")
                         .known
                         .len();
                 }

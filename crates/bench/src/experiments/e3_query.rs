@@ -60,7 +60,7 @@ pub fn run() -> String {
         let (_, t_clf) = time(|| {
             for _ in 0..reps {
                 for nf in &nfs {
-                    let a = classic_query::retrieve_nf(&sw.kb, nf);
+                    let a = classic_query::retrieve_nf(&sw.kb, nf).expect("retrieval");
                     tested_clf += a.stats.tested as u64;
                     answers_clf += a.known.len();
                 }
@@ -69,7 +69,7 @@ pub fn run() -> String {
         let (_, t_naive) = time(|| {
             for _ in 0..reps {
                 for nf in &nfs {
-                    let a = classic_query::retrieve_naive_nf(&sw.kb, nf);
+                    let a = classic_query::retrieve_naive_nf(&sw.kb, nf).expect("retrieval");
                     tested_naive += a.stats.tested as u64;
                     answers_naive += a.known.len();
                 }
@@ -138,8 +138,14 @@ pub fn run() -> String {
         let mut tested_clf = 0u64;
         let mut tested_naive = 0u64;
         for nf in &nfs {
-            tested_clf += classic_query::retrieve_nf(&sw.kb, nf).stats.tested as u64;
-            tested_naive += classic_query::retrieve_naive_nf(&sw.kb, nf).stats.tested as u64;
+            tested_clf += classic_query::retrieve_nf(&sw.kb, nf)
+                .expect("retrieval")
+                .stats
+                .tested as u64;
+            tested_naive += classic_query::retrieve_naive_nf(&sw.kb, nf)
+                .expect("retrieval")
+                .stats
+                .tested as u64;
         }
         let nq = nfs.len() as u64;
         let _ = writeln!(

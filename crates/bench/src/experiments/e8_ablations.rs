@@ -40,8 +40,8 @@ pub fn run() -> String {
     let n_q = (reps * nfs.len()) as u64;
     // Warm caches so the first-measured configuration isn't penalized.
     for nf in &nfs {
-        let _ = classic_query::retrieve_nf(&sw.kb, nf);
-        let _ = classic_query::retrieve_naive_nf(&sw.kb, nf);
+        let _ = classic_query::retrieve_nf(&sw.kb, nf).expect("retrieval");
+        let _ = classic_query::retrieve_naive_nf(&sw.kb, nf).expect("retrieval");
     }
 
     let _ = writeln!(
@@ -55,7 +55,10 @@ pub fn run() -> String {
     let (_, t_full) = time(|| {
         for _ in 0..reps {
             for nf in &nfs {
-                tested += classic_query::retrieve_nf(&sw.kb, nf).stats.tested as u64;
+                tested += classic_query::retrieve_nf(&sw.kb, nf)
+                    .expect("retrieval")
+                    .stats
+                    .tested as u64;
             }
         }
     });
@@ -74,7 +77,10 @@ pub fn run() -> String {
     let (_, t_naive) = time(|| {
         for _ in 0..reps {
             for nf in &nfs {
-                tested += classic_query::retrieve_naive_nf(&sw.kb, nf).stats.tested as u64;
+                tested += classic_query::retrieve_naive_nf(&sw.kb, nf)
+                    .expect("retrieval")
+                    .stats
+                    .tested as u64;
             }
         }
     });
@@ -111,7 +117,10 @@ pub fn run() -> String {
         for _ in 0..reps {
             for (_, q) in &queries {
                 let nf = sw.kb.normalize(q).expect("coherent");
-                tested += classic_query::retrieve_nf(&sw.kb, &nf).stats.tested as u64;
+                tested += classic_query::retrieve_nf(&sw.kb, &nf)
+                    .expect("retrieval")
+                    .stats
+                    .tested as u64;
             }
         }
     });

@@ -113,12 +113,22 @@ pub fn run() -> String {
         .collect();
     let (cold_answers, t_cold) = time(|| {
         nfs.iter()
-            .map(|nf| classic_query::retrieve_nf(&sw.kb, nf).known.len())
+            .map(|nf| {
+                classic_query::retrieve_nf(&sw.kb, nf)
+                    .expect("retrieval")
+                    .known
+                    .len()
+            })
             .sum::<usize>()
     });
     let (hot_answers, t_hot) = time(|| {
         nfs.iter()
-            .map(|nf| classic_query::retrieve_nf(&sw.kb, nf).known.len())
+            .map(|nf| {
+                classic_query::retrieve_nf(&sw.kb, nf)
+                    .expect("retrieval")
+                    .known
+                    .len()
+            })
             .sum::<usize>()
     });
     assert_eq!(cold_answers, hot_answers, "retrieval must be deterministic");

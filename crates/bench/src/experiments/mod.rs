@@ -6,6 +6,7 @@
 //! with the paper's claim quoted, the workload parameters, and the
 //! measured rows.
 
+pub mod e10_retraction;
 pub mod e1_subsumption;
 pub mod e2_classification;
 pub mod e3_query;
@@ -84,6 +85,11 @@ pub fn registry() -> Vec<Experiment> {
             "e9",
             "subsumption memo + bitset closure vs the uncached path",
             e9_kernel_cache::run,
+        ),
+        (
+            "e10",
+            "incremental retraction vs rebuild-from-scratch",
+            e10_retraction::run,
         ),
     ]
 }

@@ -48,10 +48,19 @@ pub enum ClassicError {
         /// Human-readable clash description.
         reason: Clash,
     },
-    /// Destructive updates are out of scope: the paper defers them
-    /// ("we … are now implementing a facility for making 'destructive
-    /// updates' … and will report on this at a future date", §3.2).
+    /// A destructive update the engine does not support (retraction of
+    /// *told* facts is supported; this remains for any other destructive
+    /// surface a caller might request).
     DestructiveUpdate,
+    /// `retract-ind` named a description that was never told of the
+    /// individual — only told facts can be retracted, not derived ones.
+    NotAsserted(IndName),
+    /// `retract-rule` matched no live rule with that antecedent and
+    /// consequent.
+    NoSuchRule(ConceptName),
+    /// A user-registered `TEST` recognizer panicked during retrieval; the
+    /// payload is preserved so the caller can diagnose the host function.
+    RecognizerPanicked(String),
     /// A rule was attached to something other than a defined named concept.
     RuleOnUndefinedConcept(ConceptName),
     /// A syntax or arity problem detected while building a description.
@@ -139,6 +148,23 @@ impl fmt::Display for ClassicError {
                     f,
                     "destructive updates are not supported (paper defers them)"
                 )
+            }
+            ClassicError::NotAsserted(i) => {
+                write!(
+                    f,
+                    "nothing to retract: the description was never told of individual #{}",
+                    i.index()
+                )
+            }
+            ClassicError::NoSuchRule(c) => {
+                write!(
+                    f,
+                    "no live rule with antecedent #{} matches the given consequent",
+                    c.index()
+                )
+            }
+            ClassicError::RecognizerPanicked(msg) => {
+                write!(f, "a TEST recognizer panicked during retrieval: {msg}")
             }
             ClassicError::RuleOnUndefinedConcept(c) => {
                 write!(f, "rule attached to undefined concept #{}", c.index())

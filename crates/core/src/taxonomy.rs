@@ -19,7 +19,7 @@
 //!
 //! Two indexes accelerate the traversal beyond the seed algorithm:
 //!
-//! * a memoized subsumption [`Kernel`](crate::intern::Kernel) — node forms
+//! * a memoized subsumption [`Kernel`] — node forms
 //!   are hash-consed to [`NfId`]s and `subsumes` results cached per id
 //!   pair, so repeated classifications of related queries skip the
 //!   structural walks entirely;

@@ -1,0 +1,164 @@
+//! Persistent dependency records for retraction (§3.2's deferred
+//! "destructive update" surface).
+//!
+//! The transaction [`Journal`](crate::kb) makes one update atomic; the
+//! [`DependencyJournal`] makes updates *reversible across transactions*:
+//! every time propagation changes an individual's derived normal form it
+//! records a [`Support`] — which individual contributed the information
+//! and through which mechanism (a told assertion, an `ALL` restriction
+//! pushed onto a filler, a `SAME-AS` co-reference, or a rule firing).
+//!
+//! Retraction then inverts the derivation: the individuals whose derived
+//! state may rest on a retracted fact are exactly the *forward closure*
+//! of the retraction seed under the support graph (follow supports whose
+//! `source` is affected to their `target`s). Those individuals are reset
+//! to their surviving told facts and re-propagated to a new fixed point;
+//! everything outside the closure is untouched, which is what makes
+//! incremental retraction cheaper than a rebuild (experiment E10).
+//!
+//! The records are deliberately *coarse* (per individual-pair-mechanism,
+//! not per derived fact): propagation only records a support when the
+//! conjunction actually changed the target, so a support means "some of
+//! this individual's derived state may have come from that source".
+//! Coarseness makes the reset a superset of the strictly necessary one —
+//! sound, since re-derivation from told facts is confluent — while
+//! keeping the journal small and maintenance O(1) per propagation step.
+
+use crate::individual::IndId;
+use classic_core::symbol::RoleId;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// How a piece of derived information reached an individual.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SupportKind {
+    /// A told assertion on the individual itself.
+    Told {
+        /// Position in `told` at recording time (indices shift on
+        /// retraction, so this is informational, not used for
+        /// addressing).
+        index: usize,
+    },
+    /// An `(ALL role C)` restriction on `source` pushed `C` onto this
+    /// filler.
+    All {
+        /// The role the restriction was attached to.
+        role: RoleId,
+    },
+    /// A `SAME-AS` co-reference on `source` derived a filler here.
+    Coref {
+        /// The final role of the resolved chain.
+        role: RoleId,
+    },
+    /// A rule fired on the individual (source == target).
+    Rule {
+        /// The rule's stable index in [`crate::Kb::rules`].
+        index: usize,
+    },
+}
+
+/// One dependency record: `target`'s derived state partly rests on
+/// information held by `source`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Support {
+    /// The individual whose derived state was changed.
+    pub target: IndId,
+    /// The individual whose information caused the change.
+    pub source: IndId,
+    /// The mechanism that carried it.
+    pub kind: SupportKind,
+}
+
+/// The persistent support graph, keyed by target. Committed supports only;
+/// in-flight supports live on the transaction journal until commit.
+#[derive(Debug, Default)]
+pub struct DependencyJournal {
+    records: HashMap<IndId, BTreeSet<Support>>,
+}
+
+impl DependencyJournal {
+    /// Insert one record (idempotent — the set deduplicates).
+    pub(crate) fn insert(&mut self, s: Support) {
+        self.records.entry(s.target).or_default().insert(s);
+    }
+
+    /// Absorb a transaction's recorded supports on commit.
+    pub(crate) fn absorb(&mut self, supports: impl IntoIterator<Item = Support>) {
+        for s in supports {
+            self.insert(s);
+        }
+    }
+
+    /// The committed supports of one individual (why it is what it is).
+    pub fn supports_of(&self, target: IndId) -> impl Iterator<Item = &Support> {
+        self.records.get(&target).into_iter().flatten()
+    }
+
+    /// Total number of committed support records (diagnostics/E10).
+    pub fn len(&self) -> usize {
+        self.records.values().map(|s| s.len()).sum()
+    }
+
+    /// Whether the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.values().all(|s| s.is_empty())
+    }
+
+    /// Forward dependency closure: every individual whose derived state
+    /// may (transitively) rest on information held by one of `seeds`.
+    /// Always includes the seeds themselves.
+    ///
+    /// Retraction is rare relative to assertion, so this builds the
+    /// source→targets reverse index on the fly rather than maintaining
+    /// one incrementally.
+    pub fn affected_from(&self, seeds: &BTreeSet<IndId>) -> BTreeSet<IndId> {
+        let mut by_source: HashMap<IndId, Vec<IndId>> = HashMap::new();
+        for supports in self.records.values() {
+            for s in supports {
+                if s.source != s.target {
+                    by_source.entry(s.source).or_default().push(s.target);
+                }
+            }
+        }
+        let mut closed: BTreeSet<IndId> = seeds.clone();
+        let mut work: VecDeque<IndId> = seeds.iter().copied().collect();
+        while let Some(id) = work.pop_front() {
+            if let Some(targets) = by_source.get(&id) {
+                for &t in targets {
+                    if closed.insert(t) {
+                        work.push_back(t);
+                    }
+                }
+            }
+        }
+        closed
+    }
+
+    /// Remove and return every record whose *target* is in `set` (those
+    /// individuals are about to be re-derived from scratch, so their old
+    /// provenance is void). Returned records go on the transaction journal
+    /// so a failed retraction can restore them.
+    pub(crate) fn remove_targets(&mut self, set: &BTreeSet<IndId>) -> Vec<Support> {
+        let mut removed = Vec::new();
+        for id in set {
+            if let Some(supports) = self.records.remove(id) {
+                removed.extend(supports);
+            }
+        }
+        removed
+    }
+}
+
+/// Per-retraction report: what one accepted retraction cost (E10's
+/// incremental-vs-rebuild metric).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RetractReport {
+    /// Individuals whose derived state was reset and re-derived.
+    pub reset: u64,
+    /// Individuals re-enqueued for propagation (reset plus their
+    /// transitive reverse-filler hosts).
+    pub requeued: u64,
+    /// Worklist steps the re-propagation took.
+    pub steps: u64,
+    /// Individuals whose recognized concepts changed.
+    pub reclassified: u64,
+}

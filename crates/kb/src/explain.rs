@@ -220,6 +220,50 @@ impl Kb {
             requirements: reqs,
         }
     }
+
+    /// Explain *where an individual's derived information came from*: one
+    /// line per committed dependency record, rendered from the same
+    /// journal that drives retraction. Complements [`Kb::explain_instance`]
+    /// (which explains what a concept demands): provenance explains what
+    /// retracting a told fact would take with it.
+    pub fn explain_provenance(&self, id: IndId) -> Vec<String> {
+        let symbols = &self.schema().symbols;
+        let ind_name = |i: IndId| symbols.individual_name(self.ind(i).name).to_owned();
+        let mut lines: Vec<String> = Vec::new();
+        for s in self.deps().supports_of(id) {
+            let line = match s.kind {
+                crate::deps::SupportKind::Told { index } => {
+                    match self.ind(id).told.get(index) {
+                        Some(c) => format!("told: {}", c.display(symbols)),
+                        // Indices shift when earlier told facts are
+                        // retracted; the record remains as evidence that
+                        // *some* told fact contributed.
+                        None => "told: (a since-retracted assertion)".to_owned(),
+                    }
+                }
+                crate::deps::SupportKind::All { role } => format!(
+                    "propagated from {} via (ALL {} …)",
+                    ind_name(s.source),
+                    symbols.role_name(role)
+                ),
+                crate::deps::SupportKind::Coref { role } => format!(
+                    "derived filler for {} via SAME-AS on {}",
+                    symbols.role_name(role),
+                    ind_name(s.source)
+                ),
+                crate::deps::SupportKind::Rule { index } => {
+                    let rule = &self.rules()[index];
+                    format!(
+                        "rule on {} fired: {}",
+                        symbols.concept_name(rule.antecedent),
+                        rule.consequent.display(symbols)
+                    )
+                }
+            };
+            lines.push(line);
+        }
+        lines
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 //! `assert-rule`) rolls back every propagated consequence via an internal
 //! journal of first-touch snapshots.
 
+use crate::deps::{DependencyJournal, RetractReport, Support, SupportKind};
 use crate::individual::{IndId, Individual};
 use crate::propagate::Propagation;
 use classic_core::desc::{Concept, IndRef};
@@ -36,6 +37,11 @@ pub struct Rule {
     /// The consequent description, conjoined onto every recognized
     /// instance.
     pub consequent: Concept,
+    /// Whether the rule has been retracted. Retired rules stay in the
+    /// vector so the `usize` indices stored in `fired_rules` and
+    /// `rules_by_node` remain stable; every consumer must filter them
+    /// (use [`Kb::active_rules`]).
+    pub retired: bool,
 }
 
 /// A monotone instrumentation counter. Atomic (relaxed) so parallel query
@@ -114,6 +120,15 @@ pub(crate) struct Journal {
     created: Vec<IndId>,
     /// Reverse-filler edges added during the transaction.
     reverse_added: Vec<(IndId, IndId)>,
+    /// Dependency records earned during the transaction; absorbed into
+    /// [`Kb::deps`] on commit, dropped on rollback.
+    pub(crate) supports: Vec<Support>,
+    /// Committed dependency records removed during a retraction;
+    /// restored on rollback.
+    pub(crate) supports_removed: Vec<Support>,
+    /// Reverse-filler edges removed during a retraction; restored on
+    /// rollback.
+    pub(crate) reverse_removed: Vec<(IndId, IndId)>,
 }
 
 impl Journal {
@@ -125,6 +140,10 @@ impl Journal {
 
     pub(crate) fn push_reverse(&mut self, filler: IndId, host: IndId) {
         self.reverse_added.push((filler, host));
+    }
+
+    pub(crate) fn note_support(&mut self, s: Support) {
+        self.supports.push(s);
     }
 }
 
@@ -144,6 +163,9 @@ pub struct Kb {
     /// filler → individuals having it as a role filler (the reclassification
     /// cascade of §5 walks this).
     pub(crate) reverse_fillers: HashMap<IndId, BTreeSet<IndId>>,
+    /// Committed dependency records: why each individual's derived state
+    /// is what it is. Consulted by retraction and `explain_provenance`.
+    pub(crate) deps: DependencyJournal,
     /// Cumulative instrumentation counters.
     pub stats: KbStats,
 }
@@ -168,6 +190,7 @@ impl Kb {
             rules: Vec::new(),
             rules_by_node: HashMap::new(),
             reverse_fillers: HashMap::new(),
+            deps: DependencyJournal::default(),
             stats: KbStats::default(),
         }
     }
@@ -219,9 +242,21 @@ impl Kb {
             .ok_or(ClassicError::UnknownIndividual(name))
     }
 
-    /// The forward-chaining rules, in assertion order.
+    /// The forward-chaining rules, in assertion order. Includes retired
+    /// (retracted) rules so indices stay stable; see [`Kb::active_rules`].
     pub fn rules(&self) -> &[Rule] {
         &self.rules
+    }
+
+    /// The live (non-retired) rules, with their stable indices.
+    pub fn active_rules(&self) -> impl Iterator<Item = (usize, &Rule)> {
+        self.rules.iter().enumerate().filter(|(_, r)| !r.retired)
+    }
+
+    /// The committed dependency records (why each individual's derived
+    /// state is what it is); consulted by retraction and explanation.
+    pub fn deps(&self) -> &DependencyJournal {
+        &self.deps
     }
 
     /// Normalize an ad-hoc concept expression against this KB's schema.
@@ -358,6 +393,7 @@ impl Kb {
             Ok(mut report) => {
                 report.inds_created = journal.created.len() as u64;
                 self.stats.assertions.bump();
+                self.deps.absorb(journal.supports);
                 Ok(report)
             }
             Err(e) => {
@@ -377,7 +413,13 @@ impl Kb {
         // Auto-create any individuals the description references, so
         // FILLS/ONE-OF targets exist (paper examples rely on this).
         self.ensure_referenced_inds(desc, journal);
+        let told_index = self.inds[id.index()].told.len();
         self.inds[id.index()].told.push(desc.clone());
+        journal.note_support(Support {
+            target: id,
+            source: id,
+            kind: SupportKind::Told { index: told_index },
+        });
         // Conjoin the asserted expression *contextually* (CLOSE applies to
         // the currently known fillers — §3.2).
         let mut derived = std::mem::take(&mut self.inds[id.index()].derived);
@@ -430,12 +472,136 @@ impl Kb {
         result
     }
 
-    /// The unsupported destructive update surface: the paper defers it
-    /// ("we … are now implementing … and will report on this at a future
-    /// date", §3.2). Always an error; present so callers get a precise
-    /// diagnosis rather than a missing method.
-    pub fn retract_ind(&mut self, _name: &str, _desc: &Concept) -> Result<()> {
-        Err(ClassicError::DestructiveUpdate)
+    /// `retract-ind[name, desc]`: remove a previously *told* description
+    /// and re-derive every affected individual from its surviving told
+    /// facts — the destructive update the paper defers ("we … are now
+    /// implementing … and will report on this at a future date", §3.2).
+    ///
+    /// `desc` must syntactically match a told assertion on the individual
+    /// (most recent match is removed); derived information cannot be
+    /// retracted directly, only by removing the told facts it rests on.
+    /// The semantic contract is the rebuild oracle: after retraction the
+    /// database is indistinguishable from one built fresh from the
+    /// surviving told facts (see `tests/retract.rs`). Re-derivation walks
+    /// the dependency journal's forward closure instead of rebuilding the
+    /// whole KB.
+    ///
+    /// A retraction whose re-derivation fails (possible with
+    /// order-dependent `CLOSE` told facts) is rejected atomically, like a
+    /// failing `assert-ind`.
+    pub fn retract_ind(&mut self, name: &str, desc: &Concept) -> Result<RetractReport> {
+        let iname = self.schema.symbols.individual(name);
+        let id = self.ind_id(iname)?;
+        self.retract_ind_by_id(id, desc)
+    }
+
+    /// `retract-ind` addressed by handle.
+    pub fn retract_ind_by_id(&mut self, id: IndId, desc: &Concept) -> Result<RetractReport> {
+        let Some(pos) = self.inds[id.index()].told.iter().rposition(|t| t == desc) else {
+            return Err(ClassicError::NotAsserted(self.inds[id.index()].name));
+        };
+        let mut journal = Journal::default();
+        journal.touch(self, id);
+        self.inds[id.index()].told.remove(pos);
+        match self.rederive_after_retraction(BTreeSet::from([id]), &mut journal) {
+            Ok(report) => {
+                self.deps.absorb(journal.supports);
+                Ok(report)
+            }
+            Err(e) => {
+                self.rollback(journal);
+                Err(e)
+            }
+        }
+    }
+
+    /// Reset every individual whose derived state may rest on the seeds,
+    /// re-conjoin their surviving told facts, and propagate to a new fixed
+    /// point. The caller has already removed the retracted told entry (or
+    /// retired the retracted rule); on error the caller rolls back.
+    fn rederive_after_retraction(
+        &mut self,
+        seeds: BTreeSet<IndId>,
+        journal: &mut Journal,
+    ) -> Result<RetractReport> {
+        // RESET: the forward dependency closure — everyone whose derived
+        // state may (transitively) rest on retracted information.
+        let reset = self.deps.affected_from(&seeds);
+        // ENQUEUE: RESET plus its transitive reverse-filler hosts. Hosts
+        // keep their derived state (it does not depend on the retracted
+        // fact — they are outside the closure) but must re-run so their
+        // ALL restrictions and SAME-AS corefs re-push information the
+        // reset wiped. Transitivity matters: a multi-step SAME-AS source
+        // is only reachable through a chain of reverse-filler edges.
+        // Computed before stale edges are removed below.
+        let mut enqueue = reset.clone();
+        let mut frontier: VecDeque<IndId> = reset.iter().copied().collect();
+        while let Some(i) = frontier.pop_front() {
+            if let Some(hosts) = self.reverse_fillers.get(&i) {
+                for &h in hosts {
+                    if enqueue.insert(h) {
+                        frontier.push_back(h);
+                    }
+                }
+            }
+        }
+        for &i in &enqueue {
+            journal.touch(self, i);
+        }
+        // Void the old provenance of reset individuals (restored on
+        // rollback), and the reverse-filler edges they host — their role
+        // fillers are about to be recomputed, and propagation will
+        // re-insert the surviving edges.
+        journal
+            .supports_removed
+            .extend(self.deps.remove_targets(&reset));
+        let mut stale_edges: Vec<(IndId, IndId)> = Vec::new();
+        for (filler, hosts) in &self.reverse_fillers {
+            for h in hosts {
+                if reset.contains(h) {
+                    stale_edges.push((*filler, *h));
+                }
+            }
+        }
+        for (filler, host) in &stale_edges {
+            if let Some(set) = self.reverse_fillers.get_mut(filler) {
+                set.remove(host);
+                if set.is_empty() {
+                    self.reverse_fillers.remove(filler);
+                }
+            }
+        }
+        journal.reverse_removed.extend(stale_edges);
+        // Reset each member to its surviving told facts. Monotone caches
+        // (fired rules, positive TEST hits) are only valid for growing
+        // descriptions, so both are cleared.
+        for &i in &reset {
+            let mut derived = NormalForm::top();
+            derived.layer = classic_core::Layer::Classic;
+            let told: Vec<Concept> = self.inds[i.index()].told.clone();
+            for (ix, t) in told.iter().enumerate() {
+                conjoin_expression(t, &mut self.schema, &mut derived)?;
+                journal.note_support(Support {
+                    target: i,
+                    source: i,
+                    kind: SupportKind::Told { index: ix },
+                });
+            }
+            let ind = &mut self.inds[i.index()];
+            ind.derived = derived;
+            ind.fired_rules.clear();
+            ind.test_hits.lock().expect("test cache lock").clear();
+        }
+        // Propagate the whole affected region back to a fixed point.
+        let mut report = AssertReport::default();
+        let mut work: VecDeque<IndId> = enqueue.iter().copied().collect();
+        Propagation::run(self, &mut work, journal, &mut report)?;
+        Ok(RetractReport {
+            reset: reset.len() as u64,
+            requeued: enqueue.len() as u64,
+            steps: report.steps,
+            reclassified: report.reclassified,
+        })
     }
 
     // ---- rules --------------------------------------------------------------
@@ -458,6 +624,7 @@ impl Kb {
             antecedent: cname,
             node,
             consequent,
+            retired: false,
         });
         self.rules_by_node.entry(node).or_default().push(rule_ix);
 
@@ -469,12 +636,58 @@ impl Kb {
         }
         let mut report = AssertReport::default();
         match Propagation::run(self, &mut work, &mut journal, &mut report) {
-            Ok(()) => Ok(rule_ix),
+            Ok(()) => {
+                self.deps.absorb(journal.supports);
+                Ok(rule_ix)
+            }
             Err(e) => {
                 self.rollback(journal);
                 let ix = self.rules_by_node.get_mut(&node).expect("just added");
                 ix.retain(|&r| r != rule_ix);
                 self.rules.pop();
+                Err(e)
+            }
+        }
+    }
+
+    /// `retract-rule[C1, C2]`: retire the most recently asserted live rule
+    /// with this antecedent and consequent, and re-derive every individual
+    /// it fired on from surviving told facts (plus the still-active rules).
+    ///
+    /// The rule slot is retired, not removed — rule indices are stored in
+    /// `fired_rules` and `rules_by_node` and must stay stable.
+    pub fn retract_rule(
+        &mut self,
+        antecedent: &str,
+        consequent: &Concept,
+    ) -> Result<RetractReport> {
+        let cname = self.schema.symbols.concept(antecedent);
+        let Some(rule_ix) = self
+            .rules
+            .iter()
+            .rposition(|r| !r.retired && r.antecedent == cname && r.consequent == *consequent)
+        else {
+            return Err(ClassicError::NoSuchRule(cname));
+        };
+        let node = self.rules[rule_ix].node;
+        self.rules[rule_ix].retired = true;
+        if let Some(ix) = self.rules_by_node.get_mut(&node) {
+            ix.retain(|&r| r != rule_ix);
+        }
+        let seeds: BTreeSet<IndId> = self
+            .ind_ids()
+            .filter(|i| self.inds[i.index()].fired_rules.contains(&rule_ix))
+            .collect();
+        let mut journal = Journal::default();
+        match self.rederive_after_retraction(seeds, &mut journal) {
+            Ok(report) => {
+                self.deps.absorb(journal.supports);
+                Ok(report)
+            }
+            Err(e) => {
+                self.rollback(journal);
+                self.rules[rule_ix].retired = false;
+                self.rules_by_node.entry(node).or_default().push(rule_ix);
                 Err(e)
             }
         }
@@ -615,7 +828,14 @@ impl Kb {
     // ---- rollback ---------------------------------------------------------------
 
     pub(crate) fn rollback(&mut self, journal: Journal) {
-        // Undo reverse-filler edges added during the transaction.
+        // Supports earned during the transaction were never committed
+        // (journal.supports is simply dropped); supports *removed* by a
+        // failed retraction are restored.
+        self.deps.absorb(journal.supports_removed);
+        // Undo reverse-filler edges added during the transaction. This
+        // must run before restoring removed edges: a retraction may
+        // remove an edge and then re-add the same edge during
+        // re-propagation, and the pre-transaction state has the edge.
         for (filler, host) in journal.reverse_added.into_iter().rev() {
             if let Some(set) = self.reverse_fillers.get_mut(&filler) {
                 set.remove(&host);
@@ -623,6 +843,10 @@ impl Kb {
                     self.reverse_fillers.remove(&filler);
                 }
             }
+        }
+        // Restore reverse-filler edges removed by a failed retraction.
+        for (filler, host) in journal.reverse_removed {
+            self.reverse_fillers.entry(filler).or_default().insert(host);
         }
         // Remove individuals created during the transaction (arena tail).
         for id in journal.created.into_iter().rev() {

@@ -14,12 +14,14 @@
 #![warn(missing_docs)]
 
 pub mod aspect;
+pub mod deps;
 pub mod explain;
 pub mod individual;
 pub mod kb;
 mod propagate;
 
 pub use aspect::ConceptPlacement;
+pub use deps::{DependencyJournal, RetractReport, Support, SupportKind};
 pub use explain::{Explanation, Requirement};
 pub use individual::{IndId, Individual};
 pub use kb::{AssertReport, Kb, KbStats, Rule};

@@ -31,6 +31,7 @@
 //! individual — so the fixpoint is bounded by #classes × #individuals
 //! (experiment E4 measures this).
 
+use crate::deps::{Support, SupportKind};
 use crate::individual::IndId;
 use crate::kb::{AssertReport, Journal, Kb};
 use classic_core::desc::{IndRef, Path};
@@ -134,6 +135,11 @@ impl Kb {
                             if self.conjoin_nf(fid, d, journal, work, report)? {
                                 self.stats.fills_propagations.bump();
                                 report.fills_propagated += 1;
+                                journal.note_support(Support {
+                                    target: fid,
+                                    source: id,
+                                    kind: SupportKind::All { role: r },
+                                });
                             }
                         }
                     }
@@ -195,6 +201,11 @@ impl Kb {
                     if self.conjoin_nf(holder, &fills, journal, work, report)? {
                         self.stats.coref_propagations.bump();
                         report.corefs_derived += 1;
+                        journal.note_support(Support {
+                            target: holder,
+                            source: id,
+                            kind: SupportKind::Coref { role: last },
+                        });
                     }
                 }
             }
@@ -236,6 +247,11 @@ impl Kb {
             self.stats.rules_fired.bump();
             report.rules_fired += 1;
             if changed {
+                journal.note_support(Support {
+                    target: id,
+                    source: id,
+                    kind: SupportKind::Rule { index: rule_ix },
+                });
                 work.push_back(id);
                 if let Some(parents) = self.reverse_fillers.get(&id) {
                     work.extend(parents.iter().copied());

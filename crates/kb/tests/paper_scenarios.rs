@@ -450,13 +450,36 @@ fn test_concepts_act_as_procedural_recognizers() {
 }
 
 #[test]
-fn retraction_is_rejected_as_out_of_scope() {
+fn retraction_removes_told_facts_but_rejects_never_told_ones() {
     let mut kb = paper_kb();
     kb.create_ind("Rocky").unwrap();
+    // Retracting something never told is a precise error, not a silent
+    // no-op.
     assert!(matches!(
         kb.retract_ind("Rocky", &Concept::thing()),
-        Err(ClassicError::DestructiveUpdate)
+        Err(ClassicError::NotAsserted(_))
     ));
+    // A told fact can be retracted, and derived consequences go with it.
+    let rich_kid = kb.schema().symbols.find_concept("RICH-KID").unwrap();
+    let person = kb.schema().symbols.find_concept("PERSON").unwrap();
+    let sports = kb.schema().symbols.find_concept("SPORTS-CAR").unwrap();
+    let enrolled = kb.schema().symbols.find_role("enrolled-at").unwrap();
+    let driven = kb.schema().symbols.find_role("thing-driven").unwrap();
+    let told = Concept::and([
+        Concept::Name(person),
+        Concept::AtLeast(1, enrolled),
+        Concept::AtLeast(2, driven),
+        Concept::all(driven, Concept::Name(sports)),
+    ]);
+    kb.assert_ind("Rocky", &told).unwrap();
+    let rocky = kb
+        .ind_id(kb.schema().symbols.find_individual("Rocky").unwrap())
+        .unwrap();
+    assert!(kb.is_instance_of(rocky, rich_kid).unwrap());
+    kb.retract_ind("Rocky", &told).unwrap();
+    assert!(!kb.is_instance_of(rocky, rich_kid).unwrap());
+    assert!(kb.ind(rocky).told.is_empty());
+    kb.check_invariants().unwrap();
 }
 
 #[test]

@@ -242,6 +242,31 @@ proptest! {
     }
 
     #[test]
+    fn speculative_and_rejected_updates_leave_invariants_clean(
+        steps in proptest::collection::vec(step_strategy(), 1..20)
+    ) {
+        let mut kb = schema_kb();
+        for step in &steps {
+            let (name, c) = step_concept(&mut kb, step);
+            // A hypothetical is always rolled back, accepted or not.
+            let before = fingerprint(&kb);
+            let _ = kb.what_if(&name, &c);
+            prop_assert_eq!(fingerprint(&kb), before, "what_if mutated state");
+            kb.check_invariants().expect("invariants after what_if");
+            // The real update; rejected ones must also leave the
+            // invariants intact (not just the fingerprint).
+            let _ = kb.assert_ind(&name, &c);
+            kb.check_invariants().expect("invariants after assert");
+            // Retracting a never-told fact is rejected and harmless.
+            let bogus = Concept::AtLeast(9, RoleId::from_index(0));
+            let before = fingerprint(&kb);
+            prop_assert!(kb.retract_ind(&name, &bogus).is_err());
+            prop_assert_eq!(fingerprint(&kb), before, "failed retraction mutated state");
+            kb.check_invariants().expect("invariants after failed retraction");
+        }
+    }
+
+    #[test]
     fn derived_descriptions_stay_coherent(
         steps in proptest::collection::vec(step_strategy(), 1..24)
     ) {

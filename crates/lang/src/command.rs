@@ -28,7 +28,7 @@ use crate::parser::Parser;
 use classic_core::aspect::AspectKind;
 use classic_core::desc::{Concept, IndRef};
 use classic_core::error::{ClassicError, Result};
-use classic_kb::{AssertReport, Kb};
+use classic_kb::{AssertReport, Kb, RetractReport};
 use classic_query::{MarkedQuery, Query};
 
 /// A parsed top-level command.
@@ -46,6 +46,15 @@ pub enum Command {
     AssertInd(String, Concept),
     /// `(assert-rule NAME expr)` (§3.3).
     AssertRule(String, Concept),
+    /// `(retract-ind Name expr)`: remove a told description and re-derive
+    /// everything that depended on it.
+    RetractInd(String, Concept),
+    /// `(retract-rule NAME expr)`: retire a rule and re-derive the
+    /// individuals it fired on.
+    RetractRule(String, Concept),
+    /// `(provenance Name)`: where the individual's derived information
+    /// came from (the dependency journal, rendered).
+    Provenance(String),
     /// `(retrieve q)` / `(instances q)`: known answers.
     Retrieve(MarkedQuery),
     /// `(possible q)`: open-world possible answers.
@@ -89,6 +98,8 @@ pub enum Outcome {
     Ok,
     /// An accepted assertion, with its propagation report.
     Asserted(AssertReport),
+    /// An accepted retraction, with its re-derivation report.
+    Retracted(RetractReport),
     /// A list of individual names / host values.
     Individuals(Vec<String>),
     /// A yes/no answer.
@@ -180,6 +191,17 @@ fn parse_command_tokens(tokens: &[Token], kb: &mut Kb) -> Result<Command> {
             let c = w.concept(kb, false)?;
             Command::AssertRule(name, c)
         }
+        "retract-ind" => {
+            let name = w.symbol()?;
+            let c = w.concept(kb, false)?;
+            Command::RetractInd(name, c)
+        }
+        "retract-rule" => {
+            let name = w.symbol()?;
+            let c = w.concept(kb, false)?;
+            Command::RetractRule(name, c)
+        }
+        "provenance" => Command::Provenance(w.symbol()?),
         "retrieve" | "instances" => {
             let q = w.query(kb)?;
             Command::Retrieve(q)
@@ -439,6 +461,30 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
         Command::AssertRule(name, c) => {
             kb.assert_rule(name, c.clone())?;
             Ok(Outcome::Ok)
+        }
+        Command::RetractInd(name, c) => {
+            let report = kb.retract_ind(name, c)?;
+            Ok(Outcome::Retracted(report))
+        }
+        Command::RetractRule(name, c) => {
+            let report = kb.retract_rule(name, c)?;
+            Ok(Outcome::Retracted(report))
+        }
+        Command::Provenance(name) => {
+            let iname = kb
+                .schema()
+                .symbols
+                .find_individual(name)
+                .ok_or_else(|| ClassicError::Malformed(format!("unknown individual {name:?}")))?;
+            let id = kb.ind_id(iname)?;
+            let lines = kb.explain_provenance(id);
+            if lines.is_empty() {
+                Ok(Outcome::Description(format!(
+                    "{name}: no recorded derivations (identity only)"
+                )))
+            } else {
+                Ok(Outcome::Description(lines.join("\n")))
+            }
         }
         Command::Retrieve(q) => {
             if q.marker.is_empty() {

@@ -208,10 +208,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     .starts_with(|c: char| c.is_ascii_digit());
                 let kind = if let Ok(i) = s.parse::<i64>() {
                     TokenKind::Int(i)
-                } else if numeric_start && s.parse::<f64>().is_ok() {
-                    TokenKind::Float(classic_core::host::F64(
-                        s.parse::<f64>().expect("just checked"),
-                    ))
+                } else if let Some(v) = s.parse::<f64>().ok().filter(|_| numeric_start) {
+                    // `1e999` overflows f64 to infinity; accepting it
+                    // would silently store `inf` as the told value.
+                    if !v.is_finite() {
+                        return Err(ClassicError::Malformed(format!(
+                            "{pos}: float literal {s:?} overflows to a non-finite value"
+                        )));
+                    }
+                    TokenKind::Float(classic_core::host::F64(v))
                 } else {
                     TokenKind::Symbol(s)
                 };
@@ -282,6 +287,21 @@ mod tests {
         assert_eq!(kinds("2e3"), vec![TokenKind::Float(F64(2000.0))]);
         // Dotted names are still symbols.
         assert_eq!(kinds("v1.x"), vec![TokenKind::Symbol("v1.x".into())]);
+    }
+
+    #[test]
+    fn overflowing_float_literals_are_rejected_with_position() {
+        for src in ["1e999", "-1e999", "(FILLS price 1e999)"] {
+            let err = tokenize(src).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("non-finite"), "{src}: {msg}");
+            assert!(msg.contains("1e999"), "{src}: {msg}");
+        }
+        // Numeric-looking names are unaffected by the finiteness check.
+        assert_eq!(
+            kinds("Volvo-17"),
+            vec![TokenKind::Symbol("Volvo-17".into())]
+        );
     }
 
     #[test]

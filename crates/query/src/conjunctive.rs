@@ -83,7 +83,7 @@ pub fn answer(kb: &mut Kb, q: &KbQuery) -> Result<Vec<Vec<IndRef>>> {
     for (atom, nf) in q.body.iter().zip(&atom_nfs) {
         let mut next: Vec<Binding> = Vec::new();
         for b in &bindings {
-            extend(kb, atom, nf.as_ref(), b, &mut next);
+            extend(kb, atom, nf.as_ref(), b, &mut next)?;
         }
         bindings = next;
         if bindings.is_empty() {
@@ -107,13 +107,19 @@ pub fn answer(kb: &mut Kb, q: &KbQuery) -> Result<Vec<Vec<IndRef>>> {
     Ok(out)
 }
 
-fn extend(kb: &Kb, atom: &KbAtom, nf: Option<&NormalForm>, b: &Binding, out: &mut Vec<Binding>) {
+fn extend(
+    kb: &Kb,
+    atom: &KbAtom,
+    nf: Option<&NormalForm>,
+    b: &Binding,
+    out: &mut Vec<Binding>,
+) -> Result<()> {
     match atom {
         KbAtom::IsA(term, _) => {
             let nf = nf.expect("pre-normalized");
             match resolve(term, b) {
                 Some(i) => {
-                    if satisfies(kb, &i, nf) {
+                    if crate::guard_tests(|| satisfies(kb, &i, nf))? {
                         out.push(b.clone());
                     }
                 }
@@ -121,7 +127,7 @@ fn extend(kb: &Kb, atom: &KbAtom, nf: Option<&NormalForm>, b: &Binding, out: &mu
                     // Enumerate provable instances (CLASSIC individuals;
                     // host values are not enumerable, matching the paper's
                     // treatment of host individuals as non-extensional).
-                    let ans = crate::retrieve_nf(kb, nf);
+                    let ans = crate::retrieve_nf(kb, nf)?;
                     let KbTerm::Var(v) = term else { unreachable!() };
                     for id in ans.known {
                         let mut nb = b.clone();
@@ -155,6 +161,7 @@ fn extend(kb: &Kb, atom: &KbAtom, nf: Option<&NormalForm>, b: &Binding, out: &mu
             }
         }
     }
+    Ok(())
 }
 
 fn resolve(term: &KbTerm, b: &Binding) -> Option<IndRef> {

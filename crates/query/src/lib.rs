@@ -34,7 +34,7 @@ pub mod conjunctive;
 pub use conjunctive::{answer, KbAtom, KbQuery, KbTerm};
 
 use classic_core::desc::{Concept, IndRef};
-use classic_core::error::Result;
+use classic_core::error::{ClassicError, Result};
 use classic_core::normal::NormalForm;
 use classic_core::symbol::RoleId;
 use classic_core::taxonomy::NodeId;
@@ -284,17 +284,21 @@ impl Answer {
 /// ```
 pub fn retrieve(kb: &mut Kb, query: &Concept) -> Result<Answers> {
     let nf = kb.normalize(query)?;
-    Ok(retrieve_nf(kb, &nf))
+    retrieve_nf(kb, &nf)
 }
 
 /// Evaluate an already-normalized query via classification.
-pub fn retrieve_nf(kb: &Kb, nf: &NormalForm) -> Answers {
+///
+/// Errors with [`ClassicError::RecognizerPanicked`] if a user-registered
+/// `TEST` recognizer panics during an instance test — the panic is caught
+/// at the retrieval boundary instead of aborting the process.
+pub fn retrieve_nf(kb: &Kb, nf: &NormalForm) -> Result<Answers> {
     let mut stats = QueryStats::default();
     if nf.is_incoherent() {
-        return Answers {
+        return Ok(Answers {
             known: Vec::new(),
             stats,
-        };
+        });
     }
     let cls = kb.taxonomy().classify(nf);
     stats.classify_tests = cls.tests;
@@ -303,7 +307,7 @@ pub fn retrieve_nf(kb: &Kb, nf: &NormalForm) -> Answers {
     if let Some(eq) = cls.equivalent {
         let known: Vec<IndId> = kb.instances_of_node(eq).into_iter().collect();
         stats.free = known.len();
-        return Answers { known, stats };
+        return Ok(Answers { known, stats });
     }
     // Dense bitmap bookkeeping: answers and already-visited candidates,
     // indexed by the individual arena (O(1) membership; the per-query
@@ -342,7 +346,7 @@ pub fn retrieve_nf(kb: &Kb, nf: &NormalForm) -> Answers {
             candidates.push(id);
         });
         stats.tested += candidates.len();
-        for id in test_candidates(kb, nf, &candidates) {
+        for id in test_candidates(kb, nf, &candidates)? {
             in_answer[id.index()] = true;
         }
     }
@@ -350,7 +354,33 @@ pub fn retrieve_nf(kb: &Kb, nf: &NormalForm) -> Answers {
         .filter(|&i| in_answer[i])
         .map(IndId::from_index)
         .collect();
-    Answers { known, stats }
+    Ok(Answers { known, stats })
+}
+
+/// Render a caught panic payload for the error message. `panic!` with a
+/// string literal yields `&str`; `panic!("{x}")` yields `String`; anything
+/// else is opaque.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// Run instance tests, converting a panic in a user-registered `TEST`
+/// recognizer into [`ClassicError::RecognizerPanicked`].
+///
+/// `AssertUnwindSafe` is sound here: `known_instance` takes `&Kb`, and the
+/// only interior mutability it touches are the per-individual test-hit
+/// caches and the kernel memo, whose mutex guards are dropped *before* the
+/// user recognizer runs — a panicking recognizer cannot poison them or
+/// leave them mid-update.
+fn guard_tests<T>(f: impl FnOnce() -> T) -> Result<T> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+        .map_err(|p| ClassicError::RecognizerPanicked(panic_message(p.as_ref())))
 }
 
 /// Below this many candidates a sequential scan beats thread start-up.
@@ -361,13 +391,19 @@ const PARALLEL_THRESHOLD: usize = 256;
 /// Instance testing only *reads* the knowledge base (the interior-mutable
 /// caches — test memos, kernel memo — are behind mutexes), so a scoped
 /// borrow of `&Kb` can be shared across workers with no new dependencies.
-fn test_candidates(kb: &Kb, nf: &NormalForm, candidates: &[IndId]) -> Vec<IndId> {
+///
+/// A panic in a user recognizer — on either the sequential or the parallel
+/// path — surfaces as `Err(RecognizerPanicked)` rather than unwinding
+/// through (or aborting from) a worker thread.
+fn test_candidates(kb: &Kb, nf: &NormalForm, candidates: &[IndId]) -> Result<Vec<IndId>> {
     if candidates.len() < PARALLEL_THRESHOLD {
-        return candidates
-            .iter()
-            .copied()
-            .filter(|&id| kb.known_instance(id, nf))
-            .collect();
+        return guard_tests(|| {
+            candidates
+                .iter()
+                .copied()
+                .filter(|&id| kb.known_instance(id, nf))
+                .collect()
+        });
     }
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -380,41 +416,59 @@ fn test_candidates(kb: &Kb, nf: &NormalForm, candidates: &[IndId]) -> Vec<IndId>
             .chunks(chunk)
             .map(|part| {
                 s.spawn(move || {
-                    part.iter()
-                        .copied()
-                        .filter(|&id| kb.known_instance(id, nf))
-                        .collect::<Vec<IndId>>()
+                    // Catch inside the worker so the panic becomes data;
+                    // `scope` still joins every thread before returning.
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        part.iter()
+                            .copied()
+                            .filter(|&id| kb.known_instance(id, nf))
+                            .collect::<Vec<IndId>>()
+                    }))
                 })
             })
             .collect();
         for h in handles {
-            hits.extend(h.join().expect("retrieval worker panicked"));
+            // The outer Err covers a panic that escaped the catch (e.g.
+            // raised while building the closure's return value).
+            let caught = match h.join() {
+                Ok(inner) => inner,
+                Err(p) => Err(p),
+            };
+            match caught {
+                Ok(part_hits) => hits.extend(part_hits),
+                Err(p) => return Err(ClassicError::RecognizerPanicked(panic_message(p.as_ref()))),
+            }
         }
-    });
-    hits
+        Ok(())
+    })?;
+    Ok(hits)
 }
 
 /// The naive baseline: test every individual in the database against the
 /// query (what a system without the classification index must do).
 pub fn retrieve_naive(kb: &mut Kb, query: &Concept) -> Result<Answers> {
     let nf = kb.normalize(query)?;
-    Ok(retrieve_naive_nf(kb, &nf))
+    retrieve_naive_nf(kb, &nf)
 }
 
-/// Naive retrieval over an already-normalized query.
-pub fn retrieve_naive_nf(kb: &Kb, nf: &NormalForm) -> Answers {
+/// Naive retrieval over an already-normalized query. Shares the
+/// panic-to-error contract of [`retrieve_nf`].
+pub fn retrieve_naive_nf(kb: &Kb, nf: &NormalForm) -> Result<Answers> {
     let mut stats = QueryStats::default();
-    let mut known = Vec::new();
     if nf.is_incoherent() {
-        return Answers { known, stats };
+        return Ok(Answers {
+            known: Vec::new(),
+            stats,
+        });
     }
-    for id in kb.ind_ids() {
-        stats.tested += 1;
-        if kb.known_instance(id, nf) {
-            known.push(id);
-        }
-    }
-    Answers { known, stats }
+    let ids: Vec<IndId> = kb.ind_ids().collect();
+    stats.tested = ids.len();
+    let known = guard_tests(|| {
+        ids.into_iter()
+            .filter(|&id| kb.known_instance(id, nf))
+            .collect()
+    })?;
+    Ok(Answers { known, stats })
 }
 
 /// The individuals that *might* satisfy the query under the open-world
@@ -423,10 +477,12 @@ pub fn retrieve_naive_nf(kb: &Kb, nf: &NormalForm) -> Answers {
 /// answers.
 pub fn possible(kb: &mut Kb, query: &Concept) -> Result<Vec<IndId>> {
     let nf = kb.normalize(query)?;
-    Ok(kb
-        .ind_ids()
-        .filter(|&id| kb.possible_instance(id, &nf))
-        .collect())
+    let ids: Vec<IndId> = kb.ind_ids().collect();
+    guard_tests(|| {
+        ids.into_iter()
+            .filter(|&id| kb.possible_instance(id, &nf))
+            .collect()
+    })
 }
 
 /// `ask-necessary-set`: evaluate a marked query and return the fillers at
@@ -504,9 +560,7 @@ fn augment_with_rules(kb: &mut Kb, desc: &mut NormalForm) -> Result<()> {
             }
         }
         let due: Vec<usize> = kb
-            .rules()
-            .iter()
-            .enumerate()
+            .active_rules()
             .filter(|(ix, r)| !applied.contains(ix) && subsumers.contains(&r.node))
             .map(|(ix, _)| ix)
             .collect();
@@ -776,6 +830,73 @@ mod tests {
         let mut b = retrieve_naive(&mut kb, &q).unwrap().known;
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn panicking_recognizer_is_an_error_not_an_abort() {
+        let mut kb = kb_with_schema();
+        kb.register_test("boom", |_| panic!("recognizer boom"));
+        let boom = kb.schema().symbols.find_test("boom").unwrap();
+        let person = kb.schema_mut().symbols.concept("PERSON");
+        kb.create_ind("Rocky").unwrap();
+        kb.assert_ind("Rocky", &Concept::Name(person)).unwrap();
+        // One candidate: the sequential instance-test path.
+        let q = Concept::and([Concept::Name(person), Concept::Test(boom)]);
+        let err = retrieve(&mut kb, &q).unwrap_err();
+        assert!(
+            matches!(err, ClassicError::RecognizerPanicked(_)),
+            "unexpected error: {err}"
+        );
+        assert!(err.to_string().contains("recognizer boom"), "{err}");
+        // The naive baseline reports the same failure.
+        let err = retrieve_naive(&mut kb, &q).unwrap_err();
+        assert!(matches!(err, ClassicError::RecognizerPanicked(_)));
+        // The KB remains usable: no cache was poisoned by the unwind.
+        let sane = retrieve(&mut kb, &Concept::Name(person)).unwrap();
+        assert_eq!(sane.known.len(), 1);
+    }
+
+    #[test]
+    fn panicking_recognizer_is_caught_on_the_parallel_path() {
+        let mut kb = kb_with_schema();
+        kb.register_test("boom", |_| panic!("recognizer boom"));
+        let boom = kb.schema().symbols.find_test("boom").unwrap();
+        let person = kb.schema_mut().symbols.concept("PERSON");
+        // Enough candidates to cross PARALLEL_THRESHOLD, so the panic is
+        // raised inside a scoped worker thread.
+        for i in 0..(PARALLEL_THRESHOLD + 32) {
+            let name = format!("P{i}");
+            kb.create_ind(&name).unwrap();
+            kb.assert_ind(&name, &Concept::Name(person)).unwrap();
+        }
+        let q = Concept::and([Concept::Name(person), Concept::Test(boom)]);
+        let err = retrieve(&mut kb, &q).unwrap_err();
+        assert!(
+            matches!(err, ClassicError::RecognizerPanicked(_)),
+            "unexpected error: {err}"
+        );
+        // Still usable afterwards.
+        let sane = retrieve(&mut kb, &Concept::Name(person)).unwrap();
+        assert_eq!(sane.known.len(), PARALLEL_THRESHOLD + 32);
+    }
+
+    #[test]
+    fn panicking_recognizer_surfaces_through_conjunctive_queries() {
+        let mut kb = kb_with_schema();
+        kb.register_test("boom", |_| panic!("recognizer boom"));
+        let boom = kb.schema().symbols.find_test("boom").unwrap();
+        let person = kb.schema_mut().symbols.concept("PERSON");
+        kb.create_ind("Rocky").unwrap();
+        kb.assert_ind("Rocky", &Concept::Name(person)).unwrap();
+        let q = KbQuery::new(
+            &["x"],
+            vec![conjunctive::KbAtom::IsA(
+                conjunctive::KbTerm::var("x"),
+                Concept::and([Concept::Name(person), Concept::Test(boom)]),
+            )],
+        );
+        let err = answer(&mut kb, &q).unwrap_err();
+        assert!(matches!(err, ClassicError::RecognizerPanicked(_)));
     }
 
     #[test]

@@ -16,10 +16,25 @@ use classic_core::desc::Concept;
 use classic_core::error::{ClassicError, Result};
 use classic_core::schema::TestArg;
 use classic_core::symbol::{ConceptName, RoleId, TestId};
-use classic_kb::{AssertReport, IndId, Kb};
+use classic_kb::{AssertReport, IndId, Kb, RetractReport};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+
+/// Header line carrying the compaction generation. Written as the first
+/// line of both the snapshot and the post-compaction log; a log whose
+/// generation is *older* than the snapshot's predates it (a crash hit
+/// between the snapshot rename and the log truncation) and must not be
+/// replayed on top of it.
+const GEN_PREFIX: &str = ";!gen:";
+
+fn parse_gen(text: &str) -> u64 {
+    text.lines()
+        .next()
+        .and_then(|l| l.strip_prefix(GEN_PREFIX))
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
 
 /// A knowledge base backed by an on-disk operation log.
 pub struct DurableKb {
@@ -28,6 +43,8 @@ pub struct DurableKb {
     log: BufWriter<File>,
     /// Operations appended since open/compact.
     ops_since_compact: u64,
+    /// Compaction generation of the current snapshot/log pair.
+    generation: u64,
 }
 
 impl DurableKb {
@@ -39,14 +56,31 @@ impl DurableKb {
         let log_path = path.as_ref().to_path_buf();
         let mut kb = Kb::new();
         register_tests(&mut kb);
+        // A crash during compaction can leave a temp snapshot that was
+        // never renamed into place; it is dead weight, not state.
+        let tmp = snapshot_tmp_path(&log_path);
+        if tmp.exists() {
+            let _ = std::fs::remove_file(&tmp);
+        }
         // Replay snapshot first, then the tail log.
         let snap_path = snapshot_path(&log_path);
+        let mut generation = 0u64;
         if snap_path.exists() {
             let script = read_file(&snap_path)?;
+            generation = parse_gen(&script);
             replay(&mut kb, &script)?;
         }
         if log_path.exists() {
-            recover_log(&mut kb, &log_path)?;
+            let log_gen = parse_gen(&read_file(&log_path)?);
+            if log_gen < generation {
+                // The log predates the snapshot: compact() crashed after
+                // renaming the snapshot but before truncating the log.
+                // Every operation in it is already folded into the
+                // snapshot; replaying would double-apply. Reset it.
+                reset_log(&log_path, generation)?;
+            } else {
+                recover_log(&mut kb, &log_path)?;
+            }
         }
         let file = OpenOptions::new()
             .create(true)
@@ -58,6 +92,7 @@ impl DurableKb {
             log_path,
             log: BufWriter::new(file),
             ops_since_compact: 0,
+            generation,
         })
     }
 
@@ -77,6 +112,10 @@ impl DurableKb {
         self.log.write_all(line.as_bytes()).map_err(io_err)?;
         self.log.write_all(b"\n").map_err(io_err)?;
         self.log.flush().map_err(io_err)?;
+        // flush() only drains the userspace buffer; the record must reach
+        // the device before the call returns, or an accepted update can
+        // vanish in a power loss.
+        self.log.get_ref().sync_data().map_err(io_err)?;
         self.ops_since_compact += 1;
         Ok(())
     }
@@ -128,6 +167,28 @@ impl DurableKb {
         Ok(ix)
     }
 
+    /// `retract-ind`: applied to the KB first; logged only if accepted.
+    /// Compaction folds retractions away — the snapshot records only the
+    /// surviving told facts.
+    pub fn retract_ind(&mut self, name: &str, desc: &Concept) -> Result<RetractReport> {
+        let rendered = desc.display(&self.kb.schema().symbols).to_string();
+        let report = self.kb.retract_ind(name, desc)?;
+        self.append(&format!("(retract-ind {name} {rendered})"))?;
+        Ok(report)
+    }
+
+    /// `retract-rule`: applied to the KB first; logged only if accepted.
+    pub fn retract_rule(
+        &mut self,
+        antecedent: &str,
+        consequent: &Concept,
+    ) -> Result<RetractReport> {
+        let rendered = consequent.display(&self.kb.schema().symbols).to_string();
+        let report = self.kb.retract_rule(antecedent, consequent)?;
+        self.append(&format!("(retract-rule {antecedent} {rendered})"))?;
+        Ok(report)
+    }
+
     /// Register a host test function. Not logged (closures are not
     /// serializable); the snapshot header records the required names.
     pub fn register_test<F>(&mut self, name: &str, f: F) -> TestId
@@ -145,23 +206,61 @@ impl DurableKb {
     }
 
     /// Rewrite the snapshot from current state and truncate the log.
+    ///
+    /// Crash-ordering: the snapshot is written to a temp file and
+    /// `sync_all`ed, renamed into place, and the directory entry is
+    /// fsynced — only *then* is the log truncated, so the snapshot is
+    /// durable before the history it replaces disappears. Both files
+    /// carry a generation header: if a crash lands between the rename
+    /// and the truncation, the next open sees a log one generation
+    /// behind the snapshot and discards it instead of double-applying
+    /// operations already folded into the snapshot.
     pub fn compact(&mut self) -> Result<()> {
+        let next_gen = self.generation + 1;
         let snap = snapshot_to_string(&self.kb);
         let snap_path = snapshot_path(&self.log_path);
-        let tmp = snap_path.with_extension("snapshot.tmp");
-        std::fs::write(&tmp, snap).map_err(io_err)?;
+        let tmp = snapshot_tmp_path(&self.log_path);
+        {
+            let mut f = File::create(&tmp).map_err(io_err)?;
+            writeln!(f, "{GEN_PREFIX} {next_gen}").map_err(io_err)?;
+            f.write_all(snap.as_bytes()).map_err(io_err)?;
+            f.sync_all().map_err(io_err)?;
+        }
         std::fs::rename(&tmp, &snap_path).map_err(io_err)?;
-        // Truncate the log only after the snapshot is durable.
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&self.log_path)
-            .map_err(io_err)?;
+        sync_dir(&self.log_path)?;
+        let file = reset_log(&self.log_path, next_gen)?;
         self.log = BufWriter::new(file);
+        self.generation = next_gen;
         self.ops_since_compact = 0;
         Ok(())
     }
+}
+
+/// Truncate the log and start it with the given generation header,
+/// durably. Returns the open handle positioned for appending.
+fn reset_log(log_path: &Path, generation: u64) -> Result<File> {
+    let mut file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(log_path)
+        .map_err(io_err)?;
+    writeln!(file, "{GEN_PREFIX} {generation}").map_err(io_err)?;
+    file.sync_all().map_err(io_err)?;
+    Ok(file)
+}
+
+/// Fsync the directory containing `path`, making a completed rename
+/// durable. Directory fds cannot be fsynced on all platforms; on
+/// non-Unix systems the rename itself is the best available ordering.
+fn sync_dir(path: &Path) -> Result<()> {
+    #[cfg(unix)]
+    if let Some(dir) = path.parent() {
+        File::open(dir).and_then(|d| d.sync_all()).map_err(io_err)?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
 }
 
 /// Replay the operation log line by line, tolerating a torn tail.
@@ -209,6 +308,10 @@ fn recover_log(kb: &mut Kb, log_path: &Path) -> Result<()> {
 
 fn snapshot_path(log: &Path) -> PathBuf {
     log.with_extension("snapshot")
+}
+
+fn snapshot_tmp_path(log: &Path) -> PathBuf {
+    log.with_extension("snapshot.tmp")
 }
 
 fn read_file(path: &Path) -> Result<String> {
@@ -405,6 +508,124 @@ mod tests {
             Ok(_) => panic!("mid-log corruption must not open cleanly"),
         };
         assert!(err.to_string().contains("corrupted"), "got: {err}");
+    }
+
+    #[test]
+    fn crash_between_snapshot_rename_and_log_truncate_does_not_double_apply() {
+        let dir = tmpdir("crashorder");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        populate(&mut store);
+        // Save the pre-compaction log, compact, then put the old log
+        // back: exactly the on-disk state a crash leaves if it lands
+        // after the snapshot rename but before the log truncation.
+        let old_log = std::fs::read(&path).unwrap();
+        let before = snapshot_to_string(store.kb());
+        store.compact().unwrap();
+        drop(store);
+        std::fs::write(&path, &old_log).unwrap();
+
+        // Replaying the stale log on top of the snapshot would fail
+        // (create-ind duplicates) or double-apply; open must detect the
+        // generation mismatch and discard it instead.
+        let reopened = DurableKb::open(&path, |_| {}).unwrap();
+        assert_eq!(before, snapshot_to_string(reopened.kb()));
+        drop(reopened);
+        // The stale log was durably reset, so the next open is clean too.
+        let again = DurableKb::open(&path, |_| {}).unwrap();
+        assert_eq!(before, snapshot_to_string(again.kb()));
+    }
+
+    #[test]
+    fn stale_temp_snapshot_is_removed_on_open() {
+        let dir = tmpdir("staletmp");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        populate(&mut store);
+        let before = snapshot_to_string(store.kb());
+        drop(store);
+        // A crash mid-compaction leaves a partial temp snapshot that was
+        // never renamed into place.
+        let tmp = super::snapshot_tmp_path(&path);
+        std::fs::write(&tmp, "; partial snapshot, crashed mid-write").unwrap();
+
+        let reopened = DurableKb::open(&path, |_| {}).unwrap();
+        assert_eq!(before, snapshot_to_string(reopened.kb()));
+        assert!(!tmp.exists(), "stale temp snapshot must be cleaned up");
+    }
+
+    #[test]
+    fn retractions_are_logged_replayed_and_folded_by_compaction() {
+        let dir = tmpdir("retract");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        populate(&mut store);
+        let enrolled = store.kb.schema().symbols.find_role("enrolled-at").unwrap();
+        let retracted = Concept::AtLeast(1, enrolled);
+        store.retract_ind("Rocky", &retracted).unwrap();
+        let before = snapshot_to_string(store.kb());
+        drop(store);
+
+        // The retraction replays from the log…
+        let reopened = DurableKb::open(&path, |_| {}).unwrap();
+        assert_eq!(before, snapshot_to_string(reopened.kb()));
+        let student = reopened
+            .kb()
+            .schema()
+            .symbols
+            .find_concept("STUDENT")
+            .unwrap();
+        let rocky = reopened
+            .kb()
+            .ind_id(
+                reopened
+                    .kb()
+                    .schema()
+                    .symbols
+                    .find_individual("Rocky")
+                    .unwrap(),
+            )
+            .unwrap();
+        assert!(!reopened.kb().is_instance_of(rocky, student).unwrap());
+        drop(reopened);
+
+        // …and compaction folds it away: the snapshot carries only the
+        // surviving told facts, with no retract-ind record.
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        store.compact().unwrap();
+        drop(store);
+        let snap_text = std::fs::read_to_string(super::snapshot_path(&path)).unwrap();
+        assert!(!snap_text.contains("retract-ind"));
+        // The STUDENT definition still mentions the restriction, but the
+        // retracted told fact about Rocky is gone.
+        assert!(!snap_text.contains("(assert-ind Rocky (AT-LEAST 1 enrolled-at))"));
+        let reopened = DurableKb::open(&path, |_| {}).unwrap();
+        assert_eq!(before, snapshot_to_string(reopened.kb()));
+    }
+
+    #[test]
+    fn retracted_rules_are_dropped_from_snapshots() {
+        let dir = tmpdir("retractrule");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        populate(&mut store);
+        store.define_role("eat").unwrap();
+        store
+            .define_concept("JUNK-FOOD", Concept::primitive(Concept::thing(), "junk"))
+            .unwrap();
+        let junk = store.kb.schema().symbols.find_concept("JUNK-FOOD").unwrap();
+        let eat = store.kb.schema().symbols.find_role("eat").unwrap();
+        let consequent = Concept::all(eat, Concept::Name(junk));
+        store.assert_rule("STUDENT", consequent.clone()).unwrap();
+        store.retract_rule("STUDENT", &consequent).unwrap();
+        assert_eq!(store.kb().active_rules().count(), 0);
+        let before = snapshot_to_string(store.kb());
+        assert!(!before.contains("assert-rule"));
+        drop(store);
+        // Replay reaches the same state (rule asserted then retracted).
+        let reopened = DurableKb::open(&path, |_| {}).unwrap();
+        assert_eq!(before, snapshot_to_string(reopened.kb()));
+        assert_eq!(reopened.kb().active_rules().count(), 0);
     }
 
     #[test]

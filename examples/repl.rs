@@ -64,10 +64,12 @@ fn main() {
                 println!(
                     "commands: (define-role r) (define-attribute r) \
                      (define-concept N expr) (create-ind I)\n  (assert-ind I expr) \
-                     (assert-rule N expr) (define-macro M (p…) expr) (retrieve q)\n  \
+                     (assert-rule N expr) (retract-ind I expr) (retract-rule N expr)\n  \
+                     (define-macro M (p…) expr) (retrieve q)\n  \
                      (possible q) (ask-description q) (ask-necessary-set q) \
                      (subsumes? a b) (equivalent? a b)\n  (disjoint? a b) (classify expr) \
                      (concept-aspect N KIND [r]) (ind-aspect I KIND [r])\n  (describe I) \
+                     (why? I N) (what-if? I expr) (provenance I) \
                      (parents N) (children N)\n\
                      meta: :stats :snapshot :quit"
                 );
@@ -80,7 +82,7 @@ fn main() {
                     kb.ind_count(),
                     kb.schema().concept_count(),
                     kb.taxonomy().len(),
-                    kb.rules().len(),
+                    kb.active_rules().count(),
                     session.macro_names().len()
                 );
                 println!(
@@ -129,6 +131,10 @@ fn print_outcome(outcome: &Outcome) {
             report.corefs_derived,
             report.rules_fired,
             report.reclassified
+        ),
+        Outcome::Retracted(report) => println!(
+            "; retracted (reset={} requeued={} steps={} reclassified={})",
+            report.reset, report.requeued, report.steps, report.reclassified
         ),
         Outcome::Individuals(names) => {
             if names.is_empty() {
