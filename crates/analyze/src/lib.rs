@@ -1,0 +1,291 @@
+//! # classic-analyze
+//!
+//! A static diagnostic pass over a CLASSIC schema/KB — run *before* data
+//! arrives, touching the TBox and rule base but never the ABox.
+//!
+//! CLASSIC's §5 tractability argument rests on every description having a
+//! coherent normal form, yet an unsatisfiable concept (`AT-LEAST 3 r` ∧
+//! `AT-MOST 2 r`, an empty `ONE-OF` intersection, disjoint primitives
+//! conjoined, a `SAME-AS` forcing conflicting fillers) classifies below
+//! everything and only surfaces later as confusing propagation errors at
+//! assert time. This crate finds those problems statically:
+//!
+//! * **incoherence** — defined concepts whose normal form is ⊥, with an
+//!   explain-style derivation of *which conjunct* made them so;
+//! * **definition cycles** — recursive definitions over named concepts
+//!   (forbidden by the paper; the normalizer rejects them at definition
+//!   time, this pass re-checks stored schemas defensively);
+//! * **rule analysis** — dead rules (antecedent incoherent), shadowed
+//!   rules, rules whose consequent the antecedent already entails, and
+//!   live rules duplicating a retired one;
+//! * **redundancy** — told conjuncts absorbed by a stronger sibling.
+//!
+//! Diagnostics are structured ([`Diagnostic`]) and surfaced three ways:
+//! [`KbAnalyze::analyze`] for embedders, the `lint-kb` surface-language
+//! command in `classic-lang`, and the `classic-analyze` CLI binary with
+//! `--deny warnings`-style exit codes for CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checks;
+
+use classic_kb::Kb;
+use std::fmt;
+
+/// How serious a diagnostic is. Ordered: `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Worth knowing; nothing is wrong.
+    Info,
+    /// Almost certainly not what the schema author meant, but the KB
+    /// remains sound.
+    Warning,
+    /// The schema is broken: some definition can never be satisfied.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes (see DESIGN.md §4.10 for the full table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// `A001`: a defined concept's normal form is ⊥.
+    IncoherentConcept,
+    /// `A002`: definitions are cyclic (recursive definitions, forbidden).
+    DefinitionCycle,
+    /// `A003`: a told `ALL` body is ⊥ — the restriction silently collapses
+    /// to `AT-MOST 0` instead of restricting anything.
+    VacuousRestriction,
+    /// `A004`: a rule whose antecedent is incoherent can never fire.
+    DeadRule,
+    /// `A005`: a rule is shadowed by another live rule that fires at least
+    /// as often and concludes at least as much.
+    ShadowedRule,
+    /// `A006`: a rule's consequent is already entailed by its antecedent.
+    EntailedConsequent,
+    /// `A007`: a live rule duplicates a *retired* rule (same coverage as a
+    /// rule that was previously retracted).
+    RetiredTwin,
+    /// `A008`: a told conjunct is absorbed by its siblings.
+    RedundantConjunct,
+}
+
+impl Code {
+    /// The stable `A00x` code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::IncoherentConcept => "A001",
+            Code::DefinitionCycle => "A002",
+            Code::VacuousRestriction => "A003",
+            Code::DeadRule => "A004",
+            Code::ShadowedRule => "A005",
+            Code::EntailedConsequent => "A006",
+            Code::RetiredTwin => "A007",
+            Code::RedundantConjunct => "A008",
+        }
+    }
+
+    /// A short human slug, e.g. `incoherent-concept`.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Code::IncoherentConcept => "incoherent-concept",
+            Code::DefinitionCycle => "definition-cycle",
+            Code::VacuousRestriction => "vacuous-restriction",
+            Code::DeadRule => "dead-rule",
+            Code::ShadowedRule => "shadowed-rule",
+            Code::EntailedConsequent => "entailed-consequent",
+            Code::RetiredTwin => "retired-twin",
+            Code::RedundantConjunct => "redundant-conjunct",
+        }
+    }
+
+    /// The severity this code is reported at.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::IncoherentConcept | Code::DefinitionCycle => Severity::Error,
+            Code::VacuousRestriction
+            | Code::DeadRule
+            | Code::ShadowedRule
+            | Code::EntailedConsequent
+            | Code::RedundantConjunct => Severity::Warning,
+            Code::RetiredTwin => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// Where in the schema/KB a diagnostic points. There is no source text at
+/// this layer — definitions arrive through an API — so spans name schema
+/// objects; the surface language prepends script positions when it has
+/// them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Span {
+    /// A defined concept, by name.
+    Concept(String),
+    /// A rule, by index and antecedent name.
+    Rule {
+        /// The rule's index in [`Kb::rules`].
+        index: usize,
+        /// The antecedent concept's name.
+        antecedent: String,
+    },
+    /// The schema as a whole.
+    Schema,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Span::Concept(name) => write!(f, "concept {name}"),
+            Span::Rule { index, antecedent } => {
+                write!(f, "rule #{index} (on {antecedent})")
+            }
+            Span::Schema => write!(f, "schema"),
+        }
+    }
+}
+
+/// One structured finding from the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (`A001`…), grouping findings of the same kind.
+    pub code: Code,
+    /// Severity, always `code.severity()`.
+    pub severity: Severity,
+    /// The schema object the finding points at.
+    pub span: Span,
+    /// One-line human description.
+    pub message: String,
+    /// Explain-style derivation of *why* — e.g. which conjunct of a
+    /// definition produced the clash, or which sibling rule shadows.
+    pub provenance: Vec<String>,
+}
+
+impl Diagnostic {
+    pub(crate) fn new(code: Code, span: Span, message: String) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            span,
+            message,
+            provenance: Vec::new(),
+        }
+    }
+
+    pub(crate) fn with_provenance(mut self, provenance: Vec<String>) -> Diagnostic {
+        self.provenance = provenance;
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.span, self.message
+        )?;
+        for line in &self.provenance {
+            write!(f, "\n  = {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of one analysis pass.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Findings, ordered by span then code.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many defined concepts were checked.
+    pub concepts_checked: usize,
+    /// How many rules (live and retired) were checked.
+    pub rules_checked: usize,
+}
+
+impl Report {
+    /// Number of diagnostics at exactly `sev`.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// The most severe finding, if any.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Does the report pass under a deny threshold? `deny = Error` fails
+    /// only on errors; `deny = Warning` fails on warnings too (the CLI's
+    /// `--deny warnings`).
+    pub fn passes(&self, deny: Severity) -> bool {
+        self.worst().is_none_or(|w| w < deny)
+    }
+
+    /// Render the full report, one diagnostic per paragraph, with a
+    /// closing summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} note(s); {} concept(s), {} rule(s) checked",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+            self.concepts_checked,
+            self.rules_checked,
+        ));
+        out
+    }
+}
+
+/// Run the full static pass over a knowledge base's TBox and rule base.
+///
+/// Takes `&mut Kb` because deriving provenance re-normalizes told
+/// expressions, and normalization may intern symbols; the ABox and the
+/// schema's definitions are never modified.
+pub fn analyze(kb: &mut Kb) -> Report {
+    let mut report = Report::default();
+    checks::incoherent_concepts(kb, &mut report);
+    checks::definition_cycles(kb, &mut report);
+    checks::vacuous_restrictions(kb, &mut report);
+    checks::redundant_conjuncts(kb, &mut report);
+    checks::rules(kb, &mut report);
+    report.diagnostics.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.code.as_str().cmp(b.code.as_str()))
+    });
+    report
+}
+
+/// Extension trait giving embedders `kb.analyze()`.
+pub trait KbAnalyze {
+    /// Run the static analysis pass ([`analyze`]).
+    fn analyze(&mut self) -> Report;
+}
+
+impl KbAnalyze for Kb {
+    fn analyze(&mut self) -> Report {
+        analyze(self)
+    }
+}

@@ -7,6 +7,7 @@
 //! measured rows.
 
 pub mod e10_retraction;
+pub mod e11_analyze;
 pub mod e1_subsumption;
 pub mod e2_classification;
 pub mod e3_query;
@@ -90,6 +91,11 @@ pub fn registry() -> Vec<Experiment> {
             "e10",
             "incremental retraction vs rebuild-from-scratch",
             e10_retraction::run,
+        ),
+        (
+            "e11",
+            "static analyzer cost vs TBox size; catch rate on seeded bugs",
+            e11_analyze::run,
         ),
     ]
 }

@@ -5,15 +5,22 @@
 //! [`ClassicError`] and leaves the database unchanged.
 //!
 //! Some failure modes one might expect have no variants because the
-//! design makes them unreachable: definition cycles cannot form
-//! (references must already be defined and redefinition is rejected),
-//! host individuals cannot even be addressed by role assertions (only
-//! named CLASSIC individuals are assertable), `SAME-AS` imposes
-//! single-valuedness rather than requiring a declaration, and asserting a
-//! `TEST` concept *tells* the database the test holds — "TEST concepts
-//! act just like primitive ones" (§2.2) — rather than running it as a
-//! gate.
+//! design makes them unreachable: host individuals cannot even be
+//! addressed by role assertions (only named CLASSIC individuals are
+//! assertable), `SAME-AS` imposes single-valuedness rather than requiring
+//! a declaration, and asserting a `TEST` concept *tells* the database the
+//! test holds — "TEST concepts act just like primitive ones" (§2.2) —
+//! rather than running it as a gate.
+//!
+//! Definition cycles through *names* are mostly ruled out by construction
+//! (references must already be defined and redefinition is rejected), but
+//! a definition can still be recursive through co-reference: a `SAME-AS`
+//! equating an attribute chain with an extension of itself demands an
+//! infinitely regressing filler structure. The paper forbids recursive
+//! definitions outright; such expressions are rejected with
+//! [`ClassicError::RecursiveDefinition`].
 
+use crate::desc::Path;
 use crate::symbol::{ConceptName, IndName, PrimId, RoleId, TestId};
 use std::fmt;
 
@@ -57,7 +64,22 @@ pub enum ClassicError {
     NotAsserted(IndName),
     /// `retract-rule` matched no live rule with that antecedent and
     /// consequent.
-    NoSuchRule(ConceptName),
+    NoSuchRule {
+        /// The antecedent name as given by the caller.
+        antecedent: String,
+        /// A nearest-match hint, when one exists: either another
+        /// antecedent with live rules at a small edit distance (likely a
+        /// typo), or a note that the antecedent's live rules all have
+        /// different consequents.
+        suggestion: Option<String>,
+    },
+    /// A definition is recursive — a named concept referring to itself, or
+    /// a `SAME-AS` equating an attribute chain with an extension of itself
+    /// (directly or through congruence). The paper forbids recursive
+    /// definitions (§2.2); without this check the normalizer's fixpoint
+    /// would regress forever. The payload positions the cycle (the
+    /// offending name or chain, rendered).
+    RecursiveDefinition(String),
     /// A user-registered `TEST` recognizer panicked during retrieval; the
     /// payload is preserved so the caller can diagnose the host function.
     RecognizerPanicked(String),
@@ -103,6 +125,18 @@ pub enum Clash {
     CoreferenceClash {
         /// The final role of the clashing chain.
         role: RoleId,
+    },
+    /// A `SAME-AS` equated an attribute chain with a proper extension of
+    /// itself (possibly via congruence), demanding an infinitely
+    /// regressing filler structure — a recursive definition, which the
+    /// paper forbids. Carried as a clash so derived descriptions that
+    /// *combine* into a cycle are rejected at the KB layer like any other
+    /// inconsistency; [`crate::normalize`] converts it into
+    /// [`ClassicError::RecursiveDefinition`] for told expressions.
+    RecursiveCoreference {
+        /// The chain equated with its own extension (empty when the cycle
+        /// was caught only by the normalization convergence guard).
+        path: Path,
     },
     /// The conjunction was already incoherent for a recorded reason that
     /// has been erased by normalization (kept as a catch-all so ⊥ can be
@@ -156,12 +190,22 @@ impl fmt::Display for ClassicError {
                     i.index()
                 )
             }
-            ClassicError::NoSuchRule(c) => {
+            ClassicError::NoSuchRule {
+                antecedent,
+                suggestion,
+            } => {
                 write!(
                     f,
-                    "no live rule with antecedent #{} matches the given consequent",
-                    c.index()
-                )
+                    "unknown rule: no live rule with antecedent {antecedent:?} \
+                     matches the given consequent"
+                )?;
+                if let Some(s) = suggestion {
+                    write!(f, " ({s})")?;
+                }
+                Ok(())
+            }
+            ClassicError::RecursiveDefinition(pos) => {
+                write!(f, "recursive definition: {pos}")
             }
             ClassicError::RecognizerPanicked(msg) => {
                 write!(f, "a TEST recognizer panicked during retrieval: {msg}")
@@ -198,6 +242,20 @@ impl fmt::Display for Clash {
             }
             Clash::CoreferenceClash { role } => {
                 write!(f, "SAME-AS equates distinct individuals via {role}")
+            }
+            Clash::RecursiveCoreference { path } => {
+                if path.is_empty() {
+                    write!(f, "SAME-AS constraints form a recursive chain")
+                } else {
+                    write!(f, "SAME-AS equates chain (")?;
+                    for (i, r) in path.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{r}")?;
+                    }
+                    write!(f, ") with an extension of itself")
+                }
             }
             Clash::Incoherent => write!(f, "incoherent description"),
         }

@@ -294,6 +294,18 @@ impl NormalForm {
         if self.is_incoherent() {
             return;
         }
+        // A recursive co-reference (a chain equated with an extension of
+        // itself) would regress the SAME-AS propagation below forever —
+        // the paper forbids recursive definitions, so it is rejected up
+        // front as a clash. Checked here rather than only at the language
+        // boundary because two individually acyclic descriptions can
+        // *combine* into a cycle under conjunction.
+        if !self.same_as.is_empty() {
+            if let Some((p, _)) = self.same_as.find_cycle() {
+                self.make_incoherent(Clash::RecursiveCoreference { path: p });
+                return;
+            }
+        }
         // Canonicalize value restrictions depth-first, so this level's
         // derivations see canonical children.
         for rr in self.roles.values_mut() {
@@ -327,7 +339,15 @@ impl NormalForm {
         while changed {
             changed = false;
             guard += 1;
-            debug_assert!(guard < 10_000, "renormalize failed to converge");
+            if guard >= 1_000 {
+                // Convergence guard. The cycle pre-check above witnesses
+                // every recursive co-reference its bounded saturation can
+                // reach; a form that still refuses to converge is treated
+                // the same way instead of looping (previously this was a
+                // debug_assert, which let release builds hang).
+                self.make_incoherent(Clash::RecursiveCoreference { path: Path::new() });
+                return;
+            }
             // ONE-OF: filter members incompatible with the (possibly just
             // tightened) layer, then tighten the layer to the join of the
             // survivors.
@@ -702,8 +722,50 @@ impl fmt::Display for DisplayNf<'_> {
 pub fn normalize(c: &Concept, schema: &mut Schema) -> Result<NormalForm> {
     let mut nf = NormalForm::top();
     build(c, schema, &mut nf)?;
+    check_recursion(&nf, &schema.symbols)?;
     nf.renormalize(schema);
+    if let Some(Clash::RecursiveCoreference { path }) = nf.clash() {
+        return Err(recursion_error(path, &schema.symbols));
+    }
     Ok(nf)
+}
+
+/// Scan a freshly built (pre-renormalization) form for recursive
+/// co-reference at any nesting depth. Run before [`NormalForm::renormalize`]
+/// so a nested cycle is reported as a positioned error instead of being
+/// folded away as an `AT-MOST 0` on the enclosing role.
+fn check_recursion(nf: &NormalForm, symbols: &SymbolTable) -> Result<()> {
+    if let Some((p, _)) = nf.same_as.find_cycle() {
+        return Err(recursion_error(&p, symbols));
+    }
+    for rr in nf.roles.values() {
+        if let Some(all) = &rr.all {
+            check_recursion(all, symbols)?;
+        }
+    }
+    Ok(())
+}
+
+/// Render a positioned [`ClassicError::RecursiveDefinition`] for a
+/// recursive co-reference chain (empty path = caught by the convergence
+/// guard, with no specific witness).
+fn recursion_error(path: &Path, symbols: &SymbolTable) -> ClassicError {
+    if path.is_empty() {
+        return ClassicError::RecursiveDefinition(
+            "SAME-AS constraints force a non-terminating normal form".to_owned(),
+        );
+    }
+    let mut chain = String::from("(");
+    for (i, r) in path.iter().enumerate() {
+        if i > 0 {
+            chain.push(' ');
+        }
+        chain.push_str(symbols.role_name(*r));
+    }
+    chain.push(')');
+    ClassicError::RecursiveDefinition(format!(
+        "SAME-AS equates attribute chain {chain} with an extension of itself"
+    ))
 }
 
 /// Conjoin an *expression* into an existing normal form contextually.
@@ -716,7 +778,12 @@ pub fn normalize(c: &Concept, schema: &mut Schema) -> Result<NormalForm> {
 /// fillers — it does not assert that the role is empty.
 pub fn conjoin_expression(c: &Concept, schema: &mut Schema, target: &mut NormalForm) -> Result<()> {
     build(c, schema, target)?;
+    check_recursion(target, &schema.symbols)?;
     target.renormalize(schema);
+    if let Some(Clash::RecursiveCoreference { path }) = target.clash() {
+        let err = recursion_error(path, &schema.symbols);
+        return Err(err);
+    }
     Ok(())
 }
 
@@ -730,6 +797,16 @@ fn build(c: &Concept, schema: &mut Schema, nf: &mut NormalForm) -> Result<()> {
             None => nf.make_incoherent(Clash::LayerClash),
         },
         Concept::Name(n) => {
+            // Direct self-reference during `define-concept`: the name is
+            // not yet bound (so the old behavior was a confusing
+            // `UndefinedConcept`), and binding it would require unfolding
+            // it into itself — a recursive definition, forbidden (§2.2).
+            if schema.defining() == Some(*n) {
+                return Err(ClassicError::RecursiveDefinition(format!(
+                    "concept {} refers to itself in its own definition",
+                    schema.symbols.concept_name(*n)
+                )));
+            }
             let def = schema.concept_nf(*n)?.clone();
             nf.merge_raw(&def);
         }

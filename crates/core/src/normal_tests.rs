@@ -517,3 +517,103 @@ fn value_restriction_accessors() {
     assert!(!n.value_restriction(r).is_top());
     assert!(n.value_restriction(s).is_top());
 }
+
+// ---- recursive definitions (forbidden, §2.2) ------------------------------
+
+#[test]
+fn same_as_self_extension_is_a_recursive_definition() {
+    // (SAME-AS (r) (r r)) equates a chain with its own extension: the
+    // filler structure would regress forever. Previously this hung the
+    // normalizer's fixpoint (release builds looped; debug builds tripped
+    // the convergence debug_assert).
+    let mut f = fix();
+    let r = f.r;
+    let c = Concept::SameAs(vec![r], vec![r, r]);
+    let err = normalize(&c, &mut f.schema).unwrap_err();
+    assert!(
+        matches!(err, ClassicError::RecursiveDefinition(_)),
+        "unexpected: {err}"
+    );
+    assert!(err.to_string().contains("(r)"), "{err}");
+}
+
+#[test]
+fn same_as_cycle_through_congruence_is_detected() {
+    // (r s) ~ (s) and (r) ~ (s s): congruence derives (s) ~ (s s ...) —
+    // no stored pair is prefix-related, the cycle only appears after
+    // right-extension.
+    let mut f = fix();
+    let (r, s) = (f.r, f.s);
+    let c = Concept::and([
+        Concept::SameAs(vec![r, s], vec![s]),
+        Concept::SameAs(vec![r], vec![s, s]),
+    ]);
+    let err = normalize(&c, &mut f.schema).unwrap_err();
+    assert!(
+        matches!(err, ClassicError::RecursiveDefinition(_)),
+        "unexpected: {err}"
+    );
+}
+
+#[test]
+fn nested_same_as_cycle_is_positioned_not_swallowed() {
+    // The cycle sits under (ALL s ...); without the pre-renormalization
+    // scan it would be folded into an AT-MOST 0 on s and silently change
+    // meaning instead of erroring.
+    let mut f = fix();
+    let (r, s) = (f.r, f.s);
+    let c = Concept::all(s, Concept::SameAs(vec![r], vec![r, r]));
+    let err = normalize(&c, &mut f.schema).unwrap_err();
+    assert!(
+        matches!(err, ClassicError::RecursiveDefinition(_)),
+        "unexpected: {err}"
+    );
+}
+
+#[test]
+fn acyclic_same_as_still_normalizes() {
+    let mut f = fix();
+    let (r, s) = (f.r, f.s);
+    let n = nf(&mut f, &Concept::SameAs(vec![r], vec![s]));
+    assert!(!n.is_incoherent());
+    assert!(n.same_as.implies(&vec![r], &vec![s]));
+}
+
+#[test]
+fn conjoining_descriptions_into_a_cycle_yields_recursive_clash() {
+    // Each description is fine alone; their conjunction equates (r) with
+    // (s) and (r) with (s r), so (s) ~ (s r) — recursive. The KB layer
+    // sees ⊥ with a RecursiveCoreference clash and rejects the update
+    // like any other inconsistency.
+    let mut f = fix();
+    let (r, s) = (f.r, f.s);
+    let mut a = nf(&mut f, &Concept::SameAs(vec![r], vec![s]));
+    let b = nf(&mut f, &Concept::SameAs(vec![r], vec![s, r]));
+    a.conjoin(&b, &f.schema);
+    assert!(a.is_incoherent());
+    assert!(
+        matches!(a.clash(), Some(Clash::RecursiveCoreference { .. })),
+        "clash: {:?}",
+        a.clash()
+    );
+}
+
+#[test]
+fn self_referential_concept_definition_is_positioned() {
+    let mut f = fix();
+    let loops = Concept::all(f.r, Concept::Name(f.schema.symbols.concept("LOOP")));
+    let err = f.schema.define_concept("LOOP", loops).unwrap_err();
+    match err {
+        ClassicError::RecursiveDefinition(pos) => {
+            assert!(pos.contains("LOOP"), "position: {pos}");
+        }
+        other => panic!("expected RecursiveDefinition, got {other}"),
+    }
+    // The failed definition left no binding behind.
+    let id = f.schema.symbols.concept("LOOP");
+    assert!(!f.schema.is_defined(id));
+    // ...and the name can be defined properly afterwards.
+    f.schema
+        .define_concept("LOOP", Concept::AtLeast(1, f.r))
+        .unwrap();
+}

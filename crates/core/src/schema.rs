@@ -74,6 +74,10 @@ pub struct Schema {
     prims: Vec<PrimInfo>,
     groups: HashMap<String, u32>,
     tests: Vec<TestFn>,
+    /// The concept currently being `define-concept`ed, if any; a reference
+    /// to it from inside its own definition is a recursive definition and
+    /// is rejected with a positioned error (§2.2 forbids cycles).
+    defining: Option<ConceptName>,
 }
 
 impl fmt::Debug for Schema {
@@ -104,6 +108,7 @@ impl Schema {
             prims: Vec::new(),
             groups: HashMap::new(),
             tests: Vec::new(),
+            defining: None,
         }
     }
 
@@ -177,14 +182,19 @@ impl Schema {
     // ---- named concepts -------------------------------------------------
 
     /// `define-concept[name, expr]`: normalize and store. References to
-    /// undefined names are errors (which also rules out cycles, since
-    /// redefinition is rejected).
+    /// undefined names are errors, and a reference to the name *being
+    /// defined* is a positioned [`ClassicError::RecursiveDefinition`] —
+    /// together with rejected redefinition this keeps the stored schema
+    /// cycle-free, so stored normal forms are always fully unfolded.
     pub fn define_concept(&mut self, name: &str, told: Concept) -> Result<ConceptName> {
         let id = self.symbols.concept(name);
         if self.concepts.contains_key(&id) {
             return Err(ClassicError::ConceptRedefined(id));
         }
-        let nf = normalize(&told, self)?;
+        self.defining = Some(id);
+        let normalized = normalize(&told, self);
+        self.defining = None;
+        let nf = normalized?;
         // Remember which primitives this definition introduced, so normal
         // forms can be rendered back using the name.
         if let Concept::Primitive { .. } | Concept::DisjointPrimitive { .. } = &told {
@@ -198,6 +208,12 @@ impl Schema {
         self.concepts.insert(id, ConceptDef { told, nf });
         self.concept_order.push(id);
         Ok(id)
+    }
+
+    /// The concept currently being defined, if a `define-concept` is in
+    /// flight (used by normalization to reject self-reference).
+    pub(crate) fn defining(&self) -> Option<ConceptName> {
+        self.defining
     }
 
     /// Has `name` been `define-concept`ed?

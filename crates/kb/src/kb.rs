@@ -667,7 +667,7 @@ impl Kb {
             .iter()
             .rposition(|r| !r.retired && r.antecedent == cname && r.consequent == *consequent)
         else {
-            return Err(ClassicError::NoSuchRule(cname));
+            return Err(self.no_such_rule(antecedent, cname));
         };
         let node = self.rules[rule_ix].node;
         self.rules[rule_ix].retired = true;
@@ -690,6 +690,34 @@ impl Kb {
                 self.rules_by_node.entry(node).or_default().push(rule_ix);
                 Err(e)
             }
+        }
+    }
+
+    /// Build the "unknown rule" error for `retract-rule`: names the
+    /// antecedent as given and, when possible, points at what the caller
+    /// probably meant — a near-miss antecedent among the live rules
+    /// (typo), or a note that the antecedent's live rules carry different
+    /// consequents.
+    fn no_such_rule(&self, antecedent: &str, cname: ConceptName) -> ClassicError {
+        let live: Vec<&Rule> = self.rules.iter().filter(|r| !r.retired).collect();
+        let with_antecedent = live.iter().filter(|r| r.antecedent == cname).count();
+        let suggestion = if with_antecedent > 0 {
+            Some(format!(
+                "{with_antecedent} live rule(s) on {antecedent:?} have a \
+                 different consequent"
+            ))
+        } else {
+            live.iter()
+                .map(|r| self.schema.symbols.concept_name(r.antecedent))
+                .filter(|name| *name != antecedent)
+                .map(|name| (edit_distance(antecedent, name), name))
+                .min()
+                .filter(|(d, name)| *d <= 2.max(name.len() / 3))
+                .map(|(_, name)| format!("did you mean {name:?}?"))
+        };
+        ClassicError::NoSuchRule {
+            antecedent: antecedent.to_owned(),
+            suggestion,
         }
     }
 
@@ -874,6 +902,24 @@ impl Kb {
     }
 }
 
+/// Levenshtein distance, used for the `retract-rule` nearest-match hint.
+/// Rule antecedent names are short, so the quadratic table is fine.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -885,6 +931,34 @@ mod tests {
         kb.define_concept("PERSON", Concept::primitive(Concept::thing(), "person"))
             .unwrap();
         kb
+    }
+
+    /// Loom model test for the instrumentation counters. Parallel query
+    /// workers bump [`KbStats`] counters through a shared `&Kb`; the
+    /// monotone-counter contract is that no increment is ever lost,
+    /// regardless of interleaving. (Relaxed ordering is sufficient:
+    /// `fetch_add` is atomic read-modify-write; ordering only affects
+    /// *when* other threads observe the total, which readers never rely
+    /// on — they read after joining.)
+    #[test]
+    fn counters_lose_no_increments_under_concurrent_bumps() {
+        loom::model(|| {
+            let stats = loom::sync::Arc::new(KbStats::default());
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let stats = loom::sync::Arc::clone(&stats);
+                    loom::thread::spawn(move || {
+                        for _ in 0..50 {
+                            stats.instance_tests.bump();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(stats.instance_tests.get(), 150);
+        });
     }
 
     #[test]

@@ -156,10 +156,39 @@ fn retraction_errors_are_precise_and_harmless() {
 
     // Retracting a rule that does not exist is NoSuchRule.
     let eat = kb.schema().symbols.find_role("eat").unwrap();
+    kb.assert_rule("STUDENT", Concept::AtLeast(1, enrolled))
+        .unwrap();
     let err = kb
         .retract_rule("STUDENT", &Concept::AtLeast(1, eat))
         .unwrap_err();
-    assert!(matches!(err, ClassicError::NoSuchRule(_)), "{err}");
+    match &err {
+        ClassicError::NoSuchRule {
+            antecedent,
+            suggestion,
+        } => {
+            assert_eq!(antecedent, "STUDENT");
+            // STUDENT has a live rule with a *different* consequent; the
+            // error says so instead of a bare "no such rule".
+            assert!(
+                suggestion.as_deref().is_some_and(|s| s.contains("STUDENT")),
+                "suggestion: {suggestion:?}"
+            );
+        }
+        other => panic!("expected NoSuchRule, got {other}"),
+    }
+    // A typo'd antecedent gets a nearest-match hint.
+    let err = kb
+        .retract_rule("STUDANT", &Concept::AtLeast(1, eat))
+        .unwrap_err();
+    match &err {
+        ClassicError::NoSuchRule { suggestion, .. } => {
+            assert!(
+                suggestion.as_deref().is_some_and(|s| s.contains("STUDENT")),
+                "suggestion: {suggestion:?}"
+            );
+        }
+        other => panic!("expected NoSuchRule, got {other}"),
+    }
     kb.check_invariants().unwrap();
 }
 

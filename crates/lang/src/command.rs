@@ -89,6 +89,10 @@ pub enum Command {
     /// update would be accepted and what it would derive, then roll it
     /// back unconditionally.
     WhatIf(String, Concept),
+    /// `(lint-kb)`: run the static analyzer (`classic-analyze`) over the
+    /// schema and rule base — incoherent definitions, definition cycles,
+    /// dead/shadowed/entailed rules, redundant conjuncts.
+    LintKb,
 }
 
 /// The result of evaluating one command.
@@ -110,6 +114,15 @@ pub enum Outcome {
     Concepts(Vec<String>),
     /// An aspect value rendered as text.
     Aspect(String),
+    /// A static-analysis report (`lint-kb`).
+    Lint {
+        /// The report rendered for display, one diagnostic per paragraph.
+        rendered: String,
+        /// Number of error-severity findings.
+        errors: usize,
+        /// Number of warning-severity findings.
+        warnings: usize,
+    },
 }
 
 /// Split an input string into top-level s-expressions and parse each as a
@@ -250,6 +263,7 @@ fn parse_command_tokens(tokens: &[Token], kb: &mut Kb) -> Result<Command> {
         }
         "parents" => Command::Parents(w.symbol()?),
         "children" => Command::Children(w.symbol()?),
+        "lint-kb" => Command::LintKb,
         other => {
             return Err(ClassicError::Malformed(format!(
                 "unknown operator {other:?}"
@@ -682,6 +696,14 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
             names.sort();
             names.dedup();
             Ok(Outcome::Concepts(names))
+        }
+        Command::LintKb => {
+            let report = classic_analyze::analyze(kb);
+            Ok(Outcome::Lint {
+                errors: report.count(classic_analyze::Severity::Error),
+                warnings: report.count(classic_analyze::Severity::Warning),
+                rendered: report.render(),
+            })
         }
     }
 }

@@ -181,6 +181,30 @@ mod tests {
     }
 
     #[test]
+    fn lint_kb_through_syntax() {
+        let mut kb = Kb::new();
+        let out = run_script(
+            &mut kb,
+            r#"
+            (define-role r)
+            (define-concept BAD (AND (AT-LEAST 2 r) (AT-MOST 1 r)))
+            (lint-kb)
+            "#,
+        )
+        .unwrap();
+        match out.last().unwrap() {
+            Outcome::Lint {
+                rendered, errors, ..
+            } => {
+                assert_eq!(*errors, 1);
+                assert!(rendered.contains("A001"), "got: {rendered}");
+                assert!(rendered.contains("BAD"), "got: {rendered}");
+            }
+            other => panic!("expected a lint report, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn describe_round_trips() {
         let mut kb = Kb::new();
         let out = run_script(

@@ -70,7 +70,7 @@ fn main() {
                      (subsumes? a b) (equivalent? a b)\n  (disjoint? a b) (classify expr) \
                      (concept-aspect N KIND [r]) (ind-aspect I KIND [r])\n  (describe I) \
                      (why? I N) (what-if? I expr) (provenance I) \
-                     (parents N) (children N)\n\
+                     (parents N) (children N) (lint-kb)\n\
                      meta: :stats :snapshot :quit"
                 );
                 continue;
@@ -153,5 +153,6 @@ fn print_outcome(outcome: &Outcome) {
             }
         }
         Outcome::Aspect(a) => println!("{a}"),
+        Outcome::Lint { rendered, .. } => println!("{rendered}"),
     }
 }

@@ -1,0 +1,84 @@
+//! `classic-analyze` — lint CLASSIC surface-language scripts from CI.
+//!
+//! ```text
+//! classic-analyze [--deny warnings|errors] [--quiet] <script.classic>...
+//! ```
+//!
+//! Each script is loaded into its own fresh session (so a broken schema in
+//! one file cannot mask findings in another), then the static analyzer
+//! runs over the resulting schema and rule base. Exit codes:
+//!
+//! * `0` — every script loaded and passed the deny threshold;
+//! * `1` — at least one report crossed the threshold (default: errors;
+//!   `--deny warnings` also fails on warnings);
+//! * `2` — a script failed to load (parse error or rejected update), or
+//!   the command line was malformed.
+
+use classic::analyze::{analyze, Severity};
+use classic::lang::Session;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: classic-analyze [--deny warnings|errors] [--quiet] <script.classic>...");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut deny = Severity::Error;
+    let mut quiet = false;
+    let mut scripts: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => match args.next().as_deref() {
+                Some("warnings") => deny = Severity::Warning,
+                Some("errors") => deny = Severity::Error,
+                _ => return usage(),
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => return usage(),
+            _ => scripts.push(arg),
+        }
+    }
+    if scripts.is_empty() {
+        return usage();
+    }
+
+    let mut failed = false;
+    let mut broken = false;
+    for path in &scripts {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                broken = true;
+                continue;
+            }
+        };
+        let mut session = Session::new();
+        if let Err(e) = session.run(&source) {
+            eprintln!("{path}: script failed to load: {e}");
+            broken = true;
+            continue;
+        }
+        let report = analyze(&mut session.kb);
+        if !quiet || !report.passes(deny) {
+            println!("== {path}");
+            println!("{}", report.render());
+        }
+        if !report.passes(deny) {
+            failed = true;
+        }
+    }
+    if broken {
+        ExitCode::from(2)
+    } else if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

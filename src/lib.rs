@@ -24,6 +24,7 @@
 //! | [`lang`] | surface syntax: lexer, parser, command evaluator |
 //! | [`rel`] | relational view + closed-world baseline (paper §3.5.2) |
 //! | [`store`] | operation-log persistence in the surface syntax |
+//! | [`analyze`] | static schema/KB lint: incoherence, cycles, rule analysis |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use classic_analyze as analyze;
 pub use classic_core as core;
 pub use classic_kb as kb;
 pub use classic_lang as lang;

@@ -1,0 +1,258 @@
+//! Offline drop-in subset of the `loom` model-checker API.
+//!
+//! Real `loom` exhaustively enumerates thread interleavings by running the
+//! model body under a controlled scheduler. This repository builds with no
+//! network access, so the workspace vendors the *API shape* the tests use
+//! (`loom::model`, `loom::thread`, `loom::sync`) implemented as a
+//! randomized stress harness instead: the model body is re-executed many
+//! times on real OS threads, with random `yield_now` injection at every
+//! synchronization point (lock acquisition, atomic access) to perturb the
+//! schedule between iterations.
+//!
+//! This finds real interleaving bugs in practice but does NOT prove their
+//! absence — it trades loom's exhaustiveness for zero dependencies. Tests
+//! written against this subset compile unchanged against the real `loom`,
+//! so a CI environment with network access can swap the registry crate in
+//! (`[patch]` the workspace dependency) and get exhaustive checking.
+//!
+//! Iteration count: 64 per `model` call by default; override with the
+//! `LOOM_ITERS` environment variable.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-thread SplitMix64 state driving yield injection.
+    static RNG: Cell<u64> = const { Cell::new(0x9E37_79B9_7F4A_7C15) };
+}
+
+fn next_u64() -> u64 {
+    RNG.with(|s| {
+        let mut z = s.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
+        s.set(z);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    })
+}
+
+/// Yield the OS scheduler with probability 1/4 — called at every modeled
+/// synchronization point so successive iterations see different
+/// interleavings.
+fn maybe_yield() {
+    if next_u64().is_multiple_of(4) {
+        std::thread::yield_now();
+    }
+}
+
+/// Run `f` repeatedly under schedule perturbation (the stress-subset
+/// stand-in for loom's exhaustive exploration).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iters: u64 = std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    for i in 0..iters {
+        RNG.with(|s| s.set(0xC1A5_51C0_u64.wrapping_mul(i + 1)));
+        f();
+    }
+}
+
+/// Thread handling: `std::thread` with yield injection on spawn and join.
+pub mod thread {
+    pub use std::thread::yield_now;
+
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle<T>(std::thread::JoinHandle<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Join, propagating the thread's result.
+        pub fn join(self) -> std::thread::Result<T> {
+            super::maybe_yield();
+            self.0.join()
+        }
+    }
+
+    /// Spawn a model thread. Each spawned thread derives a fresh yield
+    /// schedule from the spawner's.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let seed = super::next_u64();
+        super::maybe_yield();
+        JoinHandle(std::thread::spawn(move || {
+            super::RNG.with(|s| s.set(seed));
+            f()
+        }))
+    }
+}
+
+/// Synchronization primitives with yield injection at acquisition points.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// `std::sync::Mutex` with a yield point before each acquisition.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// A new unlocked mutex.
+        pub fn new(t: T) -> Mutex<T> {
+            Mutex(std::sync::Mutex::new(t))
+        }
+
+        /// Acquire, yielding first with some probability.
+        pub fn lock(&self) -> std::sync::LockResult<std::sync::MutexGuard<'_, T>> {
+            super::maybe_yield();
+            self.0.lock()
+        }
+
+        /// Consume the mutex, returning the inner value.
+        pub fn into_inner(self) -> std::sync::LockResult<T> {
+            self.0.into_inner()
+        }
+    }
+
+    /// Atomic types with yield points around each access.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_wrapper {
+            ($name:ident, $inner:ty, $prim:ty) => {
+                /// Yield-instrumented atomic.
+                #[derive(Debug, Default)]
+                pub struct $name($inner);
+
+                impl $name {
+                    /// A new atomic with the given initial value.
+                    pub fn new(v: $prim) -> Self {
+                        Self(<$inner>::new(v))
+                    }
+
+                    /// Atomic load.
+                    pub fn load(&self, order: Ordering) -> $prim {
+                        crate::maybe_yield();
+                        self.0.load(order)
+                    }
+
+                    /// Atomic store.
+                    pub fn store(&self, v: $prim, order: Ordering) {
+                        crate::maybe_yield();
+                        self.0.store(v, order);
+                    }
+
+                    /// Atomic fetch-add, returning the previous value.
+                    pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                        crate::maybe_yield();
+                        let prev = self.0.fetch_add(v, order);
+                        crate::maybe_yield();
+                        prev
+                    }
+
+                    /// Atomic compare-exchange.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $prim,
+                        new: $prim,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        crate::maybe_yield();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+
+                    /// Consume the atomic, returning the inner value.
+                    pub fn into_inner(self) -> $prim {
+                        self.0.into_inner()
+                    }
+                }
+            };
+        }
+
+        atomic_wrapper!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        atomic_wrapper!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        /// Yield-instrumented atomic boolean.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// A new atomic with the given initial value.
+            pub fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Atomic load.
+            pub fn load(&self, order: Ordering) -> bool {
+                crate::maybe_yield();
+                self.0.load(order)
+            }
+
+            /// Atomic store.
+            pub fn store(&self, v: bool, order: Ordering) {
+                crate::maybe_yield();
+                self.0.store(v, order);
+            }
+
+            /// Atomic swap, returning the previous value.
+            pub fn swap(&self, v: bool, order: Ordering) -> bool {
+                crate::maybe_yield();
+                self.0.swap(v, order)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn model_runs_and_counts_are_exact() {
+        super::model(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    super::thread::spawn(move || {
+                        for _ in 0..10 {
+                            n.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::Relaxed), 30);
+        });
+    }
+
+    #[test]
+    fn mutex_protects_compound_updates() {
+        super::model(|| {
+            let v = Arc::new(Mutex::new(Vec::new()));
+            let handles: Vec<_> = (0..2)
+                .map(|t| {
+                    let v = Arc::clone(&v);
+                    super::thread::spawn(move || {
+                        for i in 0..5 {
+                            v.lock().unwrap().push((t, i));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(v.lock().unwrap().len(), 10);
+        });
+    }
+}
