@@ -10,7 +10,13 @@
 use classic_bench::experiments;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(ix) = args.iter().position(|a| a == "--smoke") {
+        // Smoke mode: experiments that honor it shrink their workload
+        // sizes (CI runs E12 this way).
+        args.remove(ix);
+        std::env::set_var("CLASSIC_BENCH_SMOKE", "1");
+    }
     if args.iter().any(|a| a == "list") {
         for (id, desc, _) in experiments::registry() {
             println!("{id}: {desc}");

@@ -8,6 +8,7 @@
 
 pub mod e10_retraction;
 pub mod e11_analyze;
+pub mod e12_store;
 pub mod e1_subsumption;
 pub mod e2_classification;
 pub mod e3_query;
@@ -96,6 +97,11 @@ pub fn registry() -> Vec<Experiment> {
             "e11",
             "static analyzer cost vs TBox size; catch rate on seeded bugs",
             e11_analyze::run,
+        ),
+        (
+            "e12",
+            "segmented snapshot store: open cost, segment reuse, crash matrix",
+            e12_store::run,
         ),
     ]
 }

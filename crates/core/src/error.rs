@@ -87,6 +87,23 @@ pub enum ClassicError {
     RuleOnUndefinedConcept(ConceptName),
     /// A syntax or arity problem detected while building a description.
     Malformed(String),
+    /// A storage-layer failure (`classic-store`). Unlike [`Malformed`],
+    /// the variant pins *which* on-disk file misbehaved and, when known,
+    /// the compaction generation it belongs to — a store directory holds
+    /// a manifest, several segments, and one or more logs, and an error
+    /// that names none of them is undebuggable.
+    ///
+    /// [`Malformed`]: ClassicError::Malformed
+    Storage {
+        /// The offending file, as the path the store accessed it by.
+        path: String,
+        /// The compaction generation the file belongs to, when the store
+        /// got far enough to learn it (`None` for e.g. an unreadable
+        /// manifest whose generation header never parsed).
+        generation: Option<u64>,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 /// The specific contradiction that made a description incoherent.
@@ -214,6 +231,17 @@ impl fmt::Display for ClassicError {
                 write!(f, "rule attached to undefined concept #{}", c.index())
             }
             ClassicError::Malformed(m) => write!(f, "malformed expression: {m}"),
+            ClassicError::Storage {
+                path,
+                generation,
+                detail,
+            } => {
+                write!(f, "storage error at {path}")?;
+                if let Some(g) = generation {
+                    write!(f, " (generation {g})")?;
+                }
+                write!(f, ": {detail}")
+            }
         }
     }
 }
@@ -285,6 +313,25 @@ mod tests {
         for e in errs {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn storage_errors_name_the_file_and_generation() {
+        let with_gen = ClassicError::Storage {
+            path: "/db/kb.manifest".into(),
+            generation: Some(7),
+            detail: "segment hash mismatch".into(),
+        };
+        let s = with_gen.to_string();
+        assert!(s.contains("/db/kb.manifest"));
+        assert!(s.contains("generation 7"));
+        assert!(s.contains("hash mismatch"));
+        let without = ClassicError::Storage {
+            path: "/db/kb.manifest".into(),
+            generation: None,
+            detail: "unreadable".into(),
+        };
+        assert!(!without.to_string().contains("generation"));
     }
 
     #[test]

@@ -148,6 +148,29 @@ impl Journal {
 }
 
 /// The CLASSIC knowledge base.
+///
+/// ```
+/// use classic_core::desc::Concept;
+/// use classic_kb::Kb;
+///
+/// let mut kb = Kb::new();
+/// kb.define_role("friend")?;
+/// kb.define_concept("POPULAR", Concept::primitive(Concept::thing(), "popular"))?;
+/// let friend = kb.schema().symbols.find_role("friend").unwrap();
+/// // Rule: anyone with ≥3 friends is POPULAR.
+/// kb.define_concept("GREGARIOUS", Concept::AtLeast(3, friend))?;
+/// kb.assert_rule(
+///     "GREGARIOUS",
+///     Concept::Name(kb.schema().symbols.find_concept("POPULAR").unwrap()),
+/// )?;
+/// kb.create_ind("Rocky")?;
+/// kb.assert_ind("Rocky", &Concept::AtLeast(3, friend))?;
+/// // The rule fired: Rocky is now recognized as POPULAR.
+/// let popular = kb.schema().symbols.find_concept("POPULAR").unwrap();
+/// let rocky = kb.ind_id(kb.schema().symbols.find_individual("Rocky").unwrap())?;
+/// assert!(kb.instances_of(popular)?.contains(&rocky));
+/// # Ok::<(), classic_core::ClassicError>(())
+/// ```
 #[derive(Debug)]
 pub struct Kb {
     pub(crate) schema: Schema,

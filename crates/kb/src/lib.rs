@@ -11,7 +11,7 @@
 //! Rocky/RICH-KID and crime-database scenarios.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod aspect;
 pub mod deps;

@@ -17,11 +17,25 @@ use classic_core::error::Result;
 use classic_kb::Kb;
 use std::fmt::Write as _;
 
-/// Render the complete state of a knowledge base as a command script.
-pub fn snapshot_to_string(kb: &Kb) -> String {
+/// Render the schema half of a snapshot — the `;!tests:` contract
+/// header, role/attribute declarations, concept definitions, and active
+/// rules — as a replayable command script.
+///
+/// This is the body of the segmented format's *schema segment* (see
+/// `docs/FORMAT.md` §5) and the opening section of the monolithic
+/// [`snapshot_to_string`]; both serializations share one renderer so the
+/// two formats cannot drift.
+///
+/// ```
+/// use classic_kb::Kb;
+/// let mut kb = Kb::new();
+/// kb.define_role("enrolled-at").unwrap();
+/// let body = classic_store::snapshot::render_schema_body(&kb);
+/// assert_eq!(body, "(define-role enrolled-at)\n");
+/// ```
+pub fn render_schema_body(kb: &Kb) -> String {
     let mut out = String::new();
     let symbols = &kb.schema().symbols;
-    out.push_str("; CLASSIC snapshot (replayable command script)\n");
     // Required host test registrations, as a machine-readable comment.
     let tests: Vec<&str> = (0..)
         .map_while(|i| {
@@ -72,21 +86,56 @@ pub fn snapshot_to_string(kb: &Kb) -> String {
             rule.consequent.display(symbols)
         );
     }
+    out
+}
+
+/// Append the `(create-ind …)` identity line for one individual.
+pub(crate) fn render_ind_create(kb: &Kb, id: classic_kb::IndId, out: &mut String) {
+    let _ = writeln!(
+        out,
+        "(create-ind {})",
+        kb.schema().symbols.individual_name(kb.ind(id).name)
+    );
+}
+
+/// Append the `(assert-ind …)` lines for one individual's told facts, in
+/// the order they were told (per-individual order is semantically
+/// significant for `CLOSE`).
+pub(crate) fn render_ind_told(kb: &Kb, id: classic_kb::IndId, out: &mut String) {
+    let symbols = &kb.schema().symbols;
+    let name = symbols.individual_name(kb.ind(id).name);
+    for told in &kb.ind(id).told {
+        let _ = writeln!(out, "(assert-ind {name} {})", told.display(symbols));
+    }
+}
+
+/// Render the complete state of a knowledge base as a command script.
+///
+/// This is the *monolithic* serialization: one script holding the whole
+/// database. The segmented on-disk format (see `docs/FORMAT.md`) splits
+/// the same content across a schema segment and fixed-budget individual
+/// segments; this function remains as the in-memory canonical form, the
+/// E12 ablation baseline, and the rebuild oracle used by tests.
+///
+/// ```
+/// use classic_kb::Kb;
+/// let mut kb = Kb::new();
+/// kb.create_ind("Rocky").unwrap();
+/// let script = classic_store::snapshot_to_string(&kb);
+/// assert!(script.contains("(create-ind Rocky)"));
+/// ```
+pub fn snapshot_to_string(kb: &Kb) -> String {
+    let mut out = String::new();
+    out.push_str("; CLASSIC snapshot (replayable command script)\n");
+    out.push_str(&render_schema_body(kb));
     // Individuals: identities first (forward references in FILLS are
     // legal, but being explicit keeps the script order-insensitive), then
     // the told assertions.
     for id in kb.ind_ids() {
-        let _ = writeln!(
-            out,
-            "(create-ind {})",
-            symbols.individual_name(kb.ind(id).name)
-        );
+        render_ind_create(kb, id, &mut out);
     }
     for id in kb.ind_ids() {
-        let name = symbols.individual_name(kb.ind(id).name);
-        for told in &kb.ind(id).told {
-            let _ = writeln!(out, "(assert-ind {name} {})", told.display(symbols));
-        }
+        render_ind_told(kb, id, &mut out);
     }
     out
 }
@@ -132,8 +181,68 @@ pub fn roundtrip(kb: &Kb, register_tests: impl FnOnce(&mut Kb)) -> Result<Kb> {
     Ok(fresh)
 }
 
+/// Canonicalize a rendered concept for comparison: the conjunct order
+/// inside every `(AND …)` is an artifact of propagation order (it can
+/// differ between a directly-executed history and a replayed one without
+/// any semantic difference), so AND arguments are sorted recursively.
+fn canonical_desc(text: &str) -> String {
+    enum Sexp {
+        Atom(String),
+        List(Vec<Sexp>),
+    }
+    fn parse(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Sexp {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        if chars.peek() == Some(&'(') {
+            chars.next();
+            let mut items = Vec::new();
+            loop {
+                while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+                    chars.next();
+                }
+                match chars.peek() {
+                    None => break,
+                    Some(')') => {
+                        chars.next();
+                        break;
+                    }
+                    Some(_) => items.push(parse(chars)),
+                }
+            }
+            Sexp::List(items)
+        } else {
+            let mut atom = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() || c == '(' || c == ')' {
+                    break;
+                }
+                atom.push(c);
+                chars.next();
+            }
+            Sexp::Atom(atom)
+        }
+    }
+    fn render(s: &Sexp) -> String {
+        match s {
+            Sexp::Atom(a) => a.clone(),
+            Sexp::List(items) => {
+                let mut parts: Vec<String> = items.iter().map(render).collect();
+                if parts.first().map(String::as_str) == Some("AND") {
+                    parts[1..].sort();
+                }
+                format!("({})", parts.join(" "))
+            }
+        }
+    }
+    render(&parse(&mut text.chars().peekable()))
+}
+
 /// Pretty assertion helper used by tests and examples: do two KBs agree on
 /// schema size, individuals, and every individual's derived description?
+/// Descriptions are compared up to AND-conjunct order (via a recursive
+/// canonicalizer that sorts `AND` arguments); everything else is
+/// verbatim.
 pub fn same_state(a: &Kb, b: &Kb) -> bool {
     if a.ind_count() != b.ind_count()
         || a.schema().concept_count() != b.schema().concept_count()
@@ -153,8 +262,8 @@ pub fn same_state(a: &Kb, b: &Kb) -> bool {
         // may differ between the two symbol tables).
         let ac = a.ind(id).derived.to_concept(a.schema());
         let bc = b.ind(bid).derived.to_concept(b.schema());
-        if ac.display(&a.schema().symbols).to_string()
-            != bc.display(&b.schema().symbols).to_string()
+        if canonical_desc(&ac.display(&a.schema().symbols).to_string())
+            != canonical_desc(&bc.display(&b.schema().symbols).to_string())
         {
             return false;
         }
@@ -202,6 +311,24 @@ mod tests {
         let script = snapshot_to_string(&kb);
         let mut fresh = Kb::new();
         assert_eq!(replay(&mut fresh, &script).unwrap(), 0);
+    }
+
+    #[test]
+    fn canonical_desc_sorts_and_conjuncts_recursively() {
+        assert_eq!(
+            canonical_desc("(AND CLASSIC-THING (CLOSE r2) (AT-MOST 1 r0))"),
+            canonical_desc("(AND CLASSIC-THING (AT-MOST 1 r0) (CLOSE r2))"),
+        );
+        assert_eq!(
+            canonical_desc("(ALL r (AND B A))"),
+            canonical_desc("(ALL r (AND A B))"),
+        );
+        // Non-AND structure is order-sensitive and preserved.
+        assert_ne!(
+            canonical_desc("(FILLS r x y)"),
+            canonical_desc("(FILLS r y x)"),
+        );
+        assert_eq!(canonical_desc("P0"), "P0");
     }
 
     #[test]

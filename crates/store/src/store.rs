@@ -1,17 +1,40 @@
-//! Durable storage: a write-ahead operation log plus snapshot compaction.
+//! Durable storage: a write-ahead operation log plus a segmented,
+//! background-compacted snapshot.
 //!
 //! The paper frames the database as "a cache for persistent information of
 //! limited complexity" (§1) and names secondary storage as the major open
-//! issue (§5). [`DurableKb`] is the straightforward answer for the
-//! reproduction: every *accepted* mutating operator is appended to a log
-//! file in the surface syntax before the call returns, and
-//! [`DurableKb::compact`] rewrites the log as a snapshot. Opening a store
-//! replays snapshot + log, rebuilding all derived state deterministically.
+//! issue (§5). [`DurableKb`] is the reproduction's answer at scale: every
+//! *accepted* mutating operator is appended (and fsynced) to a log file in
+//! the surface syntax before the call returns, and compaction folds the
+//! log into a **segmented snapshot** — a generation-stamped
+//! [manifest](crate::manifest) referencing a schema segment plus
+//! fixed-budget [individual segments](crate::segment). Opening a store
+//! loads the manifest, streams the live segments, and replays only the
+//! log suffix past the manifest generation; [`DurableKb::open_paged`]
+//! defers individual segments entirely until something references them,
+//! making `open()` cost track the log suffix rather than the database
+//! size.
+//!
+//! Compaction runs on a background thread owned by the store
+//! ([`DurableKb::compact_in_background`]): the caller's thread renders
+//! the segments in memory and rotates the log (microseconds of work),
+//! and every fsync/rename of the publish pipeline happens off-thread, so
+//! neither readers nor appenders wait on compaction I/O. The
+//! crash-ordering invariants at each rename point are specified in
+//! `docs/FORMAT.md` §8 and exercised by [`DurableKb::compact_crashing_at`].
 //!
 //! Rejected updates are never logged — the log records exactly the
 //! accepted history, so replay cannot fail on integrity grounds.
 
-use crate::snapshot::{replay, snapshot_to_string};
+use crate::manifest::{
+    fold_log_path, is_segment_file, manifest_path, parse_fold_gen, stem_of, tmp_path, Manifest,
+    ManifestEntry,
+};
+use crate::segment::{
+    self, render_ind_segments, render_schema_segment, segment_file_name, storage_err,
+    RenderedSegment,
+};
+use crate::snapshot::replay;
 use classic_core::desc::Concept;
 use classic_core::error::{ClassicError, Result};
 use classic_core::schema::TestArg;
@@ -21,12 +44,15 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
-/// Header line carrying the compaction generation. Written as the first
-/// line of both the snapshot and the post-compaction log; a log whose
-/// generation is *older* than the snapshot's predates it (a crash hit
-/// between the snapshot rename and the log truncation) and must not be
-/// replayed on top of it.
+/// Header line carrying the log generation. Written as the first line of
+/// every log file; a log whose generation is *older* than the manifest's
+/// predates the published segments (its operations are already folded
+/// in) and must not be replayed on top of them.
 const GEN_PREFIX: &str = ";!gen:";
+
+/// Default number of individuals per segment (overridable with
+/// [`DurableKb::set_segment_budget`]).
+pub const DEFAULT_SEGMENT_BUDGET: usize = 512;
 
 fn parse_gen(text: &str) -> u64 {
     text.lines()
@@ -36,87 +62,641 @@ fn parse_gen(text: &str) -> u64 {
         .unwrap_or(0)
 }
 
-/// A knowledge base backed by an on-disk operation log.
+/// Where the compactor's publish pipeline is cut short, for crash-ordering
+/// tests and the E12 crash matrix. Each point corresponds to one ordering
+/// invariant of `docs/FORMAT.md` §8: replay from the on-disk state left
+/// behind at *any* of these points must converge to the no-crash state.
+///
+/// After [`DurableKb::compact_crashing_at`] returns, the in-memory store
+/// is intentionally inconsistent with the disk (exactly as a killed
+/// process would be) and must only be dropped; reopen from the path to
+/// observe recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die after the log rotation (fold rename + fresh active log), with
+    /// no segment published: the manifest still names the old
+    /// generation, and both the fold log and the new active log survive.
+    AfterLogRotation,
+    /// Die after the first fresh segment file is renamed into place but
+    /// before the manifest moves: orphan segments exist that no manifest
+    /// references.
+    AfterFirstSegmentPublish,
+    /// Die after every segment is durable but before the manifest
+    /// rename — the last instant the old generation is still current.
+    BeforeManifestRename,
+    /// Die immediately after the manifest rename, before the directory
+    /// fsync and any cleanup: the new generation is (probably) current
+    /// but stale fold logs and unreferenced segments linger.
+    AfterManifestRename,
+    /// Die after the manifest is fully durable but before stale logs,
+    /// stale segments, and legacy files are deleted.
+    BeforeCleanup,
+}
+
+impl CrashPoint {
+    /// Every crash point, in pipeline order — the E12 crash matrix
+    /// iterates this.
+    pub const ALL: [CrashPoint; 5] = [
+        CrashPoint::AfterLogRotation,
+        CrashPoint::AfterFirstSegmentPublish,
+        CrashPoint::BeforeManifestRename,
+        CrashPoint::AfterManifestRename,
+        CrashPoint::BeforeCleanup,
+    ];
+}
+
+/// What one compaction did, returned by [`DurableKb::poll_compaction`] /
+/// [`DurableKb::wait_for_compaction`] and kept as
+/// [`DurableKb::last_compaction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// The generation the compaction published.
+    pub generation: u64,
+    /// Operations folded out of the log by this compaction.
+    pub folded_ops: u64,
+    /// Total segments in the new manifest.
+    pub segments_total: usize,
+    /// Segments whose bytes were actually written this generation.
+    pub segments_written: usize,
+    /// Segments reused from the previous generation (unchanged body
+    /// hash — the append-friendly case).
+    pub segments_reused: usize,
+    /// Segment-body bytes written (excludes reused segments).
+    pub bytes_written: u64,
+}
+
+/// One not-yet-hydrated individual segment tracked by a paged open.
+struct LazySegment {
+    entry: ManifestEntry,
+    hydrated: bool,
+}
+
+/// An in-flight background compaction.
+struct CompactorHandle {
+    thread: std::thread::JoinHandle<Result<()>>,
+    manifest: Manifest,
+    report: CompactionReport,
+}
+
+/// Everything the publish pipeline needs, fully rendered — the plan owns
+/// only strings and paths, so it can move to the compactor thread and
+/// run without touching the `Kb`.
+struct CompactionPlan {
+    dir: PathBuf,
+    generation: u64,
+    segments: Vec<PlannedSegment>,
+    manifest: Manifest,
+    manifest_file: PathBuf,
+    stale_logs: Vec<PathBuf>,
+    stale_segments: Vec<PathBuf>,
+    legacy_files: Vec<PathBuf>,
+    report: CompactionReport,
+}
+
+struct PlannedSegment {
+    rendered: RenderedSegment,
+    file: String,
+    reuse: bool,
+}
+
+/// A knowledge base backed by an on-disk operation log and a segmented
+/// snapshot store.
+///
+/// ```
+/// use classic_store::DurableKb;
+/// # let dir = std::env::temp_dir().join(format!("classic-doc-open-{}", std::process::id()));
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// # std::fs::create_dir_all(&dir).unwrap();
+/// let path = dir.join("kb.log");
+/// let mut store = DurableKb::open(&path, |_| {})?;
+/// store.define_role("enrolled-at")?;
+/// store.create_ind("Rocky")?;
+/// store.compact()?; // fold the log into segments, durably
+/// drop(store);
+/// let reopened = DurableKb::open(&path, |_| {})?;
+/// assert_eq!(reopened.kb().ind_count(), 1);
+/// # Ok::<(), classic_core::ClassicError>(())
+/// ```
 pub struct DurableKb {
     kb: Kb,
     log_path: PathBuf,
+    dir: PathBuf,
+    stem: String,
     log: BufWriter<File>,
-    /// Operations appended since open/compact.
+    /// Operations appended (or replayed from unfolded logs) since the
+    /// last compaction began.
     ops_since_compact: u64,
-    /// Compaction generation of the current snapshot/log pair.
-    generation: u64,
+    /// Generation stamped in the active log's header.
+    log_gen: u64,
+    /// Generation of the last durably published snapshot (manifest or
+    /// legacy monolithic).
+    published_gen: u64,
+    /// The manifest the published generation corresponds to, if the
+    /// store is in the segmented format.
+    manifest: Option<Manifest>,
+    /// Individual segments not yet replayed (paged open only; empty
+    /// after an eager open or `hydrate_all`).
+    pending: Vec<LazySegment>,
+    compactor: Option<CompactorHandle>,
+    auto_compact_after: Option<u64>,
+    segment_budget: usize,
+    last_compaction: Option<CompactionReport>,
 }
 
 impl DurableKb {
-    /// Open (or create) a store rooted at `path`. `path` is the log file;
-    /// `path` with extension `.snapshot` holds the last compaction.
-    /// `register_tests` must register every host test function the logged
-    /// history references.
+    /// Open (or create) a store rooted at `path`, replaying everything
+    /// eagerly. `path` is the active log file; the manifest, segments,
+    /// and parked fold logs live next to it under the same file stem.
+    /// `register_tests` must register every host test function the
+    /// logged history references.
+    ///
+    /// Crash leftovers are swept here: `*.tmp` files from an interrupted
+    /// atomic write, segment files no manifest references, and fold logs
+    /// already folded into the manifest generation.
     pub fn open(path: impl AsRef<Path>, register_tests: impl FnOnce(&mut Kb)) -> Result<DurableKb> {
-        let log_path = path.as_ref().to_path_buf();
-        let mut kb = Kb::new();
-        register_tests(&mut kb);
-        // A crash during compaction can leave a temp snapshot that was
-        // never renamed into place; it is dead weight, not state.
-        let tmp = snapshot_tmp_path(&log_path);
-        if tmp.exists() {
-            let _ = std::fs::remove_file(&tmp);
-        }
-        // Replay snapshot first, then the tail log.
-        let snap_path = snapshot_path(&log_path);
-        let mut generation = 0u64;
-        if snap_path.exists() {
-            let script = read_file(&snap_path)?;
-            generation = parse_gen(&script);
-            replay(&mut kb, &script)?;
-        }
-        if log_path.exists() {
-            let log_gen = parse_gen(&read_file(&log_path)?);
-            if log_gen < generation {
-                // The log predates the snapshot: compact() crashed after
-                // renaming the snapshot but before truncating the log.
-                // Every operation in it is already folded into the
-                // snapshot; replaying would double-apply. Reset it.
-                reset_log(&log_path, generation)?;
-            } else {
-                recover_log(&mut kb, &log_path)?;
-            }
-        }
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&log_path)
-            .map_err(io_err)?;
-        Ok(DurableKb {
-            kb,
-            log_path,
-            log: BufWriter::new(file),
-            ops_since_compact: 0,
-            generation,
-        })
+        Self::open_impl(path.as_ref(), register_tests, false)
     }
 
-    /// The underlying knowledge base (read-only; mutations must go through
-    /// the logged operators).
+    /// Open a store *paged*: the manifest and schema segment load
+    /// eagerly, but individual segments hydrate only when something
+    /// references them — the log suffix during open, a later mutating
+    /// operator, or an explicit [`hydrate_all`](DurableKb::hydrate_all).
+    /// With a short log suffix, open cost tracks the suffix, not the
+    /// database size (experiment E12 measures exactly this).
+    ///
+    /// Until the store is fully hydrated, [`kb`](DurableKb::kb) panics
+    /// rather than expose a partial database; use
+    /// [`kb_hydrated`](DurableKb::kb_hydrated) for queries.
+    pub fn open_paged(
+        path: impl AsRef<Path>,
+        register_tests: impl FnOnce(&mut Kb),
+    ) -> Result<DurableKb> {
+        Self::open_impl(path.as_ref(), register_tests, true)
+    }
+
+    fn open_impl(
+        path: &Path,
+        register_tests: impl FnOnce(&mut Kb),
+        paged: bool,
+    ) -> Result<DurableKb> {
+        let log_path = path.to_path_buf();
+        let dir = match log_path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        let stem = stem_of(&log_path);
+        let mut kb = Kb::new();
+        register_tests(&mut kb);
+
+        // A crash during any atomic write leaves a `*.tmp` that was never
+        // renamed into place; it is dead weight, not state.
+        sweep_tmp_files(&dir, &stem);
+
+        let manifest = Manifest::load(&manifest_path(&log_path))?;
+        let mut published_gen = 0u64;
+        let mut pending: Vec<LazySegment> = Vec::new();
+        if let Some(m) = &manifest {
+            published_gen = m.generation;
+            // Schema first, always eagerly: definitions and the
+            // `;!tests:` contract gate everything else.
+            if let Some(entry) = m.schema_entry() {
+                let seg_path = dir.join(&entry.file);
+                let (_, body) = segment::read_verified(&seg_path, entry.hash)?;
+                replay(&mut kb, &body).map_err(|e| {
+                    storage_err(
+                        &seg_path,
+                        Some(m.generation),
+                        format!("replaying schema: {e}"),
+                    )
+                })?;
+            }
+            // Pre-create the full individual roster, in manifest (arena)
+            // order, as bare stubs. This keeps the arena layout
+            // canonical no matter which order segments hydrate in (a
+            // cross-segment FILLS reference would otherwise create its
+            // target out of order), and makes duplicate-name checks see
+            // parked individuals without touching segment bodies. Stubs
+            // are cheap: a symbol interning and an arena push, no told
+            // facts, no propagation.
+            for entry in m.ind_entries() {
+                for name in &entry.names {
+                    kb.create_ind(name).map_err(|e| {
+                        storage_err(
+                            &manifest_path(&log_path),
+                            Some(m.generation),
+                            format!("creating roster individual {name}: {e}"),
+                        )
+                    })?;
+                }
+            }
+            pending = m
+                .ind_entries()
+                .map(|entry| LazySegment {
+                    entry: entry.clone(),
+                    hydrated: false,
+                })
+                .collect();
+            // Garbage from a crash after the manifest rename: fold logs
+            // already folded in, segments no longer referenced.
+            sweep_stale(&dir, &stem, m);
+        } else {
+            // Legacy monolithic format (pre-segmented stores): one
+            // `.snapshot` script holding everything. Replay it; the next
+            // compaction migrates the store to the segmented format.
+            let snap_path = legacy_snapshot_path(&log_path);
+            if snap_path.exists() {
+                let script = read_file(&snap_path)?;
+                published_gen = parse_gen(&script);
+                replay(&mut kb, &script).map_err(|e| {
+                    storage_err(
+                        &snap_path,
+                        Some(published_gen),
+                        format!("replaying legacy snapshot: {e}"),
+                    )
+                })?;
+            }
+        }
+
+        let mut store = DurableKb {
+            kb,
+            log_path: log_path.clone(),
+            dir,
+            stem,
+            // Placeholder; replaced below once the logs are settled.
+            log: BufWriter::new(tempfile_placeholder(&log_path)?),
+            ops_since_compact: 0,
+            log_gen: published_gen,
+            published_gen,
+            manifest,
+            pending,
+            compactor: None,
+            auto_compact_after: None,
+            segment_budget: DEFAULT_SEGMENT_BUDGET,
+            last_compaction: None,
+        };
+        if !paged {
+            store.hydrate_all()?;
+        }
+        store.replay_logs()?;
+        store.reopen_active_log()?;
+        Ok(store)
+    }
+
+    // ---- access -----------------------------------------------------------
+
+    /// The underlying knowledge base (read-only; mutations must go
+    /// through the logged operators).
+    ///
+    /// # Panics
+    ///
+    /// On a [paged](DurableKb::open_paged) store that still has
+    /// unhydrated segments — a partial database must never masquerade as
+    /// the whole one. Call [`hydrate_all`](DurableKb::hydrate_all) first
+    /// or use [`kb_hydrated`](DurableKb::kb_hydrated).
     pub fn kb(&self) -> &Kb {
+        assert!(
+            self.is_fully_hydrated(),
+            "DurableKb::kb() on a partially hydrated paged store; \
+             call hydrate_all() or kb_hydrated() first"
+        );
         &self.kb
+    }
+
+    /// Hydrate every remaining segment, then return the (now complete)
+    /// knowledge base.
+    pub fn kb_hydrated(&mut self) -> Result<&Kb> {
+        self.hydrate_all()?;
+        Ok(&self.kb)
     }
 
     /// Mutable access for *query* paths that need `&mut Kb` (ad-hoc
     /// normalization interns symbols but asserts nothing durable).
+    /// Hydrates every remaining segment first.
     pub fn kb_mut_for_queries(&mut self) -> &mut Kb {
+        self.hydrate_all()
+            .expect("segment hydration failed; open() validated the manifest");
         &mut self.kb
     }
 
+    /// Generation of the last durably published snapshot.
+    pub fn generation(&self) -> u64 {
+        self.published_gen
+    }
+
+    /// Generation stamped in the active log (equals
+    /// [`generation`](DurableKb::generation) except while a compaction
+    /// is in flight or after one failed).
+    pub fn log_generation(&self) -> u64 {
+        self.log_gen
+    }
+
+    /// Individual segments not yet hydrated (0 unless the store was
+    /// opened with [`open_paged`](DurableKb::open_paged)).
+    pub fn pending_segments(&self) -> usize {
+        self.pending.iter().filter(|s| !s.hydrated).count()
+    }
+
+    /// Total individual segments in the current manifest.
+    pub fn segment_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Is every segment hydrated (always true for eager opens)?
+    pub fn is_fully_hydrated(&self) -> bool {
+        self.pending.iter().all(|s| s.hydrated)
+    }
+
+    /// The report of the most recent completed compaction, if any
+    /// finished during this store's lifetime.
+    pub fn last_compaction(&self) -> Option<CompactionReport> {
+        self.last_compaction
+    }
+
+    /// Operations appended (or replayed from unfolded logs) since the
+    /// store was opened or the last compaction began.
+    pub fn pending_ops(&self) -> u64 {
+        self.ops_since_compact
+    }
+
+    /// Set the maximum number of individuals per segment for subsequent
+    /// compactions (default [`DEFAULT_SEGMENT_BUDGET`]).
+    pub fn set_segment_budget(&mut self, budget: usize) {
+        self.segment_budget = budget.max(1);
+    }
+
+    /// Start a background compaction automatically whenever the pending
+    /// operation count reaches `threshold` (`None` disables — the
+    /// default).
+    pub fn set_auto_compact_after(&mut self, threshold: Option<u64>) {
+        self.auto_compact_after = threshold;
+    }
+
+    // ---- hydration ---------------------------------------------------------
+
+    /// Replay every remaining individual segment (ascending arena
+    /// order). A no-op on eager opens.
+    pub fn hydrate_all(&mut self) -> Result<()> {
+        for ix in 0..self.pending.len() {
+            self.hydrate_ix(ix)?;
+        }
+        Ok(())
+    }
+
+    fn hydrate_ix(&mut self, ix: usize) -> Result<()> {
+        if self.pending[ix].hydrated {
+            return Ok(());
+        }
+        let entry = self.pending[ix].entry.clone();
+        let seg_path = self.dir.join(&entry.file);
+        let (header, body) = segment::read_verified(&seg_path, entry.hash)?;
+        // Every individual in this range already exists as a roster stub
+        // (created at open from the manifest). Identity is by name, so
+        // the `create-ind` lines are skipped; the told assertions are
+        // what hydration replays.
+        let mut script = String::with_capacity(body.len());
+        for line in body.lines() {
+            if let Some(name) = create_ind_target(line) {
+                if self.knows_individual(name) {
+                    continue;
+                }
+            }
+            script.push_str(line);
+            script.push('\n');
+        }
+        classic_lang::run_script(&mut self.kb, &script).map_err(|e| {
+            storage_err(
+                &seg_path,
+                Some(header.generation),
+                format!("replaying segment: {e}"),
+            )
+        })?;
+        self.pending[ix].hydrated = true;
+        Ok(())
+    }
+
+    fn knows_individual(&self, name: &str) -> bool {
+        self.kb
+            .schema()
+            .symbols
+            .find_individual(name)
+            .is_some_and(|n| self.kb.ind_id(n).is_ok())
+    }
+
+    /// Hydrate the segment holding `name`, if it is still parked. A
+    /// no-op when the individual's segment is already in (or the name is
+    /// nowhere at all); exactly one segment body replays otherwise. The
+    /// mutating operators call this implicitly; it is public so
+    /// read-mostly callers can warm the individuals they are about to
+    /// query.
+    pub fn hydrate_for(&mut self, name: &str) -> Result<()> {
+        self.ensure_hydrated_for(name)
+    }
+
+    /// Make sure the segment holding `name` (if any) is hydrated. The
+    /// manifest's per-segment rosters answer the lookup, so the search
+    /// touches no files — exactly one segment body replays, and only
+    /// when the name is actually parked.
+    fn ensure_hydrated_for(&mut self, name: &str) -> Result<()> {
+        if self.is_fully_hydrated() {
+            return Ok(());
+        }
+        for ix in 0..self.pending.len() {
+            if !self.pending[ix].hydrated && self.pending[ix].entry.names.iter().any(|n| n == name)
+            {
+                return self.hydrate_ix(ix);
+            }
+        }
+        // Not parked anywhere: either already hydrated, a brand-new
+        // name, or a genuine error — the operation itself reports the
+        // latter.
+        Ok(())
+    }
+
+    // ---- log replay --------------------------------------------------------
+
+    /// Replay every unfolded log: parked fold logs (ascending
+    /// generation) and then the active log. Logs whose generation is
+    /// older than the published snapshot are already folded in and are
+    /// skipped (the stale active log is durably reset — PR 2's
+    /// double-apply guard).
+    fn replay_logs(&mut self) -> Result<()> {
+        let mut folds: Vec<(u64, PathBuf)> = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if let Some(gen) = parse_fold_gen(&name, &self.stem) {
+                    folds.push((gen, entry.path()));
+                }
+            }
+        }
+        folds.sort();
+        let mut max_gen = self.published_gen;
+        for (name_gen, path) in folds {
+            if name_gen < self.published_gen {
+                // Swept already unless sweeping raced/failed; skip.
+                continue;
+            }
+            let ops = self.replay_log_file(&path, false)?;
+            self.ops_since_compact += ops;
+            max_gen = max_gen.max(name_gen);
+        }
+        if self.log_path.exists() {
+            let log_gen = parse_gen(&read_file(&self.log_path)?);
+            if log_gen < self.published_gen {
+                // The active log predates the snapshot: a crash hit
+                // between snapshot publication and log truncation (the
+                // legacy monolithic pipeline). Every operation in it is
+                // already folded into the snapshot; replaying would
+                // double-apply. Reset it durably.
+                reset_log(&self.log_path, self.published_gen)?;
+                self.log_gen = self.published_gen;
+            } else {
+                let ops = self.replay_log_file(&self.log_path.clone(), true)?;
+                self.ops_since_compact += ops;
+                self.log_gen = log_gen.max(max_gen);
+            }
+        } else {
+            // No active log (a crash landed between the fold rename and
+            // the fresh log creation). Start one past everything we
+            // replayed so fold names can never collide.
+            self.log_gen = if max_gen > self.published_gen {
+                max_gen + 1
+            } else {
+                self.published_gen
+            };
+        }
+        Ok(())
+    }
+
+    /// Replay one log file line by line, tolerating a torn tail when
+    /// `allow_torn` (the active log — the only file a mid-append crash
+    /// can tear).
+    ///
+    /// The log is written one command per line with a flush per append,
+    /// so the only corruption a crash can produce is an incomplete final
+    /// line. Recovery truncates that tail (after which the log is
+    /// exactly the accepted history again); a malformed line *followed
+    /// by* valid ones is genuine corruption and is reported as an error
+    /// rather than repaired.
+    fn replay_log_file(&mut self, path: &Path, allow_torn: bool) -> Result<u64> {
+        let raw = read_file(path)?;
+        let gen = parse_gen(&raw);
+        // Byte offset of the end of the last successfully replayed line.
+        let mut good_end = 0usize;
+        let mut pending_failure: Option<ClassicError> = None;
+        let mut offset = 0usize;
+        let mut ops = 0u64;
+        for line in raw.split_inclusive('\n') {
+            offset += line.len();
+            let text = line.trim();
+            if text.is_empty() || text.starts_with(';') {
+                good_end = offset;
+                continue;
+            }
+            if let Some(e) = pending_failure {
+                // A valid-looking line after a failure ⇒ mid-log
+                // corruption, not a torn tail.
+                return Err(storage_err(
+                    path,
+                    Some(gen),
+                    format!("operation log corrupted mid-file (not just a torn tail): {e}"),
+                ));
+            }
+            match self.apply_log_line(text) {
+                Ok(()) => {
+                    good_end = offset;
+                    ops += 1;
+                }
+                Err(e) => pending_failure = Some(e),
+            }
+        }
+        if let Some(e) = pending_failure {
+            if !allow_torn {
+                return Err(storage_err(
+                    path,
+                    Some(gen),
+                    format!("fold log has a broken final record (fold logs are sealed): {e}"),
+                ));
+            }
+            if good_end < raw.len() {
+                // Torn tail: truncate the log back to the last good
+                // record.
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .map_err(|e| storage_err(path, Some(gen), format!("opening: {e}")))?;
+                file.set_len(good_end as u64)
+                    .map_err(|e| storage_err(path, Some(gen), format!("truncating: {e}")))?;
+            }
+        }
+        Ok(ops)
+    }
+
+    /// Apply one logged operation, hydrating whatever segments its
+    /// correctness depends on first: the target individual's segment for
+    /// `assert-ind`/`create-ind`, and *everything* for operations whose
+    /// effect spans the whole arena (`assert-rule` fires on all current
+    /// instances; retraction re-derives the reverse-filler cone).
+    fn apply_log_line(&mut self, text: &str) -> Result<()> {
+        let mut tokens = text.split_whitespace();
+        let op = tokens.next().unwrap_or("").trim_start_matches('(');
+        match op {
+            "assert-ind" => {
+                if let Some(name) = tokens.next() {
+                    self.ensure_hydrated_for(name.trim_end_matches(')'))?;
+                }
+            }
+            // create-ind needs no hydration: parked individuals exist as
+            // roster stubs, so a duplicate is caught either way, and a
+            // new name touches no segment.
+            "create-ind" | "define-role" | "define-attribute" | "define-concept" => {}
+            // Rule assertion applies to every current instance of the
+            // antecedent; retraction re-derives a cone that can span any
+            // segment. Conservative and correct: hydrate everything.
+            _ => self.hydrate_all()?,
+        }
+        classic_lang::run_script(&mut self.kb, text)?;
+        Ok(())
+    }
+
+    /// (Re)open the active log for appending, creating it (with its
+    /// generation header) if missing.
+    fn reopen_active_log(&mut self) -> Result<()> {
+        let file = if self.log_path.exists() {
+            OpenOptions::new()
+                .append(true)
+                .open(&self.log_path)
+                .map_err(|e| storage_err(&self.log_path, Some(self.log_gen), e))?
+        } else {
+            reset_log(&self.log_path, self.log_gen)?
+        };
+        self.log = BufWriter::new(file);
+        Ok(())
+    }
+
     fn append(&mut self, line: &str) -> Result<()> {
-        self.log.write_all(line.as_bytes()).map_err(io_err)?;
-        self.log.write_all(b"\n").map_err(io_err)?;
-        self.log.flush().map_err(io_err)?;
+        let io = |e: std::io::Error| storage_err(&self.log_path, Some(self.log_gen), e);
+        self.log.write_all(line.as_bytes()).map_err(io)?;
+        self.log.write_all(b"\n").map_err(io)?;
+        self.log.flush().map_err(io)?;
         // flush() only drains the userspace buffer; the record must reach
         // the device before the call returns, or an accepted update can
         // vanish in a power loss.
-        self.log.get_ref().sync_data().map_err(io_err)?;
+        self.log.get_ref().sync_data().map_err(io)?;
         self.ops_since_compact += 1;
+        self.after_append()
+    }
+
+    /// Housekeeping after a successful append: reap a finished
+    /// background compaction (surfacing its error, if it failed, at the
+    /// next durable call) and trigger the auto-compaction policy.
+    fn after_append(&mut self) -> Result<()> {
+        self.poll_compaction()?;
+        if let Some(threshold) = self.auto_compact_after {
+            if self.ops_since_compact >= threshold && self.compactor.is_none() {
+                self.compact_in_background()?;
+            }
+        }
         Ok(())
     }
 
@@ -144,7 +724,9 @@ impl DurableKb {
         Ok(id)
     }
 
-    /// `create-ind`, logged on success.
+    /// `create-ind`, logged on success. Needs no hydration even on a
+    /// paged store: every parked individual exists as a roster stub, so
+    /// the duplicate-name check sees it.
     pub fn create_ind(&mut self, name: &str) -> Result<IndId> {
         let id = self.kb.create_ind(name)?;
         self.append(&format!("(create-ind {name})"))?;
@@ -152,7 +734,9 @@ impl DurableKb {
     }
 
     /// `assert-ind`: applied to the KB first; logged only if accepted.
+    /// On a paged store the target's segment hydrates first.
     pub fn assert_ind(&mut self, name: &str, desc: &Concept) -> Result<AssertReport> {
+        self.ensure_hydrated_for(name)?;
         let rendered = desc.display(&self.kb.schema().symbols).to_string();
         let report = self.kb.assert_ind(name, desc)?;
         self.append(&format!("(assert-ind {name} {rendered})"))?;
@@ -160,7 +744,10 @@ impl DurableKb {
     }
 
     /// `assert-rule`: applied to the KB first; logged only if accepted.
+    /// Hydrates everything first — a rule fires on every current
+    /// instance of its antecedent.
     pub fn assert_rule(&mut self, antecedent: &str, consequent: Concept) -> Result<usize> {
+        self.hydrate_all()?;
         let rendered = consequent.display(&self.kb.schema().symbols).to_string();
         let ix = self.kb.assert_rule(antecedent, consequent)?;
         self.append(&format!("(assert-rule {antecedent} {rendered})"))?;
@@ -169,8 +756,10 @@ impl DurableKb {
 
     /// `retract-ind`: applied to the KB first; logged only if accepted.
     /// Compaction folds retractions away — the snapshot records only the
-    /// surviving told facts.
+    /// surviving told facts. Hydrates everything first — the re-derived
+    /// cone can span any segment.
     pub fn retract_ind(&mut self, name: &str, desc: &Concept) -> Result<RetractReport> {
+        self.hydrate_all()?;
         let rendered = desc.display(&self.kb.schema().symbols).to_string();
         let report = self.kb.retract_ind(name, desc)?;
         self.append(&format!("(retract-ind {name} {rendered})"))?;
@@ -183,6 +772,7 @@ impl DurableKb {
         antecedent: &str,
         consequent: &Concept,
     ) -> Result<RetractReport> {
+        self.hydrate_all()?;
         let rendered = consequent.display(&self.kb.schema().symbols).to_string();
         let report = self.kb.retract_rule(antecedent, consequent)?;
         self.append(&format!("(retract-rule {antecedent} {rendered})"))?;
@@ -190,7 +780,7 @@ impl DurableKb {
     }
 
     /// Register a host test function. Not logged (closures are not
-    /// serializable); the snapshot header records the required names.
+    /// serializable); the schema segment records the required names.
     pub fn register_test<F>(&mut self, name: &str, f: F) -> TestId
     where
         F: Fn(&TestArg<'_>) -> bool + Send + Sync + 'static,
@@ -198,55 +788,329 @@ impl DurableKb {
         self.kb.register_test(name, f)
     }
 
-    // ---- maintenance -------------------------------------------------------
+    // ---- compaction --------------------------------------------------------
 
-    /// Operations appended since the store was opened or last compacted.
-    pub fn pending_ops(&self) -> u64 {
-        self.ops_since_compact
-    }
-
-    /// Rewrite the snapshot from current state and truncate the log.
-    ///
-    /// Crash-ordering: the snapshot is written to a temp file and
-    /// `sync_all`ed, renamed into place, and the directory entry is
-    /// fsynced — only *then* is the log truncated, so the snapshot is
-    /// durable before the history it replaces disappears. Both files
-    /// carry a generation header: if a crash lands between the rename
-    /// and the truncation, the next open sees a log one generation
-    /// behind the snapshot and discards it instead of double-applying
-    /// operations already folded into the snapshot.
+    /// Fold the pending log into fresh segments synchronously: start a
+    /// background compaction and wait for it. Equivalent to
+    /// [`compact_in_background`](DurableKb::compact_in_background)
+    /// followed by [`wait_for_compaction`](DurableKb::wait_for_compaction).
     pub fn compact(&mut self) -> Result<()> {
-        let next_gen = self.generation + 1;
-        let snap = snapshot_to_string(&self.kb);
-        let snap_path = snapshot_path(&self.log_path);
-        let tmp = snapshot_tmp_path(&self.log_path);
-        {
-            let mut f = File::create(&tmp).map_err(io_err)?;
-            writeln!(f, "{GEN_PREFIX} {next_gen}").map_err(io_err)?;
-            f.write_all(snap.as_bytes()).map_err(io_err)?;
-            f.sync_all().map_err(io_err)?;
-        }
-        std::fs::rename(&tmp, &snap_path).map_err(io_err)?;
-        sync_dir(&self.log_path)?;
-        let file = reset_log(&self.log_path, next_gen)?;
-        self.log = BufWriter::new(file);
-        self.generation = next_gen;
-        self.ops_since_compact = 0;
+        self.wait_for_compaction()?;
+        let started = self.compact_in_background()?;
+        debug_assert!(started, "no compaction can be in flight here");
+        self.wait_for_compaction()?;
         Ok(())
     }
+
+    /// Start a background compaction, returning `false` (without doing
+    /// anything) if one is already in flight.
+    ///
+    /// The caller's thread renders the new segments in memory and
+    /// rotates the log — the active log is parked as a *fold log* and a
+    /// fresh one (next generation) takes its place, so appends continue
+    /// immediately. All disk work of the publish pipeline (segment
+    /// writes, fsyncs, the manifest rename, cleanup) happens on the
+    /// compactor thread; see `docs/FORMAT.md` §8 for the ordering
+    /// invariants at each step. Completion is observed by
+    /// [`poll_compaction`](DurableKb::poll_compaction) (also called
+    /// opportunistically after every append) or
+    /// [`wait_for_compaction`](DurableKb::wait_for_compaction).
+    pub fn compact_in_background(&mut self) -> Result<bool> {
+        self.poll_compaction()?;
+        if self.compactor.is_some() {
+            return Ok(false);
+        }
+        let plan = self.begin_compaction()?;
+        let manifest = plan.manifest.clone();
+        let report = plan.report;
+        let thread = std::thread::Builder::new()
+            .name("classic-store-compactor".into())
+            .spawn(move || publish_plan(&plan, None))
+            .map_err(|e| {
+                storage_err(
+                    &self.log_path,
+                    Some(self.log_gen),
+                    format!("spawning compactor: {e}"),
+                )
+            })?;
+        self.compactor = Some(CompactorHandle {
+            thread,
+            manifest,
+            report,
+        });
+        Ok(true)
+    }
+
+    /// Reap the background compaction if it has finished. Returns its
+    /// report when it completed *since the last poll*, `None` if idle or
+    /// still running; a failed compaction surfaces its error here (the
+    /// store remains usable — the un-deleted fold log still carries the
+    /// history, and the next successful compaction supersedes it).
+    pub fn poll_compaction(&mut self) -> Result<Option<CompactionReport>> {
+        if self
+            .compactor
+            .as_ref()
+            .is_some_and(|h| h.thread.is_finished())
+        {
+            return self.reap_compactor();
+        }
+        Ok(None)
+    }
+
+    /// Block until any in-flight background compaction completes and
+    /// reap it. Returns `None` if none was in flight.
+    pub fn wait_for_compaction(&mut self) -> Result<Option<CompactionReport>> {
+        if self.compactor.is_some() {
+            return self.reap_compactor();
+        }
+        Ok(None)
+    }
+
+    fn reap_compactor(&mut self) -> Result<Option<CompactionReport>> {
+        let Some(handle) = self.compactor.take() else {
+            return Ok(None);
+        };
+        match handle.thread.join() {
+            Ok(Ok(())) => {
+                self.published_gen = handle.manifest.generation;
+                self.manifest = Some(handle.manifest);
+                // Everything the manifest references is already in
+                // memory (compaction hydrates fully), so no segment is
+                // pending.
+                self.pending.clear();
+                self.last_compaction = Some(handle.report);
+                Ok(Some(handle.report))
+            }
+            Ok(Err(e)) => Err(e),
+            Err(_) => Err(storage_err(
+                &self.log_path,
+                Some(self.log_gen),
+                "compactor thread panicked",
+            )),
+        }
+    }
+
+    /// Run the compaction pipeline synchronously but stop dead at
+    /// `point`, leaving the on-disk state a crash at that instant would
+    /// leave. Test/experiment instrumentation for the crash matrix
+    /// (`docs/FORMAT.md` §8): after this returns, drop the store without
+    /// further operations and reopen from the path to observe recovery.
+    pub fn compact_crashing_at(&mut self, point: CrashPoint) -> Result<()> {
+        self.wait_for_compaction()?;
+        let plan = self.begin_compaction()?;
+        if point == CrashPoint::AfterLogRotation {
+            return Ok(());
+        }
+        publish_plan(&plan, Some(point))
+    }
+
+    /// Render the new generation and rotate the log. Everything returned
+    /// is owned data — the publish pipeline needs no further access to
+    /// the store.
+    fn begin_compaction(&mut self) -> Result<CompactionPlan> {
+        // Rendering requires the complete database.
+        self.hydrate_all()?;
+        let next_gen = self.log_gen + 1;
+
+        // Render: one schema segment plus the arena partitioned by the
+        // segment budget. Unchanged bodies (same content hash, file
+        // already on disk) are reused, not rewritten — that is what
+        // makes compaction append-friendly.
+        let mut rendered = vec![render_schema_segment(&self.kb)];
+        rendered.extend(render_ind_segments(&self.kb, self.segment_budget));
+        let mut segments = Vec::with_capacity(rendered.len());
+        let mut entries = Vec::with_capacity(rendered.len());
+        let mut written = 0usize;
+        let mut reused = 0usize;
+        let mut bytes_written = 0u64;
+        let mut planned_files: Vec<String> = Vec::new();
+        for seg in rendered {
+            let file = segment_file_name(&self.stem, seg.hash);
+            let already_live = self.manifest.as_ref().is_some_and(|m| {
+                m.entries
+                    .iter()
+                    .any(|e| e.hash == seg.hash && e.file == file)
+            }) && self.dir.join(&file).exists();
+            let duplicate_in_plan = planned_files.contains(&file);
+            let reuse = already_live || duplicate_in_plan;
+            if reuse {
+                reused += 1;
+            } else {
+                written += 1;
+                bytes_written += seg.body.len() as u64;
+            }
+            planned_files.push(file.clone());
+            entries.push(ManifestEntry {
+                kind: seg.kind,
+                lo: seg.lo,
+                hi: seg.hi,
+                count: seg.names.len(),
+                file: file.clone(),
+                hash: seg.hash,
+                bytes: seg.body.len() as u64,
+                names: seg.names.clone(),
+            });
+            segments.push(PlannedSegment {
+                rendered: seg,
+                file,
+                reuse,
+            });
+        }
+        let manifest = Manifest {
+            generation: next_gen,
+            entries,
+        };
+
+        // Stale state superseded once the new manifest publishes: every
+        // fold log on disk plus the active log we are about to park, old
+        // segments the new manifest no longer references, and the legacy
+        // monolithic snapshot if this store was just migrated.
+        let mut stale_logs: Vec<PathBuf> = Vec::new();
+        if let Ok(dir_entries) = std::fs::read_dir(&self.dir) {
+            for entry in dir_entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if parse_fold_gen(&name, &self.stem).is_some() {
+                    stale_logs.push(entry.path());
+                }
+            }
+        }
+        stale_logs.push(fold_log_path(&self.dir, &self.stem, self.log_gen));
+        let stale_segments: Vec<PathBuf> = self
+            .manifest
+            .as_ref()
+            .map(|old| {
+                old.entries
+                    .iter()
+                    .filter(|e| !planned_files.contains(&e.file))
+                    .map(|e| self.dir.join(&e.file))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut legacy_files = Vec::new();
+        let legacy = legacy_snapshot_path(&self.log_path);
+        if legacy.exists() {
+            legacy_files.push(legacy);
+        }
+
+        // Rotate the log: park the active log as a sealed fold log and
+        // start the next generation. A crash right after this leaves
+        // manifest(old) + fold(old gen) + active(new gen): open replays
+        // both logs over the old segments — nothing is lost, nothing is
+        // double-applied.
+        let io = |path: &Path, e: std::io::Error| storage_err(path, Some(next_gen), e);
+        self.log.flush().map_err(|e| io(&self.log_path, e))?;
+        self.log
+            .get_ref()
+            .sync_all()
+            .map_err(|e| io(&self.log_path, e))?;
+        let fold = fold_log_path(&self.dir, &self.stem, self.log_gen);
+        std::fs::rename(&self.log_path, &fold).map_err(|e| io(&self.log_path, e))?;
+        let fresh = reset_log(&self.log_path, next_gen)?;
+        sync_dir(&self.log_path)?;
+        self.log = BufWriter::new(fresh);
+        let folded_ops = std::mem::take(&mut self.ops_since_compact);
+        self.log_gen = next_gen;
+
+        let report = CompactionReport {
+            generation: next_gen,
+            folded_ops,
+            segments_total: segments.len(),
+            segments_written: written,
+            segments_reused: reused,
+            bytes_written,
+        };
+        Ok(CompactionPlan {
+            dir: self.dir.clone(),
+            generation: next_gen,
+            segments,
+            manifest,
+            manifest_file: manifest_path(&self.log_path),
+            stale_logs,
+            stale_segments,
+            legacy_files,
+            report,
+        })
+    }
+}
+
+impl Drop for DurableKb {
+    fn drop(&mut self) {
+        // Never leave a half-published generation behind: the publish
+        // pipeline is crash-safe, but joining is free and makes `drop;
+        // reopen` deterministic for callers.
+        let _ = self.wait_for_compaction();
+    }
+}
+
+/// The disk half of compaction, run on the compactor thread (or inline
+/// for crash-matrix tests, stopping at `crash`). Ordering is normative —
+/// `docs/FORMAT.md` §8:
+///
+/// 1. every fresh segment: tmp write → fsync → rename;
+/// 2. directory fsync (segments durable before anything references them);
+/// 3. manifest: tmp write → fsync → rename (**the publication point**);
+/// 4. directory fsync (the new generation is now crash-durable);
+/// 5. cleanup: delete stale fold logs, unreferenced segments, legacy
+///    snapshot; directory fsync.
+fn publish_plan(plan: &CompactionPlan, crash: Option<CrashPoint>) -> Result<()> {
+    debug_assert!(crash != Some(CrashPoint::AfterLogRotation));
+    let mut first_published = false;
+    for seg in &plan.segments {
+        if seg.reuse || plan.dir.join(&seg.file).exists() {
+            continue;
+        }
+        segment::write_segment(&plan.dir, &seg.file, &seg.rendered, plan.generation)?;
+        if !first_published {
+            first_published = true;
+            if crash == Some(CrashPoint::AfterFirstSegmentPublish) {
+                return Ok(());
+            }
+        }
+    }
+    // Crash point still honored when every segment was reused.
+    if crash == Some(CrashPoint::AfterFirstSegmentPublish) {
+        return Ok(());
+    }
+    sync_dir(&plan.manifest_file)?;
+    if crash == Some(CrashPoint::BeforeManifestRename) {
+        return Ok(());
+    }
+    plan.manifest.write_atomic(&plan.manifest_file)?;
+    if crash == Some(CrashPoint::AfterManifestRename) {
+        return Ok(());
+    }
+    sync_dir(&plan.manifest_file)?;
+    if crash == Some(CrashPoint::BeforeCleanup) {
+        return Ok(());
+    }
+    for path in plan
+        .stale_logs
+        .iter()
+        .chain(&plan.stale_segments)
+        .chain(&plan.legacy_files)
+    {
+        match std::fs::remove_file(path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(storage_err(path, Some(plan.generation), e)),
+        }
+    }
+    sync_dir(&plan.manifest_file)?;
+    Ok(())
 }
 
 /// Truncate the log and start it with the given generation header,
 /// durably. Returns the open handle positioned for appending.
 fn reset_log(log_path: &Path, generation: u64) -> Result<File> {
+    let io = |e: std::io::Error| storage_err(log_path, Some(generation), e);
     let mut file = OpenOptions::new()
         .create(true)
         .write(true)
         .truncate(true)
         .open(log_path)
-        .map_err(io_err)?;
-    writeln!(file, "{GEN_PREFIX} {generation}").map_err(io_err)?;
-    file.sync_all().map_err(io_err)?;
+        .map_err(io)?;
+    writeln!(file, "{GEN_PREFIX} {generation}").map_err(io)?;
+    file.sync_all().map_err(io)?;
     Ok(file)
 }
 
@@ -256,80 +1120,95 @@ fn reset_log(log_path: &Path, generation: u64) -> Result<File> {
 fn sync_dir(path: &Path) -> Result<()> {
     #[cfg(unix)]
     if let Some(dir) = path.parent() {
-        File::open(dir).and_then(|d| d.sync_all()).map_err(io_err)?;
+        let dir = if dir.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            dir
+        };
+        File::open(dir)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| storage_err(dir, None, format!("fsyncing directory: {e}")))?;
     }
     #[cfg(not(unix))]
     let _ = path;
     Ok(())
 }
 
-/// Replay the operation log line by line, tolerating a torn tail.
-///
-/// The log is written one command per line with a flush per append, so
-/// the only corruption a crash can produce is an incomplete final line.
-/// Recovery truncates that tail (after which the log is exactly the
-/// accepted history again); a malformed line *followed by* valid ones is
-/// genuine corruption and is reported as an error rather than repaired.
-fn recover_log(kb: &mut Kb, log_path: &Path) -> Result<()> {
-    let raw = read_file(log_path)?;
-    // Byte offset of the end of the last successfully replayed line.
-    let mut good_end = 0usize;
-    let mut pending_failure: Option<(usize, ClassicError)> = None;
-    let mut offset = 0usize;
-    for line in raw.split_inclusive('\n') {
-        let start = offset;
-        offset += line.len();
-        let text = line.trim();
-        if text.is_empty() || text.starts_with(';') {
-            good_end = offset;
-            continue;
-        }
-        if let Some((_, e)) = pending_failure {
-            // A valid-looking line after a failure ⇒ mid-log corruption.
-            return Err(ClassicError::Malformed(format!(
-                "operation log corrupted mid-file (not just a torn tail): {e}"
-            )));
-        }
-        match classic_lang::run_script(kb, text) {
-            Ok(_) => good_end = offset,
-            Err(e) => pending_failure = Some((start, e)),
+/// Best-effort sweep of `*.tmp` leftovers from an interrupted atomic
+/// write (`<stem>.…​.tmp`). They were never renamed into place, so they
+/// are dead weight, not state.
+fn sweep_tmp_files(dir: &Path, stem: &str) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with(&format!("{stem}.")) && name.ends_with(".tmp") {
+            let _ = std::fs::remove_file(entry.path());
         }
     }
-    if pending_failure.is_some() && good_end < raw.len() {
-        // Torn tail: truncate the log back to the last good record.
-        let file = OpenOptions::new()
-            .write(true)
-            .open(log_path)
-            .map_err(io_err)?;
-        file.set_len(good_end as u64).map_err(io_err)?;
-    }
-    Ok(())
 }
 
-fn snapshot_path(log: &Path) -> PathBuf {
+/// Best-effort sweep of state superseded by `manifest`: fold logs whose
+/// generation the manifest already folds in, segment files it does not
+/// reference, and the legacy monolithic snapshot.
+fn sweep_stale(dir: &Path, stem: &str, manifest: &Manifest) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(gen) = parse_fold_gen(&name, stem) {
+            if gen < manifest.generation {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        } else if (is_segment_file(&name, stem) && !manifest.entries.iter().any(|e| e.file == name))
+            || name == format!("{stem}.snapshot")
+        {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// If `line` is a `(create-ind NAME)` record exactly as the snapshot
+/// renderer writes it, the name; otherwise `None`.
+fn create_ind_target(line: &str) -> Option<&str> {
+    line.trim()
+        .strip_prefix("(create-ind ")?
+        .strip_suffix(')')
+        .map(str::trim)
+}
+
+/// The pre-segmented, monolithic snapshot path (`kb.log` → `kb.snapshot`).
+fn legacy_snapshot_path(log: &Path) -> PathBuf {
     log.with_extension("snapshot")
 }
 
-fn snapshot_tmp_path(log: &Path) -> PathBuf {
-    log.with_extension("snapshot.tmp")
+/// A throwaway file handle used to build the struct before the real
+/// active log is settled (the field is replaced before `open` returns).
+fn tempfile_placeholder(log_path: &Path) -> Result<File> {
+    // Open the directory's /dev/null equivalent: a write handle to a
+    // tmp file we immediately reuse or recreate. Cheapest portable
+    // option: create (or truncate) `<log>.tmp` which the tmp sweep of
+    // any future open removes if we crash before replacing it.
+    let tmp = tmp_path(log_path);
+    let f = File::create(&tmp).map_err(|e| storage_err(&tmp, None, e))?;
+    let _ = std::fs::remove_file(&tmp);
+    Ok(f)
 }
 
 fn read_file(path: &Path) -> Result<String> {
     let mut s = String::new();
     File::open(path)
         .and_then(|mut f| f.read_to_string(&mut s))
-        .map_err(io_err)?;
+        .map_err(|e| storage_err(path, None, e))?;
     Ok(s)
-}
-
-fn io_err(e: std::io::Error) -> ClassicError {
-    ClassicError::Malformed(format!("storage I/O error: {e}"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::snapshot::same_state;
+    use crate::snapshot::{same_state, snapshot_to_string};
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir =
@@ -358,6 +1237,17 @@ mod tests {
         store
             .assert_ind("Rocky", &Concept::AtLeast(1, enrolled))
             .unwrap();
+    }
+
+    /// Add individuals `Ind-{start}..Ind-{start+n}` so the arena spans
+    /// several segments at a small budget.
+    fn populate_many(store: &mut DurableKb, start: usize, n: usize) {
+        let person = store.kb.schema().symbols.find_concept("PERSON").unwrap();
+        for i in start..start + n {
+            let name = format!("Ind-{i:03}");
+            store.create_ind(&name).unwrap();
+            store.assert_ind(&name, &Concept::Name(person)).unwrap();
+        }
     }
 
     #[test]
@@ -439,6 +1329,10 @@ mod tests {
         assert!(store.pending_ops() > 0);
         store.compact().unwrap();
         assert_eq!(store.pending_ops(), 0);
+        assert!(
+            manifest_path(&path).exists(),
+            "compaction publishes a manifest"
+        );
         // More ops after compaction land in the fresh log.
         store.create_ind("Bullwinkle").unwrap();
         let before = snapshot_to_string(store.kb());
@@ -508,24 +1402,27 @@ mod tests {
             Ok(_) => panic!("mid-log corruption must not open cleanly"),
         };
         assert!(err.to_string().contains("corrupted"), "got: {err}");
+        // The error names the offending file.
+        assert!(err.to_string().contains("kb.log"), "got: {err}");
     }
 
     #[test]
-    fn crash_between_snapshot_rename_and_log_truncate_does_not_double_apply() {
+    fn crash_between_manifest_rename_and_log_truncate_does_not_double_apply() {
         let dir = tmpdir("crashorder");
         let path = dir.join("kb.log");
         let mut store = DurableKb::open(&path, |_| {}).unwrap();
         populate(&mut store);
         // Save the pre-compaction log, compact, then put the old log
-        // back: exactly the on-disk state a crash leaves if it lands
-        // after the snapshot rename but before the log truncation.
+        // back: the on-disk state a crash leaves if it lands after the
+        // manifest rename but before stale-log cleanup, with the stale
+        // log additionally restored to the *active* name.
         let old_log = std::fs::read(&path).unwrap();
         let before = snapshot_to_string(store.kb());
         store.compact().unwrap();
         drop(store);
         std::fs::write(&path, &old_log).unwrap();
 
-        // Replaying the stale log on top of the snapshot would fail
+        // Replaying the stale log on top of the segments would fail
         // (create-ind duplicates) or double-apply; open must detect the
         // generation mismatch and discard it instead.
         let reopened = DurableKb::open(&path, |_| {}).unwrap();
@@ -537,21 +1434,25 @@ mod tests {
     }
 
     #[test]
-    fn stale_temp_snapshot_is_removed_on_open() {
+    fn stale_temp_files_are_removed_on_open() {
         let dir = tmpdir("staletmp");
         let path = dir.join("kb.log");
         let mut store = DurableKb::open(&path, |_| {}).unwrap();
         populate(&mut store);
+        store.compact().unwrap();
         let before = snapshot_to_string(store.kb());
         drop(store);
-        // A crash mid-compaction leaves a partial temp snapshot that was
-        // never renamed into place.
-        let tmp = super::snapshot_tmp_path(&path);
-        std::fs::write(&tmp, "; partial snapshot, crashed mid-write").unwrap();
+        // A crash mid-compaction leaves tmp files that were never
+        // renamed into place: a partial segment and a partial manifest.
+        let seg_tmp = dir.join("kb.seg-00000000deadbeef.classic.tmp");
+        let man_tmp = dir.join("kb.manifest.tmp");
+        std::fs::write(&seg_tmp, "; partial segment, crashed mid-write").unwrap();
+        std::fs::write(&man_tmp, "; partial manifest, crashed mid-write").unwrap();
 
         let reopened = DurableKb::open(&path, |_| {}).unwrap();
         assert_eq!(before, snapshot_to_string(reopened.kb()));
-        assert!(!tmp.exists(), "stale temp snapshot must be cleaned up");
+        assert!(!seg_tmp.exists(), "stale temp segment must be cleaned up");
+        assert!(!man_tmp.exists(), "stale temp manifest must be cleaned up");
     }
 
     #[test]
@@ -589,16 +1490,20 @@ mod tests {
         assert!(!reopened.kb().is_instance_of(rocky, student).unwrap());
         drop(reopened);
 
-        // …and compaction folds it away: the snapshot carries only the
+        // …and compaction folds it away: the segments carry only the
         // surviving told facts, with no retract-ind record.
         let mut store = DurableKb::open(&path, |_| {}).unwrap();
         store.compact().unwrap();
         drop(store);
-        let snap_text = std::fs::read_to_string(super::snapshot_path(&path)).unwrap();
-        assert!(!snap_text.contains("retract-ind"));
+        let manifest = Manifest::load(&manifest_path(&path)).unwrap().unwrap();
+        let mut all_segments = String::new();
+        for entry in &manifest.entries {
+            all_segments.push_str(&std::fs::read_to_string(dir.join(&entry.file)).unwrap());
+        }
+        assert!(!all_segments.contains("retract-ind"));
         // The STUDENT definition still mentions the restriction, but the
         // retracted told fact about Rocky is gone.
-        assert!(!snap_text.contains("(assert-ind Rocky (AT-LEAST 1 enrolled-at))"));
+        assert!(!all_segments.contains("(assert-ind Rocky (AT-LEAST 1 enrolled-at))"));
         let reopened = DurableKb::open(&path, |_| {}).unwrap();
         assert_eq!(before, snapshot_to_string(reopened.kb()));
     }
@@ -668,5 +1573,233 @@ mod tests {
         let junk_nf = reopened.kb().schema().concept_nf(junk).unwrap();
         let vr = reopened.kb().ind(rocky).derived.value_restriction(eat);
         assert!(classic_core::subsumes(junk_nf, &vr));
+    }
+
+    // ---- segmented-format behaviors ------------------------------------
+
+    #[test]
+    fn compaction_partitions_individuals_across_segments() {
+        let dir = tmpdir("segments");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        store.set_segment_budget(4);
+        populate(&mut store);
+        populate_many(&mut store, 0, 10); // 11 individuals total
+        store.compact().unwrap();
+        let report = store.last_compaction().unwrap();
+        assert_eq!(report.segments_total, 1 + 3, "schema + ceil(11/4) segments");
+        assert_eq!(report.segments_written, 4);
+        drop(store);
+        let manifest = Manifest::load(&manifest_path(&path)).unwrap().unwrap();
+        assert_eq!(manifest.ind_entries().count(), 3);
+        assert!(manifest.schema_entry().is_some());
+    }
+
+    #[test]
+    fn unchanged_segments_are_reused_across_compactions() {
+        let dir = tmpdir("reuse");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        store.set_segment_budget(4);
+        populate(&mut store);
+        populate_many(&mut store, 0, 10);
+        store.compact().unwrap();
+        // Append-only growth: earlier full segments and the schema are
+        // byte-identical next generation, so only the tail is rewritten.
+        populate_many(&mut store, 10, 3);
+        store.compact().unwrap();
+        let report = store.last_compaction().unwrap();
+        assert!(
+            report.segments_reused >= 3,
+            "schema + first two full segments must be reused, got {report:?}"
+        );
+        assert!(report.segments_written <= 2, "got {report:?}");
+        // Reopen agrees with memory.
+        let before = snapshot_to_string(store.kb());
+        drop(store);
+        let reopened = DurableKb::open(&path, |_| {}).unwrap();
+        assert_eq!(before, snapshot_to_string(reopened.kb()));
+    }
+
+    #[test]
+    fn paged_open_defers_segments_and_hydrates_on_demand() {
+        let dir = tmpdir("paged");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        store.set_segment_budget(4);
+        populate(&mut store);
+        populate_many(&mut store, 0, 10);
+        store.compact().unwrap();
+        // A short log suffix touching one individual.
+        let person = store.kb.schema().symbols.find_concept("PERSON").unwrap();
+        store.assert_ind("Ind-002", &Concept::Name(person)).unwrap();
+        let before = snapshot_to_string(store.kb());
+        drop(store);
+
+        let mut paged = DurableKb::open_paged(&path, |_| {}).unwrap();
+        assert_eq!(paged.segment_count(), 3);
+        // Replaying the suffix hydrated only Ind-002's segment.
+        assert_eq!(paged.pending_segments(), 2);
+        assert!(!paged.is_fully_hydrated());
+        // A mutation touching a parked individual hydrates its segment.
+        let person = paged.kb.schema().symbols.find_concept("PERSON").unwrap();
+        paged.assert_ind("Ind-007", &Concept::Name(person)).unwrap();
+        assert_eq!(paged.pending_segments(), 1);
+        // Full hydration converges to the eager state.
+        let full = paged.kb_hydrated().unwrap();
+        let mut oracle_store = DurableKb::open(&path, |_| {}).unwrap();
+        let person = oracle_store
+            .kb
+            .schema()
+            .symbols
+            .find_concept("PERSON")
+            .unwrap();
+        oracle_store
+            .assert_ind("Ind-007", &Concept::Name(person))
+            .unwrap();
+        assert!(same_state(full, oracle_store.kb()));
+        let _ = before;
+    }
+
+    #[test]
+    #[should_panic(expected = "partially hydrated")]
+    fn kb_panics_on_partially_hydrated_store() {
+        let dir = tmpdir("pagedpanic");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        store.set_segment_budget(2);
+        populate(&mut store);
+        populate_many(&mut store, 0, 6);
+        store.compact().unwrap();
+        drop(store);
+        let paged = DurableKb::open_paged(&path, |_| {}).unwrap();
+        assert!(paged.pending_segments() > 0, "precondition");
+        let _ = paged.kb(); // must panic
+    }
+
+    #[test]
+    fn background_compaction_does_not_block_appends() {
+        let dir = tmpdir("bg");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        populate(&mut store);
+        assert!(store.compact_in_background().unwrap());
+        // Appends proceed immediately against the rotated log while the
+        // compactor publishes.
+        store.create_ind("Bullwinkle").unwrap();
+        let report = store.wait_for_compaction().unwrap().unwrap();
+        assert!(report.generation >= 1);
+        assert_eq!(store.generation(), report.generation);
+        let before = snapshot_to_string(store.kb());
+        drop(store);
+        let reopened = DurableKb::open(&path, |_| {}).unwrap();
+        assert_eq!(before, snapshot_to_string(reopened.kb()));
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_threshold() {
+        let dir = tmpdir("auto");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        store.set_auto_compact_after(Some(5));
+        populate(&mut store); // 7 ops ⇒ a compaction has started
+        store.wait_for_compaction().unwrap();
+        assert!(
+            store.last_compaction().is_some(),
+            "threshold crossing must have started a compaction"
+        );
+        assert!(manifest_path(&path).exists());
+        let before = snapshot_to_string(store.kb());
+        drop(store);
+        let reopened = DurableKb::open(&path, |_| {}).unwrap();
+        assert_eq!(before, snapshot_to_string(reopened.kb()));
+    }
+
+    #[test]
+    fn legacy_monolithic_store_is_opened_and_migrated() {
+        let dir = tmpdir("legacy");
+        let path = dir.join("kb.log");
+        // Fabricate the pre-segmented layout: `kb.snapshot` (gen header +
+        // monolithic script) plus a fresh-generation log with a suffix.
+        let mut oracle = DurableKb::open(dir.join("oracle.log"), |_| {}).unwrap();
+        populate(&mut oracle);
+        let script = snapshot_to_string(oracle.kb());
+        std::fs::write(
+            legacy_snapshot_path(&path),
+            format!("{GEN_PREFIX} 3\n{script}"),
+        )
+        .unwrap();
+        std::fs::write(&path, format!("{GEN_PREFIX} 3\n(create-ind Bullwinkle)\n")).unwrap();
+
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        assert_eq!(store.generation(), 3);
+        assert!(store
+            .kb()
+            .schema()
+            .symbols
+            .find_individual("Bullwinkle")
+            .is_some());
+        // Compaction migrates to the segmented format and removes the
+        // legacy snapshot.
+        store.compact().unwrap();
+        assert_eq!(store.generation(), 4);
+        assert!(!legacy_snapshot_path(&path).exists());
+        assert!(manifest_path(&path).exists());
+        let before = snapshot_to_string(store.kb());
+        drop(store);
+        let reopened = DurableKb::open(&path, |_| {}).unwrap();
+        assert_eq!(before, snapshot_to_string(reopened.kb()));
+    }
+
+    #[test]
+    fn crash_after_log_rotation_replays_fold_and_active_logs() {
+        let dir = tmpdir("foldreplay");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        populate(&mut store);
+        let before = snapshot_to_string(store.kb());
+        // Die right after the rotation: the fold log holds the history,
+        // the fresh active log is empty, and no new manifest exists.
+        store
+            .compact_crashing_at(CrashPoint::AfterLogRotation)
+            .unwrap();
+        drop(store);
+        assert!(fold_log_path(&dir, "kb", 0).exists());
+        let reopened = DurableKb::open(&path, |_| {}).unwrap();
+        assert_eq!(before, snapshot_to_string(reopened.kb()));
+        // The next compaction folds both logs away for good.
+        drop(reopened);
+        let mut again = DurableKb::open(&path, |_| {}).unwrap();
+        again.compact().unwrap();
+        assert!(!fold_log_path(&dir, "kb", 0).exists());
+        drop(again);
+        let final_open = DurableKb::open(&path, |_| {}).unwrap();
+        assert_eq!(before, snapshot_to_string(final_open.kb()));
+    }
+
+    #[test]
+    fn storage_errors_name_the_offending_file_and_generation() {
+        let dir = tmpdir("errctx");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        populate(&mut store);
+        store.compact().unwrap();
+        drop(store);
+        // Truncate one published segment: open must fail naming it.
+        let manifest = Manifest::load(&manifest_path(&path)).unwrap().unwrap();
+        let victim = manifest.ind_entries().next().unwrap().file.clone();
+        let seg_path = dir.join(&victim);
+        let text = std::fs::read_to_string(&seg_path).unwrap();
+        std::fs::write(&seg_path, &text[..text.len() / 2]).unwrap();
+        let err = match DurableKb::open(&path, |_| {}) {
+            Err(e) => e,
+            Ok(_) => panic!("a truncated segment must not open cleanly"),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains(&victim), "error must name the file: {msg}");
+        assert!(
+            msg.contains("generation"),
+            "error must name the generation: {msg}"
+        );
     }
 }
