@@ -5,7 +5,12 @@
 //! cargo run -p classic-bench --release --bin experiments           # all
 //! cargo run -p classic-bench --release --bin experiments -- e3 e7  # some
 //! cargo run -p classic-bench --release --bin experiments -- list
+//! cargo run -p classic-bench --release --bin experiments -- e9 --metrics out.prom
 //! ```
+//!
+//! `--metrics <path>` dumps the process-wide metric roll-up (every KB the
+//! experiments built) after the run: Prometheus text at `<path>`, JSON at
+//! `<path>.json`.
 
 use classic_bench::experiments;
 
@@ -13,9 +18,18 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(ix) = args.iter().position(|a| a == "--smoke") {
         // Smoke mode: experiments that honor it shrink their workload
-        // sizes (CI runs E12 this way).
+        // sizes (CI runs E12 and E13 this way).
         args.remove(ix);
         std::env::set_var("CLASSIC_BENCH_SMOKE", "1");
+    }
+    let mut metrics_path: Option<String> = None;
+    if let Some(ix) = args.iter().position(|a| a == "--metrics") {
+        if ix + 1 >= args.len() {
+            eprintln!("--metrics needs a path");
+            std::process::exit(1);
+        }
+        metrics_path = Some(args.remove(ix + 1));
+        args.remove(ix);
     }
     if args.iter().any(|a| a == "list") {
         for (id, desc, _) in experiments::registry() {
@@ -36,5 +50,13 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(path) = metrics_path {
+        std::fs::write(&path, classic_obs::render_all_prometheus())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        let json_path = format!("{path}.json");
+        std::fs::write(&json_path, classic_obs::render_all_json())
+            .unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
+        eprintln!("; metrics written to {path} and {json_path}");
     }
 }

@@ -55,9 +55,16 @@ fn build_schema(store: &mut DurableKb) {
     store
         .define_concept("PERSON", Concept::primitive(Concept::thing(), "person"))
         .unwrap();
-    let person = store.kb().schema().symbols.find_concept("PERSON").unwrap();
+    let person = store
+        .kb()
+        .unwrap()
+        .schema()
+        .symbols
+        .find_concept("PERSON")
+        .unwrap();
     let enrolled = store
         .kb()
+        .unwrap()
         .schema()
         .symbols
         .find_role("enrolled-at")
@@ -68,16 +75,29 @@ fn build_schema(store: &mut DurableKb) {
             Concept::and([Concept::Name(person), Concept::AtLeast(1, enrolled)]),
         )
         .unwrap();
-    let advisor = store.kb().schema().symbols.find_role("advisor").unwrap();
+    let advisor = store
+        .kb()
+        .unwrap()
+        .schema()
+        .symbols
+        .find_role("advisor")
+        .unwrap();
     store
         .assert_rule("STUDENT", Concept::AtLeast(1, advisor))
         .unwrap();
 }
 
 fn populate(store: &mut DurableKb, n: usize) {
-    let person = store.kb().schema().symbols.find_concept("PERSON").unwrap();
+    let person = store
+        .kb()
+        .unwrap()
+        .schema()
+        .symbols
+        .find_concept("PERSON")
+        .unwrap();
     let enrolled = store
         .kb()
+        .unwrap()
         .schema()
         .symbols
         .find_role("enrolled-at")
@@ -102,6 +122,7 @@ fn populate(store: &mut DurableKb, n: usize) {
 fn apply_suffix(store: &mut DurableKb, n: usize) {
     let enrolled = store
         .kb()
+        .unwrap()
         .schema()
         .symbols
         .find_role("enrolled-at")
@@ -171,7 +192,7 @@ pub fn run() -> String {
         // replay the full snapshot script into a fresh KB. (Render is
         // untimed; only the replay is charged.)
         let eager = DurableKb::open(&path, |_| {}).unwrap();
-        let text = snapshot_to_string(eager.kb());
+        let text = snapshot_to_string(eager.kb().unwrap());
         drop(eager);
         let (mono_kb, t_mono) = time(|| {
             let mut kb = Kb::new();
@@ -195,11 +216,11 @@ pub fn run() -> String {
         // All three roads reach the same state.
         let mut paged = paged;
         assert!(
-            same_state(paged.kb_hydrated().unwrap(), eager.kb()),
+            same_state(paged.kb_hydrated().unwrap(), eager.kb().unwrap()),
             "N={n}: paged open diverged from eager open"
         );
         assert!(
-            same_state(&mono_kb, eager.kb()),
+            same_state(&mono_kb, eager.kb().unwrap()),
             "N={n}: monolithic replay diverged from segmented open"
         );
 
@@ -275,7 +296,7 @@ pub fn run() -> String {
     let oracle_path = oracle_dir.join("kb.log");
     build_store(&oracle_path, n_crash);
     let oracle = DurableKb::open(&oracle_path, |_| {}).unwrap();
-    let oracle_text = snapshot_to_string(oracle.kb());
+    let oracle_text = snapshot_to_string(oracle.kb().unwrap());
     drop(oracle);
     let _ = std::fs::remove_dir_all(&oracle_dir);
     let mut oracle_kb = Kb::new();
@@ -294,7 +315,7 @@ pub fn run() -> String {
         drop(store);
         let reopened = DurableKb::open(&path, |_| {}).unwrap();
         assert!(
-            same_state(reopened.kb(), &oracle_kb),
+            same_state(reopened.kb().unwrap(), &oracle_kb),
             "crash at {point:?}: reopen diverged from the no-crash oracle"
         );
         let _ = writeln!(out, "crash at {point:?}: reopen converged to oracle ✓");

@@ -9,6 +9,7 @@
 pub mod e10_retraction;
 pub mod e11_analyze;
 pub mod e12_store;
+pub mod e13_obs_overhead;
 pub mod e1_subsumption;
 pub mod e2_classification;
 pub mod e3_query;
@@ -102,6 +103,11 @@ pub fn registry() -> Vec<Experiment> {
             "e12",
             "segmented snapshot store: open cost, segment reuse, crash matrix",
             e12_store::run,
+        ),
+        (
+            "e13",
+            "observability overhead: Off vs Counters vs Full (Off ≤ 3%, asserted)",
+            e13_obs_overhead::run,
         ),
     ]
 }

@@ -87,6 +87,19 @@ pub enum ClassicError {
     RuleOnUndefinedConcept(ConceptName),
     /// A syntax or arity problem detected while building a description.
     Malformed(String),
+    /// A paged store was asked for its full knowledge base while some
+    /// individual segments were still parked on disk — a partial
+    /// database must never masquerade as the whole one. The payload
+    /// names the unhydrated arena range so the caller knows what to
+    /// hydrate (or that `kb_hydrated`/`hydrate_all` is the right call).
+    NotHydrated {
+        /// First arena index still parked (inclusive).
+        lo: usize,
+        /// One past the last arena index still parked.
+        hi: usize,
+        /// Number of segments awaiting hydration.
+        segments: usize,
+    },
     /// A storage-layer failure (`classic-store`). Unlike [`Malformed`],
     /// the variant pins *which* on-disk file misbehaved and, when known,
     /// the compaction generation it belongs to — a store directory holds
@@ -231,6 +244,14 @@ impl fmt::Display for ClassicError {
                 write!(f, "rule attached to undefined concept #{}", c.index())
             }
             ClassicError::Malformed(m) => write!(f, "malformed expression: {m}"),
+            ClassicError::NotHydrated { lo, hi, segments } => {
+                write!(
+                    f,
+                    "store is partially hydrated: {segments} segment(s) covering \
+                     arena range {lo}..{hi} are not loaded; call hydrate_all() \
+                     or use kb_hydrated()"
+                )
+            }
             ClassicError::Storage {
                 path,
                 generation,

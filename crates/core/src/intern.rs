@@ -14,11 +14,14 @@
 //!   schema) and interned forms are immutable, a memo entry can never go
 //!   stale — schema growth adds *new* ids but never invalidates old ones.
 //!
-//! The kernel keeps counters ([`KernelStats`]) so the bench harness
-//! (experiment E9) and `Kb` callers can observe hit rates.
+//! The kernel's counters are [`classic_obs`] registry series
+//! ([`KernelObs`]); [`KernelStats`] is a point-in-time *view* over them,
+//! so the bench harness (experiment E9), `Kb` callers, and the metrics
+//! exposition all read the same atomics.
 
 use crate::normal::NormalForm;
 use crate::subsume::subsumes;
+use classic_obs::{Counter, Gauge, Registry};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -40,7 +43,6 @@ impl NfId {
 pub struct Interner {
     by_form: HashMap<Arc<NormalForm>, NfId>,
     forms: Vec<Arc<NormalForm>>,
-    hits: u64,
 }
 
 impl Interner {
@@ -52,7 +54,6 @@ impl Interner {
     /// The id for `nf`, interning a copy if this form is new.
     pub fn intern(&mut self, nf: &NormalForm) -> NfId {
         if let Some(&id) = self.by_form.get(nf) {
-            self.hits += 1;
             return id;
         }
         let id = NfId(self.forms.len() as u32);
@@ -76,14 +77,12 @@ impl Interner {
     pub fn is_empty(&self) -> bool {
         self.forms.is_empty()
     }
-
-    /// How many intern calls found their form already present.
-    pub fn hits(&self) -> u64 {
-        self.hits
-    }
 }
 
 /// Counter snapshot for the kernel (experiment E9's instrumentation).
+/// Since the observability migration this is a *view*: every field except
+/// `interned` (a structural fact of the interner) reads a
+/// [`classic_obs`] registry series via [`KernelObs`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// Distinct normal forms interned.
@@ -98,28 +97,121 @@ pub struct KernelStats {
     pub closure_rebuilds: u64,
 }
 
+/// The kernel's metric handles: `classic-obs` counters shared with the
+/// owning registry (or detached stand-ins when the kernel was built
+/// without one). Cloning shares the underlying atomics.
+#[derive(Debug, Clone)]
+pub struct KernelObs {
+    /// Every memoized subsumption query (hit or miss).
+    pub subsume_tests: Counter,
+    /// Queries answered by id equality or the memo.
+    pub memo_hits: Counter,
+    /// Queries that ran the structural comparison.
+    pub memo_misses: Counter,
+    /// Intern calls answered by an existing id.
+    pub intern_hits: Counter,
+    /// Distinct normal forms currently interned.
+    pub interned: Gauge,
+    /// Closure bitset re-layouts (bumped by the taxonomy).
+    pub closure_rebuilds: Counter,
+}
+
+impl KernelObs {
+    /// Handles not attached to any registry (standalone kernels, tests).
+    pub fn detached() -> KernelObs {
+        KernelObs {
+            subsume_tests: Counter::detached("classic_subsume_tests_total"),
+            memo_hits: Counter::detached("classic_subsume_memo_hits_total"),
+            memo_misses: Counter::detached("classic_subsume_memo_misses_total"),
+            intern_hits: Counter::detached("classic_intern_hits_total"),
+            interned: Gauge::detached("classic_nf_interned"),
+            closure_rebuilds: Counter::detached("classic_closure_rebuilds_total"),
+        }
+    }
+
+    /// Register the kernel series in `registry`. Panics on a name
+    /// collision — the kernel is registered once per registry, by its
+    /// owning taxonomy.
+    pub fn register(registry: &Registry) -> KernelObs {
+        let c = |name: &str, help: &str| {
+            registry
+                .counter(name, help)
+                .expect("kernel metric registration")
+        };
+        KernelObs {
+            subsume_tests: c(
+                "classic_subsume_tests_total",
+                "memoized subsumption queries (hits + misses)",
+            ),
+            memo_hits: c(
+                "classic_subsume_memo_hits_total",
+                "subsumption queries answered by id equality or the memo",
+            ),
+            memo_misses: c(
+                "classic_subsume_memo_misses_total",
+                "subsumption queries that ran the structural comparison",
+            ),
+            intern_hits: c(
+                "classic_intern_hits_total",
+                "normal-form intern calls answered by an existing id",
+            ),
+            interned: registry
+                .gauge("classic_nf_interned", "distinct normal forms interned")
+                .expect("kernel metric registration"),
+            closure_rebuilds: c(
+                "classic_closure_rebuilds_total",
+                "taxonomy closure bitset re-layouts",
+            ),
+        }
+    }
+}
+
 /// The memoized subsumption kernel: an interner plus a `(big, small) →
 /// bool` cache over id pairs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Kernel {
     interner: Interner,
     memo: HashMap<(NfId, NfId), bool>,
-    memo_hits: u64,
-    memo_misses: u64,
-    /// Maintained by the taxonomy when its closure index grows; reported
-    /// here so all kernel counters travel together.
-    pub closure_rebuilds: u64,
+    obs: KernelObs,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::new()
+    }
 }
 
 impl Kernel {
-    /// An empty kernel.
+    /// An empty kernel with detached (registry-less) counters.
     pub fn new() -> Self {
-        Kernel::default()
+        Kernel::with_obs(KernelObs::detached())
+    }
+
+    /// An empty kernel whose counters are the given obs handles.
+    pub fn with_obs(obs: KernelObs) -> Self {
+        Kernel {
+            interner: Interner::new(),
+            memo: HashMap::new(),
+            obs,
+        }
+    }
+
+    /// The kernel's metric handles (the taxonomy bumps
+    /// `closure_rebuilds` through this).
+    pub fn obs(&self) -> &KernelObs {
+        &self.obs
     }
 
     /// Intern `nf`, returning its id.
     pub fn intern(&mut self, nf: &NormalForm) -> NfId {
-        self.interner.intern(nf)
+        let before = self.interner.len();
+        let id = self.interner.intern(nf);
+        if self.interner.len() == before {
+            self.obs.intern_hits.bump();
+        } else {
+            self.obs.interned.set(self.interner.len() as u64);
+        }
+        id
     }
 
     /// The form behind an id.
@@ -132,15 +224,16 @@ impl Kernel {
     /// Identical ids answer immediately (subsumption is reflexive); other
     /// pairs consult the memo and fall back to the structural test.
     pub fn subsumes_ids(&mut self, big: NfId, small: NfId) -> bool {
+        self.obs.subsume_tests.bump();
         if big == small {
-            self.memo_hits += 1;
+            self.obs.memo_hits.bump();
             return true;
         }
         if let Some(&v) = self.memo.get(&(big, small)) {
-            self.memo_hits += 1;
+            self.obs.memo_hits.bump();
             return v;
         }
-        self.memo_misses += 1;
+        self.obs.memo_misses.bump();
         let v = subsumes(self.interner.resolve(big), self.interner.resolve(small));
         self.memo.insert((big, small), v);
         v
@@ -158,14 +251,15 @@ impl Kernel {
         self.memo.len()
     }
 
-    /// Snapshot of every counter.
+    /// Snapshot of every counter — a view over the obs registry series
+    /// (plus the interner's structural size).
     pub fn stats(&self) -> KernelStats {
         KernelStats {
             interned: self.interner.len() as u64,
-            intern_hits: self.interner.hits(),
-            memo_hits: self.memo_hits,
-            memo_misses: self.memo_misses,
-            closure_rebuilds: self.closure_rebuilds,
+            intern_hits: self.obs.intern_hits.get(),
+            memo_hits: self.obs.memo_hits.get(),
+            memo_misses: self.obs.memo_misses.get(),
+            closure_rebuilds: self.obs.closure_rebuilds.get(),
         }
     }
 }
@@ -194,8 +288,7 @@ mod tests {
         let ic = interner.intern(&c);
         assert_eq!(ia, ib, "structurally equal forms share an id");
         assert_ne!(ia, ic);
-        assert_eq!(interner.len(), 2);
-        assert_eq!(interner.hits(), 1);
+        assert_eq!(interner.len(), 2, "the duplicate did not grow the arena");
         assert_eq!(interner.resolve(ia), &a);
     }
 

@@ -34,12 +34,13 @@
 //! ablation baseline for experiment E9) and [`Taxonomy::classify_brute`]
 //! stays a pure edge-walking oracle for the property tests.
 
-use crate::intern::{Kernel, KernelStats, NfId};
+use crate::intern::{Kernel, KernelObs, KernelStats, NfId};
 use crate::normal::NormalForm;
 use crate::subsume::subsumes;
 use crate::symbol::ConceptName;
+use classic_obs::{Counter, FlightRecorder, Histogram, Registry};
 use std::collections::{BTreeSet, HashMap, VecDeque};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Index of a node in the taxonomy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -230,6 +231,13 @@ pub struct Taxonomy {
     nf_ids: Vec<NfId>,
     /// Transitive-closure reachability index, parallel to `nodes`.
     closure: Closure,
+    /// Where classification spans land (shared with the owning `Kb`'s
+    /// flight recorder when built via [`Taxonomy::with_obs`]).
+    recorder: Arc<FlightRecorder>,
+    /// Classifications performed (registry counter).
+    classify_total: Counter,
+    /// Classification latency, nanoseconds (fills at `ObsLevel::Full`).
+    classify_ns: Histogram,
 }
 
 impl Default for Taxonomy {
@@ -247,13 +255,51 @@ impl Clone for Taxonomy {
             kernel: Mutex::new(self.kernel.lock().expect("kernel lock").clone()),
             nf_ids: self.nf_ids.clone(),
             closure: self.closure.clone(),
+            recorder: Arc::clone(&self.recorder),
+            classify_total: self.classify_total.clone(),
+            classify_ns: self.classify_ns.clone(),
         }
     }
 }
 
 impl Taxonomy {
-    /// A taxonomy containing only `THING` and the empty concept.
+    /// A taxonomy containing only `THING` and the empty concept, with
+    /// detached (registry-less) instrumentation.
     pub fn new() -> Self {
+        Self::build(
+            Kernel::new(),
+            Arc::new(FlightRecorder::new()),
+            Counter::detached("classic_classify_total"),
+            Histogram::detached("classic_classify_ns", true),
+        )
+    }
+
+    /// A taxonomy whose kernel and classification metrics are registered
+    /// in `registry`, and whose classification spans land in `recorder`.
+    /// The owning `Kb` calls this so `KernelStats` and the metrics
+    /// exposition read the same atomics.
+    pub fn with_obs(registry: &Registry, recorder: Arc<FlightRecorder>) -> Self {
+        Self::build(
+            Kernel::with_obs(KernelObs::register(registry)),
+            recorder,
+            registry
+                .counter(
+                    "classic_classify_total",
+                    "taxonomy classifications performed",
+                )
+                .expect("taxonomy metric registration"),
+            registry
+                .duration_histogram("classic_classify_ns", "classification latency, nanoseconds")
+                .expect("taxonomy metric registration"),
+        )
+    }
+
+    fn build(
+        mut kernel: Kernel,
+        recorder: Arc<FlightRecorder>,
+        classify_total: Counter,
+        classify_ns: Histogram,
+    ) -> Self {
         let top = Node {
             nf: NormalForm::top(),
             names: Vec::new(),
@@ -266,7 +312,6 @@ impl Taxonomy {
             parents: BTreeSet::from([NodeId::TOP]),
             children: BTreeSet::new(),
         };
-        let mut kernel = Kernel::new();
         let nf_ids = vec![kernel.intern(&top.nf), kernel.intern(&bottom.nf)];
         let mut closure = Closure::new();
         closure.push(&BTreeSet::new(), &BTreeSet::new());
@@ -278,6 +323,9 @@ impl Taxonomy {
             kernel: Mutex::new(kernel),
             nf_ids,
             closure,
+            recorder,
+            classify_total,
+            classify_ns,
         }
     }
 
@@ -323,6 +371,8 @@ impl Taxonomy {
     /// subsumption test goes through the memo; frontier minimality and
     /// subsumee candidate generation use the closure bitsets.
     pub fn classify(&self, nf: &NormalForm) -> Classification {
+        let _span = classic_obs::span_timed(&self.recorder, "taxonomy.classify", &self.classify_ns);
+        self.classify_total.bump();
         let mut tests = 0usize;
         if nf.is_incoherent() {
             return Classification {
@@ -349,6 +399,7 @@ impl Taxonomy {
         } else {
             self.most_general_subsumees_kernel(&mut kernel, q, &parents, &mut tests)
         };
+        classic_obs::event("subsume_tests", tests as u64);
         Classification {
             parents,
             children,
@@ -393,7 +444,7 @@ impl Taxonomy {
         let kernel = self.kernel.get_mut().expect("kernel lock");
         self.nf_ids.push(kernel.intern(&nf));
         if self.closure.push(&parents, &children) {
-            kernel.closure_rebuilds += 1;
+            kernel.obs().closure_rebuilds.bump();
         }
         self.nodes.push(Node {
             nf,

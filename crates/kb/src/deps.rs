@@ -17,12 +17,17 @@
 //! incremental retraction cheaper than a rebuild (experiment E10).
 //!
 //! The records are deliberately *coarse* (per individual-pair-mechanism,
-//! not per derived fact): propagation only records a support when the
-//! conjunction actually changed the target, so a support means "some of
-//! this individual's derived state may have come from that source".
-//! Coarseness makes the reset a superset of the strictly necessary one —
-//! sound, since re-derivation from told facts is confluent — while
-//! keeping the journal small and maintenance O(1) per propagation step.
+//! not per derived fact), and they are recorded whenever the mechanism
+//! *applies* — an `ALL` restriction over a filler edge, a rule firing —
+//! whether or not the conjunction changed anything. That makes the
+//! support set a function of the fixed point rather than of arrival
+//! order, which is what lets provenance survive retraction exactly: the
+//! journal after a retraction equals the journal of a rebuild from the
+//! surviving told facts (the `provenance_after_retraction_…` oracle in
+//! `tests/retract.rs`). Coarseness makes the reset a superset of the
+//! strictly necessary one — sound, since re-derivation from told facts
+//! is confluent — while keeping the journal small and maintenance O(1)
+//! per propagation step.
 
 use crate::individual::IndId;
 use classic_core::symbol::RoleId;

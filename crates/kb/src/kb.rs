@@ -21,8 +21,9 @@ use classic_core::normal::{conjoin_expression, NormalForm};
 use classic_core::schema::{Schema, TestArg};
 use classic_core::symbol::{ConceptName, IndName, RoleId, TestId};
 use classic_core::taxonomy::{NodeId, Taxonomy};
+use classic_obs::{FlightRecorder, Histogram, Registry};
 use std::collections::{BTreeSet, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A forward-chaining rule: "if an individual is a `<concept1>` then it is
 /// also a `<concept2>`" (§3.3). Rules are "triggers activated only when a new
@@ -46,35 +47,24 @@ pub struct Rule {
 
 /// A monotone instrumentation counter. Atomic (relaxed) so parallel query
 /// workers can record statistics through a shared `&Kb` without losing
-/// updates; ordering guarantees are unnecessary for counters that are only
-/// ever read as totals.
-#[derive(Debug, Default)]
-pub struct Counter(AtomicU64);
-
-impl Counter {
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-
-    /// Increment by one.
-    pub(crate) fn bump(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
-    }
-}
-
-impl Clone for Counter {
-    fn clone(&self) -> Self {
-        Counter(AtomicU64::new(self.get()))
-    }
-}
+/// updates. Since the observability migration this is the
+/// [`classic_obs`] counter: bumps are suppressed at
+/// [`classic_obs::ObsLevel::Off`], and clones *share* the underlying
+/// atomic (the handle names one series, not a value).
+pub use classic_obs::Counter;
 
 /// Cumulative instrumentation counters (experiments E3/E4/E6).
+///
+/// Since the observability migration each field is a handle onto a
+/// [`classic_obs`] registry series: [`Kb::new`] registers them in the
+/// KB's own [`Registry`] so the `(obs-stats)` and `--metrics`
+/// expositions read the same atomics the engine bumps.
+/// `KbStats::default()` yields detached stand-ins (tests, ad-hoc use).
 ///
 /// Kernel-level counters (interning, subsumption memo hit/miss, closure
 /// rebuilds) live with the taxonomy's kernel; snapshot them via
 /// [`Kb::kernel_stats`].
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct KbStats {
     /// Top-level `assert-ind` calls accepted.
     pub assertions: Counter,
@@ -90,6 +80,59 @@ pub struct KbStats {
     pub realizations: Counter,
     /// Node-level instance tests performed during realization/queries.
     pub instance_tests: Counter,
+}
+
+impl Default for KbStats {
+    fn default() -> Self {
+        KbStats {
+            assertions: Counter::detached("classic_assertions_total"),
+            propagation_steps: Counter::detached("classic_propagation_steps_total"),
+            fills_propagations: Counter::detached("classic_fills_propagations_total"),
+            coref_propagations: Counter::detached("classic_coref_propagations_total"),
+            rules_fired: Counter::detached("classic_rules_fired_total"),
+            realizations: Counter::detached("classic_realizations_total"),
+            instance_tests: Counter::detached("classic_instance_tests_total"),
+        }
+    }
+}
+
+impl KbStats {
+    /// Register the ABox series in `registry`. Panics on a name collision
+    /// — a registry hosts exactly one `Kb`.
+    pub(crate) fn register(registry: &Registry) -> KbStats {
+        let c = |name: &str, help: &str| {
+            registry
+                .counter(name, help)
+                .expect("kb metric registration")
+        };
+        KbStats {
+            assertions: c(
+                "classic_assertions_total",
+                "top-level assert-ind calls accepted",
+            ),
+            propagation_steps: c(
+                "classic_propagation_steps_total",
+                "worklist items processed by the propagation engine",
+            ),
+            fills_propagations: c(
+                "classic_fills_propagations_total",
+                "descriptions pushed onto fillers by ALL restrictions",
+            ),
+            coref_propagations: c(
+                "classic_coref_propagations_total",
+                "fillers derived through SAME-AS co-reference",
+            ),
+            rules_fired: c("classic_rules_fired_total", "forward-chaining rule firings"),
+            realizations: c(
+                "classic_realizations_total",
+                "individual (re-)realizations performed",
+            ),
+            instance_tests: c(
+                "classic_instance_tests_total",
+                "node-level instance tests during realization/queries",
+            ),
+        }
+    }
 }
 
 /// Per-assertion report: what one accepted update caused (E6's
@@ -191,6 +234,19 @@ pub struct Kb {
     pub(crate) deps: DependencyJournal,
     /// Cumulative instrumentation counters.
     pub stats: KbStats,
+    /// This KB's metric registry. Every series the engine bumps
+    /// (`stats`, the kernel counters, per-op duration histograms, and
+    /// anything a wrapper such as `DurableKb` registers) lives here; the
+    /// registry is also enrolled in the process-global roll-up that
+    /// `--metrics` dumps.
+    pub(crate) obs: Arc<Registry>,
+    /// Ring buffer of recent and slowest operation traces, populated
+    /// only at [`classic_obs::ObsLevel::Full`].
+    pub(crate) recorder: Arc<FlightRecorder>,
+    /// Duration histograms for the top-level operations (Full only).
+    assert_ns: Histogram,
+    retract_ns: Histogram,
+    pub(crate) propagate_ns: Histogram,
 }
 
 impl Default for Kb {
@@ -201,8 +257,28 @@ impl Default for Kb {
 
 impl Kb {
     /// An empty knowledge base (schema, taxonomy and data all empty).
+    ///
+    /// Each `Kb` owns a fresh metric [`Registry`] and a
+    /// [`FlightRecorder`]; see [`Kb::metrics`] and
+    /// [`Kb::flight_recorder`].
     pub fn new() -> Kb {
-        let taxonomy = Taxonomy::new();
+        let obs = Registry::new();
+        let recorder = Arc::new(FlightRecorder::new());
+        let taxonomy = Taxonomy::with_obs(&obs, Arc::clone(&recorder));
+        let stats = KbStats::register(&obs);
+        let dh = |name: &str, help: &str| {
+            obs.duration_histogram(name, help)
+                .expect("kb metric registration")
+        };
+        let assert_ns = dh("classic_assert_ns", "assert-ind wall time (ns)");
+        let retract_ns = dh(
+            "classic_retract_ns",
+            "retract-ind/retract-rule wall time (ns)",
+        );
+        let propagate_ns = dh(
+            "classic_propagate_fixpoint_ns",
+            "propagation fixpoint wall time (ns)",
+        );
         let extensions = vec![BTreeSet::new(); taxonomy.len()];
         Kb {
             schema: Schema::new(),
@@ -214,7 +290,12 @@ impl Kb {
             rules_by_node: HashMap::new(),
             reverse_fillers: HashMap::new(),
             deps: DependencyJournal::default(),
-            stats: KbStats::default(),
+            stats,
+            obs,
+            recorder,
+            assert_ns,
+            retract_ns,
+            propagate_ns,
         }
     }
 
@@ -240,6 +321,22 @@ impl Kb {
     /// counters in [`Kb::stats`]; experiment E9 reports both.
     pub fn kernel_stats(&self) -> classic_core::KernelStats {
         self.taxonomy.kernel_stats()
+    }
+
+    /// This KB's metric registry: every series the engine bumps
+    /// (assertions, propagation, subsumption kernel, durations).
+    /// Snapshot or render it directly, or register additional series
+    /// (the durable store does) so one exposition covers the whole
+    /// stack.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.obs
+    }
+
+    /// The flight recorder holding the N most recent and slowest
+    /// operation traces. Only populated at
+    /// [`classic_obs::ObsLevel::Full`]; empty (but valid) otherwise.
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
     }
 
     /// The individual stored at `id`.
@@ -411,6 +508,7 @@ impl Kb {
 
     /// `assert-ind` addressed by handle.
     pub fn assert_ind_by_id(&mut self, id: IndId, desc: &Concept) -> Result<AssertReport> {
+        let _span = classic_obs::span_timed(&self.recorder, "kb.assert", &self.assert_ns);
         let mut journal = Journal::default();
         match self.assert_txn(id, desc, &mut journal) {
             Ok(mut report) => {
@@ -520,6 +618,7 @@ impl Kb {
 
     /// `retract-ind` addressed by handle.
     pub fn retract_ind_by_id(&mut self, id: IndId, desc: &Concept) -> Result<RetractReport> {
+        let _span = classic_obs::span_timed(&self.recorder, "kb.retract", &self.retract_ns);
         let Some(pos) = self.inds[id.index()].told.iter().rposition(|t| t == desc) else {
             return Err(ClassicError::NotAsserted(self.inds[id.index()].name));
         };
@@ -692,6 +791,37 @@ impl Kb {
         else {
             return Err(self.no_such_rule(antecedent, cname));
         };
+        self.retract_rule_at(rule_ix)
+    }
+
+    /// `retract-rule` addressed by the stable rule id [`Kb::assert_rule`]
+    /// returned (and that `(list-rules)` displays). Retires the rule and
+    /// re-derives every individual it fired on, exactly like
+    /// [`Kb::retract_rule`]; out-of-range or already-retired ids are
+    /// rejected with a [`ClassicError::NoSuchRule`] naming the id.
+    pub fn retract_rule_by_id(&mut self, rule_ix: usize) -> Result<RetractReport> {
+        if rule_ix >= self.rules.len() {
+            return Err(ClassicError::NoSuchRule {
+                antecedent: format!("#{rule_ix}"),
+                suggestion: Some(format!(
+                    "rule ids range over 0..{} (see list-rules)",
+                    self.rules.len()
+                )),
+            });
+        }
+        if self.rules[rule_ix].retired {
+            return Err(ClassicError::NoSuchRule {
+                antecedent: format!("#{rule_ix}"),
+                suggestion: Some("that rule was already retracted".into()),
+            });
+        }
+        self.retract_rule_at(rule_ix)
+    }
+
+    /// Retire the (live) rule at `rule_ix` and re-derive everything it
+    /// fired on; restores the rule atomically if re-derivation fails.
+    fn retract_rule_at(&mut self, rule_ix: usize) -> Result<RetractReport> {
+        let _span = classic_obs::span_timed(&self.recorder, "kb.retract_rule", &self.retract_ns);
         let node = self.rules[rule_ix].node;
         self.rules[rule_ix].retired = true;
         if let Some(ix) = self.rules_by_node.get_mut(&node) {
@@ -982,6 +1112,34 @@ mod tests {
             }
             assert_eq!(stats.instance_tests.get(), 150);
         });
+    }
+
+    #[test]
+    fn retract_rule_by_id_undoes_the_rule_and_rejects_bad_ids() {
+        let mut kb = kb_with_person();
+        let person = kb.schema().symbols.find_concept("PERSON").unwrap();
+        kb.define_concept("VIP", Concept::primitive(Concept::thing(), "vip"))
+            .unwrap();
+        let vip = kb.schema().symbols.find_concept("VIP").unwrap();
+        kb.create_ind("X").unwrap();
+        kb.assert_ind("X", &Concept::Name(person)).unwrap();
+        let rule_id = kb.assert_rule("PERSON", Concept::Name(vip)).unwrap();
+        let x = kb
+            .ind_id(kb.schema().symbols.find_individual("X").unwrap())
+            .unwrap();
+        assert!(kb.is_instance_of(x, vip).unwrap());
+        // Bad ids: out of range, then (after retraction) already retired.
+        assert!(matches!(
+            kb.retract_rule_by_id(rule_id + 1),
+            Err(ClassicError::NoSuchRule { .. })
+        ));
+        kb.retract_rule_by_id(rule_id).unwrap();
+        assert!(!kb.is_instance_of(x, vip).unwrap());
+        assert_eq!(kb.active_rules().count(), 0);
+        assert!(matches!(
+            kb.retract_rule_by_id(rule_id),
+            Err(ClassicError::NoSuchRule { .. })
+        ));
     }
 
     #[test]

@@ -68,6 +68,7 @@ impl Propagation {
         journal: &mut Journal,
         report: &mut AssertReport,
     ) -> Result<()> {
+        let _span = classic_obs::span_timed(&kb.recorder, "propagate.fixpoint", &kb.propagate_ns);
         // Generous safety bound far above the paper's #classes ×
         // #individuals argument (each enqueue follows an actual monotone
         // change; re-processing without change never re-enqueues).
@@ -88,6 +89,7 @@ impl Propagation {
             }
             kb.process_one(id, work, journal, report)?;
         }
+        classic_obs::event("steps", steps);
         Ok(())
     }
 }
@@ -135,12 +137,17 @@ impl Kb {
                             if self.conjoin_nf(fid, d, journal, work, report)? {
                                 self.stats.fills_propagations.bump();
                                 report.fills_propagated += 1;
-                                journal.note_support(Support {
-                                    target: fid,
-                                    source: id,
-                                    kind: SupportKind::All { role: r },
-                                });
                             }
+                            // Recorded whether or not the conjunction
+                            // changed anything: the support set must be a
+                            // function of the fixed point, not of arrival
+                            // order, or provenance would not survive
+                            // retraction (see tests/retract.rs).
+                            journal.note_support(Support {
+                                target: fid,
+                                source: id,
+                                kind: SupportKind::All { role: r },
+                            });
                         }
                     }
                     IndRef::Host(v) => {
@@ -245,13 +252,17 @@ impl Kb {
             self.inds[id.index()].derived = derived;
             res?;
             self.stats.rules_fired.bump();
+            classic_obs::event("rule_fired", rule_ix as u64);
             report.rules_fired += 1;
+            // As with ALL-propagation, the support is recorded even when
+            // the consequent added nothing — firing is a fact about the
+            // fixed point, not about what the conjunction changed.
+            journal.note_support(Support {
+                target: id,
+                source: id,
+                kind: SupportKind::Rule { index: rule_ix },
+            });
             if changed {
-                journal.note_support(Support {
-                    target: id,
-                    source: id,
-                    kind: SupportKind::Rule { index: rule_ix },
-                });
                 work.push_back(id);
                 if let Some(parents) = self.reverse_fillers.get(&id) {
                     work.extend(parents.iter().copied());

@@ -375,6 +375,56 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    /// Provenance is part of the oracle too: after any interleaving, the
+    /// surviving support structure — as rendered by `explain_provenance`
+    /// — must be exactly what a rebuild from the surviving told facts
+    /// produces. Lines are compared as sets per individual: support
+    /// *discovery order* is an implementation detail, the supports
+    /// themselves are not.
+    #[test]
+    fn provenance_after_retraction_equals_rebuild_provenance(
+        ops in proptest::collection::vec(op_strategy(), 1..28)
+    ) {
+        let mut kb = oracle_schema();
+        let mut live: Vec<(String, Concept)> = Vec::new();
+        for op in &ops {
+            match op_concept(&mut kb, op) {
+                Some((name, c)) => {
+                    if kb.assert_ind(&name, &c).is_ok() {
+                        live.push((name, c));
+                    }
+                }
+                None => {
+                    let Op::Retract(pick) = op else { unreachable!() };
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let ix = pick % live.len();
+                    let (name, c) = live.remove(ix);
+                    kb.retract_ind(&name, &c)
+                        .expect("retracting a surviving told fact succeeds");
+                }
+            }
+        }
+        let mut rebuilt = oracle_schema();
+        for (name, c) in &live {
+            rebuilt
+                .assert_ind(name, c)
+                .expect("surviving told set is jointly consistent");
+        }
+        let provenance = |kb: &Kb| -> Vec<(String, BTreeSet<String>)> {
+            kb.ind_ids()
+                .map(|id| {
+                    (
+                        kb.schema().symbols.individual_name(kb.ind(id).name).to_owned(),
+                        kb.explain_provenance(id).into_iter().collect(),
+                    )
+                })
+                .collect()
+        };
+        prop_assert_eq!(provenance(&kb), provenance(&rebuilt));
+    }
+
     /// Retracting everything returns to a blank (schema-only) database.
     #[test]
     fn retracting_everything_restores_the_blank_state(

@@ -52,6 +52,29 @@ pub enum Command {
     /// `(retract-rule NAME expr)`: retire a rule and re-derive the
     /// individuals it fired on.
     RetractRule(String, Concept),
+    /// `(retract-rule 7)`: retire a rule by the id echoed when it was
+    /// asserted (`list-rules` shows the live ids).
+    RetractRuleById(usize),
+    /// `(list-rules)`: every live rule with its id, antecedent, and
+    /// consequent.
+    ListRules,
+    /// `(obs-stats)` / `(obs-stats json)`: dump this KB's metric
+    /// registry in Prometheus text or JSON exposition format.
+    ObsStats {
+        /// Render JSON instead of Prometheus text.
+        json: bool,
+    },
+    /// `(obs-trace op)`: render the flight recorder's retained traces
+    /// whose root span matches `op` (e.g. `kb.assert`,
+    /// `query.retrieve`); `(obs-trace *)` lists the retained ops.
+    ObsTrace(String),
+    /// `(obs-reset)`: zero every metric series and clear the flight
+    /// recorder.
+    ObsReset,
+    /// `(obs-level off|counters|full)`: set the process-wide
+    /// observability level (`full` enables span tracing for
+    /// `obs-trace`); `(obs-level)` reports the current one.
+    ObsLevel(Option<String>),
     /// `(provenance Name)`: where the individual's derived information
     /// came from (the dependency journal, rendered).
     Provenance(String),
@@ -100,6 +123,8 @@ pub enum Command {
 pub enum Outcome {
     /// Nothing to report (DDL, create).
     Ok,
+    /// An accepted rule, with the id `retract-rule` takes back.
+    RuleAsserted(usize),
     /// An accepted assertion, with its propagation report.
     Asserted(AssertReport),
     /// An accepted retraction, with its re-derivation report.
@@ -209,11 +234,26 @@ fn parse_command_tokens(tokens: &[Token], kb: &mut Kb) -> Result<Command> {
             let c = w.concept(kb, false)?;
             Command::RetractInd(name, c)
         }
-        "retract-rule" => {
-            let name = w.symbol()?;
-            let c = w.concept(kb, false)?;
-            Command::RetractRule(name, c)
-        }
+        "retract-rule" => match w.optional_int() {
+            Some(ix) if ix >= 0 => Command::RetractRuleById(ix as usize),
+            Some(ix) => {
+                return Err(ClassicError::Malformed(format!(
+                    "rule ids are non-negative, got {ix}"
+                )))
+            }
+            None => {
+                let name = w.symbol()?;
+                let c = w.concept(kb, false)?;
+                Command::RetractRule(name, c)
+            }
+        },
+        "list-rules" => Command::ListRules,
+        "obs-stats" => Command::ObsStats {
+            json: matches!(w.optional_symbol().as_deref(), Some("json")),
+        },
+        "obs-trace" => Command::ObsTrace(w.symbol()?),
+        "obs-reset" => Command::ObsReset,
+        "obs-level" => Command::ObsLevel(w.optional_symbol()),
         "provenance" => Command::Provenance(w.symbol()?),
         "retrieve" | "instances" => {
             let q = w.query(kb)?;
@@ -321,6 +361,19 @@ impl TokenWindow<'_> {
                 t.pos, t.kind
             ))),
             None => Err(ClassicError::Malformed("unexpected end of command".into())),
+        }
+    }
+
+    fn optional_int(&mut self) -> Option<i64> {
+        match self.tokens.get(self.ix) {
+            Some(Token {
+                kind: TokenKind::Int(i),
+                ..
+            }) => {
+                self.ix += 1;
+                Some(*i)
+            }
+            _ => None,
         }
     }
 
@@ -473,8 +526,8 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
             Ok(Outcome::Asserted(report))
         }
         Command::AssertRule(name, c) => {
-            kb.assert_rule(name, c.clone())?;
-            Ok(Outcome::Ok)
+            let ix = kb.assert_rule(name, c.clone())?;
+            Ok(Outcome::RuleAsserted(ix))
         }
         Command::RetractInd(name, c) => {
             let report = kb.retract_ind(name, c)?;
@@ -483,6 +536,92 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
         Command::RetractRule(name, c) => {
             let report = kb.retract_rule(name, c)?;
             Ok(Outcome::Retracted(report))
+        }
+        Command::RetractRuleById(ix) => {
+            let report = kb.retract_rule_by_id(*ix)?;
+            Ok(Outcome::Retracted(report))
+        }
+        Command::ListRules => {
+            let symbols = &kb.schema().symbols;
+            let lines: Vec<String> = kb
+                .active_rules()
+                .map(|(ix, r)| {
+                    format!(
+                        "#{ix}: {} => {}",
+                        symbols.concept_name(r.antecedent),
+                        r.consequent.display(symbols)
+                    )
+                })
+                .collect();
+            if lines.is_empty() {
+                Ok(Outcome::Description("no live rules".into()))
+            } else {
+                Ok(Outcome::Description(lines.join("\n")))
+            }
+        }
+        Command::ObsStats { json } => {
+            let snap = kb.metrics().snapshot();
+            Ok(Outcome::Description(if *json {
+                classic_obs::render_json(&snap)
+            } else {
+                classic_obs::render_prometheus(&snap)
+            }))
+        }
+        Command::ObsTrace(op) => {
+            let recorder = kb.flight_recorder();
+            if op == "*" {
+                let mut lines: Vec<String> = recorder
+                    .ops()
+                    .into_iter()
+                    .map(|(name, n)| format!("{name}: {n} trace(s) retained"))
+                    .collect();
+                lines.sort();
+                return Ok(Outcome::Description(if lines.is_empty() {
+                    no_traces_hint()
+                } else {
+                    lines.join("\n")
+                }));
+            }
+            let traces = recorder.traces_for(op);
+            if traces.is_empty() {
+                return Ok(Outcome::Description(no_traces_hint()));
+            }
+            Ok(Outcome::Description(
+                traces
+                    .iter()
+                    .map(|t| t.render())
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+            ))
+        }
+        Command::ObsReset => {
+            kb.metrics().reset();
+            kb.flight_recorder().clear();
+            Ok(Outcome::Ok)
+        }
+        Command::ObsLevel(level) => {
+            use classic_obs::ObsLevel;
+            match level.as_deref() {
+                None => {}
+                Some("off") => {
+                    classic_obs::set_level(ObsLevel::Off);
+                }
+                Some("counters") => {
+                    classic_obs::set_level(ObsLevel::Counters);
+                }
+                Some("full") => {
+                    classic_obs::set_level(ObsLevel::Full);
+                }
+                Some(other) => {
+                    return Err(ClassicError::Malformed(format!(
+                        "unknown obs level {other:?} (off, counters, full)"
+                    )))
+                }
+            }
+            Ok(Outcome::Description(format!(
+                "obs level: {:?}",
+                classic_obs::level()
+            )))
         }
         Command::Provenance(name) => {
             let iname = kb
@@ -706,6 +845,13 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
             })
         }
     }
+}
+
+fn no_traces_hint() -> String {
+    format!(
+        "no traces retained (current obs level: {:?}; spans record at Full — try (obs-level full))",
+        classic_obs::level()
+    )
 }
 
 fn resolve_role(kb: &Kb, role: Option<&str>) -> Result<Option<classic_core::RoleId>> {

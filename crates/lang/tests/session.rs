@@ -143,3 +143,81 @@ fn what_if_reports_hypothetically() {
     let out = s.run("(ind-aspect X AT-MOST r)").expect("aspect");
     assert_eq!(out.last().expect("one"), &Outcome::Aspect("none".into()));
 }
+
+#[test]
+fn rules_are_listed_and_retractable_by_id() {
+    let mut s = Session::new();
+    let out = s
+        .run(
+            r#"
+            (define-role eat)
+            (define-concept PERSON (PRIMITIVE THING person))
+            (define-concept GLUTTON (AND PERSON (AT-LEAST 2 eat)))
+            (assert-rule PERSON (AT-LEAST 1 eat))
+            "#,
+        )
+        .expect("setup");
+    // The rule definition echoes the id retract-rule takes back.
+    assert_eq!(out.last().expect("one"), &Outcome::RuleAsserted(0));
+    let out = s.run("(list-rules)").expect("list");
+    match out.last().expect("one") {
+        Outcome::Description(d) => {
+            assert!(d.contains("#0: PERSON"), "got {d}")
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    match s.run("(retract-rule 0)").expect("retract").pop() {
+        Some(Outcome::Retracted(_)) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    let out = s.run("(list-rules)").expect("list");
+    assert_eq!(
+        out.last().expect("one"),
+        &Outcome::Description("no live rules".into())
+    );
+    // A dead id is a structured error, not a panic.
+    assert!(s.run("(retract-rule 0)").is_err());
+    assert!(s.run("(retract-rule 99)").is_err());
+}
+
+#[test]
+fn obs_commands_expose_and_reset_metrics() {
+    let mut s = Session::new();
+    s.run(
+        r#"
+        (define-concept PERSON (PRIMITIVE THING person))
+        (create-ind X)
+        (assert-ind X PERSON)
+        "#,
+    )
+    .expect("setup");
+    let out = s.run("(obs-stats)").expect("stats");
+    match out.last().expect("one") {
+        Outcome::Description(d) => {
+            assert!(
+                d.contains("# TYPE classic_assertions_total counter"),
+                "got {d}"
+            );
+            assert!(d.contains("classic_assertions_total 1"), "got {d}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    let out = s.run("(obs-stats json)").expect("stats json");
+    match out.last().expect("one") {
+        Outcome::Description(d) => {
+            assert!(d.contains("\"classic_assertions_total\""), "got {d}")
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(
+        s.run("(obs-reset)").expect("reset").pop(),
+        Some(Outcome::Ok)
+    );
+    let out = s.run("(obs-stats)").expect("stats");
+    match out.last().expect("one") {
+        Outcome::Description(d) => {
+            assert!(d.contains("classic_assertions_total 0"), "got {d}")
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}

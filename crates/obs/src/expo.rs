@@ -1,0 +1,239 @@
+//! Exposition: Prometheus text format and JSON, over one registry or the
+//! process-global roll-up of every registry created so far.
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot, Registry};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+fn global() -> &'static Mutex<Vec<Weak<Registry>>> {
+    static G: OnceLock<Mutex<Vec<Weak<Registry>>>> = OnceLock::new();
+    G.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Enroll a registry in the process-global roll-up (called by
+/// [`Registry::new`]). Holds only a `Weak`, so dropped registries fall
+/// out of the live list (their final state moves to the graveyard).
+pub(crate) fn enroll(r: &Arc<Registry>) {
+    let mut g = global().lock().unwrap_or_else(|e| e.into_inner());
+    g.retain(|w| w.strong_count() > 0);
+    g.push(Arc::downgrade(r));
+}
+
+/// Final snapshots of dropped registries, merged. Without this, a CLI
+/// `--metrics` dump taken after the knowledge bases it measured were
+/// dropped would read all zeros.
+fn graveyard() -> &'static Mutex<MetricsSnapshot> {
+    static G: OnceLock<Mutex<MetricsSnapshot>> = OnceLock::new();
+    G.get_or_init(|| Mutex::new(MetricsSnapshot::default()))
+}
+
+/// Fold a dropped registry's final state into the roll-up (called by
+/// `Registry`'s `Drop`).
+pub(crate) fn bury(final_state: &MetricsSnapshot) {
+    graveyard()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .merge(final_state);
+}
+
+/// A merged snapshot of every registry the process has created — the
+/// live ones plus the final state of every dropped one — with
+/// same-named series summed. This is what `--metrics <path>` dumps: an
+/// experiment or CLI run may create (and drop) many knowledge bases,
+/// and the operator wants the totals.
+pub fn snapshot_all() -> MetricsSnapshot {
+    let regs: Vec<Arc<Registry>> = {
+        let g = global().lock().unwrap_or_else(|e| e.into_inner());
+        g.iter().filter_map(|w| w.upgrade()).collect()
+    };
+    let mut merged = graveyard()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    for r in regs {
+        merged.merge(&r.snapshot());
+    }
+    merged
+}
+
+/// Render the process-global roll-up in Prometheus text format.
+pub fn render_all_prometheus() -> String {
+    render_prometheus(&snapshot_all())
+}
+
+/// Render the process-global roll-up as JSON.
+pub fn render_all_json() -> String {
+    render_json(&snapshot_all())
+}
+
+/// The upper bound (inclusive) of log2 bucket `b` as a Prometheus `le`
+/// label value.
+fn le_of(bucket: usize) -> String {
+    if bucket >= 64 {
+        "+Inf".to_owned()
+    } else {
+        // Bucket b holds values of bit length b: upper bound 2^b - 1.
+        ((1u64 << bucket) - 1).to_string()
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format
+/// (`# HELP` / `# TYPE` comments, one sample per line; histograms emit
+/// cumulative `_bucket{le=...}` samples plus `_sum` and `_count`).
+pub fn render_prometheus(s: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, (help, v)) in &s.counters {
+        if !help.is_empty() {
+            out.push_str(&format!("# HELP {name} {help}\n"));
+        }
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (name, (help, v)) in &s.gauges {
+        if !help.is_empty() {
+            out.push_str(&format!("# HELP {name} {help}\n"));
+        }
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    }
+    for (name, (help, h)) in &s.histograms {
+        if !help.is_empty() {
+            out.push_str(&format!("# HELP {name} {help}\n"));
+        }
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        // Emit buckets up to the highest nonempty one, then +Inf;
+        // cumulative counts stay exact and the output stays short.
+        let top = h
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|p| p.min(63))
+            .unwrap_or(0);
+        let mut cum = 0u64;
+        for b in 0..=top {
+            cum += h.buckets[b];
+            out.push_str(&format!("{name}_bucket{{le=\"{}\"}} {cum}\n", le_of(b)));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{name}_sum {}\n", h.sum));
+        out.push_str(&format!("{name}_count {}\n", h.count));
+    }
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_histogram(h: &HistogramSnapshot) -> String {
+    let mut buckets = String::from("[");
+    let mut first = true;
+    for (b, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            buckets.push(',');
+        }
+        first = false;
+        let le = if b >= 64 {
+            json_string("+Inf")
+        } else {
+            ((1u64 << b) - 1).to_string()
+        };
+        buckets.push_str(&format!("{{\"le\":{le},\"count\":{c}}}"));
+    }
+    buckets.push(']');
+    format!(
+        "{{\"count\":{},\"sum\":{},\"buckets\":{buckets}}}",
+        h.count, h.sum
+    )
+}
+
+/// Render a snapshot as a single JSON object:
+/// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+pub fn render_json(s: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    let mut first = true;
+    for (name, (_, v)) in &s.counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("{}:{v}", json_string(name)));
+    }
+    out.push_str("},\"gauges\":{");
+    first = true;
+    for (name, (_, v)) in &s.gauges {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("{}:{v}", json_string(name)));
+    }
+    out.push_str("},\"histograms\":{");
+    first = true;
+    for (name, (_, h)) in &s.histograms {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("{}:{}", json_string(name), json_histogram(h)));
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_text_has_type_lines_and_samples() {
+        let r = Registry::new();
+        let c = r.counter("demo_total", "a demo counter").unwrap();
+        c.add(7);
+        let h = r.histogram("demo_vals", "a demo histogram").unwrap();
+        h.record(3);
+        h.record(300);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE demo_total counter"));
+        assert!(text.contains("demo_total 7"));
+        assert!(text.contains("# TYPE demo_vals histogram"));
+        assert!(text.contains("demo_vals_count 2"));
+        assert!(text.contains("demo_vals_sum 303"));
+        assert!(text.contains("demo_vals_bucket{le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let r = Registry::new();
+        r.counter("j_total", "").unwrap().add(1);
+        r.gauge("j_gauge", "").unwrap().set(9);
+        let json = r.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"j_total\":1"));
+        assert!(json.contains("\"j_gauge\":9"));
+    }
+
+    #[test]
+    fn roll_up_sums_same_named_series() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("rollup_demo_total", "").unwrap().add(2);
+        b.counter("rollup_demo_total", "").unwrap().add(3);
+        let merged = snapshot_all();
+        assert!(merged.counters["rollup_demo_total"].1 >= 5);
+    }
+}

@@ -1,0 +1,101 @@
+//! The global observability level: one relaxed atomic load on every hot
+//! path decides whether instrumentation runs at all.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much observability work the process performs.
+///
+/// The level is *global* (one `AtomicU8`), not per-registry: the whole
+/// point is that a disabled probe costs exactly one relaxed load, and a
+/// per-object level would make every instrumentation site chase a
+/// pointer first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum ObsLevel {
+    /// All instrumentation suppressed — counters do not count, spans do
+    /// not open, the flight recorder stays empty. Each probe site costs
+    /// one relaxed atomic load.
+    Off = 0,
+    /// Counters, gauges, and value histograms update (relaxed atomic
+    /// adds); spans and duration timings stay off. This is the default
+    /// and corresponds to what the pre-observability `KbStats` always
+    /// did.
+    Counters = 1,
+    /// Everything: spans open (monotonic nanosecond clocks), duration
+    /// histograms fill, and completed operation traces land in the
+    /// flight recorder.
+    Full = 2,
+}
+
+impl ObsLevel {
+    /// Parse a level name as used by CLI flags and the REPL.
+    pub fn parse(s: &str) -> Option<ObsLevel> {
+        match s {
+            "off" => Some(ObsLevel::Off),
+            "counters" => Some(ObsLevel::Counters),
+            "full" => Some(ObsLevel::Full),
+            _ => None,
+        }
+    }
+
+    /// The flag/REPL spelling of this level.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObsLevel::Off => "off",
+            ObsLevel::Counters => "counters",
+            ObsLevel::Full => "full",
+        }
+    }
+}
+
+impl std::fmt::Display for ObsLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(ObsLevel::Counters as u8);
+
+/// The current global level.
+pub fn level() -> ObsLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => ObsLevel::Off,
+        1 => ObsLevel::Counters,
+        _ => ObsLevel::Full,
+    }
+}
+
+/// Set the global level, returning the previous one (so callers like
+/// experiment E13 can restore it).
+pub fn set_level(l: ObsLevel) -> ObsLevel {
+    match LEVEL.swap(l as u8, Ordering::Relaxed) {
+        0 => ObsLevel::Off,
+        1 => ObsLevel::Counters,
+        _ => ObsLevel::Full,
+    }
+}
+
+/// Do counters/gauges/value-histograms update? (`Counters` and above.)
+#[inline(always)]
+pub fn counters_enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) >= ObsLevel::Counters as u8
+}
+
+/// Do spans, duration timings, and the flight recorder run? (`Full`.)
+#[inline(always)]
+pub fn tracing_enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) >= ObsLevel::Full as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for l in [ObsLevel::Off, ObsLevel::Counters, ObsLevel::Full] {
+            assert_eq!(ObsLevel::parse(l.name()), Some(l));
+        }
+        assert_eq!(ObsLevel::parse("verbose"), None);
+    }
+}

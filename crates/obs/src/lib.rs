@@ -1,0 +1,56 @@
+//! classic-obs: the observability core of the CLASSIC reproduction.
+//!
+//! Zero external dependencies, by design: this crate sits *below*
+//! `classic-core` in the dependency graph so every layer — subsumption
+//! kernel, knowledge base, query answering, durable store — can
+//! instrument itself, and the workspace still builds offline.
+//!
+//! Three cooperating pieces:
+//!
+//! - **[`ObsLevel`]** — one global `AtomicU8`. Every probe site checks it
+//!   with a single relaxed load; at [`ObsLevel::Off`] that load is the
+//!   *entire* cost of the instrumentation (experiment E13 pins this at
+//!   ≤ 3% on the E9 classification workload).
+//! - **[`Registry`]** — named counters, gauges, and log2-bucketed
+//!   histograms. Instantiable (each `Kb` owns one, so tests never share
+//!   counts) and enrolled in a process-global roll-up for `--metrics`
+//!   dumps. Names are validated at registration ([`validate_name`]):
+//!   duplicates and anything outside `[a-z0-9_]` are rejected with a
+//!   positioned [`ObsError`], so exposition can never emit colliding
+//!   series. Rendered as Prometheus text or JSON ([`expo`]).
+//! - **[`span`] / [`event`] / [`FlightRecorder`]** — RAII spans with
+//!   parent/child ids and monotonic nanosecond timings, assembled into
+//!   per-operation traces; a fixed-capacity ring buffer retains the most
+//!   recent and the slowest traces for `(obs-trace <op>)`-style
+//!   postmortems.
+//!
+//! ```
+//! use classic_obs::{Registry, FlightRecorder, ObsLevel};
+//! use std::sync::Arc;
+//!
+//! let registry = Registry::new();
+//! let tests = registry.counter("demo_subsumption_tests_total",
+//!                              "structural subsumption tests run").unwrap();
+//! tests.bump(); // relaxed add at the default level (Counters)
+//! assert_eq!(tests.get(), 1);
+//! assert!(registry.render_prometheus().contains("demo_subsumption_tests_total 1"));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod expo;
+pub mod flight;
+pub mod level;
+pub mod metrics;
+pub mod trace;
+
+pub use expo::{
+    render_all_json, render_all_prometheus, render_json, render_prometheus, snapshot_all,
+};
+pub use flight::{FlightRecorder, SpanRecord, Trace, TraceEvent};
+pub use level::{counters_enabled, level, set_level, tracing_enabled, ObsLevel};
+pub use metrics::{
+    bucket_of, validate_name, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,
+    ObsError, ObsErrorKind, Registry, HISTOGRAM_BUCKETS,
+};
+pub use trace::{event, span, span_timed, SpanGuard};

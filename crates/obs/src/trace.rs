@@ -1,0 +1,222 @@
+//! The span layer: RAII guards over a thread-local trace builder. A root
+//! span opening starts a trace; the root closing hands the finished
+//! trace to the operation's [`FlightRecorder`].
+//!
+//! Spans cost nothing below [`crate::ObsLevel::Full`]: `span()` does one
+//! relaxed atomic load and returns an inert guard.
+
+use crate::flight::{FlightRecorder, SpanRecord, Trace, TraceEvent};
+use crate::level::tracing_enabled;
+use crate::metrics::Histogram;
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct TraceBuilder {
+    clock: Instant,
+    recorder: Arc<FlightRecorder>,
+    spans: Vec<SpanRecord>,
+    /// Open span ids, innermost last; parallel vec of open Instants.
+    open: Vec<u32>,
+    open_at: Vec<u64>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<TraceBuilder>> = const { RefCell::new(None) };
+}
+
+/// RAII span handle: records duration and (for a root) ships the trace on
+/// drop. Inert when tracing is off. Not `Send` — spans belong to the
+/// thread that opened them; a worker thread opens its own root span.
+pub struct SpanGuard {
+    active: bool,
+    histogram: Option<Histogram>,
+    // Thread-local machinery: keep the guard !Send so drops stay on the
+    // opening thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Open a span named `target` under the current trace, or start a new
+/// trace rooted at `target` if none is active on this thread. The trace
+/// lands in `recorder` when the root closes.
+pub fn span(recorder: &Arc<FlightRecorder>, target: &'static str) -> SpanGuard {
+    if !tracing_enabled() {
+        return SpanGuard {
+            active: false,
+            histogram: None,
+            _not_send: std::marker::PhantomData,
+        };
+    }
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        let b = slot.get_or_insert_with(|| TraceBuilder {
+            clock: Instant::now(),
+            recorder: recorder.clone(),
+            spans: Vec::new(),
+            open: Vec::new(),
+            open_at: Vec::new(),
+        });
+        let id = b.spans.len() as u32;
+        let parent = b.open.last().copied();
+        let start_ns = b.clock.elapsed().as_nanos() as u64;
+        b.spans.push(SpanRecord {
+            id,
+            parent,
+            target,
+            start_ns,
+            dur_ns: 0,
+            events: Vec::new(),
+        });
+        b.open.push(id);
+        b.open_at.push(start_ns);
+    });
+    SpanGuard {
+        active: true,
+        histogram: None,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Like [`span`], additionally recording the span's duration into
+/// `histogram` when it closes.
+pub fn span_timed(
+    recorder: &Arc<FlightRecorder>,
+    target: &'static str,
+    histogram: &Histogram,
+) -> SpanGuard {
+    let mut g = span(recorder, target);
+    if g.active {
+        g.histogram = Some(histogram.clone());
+    }
+    g
+}
+
+/// Attach a point event to the innermost open span on this thread.
+/// No-op when tracing is off or no span is open.
+#[inline]
+pub fn event(name: &'static str, value: u64) {
+    if !tracing_enabled() {
+        return;
+    }
+    ACTIVE.with(|a| {
+        let mut slot = a.borrow_mut();
+        if let Some(b) = slot.as_mut() {
+            if let Some(&open) = b.open.last() {
+                b.spans[open as usize]
+                    .events
+                    .push(TraceEvent { name, value });
+            }
+        }
+    });
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let finished: Option<(Arc<FlightRecorder>, Trace)> = ACTIVE.with(|a| {
+            let mut slot = a.borrow_mut();
+            let b = slot.as_mut()?;
+            let id = b.open.pop()?;
+            let opened = b.open_at.pop().unwrap_or(0);
+            let dur = b.clock.elapsed().as_nanos() as u64 - opened;
+            b.spans[id as usize].dur_ns = dur;
+            if let Some(h) = &self.histogram {
+                h.record(dur);
+            }
+            if b.open.is_empty() {
+                let b = slot.take().expect("builder present");
+                let root = b.spans[0].target;
+                let total_ns = b.spans[0].dur_ns;
+                Some((
+                    b.recorder,
+                    Trace {
+                        root,
+                        total_ns,
+                        spans: b.spans,
+                    },
+                ))
+            } else {
+                None
+            }
+        });
+        if let Some((recorder, trace)) = finished {
+            recorder.record(trace);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::{set_level, ObsLevel};
+    use std::sync::Mutex;
+
+    /// Tests that flip the global level serialize on this.
+    static LEVEL_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn nested_spans_build_one_trace_with_parents() {
+        let _l = LEVEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = set_level(ObsLevel::Full);
+        let fr = Arc::new(FlightRecorder::new());
+        {
+            let _root = span(&fr, "outer");
+            event("top", 1);
+            {
+                let _child = span(&fr, "inner");
+                event("deep", 2);
+            }
+        }
+        set_level(prev);
+        let traces = fr.recent();
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.root, "outer");
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.spans[1].parent, Some(0));
+        assert_eq!(
+            t.spans[0].events,
+            vec![TraceEvent {
+                name: "top",
+                value: 1
+            }]
+        );
+        assert_eq!(
+            t.spans[1].events,
+            vec![TraceEvent {
+                name: "deep",
+                value: 2
+            }]
+        );
+        assert!(t.total_ns >= t.spans[1].dur_ns);
+    }
+
+    #[test]
+    fn spans_are_inert_when_off() {
+        let _l = LEVEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = set_level(ObsLevel::Counters);
+        let fr = Arc::new(FlightRecorder::new());
+        {
+            let _g = span(&fr, "op");
+            event("never", 1);
+        }
+        set_level(prev);
+        assert!(fr.is_empty());
+    }
+
+    #[test]
+    fn span_timed_feeds_the_histogram_at_full() {
+        let _l = LEVEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = set_level(ObsLevel::Full);
+        let r = crate::Registry::new();
+        let h = r.duration_histogram("span_test_ns", "").unwrap();
+        let fr = Arc::new(FlightRecorder::new());
+        {
+            let _g = span_timed(&fr, "op", &h);
+        }
+        set_level(prev);
+        assert_eq!(h.count(), 1);
+    }
+}

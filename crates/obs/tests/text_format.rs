@@ -1,0 +1,136 @@
+//! A tiny Prometheus text-format checker, used two ways: as a test
+//! oracle here, and mirrored by the CI `--metrics` job (which fails the
+//! build when an experiment's exposition output is empty or
+//! unparseable).
+
+use classic_obs::Registry;
+
+/// Validate one exposition document. Returns the number of sample lines,
+/// or an error naming the first offending line.
+fn check_prometheus_text(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    let mut typed: Vec<String> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |msg: &str| Err(format!("line {}: {msg}: {line:?}", lineno + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if let Some(rest) = rest.strip_prefix("TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                    return err("malformed TYPE comment");
+                };
+                if !matches!(kind, "counter" | "gauge" | "histogram") {
+                    return err("unknown metric type");
+                }
+                if typed.contains(&name.to_owned()) {
+                    return err("duplicate TYPE for series");
+                }
+                typed.push(name.to_owned());
+            } else if !rest.starts_with("HELP ") {
+                return err("unknown comment form");
+            }
+            continue;
+        }
+        // Sample: `name value` or `name_bucket{le="N"} value`.
+        let Some((sample, value)) = line.rsplit_once(' ') else {
+            return err("sample line without value");
+        };
+        if value.parse::<f64>().is_err() && value != "+Inf" {
+            return err("unparseable sample value");
+        }
+        let name = match sample.split_once('{') {
+            Some((name, labels)) => {
+                if !labels.ends_with('}') || !labels.starts_with("le=\"") {
+                    return err("malformed label set");
+                }
+                name
+            }
+            None => sample,
+        };
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        if classic_obs::validate_name(base).is_err() && classic_obs::validate_name(name).is_err() {
+            return err("sample name fails registration-time validation");
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no samples in exposition output".to_owned());
+    }
+    Ok(samples)
+}
+
+#[test]
+fn rendered_registry_passes_the_checker() {
+    let r = Registry::new();
+    r.counter("fmt_ops_total", "operations").unwrap().add(41);
+    r.gauge("fmt_generation", "store generation")
+        .unwrap()
+        .set(3);
+    let h = r
+        .histogram("fmt_candidates", "candidates per retrieve")
+        .unwrap();
+    h.record(0);
+    h.record(7);
+    h.record(4096);
+    let text = r.render_prometheus();
+    let n = check_prometheus_text(&text).expect("valid exposition");
+    assert!(n >= 3, "counter + gauge + histogram samples, got {n}");
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_and_end_at_inf() {
+    let r = Registry::new();
+    let h = r.histogram("fmt_cumulative", "").unwrap();
+    for v in [1u64, 1, 2, 900, 3] {
+        h.record(v);
+    }
+    let text = r.render_prometheus();
+    let mut last = 0u64;
+    let mut saw_inf = false;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("fmt_cumulative_bucket{le=\"") {
+            let (le, count) = rest.split_once("\"} ").expect("bucket sample");
+            let count: u64 = count.parse().expect("bucket count");
+            assert!(count >= last, "cumulative counts must not decrease");
+            last = count;
+            if le == "+Inf" {
+                saw_inf = true;
+                assert_eq!(count, 5, "+Inf bucket holds every observation");
+            }
+        }
+    }
+    assert!(saw_inf, "histogram must end with a +Inf bucket");
+    assert!(text.contains("fmt_cumulative_count 5"));
+    assert!(text.contains("fmt_cumulative_sum 907"));
+}
+
+#[test]
+fn empty_or_garbage_documents_are_rejected() {
+    assert!(check_prometheus_text("").is_err());
+    assert!(check_prometheus_text("\n\n").is_err());
+    assert!(check_prometheus_text("not a metric line at all, no value").is_err());
+    assert!(check_prometheus_text("name notanumber").is_err());
+    assert!(check_prometheus_text("# TYPE x summary\nx 1").is_err());
+    assert!(check_prometheus_text("Bad-Name 3").is_err());
+}
+
+#[test]
+fn json_exposition_of_same_registry_matches_counts() {
+    let r = Registry::new();
+    r.counter("fmt_json_total", "").unwrap().add(5);
+    let json = r.render_json();
+    assert!(json.contains("\"fmt_json_total\":5"));
+    // Structural sanity: braces balance.
+    let depth = json.chars().fold(0i32, |d, c| match c {
+        '{' => d + 1,
+        '}' => d - 1,
+        _ => d,
+    });
+    assert_eq!(depth, 0);
+}

@@ -293,6 +293,9 @@ pub fn retrieve(kb: &mut Kb, query: &Concept) -> Result<Answers> {
 /// `TEST` recognizer panics during an instance test — the panic is caught
 /// at the retrieval boundary instead of aborting the process.
 pub fn retrieve_nf(kb: &Kb, nf: &NormalForm) -> Result<Answers> {
+    let obs = QueryObs::attach(kb);
+    let _span = classic_obs::span_timed(kb.flight_recorder(), "query.retrieve", &obs.retrieve_ns);
+    obs.retrieves.bump();
     let mut stats = QueryStats::default();
     if nf.is_incoherent() {
         return Ok(Answers {
@@ -350,11 +353,59 @@ pub fn retrieve_nf(kb: &Kb, nf: &NormalForm) -> Result<Answers> {
             in_answer[id.index()] = true;
         }
     }
+    obs.candidates.record(stats.tested as u64);
+    obs.free_answers.add(stats.free as u64);
+    obs.tested.add(stats.tested as u64);
+    classic_obs::event("free", stats.free as u64);
+    classic_obs::event("tested", stats.tested as u64);
     let known: Vec<IndId> = (0..n)
         .filter(|&i| in_answer[i])
         .map(IndId::from_index)
         .collect();
     Ok(Answers { known, stats })
+}
+
+/// Handles onto the retrieval series in the KB's metric registry,
+/// attached idempotently per call (one mutex round-trip; retrieval does
+/// orders of magnitude more work than that per query).
+struct QueryObs {
+    retrieves: classic_obs::Counter,
+    free_answers: classic_obs::Counter,
+    tested: classic_obs::Counter,
+    candidates: classic_obs::Histogram,
+    retrieve_ns: classic_obs::Histogram,
+}
+
+impl QueryObs {
+    fn attach(kb: &Kb) -> QueryObs {
+        let m = kb.metrics();
+        QueryObs {
+            retrieves: m
+                .get_or_counter("classic_retrieve_total", "retrieve queries answered")
+                .expect("query metric registration"),
+            free_answers: m
+                .get_or_counter(
+                    "classic_retrieve_free_total",
+                    "answers taken from subsumed extensions without a test",
+                )
+                .expect("query metric registration"),
+            tested: m
+                .get_or_counter(
+                    "classic_retrieve_tested_total",
+                    "candidates individually instance-tested",
+                )
+                .expect("query metric registration"),
+            candidates: m
+                .get_or_histogram(
+                    "classic_retrieve_candidates",
+                    "candidates tested per retrieval",
+                )
+                .expect("query metric registration"),
+            retrieve_ns: m
+                .get_or_duration_histogram("classic_retrieve_ns", "retrieve wall time (ns)")
+                .expect("query metric registration"),
+        }
+    }
 }
 
 /// Render a caught panic payload for the error message. `panic!` with a
@@ -415,10 +466,15 @@ fn test_candidates(kb: &Kb, nf: &NormalForm, candidates: &[IndId]) -> Result<Vec
         let handles: Vec<_> = candidates
             .chunks(chunk)
             .map(|part| {
+                let recorder = std::sync::Arc::clone(kb.flight_recorder());
                 s.spawn(move || {
                     // Catch inside the worker so the panic becomes data;
                     // `scope` still joins every thread before returning.
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        // Worker threads have no open parent span, so each
+                        // batch becomes its own root trace in the recorder.
+                        let _span = classic_obs::span(&recorder, "query.worker_batch");
+                        classic_obs::event("batch_size", part.len() as u64);
                         part.iter()
                             .copied()
                             .filter(|&id| kb.known_instance(id, nf))

@@ -40,9 +40,11 @@ use classic_core::error::{ClassicError, Result};
 use classic_core::schema::TestArg;
 use classic_core::symbol::{ConceptName, RoleId, TestId};
 use classic_kb::{AssertReport, IndId, Kb, RetractReport};
+use classic_obs::{Counter, FlightRecorder, Gauge, Histogram};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Header line carrying the log generation. Written as the first line of
 /// every log file; a log whose generation is *older* than the manifest's
@@ -139,8 +141,8 @@ struct CompactorHandle {
 }
 
 /// Everything the publish pipeline needs, fully rendered — the plan owns
-/// only strings and paths, so it can move to the compactor thread and
-/// run without touching the `Kb`.
+/// only strings, paths, and observability handles, so it can move to the
+/// compactor thread and run without touching the `Kb`.
 struct CompactionPlan {
     dir: PathBuf,
     generation: u64,
@@ -151,6 +153,83 @@ struct CompactionPlan {
     stale_segments: Vec<PathBuf>,
     legacy_files: Vec<PathBuf>,
     report: CompactionReport,
+    /// Flight recorder of the owning KB — the publish pipeline opens its
+    /// own root trace on the compactor thread.
+    recorder: Arc<FlightRecorder>,
+    publish_ns: Histogram,
+}
+
+/// Handles into the owning KB's metric registry for the storage-layer
+/// series. Registered idempotently ([`get_or_*`](classic_obs::Registry))
+/// so reopening a store against the same registry is harmless.
+struct StoreObs {
+    appends: Counter,
+    append_bytes: Counter,
+    compactions: Counter,
+    segments_written: Counter,
+    segments_reused: Counter,
+    compact_bytes: Counter,
+    generation: Gauge,
+    append_ns: Histogram,
+    render_ns: Histogram,
+    publish_ns: Histogram,
+}
+
+impl StoreObs {
+    fn attach(kb: &Kb) -> StoreObs {
+        let m = kb.metrics();
+        let c = |name: &str, help: &str| {
+            m.get_or_counter(name, help)
+                .expect("store metric registration")
+        };
+        StoreObs {
+            appends: c(
+                "classic_store_appends_total",
+                "operation-log records appended",
+            ),
+            append_bytes: c(
+                "classic_store_append_bytes_total",
+                "bytes appended to the operation log (including newlines)",
+            ),
+            compactions: c("classic_store_compactions_total", "compactions published"),
+            segments_written: c(
+                "classic_store_segments_written_total",
+                "segment bodies written by compactions",
+            ),
+            segments_reused: c(
+                "classic_store_segments_reused_total",
+                "unchanged segment bodies reused by compactions",
+            ),
+            compact_bytes: c(
+                "classic_store_compact_bytes_total",
+                "segment-body bytes written by compactions",
+            ),
+            generation: m
+                .get_or_gauge(
+                    "classic_store_generation",
+                    "generation of the last durably published snapshot",
+                )
+                .expect("store metric registration"),
+            append_ns: m
+                .get_or_duration_histogram(
+                    "classic_store_append_ns",
+                    "durable log append wall time (ns)",
+                )
+                .expect("store metric registration"),
+            render_ns: m
+                .get_or_duration_histogram(
+                    "classic_store_compact_render_ns",
+                    "compaction render + log rotation wall time, caller thread (ns)",
+                )
+                .expect("store metric registration"),
+            publish_ns: m
+                .get_or_duration_histogram(
+                    "classic_store_compact_publish_ns",
+                    "compaction publish pipeline wall time, compactor thread (ns)",
+                )
+                .expect("store metric registration"),
+        }
+    }
 }
 
 struct PlannedSegment {
@@ -174,7 +253,7 @@ struct PlannedSegment {
 /// store.compact()?; // fold the log into segments, durably
 /// drop(store);
 /// let reopened = DurableKb::open(&path, |_| {})?;
-/// assert_eq!(reopened.kb().ind_count(), 1);
+/// assert_eq!(reopened.kb()?.ind_count(), 1);
 /// # Ok::<(), classic_core::ClassicError>(())
 /// ```
 pub struct DurableKb {
@@ -201,6 +280,7 @@ pub struct DurableKb {
     auto_compact_after: Option<u64>,
     segment_budget: usize,
     last_compaction: Option<CompactionReport>,
+    obs: StoreObs,
 }
 
 impl DurableKb {
@@ -224,9 +304,9 @@ impl DurableKb {
     /// With a short log suffix, open cost tracks the suffix, not the
     /// database size (experiment E12 measures exactly this).
     ///
-    /// Until the store is fully hydrated, [`kb`](DurableKb::kb) panics
-    /// rather than expose a partial database; use
-    /// [`kb_hydrated`](DurableKb::kb_hydrated) for queries.
+    /// Until the store is fully hydrated, [`kb`](DurableKb::kb) returns
+    /// [`ClassicError::NotHydrated`] rather than expose a partial
+    /// database; use [`kb_hydrated`](DurableKb::kb_hydrated) for queries.
     pub fn open_paged(
         path: impl AsRef<Path>,
         register_tests: impl FnOnce(&mut Kb),
@@ -317,6 +397,8 @@ impl DurableKb {
             }
         }
 
+        let obs = StoreObs::attach(&kb);
+        obs.generation.set(published_gen);
         let mut store = DurableKb {
             kb,
             log_path: log_path.clone(),
@@ -333,6 +415,7 @@ impl DurableKb {
             auto_compact_after: None,
             segment_budget: DEFAULT_SEGMENT_BUDGET,
             last_compaction: None,
+            obs,
         };
         if !paged {
             store.hydrate_all()?;
@@ -347,19 +430,29 @@ impl DurableKb {
     /// The underlying knowledge base (read-only; mutations must go
     /// through the logged operators).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// On a [paged](DurableKb::open_paged) store that still has
-    /// unhydrated segments — a partial database must never masquerade as
-    /// the whole one. Call [`hydrate_all`](DurableKb::hydrate_all) first
-    /// or use [`kb_hydrated`](DurableKb::kb_hydrated).
-    pub fn kb(&self) -> &Kb {
-        assert!(
-            self.is_fully_hydrated(),
-            "DurableKb::kb() on a partially hydrated paged store; \
-             call hydrate_all() or kb_hydrated() first"
-        );
-        &self.kb
+    /// [`ClassicError::NotHydrated`] on a
+    /// [paged](DurableKb::open_paged) store that still has unhydrated
+    /// segments — a partial database must never masquerade as the whole
+    /// one. The error names the parked arena range; call
+    /// [`hydrate_all`](DurableKb::hydrate_all) first or use
+    /// [`kb_hydrated`](DurableKb::kb_hydrated).
+    pub fn kb(&self) -> Result<&Kb> {
+        let parked: Vec<&ManifestEntry> = self
+            .pending
+            .iter()
+            .filter(|s| !s.hydrated)
+            .map(|s| &s.entry)
+            .collect();
+        if parked.is_empty() {
+            return Ok(&self.kb);
+        }
+        Err(ClassicError::NotHydrated {
+            lo: parked.iter().map(|e| e.lo).min().unwrap_or(0),
+            hi: parked.iter().map(|e| e.hi).max().unwrap_or(0),
+            segments: parked.len(),
+        })
     }
 
     /// Hydrate every remaining segment, then return the (now complete)
@@ -675,6 +768,13 @@ impl DurableKb {
     }
 
     fn append(&mut self, line: &str) -> Result<()> {
+        let _span = classic_obs::span_timed(
+            self.kb.flight_recorder(),
+            "store.append",
+            &self.obs.append_ns,
+        );
+        self.obs.appends.bump();
+        self.obs.append_bytes.add(line.len() as u64 + 1);
         let io = |e: std::io::Error| storage_err(&self.log_path, Some(self.log_gen), e);
         self.log.write_all(line.as_bytes()).map_err(io)?;
         self.log.write_all(b"\n").map_err(io)?;
@@ -779,6 +879,37 @@ impl DurableKb {
         Ok(report)
     }
 
+    /// `retract-rule` by rule id (the REPL's `(retract-rule 7)`):
+    /// applied to the KB first; logged on success.
+    ///
+    /// The log records the *canonical* `(retract-rule <antecedent>
+    /// <consequent>)` form, not the id: ids are positions in the live
+    /// rule vector, and compaction renumbers them (snapshots drop
+    /// retired rules), so a numeric id is not replay-stable. The
+    /// canonical form retracts *a* live rule with the same
+    /// antecedent/consequent — interchangeable with the one the id
+    /// named, since identical rules have identical consequences.
+    pub fn retract_rule_by_id(&mut self, rule_ix: usize) -> Result<RetractReport> {
+        self.hydrate_all()?;
+        let line = self
+            .kb
+            .rules()
+            .get(rule_ix)
+            .filter(|r| !r.retired)
+            .map(|r| {
+                let symbols = &self.kb.schema().symbols;
+                format!(
+                    "(retract-rule {} {})",
+                    symbols.concept_name(r.antecedent),
+                    r.consequent.display(symbols)
+                )
+            });
+        let report = self.kb.retract_rule_by_id(rule_ix)?;
+        let line = line.expect("retract_rule_by_id accepted a dead rule id");
+        self.append(&line)?;
+        Ok(report)
+    }
+
     /// Register a host test function. Not logged (closures are not
     /// serializable); the schema segment records the required names.
     pub fn register_test<F>(&mut self, name: &str, f: F) -> TestId
@@ -879,6 +1010,15 @@ impl DurableKb {
                 // pending.
                 self.pending.clear();
                 self.last_compaction = Some(handle.report);
+                self.obs.compactions.bump();
+                self.obs
+                    .segments_written
+                    .add(handle.report.segments_written as u64);
+                self.obs
+                    .segments_reused
+                    .add(handle.report.segments_reused as u64);
+                self.obs.compact_bytes.add(handle.report.bytes_written);
+                self.obs.generation.set(handle.report.generation);
                 Ok(Some(handle.report))
             }
             Ok(Err(e)) => Err(e),
@@ -908,6 +1048,11 @@ impl DurableKb {
     /// is owned data — the publish pipeline needs no further access to
     /// the store.
     fn begin_compaction(&mut self) -> Result<CompactionPlan> {
+        let _span = classic_obs::span_timed(
+            self.kb.flight_recorder(),
+            "store.compact.render",
+            &self.obs.render_ns,
+        );
         // Rendering requires the complete database.
         self.hydrate_all()?;
         let next_gen = self.log_gen + 1;
@@ -1019,6 +1164,8 @@ impl DurableKb {
             segments_reused: reused,
             bytes_written,
         };
+        classic_obs::event("segments_written", written as u64);
+        classic_obs::event("segments_reused", reused as u64);
         Ok(CompactionPlan {
             dir: self.dir.clone(),
             generation: next_gen,
@@ -1029,6 +1176,8 @@ impl DurableKb {
             stale_segments,
             legacy_files,
             report,
+            recorder: Arc::clone(self.kb.flight_recorder()),
+            publish_ns: self.obs.publish_ns.clone(),
         })
     }
 }
@@ -1054,48 +1203,61 @@ impl Drop for DurableKb {
 ///    snapshot; directory fsync.
 fn publish_plan(plan: &CompactionPlan, crash: Option<CrashPoint>) -> Result<()> {
     debug_assert!(crash != Some(CrashPoint::AfterLogRotation));
-    let mut first_published = false;
-    for seg in &plan.segments {
-        if seg.reuse || plan.dir.join(&seg.file).exists() {
-            continue;
-        }
-        segment::write_segment(&plan.dir, &seg.file, &seg.rendered, plan.generation)?;
-        if !first_published {
-            first_published = true;
-            if crash == Some(CrashPoint::AfterFirstSegmentPublish) {
-                return Ok(());
+    // Root trace on whichever thread runs the pipeline (the compactor
+    // thread in production); per-phase child spans time each rename
+    // point of the crash-ordering pipeline.
+    let _span = classic_obs::span_timed(&plan.recorder, "store.compact.publish", &plan.publish_ns);
+    {
+        let _phase = classic_obs::span(&plan.recorder, "store.publish.segments");
+        let mut first_published = false;
+        for seg in &plan.segments {
+            if seg.reuse || plan.dir.join(&seg.file).exists() {
+                continue;
+            }
+            segment::write_segment(&plan.dir, &seg.file, &seg.rendered, plan.generation)?;
+            if !first_published {
+                first_published = true;
+                if crash == Some(CrashPoint::AfterFirstSegmentPublish) {
+                    return Ok(());
+                }
             }
         }
+        // Crash point still honored when every segment was reused.
+        if crash == Some(CrashPoint::AfterFirstSegmentPublish) {
+            return Ok(());
+        }
+        sync_dir(&plan.manifest_file)?;
     }
-    // Crash point still honored when every segment was reused.
-    if crash == Some(CrashPoint::AfterFirstSegmentPublish) {
-        return Ok(());
-    }
-    sync_dir(&plan.manifest_file)?;
     if crash == Some(CrashPoint::BeforeManifestRename) {
         return Ok(());
     }
-    plan.manifest.write_atomic(&plan.manifest_file)?;
-    if crash == Some(CrashPoint::AfterManifestRename) {
-        return Ok(());
+    {
+        let _phase = classic_obs::span(&plan.recorder, "store.publish.manifest");
+        plan.manifest.write_atomic(&plan.manifest_file)?;
+        if crash == Some(CrashPoint::AfterManifestRename) {
+            return Ok(());
+        }
+        sync_dir(&plan.manifest_file)?;
     }
-    sync_dir(&plan.manifest_file)?;
     if crash == Some(CrashPoint::BeforeCleanup) {
         return Ok(());
     }
-    for path in plan
-        .stale_logs
-        .iter()
-        .chain(&plan.stale_segments)
-        .chain(&plan.legacy_files)
     {
-        match std::fs::remove_file(path) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(storage_err(path, Some(plan.generation), e)),
+        let _phase = classic_obs::span(&plan.recorder, "store.publish.cleanup");
+        for path in plan
+            .stale_logs
+            .iter()
+            .chain(&plan.stale_segments)
+            .chain(&plan.legacy_files)
+        {
+            match std::fs::remove_file(path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(storage_err(path, Some(plan.generation), e)),
+            }
         }
+        sync_dir(&plan.manifest_file)?;
     }
-    sync_dir(&plan.manifest_file)?;
     Ok(())
 }
 
@@ -1256,30 +1418,37 @@ mod tests {
         let path = dir.join("kb.log");
         let mut store = DurableKb::open(&path, |_| {}).unwrap();
         populate(&mut store);
-        let before = snapshot_to_string(store.kb());
+        let before = snapshot_to_string(store.kb().unwrap());
         drop(store);
 
         let reopened = DurableKb::open(&path, |_| {}).unwrap();
-        assert_eq!(before, snapshot_to_string(reopened.kb()));
+        assert_eq!(before, snapshot_to_string(reopened.kb().unwrap()));
         // Derived state (recognition) was rebuilt, not just told facts.
         let student = reopened
             .kb()
+            .unwrap()
             .schema()
             .symbols
             .find_concept("STUDENT")
             .unwrap();
         let rocky = reopened
             .kb()
+            .unwrap()
             .ind_id(
                 reopened
                     .kb()
+                    .unwrap()
                     .schema()
                     .symbols
                     .find_individual("Rocky")
                     .unwrap(),
             )
             .unwrap();
-        assert!(reopened.kb().is_instance_of(rocky, student).unwrap());
+        assert!(reopened
+            .kb()
+            .unwrap()
+            .is_instance_of(rocky, student)
+            .unwrap());
     }
 
     #[test]
@@ -1301,9 +1470,11 @@ mod tests {
         let reopened = DurableKb::open(&path, |_| {}).unwrap();
         let rocky = reopened
             .kb()
+            .unwrap()
             .ind_id(
                 reopened
                     .kb()
+                    .unwrap()
                     .schema()
                     .symbols
                     .find_individual("Rocky")
@@ -1313,11 +1484,12 @@ mod tests {
         // Role ids are interning-order dependent; re-resolve by name.
         let driven = reopened
             .kb()
+            .unwrap()
             .schema()
             .symbols
             .find_role("thing-driven")
             .unwrap();
-        assert!(reopened.kb().ind(rocky).is_closed(driven));
+        assert!(reopened.kb().unwrap().ind(rocky).is_closed(driven));
     }
 
     #[test]
@@ -1335,10 +1507,10 @@ mod tests {
         );
         // More ops after compaction land in the fresh log.
         store.create_ind("Bullwinkle").unwrap();
-        let before = snapshot_to_string(store.kb());
+        let before = snapshot_to_string(store.kb().unwrap());
         drop(store);
         let reopened = DurableKb::open(&path, |_| {}).unwrap();
-        assert_eq!(before, snapshot_to_string(reopened.kb()));
+        assert_eq!(before, snapshot_to_string(reopened.kb().unwrap()));
     }
 
     #[test]
@@ -1347,8 +1519,8 @@ mod tests {
         let path = dir.join("kb.log");
         let mut store = DurableKb::open(&path, |_| {}).unwrap();
         populate(&mut store);
-        let rebuilt = crate::snapshot::roundtrip(store.kb(), |_| {}).unwrap();
-        assert!(same_state(store.kb(), &rebuilt));
+        let rebuilt = crate::snapshot::roundtrip(store.kb().unwrap(), |_| {}).unwrap();
+        assert!(same_state(store.kb().unwrap(), &rebuilt));
     }
 
     #[test]
@@ -1368,11 +1540,12 @@ mod tests {
         // State is the full accepted history…
         let rocky = store
             .kb()
+            .unwrap()
             .schema()
             .symbols
             .find_individual("Rocky")
             .unwrap();
-        assert!(store.kb().ind_id(rocky).is_ok());
+        assert!(store.kb().unwrap().ind_id(rocky).is_ok());
         drop(store);
         // …and the log was truncated back to the last good record.
         let recovered = std::fs::read_to_string(&path).unwrap();
@@ -1417,7 +1590,7 @@ mod tests {
         // manifest rename but before stale-log cleanup, with the stale
         // log additionally restored to the *active* name.
         let old_log = std::fs::read(&path).unwrap();
-        let before = snapshot_to_string(store.kb());
+        let before = snapshot_to_string(store.kb().unwrap());
         store.compact().unwrap();
         drop(store);
         std::fs::write(&path, &old_log).unwrap();
@@ -1426,11 +1599,11 @@ mod tests {
         // (create-ind duplicates) or double-apply; open must detect the
         // generation mismatch and discard it instead.
         let reopened = DurableKb::open(&path, |_| {}).unwrap();
-        assert_eq!(before, snapshot_to_string(reopened.kb()));
+        assert_eq!(before, snapshot_to_string(reopened.kb().unwrap()));
         drop(reopened);
         // The stale log was durably reset, so the next open is clean too.
         let again = DurableKb::open(&path, |_| {}).unwrap();
-        assert_eq!(before, snapshot_to_string(again.kb()));
+        assert_eq!(before, snapshot_to_string(again.kb().unwrap()));
     }
 
     #[test]
@@ -1440,7 +1613,7 @@ mod tests {
         let mut store = DurableKb::open(&path, |_| {}).unwrap();
         populate(&mut store);
         store.compact().unwrap();
-        let before = snapshot_to_string(store.kb());
+        let before = snapshot_to_string(store.kb().unwrap());
         drop(store);
         // A crash mid-compaction leaves tmp files that were never
         // renamed into place: a partial segment and a partial manifest.
@@ -1450,7 +1623,7 @@ mod tests {
         std::fs::write(&man_tmp, "; partial manifest, crashed mid-write").unwrap();
 
         let reopened = DurableKb::open(&path, |_| {}).unwrap();
-        assert_eq!(before, snapshot_to_string(reopened.kb()));
+        assert_eq!(before, snapshot_to_string(reopened.kb().unwrap()));
         assert!(!seg_tmp.exists(), "stale temp segment must be cleaned up");
         assert!(!man_tmp.exists(), "stale temp manifest must be cleaned up");
     }
@@ -1464,30 +1637,37 @@ mod tests {
         let enrolled = store.kb.schema().symbols.find_role("enrolled-at").unwrap();
         let retracted = Concept::AtLeast(1, enrolled);
         store.retract_ind("Rocky", &retracted).unwrap();
-        let before = snapshot_to_string(store.kb());
+        let before = snapshot_to_string(store.kb().unwrap());
         drop(store);
 
         // The retraction replays from the log…
         let reopened = DurableKb::open(&path, |_| {}).unwrap();
-        assert_eq!(before, snapshot_to_string(reopened.kb()));
+        assert_eq!(before, snapshot_to_string(reopened.kb().unwrap()));
         let student = reopened
             .kb()
+            .unwrap()
             .schema()
             .symbols
             .find_concept("STUDENT")
             .unwrap();
         let rocky = reopened
             .kb()
+            .unwrap()
             .ind_id(
                 reopened
                     .kb()
+                    .unwrap()
                     .schema()
                     .symbols
                     .find_individual("Rocky")
                     .unwrap(),
             )
             .unwrap();
-        assert!(!reopened.kb().is_instance_of(rocky, student).unwrap());
+        assert!(!reopened
+            .kb()
+            .unwrap()
+            .is_instance_of(rocky, student)
+            .unwrap());
         drop(reopened);
 
         // …and compaction folds it away: the segments carry only the
@@ -1505,7 +1685,7 @@ mod tests {
         // retracted told fact about Rocky is gone.
         assert!(!all_segments.contains("(assert-ind Rocky (AT-LEAST 1 enrolled-at))"));
         let reopened = DurableKb::open(&path, |_| {}).unwrap();
-        assert_eq!(before, snapshot_to_string(reopened.kb()));
+        assert_eq!(before, snapshot_to_string(reopened.kb().unwrap()));
     }
 
     #[test]
@@ -1523,14 +1703,14 @@ mod tests {
         let consequent = Concept::all(eat, Concept::Name(junk));
         store.assert_rule("STUDENT", consequent.clone()).unwrap();
         store.retract_rule("STUDENT", &consequent).unwrap();
-        assert_eq!(store.kb().active_rules().count(), 0);
-        let before = snapshot_to_string(store.kb());
+        assert_eq!(store.kb().unwrap().active_rules().count(), 0);
+        let before = snapshot_to_string(store.kb().unwrap());
         assert!(!before.contains("assert-rule"));
         drop(store);
         // Replay reaches the same state (rule asserted then retracted).
         let reopened = DurableKb::open(&path, |_| {}).unwrap();
-        assert_eq!(before, snapshot_to_string(reopened.kb()));
-        assert_eq!(reopened.kb().active_rules().count(), 0);
+        assert_eq!(before, snapshot_to_string(reopened.kb().unwrap()));
+        assert_eq!(reopened.kb().unwrap().active_rules().count(), 0);
     }
 
     #[test]
@@ -1550,28 +1730,42 @@ mod tests {
             .unwrap();
         drop(store);
         let reopened = DurableKb::open(&path, |_| {}).unwrap();
-        assert_eq!(reopened.kb().rules().len(), 1);
+        assert_eq!(reopened.kb().unwrap().rules().len(), 1);
         // And the rule had fired on Rocky during replay.
         let rocky = reopened
             .kb()
+            .unwrap()
             .ind_id(
                 reopened
                     .kb()
+                    .unwrap()
                     .schema()
                     .symbols
                     .find_individual("Rocky")
                     .unwrap(),
             )
             .unwrap();
-        let eat = reopened.kb().schema().symbols.find_role("eat").unwrap();
+        let eat = reopened
+            .kb()
+            .unwrap()
+            .schema()
+            .symbols
+            .find_role("eat")
+            .unwrap();
         let junk = reopened
             .kb()
+            .unwrap()
             .schema()
             .symbols
             .find_concept("JUNK-FOOD")
             .unwrap();
-        let junk_nf = reopened.kb().schema().concept_nf(junk).unwrap();
-        let vr = reopened.kb().ind(rocky).derived.value_restriction(eat);
+        let junk_nf = reopened.kb().unwrap().schema().concept_nf(junk).unwrap();
+        let vr = reopened
+            .kb()
+            .unwrap()
+            .ind(rocky)
+            .derived
+            .value_restriction(eat);
         assert!(classic_core::subsumes(junk_nf, &vr));
     }
 
@@ -1615,10 +1809,10 @@ mod tests {
         );
         assert!(report.segments_written <= 2, "got {report:?}");
         // Reopen agrees with memory.
-        let before = snapshot_to_string(store.kb());
+        let before = snapshot_to_string(store.kb().unwrap());
         drop(store);
         let reopened = DurableKb::open(&path, |_| {}).unwrap();
-        assert_eq!(before, snapshot_to_string(reopened.kb()));
+        assert_eq!(before, snapshot_to_string(reopened.kb().unwrap()));
     }
 
     #[test]
@@ -1633,7 +1827,7 @@ mod tests {
         // A short log suffix touching one individual.
         let person = store.kb.schema().symbols.find_concept("PERSON").unwrap();
         store.assert_ind("Ind-002", &Concept::Name(person)).unwrap();
-        let before = snapshot_to_string(store.kb());
+        let before = snapshot_to_string(store.kb().unwrap());
         drop(store);
 
         let mut paged = DurableKb::open_paged(&path, |_| {}).unwrap();
@@ -1657,13 +1851,12 @@ mod tests {
         oracle_store
             .assert_ind("Ind-007", &Concept::Name(person))
             .unwrap();
-        assert!(same_state(full, oracle_store.kb()));
+        assert!(same_state(full, oracle_store.kb().unwrap()));
         let _ = before;
     }
 
     #[test]
-    #[should_panic(expected = "partially hydrated")]
-    fn kb_panics_on_partially_hydrated_store() {
+    fn kb_errors_on_partially_hydrated_store() {
         let dir = tmpdir("pagedpanic");
         let path = dir.join("kb.log");
         let mut store = DurableKb::open(&path, |_| {}).unwrap();
@@ -1672,9 +1865,19 @@ mod tests {
         populate_many(&mut store, 0, 6);
         store.compact().unwrap();
         drop(store);
-        let paged = DurableKb::open_paged(&path, |_| {}).unwrap();
-        assert!(paged.pending_segments() > 0, "precondition");
-        let _ = paged.kb(); // must panic
+        let mut paged = DurableKb::open_paged(&path, |_| {}).unwrap();
+        let parked = paged.pending_segments();
+        assert!(parked > 0, "precondition");
+        match paged.kb() {
+            Err(ClassicError::NotHydrated { lo, hi, segments }) => {
+                assert_eq!(segments, parked);
+                assert!(lo < hi, "the parked range {lo}..{hi} must be non-empty");
+            }
+            other => panic!("expected NotHydrated, got {other:?}"),
+        }
+        // Hydrating clears the error.
+        paged.hydrate_all().unwrap();
+        assert!(paged.kb().is_ok());
     }
 
     #[test]
@@ -1690,10 +1893,10 @@ mod tests {
         let report = store.wait_for_compaction().unwrap().unwrap();
         assert!(report.generation >= 1);
         assert_eq!(store.generation(), report.generation);
-        let before = snapshot_to_string(store.kb());
+        let before = snapshot_to_string(store.kb().unwrap());
         drop(store);
         let reopened = DurableKb::open(&path, |_| {}).unwrap();
-        assert_eq!(before, snapshot_to_string(reopened.kb()));
+        assert_eq!(before, snapshot_to_string(reopened.kb().unwrap()));
     }
 
     #[test]
@@ -1709,10 +1912,10 @@ mod tests {
             "threshold crossing must have started a compaction"
         );
         assert!(manifest_path(&path).exists());
-        let before = snapshot_to_string(store.kb());
+        let before = snapshot_to_string(store.kb().unwrap());
         drop(store);
         let reopened = DurableKb::open(&path, |_| {}).unwrap();
-        assert_eq!(before, snapshot_to_string(reopened.kb()));
+        assert_eq!(before, snapshot_to_string(reopened.kb().unwrap()));
     }
 
     #[test]
@@ -1723,7 +1926,7 @@ mod tests {
         // monolithic script) plus a fresh-generation log with a suffix.
         let mut oracle = DurableKb::open(dir.join("oracle.log"), |_| {}).unwrap();
         populate(&mut oracle);
-        let script = snapshot_to_string(oracle.kb());
+        let script = snapshot_to_string(oracle.kb().unwrap());
         std::fs::write(
             legacy_snapshot_path(&path),
             format!("{GEN_PREFIX} 3\n{script}"),
@@ -1735,6 +1938,7 @@ mod tests {
         assert_eq!(store.generation(), 3);
         assert!(store
             .kb()
+            .unwrap()
             .schema()
             .symbols
             .find_individual("Bullwinkle")
@@ -1745,10 +1949,10 @@ mod tests {
         assert_eq!(store.generation(), 4);
         assert!(!legacy_snapshot_path(&path).exists());
         assert!(manifest_path(&path).exists());
-        let before = snapshot_to_string(store.kb());
+        let before = snapshot_to_string(store.kb().unwrap());
         drop(store);
         let reopened = DurableKb::open(&path, |_| {}).unwrap();
-        assert_eq!(before, snapshot_to_string(reopened.kb()));
+        assert_eq!(before, snapshot_to_string(reopened.kb().unwrap()));
     }
 
     #[test]
@@ -1757,7 +1961,7 @@ mod tests {
         let path = dir.join("kb.log");
         let mut store = DurableKb::open(&path, |_| {}).unwrap();
         populate(&mut store);
-        let before = snapshot_to_string(store.kb());
+        let before = snapshot_to_string(store.kb().unwrap());
         // Die right after the rotation: the fold log holds the history,
         // the fresh active log is empty, and no new manifest exists.
         store
@@ -1766,7 +1970,7 @@ mod tests {
         drop(store);
         assert!(fold_log_path(&dir, "kb", 0).exists());
         let reopened = DurableKb::open(&path, |_| {}).unwrap();
-        assert_eq!(before, snapshot_to_string(reopened.kb()));
+        assert_eq!(before, snapshot_to_string(reopened.kb().unwrap()));
         // The next compaction folds both logs away for good.
         drop(reopened);
         let mut again = DurableKb::open(&path, |_| {}).unwrap();
@@ -1774,7 +1978,7 @@ mod tests {
         assert!(!fold_log_path(&dir, "kb", 0).exists());
         drop(again);
         let final_open = DurableKb::open(&path, |_| {}).unwrap();
-        assert_eq!(before, snapshot_to_string(final_open.kb()));
+        assert_eq!(before, snapshot_to_string(final_open.kb().unwrap()));
     }
 
     #[test]
@@ -1801,5 +2005,35 @@ mod tests {
             msg.contains("generation"),
             "error must name the generation: {msg}"
         );
+    }
+
+    #[test]
+    fn store_metrics_track_appends_and_compactions() {
+        let dir = tmpdir("obsstore");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        populate(&mut store);
+        store.compact().unwrap();
+        store.create_ind("Bullwinkle").unwrap();
+        let snap = store.kb().unwrap().metrics().snapshot();
+        let counter = |name: &str| snap.counters.get(name).map(|(_, v)| *v).unwrap_or(0);
+        assert!(counter("classic_store_appends_total") > 0);
+        assert!(counter("classic_store_append_bytes_total") > 0);
+        assert_eq!(counter("classic_store_compactions_total"), 1);
+        assert!(counter("classic_store_segments_written_total") > 0);
+        let report = store.last_compaction().unwrap();
+        assert_eq!(
+            counter("classic_store_compact_bytes_total"),
+            report.bytes_written
+        );
+        assert_eq!(
+            snap.gauges.get("classic_store_generation").map(|g| g.1),
+            Some(report.generation)
+        );
+        // The same series appear in both exposition formats.
+        let prom = classic_obs::render_prometheus(&snap);
+        assert!(prom.contains("classic_store_appends_total"));
+        let json = classic_obs::render_json(&snap);
+        assert!(json.contains("classic_store_appends_total"));
     }
 }

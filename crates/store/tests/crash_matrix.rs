@@ -30,9 +30,16 @@ fn build_base(store: &mut DurableKb) {
     store
         .define_concept("PERSON", Concept::primitive(Concept::thing(), "person"))
         .unwrap();
-    let person = store.kb().schema().symbols.find_concept("PERSON").unwrap();
+    let person = store
+        .kb()
+        .unwrap()
+        .schema()
+        .symbols
+        .find_concept("PERSON")
+        .unwrap();
     let enrolled = store
         .kb()
+        .unwrap()
         .schema()
         .symbols
         .find_role("enrolled-at")
@@ -43,7 +50,13 @@ fn build_base(store: &mut DurableKb) {
             Concept::and([Concept::Name(person), Concept::AtLeast(1, enrolled)]),
         )
         .unwrap();
-    let advisor = store.kb().schema().symbols.find_role("advisor").unwrap();
+    let advisor = store
+        .kb()
+        .unwrap()
+        .schema()
+        .symbols
+        .find_role("advisor")
+        .unwrap();
     store
         .assert_rule("STUDENT", Concept::AtLeast(1, advisor))
         .unwrap();
@@ -59,6 +72,7 @@ fn build_base(store: &mut DurableKb) {
 fn apply_suffix(store: &mut DurableKb) {
     let enrolled = store
         .kb()
+        .unwrap()
         .schema()
         .symbols
         .find_role("enrolled-at")
@@ -67,7 +81,13 @@ fn apply_suffix(store: &mut DurableKb) {
         .assert_ind("S3", &Concept::AtLeast(1, enrolled))
         .unwrap();
     store.create_ind("S8").unwrap();
-    let person = store.kb().schema().symbols.find_concept("PERSON").unwrap();
+    let person = store
+        .kb()
+        .unwrap()
+        .schema()
+        .symbols
+        .find_concept("PERSON")
+        .unwrap();
     store.assert_ind("S8", &Concept::Name(person)).unwrap();
     store
         .retract_ind("S3", &Concept::AtLeast(1, enrolled))
@@ -80,7 +100,7 @@ fn oracle(tag: &str) -> String {
     let mut store = DurableKb::open(dir.join("kb.log"), |_| {}).unwrap();
     build_base(&mut store);
     apply_suffix(&mut store);
-    let text = snapshot_to_string(store.kb());
+    let text = snapshot_to_string(store.kb().unwrap());
     drop(store);
     let _ = std::fs::remove_dir_all(&dir);
     text
@@ -116,7 +136,7 @@ fn run_crash_at(point: CrashPoint) {
     let reopened = DurableKb::open(&path, |_| {}).unwrap();
     assert_eq!(
         expected,
-        snapshot_to_string(reopened.kb()),
+        snapshot_to_string(reopened.kb().unwrap()),
         "crash at {point:?}: eager reopen diverged from the no-crash oracle"
     );
     drop(reopened);
@@ -134,7 +154,7 @@ fn run_crash_at(point: CrashPoint) {
 
     // Recovery is idempotent: a second reopen sees the same state.
     let again = DurableKb::open(&path, |_| {}).unwrap();
-    assert_eq!(expected, snapshot_to_string(again.kb()));
+    assert_eq!(expected, snapshot_to_string(again.kb().unwrap()));
     drop(again);
 
     // And the wreckage is fully compactable: after one clean compaction
@@ -145,7 +165,7 @@ fn run_crash_at(point: CrashPoint) {
     drop(fresh);
     assert_directory_is_clean(&dir, &path);
     let final_open = DurableKb::open(&path, |_| {}).unwrap();
-    assert_eq!(expected, snapshot_to_string(final_open.kb()));
+    assert_eq!(expected, snapshot_to_string(final_open.kb().unwrap()));
 }
 
 #[test]
@@ -179,7 +199,7 @@ fn leftover_compaction_temp_files_are_swept_on_open() {
     let path = dir.join("kb.log");
     let mut store = DurableKb::open(&path, |_| {}).unwrap();
     build_base(&mut store);
-    let expected = snapshot_to_string(store.kb());
+    let expected = snapshot_to_string(store.kb().unwrap());
     drop(store);
     // Fabricate the debris an interrupted atomic write leaves behind.
     let debris = [
@@ -191,7 +211,7 @@ fn leftover_compaction_temp_files_are_swept_on_open() {
         std::fs::write(p, "; crashed mid-write").unwrap();
     }
     let reopened = DurableKb::open(&path, |_| {}).unwrap();
-    assert_eq!(expected, snapshot_to_string(reopened.kb()));
+    assert_eq!(expected, snapshot_to_string(reopened.kb().unwrap()));
     for p in &debris {
         assert!(!p.exists(), "temp file must be swept: {}", p.display());
     }

@@ -129,7 +129,15 @@ fn apply_to_store(store: &mut DurableKb, op: &Op) {
     let (name, c) = match op {
         Op::Prim(i) => (
             format!("x{i}"),
-            Concept::Name(store.kb().schema().symbols.find_concept("P0").unwrap()),
+            Concept::Name(
+                store
+                    .kb()
+                    .unwrap()
+                    .schema()
+                    .symbols
+                    .find_concept("P0")
+                    .unwrap(),
+            ),
         ),
         Op::Fills(i, r, j) => {
             let f = IndRef::Classic(
@@ -196,16 +204,16 @@ proptest! {
         if compact_at == ops.len() {
             store.compact().unwrap();
         }
-        prop_assert!(same_state(&oracle, store.kb()), "live store diverged");
-        let live_text = snapshot_to_string(store.kb());
+        prop_assert!(same_state(&oracle, store.kb().unwrap()), "live store diverged");
+        let live_text = snapshot_to_string(store.kb().unwrap());
         drop(store);
 
         // Eager reopen: same state as the in-memory history, and the
         // snapshot text is a fixed point of the segmented round trip.
         let eager = DurableKb::open(&path, |_| {}).unwrap();
-        prop_assert!(same_state(&oracle, eager.kb()), "eager reopen diverged");
-        prop_assert_eq!(&live_text, &snapshot_to_string(eager.kb()));
-        let eager_text = snapshot_to_string(eager.kb());
+        prop_assert!(same_state(&oracle, eager.kb().unwrap()), "eager reopen diverged");
+        prop_assert_eq!(&live_text, &snapshot_to_string(eager.kb().unwrap()));
+        let eager_text = snapshot_to_string(eager.kb().unwrap());
         drop(eager);
 
         // Paged reopen, hydrating in an adversarial (random) order.
@@ -214,7 +222,7 @@ proptest! {
             paged.hydrate_for(&name).unwrap();
         }
         prop_assert!(paged.is_fully_hydrated(), "every name touched ⇒ fully hydrated");
-        prop_assert!(same_state(&oracle, paged.kb()), "paged reopen diverged");
+        prop_assert!(same_state(&oracle, paged.kb().unwrap()), "paged reopen diverged");
         drop(paged);
 
         // Compacting the reopened store is a fixed point.
@@ -223,7 +231,7 @@ proptest! {
         again.compact().unwrap();
         drop(again);
         let last = DurableKb::open(&path, |_| {}).unwrap();
-        prop_assert_eq!(eager_text, snapshot_to_string(last.kb()));
+        prop_assert_eq!(eager_text, snapshot_to_string(last.kb().unwrap()));
 
         let _ = std::fs::remove_dir_all(&dir);
     }

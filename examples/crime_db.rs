@@ -159,5 +159,101 @@ fn main() {
     let adult = kb.schema().symbols.find_concept("ADULT").expect("c");
     let adult_nf = kb.schema().concept_nf(adult).expect("defined");
     assert!(classic::core::subsumes(adult_nf, &desc));
+
+    // ---- durable epilogue: the case file, persisted -----------------------
+    // The same instrumentation covers the storage layer. Persisting the
+    // open cases through a `DurableKb` makes every told fact a durable
+    // log append; the store's series land in the same per-KB registry
+    // that `(obs-stats)` renders.
+    let dir = std::env::temp_dir().join(format!("classic-crime-db-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let mut case_file =
+        classic::store::DurableKb::open(dir.join("case-file.classic"), |_| {}).expect("store");
+    case_file.define_role("perpetrator").expect("role");
+    case_file.define_role("typical-suspect").expect("role");
+    case_file
+        .define_concept("PERSON", Concept::primitive(Concept::thing(), "person"))
+        .expect("concept");
+    let symbols = &case_file.kb().expect("fully hydrated").schema().symbols;
+    let person = symbols.find_concept("PERSON").expect("c");
+    let perp = symbols.find_role("perpetrator").expect("r");
+    let suspect_of = symbols.find_role("typical-suspect").expect("r");
+    case_file
+        .define_concept(
+            "CRIME",
+            Concept::and([
+                Concept::AtLeast(1, perp),
+                Concept::all(perp, Concept::Name(person)),
+            ]),
+        )
+        .expect("concept");
+    case_file
+        .assert_rule("CRIME", Concept::AtLeast(1, suspect_of))
+        .expect("rule");
+    let crime = case_file
+        .kb()
+        .expect("fully hydrated")
+        .schema()
+        .symbols
+        .find_concept("CRIME")
+        .expect("c");
+    for i in 0..4 {
+        let name = format!("case-{i}");
+        case_file.create_ind(&name).expect("ind");
+        case_file
+            .assert_ind(&name, &Concept::Name(crime))
+            .expect("told");
+        let wife = format!("suspect-{i}");
+        case_file.create_ind(&wife).expect("ind");
+        let filler = classic::IndRef::Classic(
+            case_file
+                .kb_mut_for_queries()
+                .schema_mut()
+                .symbols
+                .individual(&wife),
+        );
+        case_file
+            .assert_ind(&name, &Concept::Fills(perp, vec![filler]))
+            .expect("told");
+    }
+
+    // ---- what the engine did, by the numbers ------------------------------
+    // Every hot path above left a metric trail; `(obs-stats)` in the REPL
+    // prints the same exposition. The durable KB's registry shows the
+    // store-layer series alongside the reasoning ones.
+    let out = run_script(&mut kb, "(obs-stats)").expect("obs");
+    if let Some(Outcome::Description(prom)) = out.last() {
+        println!("\nengine metrics (Prometheus exposition):");
+        for line in prom.lines().filter(|l| !l.starts_with('#')) {
+            println!("  {line}");
+        }
+    }
+    let snap = case_file.kb().expect("fully hydrated").metrics().snapshot();
+    let prom = classic::obs::render_prometheus(&snap);
+    let json = classic::obs::render_json(&snap);
+    println!("\ncase-file store metrics (Prometheus exposition):");
+    for line in prom.lines().filter(|l| !l.starts_with('#')) {
+        println!("  {line}");
+    }
+    // Acceptance: a real workload moves subsumption, propagation, and
+    // store-append series, visible in both exposition formats.
+    for series in [
+        "classic_subsume_tests_total",
+        "classic_propagation_steps_total",
+        "classic_store_appends_total",
+    ] {
+        let v = snap
+            .counters
+            .get(series)
+            .unwrap_or_else(|| panic!("{series} not registered"))
+            .1;
+        assert!(v > 0, "{series} must be nonzero after the workload");
+        assert!(prom.contains(&format!("{series} {v}")), "{series} in text");
+        assert!(
+            json.contains(&format!("\"{series}\":{v}")),
+            "{series} in json"
+        );
+    }
     println!("crime_db OK");
 }

@@ -65,12 +65,14 @@ fn main() {
                     "commands: (define-role r) (define-attribute r) \
                      (define-concept N expr) (create-ind I)\n  (assert-ind I expr) \
                      (assert-rule N expr) (retract-ind I expr) (retract-rule N expr)\n  \
+                     (retract-rule 7) (list-rules) \
                      (define-macro M (p…) expr) (retrieve q)\n  \
                      (possible q) (ask-description q) (ask-necessary-set q) \
                      (subsumes? a b) (equivalent? a b)\n  (disjoint? a b) (classify expr) \
                      (concept-aspect N KIND [r]) (ind-aspect I KIND [r])\n  (describe I) \
                      (why? I N) (what-if? I expr) (provenance I) \
-                     (parents N) (children N) (lint-kb)\n\
+                     (parents N) (children N) (lint-kb)\n  \
+                     (obs-stats [json]) (obs-trace op|*) (obs-reset) (obs-level [off|counters|full])\n\
                      meta: :stats :snapshot :quit"
                 );
                 continue;
@@ -124,6 +126,9 @@ fn main() {
 fn print_outcome(outcome: &Outcome) {
     match outcome {
         Outcome::Ok => println!("; ok"),
+        Outcome::RuleAsserted(ix) => {
+            println!("; rule #{ix} asserted (retract with (retract-rule {ix}))")
+        }
         Outcome::Asserted(report) => println!(
             "; accepted (steps={} fills={} corefs={} rules={} reclassified={})",
             report.steps,

@@ -1,8 +1,12 @@
 //! `classic-analyze` — lint CLASSIC surface-language scripts from CI.
 //!
 //! ```text
-//! classic-analyze [--deny warnings|errors] [--quiet] <script.classic>...
+//! classic-analyze [--deny warnings|errors] [--quiet] [--metrics <path>] <script.classic>...
 //! ```
+//!
+//! `--metrics <path>` dumps the engine's metric roll-up after analysis
+//! (loading the scripts exercises assertion/propagation/classification):
+//! Prometheus text at `<path>`, JSON at `<path>.json`.
 //!
 //! Each script is loaded into its own fresh session (so a broken schema in
 //! one file cannot mask findings in another), then the static analyzer
@@ -19,13 +23,16 @@ use classic::lang::Session;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: classic-analyze [--deny warnings|errors] [--quiet] <script.classic>...");
+    eprintln!(
+        "usage: classic-analyze [--deny warnings|errors] [--quiet] [--metrics <path>] <script.classic>..."
+    );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut deny = Severity::Error;
     let mut quiet = false;
+    let mut metrics: Option<String> = None;
     let mut scripts: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -34,6 +41,10 @@ fn main() -> ExitCode {
                 Some("warnings") => deny = Severity::Warning,
                 Some("errors") => deny = Severity::Error,
                 _ => return usage(),
+            },
+            "--metrics" => match args.next() {
+                Some(path) => metrics = Some(path),
+                None => return usage(),
             },
             "--quiet" | "-q" => quiet = true,
             "--help" | "-h" => {
@@ -72,6 +83,17 @@ fn main() -> ExitCode {
         }
         if !report.passes(deny) {
             failed = true;
+        }
+    }
+    if let Some(path) = metrics {
+        if let Err(e) = std::fs::write(&path, classic::obs::render_all_prometheus()) {
+            eprintln!("{path}: cannot write metrics: {e}");
+            broken = true;
+        }
+        let json_path = format!("{path}.json");
+        if let Err(e) = std::fs::write(&json_path, classic::obs::render_all_json()) {
+            eprintln!("{json_path}: cannot write metrics: {e}");
+            broken = true;
         }
     }
     if broken {

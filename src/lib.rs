@@ -25,6 +25,7 @@
 //! | [`rel`] | relational view + closed-world baseline (paper §3.5.2) |
 //! | [`store`] | operation-log persistence in the surface syntax |
 //! | [`analyze`] | static schema/KB lint: incoherence, cycles, rule analysis |
+//! | [`obs`] | tracing spans, metrics registry, flight recorder, exposition |
 //!
 //! ## Quickstart
 //!
@@ -56,6 +57,7 @@ pub use classic_analyze as analyze;
 pub use classic_core as core;
 pub use classic_kb as kb;
 pub use classic_lang as lang;
+pub use classic_obs as obs;
 pub use classic_query as query;
 pub use classic_rel as rel;
 pub use classic_store as store;
