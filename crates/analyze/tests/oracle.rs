@@ -153,7 +153,12 @@ proptest! {
             let q = Concept::Name(id);
             // Open-world check: nothing is even *possibly* an instance of
             // a concept the analyzer called ⊥.
-            let poss = classic_query::possible(&mut kb, &q).unwrap();
+            let poss = classic_query::Query::concept(q.clone())
+                .possible()
+                .run(&mut kb)
+                .unwrap()
+                .into_possible()
+                .unwrap();
             prop_assert!(
                 poss.is_empty(),
                 "analyzer flagged {name} incoherent but {} individual(s) are possible instances",

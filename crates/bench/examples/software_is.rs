@@ -15,7 +15,7 @@
 //!
 //! Run with: `cargo run --release -p classic-bench --example software_is`
 
-use classic::{retrieve, Concept};
+use classic::{Concept, Query};
 use classic_bench::workload::software::{build, SoftwareConfig};
 
 fn main() {
@@ -36,7 +36,11 @@ fn main() {
 
     // ---- ad-hoc queries, answered via classification (§5) ------------------
     for (label, q) in sw.queries() {
-        let ans = retrieve(&mut sw.kb, &q).expect("coherent query");
+        let ans = Query::concept(q)
+            .run(&mut sw.kb)
+            .expect("coherent query")
+            .into_known()
+            .expect("known mode");
         println!(
             "{label}: {} answers ({} free from subsumed concepts, {} tested)",
             ans.known.len(),

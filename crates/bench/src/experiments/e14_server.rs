@@ -1,0 +1,224 @@
+//! E14 — multi-tenant server under concurrent load: latency and
+//! throughput of the wire protocol with many clients hammering several
+//! independent tenants in one process.
+//!
+//! The paper frames the CLASSIC DBMS as a shared facility serving many
+//! applications (§1, §5). This experiment stands the reproduction's
+//! server up on a loopback socket and drives it with N concurrent
+//! line-protocol clients spread over M tenants — each iteration two
+//! durable writes (`create-ind`, `assert-ind`, fsynced to the tenant
+//! log before the reply) and one snapshot read (`retrieve`). Reported:
+//! p50/p99 round-trip latency split by writes vs reads, and total
+//! ops/sec. Asserted inline: every reply is `ok:true`, every tenant
+//! ends with exactly the individuals its clients created, and the
+//! server's own `/metrics` exposition accounts for every form sent.
+//!
+//! Full run: 16 clients × 4 tenants; smoke (`CLASSIC_BENCH_SMOKE`):
+//! 4 clients × 2 tenants with a smaller op count.
+
+use std::io::{BufRead, BufReader, Read, Write as _};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use classic_server::{ServerConfig, ServerHandle};
+use std::fmt::Write as _;
+
+fn smoke() -> bool {
+    std::env::var_os("CLASSIC_BENCH_SMOKE").is_some()
+}
+
+/// Minimal line-protocol client: one form out, one JSON line back.
+struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        Client {
+            reader: BufReader::new(stream),
+        }
+    }
+
+    /// Round-trip one form; panics unless the reply is `ok:true`.
+    fn ok(&mut self, form: &str) -> String {
+        let stream = self.reader.get_mut();
+        stream.write_all(form.as_bytes()).expect("send");
+        stream.write_all(b"\n").expect("send");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("reply");
+        assert!(
+            line.starts_with("{\"ok\":true"),
+            "form {form:?} failed: {line}"
+        );
+        line
+    }
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let ix = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[ix] as f64 / 1000.0 // µs
+}
+
+/// Scrape `GET /metrics` and read one counter's rolled-up value.
+fn scrape_counter(handle: &ServerHandle, name: &str) -> u64 {
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n")
+        .expect("request");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("response");
+    body.lines()
+        .find_map(|l| l.strip_prefix(name)?.trim().parse().ok())
+        .unwrap_or_else(|| panic!("{name} missing from /metrics"))
+}
+
+pub fn run() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== E14: multi-tenant server, concurrent wire-protocol load =="
+    );
+    let _ = writeln!(
+        out,
+        "N clients over M tenants; writes fsync the tenant log before the"
+    );
+    let _ = writeln!(out, "reply, reads run on shared version-pinned snapshots.");
+
+    let clients = if smoke() { 4 } else { 16 };
+    let tenants = if smoke() { 2 } else { 4 };
+    let iters_per_client = if smoke() { 25 } else { 150 };
+
+    let dir = std::env::temp_dir().join(format!("classic-bench-e14-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = classic_server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        data_dir: dir.clone(),
+        workers: clients + 2, // every client stays connected + HTTP scrapes
+    })
+    .expect("server starts");
+
+    // Schema per tenant, over the wire like everything else.
+    for t in 0..tenants {
+        let mut c = Client::connect(&handle);
+        c.ok(&format!("(tenant load-{t})"));
+        c.ok("(define-role child)");
+        c.ok("(define-concept PERSON (PRIMITIVE THING person))");
+        c.ok("(define-concept PARENT (AND PERSON (AT-LEAST 1 child)))");
+    }
+    let base_requests = scrape_counter(&handle, "classic_server_requests_total");
+
+    let wall = Instant::now();
+    let results: Vec<(Vec<u64>, Vec<u64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c_ix| {
+                let server = &handle;
+                scope.spawn(move || {
+                    let tenant = c_ix % tenants;
+                    let mut client = Client::connect(server);
+                    client.ok(&format!("(tenant load-{tenant})"));
+                    let mut write_ns = Vec::with_capacity(iters_per_client * 2);
+                    let mut read_ns = Vec::with_capacity(iters_per_client);
+                    for i in 0..iters_per_client {
+                        let ind = format!("c{c_ix}-i{i}");
+                        for form in [
+                            format!("(create-ind {ind})"),
+                            format!("(assert-ind {ind} (AND PERSON (FILLS child {ind}-kid)))"),
+                        ] {
+                            let t = Instant::now();
+                            client.ok(&form);
+                            write_ns.push(t.elapsed().as_nanos() as u64);
+                        }
+                        let t = Instant::now();
+                        let reply = client.ok("(retrieve PARENT)");
+                        read_ns.push(t.elapsed().as_nanos() as u64);
+                        assert!(
+                            reply.contains(&format!("\"c{c_ix}-i{i}\"")),
+                            "freshly asserted PARENT missing from snapshot read"
+                        );
+                    }
+                    (write_ns, read_ns)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = wall.elapsed();
+
+    let mut write_ns: Vec<u64> = results
+        .iter()
+        .flat_map(|(w, _)| w.iter().copied())
+        .collect();
+    let mut read_ns: Vec<u64> = results
+        .iter()
+        .flat_map(|(_, r)| r.iter().copied())
+        .collect();
+    write_ns.sort_unstable();
+    read_ns.sort_unstable();
+    let total_ops = (write_ns.len() + read_ns.len()) as u64;
+
+    // Every tenant holds exactly the individuals its clients created
+    // (client + auto-created filler per iteration): tenant isolation
+    // under concurrency, checked on the server's own stats endpoint.
+    let per_tenant_clients = |t: usize| (0..clients).filter(|c| c % tenants == t).count();
+    let all_stats = handle.shared().all_stats();
+    for t in 0..tenants {
+        let stats = all_stats
+            .iter()
+            .find(|s| s.name == format!("load-{t}"))
+            .expect("tenant listed in stats");
+        let want = per_tenant_clients(t) * iters_per_client * 2;
+        assert_eq!(
+            stats.individuals, want,
+            "tenant {} individual count off under concurrent load",
+            stats.name
+        );
+    }
+    let served = scrape_counter(&handle, "classic_server_requests_total") - base_requests;
+    assert!(
+        served >= total_ops,
+        "/metrics accounts for {served} forms, expected at least {total_ops}"
+    );
+
+    let _ = writeln!(
+        out,
+        "workload: {clients} clients x {iters_per_client} iterations over {tenants} tenants \
+         ({total_ops} ops, 2:1 write:read)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>18} {:>10} {:>12} {:>12}",
+        "op", "count", "p50 µs", "p99 µs"
+    );
+    for (name, ns) in [("durable write", &write_ns), ("snapshot read", &read_ns)] {
+        let _ = writeln!(
+            out,
+            "{:>18} {:>10} {:>12.1} {:>12.1}",
+            name,
+            ns.len(),
+            percentile(ns, 0.50),
+            percentile(ns, 0.99)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "throughput: {:.0} ops/sec over {:.2}s wall",
+        total_ops as f64 / wall.as_secs_f64().max(1e-9),
+        wall.as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "asserted: all replies ok, per-tenant counts exact, /metrics saw all {served} forms"
+    );
+
+    handle.shutdown().expect("graceful shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}

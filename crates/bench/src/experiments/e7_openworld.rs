@@ -100,12 +100,19 @@ pub fn run() -> String {
         // Closed-world rendering: crimes whose stored perpetrator tuples
         // number ≤ 1 — i.e., every crime without two distinct fillers.
         let cw_at_most_1 = cw_at_most_one_perp(&db);
-        let known = classic_query::retrieve(&mut ckb.kb, &q3_classic)
+        let known = classic_query::Query::concept(q3_classic.clone())
+            .run(&mut ckb.kb)
             .expect("query")
+            .into_known()
+            .expect("known mode")
             .known
             .len();
-        let poss = classic_query::possible(&mut ckb.kb, &q3_classic)
+        let poss = classic_query::Query::concept(q3_classic.clone())
+            .possible()
+            .run(&mut ckb.kb)
             .expect("query")
+            .into_possible()
+            .expect("possible mode")
             .len();
         let _ = writeln!(
             out,
@@ -236,11 +243,20 @@ fn report_row(
     db: &classic_rel::Database,
 ) {
     let cw = cw_q.evaluate(db).len();
-    let known = classic_query::retrieve(kb, classic_q)
+    let known = classic_query::Query::concept(classic_q.clone())
+        .run(kb)
         .expect("query")
+        .into_known()
+        .expect("known mode")
         .known
         .len();
-    let poss = classic_query::possible(kb, classic_q).expect("query").len();
+    let poss = classic_query::Query::concept(classic_q.clone())
+        .possible()
+        .run(kb)
+        .expect("query")
+        .into_possible()
+        .expect("possible mode")
+        .len();
     assert!(known <= poss, "known answers must be a subset of possible");
     let _ = writeln!(
         out,

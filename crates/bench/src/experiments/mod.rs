@@ -10,6 +10,7 @@ pub mod e10_retraction;
 pub mod e11_analyze;
 pub mod e12_store;
 pub mod e13_obs_overhead;
+pub mod e14_server;
 pub mod e1_subsumption;
 pub mod e2_classification;
 pub mod e3_query;
@@ -108,6 +109,11 @@ pub fn registry() -> Vec<Experiment> {
             "e13",
             "observability overhead: Off vs Counters vs Full (Off ≤ 3%, asserted)",
             e13_obs_overhead::run,
+        ),
+        (
+            "e14",
+            "multi-tenant server: concurrent wire-protocol latency and throughput",
+            e14_server::run,
         ),
     ]
 }

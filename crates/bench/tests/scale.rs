@@ -19,7 +19,11 @@ fn invariants_hold_at_several_thousand_individuals() {
     // 1. Classified retrieval agrees with the naive scan on every query,
     //    with fewer candidate tests.
     for (label, q) in sw.queries() {
-        let a = classic_query::retrieve(&mut sw.kb, &q).expect("query");
+        let a = classic_query::Query::concept(q.clone())
+            .run(&mut sw.kb)
+            .expect("query")
+            .into_known()
+            .expect("known mode");
         let b = classic_query::retrieve_naive(&mut sw.kb, &q).expect("query");
         let mut x = a.known.clone();
         let mut y = b.known.clone();

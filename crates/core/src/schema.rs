@@ -37,10 +37,13 @@ pub enum TestArg<'a> {
     Ind(Option<&'a str>, &'a NormalForm),
 }
 
-/// A registered test function.
-pub type TestFn = Box<dyn Fn(&TestArg<'_>) -> bool + Send + Sync>;
+/// A registered test function. `Arc`, not `Box`: schemas are cloneable
+/// (server read snapshots clone whole KBs) and closures cannot be, so
+/// clones share the registered functions.
+pub type TestFn = std::sync::Arc<dyn Fn(&TestArg<'_>) -> bool + Send + Sync>;
 
 /// A stored named-concept definition.
+#[derive(Clone)]
 pub struct ConceptDef {
     /// The definition as written (`concept-aspect` reads facets off this
     /// via its normal form; the told form is kept for display/persistence).
@@ -49,6 +52,7 @@ pub struct ConceptDef {
     pub nf: NormalForm,
 }
 
+#[derive(Clone)]
 struct PrimInfo {
     /// Disjointness grouping, if declared via `DISJOINT-PRIMITIVE`.
     group: Option<u32>,
@@ -63,6 +67,9 @@ struct PrimInfo {
 
 /// The CLASSIC schema: symbol table, role declarations, named concepts,
 /// primitive atoms and their disjoint groupings, and the test registry.
+/// Cloning is deep except for the test registry, whose `Arc`'d functions
+/// are shared (the identity of a test is its name, not its closure).
+#[derive(Clone)]
 pub struct Schema {
     /// The interned names of every role, concept, individual and test.
     pub symbols: SymbolTable,
@@ -337,9 +344,9 @@ impl Schema {
     {
         let id = self.symbols.test(name);
         if id.index() == self.tests.len() {
-            self.tests.push(Box::new(f));
+            self.tests.push(std::sync::Arc::new(f));
         } else {
-            self.tests[id.index()] = Box::new(f);
+            self.tests[id.index()] = std::sync::Arc::new(f);
         }
         id
     }

@@ -75,7 +75,7 @@ pub struct Support {
 
 /// The persistent support graph, keyed by target. Committed supports only;
 /// in-flight supports live on the transaction journal until commit.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct DependencyJournal {
     records: HashMap<IndId, BTreeSet<Support>>,
 }

@@ -255,6 +255,36 @@ impl Default for Kb {
     }
 }
 
+impl Clone for Kb {
+    /// Deep-copy the logical state (schema, taxonomy, individuals, rules,
+    /// dependency journal) while *sharing* the observability handles: the
+    /// metric registry, flight recorder, and duration histograms are
+    /// `Arc`'d, so a clone's operations keep counting against the original
+    /// KB's series. This is exactly what a server read snapshot wants —
+    /// queries against the snapshot show up in the tenant's metrics — and
+    /// it avoids enrolling throwaway registries in the process-global
+    /// roll-up for every snapshot taken.
+    fn clone(&self) -> Kb {
+        Kb {
+            schema: self.schema.clone(),
+            taxonomy: self.taxonomy.clone(),
+            inds: self.inds.clone(),
+            by_name: self.by_name.clone(),
+            extensions: self.extensions.clone(),
+            rules: self.rules.clone(),
+            rules_by_node: self.rules_by_node.clone(),
+            reverse_fillers: self.reverse_fillers.clone(),
+            deps: self.deps.clone(),
+            stats: self.stats.clone(),
+            obs: Arc::clone(&self.obs),
+            recorder: Arc::clone(&self.recorder),
+            assert_ns: self.assert_ns.clone(),
+            retract_ns: self.retract_ns.clone(),
+            propagate_ns: self.propagate_ns.clone(),
+        }
+    }
+}
+
 impl Kb {
     /// An empty knowledge base (schema, taxonomy and data all empty).
     ///

@@ -370,8 +370,18 @@ proptest! {
             Concept::Name(kb.schema().symbols.find_concept("P0").unwrap()),
             Concept::AtLeast(1, RoleId::from_index(0)),
         ]);
-        let a = classic_query::retrieve(&mut kb, &q).unwrap().known;
-        let b = classic_query::retrieve(&mut rebuilt, &q).unwrap().known;
+        let a = classic_query::Query::concept(q.clone())
+            .run(&mut kb)
+            .unwrap()
+            .into_known()
+            .unwrap()
+            .known;
+        let b = classic_query::Query::concept(q)
+            .run(&mut rebuilt)
+            .unwrap()
+            .into_known()
+            .unwrap()
+            .known;
         prop_assert_eq!(a, b);
     }
 

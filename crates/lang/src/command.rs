@@ -20,18 +20,30 @@
 //! ```
 //!
 //! The same command stream doubles as the persistence format
-//! (`classic-store`), honoring the paper's point that one language plays
-//! every role.
+//! (`classic-store`) and the wire protocol (`classic-server`), honoring
+//! the paper's point that one language plays every role.
+//!
+//! Since the PR-6 API redesign, **parsing is pure**: [`parse`] turns text
+//! into [`Command`]s over the unresolved [`crate::ast`] (names as
+//! symbols), with no KB in scope — so a server can parse a request before
+//! choosing a tenant, and many threads can parse concurrently. Name
+//! resolution happens inside [`eval`]. Evaluation yields a data-first
+//! [`Outcome`] with two renderers shared by the REPL and the wire
+//! protocol: [`Outcome::render_text`] and [`Outcome::render_json`].
 
+use crate::ast::{Expr, QueryExpr};
 use crate::lexer::{tokenize, Token, TokenKind};
 use crate::parser::Parser;
 use classic_core::aspect::AspectKind;
-use classic_core::desc::{Concept, IndRef};
+use classic_core::desc::IndRef;
 use classic_core::error::{ClassicError, Result};
 use classic_kb::{AssertReport, Kb, RetractReport};
-use classic_query::{MarkedQuery, Query};
+use classic_obs::json_string;
+use classic_query::Query;
 
-/// A parsed top-level command.
+/// A parsed top-level command over the unresolved AST: every concept or
+/// query payload is an [`Expr`]/[`QueryExpr`] whose names are still
+/// strings. Resolution against a concrete KB happens at [`eval`] time.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `(define-role name)` (§3.1).
@@ -39,19 +51,19 @@ pub enum Command {
     /// `(define-attribute name)`: a single-valued role.
     DefineAttribute(String),
     /// `(define-concept NAME expr)` (§3.1).
-    DefineConcept(String, Concept),
+    DefineConcept(String, Expr),
     /// `(create-ind Name)` (§3.2).
     CreateInd(String),
     /// `(assert-ind Name expr)` (§3.2).
-    AssertInd(String, Concept),
+    AssertInd(String, Expr),
     /// `(assert-rule NAME expr)` (§3.3).
-    AssertRule(String, Concept),
+    AssertRule(String, Expr),
     /// `(retract-ind Name expr)`: remove a told description and re-derive
     /// everything that depended on it.
-    RetractInd(String, Concept),
+    RetractInd(String, Expr),
     /// `(retract-rule NAME expr)`: retire a rule and re-derive the
     /// individuals it fired on.
-    RetractRule(String, Concept),
+    RetractRule(String, Expr),
     /// `(retract-rule 7)`: retire a rule by the id echoed when it was
     /// asserted (`list-rules` shows the live ids).
     RetractRuleById(usize),
@@ -79,19 +91,19 @@ pub enum Command {
     /// came from (the dependency journal, rendered).
     Provenance(String),
     /// `(retrieve q)` / `(instances q)`: known answers.
-    Retrieve(MarkedQuery),
+    Retrieve(QueryExpr),
     /// `(possible q)`: open-world possible answers.
-    Possible(Concept),
+    Possible(Expr),
     /// `(ask-necessary-set q)`: fillers at the marker across answers.
-    AskNecessarySet(MarkedQuery),
+    AskNecessarySet(QueryExpr),
     /// `(ask-description q)`: intensional answer.
-    AskDescription(MarkedQuery),
+    AskDescription(QueryExpr),
     /// `(subsumes? C1 C2)`.
-    Subsumes(Concept, Concept),
+    Subsumes(Expr, Expr),
     /// `(equivalent? C1 C2)`.
-    Equivalent(Concept, Concept),
+    Equivalent(Expr, Expr),
     /// `(disjoint? C1 C2)`.
-    Disjoint(Concept, Concept),
+    Disjoint(Expr, Expr),
     /// `(concept-aspect NAME KIND [role])`.
     ConceptAspect(String, AspectKind, Option<String>),
     /// `(ind-aspect Name KIND [role])`.
@@ -104,21 +116,133 @@ pub enum Command {
     Children(String),
     /// `(classify expr)`: immediate named parents/children/equivalents of
     /// an arbitrary concept expression (§3.5.1).
-    Classify(Concept),
+    Classify(Expr),
     /// `(why? Ind NAME)`: explain why the individual is or is not
     /// recognized under the named concept (the explanation extension).
     Why(String, String),
     /// `(what-if? Ind expr)`: hypothetical assertion — report whether the
     /// update would be accepted and what it would derive, then roll it
     /// back unconditionally.
-    WhatIf(String, Concept),
+    WhatIf(String, Expr),
     /// `(lint-kb)`: run the static analyzer (`classic-analyze`) over the
     /// schema and rule base — incoherent definitions, definition cycles,
     /// dead/shadowed/entailed rules, redundant conjuncts.
     LintKb,
 }
 
-/// The result of evaluating one command.
+impl Command {
+    /// Whether evaluating this command can change the knowledge base.
+    /// The server routes mutating commands through the durable write
+    /// path and everything else against a pinned read snapshot.
+    /// (`what-if?` mutates transiently but always rolls back, so it
+    /// counts as read-only; `obs-reset`/`obs-level` touch only
+    /// observability state.)
+    pub fn is_mutation(&self) -> bool {
+        matches!(
+            self,
+            Command::DefineRole(_)
+                | Command::DefineAttribute(_)
+                | Command::DefineConcept(..)
+                | Command::CreateInd(_)
+                | Command::AssertInd(..)
+                | Command::AssertRule(..)
+                | Command::RetractInd(..)
+                | Command::RetractRule(..)
+                | Command::RetractRuleById(_)
+        )
+    }
+}
+
+/// One structured static-analysis finding, mirroring
+/// [`classic_analyze::Diagnostic`] as plain serializable data (the span is
+/// pre-rendered to a subject string; code and severity stay structured).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintDiagnostic {
+    /// Stable code, `A001`…`A008`.
+    pub code: String,
+    /// Severity of the finding.
+    pub severity: classic_analyze::Severity,
+    /// The schema object the finding points at (`concept BAD`,
+    /// `rule #2 (on STUDENT)`, `schema`).
+    pub subject: String,
+    /// One-line human description.
+    pub message: String,
+    /// Explain-style derivation of *why*.
+    pub provenance: Vec<String>,
+}
+
+/// A static-analysis report as data (`lint-kb`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LintReport {
+    /// Findings, ordered by severity then code.
+    pub diagnostics: Vec<LintDiagnostic>,
+    /// How many defined concepts were checked.
+    pub concepts_checked: usize,
+    /// How many rules were checked.
+    pub rules_checked: usize,
+}
+
+impl LintReport {
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.count(classic_analyze::Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.count(classic_analyze::Severity::Warning)
+    }
+
+    /// Number of findings at exactly `sev`.
+    pub fn count(&self, sev: classic_analyze::Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+}
+
+impl From<&classic_analyze::Report> for LintReport {
+    fn from(report: &classic_analyze::Report) -> LintReport {
+        LintReport {
+            diagnostics: report
+                .diagnostics
+                .iter()
+                .map(|d| LintDiagnostic {
+                    code: d.code.as_str().to_owned(),
+                    severity: d.severity,
+                    subject: d.span.to_string(),
+                    message: d.message.clone(),
+                    provenance: d.provenance.clone(),
+                })
+                .collect(),
+            concepts_checked: report.concepts_checked,
+            rules_checked: report.rules_checked,
+        }
+    }
+}
+
+/// A structured aspect answer (`concept-aspect` / `ind-aspect`),
+/// mirroring [`classic_core::aspect::Aspect`] with individuals rendered
+/// to names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AspectValue {
+    /// The aspect is absent.
+    None,
+    /// A numeric bound (`AT-LEAST`/`AT-MOST`).
+    Bound(u32),
+    /// Whether the role is closed.
+    Closed(bool),
+    /// An enumeration or filler set, by name/host value.
+    Values(Vec<String>),
+    /// A value restriction, rendered in the surface syntax.
+    Restriction(String),
+}
+
+/// The result of evaluating one command: data first, rendering second.
+/// [`Outcome::render_text`] is the human form (REPL, CLI);
+/// [`Outcome::render_json`] is the wire form (`classic-server`). Both are
+/// total over every variant, so the two surfaces can never drift.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Outcome {
     /// Nothing to report (DDL, create).
@@ -137,64 +261,187 @@ pub enum Outcome {
     Description(String),
     /// A list of concept names.
     Concepts(Vec<String>),
-    /// An aspect value rendered as text.
-    Aspect(String),
+    /// A structured aspect value.
+    Aspect(AspectValue),
     /// A static-analysis report (`lint-kb`).
-    Lint {
-        /// The report rendered for display, one diagnostic per paragraph.
-        rendered: String,
-        /// Number of error-severity findings.
-        errors: usize,
-        /// Number of warning-severity findings.
-        warnings: usize,
-    },
+    Lint(LintReport),
+}
+
+impl Outcome {
+    /// Render for a human: the REPL/CLI form. Multi-valued outcomes
+    /// render one item per line; engine reports render as `; `-prefixed
+    /// summaries matching the historical REPL output.
+    pub fn render_text(&self) -> String {
+        match self {
+            Outcome::Ok => "; ok".to_owned(),
+            Outcome::RuleAsserted(ix) => {
+                format!("; rule #{ix} asserted (retract with (retract-rule {ix}))")
+            }
+            Outcome::Asserted(r) => format!(
+                "; accepted (steps={} fills={} corefs={} rules={} reclassified={})",
+                r.steps, r.fills_propagated, r.corefs_derived, r.rules_fired, r.reclassified
+            ),
+            Outcome::Retracted(r) => format!(
+                "; retracted (reset={} requeued={} steps={} reclassified={})",
+                r.reset, r.requeued, r.steps, r.reclassified
+            ),
+            Outcome::Individuals(names) => {
+                if names.is_empty() {
+                    "; no known answers".to_owned()
+                } else {
+                    names.join("\n")
+                }
+            }
+            Outcome::Bool(b) => b.to_string(),
+            Outcome::Description(d) => d.clone(),
+            Outcome::Concepts(names) => names.join("\n"),
+            Outcome::Aspect(a) => match a {
+                AspectValue::None => "none".to_owned(),
+                AspectValue::Bound(n) => n.to_string(),
+                AspectValue::Closed(b) => b.to_string(),
+                AspectValue::Values(v) => format!("({})", v.join(" ")),
+                AspectValue::Restriction(c) => c.clone(),
+            },
+            Outcome::Lint(report) => {
+                let mut out = String::new();
+                for d in &report.diagnostics {
+                    out.push_str(&format!(
+                        "{} {}: {}: {}\n",
+                        d.code,
+                        severity_str(d.severity),
+                        d.subject,
+                        d.message
+                    ));
+                    for p in &d.provenance {
+                        out.push_str(&format!("    {p}\n"));
+                    }
+                }
+                out.push_str(&format!(
+                    "{} error(s), {} warning(s); {} concept(s), {} rule(s) checked",
+                    report.errors(),
+                    report.warnings(),
+                    report.concepts_checked,
+                    report.rules_checked,
+                ));
+                out
+            }
+        }
+    }
+
+    /// Render as a single-line JSON object: `{"type": …, …}`. This is the
+    /// wire form the server sends; the REPL's `render_text` reads the
+    /// same data, so protocol and shell can never disagree about what an
+    /// outcome *is*.
+    pub fn render_json(&self) -> String {
+        match self {
+            Outcome::Ok => r#"{"type":"ok"}"#.to_owned(),
+            Outcome::RuleAsserted(ix) => {
+                format!(r#"{{"type":"rule-asserted","id":{ix}}}"#)
+            }
+            Outcome::Asserted(r) => format!(
+                concat!(
+                    r#"{{"type":"asserted","steps":{},"fills":{},"corefs":{},"#,
+                    r#""rules":{},"reclassified":{},"created":{}}}"#
+                ),
+                r.steps,
+                r.fills_propagated,
+                r.corefs_derived,
+                r.rules_fired,
+                r.reclassified,
+                r.inds_created
+            ),
+            Outcome::Retracted(r) => format!(
+                r#"{{"type":"retracted","reset":{},"requeued":{},"steps":{},"reclassified":{}}}"#,
+                r.reset, r.requeued, r.steps, r.reclassified
+            ),
+            Outcome::Individuals(names) => {
+                format!(r#"{{"type":"individuals","names":{}}}"#, json_array(names))
+            }
+            Outcome::Bool(b) => format!(r#"{{"type":"bool","value":{b}}}"#),
+            Outcome::Description(d) => {
+                format!(r#"{{"type":"description","text":{}}}"#, json_string(d))
+            }
+            Outcome::Concepts(names) => {
+                format!(r#"{{"type":"concepts","names":{}}}"#, json_array(names))
+            }
+            Outcome::Aspect(a) => {
+                let value = match a {
+                    AspectValue::None => r#"{"kind":"none"}"#.to_owned(),
+                    AspectValue::Bound(n) => format!(r#"{{"kind":"bound","n":{n}}}"#),
+                    AspectValue::Closed(b) => {
+                        format!(r#"{{"kind":"closed","value":{b}}}"#)
+                    }
+                    AspectValue::Values(v) => {
+                        format!(r#"{{"kind":"values","values":{}}}"#, json_array(v))
+                    }
+                    AspectValue::Restriction(c) => {
+                        format!(r#"{{"kind":"restriction","concept":{}}}"#, json_string(c))
+                    }
+                };
+                format!(r#"{{"type":"aspect","value":{value}}}"#)
+            }
+            Outcome::Lint(report) => {
+                let diags: Vec<String> = report
+                    .diagnostics
+                    .iter()
+                    .map(|d| {
+                        format!(
+                            concat!(
+                                r#"{{"code":{},"severity":{},"subject":{},"#,
+                                r#""message":{},"provenance":{}}}"#
+                            ),
+                            json_string(&d.code),
+                            json_string(severity_str(d.severity)),
+                            json_string(&d.subject),
+                            json_string(&d.message),
+                            json_array(&d.provenance),
+                        )
+                    })
+                    .collect();
+                format!(
+                    concat!(
+                        r#"{{"type":"lint","errors":{},"warnings":{},"#,
+                        r#""concepts_checked":{},"rules_checked":{},"diagnostics":[{}]}}"#
+                    ),
+                    report.errors(),
+                    report.warnings(),
+                    report.concepts_checked,
+                    report.rules_checked,
+                    diags.join(",")
+                )
+            }
+        }
+    }
+}
+
+fn severity_str(s: classic_analyze::Severity) -> &'static str {
+    match s {
+        classic_analyze::Severity::Error => "error",
+        classic_analyze::Severity::Warning => "warning",
+        classic_analyze::Severity::Info => "info",
+    }
+}
+
+fn json_array(items: &[String]) -> String {
+    let parts: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", parts.join(","))
 }
 
 /// Split an input string into top-level s-expressions and parse each as a
-/// command. Used by the REPL and the persistence log reader.
-pub fn parse_commands(input: &str, kb: &mut Kb) -> Result<Vec<Command>> {
+/// command. **Pure**: no KB, schema, or symbol table is consulted — names
+/// stay symbols in the produced [`Command`]s and are resolved by [`eval`].
+/// Used by the REPL, the persistence log reader, and the server front.
+pub fn parse(input: &str) -> Result<Vec<Command>> {
     let tokens = tokenize(input)?;
-    let mut commands = Vec::new();
-    let mut depth = 0usize;
-    let mut start = 0usize;
-    for (i, t) in tokens.iter().enumerate() {
-        match t.kind {
-            TokenKind::LParen => {
-                if depth == 0 {
-                    start = i;
-                }
-                depth += 1;
-            }
-            TokenKind::RParen => {
-                if depth == 0 {
-                    return Err(ClassicError::Malformed(format!(
-                        "{}: unbalanced ')'",
-                        t.pos
-                    )));
-                }
-                depth -= 1;
-                if depth == 0 {
-                    commands.push(parse_command_tokens(&tokens[start..=i], kb)?);
-                }
-            }
-            _ if depth == 0 => {
-                return Err(ClassicError::Malformed(format!(
-                    "{}: expected '(' to start a command",
-                    t.pos
-                )))
-            }
-            _ => {}
-        }
-    }
-    if depth != 0 {
-        return Err(ClassicError::Malformed("unbalanced '('".into()));
-    }
-    Ok(commands)
+    split_forms(&tokens)?
+        .into_iter()
+        .map(parse_command_tokens)
+        .collect()
 }
 
-/// Parse a single command from text.
-pub fn parse_command(input: &str, kb: &mut Kb) -> Result<Command> {
-    let mut cmds = parse_commands(input, kb)?;
+/// Parse exactly one command from text. Pure, like [`parse`].
+pub fn parse_one(input: &str) -> Result<Command> {
+    let mut cmds = parse(input)?;
     match cmds.len() {
         1 => Ok(cmds.pop().expect("one command")),
         n => Err(ClassicError::Malformed(format!(
@@ -203,10 +450,22 @@ pub fn parse_command(input: &str, kb: &mut Kb) -> Result<Command> {
     }
 }
 
-fn parse_command_tokens(tokens: &[Token], kb: &mut Kb) -> Result<Command> {
-    // Reconstruct the source slice for sub-parsers: simplest robust path
-    // is re-rendering tokens, but we can parse directly from the token
-    // window instead by locating the operator and argument boundaries.
+/// Deprecated shim from before the parse/resolve split: parsing no longer
+/// needs (or touches) a KB.
+#[deprecated(note = "parsing is pure now — use `parse(input)`; names resolve at `eval` time")]
+pub fn parse_commands(input: &str, _kb: &mut Kb) -> Result<Vec<Command>> {
+    parse(input)
+}
+
+/// Deprecated shim from before the parse/resolve split: parsing no longer
+/// needs (or touches) a KB.
+#[deprecated(note = "parsing is pure now — use `parse_one(input)`; names resolve at `eval` time")]
+pub fn parse_command(input: &str, _kb: &mut Kb) -> Result<Command> {
+    parse_one(input)
+}
+
+/// Parse one command from a balanced token window. Pure.
+pub(crate) fn parse_command_tokens(tokens: &[Token]) -> Result<Command> {
     let mut w = TokenWindow { tokens, ix: 0 };
     w.expect(&TokenKind::LParen)?;
     let op = w.symbol()?;
@@ -215,23 +474,23 @@ fn parse_command_tokens(tokens: &[Token], kb: &mut Kb) -> Result<Command> {
         "define-attribute" => Command::DefineAttribute(w.symbol()?),
         "define-concept" => {
             let name = w.symbol()?;
-            let c = w.concept(kb, false)?;
+            let c = w.concept()?;
             Command::DefineConcept(name, c)
         }
         "create-ind" => Command::CreateInd(w.symbol()?),
         "assert-ind" => {
             let name = w.symbol()?;
-            let c = w.concept(kb, false)?;
+            let c = w.concept()?;
             Command::AssertInd(name, c)
         }
         "assert-rule" => {
             let name = w.symbol()?;
-            let c = w.concept(kb, false)?;
+            let c = w.concept()?;
             Command::AssertRule(name, c)
         }
         "retract-ind" => {
             let name = w.symbol()?;
-            let c = w.concept(kb, false)?;
+            let c = w.concept()?;
             Command::RetractInd(name, c)
         }
         "retract-rule" => match w.optional_int() {
@@ -243,7 +502,7 @@ fn parse_command_tokens(tokens: &[Token], kb: &mut Kb) -> Result<Command> {
             }
             None => {
                 let name = w.symbol()?;
-                let c = w.concept(kb, false)?;
+                let c = w.concept()?;
                 Command::RetractRule(name, c)
             }
         },
@@ -256,25 +515,25 @@ fn parse_command_tokens(tokens: &[Token], kb: &mut Kb) -> Result<Command> {
         "obs-level" => Command::ObsLevel(w.optional_symbol()),
         "provenance" => Command::Provenance(w.symbol()?),
         "retrieve" | "instances" => {
-            let q = w.query(kb)?;
+            let q = w.query()?;
             Command::Retrieve(q)
         }
-        "possible" => Command::Possible(w.concept(kb, false)?),
-        "ask-necessary-set" => Command::AskNecessarySet(w.query(kb)?),
-        "ask-description" => Command::AskDescription(w.query(kb)?),
+        "possible" => Command::Possible(w.concept()?),
+        "ask-necessary-set" => Command::AskNecessarySet(w.query()?),
+        "ask-description" => Command::AskDescription(w.query()?),
         "subsumes?" => {
-            let a = w.concept(kb, false)?;
-            let b = w.concept(kb, false)?;
+            let a = w.concept()?;
+            let b = w.concept()?;
             Command::Subsumes(a, b)
         }
         "equivalent?" => {
-            let a = w.concept(kb, false)?;
-            let b = w.concept(kb, false)?;
+            let a = w.concept()?;
+            let b = w.concept()?;
             Command::Equivalent(a, b)
         }
         "disjoint?" => {
-            let a = w.concept(kb, false)?;
-            let b = w.concept(kb, false)?;
+            let a = w.concept()?;
+            let b = w.concept()?;
             Command::Disjoint(a, b)
         }
         "concept-aspect" => {
@@ -290,7 +549,7 @@ fn parse_command_tokens(tokens: &[Token], kb: &mut Kb) -> Result<Command> {
             Command::IndAspect(name, kind, role)
         }
         "describe" => Command::Describe(w.symbol()?),
-        "classify" => Command::Classify(w.concept(kb, false)?),
+        "classify" => Command::Classify(w.concept()?),
         "why?" => {
             let ind = w.symbol()?;
             let concept = w.symbol()?;
@@ -298,7 +557,7 @@ fn parse_command_tokens(tokens: &[Token], kb: &mut Kb) -> Result<Command> {
         }
         "what-if?" => {
             let ind = w.symbol()?;
-            let c = w.concept(kb, false)?;
+            let c = w.concept()?;
             Command::WhatIf(ind, c)
         }
         "parents" => Command::Parents(w.symbol()?),
@@ -315,8 +574,8 @@ fn parse_command_tokens(tokens: &[Token], kb: &mut Kb) -> Result<Command> {
     Ok(cmd)
 }
 
-/// Minimal cursor over a token window, delegating concept parsing to
-/// [`Parser`] by re-rendering the sub-span.
+/// Minimal cursor over a token window, delegating concept parsing to the
+/// pure [`Parser`] over the sub-span.
 struct TokenWindow<'a> {
     tokens: &'a [Token],
     ix: usize,
@@ -450,59 +709,23 @@ impl TokenWindow<'_> {
         }
     }
 
-    fn render(&self, span: (usize, usize)) -> String {
-        let mut out = String::new();
-        for t in &self.tokens[span.0..span.1] {
-            match &t.kind {
-                TokenKind::LParen => out.push('('),
-                TokenKind::RParen => {
-                    // Trim a space before ')'.
-                    if out.ends_with(' ') {
-                        out.pop();
-                    }
-                    out.push_str(") ");
-                    continue;
-                }
-                TokenKind::Symbol(s) => out.push_str(s),
-                TokenKind::Int(i) => out.push_str(&i.to_string()),
-                TokenKind::Float(v) => out.push_str(&v.to_string()),
-                TokenKind::Str(s) => {
-                    out.push('"');
-                    out.push_str(&s.replace('\\', "\\\\").replace('"', "\\\""));
-                    out.push('"');
-                }
-                TokenKind::QuotedSym(s) => {
-                    out.push('\'');
-                    out.push_str(s);
-                }
-                TokenKind::Marker => {
-                    out.push_str("?:");
-                    continue;
-                }
-            }
-            if !matches!(t.kind, TokenKind::LParen) {
-                out.push(' ');
-            }
-        }
-        out.trim_end().to_owned()
+    fn concept(&mut self) -> Result<Expr> {
+        let span = self.expression_span()?;
+        let window = self.tokens[span.0..span.1].to_vec();
+        self.ix = span.1;
+        Parser::expr_from_tokens(window)
     }
 
-    fn concept(&mut self, kb: &mut Kb, _allow_marker: bool) -> Result<Concept> {
+    fn query(&mut self) -> Result<QueryExpr> {
         let span = self.expression_span()?;
-        let text = self.render(span);
+        let window = self.tokens[span.0..span.1].to_vec();
         self.ix = span.1;
-        Parser::parse_concept_complete(&text, kb.schema_mut())
-    }
-
-    fn query(&mut self, kb: &mut Kb) -> Result<MarkedQuery> {
-        let span = self.expression_span()?;
-        let text = self.render(span);
-        self.ix = span.1;
-        Parser::parse_query_complete(&text, kb.schema_mut())
+        Parser::query_from_tokens(window)
     }
 }
 
-/// Evaluate a parsed command against a knowledge base.
+/// Evaluate a parsed command against a knowledge base, resolving names
+/// against its schema first.
 pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
     match cmd {
         Command::DefineRole(name) => {
@@ -514,7 +737,8 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
             Ok(Outcome::Ok)
         }
         Command::DefineConcept(name, c) => {
-            kb.define_concept(name, c.clone())?;
+            let c = c.resolve(kb.schema_mut())?;
+            kb.define_concept(name, c)?;
             Ok(Outcome::Ok)
         }
         Command::CreateInd(name) => {
@@ -522,19 +746,23 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
             Ok(Outcome::Ok)
         }
         Command::AssertInd(name, c) => {
-            let report = kb.assert_ind(name, c)?;
+            let c = c.resolve(kb.schema_mut())?;
+            let report = kb.assert_ind(name, &c)?;
             Ok(Outcome::Asserted(report))
         }
         Command::AssertRule(name, c) => {
-            let ix = kb.assert_rule(name, c.clone())?;
+            let c = c.resolve(kb.schema_mut())?;
+            let ix = kb.assert_rule(name, c)?;
             Ok(Outcome::RuleAsserted(ix))
         }
         Command::RetractInd(name, c) => {
-            let report = kb.retract_ind(name, c)?;
+            let c = c.resolve(kb.schema_mut())?;
+            let report = kb.retract_ind(name, &c)?;
             Ok(Outcome::Retracted(report))
         }
         Command::RetractRule(name, c) => {
-            let report = kb.retract_rule(name, c)?;
+            let c = c.resolve(kb.schema_mut())?;
+            let report = kb.retract_rule(name, &c)?;
             Ok(Outcome::Retracted(report))
         }
         Command::RetractRuleById(ix) => {
@@ -624,11 +852,10 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
             )))
         }
         Command::Provenance(name) => {
-            let iname = kb
-                .schema()
-                .symbols
-                .find_individual(name)
-                .ok_or_else(|| ClassicError::Malformed(format!("unknown individual {name:?}")))?;
+            let iname =
+                kb.schema().symbols.find_individual(name).ok_or_else(|| {
+                    ClassicError::Malformed(format!("unknown individual {name:?}"))
+                })?;
             let id = kb.ind_id(iname)?;
             let lines = kb.explain_provenance(id);
             if lines.is_empty() {
@@ -640,8 +867,9 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
             }
         }
         Command::Retrieve(q) => {
+            let q = q.resolve(kb.schema_mut())?;
             if q.marker.is_empty() {
-                let ans = Query::concept(q.concept.clone())
+                let ans = Query::concept(q.concept)
                     .run(kb)?
                     .into_known()
                     .expect("a Known query yields Answer::Known");
@@ -657,7 +885,7 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
                         .collect(),
                 ))
             } else {
-                let fillers = Query::marked(q.clone())
+                let fillers = Query::marked(q)
                     .run(kb)?
                     .into_necessary_set()
                     .expect("a NecessarySet query yields Answer::NecessarySet");
@@ -665,7 +893,8 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
             }
         }
         Command::Possible(c) => {
-            let ids = Query::concept(c.clone())
+            let c = c.resolve(kb.schema_mut())?;
+            let ids = Query::concept(c)
                 .possible()
                 .run(kb)?
                 .into_possible()
@@ -682,14 +911,16 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
             ))
         }
         Command::AskNecessarySet(q) => {
-            let fillers = Query::marked(q.clone())
+            let q = q.resolve(kb.schema_mut())?;
+            let fillers = Query::marked(q)
                 .run(kb)?
                 .into_necessary_set()
                 .expect("a NecessarySet query yields Answer::NecessarySet");
             Ok(Outcome::Individuals(render_ind_refs(kb, &fillers)))
         }
         Command::AskDescription(q) => {
-            let nf = Query::marked(q.clone())
+            let q = q.resolve(kb.schema_mut())?;
+            let nf = Query::marked(q)
                 .description()
                 .run(kb)?
                 .into_description()
@@ -700,18 +931,24 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
             ))
         }
         Command::Subsumes(a, b) => {
-            let na = kb.normalize(a)?;
-            let nb = kb.normalize(b)?;
+            let a = a.resolve(kb.schema_mut())?;
+            let b = b.resolve(kb.schema_mut())?;
+            let na = kb.normalize(&a)?;
+            let nb = kb.normalize(&b)?;
             Ok(Outcome::Bool(classic_core::subsumes(&na, &nb)))
         }
         Command::Equivalent(a, b) => {
-            let na = kb.normalize(a)?;
-            let nb = kb.normalize(b)?;
+            let a = a.resolve(kb.schema_mut())?;
+            let b = b.resolve(kb.schema_mut())?;
+            let na = kb.normalize(&a)?;
+            let nb = kb.normalize(&b)?;
             Ok(Outcome::Bool(classic_core::equivalent(&na, &nb)))
         }
         Command::Disjoint(a, b) => {
-            let na = kb.normalize(a)?;
-            let nb = kb.normalize(b)?;
+            let a = a.resolve(kb.schema_mut())?;
+            let b = b.resolve(kb.schema_mut())?;
+            let na = kb.normalize(&a)?;
+            let nb = kb.normalize(&b)?;
             Ok(Outcome::Bool(classic_core::disjoint(&na, &nb, kb.schema())))
         }
         Command::ConceptAspect(name, kind, role) => {
@@ -726,22 +963,20 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
             Ok(Outcome::Aspect(render_aspect(kb, &aspect)))
         }
         Command::IndAspect(name, kind, role) => {
-            let iname = kb
-                .schema()
-                .symbols
-                .find_individual(name)
-                .ok_or_else(|| ClassicError::Malformed(format!("unknown individual {name:?}")))?;
+            let iname =
+                kb.schema().symbols.find_individual(name).ok_or_else(|| {
+                    ClassicError::Malformed(format!("unknown individual {name:?}"))
+                })?;
             let id = kb.ind_id(iname)?;
             let role = resolve_role(kb, role.as_deref())?;
             let aspect = kb.ind_aspect(id, *kind, role);
             Ok(Outcome::Aspect(render_aspect(kb, &aspect)))
         }
         Command::Describe(name) => {
-            let iname = kb
-                .schema()
-                .symbols
-                .find_individual(name)
-                .ok_or_else(|| ClassicError::Malformed(format!("unknown individual {name:?}")))?;
+            let iname =
+                kb.schema().symbols.find_individual(name).ok_or_else(|| {
+                    ClassicError::Malformed(format!("unknown individual {name:?}"))
+                })?;
             let id = kb.ind_id(iname)?;
             let c = classic_query::describe(kb, id);
             Ok(Outcome::Description(
@@ -749,7 +984,8 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
             ))
         }
         Command::Classify(c) => {
-            let placement = kb.classify_concept(c)?;
+            let c = c.resolve(kb.schema_mut())?;
+            let placement = kb.classify_concept(&c)?;
             let render = |kb: &Kb, names: &[classic_core::ConceptName]| -> Vec<String> {
                 names
                     .iter()
@@ -763,7 +999,10 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
                     render(kb, &placement.equivalent).join(" ")
                 ));
             }
-            lines.push(format!("parents: {}", render(kb, &placement.parents).join(" ")));
+            lines.push(format!(
+                "parents: {}",
+                render(kb, &placement.parents).join(" ")
+            ));
             lines.push(format!(
                 "children: {}",
                 render(kb, &placement.children).join(" ")
@@ -794,20 +1033,23 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
             };
             Ok(Outcome::Description(format!("{verdict}{}", e.render())))
         }
-        Command::WhatIf(name, c) => match kb.what_if(name, c) {
-            Ok(report) => Ok(Outcome::Description(format!(
-                "would be ACCEPTED (steps={} fills={} corefs={} rules={} reclassified={}); nothing was changed",
-                report.steps,
-                report.fills_propagated,
-                report.corefs_derived,
-                report.rules_fired,
-                report.reclassified
-            ))),
-            Err(ClassicError::Inconsistent { reason, .. }) => Ok(Outcome::Description(
-                format!("would be REJECTED: {reason}; nothing was changed"),
-            )),
-            Err(other) => Err(other),
-        },
+        Command::WhatIf(name, c) => {
+            let c = c.resolve(kb.schema_mut())?;
+            match kb.what_if(name, &c) {
+                Ok(report) => Ok(Outcome::Description(format!(
+                    "would be ACCEPTED (steps={} fills={} corefs={} rules={} reclassified={}); nothing was changed",
+                    report.steps,
+                    report.fills_propagated,
+                    report.corefs_derived,
+                    report.rules_fired,
+                    report.reclassified
+                ))),
+                Err(ClassicError::Inconsistent { reason, .. }) => Ok(Outcome::Description(
+                    format!("would be REJECTED: {reason}; nothing was changed"),
+                )),
+                Err(other) => Err(other),
+            }
+        }
         Command::Parents(name) | Command::Children(name) => {
             let cname = kb
                 .schema()
@@ -838,11 +1080,7 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
         }
         Command::LintKb => {
             let report = classic_analyze::analyze(kb);
-            Ok(Outcome::Lint {
-                errors: report.count(classic_analyze::Severity::Error),
-                warnings: report.count(classic_analyze::Severity::Warning),
-                rendered: report.render(),
-            })
+            Ok(Outcome::Lint(LintReport::from(&report)))
         }
     }
 }
@@ -875,27 +1113,25 @@ fn render_ind_refs(kb: &Kb, refs: &[IndRef]) -> Vec<String> {
         .collect()
 }
 
-fn render_aspect(kb: &Kb, aspect: &classic_core::aspect::Aspect) -> String {
+fn render_aspect(kb: &Kb, aspect: &classic_core::aspect::Aspect) -> AspectValue {
     use classic_core::aspect::Aspect;
     match aspect {
-        Aspect::None => "none".to_owned(),
-        Aspect::Bound(n) => n.to_string(),
-        Aspect::Closed(b) => b.to_string(),
-        Aspect::Enumeration(v) | Aspect::Fillers(v) => {
-            let names = render_ind_refs(kb, v);
-            format!("({})", names.join(" "))
-        }
-        Aspect::ValueRestriction(nf) => nf
-            .to_concept(kb.schema())
-            .display(&kb.schema().symbols)
-            .to_string(),
+        Aspect::None => AspectValue::None,
+        Aspect::Bound(n) => AspectValue::Bound(*n),
+        Aspect::Closed(b) => AspectValue::Closed(*b),
+        Aspect::Enumeration(v) | Aspect::Fillers(v) => AspectValue::Values(render_ind_refs(kb, v)),
+        Aspect::ValueRestriction(nf) => AspectValue::Restriction(
+            nf.to_concept(kb.schema())
+                .display(&kb.schema().symbols)
+                .to_string(),
+        ),
     }
 }
 
 /// Parse then evaluate each command in `input`, returning all outcomes.
 /// Macro-free; for scripts using `define-macro`, use [`Session`].
 pub fn run_script(kb: &mut Kb, input: &str) -> Result<Vec<Outcome>> {
-    let commands = parse_commands(input, kb)?;
+    let commands = parse(input)?;
     commands.iter().map(|c| eval(kb, c)).collect()
 }
 
@@ -959,7 +1195,7 @@ impl Session {
                 continue;
             }
             let expanded = self.macros.expand(form.to_vec())?;
-            let cmd = parse_command_tokens(&expanded, &mut self.kb)?;
+            let cmd = parse_command_tokens(&expanded)?;
             outcomes.push(eval(&mut self.kb, &cmd)?);
         }
         Ok(outcomes)

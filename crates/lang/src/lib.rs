@@ -16,14 +16,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ast;
 pub mod command;
 pub mod lexer;
 pub mod macros;
 pub mod parser;
 
-pub use command::{eval, parse_command, parse_commands, run_script, Command, Outcome, Session};
+pub use ast::{Expr, IndLit, QueryExpr};
+pub use command::{
+    eval, parse, parse_one, run_script, AspectValue, Command, LintDiagnostic, LintReport, Outcome,
+    Session,
+};
+#[allow(deprecated)]
+pub use command::{parse_command, parse_commands};
 pub use macros::MacroTable;
-pub use parser::{parse_concept, parse_query, Parser};
+pub use parser::{parse_concept, parse_expr, parse_query, parse_query_expr, Parser};
 
 #[cfg(test)]
 mod tests {
@@ -138,11 +145,11 @@ mod tests {
             "#,
         )
         .unwrap();
-        assert_eq!(*out.last().unwrap(), Outcome::Aspect("2".into()));
+        assert_eq!(*out.last().unwrap(), Outcome::Aspect(AspectValue::Bound(2)));
         // The derived AT-MOST from the enumerated value restriction (§2.2)
         // is visible as an aspect too.
         let out = run_script(&mut kb, "(concept-aspect C AT-MOST thing-driven)").unwrap();
-        assert_eq!(*out.last().unwrap(), Outcome::Aspect("2".into()));
+        assert_eq!(*out.last().unwrap(), Outcome::Aspect(AspectValue::Bound(2)));
     }
 
     #[test]
@@ -193,12 +200,19 @@ mod tests {
         )
         .unwrap();
         match out.last().unwrap() {
-            Outcome::Lint {
-                rendered, errors, ..
-            } => {
-                assert_eq!(*errors, 1);
+            Outcome::Lint(report) => {
+                assert_eq!(report.errors(), 1);
+                assert_eq!(report.diagnostics[0].code, "A001");
+                assert!(
+                    report.diagnostics[0].subject.contains("BAD"),
+                    "got: {:?}",
+                    report.diagnostics[0]
+                );
+                let rendered = out.last().unwrap().render_text();
                 assert!(rendered.contains("A001"), "got: {rendered}");
-                assert!(rendered.contains("BAD"), "got: {rendered}");
+                let json = out.last().unwrap().render_json();
+                assert!(json.contains(r#""type":"lint""#), "got: {json}");
+                assert!(json.contains(r#""code":"A001""#), "got: {json}");
             }
             other => panic!("expected a lint report, got {other:?}"),
         }

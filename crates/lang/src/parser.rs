@@ -1,73 +1,102 @@
 //! Recursive-descent parser for CLASSIC concept expressions and queries.
 //!
 //! Implements the grammar of the paper's Appendix A over the token stream
-//! of [`crate::lexer`]. Concept expressions parse into
-//! [`classic_core::Concept`] trees; query expressions additionally accept
-//! one `?:` marker in front of a subexpression reachable through `ALL`
-//! chains, producing a [`classic_query::MarkedQuery`] (§3.5.3).
+//! of [`crate::lexer`]. Since the PR-6 API redesign the parser is **pure**:
+//! it produces the unresolved [`Expr`]/[`QueryExpr`] AST of [`crate::ast`]
+//! — names stay strings, no schema or KB is consulted — so parsing can run
+//! concurrently and server-side before any tenant is chosen. Query
+//! expressions additionally accept one `?:` marker in front of a
+//! subexpression reachable through `ALL` chains (§3.5.3).
 //!
-//! Name resolution: bare upper-case-style symbols in concept position are
-//! builtin layers (`THING`, `INTEGER`, …) or named concepts; symbols in
-//! role position intern as roles; `ONE-OF`/`FILLS` operands are
-//! individuals, host integers (`42`), host strings (`"…"`), or host
-//! symbols (`'red`). Interning never *declares* anything — undeclared
-//! roles and undefined concepts are still rejected by normalization, which
-//! is how the paper's "detect errors such as typos" promise is kept.
+//! Name resolution happens separately ([`Expr::resolve`]): bare
+//! upper-case-style symbols in concept position become builtin layers
+//! (`THING`, `INTEGER`, …) or named concepts, symbols in role position
+//! intern as roles, `ONE-OF`/`FILLS` operands become individuals or host
+//! values. Resolution never *declares* anything — undeclared roles and
+//! undefined concepts are still rejected by normalization, which is how
+//! the paper's "detect errors such as typos" promise is kept. The
+//! convenience functions [`parse_concept`]/[`parse_query`] compose the two
+//! steps for callers that do have a schema at hand.
 
+use crate::ast::{Expr, IndLit, QueryExpr};
 use crate::lexer::{tokenize, Token, TokenKind};
-use classic_core::desc::{Concept, IndRef, Path};
+use classic_core::desc::Concept;
 use classic_core::error::{ClassicError, Result};
-use classic_core::host::{HostValue, Layer};
 use classic_core::schema::Schema;
-use classic_core::symbol::RoleId;
 use classic_query::MarkedQuery;
 
-/// Parser state over a token slice.
-pub struct Parser<'a> {
+/// Parser state over a token slice. Pure: owns only tokens and marker
+/// bookkeeping, never a schema.
+pub struct Parser {
     tokens: Vec<Token>,
     ix: usize,
-    schema: &'a mut Schema,
     /// Marker path discovered so far (query parsing only).
-    marker: Option<Path>,
+    marker: Option<Vec<String>>,
     /// Role chain from the root to the current position.
-    role_stack: Path,
+    role_stack: Vec<String>,
     /// Whether the current context permits a marker (only along pure
     /// `ALL`/`AND` chains from the root).
     marker_allowed: bool,
 }
 
-impl<'a> Parser<'a> {
-    /// Tokenize `input` and prepare to parse against `schema`.
-    pub fn new(input: &str, schema: &'a mut Schema) -> Result<Parser<'a>> {
-        Ok(Parser {
-            tokens: tokenize(input)?,
+impl Parser {
+    /// Tokenize `input` and prepare to parse.
+    pub fn new(input: &str) -> Result<Parser> {
+        Ok(Parser::from_tokens(tokenize(input)?))
+    }
+
+    /// Prepare to parse an already-tokenized window (the command parser
+    /// hands sub-spans over without re-rendering text).
+    pub fn from_tokens(tokens: Vec<Token>) -> Parser {
+        Parser {
+            tokens,
             ix: 0,
-            schema,
             marker: None,
             role_stack: Vec::new(),
             marker_allowed: true,
-        })
+        }
     }
 
     /// Parse a single concept expression; trailing tokens are an error.
-    pub fn parse_concept_complete(input: &str, schema: &mut Schema) -> Result<Concept> {
-        let mut p = Parser::new(input, schema)?;
-        p.marker_allowed = false;
-        let c = p.concept()?;
-        p.expect_end()?;
-        Ok(c)
+    pub fn parse_expr_complete(input: &str) -> Result<Expr> {
+        Self::expr_from_tokens(tokenize(input)?)
     }
 
     /// Parse a query: a concept expression with at most one `?:` marker.
     /// A query without a marker gets the subject marker (`?:C` ≡ `C`).
-    pub fn parse_query_complete(input: &str, schema: &mut Schema) -> Result<MarkedQuery> {
-        let mut p = Parser::new(input, schema)?;
-        let c = p.concept()?;
+    pub fn parse_query_expr_complete(input: &str) -> Result<QueryExpr> {
+        Self::query_from_tokens(tokenize(input)?)
+    }
+
+    /// Parse a complete concept expression from a token window (marker
+    /// rejected); trailing tokens are an error.
+    pub fn expr_from_tokens(tokens: Vec<Token>) -> Result<Expr> {
+        let mut p = Parser::from_tokens(tokens);
+        p.marker_allowed = false;
+        let c = p.expr()?;
         p.expect_end()?;
-        Ok(MarkedQuery {
-            concept: c,
+        Ok(c)
+    }
+
+    /// Parse a complete query expression from a token window.
+    pub fn query_from_tokens(tokens: Vec<Token>) -> Result<QueryExpr> {
+        let mut p = Parser::from_tokens(tokens);
+        let c = p.expr()?;
+        p.expect_end()?;
+        Ok(QueryExpr {
+            expr: c,
             marker: p.marker.unwrap_or_default(),
         })
+    }
+
+    /// Parse-then-resolve a single concept expression against `schema`.
+    pub fn parse_concept_complete(input: &str, schema: &mut Schema) -> Result<Concept> {
+        Self::parse_expr_complete(input)?.resolve(schema)
+    }
+
+    /// Parse-then-resolve a query expression against `schema`.
+    pub fn parse_query_complete(input: &str, schema: &mut Schema) -> Result<MarkedQuery> {
+        Self::parse_query_expr_complete(input)?.resolve(schema)
     }
 
     // ---- token helpers ---------------------------------------------------
@@ -135,9 +164,8 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn role(&mut self) -> Result<RoleId> {
-        let name = self.symbol("role name")?;
-        Ok(self.schema.symbols.role(&name))
+    fn role(&mut self) -> Result<String> {
+        self.symbol("role name")
     }
 
     fn number(&mut self) -> Result<u32> {
@@ -151,26 +179,23 @@ impl<'a> Parser<'a> {
     }
 
     /// An individual operand: name, host integer, string, or symbol.
-    pub fn individual(&mut self) -> Result<IndRef> {
+    pub fn individual(&mut self) -> Result<IndLit> {
         let pos = self.pos();
         match self.next()? {
-            TokenKind::Symbol(s) => {
-                let s = s.clone();
-                Ok(IndRef::Classic(self.schema.symbols.individual(&s)))
-            }
-            TokenKind::Int(i) => Ok(IndRef::Host(HostValue::Int(*i))),
-            TokenKind::Float(v) => Ok(IndRef::Host(HostValue::Float(*v))),
-            TokenKind::Str(s) => Ok(IndRef::Host(HostValue::Str(s.clone()))),
-            TokenKind::QuotedSym(s) => Ok(IndRef::Host(HostValue::Sym(s.clone()))),
+            TokenKind::Symbol(s) => Ok(IndLit::Name(s.clone())),
+            TokenKind::Int(i) => Ok(IndLit::Int(*i)),
+            TokenKind::Float(v) => Ok(IndLit::Float(*v)),
+            TokenKind::Str(s) => Ok(IndLit::Str(s.clone())),
+            TokenKind::QuotedSym(s) => Ok(IndLit::Sym(s.clone())),
             other => Err(ClassicError::Malformed(format!(
                 "{pos}: expected an individual, found {other:?}"
             ))),
         }
     }
 
-    fn path(&mut self) -> Result<Path> {
+    fn path(&mut self) -> Result<Vec<String>> {
         self.expect_lparen()?;
-        let mut path = Path::new();
+        let mut path = Vec::new();
         loop {
             match self.peek() {
                 Some(TokenKind::RParen) => {
@@ -188,7 +213,7 @@ impl<'a> Parser<'a> {
 
     /// `concept := NAME | builtin | (CONSTRUCTOR …)`, optionally preceded
     /// by the `?:` marker when parsing a query.
-    pub fn concept(&mut self) -> Result<Concept> {
+    pub fn expr(&mut self) -> Result<Expr> {
         if matches!(self.peek(), Some(TokenKind::Marker)) {
             if !self.marker_allowed {
                 return Err(
@@ -202,22 +227,15 @@ impl<'a> Parser<'a> {
             self.marker = Some(self.role_stack.clone());
             // The marked subexpression itself may not contain another
             // marker (enforced by the is_some check above).
-            return self.concept_unmarked();
+            return self.expr_unmarked();
         }
-        self.concept_unmarked()
+        self.expr_unmarked()
     }
 
-    fn concept_unmarked(&mut self) -> Result<Concept> {
+    fn expr_unmarked(&mut self) -> Result<Expr> {
         let pos = self.pos();
         match self.next()? {
-            TokenKind::Symbol(s) => {
-                let s = s.clone();
-                if let Some(layer) = Layer::from_name(&s) {
-                    Ok(Concept::Builtin(layer))
-                } else {
-                    Ok(Concept::Name(self.schema.symbols.concept(&s)))
-                }
-            }
+            TokenKind::Symbol(s) => Ok(Expr::Name(s.clone())),
             TokenKind::LParen => {
                 let head = self.symbol("constructor")?;
                 let c = self.constructor(&head)?;
@@ -230,45 +248,48 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn constructor(&mut self, head: &str) -> Result<Concept> {
+    fn constructor(&mut self, head: &str) -> Result<Expr> {
         match head {
             "AND" => {
                 let mut parts = Vec::new();
                 while !matches!(self.peek(), Some(TokenKind::RParen) | None) {
-                    parts.push(self.concept()?);
+                    parts.push(self.expr()?);
                 }
-                Ok(Concept::And(parts))
+                Ok(Expr::And(parts))
             }
             "ALL" => {
                 let role = self.role()?;
-                self.role_stack.push(role);
-                let inner = self.concept()?;
+                self.role_stack.push(role.clone());
+                let inner = self.expr()?;
                 self.role_stack.pop();
-                Ok(Concept::all(role, inner))
+                Ok(Expr::All(role, Box::new(inner)))
             }
             "AT-LEAST" => {
                 let n = self.number()?;
                 let role = self.role()?;
-                Ok(Concept::AtLeast(n, role))
+                Ok(Expr::AtLeast(n, role))
             }
             "AT-MOST" => {
                 let n = self.number()?;
                 let role = self.role()?;
-                Ok(Concept::AtMost(n, role))
+                Ok(Expr::AtMost(n, role))
             }
             "EXACTLY" => {
                 // The macro facility the paper anticipates (§2.1.4):
                 // (EXACTLY n r) expands to AND(AT-LEAST, AT-MOST).
                 let n = self.number()?;
                 let role = self.role()?;
-                Ok(Concept::exactly(n, role))
+                Ok(Expr::And(vec![
+                    Expr::AtLeast(n, role.clone()),
+                    Expr::AtMost(n, role),
+                ]))
             }
             "ONE-OF" => {
                 let mut inds = Vec::new();
                 while !matches!(self.peek(), Some(TokenKind::RParen) | None) {
                     inds.push(self.individual()?);
                 }
-                Ok(Concept::OneOf(inds))
+                Ok(Expr::OneOf(inds))
             }
             "FILLS" => {
                 let role = self.role()?;
@@ -276,36 +297,38 @@ impl<'a> Parser<'a> {
                 while !matches!(self.peek(), Some(TokenKind::RParen) | None) {
                     inds.push(self.individual()?);
                 }
-                Ok(Concept::Fills(role, inds))
+                Ok(Expr::Fills(role, inds))
             }
             "CLOSE" => {
                 let role = self.role()?;
-                Ok(Concept::Close(role))
+                Ok(Expr::Close(role))
             }
             "SAME-AS" => {
                 let p = self.path()?;
                 let q = self.path()?;
-                Ok(Concept::SameAs(p, q))
+                Ok(Expr::SameAs(p, q))
             }
             "PRIMITIVE" => {
-                let parent = self.no_marker(Self::concept_unmarked)?;
+                let parent = self.no_marker(Self::expr_unmarked)?;
                 let index = self.symbol("primitive index")?;
-                Ok(Concept::primitive(parent, &index))
+                Ok(Expr::Primitive {
+                    parent: Box::new(parent),
+                    index,
+                })
             }
             "DISJOINT-PRIMITIVE" => {
-                let parent = self.no_marker(Self::concept_unmarked)?;
+                let parent = self.no_marker(Self::expr_unmarked)?;
                 let grouping = self.symbol("disjointness grouping")?;
                 let index = self.symbol("primitive index")?;
-                Ok(Concept::disjoint_primitive(parent, &grouping, &index))
+                Ok(Expr::DisjointPrimitive {
+                    parent: Box::new(parent),
+                    grouping,
+                    index,
+                })
             }
             "TEST" => {
                 let name = self.symbol("test name")?;
-                let id = self
-                    .schema
-                    .symbols
-                    .find_test(&name)
-                    .ok_or_else(|| self.err(format!("unknown TEST function {name:?}")))?;
-                Ok(Concept::Test(id))
+                Ok(Expr::Test(name))
             }
             other => Err(self.err(format!("unknown constructor {other:?}"))),
         }
@@ -320,12 +343,25 @@ impl<'a> Parser<'a> {
     }
 }
 
-/// Parse a concept expression (no marker).
+/// Parse a concept expression into the unresolved AST (no marker). Pure:
+/// callable with no `Kb` or `Schema` in scope.
+pub fn parse_expr(input: &str) -> Result<Expr> {
+    Parser::parse_expr_complete(input)
+}
+
+/// Parse a query expression with an optional `?:` marker into the
+/// unresolved AST. Pure.
+pub fn parse_query_expr(input: &str) -> Result<QueryExpr> {
+    Parser::parse_query_expr_complete(input)
+}
+
+/// Parse a concept expression (no marker) and resolve it against `schema`.
 pub fn parse_concept(input: &str, schema: &mut Schema) -> Result<Concept> {
     Parser::parse_concept_complete(input, schema)
 }
 
-/// Parse a query expression with an optional `?:` marker.
+/// Parse a query expression with an optional `?:` marker and resolve it
+/// against `schema`.
 pub fn parse_query(input: &str, schema: &mut Schema) -> Result<MarkedQuery> {
     Parser::parse_query_complete(input, schema)
 }
@@ -333,6 +369,8 @@ pub fn parse_query(input: &str, schema: &mut Schema) -> Result<MarkedQuery> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use classic_core::desc::{Concept, IndRef};
+    use classic_core::host::{HostValue, Layer};
 
     fn schema() -> Schema {
         let mut s = Schema::new();
@@ -356,6 +394,22 @@ mod tests {
         assert_eq!(
             c.display(&s.symbols).to_string(),
             "(AND STUDENT (ALL thing-driven SPORTS-CAR) (AT-LEAST 2 thing-driven))"
+        );
+    }
+
+    #[test]
+    fn parse_is_pure() {
+        // No schema, no KB: parsing alone never interns anything.
+        let e = parse_expr("(AND STUDENT (ALL thing-driven SPORTS-CAR))").unwrap();
+        assert_eq!(
+            e,
+            Expr::And(vec![
+                Expr::Name("STUDENT".into()),
+                Expr::All(
+                    "thing-driven".into(),
+                    Box::new(Expr::Name("SPORTS-CAR".into()))
+                ),
+            ])
         );
     }
 
@@ -469,8 +523,11 @@ mod tests {
     }
 
     #[test]
-    fn unknown_test_rejected() {
+    fn unknown_test_rejected_at_resolve_time() {
         let mut s = schema();
+        // Parsing alone accepts any TEST name (it is pure)…
+        assert!(parse_expr("(TEST even)").is_ok());
+        // …resolution rejects unknown functions, and accepts known ones.
         assert!(parse_concept("(TEST even)", &mut s).is_err());
         s.register_test("even", |_| true);
         assert!(parse_concept("(TEST even)", &mut s).is_ok());

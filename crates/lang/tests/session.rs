@@ -1,7 +1,7 @@
 //! Session-level tests: the macro facility (§2.1.4's anticipated
 //! extension) working end to end with the rest of the language.
 
-use classic_lang::{Outcome, Session};
+use classic_lang::{AspectValue, Outcome, Session};
 
 #[test]
 fn exactly_one_macro_defines_usable_concepts() {
@@ -141,7 +141,10 @@ fn what_if_reports_hypothetically() {
         other => panic!("unexpected {other:?}"),
     }
     let out = s.run("(ind-aspect X AT-MOST r)").expect("aspect");
-    assert_eq!(out.last().expect("one"), &Outcome::Aspect("none".into()));
+    assert_eq!(
+        out.last().expect("one"),
+        &Outcome::Aspect(AspectValue::None)
+    );
 }
 
 #[test]

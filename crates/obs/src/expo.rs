@@ -118,7 +118,10 @@ pub fn render_prometheus(s: &MetricsSnapshot) -> String {
     out
 }
 
-fn json_string(s: &str) -> String {
+/// Render `s` as a JSON string literal (quoted, escaped). Public so the
+/// other hand-rolled JSON emitters in the workspace (`Outcome::render_json`,
+/// the server's `/stats` endpoint) share one escaper.
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

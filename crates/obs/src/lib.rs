@@ -45,7 +45,8 @@ pub mod metrics;
 pub mod trace;
 
 pub use expo::{
-    render_all_json, render_all_prometheus, render_json, render_prometheus, snapshot_all,
+    json_string, render_all_json, render_all_prometheus, render_json, render_prometheus,
+    snapshot_all,
 };
 pub use flight::{FlightRecorder, SpanRecord, Trace, TraceEvent};
 pub use level::{counters_enabled, level, set_level, tracing_enabled, ObsLevel};

@@ -201,13 +201,13 @@ impl Query {
     /// matches the requested mode.
     pub fn run(&self, kb: &mut Kb) -> Result<Answer> {
         match self.mode {
-            QueryMode::Known => Ok(Answer::Known(retrieve(kb, &self.concept)?)),
-            QueryMode::Possible => Ok(Answer::Possible(possible(kb, &self.concept)?)),
-            QueryMode::NecessarySet => Ok(Answer::NecessarySet(ask_necessary_set(
+            QueryMode::Known => Ok(Answer::Known(retrieve_impl(kb, &self.concept)?)),
+            QueryMode::Possible => Ok(Answer::Possible(possible_impl(kb, &self.concept)?)),
+            QueryMode::NecessarySet => Ok(Answer::NecessarySet(ask_necessary_set_impl(
                 kb,
                 &self.marked_query(),
             )?)),
-            QueryMode::Description => Ok(Answer::Description(ask_description(
+            QueryMode::Description => Ok(Answer::Description(ask_description_impl(
                 kb,
                 &self.marked_query(),
             )?)),
@@ -278,11 +278,19 @@ impl Answer {
 ///     kb.assert_ind(name, &Concept::AtLeast(n, wheels))?;
 /// }
 /// let q = Concept::and([Concept::Name(vehicle), Concept::AtLeast(3, wheels)]);
-/// let answers = classic_query::retrieve(&mut kb, &q)?;
+/// let answers = classic_query::Query::concept(q)
+///     .run(&mut kb)?
+///     .into_known()
+///     .unwrap();
 /// assert_eq!(answers.known.len(), 2); // Trike and Car
 /// # Ok::<(), classic_core::ClassicError>(())
 /// ```
+#[deprecated(note = "use the `Query` builder: `Query::concept(c).run(kb)?.into_known()`")]
 pub fn retrieve(kb: &mut Kb, query: &Concept) -> Result<Answers> {
+    retrieve_impl(kb, query)
+}
+
+fn retrieve_impl(kb: &mut Kb, query: &Concept) -> Result<Answers> {
     let nf = kb.normalize(query)?;
     retrieve_nf(kb, &nf)
 }
@@ -531,7 +539,14 @@ pub fn retrieve_naive_nf(kb: &Kb, nf: &NormalForm) -> Result<Answers> {
 /// assumption (§3.5.3): everything whose derived description is not
 /// provably disjoint from the query. Always a superset of the known
 /// answers.
+#[deprecated(
+    note = "use the `Query` builder: `Query::concept(c).possible().run(kb)?.into_possible()`"
+)]
 pub fn possible(kb: &mut Kb, query: &Concept) -> Result<Vec<IndId>> {
+    possible_impl(kb, query)
+}
+
+fn possible_impl(kb: &mut Kb, query: &Concept) -> Result<Vec<IndId>> {
     let nf = kb.normalize(query)?;
     let ids: Vec<IndId> = kb.ind_ids().collect();
     guard_tests(|| {
@@ -544,8 +559,13 @@ pub fn possible(kb: &mut Kb, query: &Concept) -> Result<Vec<IndId>> {
 /// `ask-necessary-set`: evaluate a marked query and return the fillers at
 /// the marker position across all known answers (§3.5.3). Fillers may be
 /// host values.
+#[deprecated(note = "use the `Query` builder: `Query::marked(q).run(kb)?.into_necessary_set()`")]
 pub fn ask_necessary_set(kb: &mut Kb, q: &MarkedQuery) -> Result<Vec<IndRef>> {
-    let subjects = retrieve(kb, &q.concept)?.known;
+    ask_necessary_set_impl(kb, q)
+}
+
+fn ask_necessary_set_impl(kb: &mut Kb, q: &MarkedQuery) -> Result<Vec<IndRef>> {
+    let subjects = retrieve_impl(kb, &q.concept)?.known;
     let mut frontier: BTreeSet<IndRef> = subjects
         .into_iter()
         .map(|id| IndRef::Classic(kb.ind(id).name))
@@ -573,7 +593,14 @@ pub fn ask_necessary_set(kb: &mut Kb, q: &MarkedQuery) -> Result<Vec<IndRef>> {
 /// every rule attached to a schema concept that subsumes it ("the
 /// description of this set, in light of the forward-chaining rules in
 /// effect at that time, might include JUNK-FOOD"), to a fixed point.
+#[deprecated(
+    note = "use the `Query` builder: `Query::marked(q).description().run(kb)?.into_description()`"
+)]
 pub fn ask_description(kb: &mut Kb, q: &MarkedQuery) -> Result<NormalForm> {
+    ask_description_impl(kb, q)
+}
+
+fn ask_description_impl(kb: &mut Kb, q: &MarkedQuery) -> Result<NormalForm> {
     let mut subject = kb.normalize(&q.concept)?;
     // A singleton enumeration names a known individual: fold in everything
     // the database has derived about it — the paper's crime15 pattern,
@@ -649,6 +676,10 @@ pub fn describe(kb: &Kb, id: IndId) -> Concept {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated free functions stay under test until they are
+    // removed: the builder-parity tests below are exactly what keeps the
+    // shims honest.
+    #![allow(deprecated)]
     use super::*;
     use classic_core::desc::Concept;
 

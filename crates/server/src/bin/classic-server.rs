@@ -1,0 +1,70 @@
+//! The `classic-server` binary: host CLASSIC knowledge bases over TCP.
+//!
+//! ```text
+//! classic-server [--addr HOST:PORT] [--data-dir DIR] [--workers N]
+//! ```
+//!
+//! Defaults: `--addr 127.0.0.1:7587`, `--data-dir ./classic-data`,
+//! `--workers 4`. The process runs until killed; every mutation is
+//! fsynced to the tenant's operation log before it is acknowledged, so
+//! an abrupt kill loses nothing acknowledged.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use classic_server::ServerConfig;
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7587".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => config.addr = v,
+                None => return usage("--addr needs a value"),
+            },
+            "--data-dir" => match args.next() {
+                Some(v) => config.data_dir = PathBuf::from(v),
+                None => return usage("--data-dir needs a value"),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => config.workers = n,
+                _ => return usage("--workers needs a positive integer"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    match classic_server::start(config) {
+        Ok(handle) => {
+            println!("classic-server listening on {}", handle.local_addr());
+            println!("  line protocol: nc {}", handle.local_addr());
+            println!(
+                "  metrics:       curl http://{}/metrics",
+                handle.local_addr()
+            );
+            handle.join();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("classic-server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("classic-server: {error}");
+    }
+    eprintln!("usage: classic-server [--addr HOST:PORT] [--data-dir DIR] [--workers N]");
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

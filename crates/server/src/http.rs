@@ -1,0 +1,287 @@
+//! Minimal HTTP/1.1 for observability and stateless eval.
+//!
+//! Just enough of the protocol for `curl` and a Prometheus scraper —
+//! one request per connection, `Connection: close`, no chunked
+//! encoding, no keep-alive:
+//!
+//! | route                  | payload                                     |
+//! |------------------------|---------------------------------------------|
+//! | `GET /healthz`         | `ok` once the listener is up                |
+//! | `GET /metrics`         | process-wide Prometheus exposition          |
+//! | `GET /stats`           | per-tenant JSON (version, generation, size) |
+//! | `POST /eval?tenant=T`  | body = s-expr forms; JSON array of results  |
+//!
+//! `POST /eval` is stateless: each request parses and executes its
+//! body's forms in order against tenant `T` (default `default`),
+//! stopping at the first failure. Session forms (`tenant`, `sandbox`,
+//! `ping`, `quit`) belong to the line protocol and are rejected here by
+//! the parser like any other unknown form.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use classic_obs::json_string;
+
+use crate::server::Shared;
+use crate::tenant::TenantStats;
+
+/// Cap on request size (start line + headers + body): 1 MiB.
+const MAX_REQUEST: usize = 1 << 20;
+
+/// Serve one HTTP request whose first bytes are already in `buf`.
+pub fn serve_http(
+    mut stream: TcpStream,
+    mut buf: Vec<u8>,
+    shared: &Arc<Shared>,
+) -> std::io::Result<()> {
+    shared.metrics.http_requests.bump();
+    let req = match read_request(&mut stream, &mut buf, shared) {
+        Ok(Some(r)) => r,
+        Ok(None) => return Ok(()), // peer went away mid-request
+        Err(msg) => {
+            return respond(
+                &mut stream,
+                400,
+                "text/plain; charset=utf-8",
+                &format!("{msg}\n"),
+            )
+        }
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => respond(&mut stream, 200, "text/plain; charset=utf-8", "ok\n"),
+        ("GET", "/metrics") => respond(
+            &mut stream,
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            &classic_obs::render_all_prometheus(),
+        ),
+        ("GET", "/stats") => respond(
+            &mut stream,
+            200,
+            "application/json",
+            &stats_json(&shared.all_stats()),
+        ),
+        ("POST", "/eval") => {
+            let tenant_name = req.query_param("tenant").unwrap_or("default");
+            let body = match eval_body(shared, tenant_name, &req.body) {
+                Ok(json) => json,
+                Err(msg) => {
+                    return respond(
+                        &mut stream,
+                        400,
+                        "application/json",
+                        &format!("{{\"ok\":false,\"error\":{}}}\n", json_string(&msg)),
+                    )
+                }
+            };
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        ("GET" | "POST", _) => {
+            respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n")
+        }
+        _ => respond(
+            &mut stream,
+            405,
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+        ),
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,  // path without query string
+    query: String, // query string without '?', may be empty
+    body: String,
+}
+
+impl Request {
+    fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Read the rest of the request (headers were possibly split across
+/// reads). `Ok(None)` = connection closed early; `Err` = malformed.
+fn read_request(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    shared: &Arc<Shared>,
+) -> Result<Option<Request>, String> {
+    let mut tmp = [0u8; 4096];
+    let header_end = loop {
+        if let Some(ix) = find(buf, b"\r\n\r\n") {
+            break ix + 4;
+        }
+        if let Some(ix) = find(buf, b"\n\n") {
+            break ix + 2;
+        }
+        if buf.len() > MAX_REQUEST {
+            return Err("request too large".to_owned());
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => return Ok(None),
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e) if crate::server::timed_out(&e) => {
+                if shared.shutting_down() {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(format!("read error: {e}")),
+        }
+    };
+
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut lines = head.lines();
+    let start = lines.next().ok_or("empty request")?;
+    let mut parts = start.split_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_owned();
+    let target = parts.next().ok_or("missing request target")?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| "bad content-length".to_owned())?;
+            }
+        }
+    }
+    if content_length > MAX_REQUEST {
+        return Err("request too large".to_owned());
+    }
+
+    while buf.len() < header_end + content_length {
+        match stream.read(&mut tmp) {
+            Ok(0) => return Ok(None),
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e) if crate::server::timed_out(&e) => {
+                if shared.shutting_down() {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(format!("read error: {e}")),
+        }
+    }
+    let body = String::from_utf8_lossy(&buf[header_end..header_end + content_length]).into_owned();
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+    }))
+}
+
+/// Execute the forms in `body` against `tenant_name`, in order,
+/// stopping at the first failure (which becomes the final element).
+fn eval_body(shared: &Arc<Shared>, tenant_name: &str, body: &str) -> Result<String, String> {
+    let tenant = shared.tenant(tenant_name).map_err(|e| e.to_string())?;
+    let commands = classic_lang::parse(body).map_err(|e| e.to_string())?;
+    let mut results = Vec::with_capacity(commands.len());
+    for cmd in &commands {
+        shared.metrics.requests.bump();
+        match tenant.execute(cmd) {
+            Ok(o) => results.push(format!("{{\"ok\":true,\"result\":{}}}", o.render_json())),
+            Err(e) => {
+                shared.metrics.errors.bump();
+                results.push(format!(
+                    "{{\"ok\":false,\"error\":{}}}",
+                    json_string(&e.to_string())
+                ));
+                break;
+            }
+        }
+    }
+    Ok(format!("[{}]\n", results.join(",")))
+}
+
+fn stats_json(stats: &[TenantStats]) -> String {
+    let tenants: Vec<String> = stats
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"name\":{},\"version\":{},\"generation\":{},\"pending_ops\":{},\
+                 \"individuals\":{},\"concepts\":{},\"rules\":{}}}",
+                json_string(&s.name),
+                s.version,
+                s.generation,
+                s.pending_ops,
+                s.individuals,
+                s.concepts,
+                s.rules
+            )
+        })
+        .collect();
+    format!("{{\"tenants\":[{}]}}\n", tenants.join(","))
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_params_parse() {
+        let r = Request {
+            method: "POST".into(),
+            path: "/eval".into(),
+            query: "tenant=t1&x=2".into(),
+            body: String::new(),
+        };
+        assert_eq!(r.query_param("tenant"), Some("t1"));
+        assert_eq!(r.query_param("x"), Some("2"));
+        assert_eq!(r.query_param("missing"), None);
+    }
+
+    #[test]
+    fn stats_render_as_json() {
+        let s = TenantStats {
+            name: "default".into(),
+            version: 3,
+            generation: 1,
+            pending_ops: 2,
+            individuals: 4,
+            concepts: 5,
+            rules: 0,
+        };
+        let json = stats_json(&[s]);
+        assert!(json.contains("\"name\":\"default\""));
+        assert!(json.contains("\"version\":3"));
+        assert!(json.starts_with("{\"tenants\":["));
+    }
+}

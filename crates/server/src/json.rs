@@ -1,0 +1,316 @@
+//! A minimal JSON value and recursive-descent parser.
+//!
+//! The workspace is dependency-free by policy, and the server's wire
+//! format is JSON — so the *reading* side (protocol round-trip tests,
+//! the bundled line client) needs a parser to match the hand-rolled
+//! emitters (`Outcome::render_json`, `classic_obs::render_json`). This is
+//! a strict subset parser: UTF-8 text, no comments, no trailing commas,
+//! numbers as `f64` (every number the server emits is a count that fits
+//! exactly).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; `BTreeMap` for deterministic iteration.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parse one JSON document; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut p = P { bytes, ix: 0 };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.ix != bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Object field access: `v.get("type")`.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A positioned JSON parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct P<'a> {
+    bytes: &'a [u8],
+    ix: usize,
+}
+
+impl P<'_> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError {
+            at: self.ix,
+            message: msg.to_owned(),
+        }
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.bytes.get(self.ix), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.ix += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.bytes.get(self.ix) == Some(&b) {
+            self.ix += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.ix..].starts_with(word.as_bytes()) {
+            self.ix += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.bytes.get(self.ix) {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        self.ws();
+        if self.bytes.get(self.ix) == Some(&b']') {
+            self.ix += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.ws();
+            out.push(self.value()?);
+            self.ws();
+            match self.bytes.get(self.ix) {
+                Some(b',') => self.ix += 1,
+                Some(b']') => {
+                    self.ix += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut out = BTreeMap::new();
+        self.ws();
+        if self.bytes.get(self.ix) == Some(&b'}') {
+            self.ix += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            let val = self.value()?;
+            out.insert(key, val);
+            self.ws();
+            match self.bytes.get(self.ix) {
+                Some(b',') => self.ix += 1,
+                Some(b'}') => {
+                    self.ix += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.ix) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.ix += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.ix += 1;
+                    match self.bytes.get(self.ix) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.ix + 1..self.ix + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ASCII \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogates are not emitted by our writers;
+                            // map unpaired ones to the replacement char.
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.ix += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.ix += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.ix..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.ix += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.ix;
+        if self.bytes.get(self.ix) == Some(&b'-') {
+            self.ix += 1;
+        }
+        while matches!(
+            self.bytes.get(self.ix),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.ix += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.ix])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_outcome_shapes() {
+        let v = Json::parse(r#"{"type":"asserted","steps":3,"fills":0}"#).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("asserted"));
+        assert_eq!(v.get("steps").unwrap().as_num(), Some(3.0));
+    }
+
+    #[test]
+    fn strings_unescape() {
+        let v = Json::parse(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn arrays_and_nesting() {
+        let v = Json::parse(r#"{"names":["a","b"],"inner":{"x":[1,2,3]}}"#).unwrap();
+        assert_eq!(v.get("names").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(
+            v.get("inner").unwrap().get("x").unwrap().as_arr().unwrap()[2].as_num(),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{} extra").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn round_trips_obs_escaper() {
+        let nasty = "line\nbreak \"quoted\" back\\slash \t tab";
+        let rendered = classic_obs::json_string(nasty);
+        assert_eq!(Json::parse(&rendered).unwrap().as_str(), Some(nasty));
+    }
+}

@@ -1,0 +1,508 @@
+//! The server proper: listener, worker pool, framing, shared state.
+//!
+//! Std-only networking: one accept thread hands connections to a fixed
+//! pool of worker threads over a channel. Each worker speaks either the
+//! line protocol (s-expression forms in, JSON lines out — see
+//! [`crate::session`]) or minimal HTTP (see [`crate::http`]), sniffed
+//! from the first bytes of the connection.
+//!
+//! Framing for the line protocol is *paren balance*, not lines: a form
+//! may span lines (exactly as in `.classic` script files), several
+//! forms may share a line, and `;` comments and `"..."` strings are
+//! honored while counting. Each complete form yields exactly one JSON
+//! reply line, in order.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use classic_core::{ClassicError, Result};
+use classic_obs::{Counter, Histogram, Registry};
+
+use crate::http;
+use crate::session::{Control, WireSession};
+use crate::tenant::{Tenant, TenantStats};
+
+/// How long a worker blocks in `read` before re-checking shutdown.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Server configuration; `Default` gives a loopback ephemeral port,
+/// a `classic-data` directory, and four workers.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7587`. Port 0 picks a free one.
+    pub addr: String,
+    /// Root directory; each tenant stores under `<data_dir>/<name>/`.
+    pub data_dir: PathBuf,
+    /// Worker threads (= max concurrent connections served).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            data_dir: PathBuf::from("classic-data"),
+            workers: 4,
+        }
+    }
+}
+
+/// Request-level counters and timings, enrolled in the process-global
+/// metrics roll-up so `GET /metrics` exposes them alongside every
+/// tenant KB's own series.
+pub struct ServerMetrics {
+    /// The registry the series below live in.
+    pub registry: Arc<Registry>,
+    /// Connections accepted (both protocols).
+    pub connections: Counter,
+    /// Line-protocol forms handled.
+    pub requests: Counter,
+    /// Forms that produced an `ok:false` reply.
+    pub errors: Counter,
+    /// HTTP requests handled.
+    pub http_requests: Counter,
+    /// Per-form wall time, nanoseconds.
+    pub request_ns: Histogram,
+}
+
+impl ServerMetrics {
+    fn new() -> ServerMetrics {
+        let registry = Registry::new();
+        let mk = |r: std::result::Result<Counter, classic_obs::ObsError>| {
+            r.expect("server metric names are static and valid")
+        };
+        ServerMetrics {
+            connections: mk(
+                registry.counter("classic_server_connections_total", "connections accepted")
+            ),
+            requests: mk(registry.counter(
+                "classic_server_requests_total",
+                "line-protocol forms handled",
+            )),
+            errors: mk(registry.counter(
+                "classic_server_errors_total",
+                "forms answered with ok:false",
+            )),
+            http_requests: mk(registry.counter(
+                "classic_server_http_requests_total",
+                "HTTP requests handled",
+            )),
+            request_ns: registry
+                .histogram("classic_server_request_ns", "per-form wall time (ns)")
+                .expect("server metric names are static and valid"),
+            registry,
+        }
+    }
+}
+
+/// State shared by every connection: the tenant table and metrics.
+pub struct Shared {
+    data_dir: PathBuf,
+    tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+    /// Request-level counters and timings.
+    pub metrics: ServerMetrics,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn new(data_dir: PathBuf) -> Shared {
+        Shared {
+            data_dir,
+            tenants: Mutex::new(HashMap::new()),
+            metrics: ServerMetrics::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Look up a tenant, opening (and creating on disk) on first use.
+    pub fn tenant(&self, name: &str) -> Result<Arc<Tenant>> {
+        validate_tenant_name(name)?;
+        let mut map = self.tenants.lock().expect("tenant table poisoned");
+        if let Some(t) = map.get(name) {
+            return Ok(Arc::clone(t));
+        }
+        let tenant = Arc::new(Tenant::open(name, &self.data_dir.join(name))?);
+        map.insert(name.to_owned(), Arc::clone(&tenant));
+        Ok(tenant)
+    }
+
+    /// Stats for every open tenant, sorted by name.
+    pub fn all_stats(&self) -> Vec<TenantStats> {
+        let tenants: Vec<Arc<Tenant>> = {
+            let map = self.tenants.lock().expect("tenant table poisoned");
+            map.values().cloned().collect()
+        };
+        // Collect outside the table lock: stats() takes each tenant's
+        // primary lock and may wait behind a writer.
+        let mut stats: Vec<TenantStats> = tenants.iter().map(|t| t.stats()).collect();
+        stats.sort_by(|a, b| a.name.cmp(&b.name));
+        stats
+    }
+
+    /// True once shutdown has been requested.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+}
+
+/// Tenant names become directory names and JSON payloads; keep them
+/// boring: `[A-Za-z0-9_-]`, 1–64 chars.
+fn validate_tenant_name(name: &str) -> Result<()> {
+    let ok = !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if ok {
+        Ok(())
+    } else {
+        Err(ClassicError::Malformed(format!(
+            "invalid tenant name {name:?}: want 1-64 chars of [A-Za-z0-9_-]"
+        )))
+    }
+}
+
+/// A running server: join or shut it down.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conn_tx: Option<Sender<TcpStream>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared state (tenant table + metrics), e.g. for tests.
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Block until the server shuts down (never, unless another thread
+    /// holds a clone of the shared state and requests it). The binary
+    /// parks here.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.join_workers();
+    }
+
+    /// Graceful shutdown: stop accepting, let workers finish their
+    /// current form, then flush every tenant's log and land any
+    /// background compaction.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.join_workers();
+        let stats = self.shared.all_stats();
+        for s in &stats {
+            self.shared.tenant(&s.name)?.flush()?;
+        }
+        Ok(())
+    }
+
+    fn join_workers(&mut self) {
+        // Closing the channel lets idle workers observe disconnect.
+        self.conn_tx.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Start a server per `config`; returns once the listener is bound.
+pub fn start(config: ServerConfig) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr).map_err(|e| ClassicError::Storage {
+        path: config.addr.clone(),
+        generation: None,
+        detail: format!("binding listener: {e}"),
+    })?;
+    let local_addr = listener.local_addr().map_err(|e| ClassicError::Storage {
+        path: config.addr.clone(),
+        generation: None,
+        detail: format!("resolving bound address: {e}"),
+    })?;
+    let shared = Arc::new(Shared::new(config.data_dir));
+
+    let (conn_tx, conn_rx) = channel::<TcpStream>();
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+    let workers = (0..config.workers.max(1))
+        .map(|ix| {
+            let rx = Arc::clone(&conn_rx);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("classic-worker-{ix}"))
+                .spawn(move || worker_loop(rx, shared))
+                .expect("spawning worker thread")
+        })
+        .collect();
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let tx = conn_tx.clone();
+        std::thread::Builder::new()
+            .name("classic-accept".to_owned())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if shared.shutting_down() {
+                        break;
+                    }
+                    match conn {
+                        Ok(stream) => {
+                            shared.metrics.connections.bump();
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            })
+            .expect("spawning accept thread")
+    };
+
+    Ok(ServerHandle {
+        local_addr,
+        shared,
+        accept: Some(accept),
+        workers,
+        conn_tx: Some(conn_tx),
+    })
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, shared: Arc<Shared>) {
+    loop {
+        let stream = {
+            let guard = rx.lock().expect("connection queue poisoned");
+            match guard.recv_timeout(POLL) {
+                Ok(s) => s,
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    if shared.shutting_down() {
+                        return;
+                    }
+                    continue;
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        // Connection errors (peer gone, malformed HTTP) end that
+        // connection only; the worker survives for the next one.
+        let _ = serve_connection(stream, &shared);
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL))?;
+    // One small reply per form: without NODELAY, Nagle + delayed ACK
+    // adds ~40ms to every round trip.
+    stream.set_nodelay(true)?;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut tmp = [0u8; 4096];
+
+    // Sniff the protocol from the first bytes.
+    loop {
+        if buf.len() >= 4 {
+            break;
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => return Ok(()), // closed before saying anything
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e) if timed_out(&e) => {
+                if shared.shutting_down() {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if buf.starts_with(b"GET ") || buf.starts_with(b"POST ") {
+        return http::serve_http(stream, buf, shared);
+    }
+
+    let mut session = match WireSession::new(Arc::clone(shared)) {
+        Ok(s) => s,
+        Err(e) => {
+            let line = format!(
+                "{{\"ok\":false,\"error\":{}}}\n",
+                classic_obs::json_string(&e.to_string())
+            );
+            let _ = stream.write_all(line.as_bytes());
+            return Ok(());
+        }
+    };
+    loop {
+        // Drain every complete form currently buffered.
+        while let Some((form, end)) = next_form(&buf) {
+            let started = Instant::now();
+            let (reply, control) = session.handle_form(&form);
+            shared
+                .metrics
+                .request_ns
+                .record(started.elapsed().as_nanos() as u64);
+            stream.write_all(reply.as_bytes())?;
+            stream.write_all(b"\n")?;
+            buf.drain(..end);
+            if control == Control::Quit {
+                return Ok(());
+            }
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => return Ok(()),
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e) if timed_out(&e) => {
+                if shared.shutting_down() {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+pub(crate) fn timed_out(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Extract the next complete top-level form from `buf`, if any.
+///
+/// Skips leading whitespace and `;` comments. A form is either a
+/// balanced `( ... )` group (strings and comments honored while
+/// counting) or, for anything else at top level, a run up to the next
+/// newline — handed to the parser verbatim so the client gets a real
+/// parse error instead of a hung connection. Returns the form text and
+/// the buffer offset one past its end.
+fn next_form(buf: &[u8]) -> Option<(String, usize)> {
+    let mut ix = 0;
+    // Skip top-level whitespace and comments.
+    while ix < buf.len() {
+        match buf[ix] {
+            b' ' | b'\t' | b'\r' | b'\n' => ix += 1,
+            b';' => match buf[ix..].iter().position(|&b| b == b'\n') {
+                Some(off) => ix += off + 1,
+                None => return None, // comment still streaming in
+            },
+            _ => break,
+        }
+    }
+    if ix >= buf.len() {
+        return None;
+    }
+    let start = ix;
+    if buf[ix] != b'(' {
+        // Not a form; take the line and let the parser complain.
+        let end = buf[ix..].iter().position(|&b| b == b'\n').map(|o| ix + o)?;
+        let text = String::from_utf8_lossy(&buf[start..end]).into_owned();
+        return Some((text, end + 1));
+    }
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut in_comment = false;
+    while ix < buf.len() {
+        let b = buf[ix];
+        if in_comment {
+            if b == b'\n' {
+                in_comment = false;
+            }
+        } else if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+        } else {
+            match b {
+                b'"' => in_string = true,
+                b';' => in_comment = true,
+                b'(' => depth += 1,
+                b')' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        let text = String::from_utf8_lossy(&buf[start..=ix]).into_owned();
+                        return Some((text, ix + 1));
+                    }
+                }
+                _ => {}
+            }
+        }
+        ix += 1;
+    }
+    None // form incomplete; wait for more bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn forms(input: &str) -> Vec<String> {
+        let mut buf = input.as_bytes().to_vec();
+        let mut out = Vec::new();
+        while let Some((form, end)) = next_form(&buf) {
+            out.push(form);
+            buf.drain(..end);
+        }
+        out
+    }
+
+    #[test]
+    fn splits_multiple_forms_on_one_line() {
+        assert_eq!(forms("(ping) (ping)"), vec!["(ping)", "(ping)"]);
+    }
+
+    #[test]
+    fn multiline_form_waits_for_balance() {
+        assert_eq!(forms("(define-concept A\n"), Vec::<String>::new());
+        assert_eq!(
+            forms("(define-concept A\n  (and B C))\n"),
+            vec!["(define-concept A\n  (and B C))"]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_confuse_the_scanner() {
+        assert_eq!(
+            forms("; header comment\n(ping) ; trailing\n"),
+            vec!["(ping)"]
+        );
+        let with_string = "(describe \"unbalanced ) ( inside\")";
+        assert_eq!(forms(with_string), vec![with_string]);
+    }
+
+    #[test]
+    fn bare_garbage_becomes_a_line_form() {
+        assert_eq!(
+            forms("garbage here\n(ping)"),
+            vec!["garbage here", "(ping)"]
+        );
+    }
+
+    #[test]
+    fn tenant_names_validated() {
+        assert!(validate_tenant_name("default").is_ok());
+        assert!(validate_tenant_name("t-1_A").is_ok());
+        assert!(validate_tenant_name("").is_err());
+        assert!(validate_tenant_name("../escape").is_err());
+        assert!(validate_tenant_name("a b").is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! Per-connection protocol state: tenant binding and what-if sandboxes.
+//!
+//! A [`WireSession`] owns everything one client connection can see. The
+//! wire protocol is the CLASSIC surface syntax itself — the same
+//! s-expressions the REPL, the persistence log, and the test scripts
+//! use — plus four *session* forms that never reach a KB:
+//!
+//! | form                 | effect                                        |
+//! |----------------------|-----------------------------------------------|
+//! | `(tenant NAME)`      | bind the session to tenant `NAME`             |
+//! | `(sandbox begin)`    | start a private what-if copy of the tenant KB |
+//! | `(sandbox commit)`   | replay sandbox mutations into the tenant      |
+//! | `(sandbox rollback)` | discard the sandbox                           |
+//! | `(ping)`             | liveness probe                                |
+//! | `(quit)`             | close the connection                          |
+//!
+//! Every form gets exactly one reply line:
+//! `{"ok":true,"result":<outcome>}` or `{"ok":false,"error":"..."}`.
+//!
+//! A sandbox is the paper's `what-if` operator promoted from one
+//! assertion to a whole session: the KB is cloned, mutations evaluate
+//! against the clone *and* are recorded; `commit` replays the recording
+//! through the tenant's durable path, `rollback` drops it. Commit is
+//! sequential, not transactional — it stops at the first command the
+//! primary rejects (possible when the tenant moved underneath the
+//! sandbox) and reports how many landed.
+
+use std::sync::Arc;
+
+use classic_lang::Command;
+use classic_obs::json_string;
+
+use crate::server::Shared;
+use crate::tenant::Tenant;
+
+/// What the connection loop should do after a reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep reading forms.
+    Continue,
+    /// Client said `(quit)`: flush the reply and close.
+    Quit,
+}
+
+struct Sandbox {
+    kb: classic_kb::Kb,
+    recorded: Vec<Command>,
+}
+
+/// One client's protocol state.
+pub struct WireSession {
+    shared: Arc<Shared>,
+    tenant: Arc<Tenant>,
+    sandbox: Option<Sandbox>,
+}
+
+fn ok(result_json: &str) -> String {
+    format!("{{\"ok\":true,\"result\":{result_json}}}")
+}
+
+fn err(message: &str) -> String {
+    format!("{{\"ok\":false,\"error\":{}}}", json_string(message))
+}
+
+impl WireSession {
+    /// Open a session bound to the `default` tenant.
+    pub fn new(shared: Arc<Shared>) -> classic_core::Result<WireSession> {
+        let tenant = shared.tenant("default")?;
+        Ok(WireSession {
+            shared,
+            tenant,
+            sandbox: None,
+        })
+    }
+
+    /// The tenant this session is bound to.
+    pub fn tenant(&self) -> &Arc<Tenant> {
+        &self.tenant
+    }
+
+    /// Whether a sandbox is active.
+    pub fn in_sandbox(&self) -> bool {
+        self.sandbox.is_some()
+    }
+
+    /// Handle one complete top-level form; returns the reply line (no
+    /// trailing newline) and whether to keep the connection open.
+    pub fn handle_form(&mut self, form: &str) -> (String, Control) {
+        self.shared.metrics.requests.bump();
+        let (reply, control) = self.dispatch(form);
+        if reply.starts_with("{\"ok\":false") {
+            self.shared.metrics.errors.bump();
+        }
+        (reply, control)
+    }
+
+    fn dispatch(&mut self, form: &str) -> (String, Control) {
+        if let Some(words) = session_form(form) {
+            return self.session_command(&words);
+        }
+        let commands = match classic_lang::parse(form) {
+            Ok(c) => c,
+            Err(e) => return (err(&e.to_string()), Control::Continue),
+        };
+        let mut cmd_iter = commands.into_iter();
+        let cmd = match (cmd_iter.next(), cmd_iter.next()) {
+            (Some(c), None) => c,
+            (None, _) => return (err("empty form"), Control::Continue),
+            (Some(_), Some(_)) => {
+                // The framing layer feeds one balanced form at a time,
+                // so this is unreachable in practice; fail loudly
+                // rather than silently evaluate half the input.
+                return (err("expected exactly one form"), Control::Continue);
+            }
+        };
+        let outcome = match &mut self.sandbox {
+            Some(sandbox) => {
+                let r = classic_lang::eval(&mut sandbox.kb, &cmd);
+                if r.is_ok() && cmd.is_mutation() {
+                    sandbox.recorded.push(cmd);
+                }
+                r
+            }
+            None => self.tenant.execute(&cmd),
+        };
+        match outcome {
+            Ok(o) => (ok(&o.render_json()), Control::Continue),
+            Err(e) => (err(&e.to_string()), Control::Continue),
+        }
+    }
+
+    fn session_command(&mut self, words: &[String]) -> (String, Control) {
+        match words {
+            [w] if w == "ping" => (ok("{\"type\":\"pong\"}"), Control::Continue),
+            [w] if w == "quit" => (ok("{\"type\":\"bye\"}"), Control::Quit),
+            [w, name] if w == "tenant" => {
+                if self.sandbox.is_some() {
+                    return (
+                        err("sandbox active: commit or rollback before switching tenants"),
+                        Control::Continue,
+                    );
+                }
+                match self.shared.tenant(name) {
+                    Ok(t) => {
+                        self.tenant = t;
+                        (
+                            ok(&format!(
+                                "{{\"type\":\"tenant\",\"name\":{}}}",
+                                json_string(name)
+                            )),
+                            Control::Continue,
+                        )
+                    }
+                    Err(e) => (err(&e.to_string()), Control::Continue),
+                }
+            }
+            [w, sub] if w == "sandbox" && sub == "begin" => {
+                if self.sandbox.is_some() {
+                    return (err("sandbox already active"), Control::Continue);
+                }
+                match self.tenant.snapshot() {
+                    Ok(snap) => {
+                        self.sandbox = Some(Sandbox {
+                            kb: snap.with_kb(|kb| kb.clone()),
+                            recorded: Vec::new(),
+                        });
+                        (
+                            ok("{\"type\":\"sandbox\",\"state\":\"active\"}"),
+                            Control::Continue,
+                        )
+                    }
+                    Err(e) => (err(&e.to_string()), Control::Continue),
+                }
+            }
+            [w, sub] if w == "sandbox" && sub == "rollback" => match self.sandbox.take() {
+                Some(s) => (
+                    ok(&format!(
+                        "{{\"type\":\"sandbox\",\"state\":\"rolled-back\",\"discarded\":{}}}",
+                        s.recorded.len()
+                    )),
+                    Control::Continue,
+                ),
+                None => (err("no sandbox active"), Control::Continue),
+            },
+            [w, sub] if w == "sandbox" && sub == "commit" => match self.sandbox.take() {
+                Some(s) => {
+                    let total = s.recorded.len();
+                    for (ix, cmd) in s.recorded.iter().enumerate() {
+                        if let Err(e) = self.tenant.execute(cmd) {
+                            return (
+                                err(&format!(
+                                    "sandbox commit failed at mutation {} of {total}: {e}",
+                                    ix + 1
+                                )),
+                                Control::Continue,
+                            );
+                        }
+                    }
+                    (
+                        ok(&format!(
+                            "{{\"type\":\"sandbox\",\"state\":\"committed\",\"applied\":{total}}}"
+                        )),
+                        Control::Continue,
+                    )
+                }
+                None => (err("no sandbox active"), Control::Continue),
+            },
+            _ => (err("unknown session form"), Control::Continue),
+        }
+    }
+}
+
+/// Recognize a session form: a single flat s-expression whose head is
+/// one of the session keywords. Returns the words inside the parens.
+/// Anything else (including all KB commands) returns `None` and flows
+/// to the real parser.
+fn session_form(form: &str) -> Option<Vec<String>> {
+    let t = form.trim();
+    let inner = t.strip_prefix('(')?.strip_suffix(')')?;
+    if inner.contains('(') || inner.contains(')') {
+        return None;
+    }
+    let words: Vec<String> = inner.split_whitespace().map(str::to_owned).collect();
+    match words.first().map(String::as_str) {
+        Some("tenant" | "sandbox" | "ping" | "quit") => Some(words),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_form_recognizes_meta_only() {
+        assert!(session_form("(ping)").is_some());
+        assert!(session_form(" (tenant t1) ").is_some());
+        assert!(session_form("(sandbox begin)").is_some());
+        assert!(session_form("(define-role r)").is_none());
+        assert!(session_form("(retrieve (and A B) ?x)").is_none());
+        // Nested parens never match, even with a meta head.
+        assert!(session_form("(tenant (and))").is_none());
+    }
+}

@@ -1,0 +1,196 @@
+//! One tenant = one [`DurableKb`] plus a cached read snapshot.
+//!
+//! The server hosts many independent knowledge bases in one process.
+//! Each lives in its own directory under the server data root and is
+//! wrapped in a [`Tenant`], which arbitrates two access paths:
+//!
+//! - **Mutations** take the primary store lock, run through
+//!   [`DurableKb::eval_durable`] (so every write hits the fsynced
+//!   operation log), then bump the tenant *version* and invalidate the
+//!   cached snapshot.
+//! - **Reads** run against an [`Arc<Snapshot>`] — a clone of the KB
+//!   taken at a specific version. Many readers share one clone; a
+//!   reader holds its `Arc` for as long as it likes, so a concurrent
+//!   writer (or background compaction changing the store generation)
+//!   never shifts the ground under an in-flight query. That is
+//!   snapshot isolation in the only sense a structural KB needs:
+//!   each query sees one consistent version, pinned for its duration.
+//!
+//! Lock order is `primary` → `snap` never held together from the write
+//! path (the writer drops the primary guard before touching the cache),
+//! and the read path takes `snap` → `primary` only when the cache is
+//! cold. Since no thread ever waits on `snap` while holding `primary`,
+//! the pair cannot deadlock.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use classic_core::{ClassicError, Result};
+use classic_kb::Kb;
+use classic_lang::{Command, Outcome};
+use classic_store::DurableKb;
+
+/// An immutable-by-convention copy of a tenant KB at one version.
+///
+/// The inner `Mutex<Kb>` exists because query evaluation takes
+/// `&mut Kb` (normalization caches, `what-if` trial assertions that
+/// roll themselves back) — logically the snapshot never changes.
+pub struct Snapshot {
+    /// Store generation (manifest) the snapshot was cut at.
+    pub generation: u64,
+    /// Tenant version (monotone per-mutation counter) it reflects.
+    pub version: u64,
+    kb: Mutex<Kb>,
+}
+
+impl Snapshot {
+    /// Run `f` against the snapshot KB.
+    pub fn with_kb<T>(&self, f: impl FnOnce(&mut Kb) -> T) -> T {
+        let mut kb = self.kb.lock().expect("snapshot lock poisoned");
+        f(&mut kb)
+    }
+
+    /// Evaluate a read-only command against this snapshot.
+    pub fn eval(&self, cmd: &Command) -> Result<Outcome> {
+        self.with_kb(|kb| classic_lang::eval(kb, cmd))
+    }
+}
+
+/// A named durable KB hosted by the server.
+pub struct Tenant {
+    name: String,
+    version: AtomicU64,
+    primary: Mutex<DurableKb>,
+    snap: Mutex<Option<Arc<Snapshot>>>,
+}
+
+/// A point-in-time summary of one tenant, for `/stats`.
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    /// Tenant name (also its directory stem under the data root).
+    pub name: String,
+    /// Mutations applied since the server opened the tenant.
+    pub version: u64,
+    /// Snapshot-store generation (advances on compaction).
+    pub generation: u64,
+    /// Operations in the log suffix not yet folded into segments.
+    pub pending_ops: u64,
+    /// Individuals in the KB.
+    pub individuals: usize,
+    /// Named concepts in the schema.
+    pub concepts: usize,
+    /// Classification rules (including retracted tombstones).
+    pub rules: usize,
+}
+
+impl Tenant {
+    /// Open (or create) the tenant rooted at `dir`, replaying its log.
+    ///
+    /// The wire protocol has no way to ship host test functions, so the
+    /// tenant registers none; a log that references `(test ...)`
+    /// predicates from an embedded-use session will fail to open here,
+    /// which is the honest outcome.
+    pub fn open(name: &str, dir: &Path) -> Result<Tenant> {
+        std::fs::create_dir_all(dir).map_err(|e| ClassicError::Storage {
+            path: dir.display().to_string(),
+            generation: None,
+            detail: format!("creating tenant directory: {e}"),
+        })?;
+        let store = DurableKb::open(dir.join("kb.log"), |_| {})?;
+        Ok(Tenant {
+            name: name.to_owned(),
+            version: AtomicU64::new(0),
+            primary: Mutex::new(store),
+            snap: Mutex::new(None),
+        })
+    }
+
+    /// The tenant's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current version: the number of successful mutations so far.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Evaluate one command, routing by [`Command::is_mutation`]:
+    /// writes through the durable log, reads against a shared snapshot.
+    pub fn execute(&self, cmd: &Command) -> Result<Outcome> {
+        if cmd.is_mutation() {
+            let outcome = {
+                let mut store = self.primary.lock().expect("primary lock poisoned");
+                let outcome = store.eval_durable(cmd)?;
+                self.version.fetch_add(1, Ordering::AcqRel);
+                outcome
+            };
+            // Invalidate after releasing the store lock; a racing
+            // reader that re-caches the old version loses only
+            // freshness until the *next* version check, never
+            // consistency (the stale snapshot is still one version).
+            self.snap.lock().expect("snap lock poisoned").take();
+            Ok(outcome)
+        } else {
+            self.snapshot()?.eval(cmd)
+        }
+    }
+
+    /// Get the shared snapshot for the current version, cutting a fresh
+    /// clone from the primary iff the cache is stale or cold.
+    pub fn snapshot(&self) -> Result<Arc<Snapshot>> {
+        let version = self.version();
+        let mut cache = self.snap.lock().expect("snap lock poisoned");
+        if let Some(s) = cache.as_ref() {
+            if s.version == version {
+                return Ok(Arc::clone(s));
+            }
+        }
+        let mut store = self.primary.lock().expect("primary lock poisoned");
+        // Re-read under the lock: a mutation may have landed between
+        // the version load above and acquiring the primary.
+        let version = self.version();
+        let snapshot = Arc::new(Snapshot {
+            generation: store.generation(),
+            version,
+            kb: Mutex::new(store.kb_mut_for_queries().clone()),
+        });
+        *cache = Some(Arc::clone(&snapshot));
+        Ok(snapshot)
+    }
+
+    /// Run `f` with the primary store locked — administrative access
+    /// for flush/compaction control and tests.
+    pub fn with_store<T>(&self, f: impl FnOnce(&mut DurableKb) -> T) -> T {
+        let mut store = self.primary.lock().expect("primary lock poisoned");
+        f(&mut store)
+    }
+
+    /// Flush the operation log to disk (used by graceful shutdown).
+    pub fn flush(&self) -> Result<()> {
+        self.with_store(|s| {
+            // Land any background compaction first so the manifest and
+            // log agree, then sync the log tail.
+            s.wait_for_compaction()?;
+            s.flush()
+        })
+    }
+
+    /// Summarize the tenant for `/stats`.
+    pub fn stats(&self) -> TenantStats {
+        let mut store = self.primary.lock().expect("primary lock poisoned");
+        let generation = store.generation();
+        let pending_ops = store.pending_ops();
+        let kb = store.kb_mut_for_queries();
+        TenantStats {
+            name: self.name.clone(),
+            version: self.version(),
+            generation,
+            pending_ops,
+            individuals: kb.ind_count(),
+            concepts: kb.schema().concept_count(),
+            rules: kb.rules().len(),
+        }
+    }
+}

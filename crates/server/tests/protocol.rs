@@ -1,0 +1,487 @@
+//! End-to-end protocol tests: every command over the wire, tenant
+//! isolation, snapshot isolation across compaction, sandbox sessions,
+//! the HTTP endpoints, and durability across a server restart.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+
+use classic_server::{Json, ServerConfig, ServerHandle};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("classic-server-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    dir
+}
+
+fn start(dir: &Path) -> ServerHandle {
+    classic_server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        data_dir: dir.to_path_buf(),
+        workers: 4,
+    })
+    .expect("server starts")
+}
+
+/// A line-protocol client: send one form, read one JSON reply line.
+struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        Client {
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, form: &str) -> Json {
+        let stream = self.reader.get_mut();
+        stream.write_all(form.as_bytes()).expect("send form");
+        stream.write_all(b"\n").expect("send newline");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read reply");
+        Json::parse(line.trim_end()).unwrap_or_else(|e| panic!("bad reply {line:?}: {e}"))
+    }
+
+    /// Send, assert `ok:true`, return the `result` object.
+    fn ok(&mut self, form: &str) -> Json {
+        let reply = self.send(form);
+        assert_eq!(
+            reply.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "form {form:?} failed: {reply:?}"
+        );
+        reply.get("result").expect("ok reply has result").clone()
+    }
+
+    /// Send, assert `ok:false`, return the error message.
+    fn err(&mut self, form: &str) -> String {
+        let reply = self.send(form);
+        assert_eq!(
+            reply.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "form {form:?} unexpectedly succeeded: {reply:?}"
+        );
+        reply
+            .get("error")
+            .and_then(Json::as_str)
+            .expect("error reply has message")
+            .to_owned()
+    }
+}
+
+fn result_type(result: &Json) -> String {
+    result
+        .get("type")
+        .and_then(Json::as_str)
+        .expect("result has a type tag")
+        .to_owned()
+}
+
+fn names_of(result: &Json) -> Vec<String> {
+    result
+        .get("names")
+        .and_then(Json::as_arr)
+        .expect("individuals result has names")
+        .iter()
+        .map(|j| j.as_str().expect("name is a string").to_owned())
+        .collect()
+}
+
+/// Every `Command` variant crosses the wire and comes back as
+/// well-typed JSON. This is the protocol round-trip matrix: surface
+/// form in, `{"ok":true,"result":{"type":...}}` out, with the type tag
+/// matching what `Outcome::render_json` promises for that command.
+#[test]
+fn every_command_round_trips_over_the_wire() {
+    let dir = tmpdir("matrix");
+    let handle = start(&dir);
+    let mut c = Client::connect(&handle);
+
+    // (command form, expected result type) in execution order; later
+    // commands depend on state the earlier ones built.
+    let matrix: &[(&str, &str)] = &[
+        // Schema mutations.
+        ("(define-role child)", "ok"),
+        ("(define-attribute domicile)", "ok"),
+        ("(define-concept PERSON (PRIMITIVE THING person))", "ok"),
+        (
+            "(define-concept PARENT (AND PERSON (AT-LEAST 1 child)))",
+            "ok",
+        ),
+        // Individual mutations.
+        ("(create-ind Mary)", "ok"),
+        (
+            "(assert-ind Mary (AND PERSON (FILLS child Bob)))",
+            "asserted",
+        ),
+        ("(assert-ind Bob PERSON)", "asserted"),
+        (
+            "(assert-rule PARENT (AT-LEAST 1 domicile))",
+            "rule-asserted",
+        ),
+        // Rule bookkeeping.
+        ("(list-rules)", "description"),
+        // Queries, all three answer modes.
+        ("(retrieve PARENT)", "individuals"),
+        ("(instances PARENT)", "individuals"),
+        ("(possible PARENT)", "individuals"),
+        (
+            "(ask-necessary-set (AND PARENT (ALL child ?:PERSON)))",
+            "individuals",
+        ),
+        (
+            "(ask-description (AND PARENT (ALL child ?:PERSON)))",
+            "description",
+        ),
+        // Terminological questions.
+        ("(subsumes? PERSON PARENT)", "bool"),
+        (
+            "(equivalent? PARENT (AND PERSON (AT-LEAST 1 child)))",
+            "bool",
+        ),
+        ("(disjoint? PERSON PARENT)", "bool"),
+        // Aspects.
+        ("(concept-aspect PARENT AT-LEAST child)", "aspect"),
+        ("(ind-aspect Mary FILLS child)", "aspect"),
+        // Introspection.
+        ("(describe Mary)", "description"),
+        ("(parents PARENT)", "concepts"),
+        ("(children PERSON)", "concepts"),
+        ("(classify (AND PERSON (AT-LEAST 2 child)))", "description"),
+        ("(why? Mary PARENT)", "description"),
+        ("(what-if? Mary (AT-MOST 1 child))", "description"),
+        ("(provenance Mary)", "description"),
+        // Observability.
+        ("(obs-stats)", "description"),
+        ("(obs-stats json)", "description"),
+        ("(obs-trace *)", "description"),
+        ("(obs-level)", "description"),
+        ("(obs-reset)", "ok"),
+        // Lint.
+        ("(lint-kb)", "lint"),
+        // Retractions, by form and by id.
+        (
+            "(retract-ind Mary (AND PERSON (FILLS child Bob)))",
+            "retracted",
+        ),
+        ("(retract-rule PARENT (AT-LEAST 1 domicile))", "retracted"),
+        // Session meta commands.
+        ("(ping)", "pong"),
+    ];
+    for (form, want) in matrix {
+        let result = c.ok(form);
+        assert_eq!(
+            result_type(&result),
+            *want,
+            "result type mismatch for {form:?}: {result:?}"
+        );
+    }
+
+    // Spot-check payloads, not just type tags. The matrix ended by
+    // retracting Mary's whole told description, so only Bob (asserted
+    // PERSON directly) remains a known PERSON.
+    let r = c.ok("(retrieve PERSON)");
+    assert_eq!(names_of(&r), ["Bob"]);
+
+    let r = c.ok("(subsumes? PERSON PARENT)");
+    assert_eq!(r.get("value").and_then(Json::as_bool), Some(true));
+
+    // Retraction above removed the only child filler: no longer a PARENT.
+    let r = c.ok("(retrieve PARENT)");
+    assert_eq!(names_of(&r), Vec::<String>::new());
+
+    let r = c.ok("(concept-aspect PARENT AT-LEAST child)");
+    let aspect = r.get("value").expect("aspect value");
+    assert_eq!(aspect.get("kind").and_then(Json::as_str), Some("bound"));
+    assert_eq!(aspect.get("n").and_then(Json::as_num), Some(1.0));
+
+    // A second rule, retracted by id this time.
+    let r = c.ok("(assert-rule PARENT (AT-LEAST 1 domicile))");
+    let id = r.get("id").and_then(Json::as_num).expect("rule id") as usize;
+    let r = c.ok(&format!("(retract-rule {id})"));
+    assert_eq!(result_type(&r), "retracted");
+
+    // Errors come back as ok:false with a message, connection intact.
+    let msg = c.err("(retrieve NO-SUCH-CONCEPT)");
+    assert!(msg.contains("undefined concept"), "unhelpful error: {msg}");
+    let msg = c.err("(frobnicate)");
+    assert!(msg.contains("frobnicate"), "unhelpful error: {msg}");
+    assert_eq!(result_type(&c.ok("(ping)")), "pong");
+
+    let r = c.ok("(quit)");
+    assert_eq!(result_type(&r), "bye");
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// Two tenants in one process share nothing: schemas, individuals, and
+/// on-disk directories are fully separate.
+#[test]
+fn tenants_are_isolated() {
+    let dir = tmpdir("tenants");
+    let handle = start(&dir);
+
+    let mut a = Client::connect(&handle);
+    a.ok("(tenant alpha)");
+    a.ok("(define-role child)");
+    a.ok("(define-concept PERSON (PRIMITIVE THING person))");
+    a.ok("(create-ind Mary)");
+    a.ok("(assert-ind Mary PERSON)");
+
+    let mut b = Client::connect(&handle);
+    b.ok("(tenant beta)");
+    // alpha's schema is invisible here.
+    let msg = b.err("(retrieve PERSON)");
+    assert!(msg.contains("undefined concept"), "unhelpful error: {msg}");
+    // Same names, different universe: no clash with alpha's Mary.
+    b.ok("(define-concept PERSON (PRIMITIVE THING person))");
+    b.ok("(create-ind Mary)");
+
+    // alpha still answers with its own Mary.
+    let r = a.ok("(retrieve PERSON)");
+    assert_eq!(names_of(&r), ["Mary"]);
+    // beta's Mary has nothing asserted, so PERSON has no known instances.
+    let r = b.ok("(retrieve PERSON)");
+    assert_eq!(names_of(&r), Vec::<String>::new());
+
+    // Invalid tenant names are rejected before touching the filesystem.
+    let msg = a.err("(tenant ../escape)");
+    assert!(msg.contains("tenant name"), "unhelpful error: {msg}");
+
+    handle.shutdown().expect("clean shutdown");
+    assert!(dir.join("alpha").join("kb.log").is_file());
+    assert!(dir.join("beta").join("kb.log").is_file());
+}
+
+/// A reader pinned at generation G keeps a consistent view while the
+/// store compacts to G+1 and a writer lands new facts: the old
+/// snapshot never sees them, a fresh snapshot does.
+#[test]
+fn snapshots_pin_generation_across_compaction() {
+    let dir = tmpdir("snapshot");
+    let handle = start(&dir);
+    let shared = handle.shared().clone();
+    let tenant = shared.tenant("pinned").expect("tenant opens");
+
+    let run = |form: &str| {
+        for cmd in classic_lang::parse(form).expect("parse") {
+            tenant.execute(&cmd).expect("execute");
+        }
+    };
+    run("(define-role child)");
+    run("(define-concept PERSON (PRIMITIVE THING person))");
+    run("(create-ind Mary) (assert-ind Mary PERSON)");
+
+    let pinned = tenant.snapshot().expect("snapshot");
+    let gen_before = pinned.generation;
+
+    // Writer side: compact (generation bump) plus a new individual.
+    tenant.with_store(|s| s.compact()).expect("compaction");
+    run("(create-ind Bob) (assert-ind Bob PERSON)");
+
+    let fresh = tenant.snapshot().expect("fresh snapshot");
+    assert!(
+        fresh.generation > gen_before,
+        "compaction should advance the generation ({} -> {})",
+        gen_before,
+        fresh.generation
+    );
+    assert_eq!(pinned.generation, gen_before, "pinned snapshot moved");
+
+    let known = |snap: &classic_server::Snapshot| -> Vec<String> {
+        let cmd = classic_lang::parse_one("(retrieve PERSON)").expect("parse");
+        match snap.eval(&cmd).expect("query") {
+            classic_lang::Outcome::Individuals(mut names) => {
+                names.sort();
+                names
+            }
+            other => panic!("expected individuals, got {other:?}"),
+        }
+    };
+    assert_eq!(known(&pinned), ["Mary"], "pinned snapshot saw the write");
+    assert_eq!(known(&fresh), ["Bob", "Mary"]);
+
+    // Stats reflect the post-compaction, post-write state.
+    let stats = tenant.stats();
+    assert_eq!(stats.generation, fresh.generation);
+    assert_eq!(stats.individuals, 2);
+
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// Sandboxes: mutations are visible inside the session, invisible to
+/// other sessions, discarded on rollback, and replayed on commit.
+#[test]
+fn sandboxes_isolate_and_commit() {
+    let dir = tmpdir("sandbox");
+    let handle = start(&dir);
+
+    let mut a = Client::connect(&handle);
+    a.ok("(define-role child)");
+    a.ok("(define-concept PERSON (PRIMITIVE THING person))");
+    a.ok("(create-ind Mary)");
+
+    let r = a.ok("(sandbox begin)");
+    assert_eq!(r.get("state").and_then(Json::as_str), Some("active"));
+    a.ok("(assert-ind Mary PERSON)");
+    a.ok("(create-ind Bob)");
+    a.ok("(assert-ind Bob PERSON)");
+    // Inside the sandbox: both are PERSONs.
+    let mut names = names_of(&a.ok("(retrieve PERSON)"));
+    names.sort();
+    assert_eq!(names, ["Bob", "Mary"]);
+
+    // A second session sees none of it.
+    let mut b = Client::connect(&handle);
+    assert_eq!(names_of(&b.ok("(retrieve PERSON)")), Vec::<String>::new());
+
+    // Rollback discards all three mutations.
+    let r = a.ok("(sandbox rollback)");
+    assert_eq!(r.get("state").and_then(Json::as_str), Some("rolled-back"));
+    assert_eq!(r.get("discarded").and_then(Json::as_num), Some(3.0));
+    assert_eq!(names_of(&a.ok("(retrieve PERSON)")), Vec::<String>::new());
+
+    // Begin again; this time commit.
+    a.ok("(sandbox begin)");
+    a.ok("(assert-ind Mary PERSON)");
+    let r = a.ok("(sandbox commit)");
+    assert_eq!(r.get("state").and_then(Json::as_str), Some("committed"));
+    assert_eq!(r.get("applied").and_then(Json::as_num), Some(1.0));
+    // Now the other session sees it too.
+    assert_eq!(names_of(&b.ok("(retrieve PERSON)")), ["Mary"]);
+
+    // Guard rails.
+    let msg = a.err("(sandbox commit)");
+    assert!(msg.contains("no sandbox"), "unhelpful error: {msg}");
+    a.ok("(sandbox begin)");
+    let msg = a.err("(sandbox begin)");
+    assert!(msg.contains("already active"), "unhelpful error: {msg}");
+    let msg = a.err("(tenant other)");
+    assert!(msg.contains("sandbox"), "unhelpful error: {msg}");
+    a.ok("(sandbox rollback)");
+
+    handle.shutdown().expect("clean shutdown");
+}
+
+fn http(handle: &ServerHandle, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+/// The HTTP side: health, stateless eval, per-tenant stats, and the
+/// Prometheus exposition including the server's own request series.
+#[test]
+fn http_endpoints_serve_eval_stats_and_metrics() {
+    let dir = tmpdir("http");
+    let handle = start(&dir);
+
+    let (status, body) = http(&handle, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let script = "(define-role child)\n(define-concept PERSON (PRIMITIVE THING person))\n\
+                  (create-ind Mary)\n(assert-ind Mary PERSON)\n(retrieve PERSON)";
+    let (status, body) = http(&handle, "POST", "/eval?tenant=web", script);
+    assert_eq!(status, 200, "eval failed: {body}");
+    let results = Json::parse(body.trim()).expect("eval returns JSON");
+    let results = results.as_arr().expect("array of results");
+    assert_eq!(results.len(), 5);
+    for r in results {
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r:?}");
+    }
+    assert_eq!(names_of(results[4].get("result").unwrap()), ["Mary"]);
+
+    // A failing form stops the batch and reports the error in place.
+    let (status, body) = http(
+        &handle,
+        "POST",
+        "/eval?tenant=web",
+        "(retrieve NO-SUCH)\n(retrieve PERSON)",
+    );
+    assert_eq!(status, 200);
+    let results = Json::parse(body.trim()).expect("JSON");
+    let results = results.as_arr().expect("array");
+    assert_eq!(results.len(), 1, "batch should stop at the failure");
+    assert_eq!(results[0].get("ok").and_then(Json::as_bool), Some(false));
+
+    // Parse errors are a 400 with a JSON error body.
+    let (status, body) = http(&handle, "POST", "/eval?tenant=web", "(retrieve");
+    assert_eq!(status, 400);
+    let err = Json::parse(body.trim()).expect("JSON error body");
+    assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+
+    let (status, body) = http(&handle, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    let stats = Json::parse(body.trim()).expect("stats JSON");
+    let tenants = stats.get("tenants").and_then(Json::as_arr).expect("list");
+    let web = tenants
+        .iter()
+        .find(|t| t.get("name").and_then(Json::as_str) == Some("web"))
+        .expect("web tenant listed");
+    assert_eq!(web.get("individuals").and_then(Json::as_num), Some(1.0));
+    assert!(web.get("version").and_then(Json::as_num).unwrap_or(0.0) >= 4.0);
+
+    let (status, body) = http(&handle, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("classic_server_requests_total"),
+        "server series missing from exposition"
+    );
+    assert!(
+        body.contains("classic_server_connections_total"),
+        "connection counter missing"
+    );
+
+    let (status, _) = http(&handle, "GET", "/no-such-route", "");
+    assert_eq!(status, 404);
+
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// Acknowledged writes survive a full server restart: the second
+/// process replays the tenant's log and answers the same queries.
+#[test]
+fn acknowledged_writes_survive_restart() {
+    let dir = tmpdir("restart");
+    {
+        let handle = start(&dir);
+        let mut c = Client::connect(&handle);
+        c.ok("(tenant durable)");
+        c.ok("(define-role child)");
+        c.ok("(define-concept PERSON (PRIMITIVE THING person))");
+        c.ok("(define-concept PARENT (AND PERSON (AT-LEAST 1 child)))");
+        c.ok("(create-ind Mary)");
+        c.ok("(assert-ind Mary (AND PERSON (FILLS child Bob)))");
+        handle.shutdown().expect("clean shutdown");
+    }
+    {
+        let handle = start(&dir);
+        let mut c = Client::connect(&handle);
+        c.ok("(tenant durable)");
+        // Mary's assertion (and Bob, the auto-created filler) replayed.
+        assert_eq!(names_of(&c.ok("(retrieve PERSON)")), ["Mary"]);
+        assert_eq!(names_of(&c.ok("(retrieve PARENT)")), ["Mary"]);
+        let r = c.ok("(describe Bob)");
+        assert_eq!(result_type(&r), "description");
+        handle.shutdown().expect("clean shutdown");
+    }
+}

@@ -40,6 +40,7 @@ use classic_core::error::{ClassicError, Result};
 use classic_core::schema::TestArg;
 use classic_core::symbol::{ConceptName, RoleId, TestId};
 use classic_kb::{AssertReport, IndId, Kb, RetractReport};
+use classic_lang::{Command, Outcome};
 use classic_obs::{Counter, FlightRecorder, Gauge, Histogram};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
@@ -917,6 +918,62 @@ impl DurableKb {
         F: Fn(&TestArg<'_>) -> bool + Send + Sync + 'static,
     {
         self.kb.register_test(name, f)
+    }
+
+    /// Evaluate a parsed surface command with durability: mutating
+    /// commands route through the logged operators above (applied to the
+    /// KB, then appended and fsynced), everything else evaluates
+    /// directly against the hydrated KB. This is the server's single
+    /// entry point per request — one `match` guarantees no mutating
+    /// variant can bypass the log.
+    pub fn eval_durable(&mut self, cmd: &Command) -> Result<Outcome> {
+        match cmd {
+            Command::DefineRole(name) => {
+                self.define_role(name)?;
+                Ok(Outcome::Ok)
+            }
+            Command::DefineAttribute(name) => {
+                self.define_attribute(name)?;
+                Ok(Outcome::Ok)
+            }
+            Command::DefineConcept(name, expr) => {
+                let c = expr.resolve(self.kb.schema_mut())?;
+                self.define_concept(name, c)?;
+                Ok(Outcome::Ok)
+            }
+            Command::CreateInd(name) => {
+                self.create_ind(name)?;
+                Ok(Outcome::Ok)
+            }
+            Command::AssertInd(name, expr) => {
+                let c = expr.resolve(self.kb.schema_mut())?;
+                Ok(Outcome::Asserted(self.assert_ind(name, &c)?))
+            }
+            Command::AssertRule(name, expr) => {
+                let c = expr.resolve(self.kb.schema_mut())?;
+                Ok(Outcome::RuleAsserted(self.assert_rule(name, c)?))
+            }
+            Command::RetractInd(name, expr) => {
+                let c = expr.resolve(self.kb.schema_mut())?;
+                Ok(Outcome::Retracted(self.retract_ind(name, &c)?))
+            }
+            Command::RetractRule(name, expr) => {
+                let c = expr.resolve(self.kb.schema_mut())?;
+                Ok(Outcome::Retracted(self.retract_rule(name, &c)?))
+            }
+            Command::RetractRuleById(ix) => Ok(Outcome::Retracted(self.retract_rule_by_id(*ix)?)),
+            read_only => classic_lang::eval(self.kb_mut_for_queries(), read_only),
+        }
+    }
+
+    /// Force any buffered log bytes to the device. The logged operators
+    /// already fsync per accepted op, so this is a no-op unless a future
+    /// buffering change breaks that invariant; the server calls it on
+    /// graceful shutdown to make the guarantee explicit at the boundary.
+    pub fn flush(&mut self) -> Result<()> {
+        let io = |e: std::io::Error| storage_err(&self.log_path, Some(self.log_gen), e);
+        self.log.flush().map_err(io)?;
+        self.log.get_ref().sync_data().map_err(io)
     }
 
     // ---- compaction --------------------------------------------------------

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --example crime_db`
 
-use classic::lang::{run_script, Outcome};
+use classic::lang::{run_script, AspectValue, Outcome};
 use classic::{Concept, Kb, MarkedQuery, Query};
 
 fn main() {
@@ -108,7 +108,7 @@ fn main() {
     );
     assert_eq!(
         out.last().expect("one"),
-        &Outcome::Aspect("(Home-1)".into())
+        &Outcome::Aspect(AspectValue::Values(vec!["Home-1".into()]))
     );
 
     // ---- answer modes (§3.5.3) --------------------------------------------

@@ -19,7 +19,7 @@
 //! `:quit` exits, `:stats` prints engine counters, `:snapshot` dumps the
 //! database as a replayable script.
 
-use classic::lang::{Outcome, Session};
+use classic::lang::Session;
 use std::io::{BufRead, Write};
 
 fn main() {
@@ -30,7 +30,7 @@ fn main() {
         match session.run(&script) {
             Ok(outcomes) => {
                 for o in &outcomes {
-                    print_outcome(o);
+                    println!("{}", o.render_text());
                 }
                 println!("; script OK ({} commands)", outcomes.len());
             }
@@ -113,51 +113,14 @@ fn main() {
         let input = std::mem::take(&mut buffer);
         match session.run(&input) {
             Ok(outcomes) => {
+                // One renderer for the shell and the wire protocol:
+                // Outcome::render_text is what the server's JSON mirrors.
                 for o in &outcomes {
-                    print_outcome(o);
+                    println!("{}", o.render_text());
                 }
             }
             Err(e) => eprintln!("rejected: {e}"),
         }
     }
     println!("bye");
-}
-
-fn print_outcome(outcome: &Outcome) {
-    match outcome {
-        Outcome::Ok => println!("; ok"),
-        Outcome::RuleAsserted(ix) => {
-            println!("; rule #{ix} asserted (retract with (retract-rule {ix}))")
-        }
-        Outcome::Asserted(report) => println!(
-            "; accepted (steps={} fills={} corefs={} rules={} reclassified={})",
-            report.steps,
-            report.fills_propagated,
-            report.corefs_derived,
-            report.rules_fired,
-            report.reclassified
-        ),
-        Outcome::Retracted(report) => println!(
-            "; retracted (reset={} requeued={} steps={} reclassified={})",
-            report.reset, report.requeued, report.steps, report.reclassified
-        ),
-        Outcome::Individuals(names) => {
-            if names.is_empty() {
-                println!("; no known answers");
-            } else {
-                for n in names {
-                    println!("{n}");
-                }
-            }
-        }
-        Outcome::Bool(b) => println!("{b}"),
-        Outcome::Description(d) => println!("{d}"),
-        Outcome::Concepts(names) => {
-            for n in names {
-                println!("{n}");
-            }
-        }
-        Outcome::Aspect(a) => println!("{a}"),
-        Outcome::Lint { rendered, .. } => println!("{rendered}"),
-    }
 }

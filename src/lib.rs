@@ -24,6 +24,7 @@
 //! | [`lang`] | surface syntax: lexer, parser, command evaluator |
 //! | [`rel`] | relational view + closed-world baseline (paper §3.5.2) |
 //! | [`store`] | operation-log persistence in the surface syntax |
+//! | [`server`] | multi-tenant TCP/HTTP front: surface syntax as wire protocol |
 //! | [`analyze`] | static schema/KB lint: incoherence, cycles, rule analysis |
 //! | [`obs`] | tracing spans, metrics registry, flight recorder, exposition |
 //!
@@ -60,6 +61,7 @@ pub use classic_lang as lang;
 pub use classic_obs as obs;
 pub use classic_query as query;
 pub use classic_rel as rel;
+pub use classic_server as server;
 pub use classic_store as store;
 
 // Flat re-exports of the types almost every user touches.
@@ -67,6 +69,6 @@ pub use classic_core::{
     Clash, ClassicError, Concept, HostValue, IndRef, Layer, NormalForm, Result,
 };
 pub use classic_kb::{AssertReport, IndId, Kb};
-pub use classic_query::{
-    ask_description, ask_necessary_set, possible, retrieve, Answer, MarkedQuery, Query,
-};
+#[allow(deprecated)]
+pub use classic_query::{ask_description, ask_necessary_set, possible, retrieve};
+pub use classic_query::{Answer, MarkedQuery, Query};

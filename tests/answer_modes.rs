@@ -4,9 +4,39 @@
 //! (descriptive) answers that "necessarily hold of all possible answers".
 
 use classic::lang::run_script;
-use classic::{
-    ask_description, ask_necessary_set, possible, retrieve, Concept, IndRef, Kb, MarkedQuery,
-};
+use classic::{Concept, IndId, IndRef, Kb, MarkedQuery, NormalForm, Query};
+
+// Local builder-backed shims with the shape of the retired PR-1 free
+// functions, so the assertions below read exactly like §3.5.3.
+fn retrieve(kb: &mut Kb, q: &Concept) -> classic::Result<classic::query::Answers> {
+    Ok(Query::concept(q.clone())
+        .run(kb)?
+        .into_known()
+        .expect("known mode"))
+}
+
+fn possible(kb: &mut Kb, q: &Concept) -> classic::Result<Vec<IndId>> {
+    Ok(Query::concept(q.clone())
+        .possible()
+        .run(kb)?
+        .into_possible()
+        .expect("possible mode"))
+}
+
+fn ask_necessary_set(kb: &mut Kb, q: &MarkedQuery) -> classic::Result<Vec<IndRef>> {
+    Ok(Query::marked(q.clone())
+        .run(kb)?
+        .into_necessary_set()
+        .expect("necessary-set mode"))
+}
+
+fn ask_description(kb: &mut Kb, q: &MarkedQuery) -> classic::Result<NormalForm> {
+    Ok(Query::marked(q.clone())
+        .description()
+        .run(kb)?
+        .into_description()
+        .expect("description mode"))
+}
 
 fn cars_kb() -> Kb {
     let mut kb = Kb::new();

@@ -5,7 +5,7 @@
 use classic::lang::{run_script, Outcome};
 use classic::rel::{export_kb, Atom, ConjunctiveQuery, Term, Value};
 use classic::store::{replay, roundtrip, same_state, snapshot_to_string};
-use classic::{retrieve, Concept, Kb, MarkedQuery};
+use classic::{Concept, Kb, MarkedQuery, Query};
 
 /// Build the paper's worked universe through the surface syntax alone.
 fn build_kb() -> Kb {
@@ -105,8 +105,18 @@ fn open_world_answers_diverge_from_closed_world() {
     let person = kb.schema().symbols.find_concept("PERSON").expect("c");
     let enrolled = kb.schema().symbols.find_role("enrolled-at").expect("r");
     let q = Concept::and([Concept::Name(person), Concept::AtLeast(1, enrolled)]);
-    let known = retrieve(&mut kb, &q).expect("query").known;
-    let possible = classic::possible(&mut kb, &q).expect("query");
+    let known = Query::concept(q.clone())
+        .run(&mut kb)
+        .expect("query")
+        .into_known()
+        .expect("known mode")
+        .known;
+    let possible = Query::concept(q.clone())
+        .possible()
+        .run(&mut kb)
+        .expect("query")
+        .into_possible()
+        .expect("possible mode");
     assert_eq!(known.len(), 1);
     assert!(possible.len() > known.len());
     // Closed world on the export: the same question yields only Rocky too
@@ -135,10 +145,19 @@ fn marked_queries_and_descriptions_work_through_the_facade() {
         concept: Concept::Name(student),
         marker: vec![eat],
     };
-    let fillers = classic::ask_necessary_set(&mut kb, &q).expect("query");
+    let fillers = Query::marked(q.clone())
+        .run(&mut kb)
+        .expect("query")
+        .into_necessary_set()
+        .expect("necessary-set mode");
     assert_eq!(fillers.len(), 1);
     // Intensional: the description includes JUNK-FOOD via the rule.
-    let desc = classic::ask_description(&mut kb, &q).expect("query");
+    let desc = Query::marked(q)
+        .description()
+        .run(&mut kb)
+        .expect("query")
+        .into_description()
+        .expect("description mode");
     let junk = kb.schema().symbols.find_concept("JUNK-FOOD").expect("c");
     let junk_nf = kb.schema().concept_nf(junk).expect("defined");
     assert!(classic::core::subsumes(junk_nf, &desc));

@@ -5,7 +5,23 @@
 //! the two halves of open-world query answering converging on the truth.
 
 use classic::lang::run_script;
-use classic::{possible, retrieve, Concept, Kb};
+use classic::{Concept, IndId, Kb, Query};
+
+// Builder-backed shims matching the retired free functions' shape.
+fn retrieve(kb: &mut Kb, q: &Concept) -> classic::Result<classic::query::Answers> {
+    Ok(Query::concept(q.clone())
+        .run(kb)?
+        .into_known()
+        .expect("known mode"))
+}
+
+fn possible(kb: &mut Kb, q: &Concept) -> classic::Result<Vec<IndId>> {
+    Ok(Query::concept(q.clone())
+        .possible()
+        .run(kb)?
+        .into_possible()
+        .expect("possible mode"))
+}
 
 /// A whodunit: which of the suspects could have committed crime-1?
 #[test]

@@ -3,8 +3,26 @@
 //! numbered claim, each quoting the paper and demonstrating the behavior
 //! through the public API.
 
-use classic::lang::{run_script, Outcome};
-use classic::{possible, retrieve, Concept, Kb, MarkedQuery};
+use classic::lang::{run_script, AspectValue, Outcome};
+use classic::{Concept, Kb, MarkedQuery, Query};
+
+fn known_of(kb: &mut Kb, q: &Concept) -> Vec<classic::IndId> {
+    Query::concept(q.clone())
+        .run(kb)
+        .expect("q")
+        .into_known()
+        .expect("known mode")
+        .known
+}
+
+fn possible_of(kb: &mut Kb, q: &Concept) -> Vec<classic::IndId> {
+    Query::concept(q.clone())
+        .possible()
+        .run(kb)
+        .expect("q")
+        .into_possible()
+        .expect("possible mode")
+}
 
 fn base_kb() -> Kb {
     let mut kb = Kb::new();
@@ -48,14 +66,14 @@ fn contribution_1_partial_structural_descriptions() {
         Concept::AtLeast(4, brother),
         Concept::all(brother, Concept::Name(doctor)),
     ]);
-    assert_eq!(retrieve(&mut kb, &q).expect("q").known.len(), 1);
+    assert_eq!(known_of(&mut kb, &q).len(), 1);
     // …and open world: Rocky may have a fifth brother (no closed world).
     let five = Concept::AtLeast(5, brother);
-    assert!(retrieve(&mut kb, &five).expect("q").known.is_empty());
+    assert!(known_of(&mut kb, &five).is_empty());
     let rocky = kb
         .ind_id(kb.schema().symbols.find_individual("Rocky").unwrap())
         .unwrap();
-    assert!(possible(&mut kb, &five).expect("q").contains(&rocky));
+    assert!(possible_of(&mut kb, &five).contains(&rocky));
 }
 
 /// §6(2): "allowing the database to actively discover a limited number of
@@ -91,7 +109,10 @@ fn contribution_2_active_discovery() {
     )
     .expect("facts");
     let out = run_script(&mut kb, "(ind-aspect Rocky CLOSE brother)").expect("q");
-    assert_eq!(out.last().unwrap(), &Outcome::Aspect("true".into()));
+    assert_eq!(
+        out.last().unwrap(),
+        &Outcome::Aspect(AspectValue::Closed(true))
+    );
     // …and rules derive new descriptors.
     run_script(
         &mut kb,
@@ -164,23 +185,24 @@ fn contribution_4_three_kinds_of_answers() {
     let student = kb.schema().symbols.find_concept("STUDENT").unwrap();
     let q = Concept::Name(student);
     // (a) known answers,
-    let known = retrieve(&mut kb, &q).expect("q").known;
+    let known = known_of(&mut kb, &q);
     assert_eq!(known.len(), 1);
     // (b) possible answers (Pat might be enrolled somewhere),
-    let poss = possible(&mut kb, &q).expect("q");
+    let poss = possible_of(&mut kb, &q);
     assert_eq!(poss.len(), 2);
     // (c) the necessary description of all possible answers at a marker —
     // including rule-derived information, with no junk-food instance
     // anywhere in the database.
     let eat = kb.schema().symbols.find_role("eat").unwrap();
-    let desc = classic::ask_description(
-        &mut kb,
-        &MarkedQuery {
-            concept: q,
-            marker: vec![eat],
-        },
-    )
-    .expect("intensional answer");
+    let desc = Query::marked(MarkedQuery {
+        concept: q,
+        marker: vec![eat],
+    })
+    .description()
+    .run(&mut kb)
+    .expect("intensional answer")
+    .into_description()
+    .expect("description mode");
     let junk = kb.schema().symbols.find_concept("JUNK-FOOD").unwrap();
     let junk_nf = kb.schema().concept_nf(junk).expect("defined");
     assert!(classic::core::subsumes(junk_nf, &desc));
