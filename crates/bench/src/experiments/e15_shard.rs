@@ -1,0 +1,179 @@
+//! E15 — the sharded propagation engine vs the sequential oracle.
+//!
+//! The paper prices propagation to fixpoint at classes × individuals
+//! (§5); PR 7 shards that fixpoint across worker threads with
+//! deterministic cross-shard messaging. E15 measures assert-fixpoint
+//! throughput on an E9-scale software KB augmented with wide ALL/rule
+//! cascades (the worst case for a sequential worklist: one assertion
+//! touches thousands of individuals), at 1, 2 and 4 propagation threads.
+//!
+//! Correctness is asserted inline, not sampled: after the measured phase,
+//! every multi-threaded KB must be `same_state` with the single-threaded
+//! oracle, and `check_invariants` must hold. The ≥2.5× speedup claim at
+//! 4 shards is asserted only when the host actually has ≥4 cores and the
+//! run is not a smoke run — on fewer cores the sharded path still runs
+//! (and must still match the oracle) but cannot be expected to win.
+//!
+//! Full run: 8 000 functions + 8 hubs × 1 500 members; smoke
+//! (`CLASSIC_BENCH_SMOKE`): 400 functions + 2 hubs × 200 members.
+
+use crate::experiments::time;
+use crate::workload::software::{build, SoftwareConfig};
+use classic_core::desc::{Concept, IndRef};
+use classic_kb::Kb;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn smoke() -> bool {
+    std::env::var_os("CLASSIC_BENCH_SMOKE").is_some()
+}
+
+struct Scale {
+    functions: usize,
+    modules: usize,
+    hubs: usize,
+    members: usize,
+}
+
+fn scale() -> Scale {
+    if smoke() {
+        Scale {
+            functions: 400,
+            modules: 16,
+            hubs: 2,
+            members: 200,
+        }
+    } else {
+        Scale {
+            functions: 8_000,
+            modules: 320,
+            hubs: 8,
+            members: 1_500,
+        }
+    }
+}
+
+/// Build the base KB, pin the engine, and run the measured cascade phase.
+/// Returns the finished KB, the cascade wall time, and the op count.
+fn run_engine(threads: usize, sc: &Scale) -> (Kb, Duration, u64) {
+    let cfg = SoftwareConfig {
+        modules: sc.modules,
+        functions: sc.functions,
+        ..SoftwareConfig::default()
+    };
+    let mut sw = build(&cfg);
+    let kb = &mut sw.kb;
+    kb.set_propagation_threads(threads);
+    // Cascade schema: a wide role, a recognition target, and a rule so
+    // every cascade does conjunction + recognition + forward chaining.
+    kb.define_role("member").expect("fresh role");
+    kb.define_concept("TRACKED", Concept::primitive(Concept::thing(), "tracked"))
+        .expect("fresh");
+    kb.define_concept("AUDITED", Concept::primitive(Concept::thing(), "audited"))
+        .expect("fresh");
+    let audited = kb.schema().symbols.find_concept("AUDITED").expect("c");
+    kb.assert_rule("TRACKED", Concept::Name(audited))
+        .expect("rule");
+    let member = kb.schema().symbols.find_role("member").expect("role");
+    let tracked = kb.schema().symbols.find_concept("TRACKED").expect("c");
+    // Hubs point at existing function individuals so the cascade crosses
+    // the whole arena, not a fresh corner of it.
+    let mut ops = 0u64;
+    let (_, elapsed) = time(|| {
+        for h in 0..sc.hubs {
+            let hub = format!("hub-{h}");
+            kb.create_ind(&hub).expect("fresh ind");
+            let fillers: Vec<IndRef> = (0..sc.members)
+                .map(|i| {
+                    let f = format!("fn-{}", (h * 613 + i * 7) % sc.functions);
+                    IndRef::Classic(kb.schema_mut().symbols.individual(&f))
+                })
+                .collect();
+            kb.assert_ind(&hub, &Concept::Fills(member, fillers))
+                .expect("coherent");
+            // The measured fixpoint: TRACKED fans out over every member,
+            // recognition re-runs, and the rule fires AUDITED on each.
+            kb.assert_ind(
+                &hub,
+                &Concept::All(member, Box::new(Concept::Name(tracked))),
+            )
+            .expect("coherent");
+            ops += 2;
+        }
+    });
+    kb.check_invariants().expect("invariants after cascade");
+    let audited_count = kb.instances_of(audited).expect("defined").len();
+    assert!(
+        audited_count > 0,
+        "cascade fired no rules — workload is broken"
+    );
+    (sw.kb, elapsed, ops)
+}
+
+pub fn run() -> String {
+    let sc = scale();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::new();
+    let _ = writeln!(out, "== E15: sharded propagation vs sequential oracle ==");
+    let _ = writeln!(
+        out,
+        "assert-to-fixpoint over {} functions, {} hubs x {} members ({} cores)",
+        sc.functions, sc.hubs, sc.members, cores
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>12} {:>9} {:>11}",
+        "threads", "cascade ms", "ms/assert", "speedup", "same_state"
+    );
+    let mut oracle: Option<Kb> = None;
+    let mut t1 = Duration::ZERO;
+    let mut speedup4 = 0.0f64;
+    for threads in [1usize, 2, 4] {
+        let (kb, elapsed, ops) = run_engine(threads, &sc);
+        let same = match &oracle {
+            None => {
+                t1 = elapsed;
+                true // threads=1 *is* the oracle
+            }
+            Some(seq) => {
+                let eq = classic_store::same_state(seq, &kb);
+                assert!(
+                    eq,
+                    "sharded engine ({threads} threads) diverged from the sequential oracle"
+                );
+                eq
+            }
+        };
+        let speedup = t1.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+        if threads == 4 {
+            speedup4 = speedup;
+        }
+        let _ = writeln!(
+            out,
+            "{:>8} {:>10.1} {:>12.2} {:>8.2}x {:>11}",
+            threads,
+            elapsed.as_secs_f64() * 1e3,
+            elapsed.as_secs_f64() * 1e3 / ops.max(1) as f64,
+            speedup,
+            if same { "yes" } else { "NO" },
+        );
+        if oracle.is_none() {
+            oracle = Some(kb);
+        }
+    }
+    if cores >= 4 && !smoke() {
+        assert!(
+            speedup4 >= 2.5,
+            "4-shard speedup {speedup4:.2}x below the 2.5x floor on a {cores}-core host"
+        );
+        let _ = writeln!(out, "asserted: 4-thread speedup {speedup4:.2}x >= 2.5x");
+    } else {
+        let _ = writeln!(
+            out,
+            "speedup floor not asserted ({} cores{}); equality with the oracle was",
+            cores,
+            if smoke() { ", smoke run" } else { "" }
+        );
+    }
+    out
+}

@@ -11,6 +11,7 @@ pub mod e11_analyze;
 pub mod e12_store;
 pub mod e13_obs_overhead;
 pub mod e14_server;
+pub mod e15_shard;
 pub mod e1_subsumption;
 pub mod e2_classification;
 pub mod e3_query;
@@ -114,6 +115,11 @@ pub fn registry() -> Vec<Experiment> {
             "e14",
             "multi-tenant server: concurrent wire-protocol latency and throughput",
             e14_server::run,
+        ),
+        (
+            "e15",
+            "sharded propagation engine: throughput vs the sequential oracle",
+            e15_shard::run,
         ),
     ]
 }

@@ -19,6 +19,7 @@ pub mod explain;
 pub mod individual;
 pub mod kb;
 mod propagate;
+mod shard;
 
 pub use aspect::ConceptPlacement;
 pub use deps::{DependencyJournal, RetractReport, Support, SupportKind};

@@ -1,0 +1,283 @@
+//! Differential tests: the sharded propagation engine against the
+//! sequential oracle.
+//!
+//! Every scenario builds two KBs with identical schemas, pins one to the
+//! sequential engine (`set_propagation_threads(1)`) and the other to the
+//! sharded engine (4 shards, with the parallel threshold forced down so
+//! even modest fixpoints exercise the epoch/barrier machinery), applies
+//! the identical operation sequence to both, and asserts the resulting
+//! *logical states* are equal: same individuals by name, same derived
+//! normal forms, same recognized concepts and most-specific frontiers,
+//! same fired rules. Step counts and arena internals may differ between
+//! engines; the state may not.
+//!
+//! These tests run under the CI ThreadSanitizer leg (`-p classic-kb`),
+//! which is what actually exercises the scoped shard workers for data
+//! races — on a single-core runner the sharded code path still runs, just
+//! with little true overlap.
+
+use classic_core::desc::{Concept, IndRef};
+use classic_kb::Kb;
+
+/// Clone-free logical-state equality, keyed by individual name.
+fn assert_same_state(seq: &Kb, shd: &Kb, context: &str) {
+    assert_eq!(
+        seq.ind_count(),
+        shd.ind_count(),
+        "{context}: individual counts differ"
+    );
+    for id in seq.ind_ids() {
+        let a = seq.ind(id);
+        let name = seq.schema().symbols.individual_name(a.name).to_owned();
+        let bname = shd
+            .schema()
+            .symbols
+            .find_individual(&name)
+            .unwrap_or_else(|| panic!("{context}: {name} missing from sharded KB"));
+        let b = shd.ind(shd.ind_id(bname).expect("created"));
+        assert_eq!(
+            a.derived, b.derived,
+            "{context}: derived differs for {name}"
+        );
+        assert_eq!(
+            a.instance_nodes, b.instance_nodes,
+            "{context}: recognition differs for {name}"
+        );
+        assert_eq!(a.msc, b.msc, "{context}: msc differs for {name}");
+        assert_eq!(
+            a.fired_rules, b.fired_rules,
+            "{context}: fired rules differ for {name}"
+        );
+        assert_eq!(a.told, b.told, "{context}: told facts differ for {name}");
+    }
+    seq.check_invariants().expect("sequential invariants");
+    shd.check_invariants().expect("sharded invariants");
+}
+
+/// A pair of KBs built by the same schema closure, one per engine.
+fn engine_pair(schema: impl Fn(&mut Kb)) -> (Kb, Kb) {
+    let mut seq = Kb::new();
+    seq.set_propagation_threads(1);
+    schema(&mut seq);
+    let mut shd = Kb::new();
+    shd.set_propagation_threads(4);
+    shd.set_propagation_min_batch(2);
+    schema(&mut shd);
+    (seq, shd)
+}
+
+fn wide_schema(kb: &mut Kb) {
+    kb.define_role("member").unwrap();
+    kb.define_role("backup").unwrap();
+    kb.define_concept("TRACKED", Concept::primitive(Concept::thing(), "tracked"))
+        .unwrap();
+    let member = kb.schema().symbols.find_role("member").unwrap();
+    kb.define_concept("HUB", Concept::AtLeast(3, member))
+        .unwrap();
+}
+
+#[test]
+fn wide_all_cascade_matches_sequential() {
+    let (mut seq, mut shd) = engine_pair(wide_schema);
+    for kb in [&mut seq, &mut shd] {
+        let member = kb.schema().symbols.find_role("member").unwrap();
+        let tracked = kb.schema().symbols.find_concept("TRACKED").unwrap();
+        kb.create_ind("Hub").unwrap();
+        // 120 fillers so the worklist goes wide across the arena.
+        let fillers: Vec<IndRef> = (0..120)
+            .map(|i| IndRef::Classic(kb.schema_mut().symbols.individual(&format!("m{i}"))))
+            .collect();
+        kb.assert_ind("Hub", &Concept::Fills(member, fillers))
+            .unwrap();
+        // The ALL restriction now propagates TRACKED onto all 120.
+        kb.assert_ind(
+            "Hub",
+            &Concept::All(member, Box::new(Concept::Name(tracked))),
+        )
+        .unwrap();
+    }
+    assert_same_state(&seq, &shd, "wide ALL cascade");
+    let tracked = seq.schema().symbols.find_concept("TRACKED").unwrap();
+    assert_eq!(seq.instances_of(tracked).unwrap().len(), 120);
+}
+
+#[test]
+fn rule_cascade_matches_sequential() {
+    let (mut seq, mut shd) = engine_pair(|kb| {
+        wide_schema(kb);
+        kb.define_concept("VIP", Concept::primitive(Concept::thing(), "vip"))
+            .unwrap();
+        let vip = kb.schema().symbols.find_concept("VIP").unwrap();
+        // Every TRACKED individual becomes a VIP via forward chaining.
+        kb.assert_rule("TRACKED", Concept::Name(vip)).unwrap();
+    });
+    for kb in [&mut seq, &mut shd] {
+        let member = kb.schema().symbols.find_role("member").unwrap();
+        let tracked = kb.schema().symbols.find_concept("TRACKED").unwrap();
+        kb.create_ind("Hub").unwrap();
+        let fillers: Vec<IndRef> = (0..80)
+            .map(|i| IndRef::Classic(kb.schema_mut().symbols.individual(&format!("w{i}"))))
+            .collect();
+        kb.assert_ind("Hub", &Concept::Fills(member, fillers))
+            .unwrap();
+        kb.assert_ind(
+            "Hub",
+            &Concept::All(member, Box::new(Concept::Name(tracked))),
+        )
+        .unwrap();
+    }
+    assert_same_state(&seq, &shd, "rule cascade");
+    let vip = seq.schema().symbols.find_concept("VIP").unwrap();
+    assert_eq!(seq.instances_of(vip).unwrap().len(), 80);
+}
+
+#[test]
+fn same_as_derivations_match_sequential() {
+    let (mut seq, mut shd) = engine_pair(|kb| {
+        kb.define_attribute("owner").unwrap();
+        kb.define_attribute("driver").unwrap();
+        kb.define_role("member").unwrap();
+    });
+    for kb in [&mut seq, &mut shd] {
+        let owner = kb.schema().symbols.find_role("owner").unwrap();
+        let driver = kb.schema().symbols.find_role("driver").unwrap();
+        let member = kb.schema().symbols.find_role("member").unwrap();
+        // Widen the worklist with unrelated individuals so the SAME-AS
+        // epoch itself crosses the parallel threshold.
+        kb.create_ind("Pad").unwrap();
+        let pad: Vec<IndRef> = (0..40)
+            .map(|i| IndRef::Classic(kb.schema_mut().symbols.individual(&format!("p{i}"))))
+            .collect();
+        kb.assert_ind("Pad", &Concept::Fills(member, pad)).unwrap();
+        for i in 0..20 {
+            let name = format!("car{i}");
+            kb.create_ind(&name).unwrap();
+            let olga = kb.schema_mut().symbols.individual(&format!("olga{i}"));
+            kb.assert_ind(&name, &Concept::Fills(owner, vec![IndRef::Classic(olga)]))
+                .unwrap();
+            // SAME-AS((owner)(driver)): the driver must be the owner.
+            kb.assert_ind(&name, &Concept::SameAs(vec![owner], vec![driver]))
+                .unwrap();
+        }
+    }
+    assert_same_state(&seq, &shd, "SAME-AS derivation");
+    // Spot-check the derivation actually happened.
+    let driver = seq.schema().symbols.find_role("driver").unwrap();
+    let car0 = seq
+        .ind_id(seq.schema().symbols.find_individual("car0").unwrap())
+        .unwrap();
+    assert_eq!(seq.ind(car0).fillers(driver).len(), 1);
+}
+
+#[test]
+fn rejected_updates_roll_back_identically() {
+    let (mut seq, mut shd) = engine_pair(|kb| {
+        wide_schema(kb);
+        kb.define_concept("LONER", Concept::primitive(Concept::thing(), "loner"))
+            .unwrap();
+    });
+    for kb in [&mut seq, &mut shd] {
+        let member = kb.schema().symbols.find_role("member").unwrap();
+        kb.create_ind("Hub").unwrap();
+        let fillers: Vec<IndRef> = (0..50)
+            .map(|i| IndRef::Classic(kb.schema_mut().symbols.individual(&format!("x{i}"))))
+            .collect();
+        kb.assert_ind("Hub", &Concept::Fills(member, fillers))
+            .unwrap();
+        // x0 already needs ≥2 members, so the ALL cascade below — which
+        // pushes (AT-MOST 1 member) onto every filler — must clash on it
+        // partway through a wide epoch and roll the whole update back.
+        kb.assert_ind("x0", &Concept::AtLeast(2, member)).unwrap();
+        let err = kb.assert_ind(
+            "Hub",
+            &Concept::All(member, Box::new(Concept::AtMost(1, member))),
+        );
+        assert!(err.is_err(), "cascade onto x0 must clash");
+    }
+    assert_same_state(&seq, &shd, "rejected update rollback");
+}
+
+#[test]
+fn retraction_rederivation_matches_sequential() {
+    let (mut seq, mut shd) = engine_pair(wide_schema);
+    for kb in [&mut seq, &mut shd] {
+        let member = kb.schema().symbols.find_role("member").unwrap();
+        let tracked = kb.schema().symbols.find_concept("TRACKED").unwrap();
+        kb.create_ind("Hub").unwrap();
+        let fillers: Vec<IndRef> = (0..60)
+            .map(|i| IndRef::Classic(kb.schema_mut().symbols.individual(&format!("r{i}"))))
+            .collect();
+        kb.assert_ind("Hub", &Concept::Fills(member, fillers))
+            .unwrap();
+        let all = Concept::All(member, Box::new(Concept::Name(tracked)));
+        kb.assert_ind("Hub", &all).unwrap();
+        // Retract the ALL: every filler loses TRACKED via re-derivation,
+        // which seeds the widest worklist in the engine.
+        kb.retract_ind("Hub", &all).unwrap();
+    }
+    assert_same_state(&seq, &shd, "retraction re-derivation");
+    let tracked = seq.schema().symbols.find_concept("TRACKED").unwrap();
+    assert_eq!(seq.instances_of(tracked).unwrap().len(), 0);
+}
+
+#[test]
+fn sharded_runs_are_deterministic_across_repeats() {
+    let build = || {
+        let mut kb = Kb::new();
+        kb.set_propagation_threads(4);
+        kb.set_propagation_min_batch(2);
+        wide_schema(&mut kb);
+        let member = kb.schema().symbols.find_role("member").unwrap();
+        let tracked = kb.schema().symbols.find_concept("TRACKED").unwrap();
+        kb.create_ind("Hub").unwrap();
+        let fillers: Vec<IndRef> = (0..100)
+            .map(|i| IndRef::Classic(kb.schema_mut().symbols.individual(&format!("d{i}"))))
+            .collect();
+        kb.assert_ind("Hub", &Concept::Fills(member, fillers))
+            .unwrap();
+        kb.assert_ind(
+            "Hub",
+            &Concept::All(member, Box::new(Concept::Name(tracked))),
+        )
+        .unwrap();
+        kb
+    };
+    let first = build();
+    for round in 0..3 {
+        let again = build();
+        // Determinism is stronger than logical equality: the arena
+        // creation order must match run to run, because effects apply in
+        // canonical drain order, never scheduling order.
+        let names_first: Vec<String> = first
+            .ind_ids()
+            .map(|i| {
+                first
+                    .schema()
+                    .symbols
+                    .individual_name(first.ind(i).name)
+                    .to_owned()
+            })
+            .collect();
+        let names_again: Vec<String> = again
+            .ind_ids()
+            .map(|i| {
+                again
+                    .schema()
+                    .symbols
+                    .individual_name(again.ind(i).name)
+                    .to_owned()
+            })
+            .collect();
+        assert_eq!(
+            names_first, names_again,
+            "arena order varied on round {round}"
+        );
+        assert_same_state(&first, &again, "repeat determinism");
+    }
+}
+
+#[test]
+fn auto_thread_default_resolves_positive() {
+    let kb = Kb::new();
+    assert!(kb.propagation_threads() >= 1);
+}

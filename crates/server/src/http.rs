@@ -26,8 +26,11 @@ use classic_obs::json_string;
 use crate::server::Shared;
 use crate::tenant::TenantStats;
 
-/// Cap on request size (start line + headers + body): 1 MiB.
+/// Cap on the request head (start line + headers): 1 MiB.
 const MAX_REQUEST: usize = 1 << 20;
+
+/// Cap on the declared request body: 16 MiB, answered with 413 beyond.
+const MAX_BODY: usize = 16 << 20;
 
 /// Serve one HTTP request whose first bytes are already in `buf`.
 pub fn serve_http(
@@ -39,10 +42,10 @@ pub fn serve_http(
     let req = match read_request(&mut stream, &mut buf, shared) {
         Ok(Some(r)) => r,
         Ok(None) => return Ok(()), // peer went away mid-request
-        Err(msg) => {
+        Err((status, msg)) => {
             return respond(
                 &mut stream,
-                400,
+                status,
                 "text/plain; charset=utf-8",
                 &format!("{msg}\n"),
             )
@@ -106,12 +109,14 @@ impl Request {
 }
 
 /// Read the rest of the request (headers were possibly split across
-/// reads). `Ok(None)` = connection closed early; `Err` = malformed.
+/// reads). `Ok(None)` = connection closed early; `Err` = malformed or
+/// over-limit, as an HTTP `(status, message)` pair.
 fn read_request(
     stream: &mut TcpStream,
     buf: &mut Vec<u8>,
     shared: &Arc<Shared>,
-) -> Result<Option<Request>, String> {
+) -> Result<Option<Request>, (u16, String)> {
+    let bad = |msg: &str| (400, msg.to_owned());
     let mut tmp = [0u8; 4096];
     let header_end = loop {
         if let Some(ix) = find(buf, b"\r\n\r\n") {
@@ -121,7 +126,7 @@ fn read_request(
             break ix + 2;
         }
         if buf.len() > MAX_REQUEST {
-            return Err("request too large".to_owned());
+            return Err((431, "request headers too large".to_owned()));
         }
         match stream.read(&mut tmp) {
             Ok(0) => return Ok(None),
@@ -131,33 +136,46 @@ fn read_request(
                     return Ok(None);
                 }
             }
-            Err(e) => return Err(format!("read error: {e}")),
+            Err(e) => return Err(bad(&format!("read error: {e}"))),
         }
     };
 
     let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
     let mut lines = head.lines();
-    let start = lines.next().ok_or("empty request")?;
+    let start = lines.next().ok_or_else(|| bad("empty request"))?;
     let mut parts = start.split_whitespace();
-    let method = parts.next().ok_or("missing method")?.to_owned();
-    let target = parts.next().ok_or("missing request target")?;
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("missing method"))?
+        .to_owned();
+    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_owned(), q.to_owned()),
         None => (target.to_owned(), String::new()),
     };
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     for line in lines {
         if let Some((k, v)) = line.split_once(':') {
             if k.trim().eq_ignore_ascii_case("content-length") {
-                content_length = v
-                    .trim()
-                    .parse()
-                    .map_err(|_| "bad content-length".to_owned())?;
+                content_length = Some(v.trim().parse().map_err(|_| bad("bad content-length"))?);
             }
         }
     }
-    if content_length > MAX_REQUEST {
-        return Err("request too large".to_owned());
+    let content_length = match content_length {
+        Some(n) => n,
+        // A POST body with no declared length cannot be framed under
+        // `Connection: close`-only HTTP; say so instead of hanging
+        // until the read times out or misparsing the stream.
+        None if method == "POST" => {
+            return Err((411, "POST requires a Content-Length header".to_owned()))
+        }
+        None => 0,
+    };
+    if content_length > MAX_BODY {
+        return Err((
+            413,
+            format!("body of {content_length} bytes exceeds the {MAX_BODY}-byte limit"),
+        ));
     }
 
     while buf.len() < header_end + content_length {
@@ -169,7 +187,7 @@ fn read_request(
                     return Ok(None);
                 }
             }
-            Err(e) => return Err(format!("read error: {e}")),
+            Err(e) => return Err(bad(&format!("read error: {e}"))),
         }
     }
     let body = String::from_utf8_lossy(&buf[header_end..header_end + content_length]).into_owned();
@@ -235,6 +253,9 @@ fn respond(
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
         _ => "Internal Server Error",
     };
     let head = format!(

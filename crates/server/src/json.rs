@@ -7,6 +7,11 @@
 //! a strict subset parser: UTF-8 text, no comments, no trailing commas,
 //! numbers as `f64` (every number the server emits is a count that fits
 //! exactly).
+//!
+//! Panic-safety audit: this module contains no `unwrap`/`expect`
+//! reachable from wire input — every parse failure is an `Err` with an
+//! offset, invalid `\u` escapes degrade to U+FFFD, and the remaining
+//! unwraps live under `#[cfg(test)]`.
 
 use std::collections::BTreeMap;
 use std::fmt;

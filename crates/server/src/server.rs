@@ -122,9 +122,18 @@ impl Shared {
     }
 
     /// Look up a tenant, opening (and creating on disk) on first use.
+    ///
+    /// Poisoning recovery: the table's critical sections only read the
+    /// map or insert a fully-constructed `Arc<Tenant>`, so a panic
+    /// elsewhere on a thread holding this lock cannot leave the map
+    /// itself torn — recovering the guard is sound, and keeps one
+    /// crashed request from taking every tenant down with it.
     pub fn tenant(&self, name: &str) -> Result<Arc<Tenant>> {
         validate_tenant_name(name)?;
-        let mut map = self.tenants.lock().expect("tenant table poisoned");
+        let mut map = self
+            .tenants
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(t) = map.get(name) {
             return Ok(Arc::clone(t));
         }
@@ -133,15 +142,21 @@ impl Shared {
         Ok(tenant)
     }
 
-    /// Stats for every open tenant, sorted by name.
+    /// Stats for every open tenant, sorted by name. A tenant whose
+    /// primary lock is poisoned is skipped here (it also rejects every
+    /// command with a descriptive error, so its brokenness is visible on
+    /// the eval path, not silently absorbed).
     pub fn all_stats(&self) -> Vec<TenantStats> {
         let tenants: Vec<Arc<Tenant>> = {
-            let map = self.tenants.lock().expect("tenant table poisoned");
+            let map = self
+                .tenants
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             map.values().cloned().collect()
         };
         // Collect outside the table lock: stats() takes each tenant's
         // primary lock and may wait behind a writer.
-        let mut stats: Vec<TenantStats> = tenants.iter().map(|t| t.stats()).collect();
+        let mut stats: Vec<TenantStats> = tenants.iter().filter_map(|t| t.stats().ok()).collect();
         stats.sort_by(|a, b| a.name.cmp(&b.name));
         stats
     }
@@ -289,7 +304,10 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle> {
 fn worker_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, shared: Arc<Shared>) {
     loop {
         let stream = {
-            let guard = rx.lock().expect("connection queue poisoned");
+            // The queue's critical section is a single `recv_timeout`;
+            // a panicking sibling cannot leave the receiver mid-update,
+            // so recover the guard rather than cascade worker deaths.
+            let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             match guard.recv_timeout(POLL) {
                 Ok(s) => s,
                 Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
@@ -348,7 +366,22 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Res
     };
     loop {
         // Drain every complete form currently buffered.
-        while let Some((form, end)) = next_form(&buf) {
+        loop {
+            let (form, end) = match next_form(&buf) {
+                Ok(Some(next)) => next,
+                Ok(None) => break,
+                Err(violation) => {
+                    // No way to resync the stream past a hostile frame:
+                    // answer once and close.
+                    shared.metrics.errors.bump();
+                    let line = format!(
+                        "{{\"ok\":false,\"error\":{}}}\n",
+                        classic_obs::json_string(violation)
+                    );
+                    let _ = stream.write_all(line.as_bytes());
+                    return Ok(());
+                }
+            };
             let started = Instant::now();
             let (reply, control) = session.handle_form(&form);
             shared
@@ -382,6 +415,19 @@ pub(crate) fn timed_out(e: &std::io::Error) -> bool {
     )
 }
 
+/// Deepest paren nesting the framing layer will buffer. The surface
+/// parser is recursive descent, so unbounded nesting straight off the
+/// wire would overflow the worker's stack — and a stack overflow is an
+/// abort of the whole process, not a catchable panic. 512 is orders of
+/// magnitude beyond any legitimate form.
+const MAX_FORM_DEPTH: usize = 512;
+
+/// Largest single frame (a form, or an unterminated string/comment/
+/// whitespace run still waiting for its end) buffered before the
+/// connection is rejected, so one client cannot OOM the server by
+/// never closing a paren: 16 MiB.
+const MAX_FORM_BYTES: usize = 16 << 20;
+
 /// Extract the next complete top-level form from `buf`, if any.
 ///
 /// Skips leading whitespace and `;` comments. A form is either a
@@ -389,8 +435,16 @@ pub(crate) fn timed_out(e: &std::io::Error) -> bool {
 /// counting) or, for anything else at top level, a run up to the next
 /// newline — handed to the parser verbatim so the client gets a real
 /// parse error instead of a hung connection. Returns the form text and
-/// the buffer offset one past its end.
-fn next_form(buf: &[u8]) -> Option<(String, usize)> {
+/// the buffer offset one past its end; `Ok(None)` means the frame is
+/// still incomplete. `Err` is a fatal framing violation (nesting past
+/// [`MAX_FORM_DEPTH`], or [`MAX_FORM_BYTES`] buffered without a
+/// complete frame) — the connection cannot be resynced and must close.
+fn next_form(buf: &[u8]) -> std::result::Result<Option<(String, usize)>, &'static str> {
+    let incomplete = if buf.len() > MAX_FORM_BYTES {
+        Err("frame exceeds the 16 MiB limit without completing a form")
+    } else {
+        Ok(None)
+    };
     let mut ix = 0;
     // Skip top-level whitespace and comments.
     while ix < buf.len() {
@@ -398,20 +452,22 @@ fn next_form(buf: &[u8]) -> Option<(String, usize)> {
             b' ' | b'\t' | b'\r' | b'\n' => ix += 1,
             b';' => match buf[ix..].iter().position(|&b| b == b'\n') {
                 Some(off) => ix += off + 1,
-                None => return None, // comment still streaming in
+                None => return incomplete, // comment still streaming in
             },
             _ => break,
         }
     }
     if ix >= buf.len() {
-        return None;
+        return incomplete;
     }
     let start = ix;
     if buf[ix] != b'(' {
         // Not a form; take the line and let the parser complain.
-        let end = buf[ix..].iter().position(|&b| b == b'\n').map(|o| ix + o)?;
+        let Some(end) = buf[ix..].iter().position(|&b| b == b'\n').map(|o| ix + o) else {
+            return incomplete;
+        };
         let text = String::from_utf8_lossy(&buf[start..end]).into_owned();
-        return Some((text, end + 1));
+        return Ok(Some((text, end + 1)));
     }
     let mut depth = 0usize;
     let mut in_string = false;
@@ -435,12 +491,17 @@ fn next_form(buf: &[u8]) -> Option<(String, usize)> {
             match b {
                 b'"' => in_string = true,
                 b';' => in_comment = true,
-                b'(' => depth += 1,
+                b'(' => {
+                    depth += 1;
+                    if depth > MAX_FORM_DEPTH {
+                        return Err("form nests deeper than the 512-paren limit");
+                    }
+                }
                 b')' => {
                     depth = depth.saturating_sub(1);
                     if depth == 0 {
                         let text = String::from_utf8_lossy(&buf[start..=ix]).into_owned();
-                        return Some((text, ix + 1));
+                        return Ok(Some((text, ix + 1)));
                     }
                 }
                 _ => {}
@@ -448,7 +509,7 @@ fn next_form(buf: &[u8]) -> Option<(String, usize)> {
         }
         ix += 1;
     }
-    None // form incomplete; wait for more bytes
+    incomplete // form incomplete; wait for more bytes
 }
 
 #[cfg(test)]
@@ -458,7 +519,7 @@ mod tests {
     fn forms(input: &str) -> Vec<String> {
         let mut buf = input.as_bytes().to_vec();
         let mut out = Vec::new();
-        while let Some((form, end)) = next_form(&buf) {
+        while let Some((form, end)) = next_form(&buf).expect("well-framed input") {
             out.push(form);
             buf.drain(..end);
         }
@@ -494,6 +555,23 @@ mod tests {
         assert_eq!(
             forms("garbage here\n(ping)"),
             vec!["garbage here", "(ping)"]
+        );
+    }
+
+    #[test]
+    fn hostile_frames_are_rejected_not_buffered() {
+        // Nesting past the cap would stack-overflow the recursive parser.
+        let deep = "(".repeat(MAX_FORM_DEPTH + 1);
+        assert!(next_form(deep.as_bytes()).is_err());
+        // A frame that outgrows the byte cap without ever completing —
+        // here an unterminated string — must be rejected, not buffered.
+        let mut huge = b"(describe \"".to_vec();
+        huge.resize(MAX_FORM_BYTES + 2, b'a');
+        assert!(next_form(&huge).is_err());
+        // At the cap boundary with a complete form, everything is fine.
+        assert_eq!(
+            next_form(b"(ping)").expect("framed"),
+            Some(("(ping)".to_owned(), 6))
         );
     }
 

@@ -158,10 +158,14 @@ impl WireSession {
                 if self.sandbox.is_some() {
                     return (err("sandbox already active"), Control::Continue);
                 }
-                match self.tenant.snapshot() {
-                    Ok(snap) => {
+                match self
+                    .tenant
+                    .snapshot()
+                    .and_then(|s| s.with_kb(|kb| kb.clone()))
+                {
+                    Ok(kb) => {
                         self.sandbox = Some(Sandbox {
-                            kb: snap.with_kb(|kb| kb.clone()),
+                            kb,
                             recorded: Vec::new(),
                         });
                         (

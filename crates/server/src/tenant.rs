@@ -24,12 +24,28 @@
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use classic_core::{ClassicError, Result};
 use classic_kb::Kb;
 use classic_lang::{Command, Outcome};
 use classic_store::DurableKb;
+
+/// A poisoned tenant lock means some earlier evaluation panicked while
+/// holding it, so the guarded KB may be mid-mutation. Rather than let
+/// every subsequent request kill its worker thread via `expect`, the
+/// server answers with this error — the rest of the process (other
+/// tenants, metrics, health checks) keeps serving.
+fn poisoned(what: &str, tenant: &str) -> ClassicError {
+    ClassicError::Storage {
+        path: tenant.to_owned(),
+        generation: None,
+        detail: format!(
+            "{what} lock poisoned: a previous request panicked mid-operation; \
+             restart the server to reopen this tenant from its log"
+        ),
+    }
+}
 
 /// An immutable-by-convention copy of a tenant KB at one version.
 ///
@@ -45,15 +61,22 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Run `f` against the snapshot KB.
-    pub fn with_kb<T>(&self, f: impl FnOnce(&mut Kb) -> T) -> T {
-        let mut kb = self.kb.lock().expect("snapshot lock poisoned");
-        f(&mut kb)
+    /// Run `f` against the snapshot KB. Errs if a previous query
+    /// panicked mid-evaluation and poisoned the snapshot (a `what-if`
+    /// trial may have been left half rolled back), in which case the
+    /// snapshot is unusable — the next mutation or version check cuts a
+    /// fresh one from the primary.
+    pub fn with_kb<T>(&self, f: impl FnOnce(&mut Kb) -> T) -> Result<T> {
+        let mut kb = self
+            .kb
+            .lock()
+            .map_err(|_| poisoned("snapshot", "snapshot"))?;
+        Ok(f(&mut kb))
     }
 
     /// Evaluate a read-only command against this snapshot.
     pub fn eval(&self, cmd: &Command) -> Result<Outcome> {
-        self.with_kb(|kb| classic_lang::eval(kb, cmd))
+        self.with_kb(|kb| classic_lang::eval(kb, cmd))?
     }
 }
 
@@ -116,12 +139,24 @@ impl Tenant {
         self.version.load(Ordering::Acquire)
     }
 
+    fn lock_primary(&self) -> Result<MutexGuard<'_, DurableKb>> {
+        self.primary
+            .lock()
+            .map_err(|_| poisoned("primary store", &self.name))
+    }
+
+    fn lock_snap(&self) -> Result<MutexGuard<'_, Option<Arc<Snapshot>>>> {
+        self.snap
+            .lock()
+            .map_err(|_| poisoned("snapshot cache", &self.name))
+    }
+
     /// Evaluate one command, routing by [`Command::is_mutation`]:
     /// writes through the durable log, reads against a shared snapshot.
     pub fn execute(&self, cmd: &Command) -> Result<Outcome> {
         if cmd.is_mutation() {
             let outcome = {
-                let mut store = self.primary.lock().expect("primary lock poisoned");
+                let mut store = self.lock_primary()?;
                 let outcome = store.eval_durable(cmd)?;
                 self.version.fetch_add(1, Ordering::AcqRel);
                 outcome
@@ -130,7 +165,7 @@ impl Tenant {
             // reader that re-caches the old version loses only
             // freshness until the *next* version check, never
             // consistency (the stale snapshot is still one version).
-            self.snap.lock().expect("snap lock poisoned").take();
+            self.lock_snap()?.take();
             Ok(outcome)
         } else {
             self.snapshot()?.eval(cmd)
@@ -141,13 +176,13 @@ impl Tenant {
     /// clone from the primary iff the cache is stale or cold.
     pub fn snapshot(&self) -> Result<Arc<Snapshot>> {
         let version = self.version();
-        let mut cache = self.snap.lock().expect("snap lock poisoned");
+        let mut cache = self.lock_snap()?;
         if let Some(s) = cache.as_ref() {
             if s.version == version {
                 return Ok(Arc::clone(s));
             }
         }
-        let mut store = self.primary.lock().expect("primary lock poisoned");
+        let mut store = self.lock_primary()?;
         // Re-read under the lock: a mutation may have landed between
         // the version load above and acquiring the primary.
         let version = self.version();
@@ -162,9 +197,9 @@ impl Tenant {
 
     /// Run `f` with the primary store locked — administrative access
     /// for flush/compaction control and tests.
-    pub fn with_store<T>(&self, f: impl FnOnce(&mut DurableKb) -> T) -> T {
-        let mut store = self.primary.lock().expect("primary lock poisoned");
-        f(&mut store)
+    pub fn with_store<T>(&self, f: impl FnOnce(&mut DurableKb) -> T) -> Result<T> {
+        let mut store = self.lock_primary()?;
+        Ok(f(&mut store))
     }
 
     /// Flush the operation log to disk (used by graceful shutdown).
@@ -174,16 +209,17 @@ impl Tenant {
             // log agree, then sync the log tail.
             s.wait_for_compaction()?;
             s.flush()
-        })
+        })?
     }
 
-    /// Summarize the tenant for `/stats`.
-    pub fn stats(&self) -> TenantStats {
-        let mut store = self.primary.lock().expect("primary lock poisoned");
+    /// Summarize the tenant for `/stats`. Errs if the primary lock is
+    /// poisoned (the tenant then also rejects every command).
+    pub fn stats(&self) -> Result<TenantStats> {
+        let mut store = self.lock_primary()?;
         let generation = store.generation();
         let pending_ops = store.pending_ops();
         let kb = store.kb_mut_for_queries();
-        TenantStats {
+        Ok(TenantStats {
             name: self.name.clone(),
             version: self.version(),
             generation,
@@ -191,6 +227,6 @@ impl Tenant {
             individuals: kb.ind_count(),
             concepts: kb.schema().concept_count(),
             rules: kb.rules().len(),
-        }
+        })
     }
 }

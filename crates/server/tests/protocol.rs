@@ -280,7 +280,10 @@ fn snapshots_pin_generation_across_compaction() {
     let gen_before = pinned.generation;
 
     // Writer side: compact (generation bump) plus a new individual.
-    tenant.with_store(|s| s.compact()).expect("compaction");
+    tenant
+        .with_store(|s| s.compact())
+        .expect("store lock")
+        .expect("compaction");
     run("(create-ind Bob) (assert-ind Bob PERSON)");
 
     let fresh = tenant.snapshot().expect("fresh snapshot");
@@ -306,7 +309,7 @@ fn snapshots_pin_generation_across_compaction() {
     assert_eq!(known(&fresh), ["Bob", "Mary"]);
 
     // Stats reflect the post-compaction, post-write state.
-    let stats = tenant.stats();
+    let stats = tenant.stats().expect("stats");
     assert_eq!(stats.generation, fresh.generation);
     assert_eq!(stats.individuals, 2);
 
@@ -484,4 +487,167 @@ fn acknowledged_writes_survive_restart() {
         assert_eq!(result_type(&r), "description");
         handle.shutdown().expect("clean shutdown");
     }
+}
+
+/// Send raw bytes as one HTTP request and return (status, payload).
+/// Unlike [`http`], nothing is added or fixed up — for requests that
+/// are deliberately malformed.
+fn http_raw(handle: &ServerHandle, request: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream.write_all(request).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+/// The line-protocol framer against adversarial input: escaped quotes
+/// hiding parens, comments containing parens, and a form dribbled in
+/// byte by byte must each produce exactly one reply, on a connection
+/// that stays usable afterwards.
+#[test]
+fn framing_survives_adversarial_strings_and_split_writes() {
+    let dir = tmpdir("framing");
+    let handle = start(&dir);
+    let mut c = Client::connect(&handle);
+
+    // An escaped quote directly before an open paren inside a string:
+    // a framer that mishandles the escape sees an unbalanced extra "("
+    // and hangs the connection instead of replying.
+    let reply = c.send("(create-ind \"a\\\"(\")");
+    assert!(
+        reply.get("ok").is_some(),
+        "no reply to the escaped-quote form"
+    );
+
+    // Parens inside comments must not count toward balance.
+    let reply = c.send("; distracting ))) ((( comment\n(ping)");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+
+    // A form split across many TCP writes arrives intact: each byte is
+    // its own segment, and the reply comes only once it balances.
+    let form = "(define-concept SPLIT (PRIMITIVE THING split))\n";
+    {
+        let stream = c.reader.get_mut();
+        for b in form.as_bytes() {
+            stream.write_all(&[*b]).expect("send byte");
+            stream.flush().expect("flush byte");
+        }
+    }
+    let mut line = String::new();
+    c.reader.read_line(&mut line).expect("read reply");
+    let reply = Json::parse(line.trim_end()).expect("json reply");
+    assert_eq!(
+        reply.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "split-write form failed: {line:?}"
+    );
+
+    // The session is still healthy after all of the above.
+    c.ok("(ping)");
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// An unterminated string never completes a frame: the client gets no
+/// reply (the framer is waiting, not wedged), and the server keeps
+/// serving other connections.
+#[test]
+fn unterminated_string_starves_only_its_own_connection() {
+    let dir = tmpdir("unterminated");
+    let handle = start(&dir);
+
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream
+        .write_all(b"(create-ind \"never closed\n")
+        .expect("send");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(300)))
+        .expect("timeout");
+    let mut byte = [0u8; 1];
+    match stream.read(&mut byte) {
+        Ok(0) => panic!("server closed a merely-incomplete connection"),
+        Ok(_) => panic!("server replied to an incomplete form"),
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "unexpected read error: {e}"
+        ),
+    }
+
+    // Other connections are unaffected.
+    let mut c = Client::connect(&handle);
+    c.ok("(ping)");
+    drop(stream);
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// Hostile frames that can never be served — nesting past the depth cap
+/// (which would otherwise stack-overflow the recursive parser and abort
+/// the process) — get one error reply, then the connection closes. The
+/// server survives to serve the next client.
+#[test]
+fn hostile_nesting_is_rejected_with_an_error_reply() {
+    let dir = tmpdir("nesting");
+    let handle = start(&dir);
+
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream.write_all(&vec![b'('; 2_000]).expect("send parens");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reply");
+    let reply = Json::parse(line.trim_end()).expect("json reply");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(
+        reply
+            .get("error")
+            .and_then(Json::as_str)
+            .expect("error message")
+            .contains("nests deeper"),
+        "unexpected error: {line:?}"
+    );
+    // The connection closes after the reply…
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("read to eof");
+    assert!(rest.is_empty(), "data after the rejection: {rest:?}");
+    // …and the server is still alive.
+    let mut c = Client::connect(&handle);
+    c.ok("(ping)");
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// HTTP request-framing limits: a POST with no Content-Length is 411
+/// (it cannot be framed, only guessed at), a declared body over the 16
+/// MiB cap is 413, and neither kills the server.
+#[test]
+fn http_length_limits_are_enforced() {
+    let dir = tmpdir("http-limits");
+    let handle = start(&dir);
+
+    let (status, body) = http_raw(&handle, b"POST /eval HTTP/1.1\r\nHost: test\r\n\r\n(ping)");
+    assert_eq!(status, 411, "missing length must be 411, got: {body}");
+
+    let (status, body) = http_raw(
+        &handle,
+        format!(
+            "POST /eval HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+            17 << 20
+        )
+        .as_bytes(),
+    );
+    assert_eq!(status, 413, "oversized body must be 413, got: {body}");
+
+    // GET without a length is still fine, and the server still serves.
+    let (status, _) = http(&handle, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    handle.shutdown().expect("clean shutdown");
 }

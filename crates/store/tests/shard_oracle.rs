@@ -1,0 +1,142 @@
+//! Property-based differential oracle for the sharded propagation engine:
+//! on any random assertion history, a KB pinned to the sequential engine
+//! and a KB pinned to the sharded engine (4 shards, parallel threshold
+//! forced down to 2 so even small fixpoints take the epoch/barrier path)
+//! must accept/reject the exact same ops and converge to the same logical
+//! state. This lives in the store crate because `same_state` — the
+//! cross-crate logical-state comparator — and the proptest dev-dependency
+//! are both already here.
+
+use classic_core::desc::{Concept, IndRef};
+use classic_core::symbol::RoleId;
+use classic_kb::Kb;
+use classic_store::same_state;
+use proptest::prelude::*;
+
+const N_ROLES: usize = 3;
+const N_INDS: usize = 8;
+
+fn schema_kb(threads: usize) -> Kb {
+    let mut kb = Kb::new();
+    kb.set_propagation_threads(threads);
+    kb.set_propagation_min_batch(2);
+    for i in 0..N_ROLES {
+        kb.define_role(&format!("r{i}")).unwrap();
+    }
+    kb.define_concept("P0", Concept::primitive(Concept::thing(), "p0"))
+        .unwrap();
+    let p0 = Concept::Name(kb.schema().symbols.find_concept("P0").unwrap());
+    kb.define_concept(
+        "HAS-R0",
+        Concept::and([p0.clone(), Concept::AtLeast(1, RoleId::from_index(0))]),
+    )
+    .unwrap();
+    // A rule so histories exercise forward chaining through the shards.
+    kb.assert_rule("HAS-R0", Concept::AtMost(9, RoleId::from_index(1)))
+        .unwrap();
+    for i in 0..N_INDS {
+        kb.create_ind(&format!("x{i}")).unwrap();
+    }
+    kb
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Prim(usize),
+    AtLeast(usize, usize, u32),
+    AtMost(usize, usize, u32),
+    Fills(usize, usize, usize),
+    /// Wide fan-out: fill a role with several individuals at once, so the
+    /// subsequent `All` ops seed worklists broad enough to go parallel.
+    FillsMany(usize, usize, Vec<usize>),
+    All(usize, usize),
+    SameAs(usize, usize, usize),
+    Close(usize, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..N_INDS).prop_map(Op::Prim),
+        (0..N_INDS, 0..N_ROLES, 0u32..3).prop_map(|(i, r, n)| Op::AtLeast(i, r, n)),
+        (0..N_INDS, 0..N_ROLES, 1u32..4).prop_map(|(i, r, n)| Op::AtMost(i, r, n)),
+        (0..N_INDS, 0..N_ROLES, 0..N_INDS).prop_map(|(i, r, j)| Op::Fills(i, r, j)),
+        (
+            0..N_INDS,
+            0..N_ROLES,
+            proptest::collection::vec(0..N_INDS, 2..6)
+        )
+            .prop_map(|(i, r, js)| Op::FillsMany(i, r, js)),
+        (0..N_INDS, 0..N_ROLES).prop_map(|(i, r)| Op::All(i, r)),
+        (0..N_INDS, 0..N_ROLES, 0..N_ROLES).prop_map(|(i, r, s)| Op::SameAs(i, r, s)),
+        (0..N_INDS, 0..N_ROLES).prop_map(|(i, r)| Op::Close(i, r)),
+    ]
+}
+
+/// Apply one op; returns whether the KB accepted it.
+fn apply(kb: &mut Kb, op: &Op) -> bool {
+    let (name, c) = match op {
+        Op::Prim(i) => (
+            format!("x{i}"),
+            Concept::Name(kb.schema().symbols.find_concept("P0").unwrap()),
+        ),
+        Op::AtLeast(i, r, n) => (
+            format!("x{i}"),
+            Concept::AtLeast(*n, RoleId::from_index(*r)),
+        ),
+        Op::AtMost(i, r, n) => (format!("x{i}"), Concept::AtMost(*n, RoleId::from_index(*r))),
+        Op::Fills(i, r, j) => {
+            let f = IndRef::Classic(kb.schema_mut().symbols.individual(&format!("x{j}")));
+            (
+                format!("x{i}"),
+                Concept::Fills(RoleId::from_index(*r), vec![f]),
+            )
+        }
+        Op::FillsMany(i, r, js) => {
+            let fs: Vec<IndRef> = js
+                .iter()
+                .map(|j| IndRef::Classic(kb.schema_mut().symbols.individual(&format!("x{j}"))))
+                .collect();
+            (format!("x{i}"), Concept::Fills(RoleId::from_index(*r), fs))
+        }
+        Op::All(i, r) => {
+            let p0 = Concept::Name(kb.schema().symbols.find_concept("P0").unwrap());
+            (
+                format!("x{i}"),
+                Concept::All(RoleId::from_index(*r), Box::new(p0)),
+            )
+        }
+        Op::SameAs(i, r, s) => (
+            format!("x{i}"),
+            Concept::SameAs(vec![RoleId::from_index(*r)], vec![RoleId::from_index(*s)]),
+        ),
+        Op::Close(i, r) => (format!("x{i}"), Concept::Close(RoleId::from_index(*r))),
+    };
+    kb.assert_ind(&name, &c).is_ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sharded_engine_matches_sequential_on_random_histories(
+        ops in proptest::collection::vec(op_strategy(), 1..32)
+    ) {
+        let mut seq = schema_kb(1);
+        let mut shd = schema_kb(4);
+        for (ix, op) in ops.iter().enumerate() {
+            let a = apply(&mut seq, op);
+            let b = apply(&mut shd, op);
+            prop_assert_eq!(
+                a, b,
+                "op {} ({:?}) accepted by one engine, rejected by the other",
+                ix, op
+            );
+        }
+        prop_assert!(
+            same_state(&seq, &shd),
+            "engines accepted the same history but diverged in state"
+        );
+        seq.check_invariants().expect("sequential invariants");
+        shd.check_invariants().expect("sharded invariants");
+    }
+}
