@@ -1,36 +1,50 @@
 //! # classic-analyze
 //!
-//! A static diagnostic pass over a CLASSIC schema/KB — run *before* data
-//! arrives, touching the TBox and rule base but never the ABox.
+//! A diagnostic pass over a CLASSIC schema/KB, in two tiers:
 //!
+//! **TBox/rule tier** (codes A001–A008) — run *before* data arrives.
 //! CLASSIC's §5 tractability argument rests on every description having a
 //! coherent normal form, yet an unsatisfiable concept (`AT-LEAST 3 r` ∧
 //! `AT-MOST 2 r`, an empty `ONE-OF` intersection, disjoint primitives
 //! conjoined, a `SAME-AS` forcing conflicting fillers) classifies below
 //! everything and only surfaces later as confusing propagation errors at
-//! assert time. This crate finds those problems statically:
+//! assert time. This tier finds those statically: incoherent definitions
+//! (with an explain-style derivation of *which conjunct*), definition
+//! cycles, dead/shadowed/entailed/retired-twin rules, and redundant
+//! conjuncts.
 //!
-//! * **incoherence** — defined concepts whose normal form is ⊥, with an
-//!   explain-style derivation of *which conjunct* made them so;
-//! * **definition cycles** — recursive definitions over named concepts
-//!   (forbidden by the paper; the normalizer rejects them at definition
-//!   time, this pass re-checks stored schemas defensively);
-//! * **rule analysis** — dead rules (antecedent incoherent), shadowed
-//!   rules, rules whose consequent the antecedent already entails, and
-//!   live rules duplicating a retired one;
-//! * **redundancy** — told conjuncts absorbed by a stronger sibling.
+//! **ABox tier** (codes A009–A014) — run over the individuals. A
+//! committed ABox is coherent by construction, so this tier surfaces what
+//! structural reasoning *admits* but authors should know about:
+//! obligations running out of `ONE-OF` candidates, roles one filler from
+//! their `AT-MOST` bound, `SAME-AS`/`ONE-OF` combinations where the
+//! paper's structural subsumption is known-incomplete, rules inert on the
+//! current ABox, orphan individuals, and epistemic `CLOSE`s resting on
+//! derived fillers.
 //!
-//! Diagnostics are structured ([`Diagnostic`]) and surfaced three ways:
+//! Analysis is **incremental**: [`AnalysisState`] keeps per-entity
+//! diagnostic caches and re-lints only the dirty cone of each mutation
+//! ([`classic_kb::Kb::analysis_cone`]); [`analyze`] is the same machine
+//! primed from empty, which is what keeps the two in exact agreement.
+//!
+//! Diagnostics are structured ([`Diagnostic`]) and surfaced four ways:
 //! [`KbAnalyze::analyze`] for embedders, the `lint-kb` surface-language
-//! command in `classic-lang`, and the `classic-analyze` CLI binary with
-//! `--deny warnings`-style exit codes for CI.
+//! command in `classic-lang`, the `classic-analyze` CLI binary (text or
+//! `--json` lines) with `--deny warnings`-style exit codes for CI, and
+//! `classic-server`'s per-tenant `(lint-kb)` / `GET /lint` /
+//! lint-on-write surfaces.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod abox;
 mod checks;
+mod incremental;
+
+pub use incremental::{AnalysisState, Refresh};
 
 use classic_kb::Kb;
+use classic_obs::json_string;
 use std::fmt;
 
 /// How serious a diagnostic is. Ordered: `Info < Warning < Error`.
@@ -45,17 +59,37 @@ pub enum Severity {
     Error,
 }
 
-impl fmt::Display for Severity {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl Severity {
+    /// The canonical lowercase name — the single source of truth for how
+    /// severities are spelled across the CLI, REPL, and wire surfaces.
+    pub fn as_str(self) -> &'static str {
         match self {
-            Severity::Info => write!(f, "info"),
-            Severity::Warning => write!(f, "warning"),
-            Severity::Error => write!(f, "error"),
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parse a `--deny` threshold as the CLI spells it (`warnings`,
+    /// `errors`; singular accepted). The inverse of [`Severity::as_str`]
+    /// up to pluralization.
+    pub fn parse_deny(s: &str) -> Option<Severity> {
+        match s {
+            "warnings" | "warning" => Some(Severity::Warning),
+            "errors" | "error" => Some(Severity::Error),
+            _ => None,
         }
     }
 }
 
-/// Stable diagnostic codes (see DESIGN.md §4.10 for the full table).
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable diagnostic codes (see DESIGN.md §4.10 and §4.15 for the full
+/// tables).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Code {
     /// `A001`: a defined concept's normal form is ⊥.
@@ -77,10 +111,28 @@ pub enum Code {
     RetiredTwin,
     /// `A008`: a told conjunct is absorbed by its siblings.
     RedundantConjunct,
+    /// `A009`: an individual's `AT-LEAST` obligation on a `ONE-OF`
+    /// restricted role has too few viable candidates left.
+    UnsatisfiableObligation,
+    /// `A010`: a still-open role is one filler from its `AT-MOST` bound
+    /// (the next `FILLS` closes it).
+    NearBound,
+    /// `A011`: `SAME-AS` meets `ONE-OF` — structural subsumption is
+    /// known-incomplete for the combination.
+    IncompleteReasoning,
+    /// `A012`: a live, satisfiable rule no current individual is
+    /// compatible with — inert on this ABox.
+    InertRule,
+    /// `A013`: an individual with told assertions recognized only under
+    /// THING.
+    OrphanIndividual,
+    /// `A014`: a told `CLOSE` whose closure rests on derived (retractable)
+    /// fillers.
+    StaleClose,
 }
 
 impl Code {
-    /// The stable `A00x` code string.
+    /// The stable `A0xx` code string.
     pub fn as_str(self) -> &'static str {
         match self {
             Code::IncoherentConcept => "A001",
@@ -91,6 +143,12 @@ impl Code {
             Code::EntailedConsequent => "A006",
             Code::RetiredTwin => "A007",
             Code::RedundantConjunct => "A008",
+            Code::UnsatisfiableObligation => "A009",
+            Code::NearBound => "A010",
+            Code::IncompleteReasoning => "A011",
+            Code::InertRule => "A012",
+            Code::OrphanIndividual => "A013",
+            Code::StaleClose => "A014",
         }
     }
 
@@ -105,6 +163,12 @@ impl Code {
             Code::EntailedConsequent => "entailed-consequent",
             Code::RetiredTwin => "retired-twin",
             Code::RedundantConjunct => "redundant-conjunct",
+            Code::UnsatisfiableObligation => "unsatisfiable-obligation",
+            Code::NearBound => "near-bound",
+            Code::IncompleteReasoning => "incomplete-reasoning",
+            Code::InertRule => "inert-rule",
+            Code::OrphanIndividual => "orphan-individual",
+            Code::StaleClose => "stale-close",
         }
     }
 
@@ -116,8 +180,12 @@ impl Code {
             | Code::DeadRule
             | Code::ShadowedRule
             | Code::EntailedConsequent
-            | Code::RedundantConjunct => Severity::Warning,
-            Code::RetiredTwin => Severity::Info,
+            | Code::RedundantConjunct
+            | Code::UnsatisfiableObligation
+            | Code::IncompleteReasoning
+            | Code::InertRule
+            | Code::StaleClose => Severity::Warning,
+            Code::RetiredTwin | Code::NearBound | Code::OrphanIndividual => Severity::Info,
         }
     }
 }
@@ -143,8 +211,29 @@ pub enum Span {
         /// The antecedent concept's name.
         antecedent: String,
     },
+    /// An individual, by name.
+    Individual(String),
     /// The schema as a whole.
     Schema,
+}
+
+impl Span {
+    /// Render the span as a JSON object (strict-parser compatible).
+    pub fn render_json(&self) -> String {
+        match self {
+            Span::Concept(name) => {
+                format!("{{\"kind\":\"concept\",\"name\":{}}}", json_string(name))
+            }
+            Span::Rule { index, antecedent } => format!(
+                "{{\"kind\":\"rule\",\"index\":{index},\"antecedent\":{}}}",
+                json_string(antecedent)
+            ),
+            Span::Individual(name) => {
+                format!("{{\"kind\":\"individual\",\"name\":{}}}", json_string(name))
+            }
+            Span::Schema => "{\"kind\":\"schema\"}".to_owned(),
+        }
+    }
 }
 
 impl fmt::Display for Span {
@@ -154,6 +243,7 @@ impl fmt::Display for Span {
             Span::Rule { index, antecedent } => {
                 write!(f, "rule #{index} (on {antecedent})")
             }
+            Span::Individual(name) => write!(f, "individual {name}"),
             Span::Schema => write!(f, "schema"),
         }
     }
@@ -190,6 +280,21 @@ impl Diagnostic {
         self.provenance = provenance;
         self
     }
+
+    /// Render the diagnostic as one JSON object (the CLI's `--json` line
+    /// format; parseable by `classic-server`'s strict JSON parser).
+    pub fn render_json(&self) -> String {
+        let prov: Vec<String> = self.provenance.iter().map(|p| json_string(p)).collect();
+        format!(
+            "{{\"code\":{},\"slug\":{},\"severity\":{},\"span\":{},\"message\":{},\"provenance\":[{}]}}",
+            json_string(self.code.as_str()),
+            json_string(self.code.slug()),
+            json_string(self.severity.as_str()),
+            self.span.render_json(),
+            json_string(&self.message),
+            prov.join(",")
+        )
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -206,15 +311,27 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// The canonical report order: severity descending, then code ascending;
+/// the sort is stable, so diagnostics of one code keep entity order.
+pub(crate) fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.code.as_str().cmp(b.code.as_str()))
+    });
+}
+
 /// The result of one analysis pass.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Report {
-    /// Findings, ordered by span then code.
+    /// Findings, ordered by severity then code.
     pub diagnostics: Vec<Diagnostic>,
     /// How many defined concepts were checked.
     pub concepts_checked: usize,
     /// How many rules (live and retired) were checked.
     pub rules_checked: usize,
+    /// How many individuals were checked by the ABox tier.
+    pub inds_checked: usize,
 }
 
 impl Report {
@@ -233,7 +350,8 @@ impl Report {
 
     /// Does the report pass under a deny threshold? `deny = Error` fails
     /// only on errors; `deny = Warning` fails on warnings too (the CLI's
-    /// `--deny warnings`).
+    /// `--deny warnings`). Purely severity-based: an ABox warning (A009+)
+    /// fails `--deny warnings` exactly like a TBox warning.
     pub fn passes(&self, deny: Severity) -> bool {
         self.worst().is_none_or(|w| w < deny)
     }
@@ -247,40 +365,46 @@ impl Report {
             out.push('\n');
         }
         out.push_str(&format!(
-            "{} error(s), {} warning(s), {} note(s); {} concept(s), {} rule(s) checked",
+            "{} error(s), {} warning(s), {} note(s); {} concept(s), {} rule(s), {} individual(s) checked",
             self.count(Severity::Error),
             self.count(Severity::Warning),
             self.count(Severity::Info),
             self.concepts_checked,
             self.rules_checked,
+            self.inds_checked,
         ));
+        out
+    }
+
+    /// Render the report as machine-readable JSON lines: one diagnostic
+    /// object per line (no summary line). Every line parses under the
+    /// server's strict JSON parser.
+    pub fn render_json_lines(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render_json());
+            out.push('\n');
+        }
         out
     }
 }
 
-/// Run the full static pass over a knowledge base's TBox and rule base.
+/// Run the full analysis pass over a knowledge base — both tiers, from
+/// scratch. This is [`AnalysisState`] primed from empty, so the result is
+/// definitionally what incremental maintenance converges to.
 ///
 /// Takes `&mut Kb` because deriving provenance re-normalizes told
 /// expressions, and normalization may intern symbols; the ABox and the
 /// schema's definitions are never modified.
 pub fn analyze(kb: &mut Kb) -> Report {
-    let mut report = Report::default();
-    checks::incoherent_concepts(kb, &mut report);
-    checks::definition_cycles(kb, &mut report);
-    checks::vacuous_restrictions(kb, &mut report);
-    checks::redundant_conjuncts(kb, &mut report);
-    checks::rules(kb, &mut report);
-    report.diagnostics.sort_by(|a, b| {
-        b.severity
-            .cmp(&a.severity)
-            .then_with(|| a.code.as_str().cmp(b.code.as_str()))
-    });
-    report
+    let mut state = AnalysisState::new();
+    state.refresh(kb);
+    state.report(kb)
 }
 
 /// Extension trait giving embedders `kb.analyze()`.
 pub trait KbAnalyze {
-    /// Run the static analysis pass ([`analyze`]).
+    /// Run the full analysis pass ([`analyze`]).
     fn analyze(&mut self) -> Report;
 }
 

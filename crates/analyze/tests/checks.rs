@@ -250,7 +250,7 @@ fn report_renders_summary_line() {
         text.contains("0 error(s), 0 warning(s), 0 note(s)"),
         "render: {text}"
     );
-    assert!(text.contains("3 concept(s), 0 rule(s) checked"));
+    assert!(text.contains("3 concept(s), 0 rule(s), 0 individual(s) checked"));
 }
 
 #[test]

@@ -12,6 +12,7 @@ pub mod e12_store;
 pub mod e13_obs_overhead;
 pub mod e14_server;
 pub mod e15_shard;
+pub mod e16_incremental;
 pub mod e1_subsumption;
 pub mod e2_classification;
 pub mod e3_query;
@@ -120,6 +121,11 @@ pub fn registry() -> Vec<Experiment> {
             "e15",
             "sharded propagation engine: throughput vs the sequential oracle",
             e15_shard::run,
+        ),
+        (
+            "e16",
+            "incremental re-lint: cone-bounded refresh vs full analysis, equality asserted",
+            e16_incremental::run,
         ),
     ]
 }

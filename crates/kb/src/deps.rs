@@ -88,12 +88,24 @@ pub struct Support {
 #[derive(Debug, Default, Clone)]
 pub struct DependencyJournal {
     records: HashMap<IndId, BTreeSet<Support>>,
+    /// Maintained source→target edge refcounts (distinct supports per
+    /// pair), so [`Self::affected_from`] walks only the closure instead
+    /// of scanning the whole journal. Self-edges are not indexed: they
+    /// never grow the closure.
+    by_source: HashMap<IndId, HashMap<IndId, u32>>,
 }
 
 impl DependencyJournal {
     /// Insert one record (idempotent — the set deduplicates).
     pub(crate) fn insert(&mut self, s: Support) {
-        self.records.entry(s.target).or_default().insert(s);
+        if self.records.entry(s.target).or_default().insert(s) && s.source != s.target {
+            *self
+                .by_source
+                .entry(s.source)
+                .or_default()
+                .entry(s.target)
+                .or_insert(0) += 1;
+        }
     }
 
     /// Absorb a transaction's recorded supports on commit.
@@ -122,23 +134,15 @@ impl DependencyJournal {
     /// may (transitively) rest on information held by one of `seeds`.
     /// Always includes the seeds themselves.
     ///
-    /// Retraction is rare relative to assertion, so this builds the
-    /// source→targets reverse index on the fly rather than maintaining
-    /// one incrementally.
+    /// Walks the maintained source→targets index, so the cost is
+    /// O(edges inside the closure), not O(journal) — this is what keeps
+    /// incremental re-analysis proportional to the dirty cone.
     pub fn affected_from(&self, seeds: &BTreeSet<IndId>) -> BTreeSet<IndId> {
-        let mut by_source: HashMap<IndId, Vec<IndId>> = HashMap::new();
-        for supports in self.records.values() {
-            for s in supports {
-                if s.source != s.target {
-                    by_source.entry(s.source).or_default().push(s.target);
-                }
-            }
-        }
         let mut closed: BTreeSet<IndId> = seeds.clone();
         let mut work: VecDeque<IndId> = seeds.iter().copied().collect();
         while let Some(id) = work.pop_front() {
-            if let Some(targets) = by_source.get(&id) {
-                for &t in targets {
+            if let Some(targets) = self.by_source.get(&id) {
+                for &t in targets.keys() {
                     if closed.insert(t) {
                         work.push_back(t);
                     }
@@ -157,6 +161,22 @@ impl DependencyJournal {
         for id in set {
             if let Some(supports) = self.records.remove(id) {
                 removed.extend(supports);
+            }
+        }
+        for s in &removed {
+            if s.source == s.target {
+                continue;
+            }
+            if let Some(targets) = self.by_source.get_mut(&s.source) {
+                if let Some(count) = targets.get_mut(&s.target) {
+                    *count -= 1;
+                    if *count == 0 {
+                        targets.remove(&s.target);
+                    }
+                }
+                if targets.is_empty() {
+                    self.by_source.remove(&s.source);
+                }
             }
         }
         removed

@@ -809,6 +809,28 @@ impl Kb {
         })
     }
 
+    /// The *analysis cone* of a set of seed individuals: everyone whose
+    /// derived state (and therefore whose ABox diagnostics) may differ
+    /// after a mutation touching the seeds. This is the same region
+    /// retraction re-derivation walks — the forward
+    /// dependency closure plus its transitive reverse-filler hosts —
+    /// computed read-only for the incremental analyzer. Cost is
+    /// proportional to the cone, not the KB.
+    pub fn analysis_cone(&self, seeds: &BTreeSet<IndId>) -> BTreeSet<IndId> {
+        let mut cone = self.deps.affected_from(seeds);
+        let mut frontier: VecDeque<IndId> = cone.iter().copied().collect();
+        while let Some(i) = frontier.pop_front() {
+            if let Some(hosts) = self.reverse_fillers.get(&i) {
+                for &h in hosts {
+                    if cone.insert(h) {
+                        frontier.push_back(h);
+                    }
+                }
+            }
+        }
+        cone
+    }
+
     // ---- rules --------------------------------------------------------------
 
     /// `assert-rule[C1, C2]` (§3.3): attach a forward-chaining trigger to a
@@ -943,13 +965,12 @@ impl Kb {
                  different consequent"
             ))
         } else {
-            live.iter()
-                .map(|r| self.schema.symbols.concept_name(r.antecedent))
-                .filter(|name| *name != antecedent)
-                .map(|name| (edit_distance(antecedent, name), name))
-                .min()
-                .filter(|(d, name)| *d <= 2.max(name.len() / 3))
-                .map(|(_, name)| format!("did you mean {name:?}?"))
+            nearest_match(
+                antecedent,
+                live.iter()
+                    .map(|r| self.schema.symbols.concept_name(r.antecedent)),
+            )
+            .map(|name| format!("did you mean {name:?}?"))
         };
         ClassicError::NoSuchRule {
             antecedent: antecedent.to_owned(),
@@ -1136,6 +1157,25 @@ impl Kb {
             self.inds[id.index()] = old;
         }
     }
+}
+
+/// Nearest-match hint over a candidate name set: the closest candidate
+/// by Levenshtein distance, if it is close enough to plausibly be a typo
+/// (distance at most `max(2, len/3)` of the candidate). This is the same
+/// acceptance rule `retract-rule` has always used; it is exported so
+/// every "unknown name" surface (lint provenance, eval errors) offers
+/// the same suggestion.
+pub fn nearest_match<'a>(
+    unknown: &str,
+    candidates: impl IntoIterator<Item = &'a str>,
+) -> Option<&'a str> {
+    candidates
+        .into_iter()
+        .filter(|name| *name != unknown)
+        .map(|name| (edit_distance(unknown, name), name))
+        .min()
+        .filter(|(d, name)| *d <= 2.max(name.len() / 3))
+        .map(|(_, name)| name)
 }
 
 /// Levenshtein distance, used for the `retract-rule` nearest-match hint.

@@ -25,4 +25,4 @@ pub use aspect::ConceptPlacement;
 pub use deps::{DependencyJournal, RetractReport, Support, SupportKind};
 pub use explain::{Explanation, Requirement};
 pub use individual::{IndId, Individual};
-pub use kb::{AssertReport, Kb, KbStats, Rule};
+pub use kb::{nearest_match, AssertReport, Kb, KbStats, Rule};

@@ -124,10 +124,15 @@ pub enum Command {
     /// update would be accepted and what it would derive, then roll it
     /// back unconditionally.
     WhatIf(String, Expr),
-    /// `(lint-kb)`: run the static analyzer (`classic-analyze`) over the
-    /// schema and rule base — incoherent definitions, definition cycles,
-    /// dead/shadowed/entailed rules, redundant conjuncts.
-    LintKb,
+    /// `(lint-kb)` / `(lint-kb cone)`: run the static analyzer
+    /// (`classic-analyze`) over the schema, rule base, and ABox.
+    /// `cone` asks for only the diagnostics re-derived since the last
+    /// lint (the dirty cone); against a stateless evaluator the first
+    /// cone is the full report.
+    LintKb {
+        /// Report only the dirty-cone diagnostics instead of the full set.
+        cone: bool,
+    },
 }
 
 impl Command {
@@ -180,6 +185,8 @@ pub struct LintReport {
     pub concepts_checked: usize,
     /// How many rules were checked.
     pub rules_checked: usize,
+    /// How many individuals were checked (for a cone report: re-linted).
+    pub inds_checked: usize,
 }
 
 impl LintReport {
@@ -200,6 +207,30 @@ impl LintReport {
             .filter(|d| d.severity == sev)
             .count()
     }
+
+    /// The cone form: just the diagnostics one incremental refresh
+    /// re-derived, with `inds_checked` reporting how many individuals
+    /// were actually re-linted (concept/rule totals are not re-counted).
+    pub fn from_refresh(refresh: &classic_analyze::Refresh) -> LintReport {
+        LintReport {
+            diagnostics: refresh.cone.iter().map(LintDiagnostic::from).collect(),
+            concepts_checked: 0,
+            rules_checked: 0,
+            inds_checked: refresh.relinted,
+        }
+    }
+}
+
+impl From<&classic_analyze::Diagnostic> for LintDiagnostic {
+    fn from(d: &classic_analyze::Diagnostic) -> LintDiagnostic {
+        LintDiagnostic {
+            code: d.code.as_str().to_owned(),
+            severity: d.severity,
+            subject: d.span.to_string(),
+            message: d.message.clone(),
+            provenance: d.provenance.clone(),
+        }
+    }
 }
 
 impl From<&classic_analyze::Report> for LintReport {
@@ -208,16 +239,11 @@ impl From<&classic_analyze::Report> for LintReport {
             diagnostics: report
                 .diagnostics
                 .iter()
-                .map(|d| LintDiagnostic {
-                    code: d.code.as_str().to_owned(),
-                    severity: d.severity,
-                    subject: d.span.to_string(),
-                    message: d.message.clone(),
-                    provenance: d.provenance.clone(),
-                })
+                .map(LintDiagnostic::from)
                 .collect(),
             concepts_checked: report.concepts_checked,
             rules_checked: report.rules_checked,
+            inds_checked: report.inds_checked,
         }
     }
 }
@@ -308,7 +334,7 @@ impl Outcome {
                     out.push_str(&format!(
                         "{} {}: {}: {}\n",
                         d.code,
-                        severity_str(d.severity),
+                        d.severity.as_str(),
                         d.subject,
                         d.message
                     ));
@@ -317,11 +343,12 @@ impl Outcome {
                     }
                 }
                 out.push_str(&format!(
-                    "{} error(s), {} warning(s); {} concept(s), {} rule(s) checked",
+                    "{} error(s), {} warning(s); {} concept(s), {} rule(s), {} individual(s) checked",
                     report.errors(),
                     report.warnings(),
                     report.concepts_checked,
                     report.rules_checked,
+                    report.inds_checked,
                 ));
                 out
             }
@@ -391,7 +418,7 @@ impl Outcome {
                                 r#""message":{},"provenance":{}}}"#
                             ),
                             json_string(&d.code),
-                            json_string(severity_str(d.severity)),
+                            json_string(d.severity.as_str()),
                             json_string(&d.subject),
                             json_string(&d.message),
                             json_array(&d.provenance),
@@ -400,25 +427,18 @@ impl Outcome {
                     .collect();
                 format!(
                     concat!(
-                        r#"{{"type":"lint","errors":{},"warnings":{},"#,
-                        r#""concepts_checked":{},"rules_checked":{},"diagnostics":[{}]}}"#
+                        r#"{{"type":"lint","errors":{},"warnings":{},"concepts_checked":{},"#,
+                        r#""rules_checked":{},"inds_checked":{},"diagnostics":[{}]}}"#
                     ),
                     report.errors(),
                     report.warnings(),
                     report.concepts_checked,
                     report.rules_checked,
+                    report.inds_checked,
                     diags.join(",")
                 )
             }
         }
-    }
-}
-
-fn severity_str(s: classic_analyze::Severity) -> &'static str {
-    match s {
-        classic_analyze::Severity::Error => "error",
-        classic_analyze::Severity::Warning => "warning",
-        classic_analyze::Severity::Info => "info",
     }
 }
 
@@ -562,7 +582,15 @@ pub(crate) fn parse_command_tokens(tokens: &[Token]) -> Result<Command> {
         }
         "parents" => Command::Parents(w.symbol()?),
         "children" => Command::Children(w.symbol()?),
-        "lint-kb" => Command::LintKb,
+        "lint-kb" => match w.optional_symbol() {
+            None => Command::LintKb { cone: false },
+            Some(arg) if arg == "cone" => Command::LintKb { cone: true },
+            Some(arg) => {
+                return Err(ClassicError::Malformed(format!(
+                    "lint-kb takes no argument or `cone`, got {arg:?}"
+                )))
+            }
+        },
         other => {
             return Err(ClassicError::Malformed(format!(
                 "unknown operator {other:?}"
@@ -724,6 +752,36 @@ impl TokenWindow<'_> {
     }
 }
 
+/// `unknown concept NAME` with a nearest-match suggestion when some
+/// defined name is within typo distance.
+fn unknown_concept(kb: &Kb, name: &str) -> ClassicError {
+    ClassicError::Malformed(suggest(
+        format!("unknown concept {name:?}"),
+        classic_kb::nearest_match(name, kb.schema().symbols.concepts().map(|(_, n)| n)),
+    ))
+}
+
+fn unknown_individual(kb: &Kb, name: &str) -> ClassicError {
+    ClassicError::Malformed(suggest(
+        format!("unknown individual {name:?}"),
+        classic_kb::nearest_match(name, kb.schema().symbols.individuals().map(|(_, n)| n)),
+    ))
+}
+
+fn unknown_role(kb: &Kb, name: &str) -> ClassicError {
+    ClassicError::Malformed(suggest(
+        format!("unknown role {name:?}"),
+        classic_kb::nearest_match(name, kb.schema().symbols.roles().map(|(_, n)| n)),
+    ))
+}
+
+fn suggest(mut msg: String, near: Option<&str>) -> String {
+    if let Some(n) = near {
+        msg.push_str(&format!(" — did you mean {n:?}?"));
+    }
+    msg
+}
+
 /// Evaluate a parsed command against a knowledge base, resolving names
 /// against its schema first.
 pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
@@ -852,10 +910,11 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
             )))
         }
         Command::Provenance(name) => {
-            let iname =
-                kb.schema().symbols.find_individual(name).ok_or_else(|| {
-                    ClassicError::Malformed(format!("unknown individual {name:?}"))
-                })?;
+            let iname = kb
+                .schema()
+                .symbols
+                .find_individual(name)
+                .ok_or_else(|| unknown_individual(kb, name))?;
             let id = kb.ind_id(iname)?;
             let lines = kb.explain_provenance(id);
             if lines.is_empty() {
@@ -956,27 +1015,29 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
                 .schema()
                 .symbols
                 .find_concept(name)
-                .ok_or_else(|| ClassicError::Malformed(format!("unknown concept {name:?}")))?;
+                .ok_or_else(|| unknown_concept(kb, name))?;
             let role = resolve_role(kb, role.as_deref())?;
             let nf = kb.schema().concept_nf(cname)?;
             let aspect = classic_core::aspect::concept_aspect(nf, *kind, role);
             Ok(Outcome::Aspect(render_aspect(kb, &aspect)))
         }
         Command::IndAspect(name, kind, role) => {
-            let iname =
-                kb.schema().symbols.find_individual(name).ok_or_else(|| {
-                    ClassicError::Malformed(format!("unknown individual {name:?}"))
-                })?;
+            let iname = kb
+                .schema()
+                .symbols
+                .find_individual(name)
+                .ok_or_else(|| unknown_individual(kb, name))?;
             let id = kb.ind_id(iname)?;
             let role = resolve_role(kb, role.as_deref())?;
             let aspect = kb.ind_aspect(id, *kind, role);
             Ok(Outcome::Aspect(render_aspect(kb, &aspect)))
         }
         Command::Describe(name) => {
-            let iname =
-                kb.schema().symbols.find_individual(name).ok_or_else(|| {
-                    ClassicError::Malformed(format!("unknown individual {name:?}"))
-                })?;
+            let iname = kb
+                .schema()
+                .symbols
+                .find_individual(name)
+                .ok_or_else(|| unknown_individual(kb, name))?;
             let id = kb.ind_id(iname)?;
             let c = classic_query::describe(kb, id);
             Ok(Outcome::Description(
@@ -1014,17 +1075,13 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
                 .schema()
                 .symbols
                 .find_individual(ind_name)
-                .ok_or_else(|| {
-                    ClassicError::Malformed(format!("unknown individual {ind_name:?}"))
-                })?;
+                .ok_or_else(|| unknown_individual(kb, ind_name))?;
             let id = kb.ind_id(iname)?;
             let cname = kb
                 .schema()
                 .symbols
                 .find_concept(concept_name)
-                .ok_or_else(|| {
-                    ClassicError::Malformed(format!("unknown concept {concept_name:?}"))
-                })?;
+                .ok_or_else(|| unknown_concept(kb, concept_name))?;
             let e = kb.explain_membership(id, cname)?;
             let verdict = if e.satisfied {
                 format!("{ind_name} IS a {concept_name}:\n")
@@ -1055,7 +1112,7 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
                 .schema()
                 .symbols
                 .find_concept(name)
-                .ok_or_else(|| ClassicError::Malformed(format!("unknown concept {name:?}")))?;
+                .ok_or_else(|| unknown_concept(kb, name))?;
             let node = kb
                 .taxonomy()
                 .node_of(cname)
@@ -1078,9 +1135,62 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
             names.dedup();
             Ok(Outcome::Concepts(names))
         }
-        Command::LintKb => {
+        Command::LintKb { .. } => {
+            // One-shot evaluation holds no analysis state, so the full
+            // report and the first cone coincide; `eval_monitored` (and
+            // the server's per-tenant state) serve true cone deltas.
             let report = classic_analyze::analyze(kb);
             Ok(Outcome::Lint(LintReport::from(&report)))
+        }
+    }
+}
+
+/// Evaluate `cmd` while maintaining an incremental
+/// [`classic_analyze::AnalysisState`] alongside the KB:
+///
+/// * `retract-ind` marks its analysis cone **before** evaluation (the
+///   retraction removes the very dependency edges that define the cone);
+/// * `assert-ind` marks its cone **after** evaluation (so fresh edges and
+///   propagation targets are inside it);
+/// * concept/rule changes and brand-new individuals are detected by the
+///   state itself on the next refresh;
+/// * `(lint-kb)` is answered from the state — refreshed in O(cone), full
+///   report assembled from the caches; `(lint-kb cone)` returns only the
+///   diagnostics the refresh re-derived, with `inds_checked` reporting
+///   how many individuals were actually re-linted.
+pub fn eval_monitored(
+    kb: &mut Kb,
+    cmd: &Command,
+    state: &mut classic_analyze::AnalysisState,
+) -> Result<Outcome> {
+    if let Command::LintKb { cone } = cmd {
+        let refresh = state.refresh(kb);
+        return Ok(Outcome::Lint(if *cone {
+            LintReport::from_refresh(&refresh)
+        } else {
+            LintReport::from(&state.report(kb))
+        }));
+    }
+    if let Command::RetractInd(name, _) = cmd {
+        mark_individual_dirty(kb, state, name);
+    }
+    let out = eval(kb, cmd)?;
+    if let Command::AssertInd(name, _) = cmd {
+        mark_individual_dirty(kb, state, name);
+    }
+    Ok(out)
+}
+
+/// Mark the named individual's analysis cone dirty in `state`, if the
+/// individual exists. Call *before* a retraction (the retraction removes
+/// the dependency edges the cone is computed from) and *after* an
+/// assertion (so fresh edges and propagation targets are inside it) —
+/// [`eval_monitored`] does both; this is for callers that drive the KB
+/// through another evaluation path (e.g. the server's durable log).
+pub fn mark_individual_dirty(kb: &Kb, state: &mut classic_analyze::AnalysisState, name: &str) {
+    if let Some(iname) = kb.schema().symbols.find_individual(name) {
+        if let Ok(id) = kb.ind_id(iname) {
+            state.mark_dirty(kb, &std::collections::BTreeSet::from([id]));
         }
     }
 }
@@ -1100,7 +1210,7 @@ fn resolve_role(kb: &Kb, role: Option<&str>) -> Result<Option<classic_core::Role
             .symbols
             .find_role(r)
             .map(Some)
-            .ok_or_else(|| ClassicError::Malformed(format!("unknown role {r:?}"))),
+            .ok_or_else(|| unknown_role(kb, r)),
     }
 }
 

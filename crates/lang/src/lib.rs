@@ -24,8 +24,8 @@ pub mod parser;
 
 pub use ast::{Expr, IndLit, QueryExpr};
 pub use command::{
-    eval, parse, parse_one, run_script, AspectValue, Command, LintDiagnostic, LintReport, Outcome,
-    Session,
+    eval, eval_monitored, mark_individual_dirty, parse, parse_one, run_script, AspectValue,
+    Command, LintDiagnostic, LintReport, Outcome, Session,
 };
 #[allow(deprecated)]
 pub use command::{parse_command, parse_commands};

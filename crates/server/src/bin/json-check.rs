@@ -1,0 +1,36 @@
+//! `json-check` — validate line-delimited JSON on stdin with the same
+//! strict parser the server uses for its own protocol tests.
+//!
+//! Reads stdin line by line (blank lines skipped), parses each with
+//! [`classic_server::Json::parse`], and exits nonzero at the first line
+//! that fails, naming it. CI pipes `classic-analyze --json` output
+//! through this to pin the machine-readable diagnostic format to the
+//! wire grammar.
+
+use std::io::BufRead;
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut checked = 0usize;
+    for (ix, line) in stdin.lock().lines().enumerate() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("json-check: read error on line {}: {e}", ix + 1);
+                std::process::exit(2);
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Err(e) = classic_server::Json::parse(&line) {
+            eprintln!(
+                "json-check: line {} is not valid JSON: {e}\n  {line}",
+                ix + 1
+            );
+            std::process::exit(1);
+        }
+        checked += 1;
+    }
+    println!("json-check: {checked} line(s) ok");
+}

@@ -9,6 +9,7 @@
 //! | `GET /healthz`         | `ok` once the listener is up                |
 //! | `GET /metrics`         | process-wide Prometheus exposition          |
 //! | `GET /stats`           | per-tenant JSON (version, generation, size) |
+//! | `GET /lint?tenant=T`   | tenant diagnostics (`&cone=1` for the cone) |
 //! | `POST /eval?tenant=T`  | body = s-expr forms; JSON array of results  |
 //!
 //! `POST /eval` is stateless: each request parses and executes its
@@ -65,6 +66,19 @@ pub fn serve_http(
             "application/json",
             &stats_json(&shared.all_stats()),
         ),
+        ("GET", "/lint") => {
+            let tenant_name = req.query_param("tenant").unwrap_or("default");
+            let cone = matches!(req.query_param("cone"), Some("1" | "true"));
+            match lint_tenant(shared, tenant_name, cone) {
+                Ok(json) => respond(&mut stream, 200, "application/json", &json),
+                Err(msg) => respond(
+                    &mut stream,
+                    400,
+                    "application/json",
+                    &format!("{{\"ok\":false,\"error\":{}}}\n", json_string(&msg)),
+                ),
+            }
+        }
         ("POST", "/eval") => {
             let tenant_name = req.query_param("tenant").unwrap_or("default");
             let body = match eval_body(shared, tenant_name, &req.body) {
@@ -197,6 +211,20 @@ fn read_request(
         query,
         body,
     }))
+}
+
+/// Answer `GET /lint`: the tenant's diagnostics from its incremental
+/// analysis state (refreshed in O(dirty cone) under the primary lock).
+fn lint_tenant(shared: &Arc<Shared>, tenant_name: &str, cone: bool) -> Result<String, String> {
+    let tenant = shared.tenant(tenant_name).map_err(|e| e.to_string())?;
+    shared.metrics.requests.bump();
+    let outcome = tenant
+        .execute(&classic_lang::Command::LintKb { cone })
+        .map_err(|e| {
+            shared.metrics.errors.bump();
+            e.to_string()
+        })?;
+    Ok(format!("{}\n", outcome.render_json()))
 }
 
 /// Execute the forms in `body` against `tenant_name`, in order,

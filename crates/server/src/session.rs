@@ -11,6 +11,7 @@
 //! | `(sandbox begin)`    | start a private what-if copy of the tenant KB |
 //! | `(sandbox commit)`   | replay sandbox mutations into the tenant      |
 //! | `(sandbox rollback)` | discard the sandbox                           |
+//! | `(lint-on-write on)` | attach cone diagnostics to mutation replies   |
 //! | `(ping)`             | liveness probe                                |
 //! | `(quit)`             | close the connection                          |
 //!
@@ -115,16 +116,29 @@ impl WireSession {
         };
         let outcome = match &mut self.sandbox {
             Some(sandbox) => {
+                // Sandbox evaluation is fully isolated: `(lint-kb)` here
+                // analyzes the sandbox clone from scratch and never
+                // touches the tenant's incremental analysis state.
                 let r = classic_lang::eval(&mut sandbox.kb, &cmd);
                 if r.is_ok() && cmd.is_mutation() {
                     sandbox.recorded.push(cmd);
                 }
-                r
+                r.map(|o| (o, None))
             }
-            None => self.tenant.execute(&cmd),
+            None => self.tenant.execute_with_lint(&cmd),
         };
         match outcome {
-            Ok(o) => (ok(&o.render_json()), Control::Continue),
+            Ok((o, None)) => (ok(&o.render_json()), Control::Continue),
+            Ok((o, Some(lint))) => {
+                let lint_json = classic_lang::Outcome::Lint(lint).render_json();
+                (
+                    format!(
+                        "{{\"ok\":true,\"result\":{},\"lint\":{lint_json}}}",
+                        o.render_json()
+                    ),
+                    Control::Continue,
+                )
+            }
             Err(e) => (err(&e.to_string()), Control::Continue),
         }
     }
@@ -154,6 +168,19 @@ impl WireSession {
                     Err(e) => (err(&e.to_string()), Control::Continue),
                 }
             }
+            [w, mode] if w == "lint-on-write" => match mode.as_str() {
+                "on" | "off" => {
+                    self.tenant.set_lint_on_write(mode == "on");
+                    (
+                        ok(&format!(
+                            "{{\"type\":\"lint-on-write\",\"enabled\":{}}}",
+                            mode == "on"
+                        )),
+                        Control::Continue,
+                    )
+                }
+                _ => (err("lint-on-write takes on|off"), Control::Continue),
+            },
             [w, sub] if w == "sandbox" && sub == "begin" => {
                 if self.sandbox.is_some() {
                     return (err("sandbox already active"), Control::Continue);
@@ -226,7 +253,7 @@ fn session_form(form: &str) -> Option<Vec<String>> {
     }
     let words: Vec<String> = inner.split_whitespace().map(str::to_owned).collect();
     match words.first().map(String::as_str) {
-        Some("tenant" | "sandbox" | "ping" | "quit") => Some(words),
+        Some("tenant" | "sandbox" | "ping" | "quit" | "lint-on-write") => Some(words),
         _ => None,
     }
 }

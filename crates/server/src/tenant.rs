@@ -23,12 +23,13 @@
 //! the pair cannot deadlock.
 
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
+use classic_analyze::AnalysisState;
 use classic_core::{ClassicError, Result};
 use classic_kb::Kb;
-use classic_lang::{Command, Outcome};
+use classic_lang::{Command, LintReport, Outcome};
 use classic_store::DurableKb;
 
 /// A poisoned tenant lock means some earlier evaluation panicked while
@@ -81,11 +82,22 @@ impl Snapshot {
 }
 
 /// A named durable KB hosted by the server.
+///
+/// Lock order: `primary` → `analysis` (the lint path holds both — the
+/// analysis state tracks the *primary* KB, so it refreshes under the
+/// store lock); never acquire `primary` while holding `analysis` or
+/// `snap`.
 pub struct Tenant {
     name: String,
     version: AtomicU64,
     primary: Mutex<DurableKb>,
     snap: Mutex<Option<Arc<Snapshot>>>,
+    /// Incrementally-maintained analysis over the primary KB: mutation
+    /// cones are marked as writes land, `(lint-kb)` refreshes in O(cone).
+    analysis: Mutex<AnalysisState>,
+    /// When set, every mutation reply carries the cone diagnostics its
+    /// write re-derived (`(lint-on-write on)`).
+    lint_on_write: AtomicBool,
 }
 
 /// A point-in-time summary of one tenant, for `/stats`.
@@ -126,6 +138,8 @@ impl Tenant {
             version: AtomicU64::new(0),
             primary: Mutex::new(store),
             snap: Mutex::new(None),
+            analysis: Mutex::new(AnalysisState::new()),
+            lint_on_write: AtomicBool::new(false),
         })
     }
 
@@ -151,24 +165,85 @@ impl Tenant {
             .map_err(|_| poisoned("snapshot cache", &self.name))
     }
 
+    fn lock_analysis(&self) -> Result<MutexGuard<'_, AnalysisState>> {
+        self.analysis
+            .lock()
+            .map_err(|_| poisoned("analysis state", &self.name))
+    }
+
+    /// Whether mutation replies carry their cone diagnostics.
+    pub fn lint_on_write(&self) -> bool {
+        self.lint_on_write.load(Ordering::Acquire)
+    }
+
+    /// Toggle lint-on-write mode for this tenant.
+    pub fn set_lint_on_write(&self, on: bool) {
+        self.lint_on_write.store(on, Ordering::Release);
+    }
+
     /// Evaluate one command, routing by [`Command::is_mutation`]:
     /// writes through the durable log, reads against a shared snapshot.
     pub fn execute(&self, cmd: &Command) -> Result<Outcome> {
+        self.execute_with_lint(cmd).map(|(outcome, _)| outcome)
+    }
+
+    /// [`Self::execute`], additionally returning the cone diagnostics
+    /// the write re-derived when lint-on-write is enabled.
+    ///
+    /// Two commands leave the plain read/write split:
+    ///
+    /// * `(lint-kb [cone])` is a read, but it is answered from the
+    ///   tenant's incremental [`AnalysisState`], which tracks the
+    ///   *primary* KB — so it refreshes under the store lock (O(cone),
+    ///   not O(KB)) instead of evaluating against a snapshot.
+    /// * Mutations mark their analysis cone as they land (retraction
+    ///   cones before the journal shrinks, assertion cones after it
+    ///   grows); with lint-on-write on they also refresh and return the
+    ///   cone's diagnostics.
+    pub fn execute_with_lint(&self, cmd: &Command) -> Result<(Outcome, Option<LintReport>)> {
+        if matches!(cmd, Command::LintKb { .. }) {
+            let mut store = self.lock_primary()?;
+            let mut analysis = self.lock_analysis()?;
+            let outcome =
+                classic_lang::eval_monitored(store.kb_mut_for_queries(), cmd, &mut analysis)?;
+            return Ok((outcome, None));
+        }
         if cmd.is_mutation() {
-            let outcome = {
+            let result = {
                 let mut store = self.lock_primary()?;
+                let mut analysis = self.lock_analysis()?;
+                if let Command::RetractInd(name, _) = cmd {
+                    classic_lang::mark_individual_dirty(
+                        store.kb_mut_for_queries(),
+                        &mut analysis,
+                        name,
+                    );
+                }
                 let outcome = store.eval_durable(cmd)?;
+                if let Command::AssertInd(name, _) = cmd {
+                    classic_lang::mark_individual_dirty(
+                        store.kb_mut_for_queries(),
+                        &mut analysis,
+                        name,
+                    );
+                }
+                let lint = if self.lint_on_write() {
+                    let refresh = analysis.refresh(store.kb_mut_for_queries());
+                    Some(LintReport::from_refresh(&refresh))
+                } else {
+                    None
+                };
                 self.version.fetch_add(1, Ordering::AcqRel);
-                outcome
+                (outcome, lint)
             };
             // Invalidate after releasing the store lock; a racing
             // reader that re-caches the old version loses only
             // freshness until the *next* version check, never
             // consistency (the stale snapshot is still one version).
             self.lock_snap()?.take();
-            Ok(outcome)
+            Ok(result)
         } else {
-            self.snapshot()?.eval(cmd)
+            Ok((self.snapshot()?.eval(cmd)?, None))
         }
     }
 

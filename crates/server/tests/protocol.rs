@@ -651,3 +651,159 @@ fn http_length_limits_are_enforced() {
     assert_eq!(status, 200);
     handle.shutdown().expect("clean shutdown");
 }
+
+/// Codes of the diagnostics in a lint result, in report order.
+fn diag_codes(report: &Json) -> Vec<String> {
+    report
+        .get("diagnostics")
+        .and_then(Json::as_arr)
+        .expect("lint report has diagnostics")
+        .iter()
+        .map(|d| {
+            d.get("code")
+                .and_then(Json::as_str)
+                .expect("diagnostic has a code")
+                .to_owned()
+        })
+        .collect()
+}
+
+/// Subject strings ("concept C", "individual x") of a lint result.
+fn diag_subjects(report: &Json) -> Vec<String> {
+    report
+        .get("diagnostics")
+        .and_then(Json::as_arr)
+        .expect("lint report has diagnostics")
+        .iter()
+        .map(|d| {
+            d.get("subject")
+                .and_then(Json::as_str)
+                .expect("diagnostic has a subject")
+                .to_owned()
+        })
+        .collect()
+}
+
+/// The incremental lint surface over the wire: diagnostics stay inside
+/// their tenant, `(lint-on-write on)` attaches cone diagnostics to
+/// mutation replies, `(lint-kb cone)` reports only the re-linted cone,
+/// sandbox lint never leaks into the tenant's analysis state, and
+/// `GET /lint` serves the same report over HTTP.
+#[test]
+fn lint_is_tenant_scoped_incremental_and_served_over_http() {
+    let dir = tmpdir("lint");
+    let handle = start(&dir);
+
+    // Tenant `noisy` earns an incoherent concept (A001, error) and an
+    // orphan individual (A013, info).
+    let mut a = Client::connect(&handle);
+    a.ok("(tenant noisy)");
+    a.ok("(define-role r)");
+    a.ok("(define-concept PERSON (PRIMITIVE THING person))");
+    a.ok("(define-concept BROKEN (AND (AT-LEAST 2 r) (AT-MOST 1 r)))");
+    a.ok("(create-ind x)");
+    a.ok("(assert-ind x (AT-LEAST 1 r))");
+
+    let report = a.ok("(lint-kb)");
+    assert_eq!(result_type(&report), "lint");
+    let codes = diag_codes(&report);
+    assert!(
+        codes.contains(&"A001".to_owned()),
+        "missing A001: {codes:?}"
+    );
+    assert!(
+        codes.contains(&"A013".to_owned()),
+        "missing A013: {codes:?}"
+    );
+
+    // Tenant `quiet` shares the process but none of the diagnostics.
+    let mut b = Client::connect(&handle);
+    b.ok("(tenant quiet)");
+    b.ok("(define-role r)");
+    let clean = b.ok("(lint-kb)");
+    assert_eq!(
+        diag_codes(&clean),
+        Vec::<String>::new(),
+        "noisy's diagnostics leaked into quiet"
+    );
+
+    // lint-on-write: the mutation reply itself carries the cone
+    // diagnostics, and the cone is the write's — x's identical orphan
+    // finding is *not* re-derived.
+    a.ok("(create-ind y)");
+    a.ok("(lint-on-write on)");
+    let reply = a.send("(assert-ind y (AT-LEAST 1 r))");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    let lint = reply
+        .get("lint")
+        .expect("lint-on-write mutation reply carries lint");
+    assert_eq!(result_type(lint), "lint");
+    let codes = diag_codes(lint);
+    assert!(
+        codes.contains(&"A013".to_owned()),
+        "cone misses y: {codes:?}"
+    );
+    let subjects = diag_subjects(lint);
+    assert!(
+        subjects.iter().all(|s| s == "individual y"),
+        "cone reply should cover only the written individual: {subjects:?}"
+    );
+
+    // Switching it off stops the attachment.
+    a.ok("(lint-on-write off)");
+    let reply = a.send("(create-ind z)");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(reply.get("lint").is_none(), "lint attached while off");
+    let msg = a.err("(lint-on-write sometimes)");
+    assert!(msg.contains("on|off"), "unhelpful error: {msg}");
+
+    // `(lint-kb cone)` reports the dirty cone only: z was just touched,
+    // so its orphan finding appears, while the untouched concept-tier
+    // A001 does not. The full report still carries everything.
+    a.ok("(assert-ind z (AT-LEAST 1 r))");
+    let cone = a.ok("(lint-kb cone)");
+    assert_eq!(result_type(&cone), "lint");
+    let codes = diag_codes(&cone);
+    assert!(
+        codes.contains(&"A013".to_owned()),
+        "cone misses z: {codes:?}"
+    );
+    assert!(
+        !codes.contains(&"A001".to_owned()),
+        "cone report re-ran untouched concept checks: {codes:?}"
+    );
+    let full = a.ok("(lint-kb)");
+    assert!(diag_codes(&full).contains(&"A001".to_owned()));
+
+    // Sandbox lint is isolated both ways: a diagnostic introduced in
+    // the sandbox shows up in sandbox `(lint-kb)`, and is gone from the
+    // tenant after rollback.
+    a.ok("(sandbox begin)");
+    a.ok("(define-concept ALSOBROKEN (AND (AT-LEAST 3 r) (AT-MOST 2 r)))");
+    let inside = a.ok("(lint-kb)");
+    assert!(
+        diag_subjects(&inside).contains(&"concept ALSOBROKEN".to_owned()),
+        "sandbox lint missed its own definition: {inside:?}"
+    );
+    a.ok("(sandbox rollback)");
+    let after = a.ok("(lint-kb)");
+    assert!(
+        !diag_subjects(&after).contains(&"concept ALSOBROKEN".to_owned()),
+        "rolled-back sandbox leaked into tenant lint: {after:?}"
+    );
+
+    // The same reports over HTTP, per tenant.
+    let (status, body) = http(&handle, "GET", "/lint?tenant=noisy", "");
+    assert_eq!(status, 200, "GET /lint failed: {body}");
+    let report = Json::parse(body.trim()).expect("lint body is JSON");
+    assert_eq!(result_type(&report), "lint");
+    assert!(diag_codes(&report).contains(&"A001".to_owned()));
+
+    let (status, body) = http(&handle, "GET", "/lint?tenant=quiet&cone=1", "");
+    assert_eq!(status, 200, "GET /lint cone failed: {body}");
+    let report = Json::parse(body.trim()).expect("cone lint body is JSON");
+    assert_eq!(result_type(&report), "lint");
+    assert_eq!(diag_codes(&report), Vec::<String>::new());
+
+    handle.shutdown().expect("clean shutdown");
+}

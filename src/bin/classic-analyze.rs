@@ -1,8 +1,14 @@
 //! `classic-analyze` — lint CLASSIC surface-language scripts from CI.
 //!
 //! ```text
-//! classic-analyze [--deny warnings|errors] [--quiet] [--metrics <path>] <script.classic>...
+//! classic-analyze [--deny warnings|errors] [--json] [--quiet] [--metrics <path>] <script.classic>...
 //! ```
+//!
+//! `--json` switches the report to machine-readable output: one JSON
+//! object per diagnostic per line (code, severity, span, message,
+//! provenance), in the same stable order as the text report. CI pipes
+//! this through the server's strict JSON parser (`json-check`) so the
+//! diagnostic format stays pinned to the wire grammar.
 //!
 //! `--metrics <path>` dumps the engine's metric roll-up after analysis
 //! (loading the scripts exercises assertion/propagation/classification):
@@ -24,24 +30,25 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: classic-analyze [--deny warnings|errors] [--quiet] [--metrics <path>] <script.classic>..."
+        "usage: classic-analyze [--deny warnings|errors] [--json] [--quiet] [--metrics <path>] <script.classic>..."
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut deny = Severity::Error;
+    let mut json = false;
     let mut quiet = false;
     let mut metrics: Option<String> = None;
     let mut scripts: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--deny" => match args.next().as_deref() {
-                Some("warnings") => deny = Severity::Warning,
-                Some("errors") => deny = Severity::Error,
-                _ => return usage(),
+            "--deny" => match args.next().as_deref().and_then(Severity::parse_deny) {
+                Some(level) => deny = level,
+                None => return usage(),
             },
+            "--json" => json = true,
             "--metrics" => match args.next() {
                 Some(path) => metrics = Some(path),
                 None => return usage(),
@@ -77,7 +84,11 @@ fn main() -> ExitCode {
             continue;
         }
         let report = analyze(&mut session.kb);
-        if !quiet || !report.passes(deny) {
+        if json {
+            // Machine mode: diagnostics only, one JSON object per line,
+            // no per-file banner (the span names the subject).
+            print!("{}", report.render_json_lines());
+        } else if !quiet || !report.passes(deny) {
             println!("== {path}");
             println!("{}", report.render());
         }
