@@ -13,6 +13,7 @@ pub mod e13_obs_overhead;
 pub mod e14_server;
 pub mod e15_shard;
 pub mod e16_incremental;
+pub mod e17_bulk;
 pub mod e1_subsumption;
 pub mod e2_classification;
 pub mod e3_query;
@@ -126,6 +127,11 @@ pub fn registry() -> Vec<Experiment> {
             "e16",
             "incremental re-lint: cone-bounded refresh vs full analysis, equality asserted",
             e16_incremental::run,
+        ),
+        (
+            "e17",
+            "bulk ingest vs incremental asserts: >=10x at 1e5 rows, same-state oracle",
+            e17_bulk::run,
         ),
     ]
 }

@@ -1,0 +1,135 @@
+//! Docs-link checker: every relative markdown link in the repo's
+//! documentation set (README.md, DESIGN.md, EXPERIMENTS.md, docs/*.md)
+//! must point at a file that exists. The docs cross-reference each
+//! other heavily (README → docs/PROTOCOL.md, INGEST.md ↔ FORMAT.md, …)
+//! and a rename silently strands those links; this test turns a
+//! stranded link into a red build. External (`http://`, `https://`,
+//! `mailto:`) and intra-page (`#…`) links are out of scope — the CI
+//! box is offline and anchors are renderer-specific.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = <repo>/crates/bench
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the repo root")
+        .to_path_buf()
+}
+
+/// Markdown files under the documentation contract.
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "CHANGES.md"]
+        .iter()
+        .map(|f| root.join(f))
+        .filter(|p| p.exists())
+        .collect();
+    let docs = root.join("docs");
+    if let Ok(entries) = std::fs::read_dir(&docs) {
+        let mut extra: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "md"))
+            .collect();
+        extra.sort();
+        files.extend(extra);
+    }
+    files
+}
+
+/// Strip fenced code blocks and inline code spans, where `](` is
+/// ordinary text (shell output, rustdoc snippets), not a link.
+fn prose_lines(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for (ix, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut cleaned = String::with_capacity(line.len());
+        let mut in_code = false;
+        for ch in line.chars() {
+            match ch {
+                '`' => in_code = !in_code,
+                _ if in_code => {}
+                _ => cleaned.push(ch),
+            }
+        }
+        out.push((ix + 1, cleaned));
+    }
+    out
+}
+
+/// Every `](target)` occurrence on a prose line.
+fn link_targets(line: &str) -> Vec<&str> {
+    let mut targets = Vec::new();
+    let mut rest = line;
+    while let Some(pos) = rest.find("](") {
+        let after = &rest[pos + 2..];
+        match after.find(')') {
+            Some(end) => {
+                targets.push(&after[..end]);
+                rest = &after[end + 1..];
+            }
+            None => break,
+        }
+    }
+    targets
+}
+
+#[test]
+fn relative_links_in_docs_resolve() {
+    let root = repo_root();
+    let files = doc_files(&root);
+    assert!(
+        files.iter().any(|f| f.ends_with("README.md")),
+        "doc set must include README.md (looked under {})",
+        root.display()
+    );
+
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let text = std::fs::read_to_string(file).unwrap();
+        let base = file.parent().unwrap();
+        for (line_no, line) in prose_lines(&text) {
+            for target in link_targets(&line) {
+                let target = target.split_whitespace().next().unwrap_or("");
+                if target.is_empty()
+                    || target.starts_with("http://")
+                    || target.starts_with("https://")
+                    || target.starts_with("mailto:")
+                    || target.starts_with('#')
+                {
+                    continue;
+                }
+                let path_part = target.split('#').next().unwrap();
+                checked += 1;
+                if !base.join(path_part).exists() {
+                    broken.push(format!(
+                        "{}:{}: broken link -> {}",
+                        file.strip_prefix(&root).unwrap_or(file).display(),
+                        line_no,
+                        target
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken doc links:\n{}",
+        broken.join("\n")
+    );
+    // The docs genuinely cross-reference each other; an empty scan
+    // means the extractor broke, not that the docs are link-free.
+    assert!(
+        checked >= 5,
+        "expected at least 5 relative links across the doc set, found {checked}"
+    );
+}

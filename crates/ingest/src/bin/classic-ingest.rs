@@ -1,0 +1,240 @@
+//! `classic-ingest` — bulk-load CSV/JSON rows into a CLASSIC KB.
+//!
+//! ```text
+//! classic-ingest [options] <input.csv|input.json|->
+//!   --format csv|json     input syntax (default: from the extension)
+//!   --entity NAME         entity/concept name (default: the file stem)
+//!   --id COL              use column COL as each row's individual name
+//!   --infer               infer a starter TBox and load rows into it
+//!   --emit-tbox PATH      write the schema preamble as a .classic script
+//!   --store PATH          load into the durable store at PATH (kb.log);
+//!                         without it the load runs in memory (dry run)
+//!   --json                machine-readable report on stdout
+//!   --quiet               suppress the text report
+//! ```
+//!
+//! Exit codes: `0` every row accepted; `1` some rows rejected (the
+//! accepted ones are still committed); `2` malformed input or options
+//! (nothing committed).
+
+use classic_ingest::{plan, run_durable, run_in_memory, Format, IngestOptions};
+use classic_kb::BulkReport;
+use classic_store::DurableKb;
+use std::io::{BufRead, BufReader};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: classic-ingest [--format csv|json] [--entity NAME] [--id COL] [--infer] \
+         [--emit-tbox PATH] [--store PATH] [--json] [--quiet] <input|->"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut format: Option<Format> = None;
+    let mut entity: Option<String> = None;
+    let mut id_column: Option<String> = None;
+    let mut infer = false;
+    let mut emit_tbox: Option<String> = None;
+    let mut store_path: Option<String> = None;
+    let mut json = false;
+    let mut quiet = false;
+    let mut input: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref().and_then(Format::parse) {
+                Some(f) => format = Some(f),
+                None => return usage(),
+            },
+            "--entity" => match args.next() {
+                Some(v) => entity = Some(v),
+                None => return usage(),
+            },
+            "--id" => match args.next() {
+                Some(v) => id_column = Some(v),
+                None => return usage(),
+            },
+            "--infer" => infer = true,
+            "--emit-tbox" => match args.next() {
+                Some(v) => emit_tbox = Some(v),
+                None => return usage(),
+            },
+            "--store" => match args.next() {
+                Some(v) => store_path = Some(v),
+                None => return usage(),
+            },
+            "--json" => json = true,
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with("--") => return usage(),
+            _ => {
+                if input.replace(arg).is_some() {
+                    return usage();
+                }
+            }
+        }
+    }
+    let Some(input) = input else { return usage() };
+
+    let entity = entity.unwrap_or_else(|| {
+        std::path::Path::new(&input)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .filter(|s| !s.is_empty() && s != "-")
+            .unwrap_or_else(|| "record".into())
+    });
+    let opts = IngestOptions {
+        format: format.unwrap_or_else(|| Format::from_path(&input)),
+        entity,
+        id_column,
+        infer,
+        source: input.clone(),
+    };
+
+    let plan = {
+        let reader: Box<dyn BufRead> = if input == "-" {
+            Box::new(BufReader::new(std::io::stdin()))
+        } else {
+            match std::fs::File::open(&input) {
+                Ok(f) => Box::new(BufReader::new(f)),
+                Err(e) => {
+                    eprintln!("{input}: cannot open: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        };
+        match plan(reader, &opts) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{input}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    if let Some(path) = &emit_tbox {
+        if let Err(e) = std::fs::write(path, &plan.tbox_script) {
+            eprintln!("{path}: cannot write: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let (report, generation) = match &store_path {
+        Some(path) => {
+            if let Some(dir) = std::path::Path::new(path)
+                .parent()
+                .filter(|d| !d.as_os_str().is_empty())
+            {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("{path}: cannot create store directory: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            let mut store = match DurableKb::open(path, |_| {}) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{path}: cannot open store: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match run_durable(&mut store, &plan) {
+                Ok(out) => (out.report, Some(out.generation)),
+                Err(e) => {
+                    eprintln!("{input}: ingest failed (store unchanged): {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => match run_in_memory(&plan) {
+            Ok((_, report)) => (report, None),
+            Err(e) => {
+                eprintln!("{input}: ingest failed: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    if json {
+        println!("{}", render_json(&plan.entity, &report, generation));
+    } else if !quiet {
+        render_text(
+            &plan.entity,
+            &plan.notes,
+            &report,
+            generation,
+            store_path.is_none(),
+        );
+    }
+    if report.rejected > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn render_text(
+    entity: &str,
+    notes: &[String],
+    report: &BulkReport,
+    generation: Option<u64>,
+    dry: bool,
+) {
+    let mode = match generation {
+        Some(g) => format!("committed at generation {g}"),
+        None if dry => "in-memory dry run".to_string(),
+        None => String::new(),
+    };
+    println!(
+        "{entity}: {} rows, {} accepted, {} rejected, {} individuals created \
+         ({} chunked fixpoints, {} sequential fallbacks) — {mode}",
+        report.rows,
+        report.accepted,
+        report.rejected,
+        report.inds_created,
+        report.chunks,
+        report.sequential_fallbacks,
+    );
+    for note in notes {
+        println!("  note: {note}");
+    }
+    for r in &report.rejections {
+        println!("  rejected row {}: {} — {}", r.row + 1, r.name, r.error);
+    }
+}
+
+fn render_json(entity: &str, report: &BulkReport, generation: Option<u64>) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "{{\"entity\":{},\"rows\":{},\"accepted\":{},\"rejected\":{},\"created\":{},\
+         \"chunks\":{},\"fallbacks\":{}",
+        classic_obs::json_string(entity),
+        report.rows,
+        report.accepted,
+        report.rejected,
+        report.inds_created,
+        report.chunks,
+        report.sequential_fallbacks,
+    );
+    if let Some(g) = generation {
+        let _ = write!(out, ",\"generation\":{g}");
+    }
+    out.push_str(",\"rejections\":[");
+    for (ix, r) in report.rejections.iter().enumerate() {
+        if ix > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"row\":{},\"name\":{},\"error\":{}}}",
+            r.row,
+            classic_obs::json_string(&r.name),
+            classic_obs::json_string(&r.error)
+        );
+    }
+    out.push_str("]}");
+    out
+}

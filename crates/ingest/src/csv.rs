@@ -1,0 +1,205 @@
+//! A streaming RFC-4180-style CSV reader.
+//!
+//! The reader pulls one *record* at a time from any [`BufRead`] — it
+//! never materializes the input text — and handles quoted fields with
+//! embedded commas, quotes (`""` escape), and newlines. The first
+//! record is the header. Every subsequent record must have exactly the
+//! header's arity: a ragged row is a hard, positioned error, because a
+//! silently padded or truncated row would corrupt the column profiles
+//! the schema inference is built on (`docs/INGEST.md` §2.1).
+
+use classic_core::error::{ClassicError, Result};
+use std::io::BufRead;
+
+/// Incremental CSV record reader over any buffered byte source.
+pub struct CsvReader<R> {
+    inner: R,
+    /// 1-based line the byte cursor is on.
+    line: usize,
+    /// 1-based line the most recently returned record started on.
+    record_line: usize,
+    done: bool,
+}
+
+impl<R: BufRead> CsvReader<R> {
+    /// Wrap `inner`; reading starts at line 1.
+    pub fn new(inner: R) -> CsvReader<R> {
+        CsvReader {
+            inner,
+            line: 1,
+            record_line: 1,
+            done: false,
+        }
+    }
+
+    fn err(&self, msg: impl std::fmt::Display) -> ClassicError {
+        ClassicError::Malformed(format!("csv line {}: {msg}", self.line))
+    }
+
+    fn next_byte(&mut self) -> Result<Option<u8>> {
+        let buf = self
+            .inner
+            .fill_buf()
+            .map_err(|e| ClassicError::Malformed(format!("csv read: {e}")))?;
+        match buf.first().copied() {
+            Some(b) => {
+                self.inner.consume(1);
+                Ok(Some(b))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Read the next record, or `None` at end of input. Blank records
+    /// (empty lines) are skipped.
+    pub fn next_record(&mut self) -> Result<Option<Vec<String>>> {
+        loop {
+            if self.done {
+                return Ok(None);
+            }
+            let record = self.raw_record()?;
+            match record {
+                None => return Ok(None),
+                // A lone empty field is what an empty line parses to.
+                Some(fields) if fields.len() == 1 && fields[0].is_empty() => continue,
+                Some(fields) => return Ok(Some(fields)),
+            }
+        }
+    }
+
+    fn raw_record(&mut self) -> Result<Option<Vec<String>>> {
+        let start_line = self.line;
+        self.record_line = start_line;
+        let mut fields: Vec<String> = Vec::new();
+        let mut field: Vec<u8> = Vec::new();
+        let mut quoted = false;
+        let mut saw_any = false;
+        loop {
+            let Some(b) = self.next_byte()? else {
+                if quoted {
+                    self.line = start_line;
+                    return Err(self.err("unterminated quoted field"));
+                }
+                if !saw_any {
+                    self.done = true;
+                    return Ok(None);
+                }
+                fields.push(take_utf8(&mut field, start_line)?);
+                self.done = true;
+                return Ok(Some(fields));
+            };
+            saw_any = true;
+            if quoted {
+                match b {
+                    b'"' => {
+                        // `""` is an escaped quote; a lone `"` closes.
+                        if self.peek()? == Some(b'"') {
+                            self.next_byte()?;
+                            field.push(b'"');
+                        } else {
+                            quoted = false;
+                        }
+                    }
+                    b'\n' => {
+                        self.line += 1;
+                        field.push(b);
+                    }
+                    _ => field.push(b),
+                }
+                continue;
+            }
+            match b {
+                b',' => fields.push(take_utf8(&mut field, start_line)?),
+                b'\r' => {
+                    // CRLF (or a stray CR) ends the record like LF.
+                    if self.peek()? == Some(b'\n') {
+                        self.next_byte()?;
+                    }
+                    self.line += 1;
+                    fields.push(take_utf8(&mut field, start_line)?);
+                    return Ok(Some(fields));
+                }
+                b'\n' => {
+                    self.line += 1;
+                    fields.push(take_utf8(&mut field, start_line)?);
+                    return Ok(Some(fields));
+                }
+                b'"' if field.is_empty() => quoted = true,
+                _ => field.push(b),
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<Option<u8>> {
+        let buf = self
+            .inner
+            .fill_buf()
+            .map_err(|e| ClassicError::Malformed(format!("csv read: {e}")))?;
+        Ok(buf.first().copied())
+    }
+}
+
+fn take_utf8(field: &mut Vec<u8>, line: usize) -> Result<String> {
+    String::from_utf8(std::mem::take(field))
+        .map_err(|_| ClassicError::Malformed(format!("csv line {line}: field is not valid UTF-8")))
+}
+
+/// Read an entire CSV table: the header record plus every data record,
+/// enforcing rectangularity against the header's arity.
+pub fn read_table<R: BufRead>(reader: R) -> Result<(Vec<String>, Vec<Vec<String>>)> {
+    let mut csv = CsvReader::new(reader);
+    let Some(header) = csv.next_record()? else {
+        return Err(ClassicError::Malformed(
+            "csv input is empty (no header record)".into(),
+        ));
+    };
+    let mut rows = Vec::new();
+    while let Some(record) = csv.next_record()? {
+        if record.len() != header.len() {
+            return Err(ClassicError::Malformed(format!(
+                "csv line {}: ragged row has {} fields, header has {}",
+                csv.record_line,
+                record.len(),
+                header.len()
+            )));
+        }
+        rows.push(record);
+    }
+    Ok((header, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(src: &str) -> (Vec<String>, Vec<Vec<String>>) {
+        read_table(src.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_quotes_and_newlines() {
+        let (header, rows) = table("a,b\n\"x,1\",\"say \"\"hi\"\"\"\n\"two\nlines\",y\n");
+        assert_eq!(header, ["a", "b"]);
+        assert_eq!(rows[0], ["x,1", "say \"hi\""]);
+        assert_eq!(rows[1], ["two\nlines", "y"]);
+    }
+
+    #[test]
+    fn crlf_and_missing_trailing_newline() {
+        let (_, rows) = table("h1,h2\r\n1,2\r\n3,4");
+        assert_eq!(rows, [["1", "2"], ["3", "4"]]);
+    }
+
+    #[test]
+    fn ragged_row_is_a_positioned_error() {
+        let err = read_table("a,b\n1,2\n3\n".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("ragged") && msg.contains("line 3"), "{msg}");
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let err = read_table("a\n\"open\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unterminated"), "{err}");
+    }
+}

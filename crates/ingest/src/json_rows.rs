@@ -1,0 +1,135 @@
+//! JSON row input: NDJSON (one flat object per line) or a single
+//! top-level array of flat objects.
+//!
+//! Both shapes go through the workspace's strict JSON parser
+//! ([`classic_obs::Json`]). Nested arrays/objects inside a row are
+//! rejected — the ingest mapping is record-shaped by design
+//! (`docs/INGEST.md` §2.2). The column set is the union of keys over
+//! all rows, in first-appearance order; a key absent from a row is a
+//! missing value.
+
+use classic_core::error::{ClassicError, Result};
+use classic_obs::Json;
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+/// One parsed input row: key → scalar JSON value.
+pub type JsonRow = BTreeMap<String, Json>;
+
+/// Read JSON rows and derive the column order (union of keys, in
+/// first-appearance order).
+pub fn read_rows<R: BufRead>(mut reader: R) -> Result<(Vec<String>, Vec<JsonRow>)> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| ClassicError::Malformed(format!("json read: {e}")))?;
+    let trimmed = text.trim_start();
+    let rows = if trimmed.starts_with('[') {
+        array_rows(&text)?
+    } else {
+        ndjson_rows(&text)?
+    };
+    let mut columns: Vec<String> = Vec::new();
+    for row in &rows {
+        for key in row.keys() {
+            if !columns.iter().any(|c| c == key) {
+                columns.push(key.clone());
+            }
+        }
+    }
+    Ok((columns, rows))
+}
+
+fn array_rows(text: &str) -> Result<Vec<JsonRow>> {
+    let doc = Json::parse(text).map_err(|e| ClassicError::Malformed(format!("json: {e}")))?;
+    let Json::Arr(items) = doc else {
+        return Err(ClassicError::Malformed(
+            "json: expected a top-level array of objects".into(),
+        ));
+    };
+    items
+        .into_iter()
+        .enumerate()
+        .map(|(ix, item)| as_flat_object(item, ix + 1))
+        .collect()
+}
+
+fn ndjson_rows(text: &str) -> Result<Vec<JsonRow>> {
+    let mut rows = Vec::new();
+    for (ix, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line)
+            .map_err(|e| ClassicError::Malformed(format!("json line {}: {e}", ix + 1)))?;
+        rows.push(as_flat_object(doc, ix + 1)?);
+    }
+    Ok(rows)
+}
+
+fn as_flat_object(v: Json, row: usize) -> Result<JsonRow> {
+    let Json::Obj(map) = v else {
+        return Err(ClassicError::Malformed(format!(
+            "json row {row}: expected an object, got a {}",
+            kind(&v)
+        )));
+    };
+    for (key, value) in &map {
+        if matches!(value, Json::Arr(_) | Json::Obj(_)) {
+            return Err(ClassicError::Malformed(format!(
+                "json row {row}, key {key:?}: nested {} values are not ingestable \
+                 (rows must be flat objects of scalars)",
+                kind(value)
+            )));
+        }
+    }
+    Ok(map)
+}
+
+fn kind(v: &Json) -> &'static str {
+    match v {
+        Json::Null => "null",
+        Json::Bool(_) => "boolean",
+        Json::Num(_) => "number",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndjson_union_columns_in_first_seen_order() {
+        let src = "{\"b\":1,\"a\":2}\n\n{\"a\":3,\"c\":null}\n";
+        let (cols, rows) = read_rows(src.as_bytes()).unwrap();
+        // BTreeMap iteration is sorted per row; union keeps first-seen
+        // row-by-row order.
+        assert_eq!(cols, ["a", "b", "c"]);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn array_form_parses() {
+        let (cols, rows) = read_rows("[{\"x\": 1}, {\"x\": 2}]".as_bytes()).unwrap();
+        assert_eq!(cols, ["x"]);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn nested_values_are_rejected() {
+        let err = read_rows("{\"x\": [1,2]}".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("nested"), "{err}");
+        let err = read_rows("[{\"x\": {\"y\": 1}}]".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("nested"), "{err}");
+    }
+
+    #[test]
+    fn non_object_rows_are_rejected() {
+        let err = read_rows("[1, 2]".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected an object"), "{err}");
+    }
+}

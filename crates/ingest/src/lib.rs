@@ -1,0 +1,47 @@
+//! # classic-ingest
+//!
+//! Streaming bulk ingest for the CLASSIC reproduction: CSV/JSON rows →
+//! individuals with `FILLS` assertions, with an optional *starter-TBox
+//! inference* pass that derives `ALL` / `AT-MOST` / `ONE-OF` / `AT-LEAST`
+//! candidates from the observed value shapes.
+//!
+//! The paper frames the object base as populated from real application
+//! data (§1), but the surface language's write path is one assertion at
+//! a time. This crate is the batch on-ramp: it normalizes record-shaped
+//! external data into the same `(bulk-load …)` form the surface
+//! language accepts, defers rule firing and realization to batched
+//! fixpoints ([`classic_kb::Kb::bulk_assert`]), and commits through the
+//! store's segment tier ([`classic_store::DurableKb::bulk_load`]) —
+//! one compaction instead of one fsync per row.
+//!
+//! Normative pipeline spec: `docs/INGEST.md`. CLI: `classic-ingest`.
+//!
+//! ```
+//! use classic_ingest::{plan, run_in_memory, Format, IngestOptions};
+//!
+//! let csv = "id,species,legs\nrex,dog,4\ntweety,bird,2\npolly,bird,2\n";
+//! let plan = plan(csv.as_bytes(), &IngestOptions {
+//!     format: Format::Csv,
+//!     entity: "pet".into(),
+//!     id_column: Some("id".into()),
+//!     infer: true,
+//!     source: "doc-example".into(),
+//! })?;
+//! assert!(plan.tbox_script.contains("(define-concept PET"));
+//! let (kb, report) = run_in_memory(&plan)?;
+//! assert_eq!(report.accepted, 3);
+//! assert_eq!(kb.ind_count(), 3);
+//! # Ok::<(), classic_core::ClassicError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod csv;
+pub mod infer;
+pub mod json_rows;
+pub mod normalize;
+pub mod pipeline;
+
+pub use infer::{ColumnProfile, InferredTbox, ONE_OF_CAP};
+pub use pipeline::{plan, run_durable, run_in_memory, Format, IngestOptions, IngestPlan};

@@ -188,6 +188,12 @@ impl Journal {
     pub(crate) fn note_support(&mut self, s: Support) {
         self.supports.push(s);
     }
+
+    /// How many individuals this transaction created (bulk loads report
+    /// it without exposing the journal's internals).
+    pub(crate) fn created_count(&self) -> usize {
+        self.created.len()
+    }
 }
 
 /// The CLASSIC knowledge base.
@@ -607,7 +613,7 @@ impl Kb {
         }
     }
 
-    fn assert_txn(
+    pub(crate) fn assert_txn(
         &mut self,
         id: IndId,
         desc: &Concept,

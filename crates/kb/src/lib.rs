@@ -14,6 +14,7 @@
 #![deny(missing_docs)]
 
 pub mod aspect;
+pub mod bulk;
 pub mod deps;
 pub mod explain;
 pub mod individual;
@@ -22,6 +23,7 @@ mod propagate;
 mod shard;
 
 pub use aspect::ConceptPlacement;
+pub use bulk::{BulkRejection, BulkReport, BulkRow, DEFAULT_BULK_CHUNK};
 pub use deps::{DependencyJournal, RetractReport, Support, SupportKind};
 pub use explain::{Explanation, Requirement};
 pub use individual::{IndId, Individual};

@@ -31,13 +31,13 @@
 //! [`Outcome`] with two renderers shared by the REPL and the wire
 //! protocol: [`Outcome::render_text`] and [`Outcome::render_json`].
 
-use crate::ast::{Expr, QueryExpr};
+use crate::ast::{Expr, IndLit, QueryExpr};
 use crate::lexer::{tokenize, Token, TokenKind};
 use crate::parser::Parser;
 use classic_core::aspect::AspectKind;
 use classic_core::desc::IndRef;
 use classic_core::error::{ClassicError, Result};
-use classic_kb::{AssertReport, Kb, RetractReport};
+use classic_kb::{AssertReport, BulkReport, Kb, RetractReport};
 use classic_obs::json_string;
 use classic_query::Query;
 
@@ -124,6 +124,13 @@ pub enum Command {
     /// update would be accepted and what it would derive, then roll it
     /// back unconditionally.
     WhatIf(String, Expr),
+    /// `(bulk-load [(into expr)] (roles r…) (row Name v…)…)`: batched
+    /// assertion of tabular rows through the deferred-fixpoint bulk
+    /// path ([`classic_kb::Kb::bulk_assert`]). Each row asserts
+    /// `(AND into (FILLS r1 v1) … (FILLS rk vk))` about its target,
+    /// with `_` marking a missing cell. Infallible per row: the
+    /// outcome reports per-row accept/reject counts.
+    BulkLoad(BulkSpec),
     /// `(lint-kb)` / `(lint-kb cone)`: run the static analyzer
     /// (`classic-analyze`) over the schema, rule base, and ABox.
     /// `cone` asks for only the diagnostics re-derived since the last
@@ -154,8 +161,46 @@ impl Command {
                 | Command::RetractInd(..)
                 | Command::RetractRule(..)
                 | Command::RetractRuleById(_)
+                | Command::BulkLoad(_)
         )
     }
+}
+
+/// The payload of a `(bulk-load …)` form: an optional concept every row
+/// is typed with, a role header, and the rows themselves. Parsed purely
+/// (names still strings); resolution happens at [`eval`] time.
+///
+/// Surface grammar (see `docs/INGEST.md` §"The (bulk-load …) form"):
+///
+/// ```text
+/// (bulk-load
+///   (into EXPR)            ; optional — conjoined onto every row
+///   (roles r1 … rk)        ; the column header
+///   (row Name v1 … vk)     ; one per row; k values each
+///   …)
+/// ```
+///
+/// Values are individual literals — a bare symbol is a CLASSIC
+/// individual reference, `42`/`1.5`/`"s"`/`'sym` are host values — and
+/// the reserved symbol `_` marks a missing cell (no `FILLS` emitted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BulkSpec {
+    /// Concept expression conjoined onto every row's description.
+    pub into: Option<Expr>,
+    /// Role names, one per value column.
+    pub roles: Vec<String>,
+    /// The rows, in submission order.
+    pub rows: Vec<BulkRowSpec>,
+}
+
+/// One `(row Name v1 … vk)` of a [`BulkSpec`]: the target individual
+/// and one optional value per role column (`None` = the `_` cell).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BulkRowSpec {
+    /// Target individual name.
+    pub name: String,
+    /// Cell values, index-aligned with [`BulkSpec::roles`].
+    pub values: Vec<Option<IndLit>>,
 }
 
 /// One structured static-analysis finding, mirroring
@@ -291,6 +336,8 @@ pub enum Outcome {
     Aspect(AspectValue),
     /// A static-analysis report (`lint-kb`).
     Lint(LintReport),
+    /// A completed `bulk-load`, with its per-row accounting.
+    BulkLoaded(BulkReport),
 }
 
 impl Outcome {
@@ -350,6 +397,19 @@ impl Outcome {
                     report.rules_checked,
                     report.inds_checked,
                 ));
+                out
+            }
+            Outcome::BulkLoaded(r) => {
+                let mut out = format!(
+                    "; bulk-loaded (rows={} accepted={} rejected={} created={} chunks={} fallbacks={})",
+                    r.rows, r.accepted, r.rejected, r.inds_created, r.chunks, r.sequential_fallbacks
+                );
+                for rej in &r.rejections {
+                    out.push_str(&format!(
+                        "\n;   row {} ({}): {}",
+                        rej.row, rej.name, rej.error
+                    ));
+                }
                 out
             }
         }
@@ -438,6 +498,37 @@ impl Outcome {
                     diags.join(",")
                 )
             }
+            Outcome::BulkLoaded(r) => {
+                let rejections: Vec<String> = r
+                    .rejections
+                    .iter()
+                    .map(|rej| {
+                        format!(
+                            r#"{{"row":{},"name":{},"error":{}}}"#,
+                            rej.row,
+                            json_string(&rej.name),
+                            json_string(&rej.error)
+                        )
+                    })
+                    .collect();
+                format!(
+                    concat!(
+                        r#"{{"type":"bulk-loaded","rows":{},"accepted":{},"rejected":{},"#,
+                        r#""created":{},"steps":{},"rules":{},"reclassified":{},"chunks":{},"#,
+                        r#""fallbacks":{},"rejections":[{}]}}"#
+                    ),
+                    r.rows,
+                    r.accepted,
+                    r.rejected,
+                    r.inds_created,
+                    r.steps,
+                    r.rules_fired,
+                    r.reclassified,
+                    r.chunks,
+                    r.sequential_fallbacks,
+                    rejections.join(",")
+                )
+            }
         }
     }
 }
@@ -451,6 +542,23 @@ fn json_array(items: &[String]) -> String {
 /// command. **Pure**: no KB, schema, or symbol table is consulted — names
 /// stay symbols in the produced [`Command`]s and are resolved by [`eval`].
 /// Used by the REPL, the persistence log reader, and the server front.
+///
+/// ```
+/// use classic_kb::Kb;
+/// use classic_lang::{eval, parse, Outcome};
+///
+/// // Parsing touches no KB: an undefined role is fine here…
+/// let cmds = parse("(define-role child) (assert-ind Mary (AT-LEAST 2 child))")?;
+/// assert_eq!(cmds.len(), 2);
+///
+/// // …and is only resolved when each command meets a KB in `eval`.
+/// let mut kb = Kb::new();
+/// kb.create_ind("Mary")?;
+/// for cmd in &cmds {
+///     assert!(matches!(eval(&mut kb, cmd)?, Outcome::Ok | Outcome::Asserted(_)));
+/// }
+/// # Ok::<(), classic_core::ClassicError>(())
+/// ```
 pub fn parse(input: &str) -> Result<Vec<Command>> {
     let tokens = tokenize(input)?;
     split_forms(&tokens)?
@@ -582,6 +690,7 @@ pub(crate) fn parse_command_tokens(tokens: &[Token]) -> Result<Command> {
         }
         "parents" => Command::Parents(w.symbol()?),
         "children" => Command::Children(w.symbol()?),
+        "bulk-load" => Command::BulkLoad(w.bulk_spec()?),
         "lint-kb" => match w.optional_symbol() {
             None => Command::LintKb { cone: false },
             Some(arg) if arg == "cone" => Command::LintKb { cone: true },
@@ -750,6 +859,172 @@ impl TokenWindow<'_> {
         self.ix = span.1;
         Parser::query_from_tokens(window)
     }
+
+    fn at_rparen(&self) -> bool {
+        matches!(
+            self.tokens.get(self.ix),
+            Some(Token {
+                kind: TokenKind::RParen,
+                ..
+            })
+        )
+    }
+
+    /// One `bulk-load` cell: an individual literal, or `_` for missing.
+    fn bulk_value(&mut self) -> Result<Option<IndLit>> {
+        let lit = match self.tokens.get(self.ix) {
+            Some(Token {
+                kind: TokenKind::Symbol(s),
+                ..
+            }) if s == "_" => None,
+            Some(Token {
+                kind: TokenKind::Symbol(s),
+                ..
+            }) => Some(IndLit::Name(s.clone())),
+            Some(Token {
+                kind: TokenKind::Int(i),
+                ..
+            }) => Some(IndLit::Int(*i)),
+            Some(Token {
+                kind: TokenKind::Float(v),
+                ..
+            }) => Some(IndLit::Float(*v)),
+            Some(Token {
+                kind: TokenKind::Str(s),
+                ..
+            }) => Some(IndLit::Str(s.clone())),
+            Some(Token {
+                kind: TokenKind::QuotedSym(s),
+                ..
+            }) => Some(IndLit::Sym(s.clone())),
+            Some(t) => {
+                return Err(ClassicError::Malformed(format!(
+                    "{}: expected a row value (name, literal, or `_`), found {:?}",
+                    t.pos, t.kind
+                )))
+            }
+            None => return Err(ClassicError::Malformed("unexpected end of row".into())),
+        };
+        self.ix += 1;
+        Ok(lit)
+    }
+
+    /// The body of a `(bulk-load …)` form: optional `(into expr)`, one
+    /// `(roles …)` header, then `(row …)` forms whose arity must match
+    /// the header (ragged rows are parse errors).
+    fn bulk_spec(&mut self) -> Result<BulkSpec> {
+        let mut into = None;
+        let mut roles: Option<Vec<String>> = None;
+        let mut rows = Vec::new();
+        while !self.at_rparen() {
+            self.expect(&TokenKind::LParen)?;
+            match self.symbol()?.as_str() {
+                "into" => {
+                    if into.is_some() {
+                        return Err(ClassicError::Malformed(
+                            "bulk-load: duplicate (into …) clause".into(),
+                        ));
+                    }
+                    if roles.is_some() || !rows.is_empty() {
+                        return Err(ClassicError::Malformed(
+                            "bulk-load: (into …) must precede (roles …) and rows".into(),
+                        ));
+                    }
+                    into = Some(self.concept()?);
+                }
+                "roles" => {
+                    if roles.is_some() {
+                        return Err(ClassicError::Malformed(
+                            "bulk-load: duplicate (roles …) header".into(),
+                        ));
+                    }
+                    let mut header = Vec::new();
+                    while !self.at_rparen() {
+                        header.push(self.symbol()?);
+                    }
+                    roles = Some(header);
+                }
+                "row" => {
+                    let arity = match &roles {
+                        Some(r) => r.len(),
+                        None => {
+                            return Err(ClassicError::Malformed(
+                                "bulk-load: (roles …) header must precede rows".into(),
+                            ))
+                        }
+                    };
+                    let name = self.symbol()?;
+                    let mut values = Vec::with_capacity(arity);
+                    while !self.at_rparen() {
+                        values.push(self.bulk_value()?);
+                    }
+                    if values.len() != arity {
+                        return Err(ClassicError::Malformed(format!(
+                            "bulk-load: ragged row {:?} has {} value(s), header has {} role(s)",
+                            name,
+                            values.len(),
+                            arity
+                        )));
+                    }
+                    rows.push(BulkRowSpec { name, values });
+                }
+                other => {
+                    return Err(ClassicError::Malformed(format!(
+                        "bulk-load: expected (into …), (roles …), or (row …), got {other:?}"
+                    )))
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        Ok(BulkSpec {
+            into,
+            roles: roles.unwrap_or_default(),
+            rows,
+        })
+    }
+}
+
+/// Resolve a [`BulkSpec`] into KB-level [`classic_kb::BulkRow`]s: the
+/// `into` concept (if any) conjoined with one `FILLS` per non-missing
+/// cell. Shared by [`eval`] and the durable store's bulk path (which
+/// re-renders accepted rows into its log).
+pub fn resolve_bulk_rows(kb: &mut Kb, spec: &BulkSpec) -> Result<Vec<classic_kb::BulkRow>> {
+    let into = spec
+        .into
+        .as_ref()
+        .map(|e| e.resolve(kb.schema_mut()))
+        .transpose()?;
+    let roles: Vec<classic_core::RoleId> = spec
+        .roles
+        .iter()
+        .map(|r| {
+            kb.schema()
+                .symbols
+                .find_role(r)
+                .ok_or_else(|| unknown_role(kb, r))
+        })
+        .collect::<Result<_>>()?;
+    spec.rows
+        .iter()
+        .map(|row| {
+            let mut parts = Vec::new();
+            if let Some(c) = &into {
+                parts.push(c.clone());
+            }
+            for (value, &role) in row.values.iter().zip(&roles) {
+                if let Some(lit) = value {
+                    parts.push(classic_core::Concept::Fills(
+                        role,
+                        vec![lit.resolve(kb.schema_mut())],
+                    ));
+                }
+            }
+            Ok(classic_kb::BulkRow {
+                name: row.name.clone(),
+                desc: classic_core::Concept::and(parts),
+            })
+        })
+        .collect()
 }
 
 /// `unknown concept NAME` with a nearest-match suggestion when some
@@ -1135,6 +1410,10 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
             names.dedup();
             Ok(Outcome::Concepts(names))
         }
+        Command::BulkLoad(spec) => {
+            let rows = resolve_bulk_rows(kb, spec)?;
+            Ok(Outcome::BulkLoaded(kb.bulk_assert(&rows)))
+        }
         Command::LintKb { .. } => {
             // One-shot evaluation holds no analysis state, so the full
             // report and the first cone coincide; `eval_monitored` (and
@@ -1177,6 +1456,16 @@ pub fn eval_monitored(
     let out = eval(kb, cmd)?;
     if let Command::AssertInd(name, _) = cmd {
         mark_individual_dirty(kb, state, name);
+    }
+    if let Command::BulkLoad(spec) = cmd {
+        // Mark every row target (brand-new individuals are detected by
+        // the state itself, but rows may extend pre-existing ones).
+        let mut seen = std::collections::BTreeSet::new();
+        for row in &spec.rows {
+            if seen.insert(row.name.as_str()) {
+                mark_individual_dirty(kb, state, &row.name);
+            }
+        }
     }
     Ok(out)
 }

@@ -12,9 +12,33 @@
 //! command stream doubles as the persistence format used by
 //! `classic-store` — a direct consequence of the paper's "single language,
 //! multiple roles" design.
+//!
+//! The whole stack in five forms — schema, data, and a query whose
+//! answer was *recognized*, never asserted:
+//!
+//! ```
+//! use classic_kb::Kb;
+//! use classic_lang::{run_script, Outcome};
+//!
+//! let mut kb = Kb::new();
+//! let out = run_script(&mut kb, r#"
+//!     (define-role enrolled-at)
+//!     (define-concept STUDENT (AND (PRIMITIVE THING person)
+//!                                  (AT-LEAST 1 enrolled-at)))
+//!     (create-ind Rocky)
+//!     (assert-ind Rocky (AND (PRIMITIVE THING person)
+//!                            (FILLS enrolled-at MIT)))
+//!     (retrieve STUDENT)
+//! "#)?;
+//! assert_eq!(
+//!     out.last(),
+//!     Some(&Outcome::Individuals(vec!["Rocky".into()]))
+//! );
+//! # Ok::<(), classic_core::ClassicError>(())
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ast;
 pub mod command;
@@ -24,8 +48,8 @@ pub mod parser;
 
 pub use ast::{Expr, IndLit, QueryExpr};
 pub use command::{
-    eval, eval_monitored, mark_individual_dirty, parse, parse_one, run_script, AspectValue,
-    Command, LintDiagnostic, LintReport, Outcome, Session,
+    eval, eval_monitored, mark_individual_dirty, parse, parse_one, resolve_bulk_rows, run_script,
+    AspectValue, BulkRowSpec, BulkSpec, Command, LintDiagnostic, LintReport, Outcome, Session,
 };
 #[allow(deprecated)]
 pub use command::{parse_command, parse_commands};
@@ -216,6 +240,53 @@ mod tests {
             }
             other => panic!("expected a lint report, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn bulk_load_through_syntax() {
+        let mut kb = Kb::new();
+        let out = run_script(
+            &mut kb,
+            r#"
+            (define-role name)
+            (define-role age)
+            (define-role owns)
+            (define-concept PERSON (PRIMITIVE THING person))
+            (bulk-load
+              (into PERSON)
+              (roles name age owns)
+              (row p1 "Ada" 36 Car-1)
+              (row p2 "Grace" 45 _)
+              (row p3 'anon _ Car-1))
+            (retrieve PERSON)
+            "#,
+        )
+        .unwrap();
+        let Outcome::BulkLoaded(report) = &out[out.len() - 2] else {
+            panic!("expected bulk-loaded, got {:?}", out[out.len() - 2]);
+        };
+        assert_eq!(report.rows, 3);
+        assert_eq!(report.accepted, 3);
+        assert_eq!(report.rejected, 0);
+        // 3 row targets + Car-1, referenced twice but created once.
+        assert_eq!(report.inds_created, 4);
+        let Outcome::Individuals(names) = out.last().unwrap() else {
+            panic!("expected individuals");
+        };
+        assert_eq!(names, &["p1", "p2", "p3"]);
+        let json = out[out.len() - 2].render_json();
+        assert!(json.contains(r#""type":"bulk-loaded""#), "got: {json}");
+        assert!(json.contains(r#""accepted":3"#), "got: {json}");
+    }
+
+    #[test]
+    fn bulk_load_rejects_ragged_and_headerless_rows() {
+        let err = parse("(bulk-load (roles a b) (row x 1))").unwrap_err();
+        assert!(err.to_string().contains("ragged"), "got: {err}");
+        let err = parse("(bulk-load (row x 1))").unwrap_err();
+        assert!(err.to_string().contains("header"), "got: {err}");
+        let err = parse("(bulk-load (roles a) (into C))").unwrap_err();
+        assert!(err.to_string().contains("precede"), "got: {err}");
     }
 
     #[test]

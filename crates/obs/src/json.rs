@@ -1,12 +1,14 @@
 //! A minimal JSON value and recursive-descent parser.
 //!
-//! The workspace is dependency-free by policy, and the server's wire
-//! format is JSON — so the *reading* side (protocol round-trip tests,
-//! the bundled line client) needs a parser to match the hand-rolled
-//! emitters (`Outcome::render_json`, `classic_obs::render_json`). This is
-//! a strict subset parser: UTF-8 text, no comments, no trailing commas,
-//! numbers as `f64` (every number the server emits is a count that fits
-//! exactly).
+//! The workspace is dependency-free by policy, and JSON appears on both
+//! sides of it: the server's wire replies and metrics dumps on the
+//! *writing* side (`Outcome::render_json`, [`crate::render_json`]), and
+//! bulk-ingest input files plus protocol round-trip tests on the
+//! *reading* side. It lives here, at the bottom of the dependency
+//! graph, so `classic-ingest` and `classic-server` share one parser.
+//! This is a strict subset parser: UTF-8 text, no comments, no trailing
+//! commas, numbers as `f64` (every number the server emits is a count
+//! that fits exactly).
 //!
 //! Panic-safety audit: this module contains no `unwrap`/`expect`
 //! reachable from wire input — every parse failure is an `Err` with an
@@ -315,7 +317,7 @@ mod tests {
     #[test]
     fn round_trips_obs_escaper() {
         let nasty = "line\nbreak \"quoted\" back\\slash \t tab";
-        let rendered = classic_obs::json_string(nasty);
+        let rendered = crate::json_string(nasty);
         assert_eq!(Json::parse(&rendered).unwrap().as_str(), Some(nasty));
     }
 }

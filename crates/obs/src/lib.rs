@@ -40,6 +40,7 @@
 
 pub mod expo;
 pub mod flight;
+pub mod json;
 pub mod level;
 pub mod metrics;
 pub mod trace;
@@ -49,6 +50,7 @@ pub use expo::{
     snapshot_all,
 };
 pub use flight::{FlightRecorder, SpanRecord, Trace, TraceEvent};
+pub use json::{Json, JsonError};
 pub use level::{counters_enabled, level, set_level, tracing_enabled, ObsLevel};
 pub use metrics::{
     bucket_of, validate_name, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,

@@ -11,12 +11,25 @@
 //! | `GET /stats`           | per-tenant JSON (version, generation, size) |
 //! | `GET /lint?tenant=T`   | tenant diagnostics (`&cone=1` for the cone) |
 //! | `POST /eval?tenant=T`  | body = s-expr forms; JSON array of results  |
+//! | `POST /ingest?tenant=T`| body = raw CSV/JSON rows; bulk-load report  |
 //!
 //! `POST /eval` is stateless: each request parses and executes its
 //! body's forms in order against tenant `T` (default `default`),
 //! stopping at the first failure. Session forms (`tenant`, `sandbox`,
 //! `ping`, `quit`) belong to the line protocol and are rejected here by
 //! the parser like any other unknown form.
+//!
+//! `POST /ingest` streams record-shaped data through the bulk pipeline
+//! (`classic-ingest`): the body is raw CSV or JSON rows, and the query
+//! string carries the ingest options — `format=csv|json` (default
+//! `csv`), `entity=NAME` (the concept rows load into, default
+//! `record`), `id=COL` (column holding each row's individual name),
+//! `infer=1` (derive a starter TBox from value shapes first). The load
+//! commits through the store's segment tier — one compaction, no
+//! per-row log appends — and the reply reports rows, accepted,
+//! rejected, individuals created, and the committed generation.
+//! Malformed input (ragged rows, duplicate ids) rejects the whole
+//! request with 400 before anything is written.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -93,6 +106,18 @@ pub fn serve_http(
                 }
             };
             respond(&mut stream, 200, "application/json", &body)
+        }
+        ("POST", "/ingest") => {
+            let tenant_name = req.query_param("tenant").unwrap_or("default");
+            match ingest_body(shared, tenant_name, &req) {
+                Ok(json) => respond(&mut stream, 200, "application/json", &json),
+                Err(msg) => respond(
+                    &mut stream,
+                    400,
+                    "application/json",
+                    &format!("{{\"ok\":false,\"error\":{}}}\n", json_string(&msg)),
+                ),
+            }
         }
         ("GET" | "POST", _) => {
             respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n")
@@ -248,6 +273,64 @@ fn eval_body(shared: &Arc<Shared>, tenant_name: &str, body: &str) -> Result<Stri
         }
     }
     Ok(format!("[{}]\n", results.join(",")))
+}
+
+/// Answer `POST /ingest`: plan the bulk load from the raw body, then
+/// commit it through the tenant's segment-tier path
+/// ([`crate::tenant::Tenant::ingest`]). Planning failures (malformed
+/// CSV/JSON, duplicate ids, bad options) surface before any write.
+fn ingest_body(shared: &Arc<Shared>, tenant_name: &str, req: &Request) -> Result<String, String> {
+    use classic_ingest::{Format, IngestOptions};
+    use std::fmt::Write as _;
+
+    let tenant = shared.tenant(tenant_name).map_err(|e| e.to_string())?;
+    shared.metrics.requests.bump();
+    let fail = |msg: String| {
+        shared.metrics.errors.bump();
+        msg
+    };
+    let format = match req.query_param("format") {
+        Some(f) => Format::parse(f)
+            .ok_or_else(|| fail(format!("unknown format {f:?} (expected csv or json)")))?,
+        None => Format::Csv,
+    };
+    let opts = IngestOptions {
+        format,
+        entity: req.query_param("entity").unwrap_or("record").to_owned(),
+        id_column: req.query_param("id").map(str::to_owned),
+        infer: matches!(req.query_param("infer"), Some("1" | "true")),
+        source: format!("http://{tenant_name}/ingest"),
+    };
+    let plan = classic_ingest::plan(req.body.as_bytes(), &opts).map_err(|e| fail(e.to_string()))?;
+    let out = tenant.ingest(&plan).map_err(|e| fail(e.to_string()))?;
+
+    let r = &out.report;
+    let mut body = format!(
+        "{{\"ok\":true,\"result\":{{\"type\":\"ingested\",\"entity\":{},\"rows\":{},\
+         \"accepted\":{},\"rejected\":{},\"created\":{},\"ddl_applied\":{},\"generation\":{}",
+        json_string(&plan.entity),
+        r.rows,
+        r.accepted,
+        r.rejected,
+        r.inds_created,
+        out.ddl_applied,
+        out.generation,
+    );
+    body.push_str(",\"rejections\":[");
+    for (ix, rej) in r.rejections.iter().enumerate() {
+        if ix > 0 {
+            body.push(',');
+        }
+        let _ = write!(
+            body,
+            "{{\"row\":{},\"name\":{},\"error\":{}}}",
+            rej.row,
+            json_string(&rej.name),
+            json_string(&rej.error)
+        );
+    }
+    body.push_str("]}}\n");
+    Ok(body)
 }
 
 fn stats_json(stats: &[TenantStats]) -> String {

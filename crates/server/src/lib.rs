@@ -48,17 +48,48 @@
 //! (quit)
 //! {"ok":true,"result":{"type":"bye"}}
 //! ```
+//!
+//! The same session, embedded (port `0` picks a free port; the handle
+//! resolves it):
+//!
+//! ```
+//! use classic_server::{start, ServerConfig};
+//! use std::io::{BufRead, BufReader, Write};
+//!
+//! let dir = std::env::temp_dir().join(format!("classic-doc-lib-{}", std::process::id()));
+//! let handle = start(ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     data_dir: dir.clone(),
+//!     workers: 1,
+//! })?;
+//!
+//! let conn = std::net::TcpStream::connect(handle.local_addr())?;
+//! let mut reader = BufReader::new(conn.try_clone()?);
+//! let mut line = String::new();
+//! (&conn).write_all(b"(ping)\n")?;
+//! reader.read_line(&mut line)?;
+//! assert_eq!(line.trim(), r#"{"ok":true,"result":{"type":"pong"}}"#);
+//!
+//! drop((conn, reader));
+//! handle.shutdown()?;
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The wire grammar — framing, session forms, every JSON reply shape,
+//! and the HTTP endpoints — is specified in `docs/PROTOCOL.md`.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod http;
-pub mod json;
 pub mod server;
 pub mod session;
 pub mod tenant;
 
-pub use json::{Json, JsonError};
+/// Re-exported JSON value/parser (now lives in `classic-obs` so
+/// non-server crates — notably `classic-ingest` — can read JSON too).
+pub use classic_obs::{Json, JsonError};
 pub use server::{start, ServerConfig, ServerHandle, ServerMetrics, Shared};
 pub use session::{Control, WireSession};
 pub use tenant::{Snapshot, Tenant, TenantStats};

@@ -247,6 +247,33 @@ impl Tenant {
         }
     }
 
+    /// Bulk-load a prepared ingest plan through the store's segment
+    /// tier ([`DurableKb::bulk_load`]): one compaction, no per-row log
+    /// appends, manifest rename as the commit point.
+    ///
+    /// A bulk load can add roles, concepts, and thousands of
+    /// individuals at once, so instead of marking cones the tenant
+    /// resets its incremental analysis state — the next `(lint-kb)`
+    /// recomputes from scratch, which is the honest cost of a batch
+    /// write. The version bumps once per ingest (it counts mutation
+    /// *requests*, not rows) and the snapshot cache is invalidated
+    /// after the primary lock is released, same as [`Self::execute`].
+    pub fn ingest(
+        &self,
+        plan: &classic_ingest::IngestPlan,
+    ) -> Result<classic_store::BulkLoadReport> {
+        let out = {
+            let mut store = self.lock_primary()?;
+            let mut analysis = self.lock_analysis()?;
+            let out = classic_ingest::run_durable(&mut store, plan)?;
+            *analysis = AnalysisState::new();
+            self.version.fetch_add(1, Ordering::AcqRel);
+            out
+        };
+        self.lock_snap()?.take();
+        Ok(out)
+    }
+
     /// Get the shared snapshot for the current version, cutting a fresh
     /// clone from the primary iff the cache is stale or cold.
     pub fn snapshot(&self) -> Result<Arc<Snapshot>> {

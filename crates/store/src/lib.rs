@@ -22,4 +22,4 @@ pub mod store;
 pub use manifest::{Manifest, ManifestEntry};
 pub use segment::SegmentKind;
 pub use snapshot::{replay, roundtrip, same_state, snapshot_to_string};
-pub use store::{CompactionReport, CrashPoint, DurableKb, DEFAULT_SEGMENT_BUDGET};
+pub use store::{BulkLoadReport, CompactionReport, CrashPoint, DurableKb, DEFAULT_SEGMENT_BUDGET};

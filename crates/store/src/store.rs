@@ -39,8 +39,8 @@ use classic_core::desc::Concept;
 use classic_core::error::{ClassicError, Result};
 use classic_core::schema::TestArg;
 use classic_core::symbol::{ConceptName, RoleId, TestId};
-use classic_kb::{AssertReport, IndId, Kb, RetractReport};
-use classic_lang::{Command, Outcome};
+use classic_kb::{AssertReport, BulkReport, IndId, Kb, RetractReport};
+use classic_lang::{resolve_bulk_rows, BulkSpec, Command, IndLit, Outcome};
 use classic_obs::{Counter, FlightRecorder, Gauge, Histogram};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
@@ -128,6 +128,65 @@ pub struct CompactionReport {
     pub bytes_written: u64,
 }
 
+/// What one segment-tier [`DurableKb::bulk_load`] did: the per-row
+/// accounting plus the durability facts (how much DDL was applied and
+/// which generation the load was published under).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BulkLoadReport {
+    /// Per-row accounting from [`classic_kb::Kb::bulk_assert`].
+    pub report: BulkReport,
+    /// Schema-preamble commands applied ahead of the rows.
+    pub ddl_applied: usize,
+    /// The generation whose manifest rename committed this load.
+    pub generation: u64,
+}
+
+/// Render the *accepted* rows of a bulk load back into a canonical
+/// one-line `(bulk-load …)` log record (the replayer is line-oriented,
+/// so the whole form must stay on one line). The `into` clause is
+/// rendered from its resolved concept — the same `Concept::display`
+/// every logged operator uses — so the line round-trips through the
+/// lexer; row values render as re-parseable literals (`"s"` quoted,
+/// `'sym` ticked, floats with a dot).
+fn render_bulk_load(kb: &mut Kb, spec: &BulkSpec, row_accepted: &[bool]) -> Result<String> {
+    use std::fmt::Write as _;
+    let mut out = String::from("(bulk-load");
+    if let Some(e) = &spec.into {
+        let c = e.resolve(kb.schema_mut())?;
+        let _ = write!(out, " (into {})", c.display(&kb.schema().symbols));
+    }
+    let _ = write!(out, " (roles {})", spec.roles.join(" "));
+    for (row, accepted) in spec.rows.iter().zip(row_accepted) {
+        if !accepted {
+            continue;
+        }
+        let _ = write!(out, " (row {}", row.name);
+        for value in &row.values {
+            match value {
+                None => out.push_str(" _"),
+                Some(IndLit::Name(n)) => {
+                    let _ = write!(out, " {n}");
+                }
+                Some(IndLit::Int(i)) => {
+                    let _ = write!(out, " {i}");
+                }
+                Some(IndLit::Float(v)) => {
+                    let _ = write!(out, " {v}");
+                }
+                Some(IndLit::Str(s)) => {
+                    let _ = write!(out, " {s:?}");
+                }
+                Some(IndLit::Sym(s)) => {
+                    let _ = write!(out, " '{s}");
+                }
+            }
+        }
+        out.push(')');
+    }
+    out.push(')');
+    Ok(out)
+}
+
 /// One not-yet-hydrated individual segment tracked by a paged open.
 struct LazySegment {
     entry: ManifestEntry,
@@ -170,10 +229,12 @@ struct StoreObs {
     segments_written: Counter,
     segments_reused: Counter,
     compact_bytes: Counter,
+    bulk_rows: Counter,
     generation: Gauge,
     append_ns: Histogram,
     render_ns: Histogram,
     publish_ns: Histogram,
+    bulk_load_ns: Histogram,
 }
 
 impl StoreObs {
@@ -227,6 +288,16 @@ impl StoreObs {
                 .get_or_duration_histogram(
                     "classic_store_compact_publish_ns",
                     "compaction publish pipeline wall time, compactor thread (ns)",
+                )
+                .expect("store metric registration"),
+            bulk_rows: c(
+                "classic_store_bulk_rows_total",
+                "rows accepted through the store's bulk-load paths",
+            ),
+            bulk_load_ns: m
+                .get_or_duration_histogram(
+                    "classic_store_bulk_load_ns",
+                    "segment-tier bulk_load wall time incl. compaction (ns)",
                 )
                 .expect("store metric registration"),
         }
@@ -962,8 +1033,102 @@ impl DurableKb {
                 Ok(Outcome::Retracted(self.retract_rule(name, &c)?))
             }
             Command::RetractRuleById(ix) => Ok(Outcome::Retracted(self.retract_rule_by_id(*ix)?)),
+            Command::BulkLoad(spec) => Ok(Outcome::BulkLoaded(self.bulk_load_logged(spec)?)),
             read_only => classic_lang::eval(self.kb_mut_for_queries(), read_only),
         }
+    }
+
+    // ---- bulk ingest -------------------------------------------------------
+
+    /// The log-tier bulk path (the wire `(bulk-load …)` form): apply the
+    /// rows through [`Kb::bulk_assert`] in memory, then append **one**
+    /// re-rendered `(bulk-load …)` line holding only the *accepted* rows
+    /// — a single fsync for the whole batch instead of one per row.
+    ///
+    /// Replaying the accepted-only form reproduces the same state: by
+    /// the bulk path's oracle-parity contract, re-asserting exactly the
+    /// accepted rows accepts them all and derives the same fixpoint (and
+    /// a replayed `bulk-load` re-enters the batched path, so replay is
+    /// fast too). Rejected rows, as everywhere in the log, leave no
+    /// trace. Rows are rendered with resolved-name display, which
+    /// round-trips through the lexer like every other logged operator.
+    pub fn bulk_load_logged(&mut self, spec: &BulkSpec) -> Result<BulkReport> {
+        // Rows may reference any parked individual; conservative, like
+        // rule assertion.
+        self.hydrate_all()?;
+        let rows = resolve_bulk_rows(&mut self.kb, spec)?;
+        let report = self.kb.bulk_assert(&rows);
+        if report.accepted > 0 {
+            let line = render_bulk_load(&mut self.kb, spec, &report.row_accepted)?;
+            self.obs.bulk_rows.add(report.accepted as u64);
+            self.append(&line)?;
+        }
+        Ok(report)
+    }
+
+    /// The segment-tier bulk path (`classic-ingest`, `POST /ingest`):
+    /// apply `ddl` (an inferred or hand-written schema preamble) and the
+    /// rows entirely in memory — **no per-op log appends** — then
+    /// publish one synchronous compaction. The new generation's manifest
+    /// rename is the commit point (`docs/FORMAT.md` §8): a crash at any
+    /// earlier instant recovers the pre-ingest state from the old
+    /// manifest and parked fold logs, because the ingested operations
+    /// were never logged; after the rename, the ingested state *is* the
+    /// snapshot. There is no partial-ingest state on disk, ever.
+    ///
+    /// `ddl` must contain only mutating commands (`define-role`,
+    /// `define-concept`, `assert-rule`, …). A failing DDL command aborts
+    /// the whole load with the KB untouched (the commands are staged on
+    /// a clone until everything applies). Row-level clashes do **not**
+    /// abort: they are per-row rejections in the returned report, and
+    /// only accepted rows reach the snapshot.
+    pub fn bulk_load(&mut self, ddl: &[Command], spec: &BulkSpec) -> Result<BulkLoadReport> {
+        let _span = classic_obs::span_timed(
+            self.kb.flight_recorder(),
+            "store.bulk_load",
+            &self.obs.bulk_load_ns,
+        );
+        // One writer at a time: a background compaction holds the fold
+        // log this load's rollback story depends on.
+        self.wait_for_compaction()?;
+        self.hydrate_all()?;
+
+        for cmd in ddl {
+            if !cmd.is_mutation() || matches!(cmd, Command::BulkLoad(_)) {
+                return Err(ClassicError::Malformed(format!(
+                    "bulk_load ddl must be schema/rule mutations, got {cmd:?}"
+                )));
+            }
+        }
+        // Stage on a clone so a failing DDL command leaves the store
+        // exactly as it was (clone shares the obs registry and test
+        // closures by Arc; the pre-ingest KB is the small side of the
+        // load, so the copy is cheap relative to the rows).
+        let report = if ddl.is_empty() {
+            let rows = resolve_bulk_rows(&mut self.kb, spec)?;
+            self.kb.bulk_assert(&rows)
+        } else {
+            let mut staged = self.kb.clone();
+            for cmd in ddl {
+                classic_lang::eval(&mut staged, cmd)?;
+            }
+            let rows = resolve_bulk_rows(&mut staged, spec)?;
+            let report = staged.bulk_assert(&rows);
+            self.kb = staged;
+            report
+        };
+        self.obs.bulk_rows.add(report.accepted as u64);
+        // The in-memory state now leads the disk; fold it into segments
+        // under a generation bump. This is the only call site where the
+        // log does *not* carry the operations being published — the
+        // compaction IS the durability.
+        self.ops_since_compact += ddl.len() as u64 + report.accepted as u64;
+        self.compact()?;
+        Ok(BulkLoadReport {
+            report,
+            ddl_applied: ddl.len(),
+            generation: self.published_gen,
+        })
     }
 
     /// Force any buffered log bytes to the device. The logged operators
@@ -2092,5 +2257,164 @@ mod tests {
         assert!(prom.contains("classic_store_appends_total"));
         let json = classic_obs::render_json(&snap);
         assert!(json.contains("classic_store_appends_total"));
+    }
+
+    fn parse_bulk(src: &str) -> (Command, BulkSpec) {
+        let cmd = classic_lang::parse(src).unwrap().remove(0);
+        let Command::BulkLoad(spec) = &cmd else {
+            panic!("expected a bulk-load form, got {cmd:?}");
+        };
+        let spec = spec.clone();
+        (cmd, spec)
+    }
+
+    #[test]
+    fn bulk_load_logged_appends_one_record_and_replays() {
+        let dir = tmpdir("bulk-logged");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        for cmd in classic_lang::parse(
+            "(define-role name) (define-role age)
+             (define-concept PERSON (PRIMITIVE THING person))",
+        )
+        .unwrap()
+        {
+            store.eval_durable(&cmd).unwrap();
+        }
+        let (cmd, _) = parse_bulk(
+            r#"(bulk-load (into PERSON) (roles name age)
+                 (row p1 "Ada" 36) (row p2 "Grace" 45) (row p3 'anon _))"#,
+        );
+        let Outcome::BulkLoaded(report) = store.eval_durable(&cmd).unwrap() else {
+            panic!("expected a bulk-loaded outcome");
+        };
+        assert_eq!((report.rows, report.accepted, report.rejected), (3, 3, 0));
+        // The whole batch is one appended record on one line.
+        let raw = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(raw.matches("(bulk-load").count(), 1, "log: {raw}");
+        let record = raw.lines().find(|l| l.contains("bulk-load")).unwrap();
+        assert!(record.contains("(row p3 'anon _)"), "record: {record}");
+        let before = snapshot_to_string(store.kb().unwrap());
+        drop(store);
+        let reopened = DurableKb::open(&path, |_| {}).unwrap();
+        assert_eq!(before, snapshot_to_string(reopened.kb().unwrap()));
+    }
+
+    #[test]
+    fn bulk_load_logged_drops_rejected_rows_from_the_log() {
+        let dir = tmpdir("bulk-reject");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        for cmd in classic_lang::parse(
+            "(define-role r)
+             (define-concept LONER (AT-MOST 0 r))",
+        )
+        .unwrap()
+        {
+            store.eval_durable(&cmd).unwrap();
+        }
+        // Row a fills the closed-off role and is rejected; row b carries
+        // no filler and is accepted.
+        let (cmd, _) = parse_bulk("(bulk-load (into LONER) (roles r) (row a V) (row b _))");
+        let Outcome::BulkLoaded(report) = store.eval_durable(&cmd).unwrap() else {
+            panic!("expected a bulk-loaded outcome");
+        };
+        assert_eq!((report.accepted, report.rejected), (1, 1));
+        assert_eq!(report.row_accepted, vec![false, true]);
+        let raw = std::fs::read_to_string(&path).unwrap();
+        assert!(raw.contains("(row b _)"), "log: {raw}");
+        assert!(!raw.contains("(row a"), "log: {raw}");
+        let before = snapshot_to_string(store.kb().unwrap());
+        drop(store);
+        let reopened = DurableKb::open(&path, |_| {}).unwrap();
+        assert_eq!(before, snapshot_to_string(reopened.kb().unwrap()));
+    }
+
+    #[test]
+    fn segment_tier_bulk_load_commits_without_log_appends() {
+        let dir = tmpdir("bulk-seg");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        let ddl = classic_lang::parse(
+            "(define-role name)
+             (define-concept PERSON (PRIMITIVE THING person))",
+        )
+        .unwrap();
+        let (_, spec) =
+            parse_bulk(r#"(bulk-load (into PERSON) (roles name) (row p1 "Ada") (row p2 "Grace"))"#);
+        let out = store.bulk_load(&ddl, &spec).unwrap();
+        assert_eq!(out.report.accepted, 2);
+        assert_eq!(out.ddl_applied, 2);
+        assert_eq!(out.generation, store.generation());
+        // Nothing reached the operation log: the compaction was the
+        // durability.
+        let raw = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            !raw.contains("bulk-load") && !raw.contains("define-role"),
+            "log: {raw}"
+        );
+        let before = snapshot_to_string(store.kb().unwrap());
+        drop(store);
+        let mut reopened = DurableKb::open(&path, |_| {}).unwrap();
+        reopened.hydrate_all().unwrap();
+        assert_eq!(before, snapshot_to_string(reopened.kb().unwrap()));
+    }
+
+    #[test]
+    fn segment_tier_bulk_load_rejects_bad_ddl_untouched() {
+        let dir = tmpdir("bulk-badddl");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        populate(&mut store);
+        let before = snapshot_to_string(&store.kb);
+        // `no-such-role` is undefined, so the second DDL command fails
+        // to resolve; the first must not stick either.
+        let ddl = classic_lang::parse(
+            "(define-role name)
+             (define-concept BAD (AT-LEAST 1 no-such-role))",
+        )
+        .unwrap();
+        let (_, spec) = parse_bulk(r#"(bulk-load (roles name) (row p1 "Ada"))"#);
+        assert!(store.bulk_load(&ddl, &spec).is_err());
+        assert_eq!(before, snapshot_to_string(&store.kb));
+        assert!(store.kb.schema().symbols.find_role("name").is_none());
+        // Read-only queries are also rejected as DDL.
+        let query = classic_lang::parse("(retrieve THING)").unwrap();
+        assert!(store.bulk_load(&query, &spec).is_err());
+    }
+
+    #[test]
+    fn segment_tier_crash_before_manifest_rename_recovers_pre_ingest_state() {
+        let dir = tmpdir("bulk-crash");
+        let path = dir.join("kb.log");
+        let mut store = DurableKb::open(&path, |_| {}).unwrap();
+        populate(&mut store);
+        let pre = snapshot_to_string(&store.kb);
+        // Mimic `bulk_load` up to its commit point — apply DDL and rows
+        // in memory with no log appends — then crash the publishing
+        // compaction just before the manifest rename.
+        for cmd in &classic_lang::parse("(define-role name)").unwrap() {
+            classic_lang::eval(&mut store.kb, cmd).unwrap();
+        }
+        let (_, spec) = parse_bulk(r#"(bulk-load (roles name) (row p9 "X"))"#);
+        let rows = resolve_bulk_rows(&mut store.kb, &spec).unwrap();
+        assert_eq!(store.kb.bulk_assert(&rows).accepted, 1);
+        store.ops_since_compact += 2;
+        store
+            .compact_crashing_at(CrashPoint::BeforeManifestRename)
+            .unwrap();
+        drop(store);
+        // The ingested operations were never logged, so recovery is the
+        // pre-ingest state exactly.
+        let mut reopened = DurableKb::open(&path, |_| {}).unwrap();
+        reopened.hydrate_all().unwrap();
+        assert_eq!(pre, snapshot_to_string(reopened.kb().unwrap()));
+        assert!(reopened
+            .kb()
+            .unwrap()
+            .schema()
+            .symbols
+            .find_individual("p9")
+            .is_none());
     }
 }

@@ -24,6 +24,7 @@
 //! | [`lang`] | surface syntax: lexer, parser, command evaluator |
 //! | [`rel`] | relational view + closed-world baseline (paper §3.5.2) |
 //! | [`store`] | operation-log persistence in the surface syntax |
+//! | [`ingest`] | streaming CSV/JSON bulk load + starter-TBox inference |
 //! | [`server`] | multi-tenant TCP/HTTP front: surface syntax as wire protocol |
 //! | [`analyze`] | static schema/KB lint: incoherence, cycles, rule analysis |
 //! | [`obs`] | tracing spans, metrics registry, flight recorder, exposition |
@@ -56,6 +57,7 @@
 
 pub use classic_analyze as analyze;
 pub use classic_core as core;
+pub use classic_ingest as ingest;
 pub use classic_kb as kb;
 pub use classic_lang as lang;
 pub use classic_obs as obs;
