@@ -104,7 +104,11 @@ impl AnalysisState {
     /// KB state that still contains the relevant dependency edges (post-op
     /// for assertions, pre-op for retractions).
     pub fn mark_dirty(&mut self, kb: &Kb, seeds: &BTreeSet<IndId>) {
-        self.dirty_inds.extend(kb.analysis_cone(seeds));
+        let cone = kb.analysis_cone(seeds);
+        // Attaches to the enclosing request span (if any), so slowlog
+        // entries for mutations can report how much they dirtied.
+        classic_obs::event("dirty_cone", cone.len() as u64);
+        self.dirty_inds.extend(cone);
     }
 
     /// Mark everything dirty (schema edited out-of-band, state of unknown

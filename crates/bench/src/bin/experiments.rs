@@ -6,11 +6,18 @@
 //! cargo run -p classic-bench --release --bin experiments -- e3 e7  # some
 //! cargo run -p classic-bench --release --bin experiments -- list
 //! cargo run -p classic-bench --release --bin experiments -- e9 --metrics out.prom
+//! cargo run -p classic-bench --release --bin experiments -- e4 --trace-out run.json
 //! ```
 //!
 //! `--metrics <path>` dumps the process-wide metric roll-up (every KB the
 //! experiments built) after the run: Prometheus text at `<path>`, JSON at
 //! `<path>.json`.
+//!
+//! `--trace-out <path>` raises observability to Full for the run and
+//! afterwards dumps every retained span tree — including those of KBs
+//! the experiments already dropped (their recorders bury traces in a
+//! process graveyard) — as Chrome trace-event JSON. Load the file in
+//! Perfetto or `chrome://tracing`.
 
 use classic_bench::experiments;
 
@@ -30,6 +37,17 @@ fn main() {
         }
         metrics_path = Some(args.remove(ix + 1));
         args.remove(ix);
+    }
+    let mut trace_path: Option<String> = None;
+    if let Some(ix) = args.iter().position(|a| a == "--trace-out") {
+        if ix + 1 >= args.len() {
+            eprintln!("--trace-out needs a path");
+            std::process::exit(1);
+        }
+        trace_path = Some(args.remove(ix + 1));
+        args.remove(ix);
+        // Spans only record at Full; the dump would be empty otherwise.
+        classic_obs::set_level(classic_obs::ObsLevel::Full);
     }
     if args.iter().any(|a| a == "list") {
         for (id, desc, _) in experiments::registry() {
@@ -58,5 +76,14 @@ fn main() {
         std::fs::write(&json_path, classic_obs::render_all_json())
             .unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
         eprintln!("; metrics written to {path} and {json_path}");
+    }
+    if let Some(path) = trace_path {
+        let traces = classic_obs::all_traces();
+        std::fs::write(&path, classic_obs::render_chrome_trace(&traces))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!(
+            "; {} retained trace(s) written to {path} (Chrome trace-event JSON)",
+            traces.len()
+        );
     }
 }

@@ -99,6 +99,7 @@ pub fn run() -> String {
         addr: "127.0.0.1:0".to_owned(),
         data_dir: dir.clone(),
         workers: clients + 2, // every client stays connected + HTTP scrapes
+        ..ServerConfig::default()
     })
     .expect("server starts");
 

@@ -14,6 +14,7 @@ pub mod e14_server;
 pub mod e15_shard;
 pub mod e16_incremental;
 pub mod e17_bulk;
+pub mod e18_tracing;
 pub mod e1_subsumption;
 pub mod e2_classification;
 pub mod e3_query;
@@ -132,6 +133,11 @@ pub fn registry() -> Vec<Experiment> {
             "e17",
             "bulk ingest vs incremental asserts: >=10x at 1e5 rows, same-state oracle",
             e17_bulk::run,
+        ),
+        (
+            "e18",
+            "end-to-end request tracing: <=1.05x overhead, attribution, Chrome export",
+            e18_tracing::run,
         ),
     ]
 }

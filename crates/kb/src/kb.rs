@@ -313,7 +313,9 @@ impl Kb {
     /// [`Kb::flight_recorder`].
     pub fn new() -> Kb {
         let obs = Registry::new();
-        let recorder = Arc::new(FlightRecorder::new());
+        // Enrolled in the process-global roll-up so `--trace-out` dumps
+        // can collect traces from every KB in the process.
+        let recorder = FlightRecorder::new_shared();
         let taxonomy = Taxonomy::with_obs(&obs, Arc::clone(&recorder));
         let stats = KbStats::register(&obs);
         let dh = |name: &str, help: &str| {

@@ -87,6 +87,15 @@ pub enum Command {
     /// observability level (`full` enables span tracing for
     /// `obs-trace`); `(obs-level)` reports the current one.
     ObsLevel(Option<String>),
+    /// `(obs-sample rate)`: set the process-wide head-sampling rate for
+    /// request tracing (`0.0`–`1.0`; a request that loses the draw
+    /// records no spans but is still timed and slowlog-eligible);
+    /// `(obs-sample)` reports the current rate.
+    ObsSample(Option<f64>),
+    /// `(obs-slowlog [n])`: render the up-to-`n` (default 10) slowest
+    /// wire requests from the process-global slow-op log, with request
+    /// identity and span trees.
+    ObsSlowlog(Option<usize>),
     /// `(provenance Name)`: where the individual's derived information
     /// came from (the dependency journal, rendered).
     Provenance(String),
@@ -163,6 +172,46 @@ impl Command {
                 | Command::RetractRuleById(_)
                 | Command::BulkLoad(_)
         )
+    }
+
+    /// The command's surface-language operator name — the request-kind
+    /// attribute the server stamps on traces and slowlog entries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Command::DefineRole(_) => "define-role",
+            Command::DefineAttribute(_) => "define-attribute",
+            Command::DefineConcept(..) => "define-concept",
+            Command::CreateInd(_) => "create-ind",
+            Command::AssertInd(..) => "assert-ind",
+            Command::AssertRule(..) => "assert-rule",
+            Command::RetractInd(..) => "retract-ind",
+            Command::RetractRule(..) | Command::RetractRuleById(_) => "retract-rule",
+            Command::ListRules => "list-rules",
+            Command::ObsStats { .. } => "obs-stats",
+            Command::ObsTrace(_) => "obs-trace",
+            Command::ObsReset => "obs-reset",
+            Command::ObsLevel(_) => "obs-level",
+            Command::ObsSample(_) => "obs-sample",
+            Command::ObsSlowlog(_) => "obs-slowlog",
+            Command::Provenance(_) => "provenance",
+            Command::Retrieve(_) => "retrieve",
+            Command::Possible(_) => "possible",
+            Command::AskNecessarySet(_) => "ask-necessary-set",
+            Command::AskDescription(_) => "ask-description",
+            Command::Subsumes(..) => "subsumes?",
+            Command::Equivalent(..) => "equivalent?",
+            Command::Disjoint(..) => "disjoint?",
+            Command::ConceptAspect(..) => "concept-aspect",
+            Command::IndAspect(..) => "ind-aspect",
+            Command::Describe(_) => "describe",
+            Command::Parents(_) => "parents",
+            Command::Children(_) => "children",
+            Command::Classify(_) => "classify",
+            Command::Why(..) => "why?",
+            Command::WhatIf(..) => "what-if?",
+            Command::BulkLoad(_) => "bulk-load",
+            Command::LintKb { .. } => "lint-kb",
+        }
     }
 }
 
@@ -641,6 +690,16 @@ pub(crate) fn parse_command_tokens(tokens: &[Token]) -> Result<Command> {
         "obs-trace" => Command::ObsTrace(w.symbol()?),
         "obs-reset" => Command::ObsReset,
         "obs-level" => Command::ObsLevel(w.optional_symbol()),
+        "obs-sample" => Command::ObsSample(w.optional_number()),
+        "obs-slowlog" => match w.optional_int() {
+            Some(n) if n >= 0 => Command::ObsSlowlog(Some(n as usize)),
+            Some(n) => {
+                return Err(ClassicError::Malformed(format!(
+                    "obs-slowlog count is non-negative, got {n}"
+                )))
+            }
+            None => Command::ObsSlowlog(None),
+        },
         "provenance" => Command::Provenance(w.symbol()?),
         "retrieve" | "instances" => {
             let q = w.query()?;
@@ -768,6 +827,27 @@ impl TokenWindow<'_> {
             }) => {
                 self.ix += 1;
                 Some(*i)
+            }
+            _ => None,
+        }
+    }
+
+    /// An optional numeric literal (int or float), consumed if present.
+    fn optional_number(&mut self) -> Option<f64> {
+        match self.tokens.get(self.ix) {
+            Some(Token {
+                kind: TokenKind::Int(i),
+                ..
+            }) => {
+                self.ix += 1;
+                Some(*i as f64)
+            }
+            Some(Token {
+                kind: TokenKind::Float(f),
+                ..
+            }) => {
+                self.ix += 1;
+                Some(f.0)
             }
             _ => None,
         }
@@ -1184,6 +1264,26 @@ pub fn eval(kb: &mut Kb, cmd: &Command) -> Result<Outcome> {
                 classic_obs::level()
             )))
         }
+        Command::ObsSample(rate) => {
+            if let Some(r) = rate {
+                if !(0.0..=1.0).contains(r) {
+                    return Err(ClassicError::Malformed(format!(
+                        "sample rate must be in [0, 1], got {r}"
+                    )));
+                }
+                classic_obs::set_sample_rate(*r);
+            }
+            Ok(Outcome::Description(format!(
+                "obs sample rate: {}",
+                classic_obs::sample_rate()
+            )))
+        }
+        Command::ObsSlowlog(n) => Ok(Outcome::Description(
+            classic_obs::global_slowlog()
+                .render_text(n.unwrap_or(10))
+                .trim_end()
+                .to_string(),
+        )),
         Command::Provenance(name) => {
             let iname = kb
                 .schema()

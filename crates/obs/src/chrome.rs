@@ -1,0 +1,198 @@
+//! Chrome trace-event JSON export: renders [`Trace`]s as the
+//! `traceEvents` array format understood by Perfetto and
+//! `chrome://tracing`.
+//!
+//! One complete event (`"ph":"X"`) per span, with `ts`/`dur` in
+//! microseconds (fractional, exact to the nanosecond). Each trace gets
+//! its own `tid` — span timestamps are relative to their trace's start,
+//! so putting two traces on one track would interleave them — plus a
+//! metadata event naming the track after the request's trace id. The
+//! output is strict JSON: it round-trips through [`crate::Json`], which
+//! the tests and the `json-check` bin enforce.
+
+use crate::expo::json_string;
+use crate::flight::Trace;
+use std::sync::Arc;
+
+/// Exact nanoseconds → fractional microseconds, e.g. `12345` → `12.345`.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn push_span_args(out: &mut String, t: &Trace, span_ix: usize) {
+    let s = &t.spans[span_ix];
+    out.push_str(",\"args\":{");
+    let mut first = true;
+    if span_ix == 0 {
+        if let Some(c) = &t.ctx {
+            out.push_str(&format!(
+                "\"trace_id\":{},\"tenant\":{},\"session\":{},\"kind\":{}",
+                json_string(&c.trace_id.to_string()),
+                json_string(&c.tenant),
+                c.session,
+                json_string(c.kind)
+            ));
+            first = false;
+        }
+    }
+    // Events summed by name so args keys stay unique.
+    let mut summed: Vec<(&'static str, u64)> = Vec::new();
+    for e in &s.events {
+        match summed.iter_mut().find(|(n, _)| *n == e.name) {
+            Some((_, v)) => *v += e.value,
+            None => summed.push((e.name, e.value)),
+        }
+    }
+    for (n, v) in summed {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{}", json_string(n), v));
+        first = false;
+    }
+    out.push('}');
+}
+
+/// Render `traces` as one Chrome trace-event JSON document.
+pub fn render_chrome_trace(traces: &[Arc<Trace>]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (tix, t) in traces.iter().enumerate() {
+        let tid = tix + 1;
+        let track_name = match &t.ctx {
+            Some(c) => format!("{} {} ({})", c.trace_id, t.root, c.tenant),
+            None => format!("{} (local)", t.root),
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":{}}}}}",
+            tid,
+            json_string(&track_name)
+        ));
+        for (six, s) in t.spans.iter().enumerate() {
+            out.push_str(&format!(
+                ",{{\"name\":{},\"cat\":\"classic\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
+                json_string(s.target),
+                us(s.start_ns),
+                us(s.dur_ns),
+                tid
+            ));
+            push_span_args(&mut out, t, six);
+            out.push('}');
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{RequestCtx, TraceId};
+    use crate::flight::{SpanRecord, TraceEvent};
+    use crate::Json;
+
+    fn sample_trace() -> Arc<Trace> {
+        Arc::new(Trace {
+            root: "server.request",
+            total_ns: 9_500,
+            spans: vec![
+                SpanRecord {
+                    id: 0,
+                    parent: None,
+                    target: "server.request",
+                    start_ns: 0,
+                    dur_ns: 9_500,
+                    events: vec![],
+                },
+                SpanRecord {
+                    id: 1,
+                    parent: Some(0),
+                    target: "kb.assert",
+                    start_ns: 1_200,
+                    dur_ns: 7_000,
+                    events: vec![
+                        TraceEvent {
+                            name: "rule_fired",
+                            value: 2,
+                        },
+                        TraceEvent {
+                            name: "rule_fired",
+                            value: 1,
+                        },
+                    ],
+                },
+            ],
+            ctx: Some(RequestCtx {
+                trace_id: TraceId::parse("deadbeef").unwrap(),
+                tenant: "t0".to_string(),
+                session: 4,
+                kind: "assert-ind",
+            }),
+        })
+    }
+
+    #[test]
+    fn chrome_dump_is_strict_json_with_nested_ts_dur() {
+        let text = render_chrome_trace(&[sample_trace()]);
+        let v = Json::parse(&text).expect("chrome dump parses strictly");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // One metadata + two span events.
+        assert_eq!(events.len(), 3);
+        let root = &events[1];
+        let child = &events[2];
+        assert_eq!(root.get("ph").unwrap().as_str(), Some("X"));
+        let (rts, rdur) = (
+            root.get("ts").unwrap().as_num().unwrap(),
+            root.get("dur").unwrap().as_num().unwrap(),
+        );
+        let (cts, cdur) = (
+            child.get("ts").unwrap().as_num().unwrap(),
+            child.get("dur").unwrap().as_num().unwrap(),
+        );
+        assert!(cts >= rts, "child opens inside the root window");
+        assert!(cts + cdur <= rts + rdur, "child closes inside the root");
+        assert_eq!(rts, 0.0);
+        assert_eq!(cts, 1.2);
+        assert_eq!(cdur, 7.0);
+        // Root args carry the request identity; child args sum events.
+        let args = root.get("args").unwrap();
+        assert_eq!(
+            args.get("trace_id").unwrap().as_str(),
+            Some("000000000000000000000000deadbeef")
+        );
+        assert_eq!(args.get("tenant").unwrap().as_str(), Some("t0"));
+        assert_eq!(args.get("kind").unwrap().as_str(), Some("assert-ind"));
+        assert_eq!(
+            child
+                .get("args")
+                .unwrap()
+                .get("rule_fired")
+                .unwrap()
+                .as_num(),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn traces_get_distinct_tids() {
+        let text = render_chrome_trace(&[sample_trace(), sample_trace()]);
+        let v = Json::parse(&text).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let tids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .map(|e| e.get("tid").unwrap().as_num().unwrap() as u64)
+            .collect();
+        assert_eq!(tids.len(), 2);
+    }
+
+    #[test]
+    fn empty_dump_is_still_valid() {
+        let text = render_chrome_trace(&[]);
+        Json::parse(&text).expect("empty dump parses");
+        assert!(text.contains("\"traceEvents\":[]"));
+    }
+}

@@ -1,7 +1,10 @@
 //! Exposition: Prometheus text format and JSON, over one registry or the
-//! process-global roll-up of every registry created so far.
+//! process-global roll-up of every registry created so far. Also the
+//! OpenMetrics exemplar store ([`ExemplarStore`]) that attaches recent
+//! trace ids to histogram buckets, and the labeled renderer the server
+//! uses for per-tenant sections of `/metrics`.
 
-use crate::metrics::{HistogramSnapshot, MetricsSnapshot, Registry};
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot, Registry, HISTOGRAM_BUCKETS};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
 
 fn global() -> &'static Mutex<Vec<Weak<Registry>>> {
@@ -60,6 +63,13 @@ pub fn render_all_prometheus() -> String {
     render_prometheus(&snapshot_all())
 }
 
+/// Render the process-global roll-up with OpenMetrics exemplars attached
+/// to the named histograms' bucket lines (the server uses this to tag
+/// `classic_server_request_ns` with recent trace ids).
+pub fn render_all_prometheus_exemplars(exemplars: &[(&str, Vec<Option<Exemplar>>)]) -> String {
+    render_prometheus_exemplars(&snapshot_all(), exemplars)
+}
+
 /// Render the process-global roll-up as JSON.
 pub fn render_all_json() -> String {
     render_json(&snapshot_all())
@@ -80,6 +90,141 @@ fn le_of(bucket: usize) -> String {
 /// (`# HELP` / `# TYPE` comments, one sample per line; histograms emit
 /// cumulative `_bucket{le=...}` samples plus `_sum` and `_count`).
 pub fn render_prometheus(s: &MetricsSnapshot) -> String {
+    render_prometheus_exemplars(s, &[])
+}
+
+/// One OpenMetrics exemplar: the trace id of a recent observation that
+/// landed in a histogram bucket, with the observed value and a unix
+/// timestamp (milliseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Trace id label value (hex, as rendered by [`crate::TraceId`]).
+    pub trace_id: String,
+    /// The observed value (same unit as the histogram).
+    pub value: u64,
+    /// Observation wall time, unix milliseconds.
+    pub ts_ms: u64,
+}
+
+impl Exemplar {
+    /// Render per the OpenMetrics exemplar grammar:
+    /// `# {trace_id="…"} <value> <unix-seconds>`.
+    pub fn render(&self) -> String {
+        format!(
+            "# {{trace_id=\"{}\"}} {} {}.{:03}",
+            self.trace_id,
+            self.value,
+            self.ts_ms / 1_000,
+            self.ts_ms % 1_000
+        )
+    }
+}
+
+/// Per-bucket exemplar slots for one histogram: each observation
+/// overwrites its bucket's slot, so scrapes always see a *recent*
+/// representative trace id per latency band. One short mutex hold per
+/// observe; the server only feeds this at the request front, not on hot
+/// kernel paths.
+pub struct ExemplarStore {
+    slots: Mutex<Vec<Option<Exemplar>>>,
+}
+
+impl ExemplarStore {
+    /// An empty store with one slot per histogram bucket.
+    pub fn new() -> ExemplarStore {
+        ExemplarStore {
+            slots: Mutex::new(vec![None; HISTOGRAM_BUCKETS]),
+        }
+    }
+
+    /// Record `value` (observed under `trace_id`) into its bucket slot.
+    pub fn observe(&self, value: u64, trace_id: &str) {
+        let ts_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let b = crate::metrics::bucket_of(value).min(HISTOGRAM_BUCKETS - 1);
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        slots[b] = Some(Exemplar {
+            trace_id: trace_id.to_string(),
+            value,
+            ts_ms,
+        });
+    }
+
+    /// Current per-bucket exemplars (index = bucket).
+    pub fn snapshot(&self) -> Vec<Option<Exemplar>> {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+impl Default for ExemplarStore {
+    fn default() -> Self {
+        ExemplarStore::new()
+    }
+}
+
+fn render_histogram_lines(
+    out: &mut String,
+    name: &str,
+    label_prefix: &str,
+    h: &HistogramSnapshot,
+    exemplars: Option<&[Option<Exemplar>]>,
+) {
+    // Emit buckets up to the highest nonempty one, then +Inf; cumulative
+    // counts stay exact and the output stays short.
+    let top = h
+        .buckets
+        .iter()
+        .rposition(|&c| c > 0)
+        .map(|p| p.min(63))
+        .unwrap_or(0);
+    let mut cum = 0u64;
+    for b in 0..=top {
+        cum += h.buckets[b];
+        out.push_str(&format!(
+            "{name}_bucket{{{label_prefix}le=\"{}\"}} {cum}",
+            le_of(b)
+        ));
+        if let Some(ex) = exemplars.and_then(|e| e.get(b)).and_then(|e| e.as_ref()) {
+            out.push(' ');
+            out.push_str(&ex.render());
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{{label_prefix}le=\"+Inf\"}} {}",
+        h.count
+    ));
+    // An exemplar above the last rendered bucket attaches to +Inf.
+    if let Some(ex) = exemplars
+        .into_iter()
+        .flatten()
+        .skip(top + 1)
+        .flatten()
+        .next()
+    {
+        out.push(' ');
+        out.push_str(&ex.render());
+    }
+    out.push('\n');
+    if label_prefix.is_empty() {
+        out.push_str(&format!("{name}_sum {}\n", h.sum));
+        out.push_str(&format!("{name}_count {}\n", h.count));
+    } else {
+        let labels = label_prefix.trim_end_matches(',');
+        out.push_str(&format!("{name}_sum{{{labels}}} {}\n", h.sum));
+        out.push_str(&format!("{name}_count{{{labels}}} {}\n", h.count));
+    }
+}
+
+/// Render a snapshot like [`render_prometheus`], attaching OpenMetrics
+/// exemplars to the bucket lines of the named histograms. `exemplars`
+/// maps a histogram name to its per-bucket exemplar snapshot.
+pub fn render_prometheus_exemplars(
+    s: &MetricsSnapshot,
+    exemplars: &[(&str, Vec<Option<Exemplar>>)],
+) -> String {
     let mut out = String::new();
     for (name, (help, v)) in &s.counters {
         if !help.is_empty() {
@@ -98,22 +243,41 @@ pub fn render_prometheus(s: &MetricsSnapshot) -> String {
             out.push_str(&format!("# HELP {name} {help}\n"));
         }
         out.push_str(&format!("# TYPE {name} histogram\n"));
-        // Emit buckets up to the highest nonempty one, then +Inf;
-        // cumulative counts stay exact and the output stays short.
-        let top = h
-            .buckets
+        let ex = exemplars
             .iter()
-            .rposition(|&c| c > 0)
-            .map(|p| p.min(63))
-            .unwrap_or(0);
-        let mut cum = 0u64;
-        for b in 0..=top {
-            cum += h.buckets[b];
-            out.push_str(&format!("{name}_bucket{{le=\"{}\"}} {cum}\n", le_of(b)));
-        }
-        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
-        out.push_str(&format!("{name}_sum {}\n", h.sum));
-        out.push_str(&format!("{name}_count {}\n", h.count));
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| e.as_slice());
+        render_histogram_lines(&mut out, name, "", h, ex);
+    }
+    out
+}
+
+/// Render a snapshot with an extra label set on every series, e.g.
+/// `[("tenant", "acme")]` → `name{tenant="acme"} v`. Emits *no*
+/// `# HELP`/`# TYPE` lines: callers append these sections after an
+/// unlabeled roll-up render that already carries the metadata for the
+/// same series names (repeating `# TYPE` would be invalid exposition).
+/// Label values are escaped per the Prometheus text format.
+pub fn render_prometheus_labeled(s: &MetricsSnapshot, labels: &[(&str, &str)]) -> String {
+    let escape = |v: &str| {
+        v.replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+    };
+    let mut prefix = String::new();
+    for (k, v) in labels {
+        prefix.push_str(&format!("{k}=\"{}\",", escape(v)));
+    }
+    let bare = prefix.trim_end_matches(',').to_string();
+    let mut out = String::new();
+    for (name, (_, v)) in &s.counters {
+        out.push_str(&format!("{name}{{{bare}}} {v}\n"));
+    }
+    for (name, (_, v)) in &s.gauges {
+        out.push_str(&format!("{name}{{{bare}}} {v}\n"));
+    }
+    for (name, (_, h)) in &s.histograms {
+        render_histogram_lines(&mut out, name, &prefix, h, None);
     }
     out
 }

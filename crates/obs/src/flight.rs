@@ -1,8 +1,13 @@
 //! The flight recorder: a fixed-capacity ring buffer of completed
 //! operation traces, retaining the N most recent plus the K slowest.
+//!
+//! Recorders created with [`FlightRecorder::new_shared`] are enrolled in
+//! a process-global roll-up (mirroring the metrics registry roll-up) so
+//! `--trace-out` dumps can collect every trace in the process.
 
+use crate::context::RequestCtx;
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 
 /// A point event attached to a span (e.g. `rule_fired`, with the rule id
 /// as the value).
@@ -42,6 +47,10 @@ pub struct Trace {
     pub total_ns: u64,
     /// All spans, in completion order; span 0 is the root.
     pub spans: Vec<SpanRecord>,
+    /// The wire-request identity this trace roots at, when the root span
+    /// was opened by the server front ([`crate::trace::request_span`]);
+    /// `None` for traces rooted inside the process (CLI, worker shards).
+    pub ctx: Option<RequestCtx>,
 }
 
 impl Trace {
@@ -89,6 +98,9 @@ struct FlightInner {
 pub struct FlightRecorder {
     recent_cap: usize,
     slow_cap: usize,
+    /// Enrolled recorders move their retained traces to the process
+    /// graveyard when dropped, so `--trace-out` survives KB teardown.
+    bury_on_drop: bool,
     inner: Mutex<FlightInner>,
 }
 
@@ -97,10 +109,75 @@ pub const DEFAULT_RECENT_CAP: usize = 64;
 /// Default capacity of the slowest-traces list.
 pub const DEFAULT_SLOW_CAP: usize = 16;
 
+/// Every live recorder created via [`FlightRecorder::new_shared`].
+static RECORDERS: Mutex<Vec<Weak<FlightRecorder>>> = Mutex::new(Vec::new());
+
+/// Bound on traces retained from dropped shared recorders.
+const GRAVEYARD_CAP: usize = 256;
+
+/// Final traces of dropped shared recorders, oldest evicted first.
+/// Without this, a `--trace-out` dump taken after the knowledge bases
+/// it profiled were dropped would be empty (mirrors the metrics
+/// registry's graveyard in [`crate::expo`]).
+fn graveyard() -> &'static Mutex<VecDeque<Arc<Trace>>> {
+    static G: std::sync::OnceLock<Mutex<VecDeque<Arc<Trace>>>> = std::sync::OnceLock::new();
+    G.get_or_init(|| Mutex::new(VecDeque::new()))
+}
+
+/// Every trace currently retained by any enrolled recorder (recent +
+/// slowest, deduplicated) plus the buried traces of dropped shared
+/// recorders, in no particular order.
+pub fn all_traces() -> Vec<Arc<Trace>> {
+    let mut recorders = RECORDERS.lock().unwrap_or_else(|e| e.into_inner());
+    recorders.retain(|w| w.strong_count() > 0);
+    let live: Vec<Arc<FlightRecorder>> = recorders.iter().filter_map(Weak::upgrade).collect();
+    drop(recorders);
+    let mut out: Vec<Arc<Trace>> = Vec::new();
+    for r in live {
+        let inner = r.lock();
+        for t in inner.recent.iter().chain(inner.slowest.iter()) {
+            if !out.iter().any(|o| Arc::ptr_eq(o, t)) {
+                out.push(t.clone());
+            }
+        }
+    }
+    let buried = graveyard().lock().unwrap_or_else(|e| e.into_inner());
+    for t in buried.iter() {
+        if !out.iter().any(|o| Arc::ptr_eq(o, t)) {
+            out.push(t.clone());
+        }
+    }
+    out
+}
+
+/// Find a retained trace by its request trace id (any enrolled
+/// recorder; 32-digit lowercase hex as rendered by
+/// [`crate::TraceId`]'s `Display`).
+pub fn find_trace(id_hex: &str) -> Option<Arc<Trace>> {
+    all_traces()
+        .into_iter()
+        .find(|t| matches!(&t.ctx, Some(c) if c.trace_id.to_string() == id_hex))
+}
+
 impl FlightRecorder {
     /// A recorder with the default capacities (64 recent, 16 slowest).
     pub fn new() -> FlightRecorder {
         FlightRecorder::with_capacity(DEFAULT_RECENT_CAP, DEFAULT_SLOW_CAP)
+    }
+
+    /// A default-capacity recorder enrolled in the process-global
+    /// roll-up read by [`all_traces`]. Enrollment holds only a [`Weak`];
+    /// dropping the last `Arc` unenrolls it and buries its retained
+    /// traces in the graveyard [`all_traces`] also reads.
+    pub fn new_shared() -> Arc<FlightRecorder> {
+        let mut fr = FlightRecorder::new();
+        fr.bury_on_drop = true;
+        let r = Arc::new(fr);
+        RECORDERS
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::downgrade(&r));
+        r
     }
 
     /// A recorder retaining the `recent_cap` most recent and `slow_cap`
@@ -109,6 +186,7 @@ impl FlightRecorder {
         FlightRecorder {
             recent_cap: recent_cap.max(1),
             slow_cap,
+            bury_on_drop: false,
             inner: Mutex::new(FlightInner {
                 recent: VecDeque::new(),
                 slowest: Vec::new(),
@@ -123,7 +201,12 @@ impl FlightRecorder {
     /// Record a completed trace (called by the span layer when a root
     /// span closes).
     pub fn record(&self, trace: Trace) {
-        let t = Arc::new(trace);
+        self.record_arc(Arc::new(trace));
+    }
+
+    /// Like [`FlightRecorder::record`] for a trace the caller also keeps
+    /// a handle to (the request layer shares the `Arc` with the slowlog).
+    pub fn record_arc(&self, t: Arc<Trace>) {
         let mut inner = self.lock();
         if inner.recent.len() == self.recent_cap {
             inner.recent.pop_front();
@@ -146,6 +229,21 @@ impl FlightRecorder {
     /// The slowest traces seen since the last clear, slowest first.
     pub fn slowest(&self) -> Vec<Arc<Trace>> {
         self.lock().slowest.clone()
+    }
+
+    /// Every trace currently retained (recent + slowest, deduplicated),
+    /// slowest first — what `GET /trace?tenant=…` exports.
+    pub fn traces(&self) -> Vec<Arc<Trace>> {
+        let inner = self.lock();
+        let mut out: Vec<Arc<Trace>> = Vec::new();
+        for t in inner.slowest.iter().chain(inner.recent.iter()) {
+            if !out.iter().any(|o| Arc::ptr_eq(o, t)) {
+                out.push(t.clone());
+            }
+        }
+        drop(inner);
+        out.sort_by_key(|t| std::cmp::Reverse(t.total_ns));
+        out
     }
 
     /// Traces (recent + slowest, deduplicated) whose root target equals
@@ -207,6 +305,24 @@ impl Default for FlightRecorder {
     }
 }
 
+impl Drop for FlightRecorder {
+    fn drop(&mut self) {
+        if !self.bury_on_drop {
+            return;
+        }
+        let inner = self.inner.get_mut().unwrap_or_else(|e| e.into_inner());
+        let mut g = graveyard().lock().unwrap_or_else(|e| e.into_inner());
+        for t in inner.slowest.drain(..).chain(inner.recent.drain(..)) {
+            if !g.iter().any(|o| Arc::ptr_eq(o, &t)) {
+                g.push_back(t);
+            }
+        }
+        while g.len() > GRAVEYARD_CAP {
+            g.pop_front();
+        }
+    }
+}
+
 impl std::fmt::Debug for FlightRecorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let inner = self.lock();
@@ -233,6 +349,7 @@ mod tests {
                 dur_ns: total_ns,
                 events: Vec::new(),
             }],
+            ctx: None,
         }
     }
 
@@ -247,6 +364,18 @@ mod tests {
         assert_eq!(fr.slowest()[0].total_ns, 1_000_000);
         let for_op = fr.traces_for("op");
         assert_eq!(for_op.len(), 3, "slow trace retained past ring eviction");
+    }
+
+    #[test]
+    fn shared_recorder_traces_survive_its_drop() {
+        let fr = FlightRecorder::new_shared();
+        fr.record(trace("graveyard.probe", 42));
+        drop(fr);
+        let buried = all_traces()
+            .into_iter()
+            .find(|t| t.root == "graveyard.probe")
+            .expect("trace buried on recorder drop");
+        assert_eq!(buried.total_ns, 42);
     }
 
     #[test]
@@ -275,6 +404,7 @@ mod tests {
                     }],
                 },
             ],
+            ctx: None,
         };
         let text = t.render();
         assert!(text.starts_with("kb.assert"));

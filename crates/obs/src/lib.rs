@@ -38,22 +38,32 @@
 
 #![deny(missing_docs)]
 
+pub mod chrome;
+pub mod context;
 pub mod expo;
 pub mod flight;
 pub mod json;
 pub mod level;
 pub mod metrics;
+pub mod slowlog;
 pub mod trace;
 
-pub use expo::{
-    json_string, render_all_json, render_all_prometheus, render_json, render_prometheus,
-    snapshot_all,
+pub use chrome::render_chrome_trace;
+pub use context::{
+    next_session_id, sample_rate, sampled, set_sample_rate, RequestCtx, TraceId, TraceIdError,
+    TraceIdErrorKind, MAX_TRACE_ID_LEN,
 };
-pub use flight::{FlightRecorder, SpanRecord, Trace, TraceEvent};
+pub use expo::{
+    json_string, render_all_json, render_all_prometheus, render_all_prometheus_exemplars,
+    render_json, render_prometheus, render_prometheus_exemplars, render_prometheus_labeled,
+    snapshot_all, Exemplar, ExemplarStore,
+};
+pub use flight::{all_traces, find_trace, FlightRecorder, SpanRecord, Trace, TraceEvent};
 pub use json::{Json, JsonError};
 pub use level::{counters_enabled, level, set_level, tracing_enabled, ObsLevel};
 pub use metrics::{
     bucket_of, validate_name, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,
     ObsError, ObsErrorKind, Registry, HISTOGRAM_BUCKETS,
 };
-pub use trace::{event, span, span_timed, SpanGuard};
+pub use slowlog::{global_slowlog, SlowLog, SlowOp, DEFAULT_SLOWLOG_CAP};
+pub use trace::{event, request_span, span, span_timed, RequestGuard, SpanGuard};

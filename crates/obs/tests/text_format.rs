@@ -3,7 +3,70 @@
 //! build when an experiment's exposition output is empty or
 //! unparseable).
 
-use classic_obs::Registry;
+use classic_obs::{ExemplarStore, Registry};
+
+/// Validate a label set body (the text between `{` and `}`):
+/// comma-separated `key="value"` pairs with `\"`-escaped values.
+fn check_label_set(body: &str) -> Result<(), String> {
+    let mut rest = body;
+    loop {
+        let Some(eq) = rest.find("=\"") else {
+            return Err(format!("label without =\" in {body:?}"));
+        };
+        let key = &rest[..eq];
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("bad label name {key:?}"));
+        }
+        // Find the closing unescaped quote.
+        let mut ix = eq + 2;
+        let bytes = rest.as_bytes();
+        loop {
+            match bytes.get(ix) {
+                None => return Err(format!("unterminated label value in {body:?}")),
+                Some(b'\\') => ix += 2,
+                Some(b'"') => break,
+                Some(_) => ix += 1,
+            }
+        }
+        rest = &rest[ix + 1..];
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r,
+            None if rest.is_empty() => return Ok(()),
+            None => return Err(format!("junk after label value in {body:?}")),
+        }
+    }
+}
+
+/// Validate an OpenMetrics exemplar suffix (everything after `# ` on a
+/// `_bucket` line): `{trace_id="…"} <value> [<timestamp>]`.
+fn check_exemplar(suffix: &str) -> Result<(), String> {
+    let Some(rest) = suffix.strip_prefix('{') else {
+        return Err(format!("exemplar must start with a label set: {suffix:?}"));
+    };
+    let Some((labels, rest)) = rest.split_once('}') else {
+        return Err(format!("unterminated exemplar label set: {suffix:?}"));
+    };
+    check_label_set(labels)?;
+    if !labels.starts_with("trace_id=\"") {
+        return Err(format!("exemplar must carry trace_id: {suffix:?}"));
+    }
+    let mut parts = rest.trim_start().split(' ');
+    let Some(value) = parts.next() else {
+        return Err(format!("exemplar without value: {suffix:?}"));
+    };
+    if value.parse::<f64>().is_err() {
+        return Err(format!("unparseable exemplar value {value:?}"));
+    }
+    if let Some(ts) = parts.next() {
+        if ts.parse::<f64>().is_err() {
+            return Err(format!("unparseable exemplar timestamp {ts:?}"));
+        }
+    }
+    if parts.next().is_some() {
+        return Err(format!("junk after exemplar timestamp: {suffix:?}"));
+    }
+    Ok(())
+}
 
 /// Validate one exposition document. Returns the number of sample lines,
 /// or an error naming the first offending line.
@@ -33,7 +96,20 @@ fn check_prometheus_text(text: &str) -> Result<usize, String> {
             }
             continue;
         }
-        // Sample: `name value` or `name_bucket{le="N"} value`.
+        // Sample: `name value`, `name{labels} value`, optionally followed
+        // by an OpenMetrics exemplar: ` # {trace_id="…"} value ts`.
+        let line = match line.split_once(" # ") {
+            Some((sample_part, exemplar)) => {
+                if !sample_part.contains("_bucket") {
+                    return err("exemplar on a non-bucket line");
+                }
+                if let Err(e) = check_exemplar(exemplar) {
+                    return err(&e);
+                }
+                sample_part
+            }
+            None => line,
+        };
         let Some((sample, value)) = line.rsplit_once(' ') else {
             return err("sample line without value");
         };
@@ -42,8 +118,11 @@ fn check_prometheus_text(text: &str) -> Result<usize, String> {
         }
         let name = match sample.split_once('{') {
             Some((name, labels)) => {
-                if !labels.ends_with('}') || !labels.starts_with("le=\"") {
+                let Some(labels) = labels.strip_suffix('}') else {
                     return err("malformed label set");
+                };
+                if let Err(e) = check_label_set(labels) {
+                    return err(&e);
                 }
                 name
             }
@@ -118,6 +197,73 @@ fn empty_or_garbage_documents_are_rejected() {
     assert!(check_prometheus_text("name notanumber").is_err());
     assert!(check_prometheus_text("# TYPE x summary\nx 1").is_err());
     assert!(check_prometheus_text("Bad-Name 3").is_err());
+}
+
+#[test]
+fn exemplar_grammar_is_pinned() {
+    // The exact OpenMetrics exemplar shape the server emits on
+    // /metrics: `bucket_sample # {trace_id="…"} value unix_seconds`.
+    let ex = classic_obs::Exemplar {
+        trace_id: "000000000000000000000000deadbeef".to_string(),
+        value: 212,
+        ts_ms: 1_690_000_000_123,
+    };
+    assert_eq!(
+        ex.render(),
+        "# {trace_id=\"000000000000000000000000deadbeef\"} 212 1690000000.123"
+    );
+
+    let r = Registry::new();
+    let h = r.histogram("fmt_exemplar_ns", "request latency").unwrap();
+    h.record(212);
+    h.record(90_000);
+    let store = ExemplarStore::new();
+    store.observe(212, "000000000000000000000000deadbeef");
+    store.observe(90_000, "00000000000000000000000000000abc");
+    let text = classic_obs::render_prometheus_exemplars(
+        &r.snapshot(),
+        &[("fmt_exemplar_ns", store.snapshot())],
+    );
+    let n = check_prometheus_text(&text).expect("exemplar exposition is valid");
+    assert!(n >= 3);
+    // Each observed bucket line carries its exemplar.
+    let with_ex: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains(" # {trace_id="))
+        .collect();
+    assert_eq!(with_ex.len(), 2, "one exemplar per observed bucket: {text}");
+    assert!(with_ex
+        .iter()
+        .any(|l| l.contains("trace_id=\"000000000000000000000000deadbeef\"} 212 ")));
+
+    // Malformed exemplars are rejected by the checker.
+    assert!(check_prometheus_text("x_bucket{le=\"+Inf\"} 1 # trace 1").is_err());
+    assert!(check_prometheus_text("x_bucket{le=\"+Inf\"} 1 # {le=\"3\"} 1").is_err());
+    assert!(check_prometheus_text("x_total 1 # {trace_id=\"a\"} 1").is_err());
+}
+
+#[test]
+fn tenant_labeled_rendering_passes_the_checker() {
+    let r = Registry::new();
+    r.counter("fmt_tenant_requests_total", "").unwrap().add(9);
+    let h = r.histogram("fmt_tenant_vals", "").unwrap();
+    h.record(5);
+    // Labeled sections carry no TYPE lines; prepend an unlabeled render
+    // (as the server does) so every series is typed exactly once.
+    let text = format!(
+        "{}{}",
+        r.render_prometheus(),
+        classic_obs::render_prometheus_labeled(&r.snapshot(), &[("tenant", "acme-1")])
+    );
+    check_prometheus_text(&text).expect("labeled exposition is valid");
+    assert!(text.contains("fmt_tenant_requests_total{tenant=\"acme-1\"} 9"));
+    assert!(text.contains("fmt_tenant_vals_bucket{tenant=\"acme-1\",le=\"7\"} 1"));
+    assert!(text.contains("fmt_tenant_vals_count{tenant=\"acme-1\"} 1"));
+    // Escaping: a hostile label value cannot break the line grammar.
+    let hostile =
+        classic_obs::render_prometheus_labeled(&r.snapshot(), &[("tenant", "a\"b\\c\nd")]);
+    check_prometheus_text(&format!("{}{hostile}", r.render_prometheus()))
+        .expect("escaped label value stays parseable");
 }
 
 #[test]

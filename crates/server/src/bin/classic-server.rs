@@ -2,12 +2,22 @@
 //!
 //! ```text
 //! classic-server [--addr HOST:PORT] [--data-dir DIR] [--workers N]
+//!                [--obs-floor off|counters|full] [--sample-floor RATE]
+//!                [--push-gateway URL] [--push-interval SECS]
 //! ```
 //!
 //! Defaults: `--addr 127.0.0.1:7587`, `--data-dir ./classic-data`,
-//! `--workers 4`. The process runs until killed; every mutation is
-//! fsynced to the tenant's operation log before it is acknowledged, so
-//! an abrupt kill loses nothing acknowledged.
+//! `--workers 4`, `--obs-floor counters`, `--sample-floor 0`, no push
+//! gateway, `--push-interval 5`. The process runs until killed; every
+//! mutation is fsynced to the tenant's operation log before it is
+//! acknowledged, so an abrupt kill loses nothing acknowledged.
+//!
+//! `--obs-floor`/`--sample-floor` set the operator floors that wire
+//! sessions cannot lower `(obs-level)`/`(obs-sample)` below (they also
+//! set the starting global level and sampling rate). `--push-gateway`
+//! starts a background thread POSTing the `/metrics` exposition to the
+//! given `http://host:port[/path]` URL every `--push-interval` seconds,
+//! with a final flush on graceful shutdown.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -34,9 +44,38 @@ fn main() -> ExitCode {
                 Some(n) if n >= 1 => config.workers = n,
                 _ => return usage("--workers needs a positive integer"),
             },
+            "--obs-floor" => match args
+                .next()
+                .as_deref()
+                .and_then(classic_obs::ObsLevel::parse)
+            {
+                Some(level) => config.obs_floor = level,
+                None => return usage("--obs-floor takes off|counters|full"),
+            },
+            "--sample-floor" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if (0.0..=1.0).contains(&r) => config.sample_floor = r,
+                _ => return usage("--sample-floor needs a rate in [0, 1]"),
+            },
+            "--push-gateway" => match args.next() {
+                Some(v) => config.push_gateway = Some(v),
+                None => return usage("--push-gateway needs a URL"),
+            },
+            "--push-interval" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => config.push_interval_secs = n,
+                _ => return usage("--push-interval needs a positive integer (seconds)"),
+            },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument {other:?}")),
         }
+    }
+
+    // The floors are also the starting point: the operator asked for at
+    // least this much observability, so begin there.
+    if config.obs_floor > classic_obs::level() {
+        classic_obs::set_level(config.obs_floor);
+    }
+    if config.sample_floor > 0.0 && config.sample_floor > classic_obs::sample_rate() {
+        classic_obs::set_sample_rate(config.sample_floor);
     }
 
     match classic_server::start(config) {
@@ -61,7 +100,11 @@ fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("classic-server: {error}");
     }
-    eprintln!("usage: classic-server [--addr HOST:PORT] [--data-dir DIR] [--workers N]");
+    eprintln!(
+        "usage: classic-server [--addr HOST:PORT] [--data-dir DIR] [--workers N]\n\
+         \x20                     [--obs-floor off|counters|full] [--sample-floor RATE]\n\
+         \x20                     [--push-gateway URL] [--push-interval SECS]"
+    );
     if error.is_empty() {
         ExitCode::SUCCESS
     } else {

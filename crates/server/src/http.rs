@@ -7,11 +7,23 @@
 //! | route                  | payload                                     |
 //! |------------------------|---------------------------------------------|
 //! | `GET /healthz`         | `ok` once the listener is up                |
-//! | `GET /metrics`         | process-wide Prometheus exposition          |
+//! | `GET /metrics`         | process-wide Prometheus exposition, plus    |
+//! |                        | per-tenant labeled sections and exemplars   |
 //! | `GET /stats`           | per-tenant JSON (version, generation, size) |
 //! | `GET /lint?tenant=T`   | tenant diagnostics (`&cone=1` for the cone) |
+//! | `GET /trace?tenant=T`  | tenant's retained traces as Chrome          |
+//! |                        | trace-event JSON (`&id=HEX` for one trace,  |
+//! |                        | no params for every recorder's traces)      |
+//! | `GET /slowlog?n=K`     | the K slowest requests with span trees      |
 //! | `POST /eval?tenant=T`  | body = s-expr forms; JSON array of results  |
 //! | `POST /ingest?tenant=T`| body = raw CSV/JSON rows; bulk-load report  |
+//!
+//! `POST /eval` participates in request tracing: the whole request runs
+//! under one `server.request` root span (kind `http.eval`). A client
+//! may supply its own trace id via the `X-Classic-Trace` header —
+//! malformed or oversize ids are a 400 with a positioned error, not a
+//! silently minted fresh id — and the reply echoes the id in effect in
+//! the same header.
 //!
 //! `POST /eval` is stateless: each request parses and executes its
 //! body's forms in order against tenant `T` (default `default`),
@@ -34,8 +46,9 @@
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Instant;
 
-use classic_obs::json_string;
+use classic_obs::{json_string, RequestCtx, TraceId};
 
 use crate::server::Shared;
 use crate::tenant::TenantStats;
@@ -71,7 +84,7 @@ pub fn serve_http(
             &mut stream,
             200,
             "text/plain; version=0.0.4; charset=utf-8",
-            &classic_obs::render_all_prometheus(),
+            &shared.metrics_exposition(),
         ),
         ("GET", "/stats") => respond(
             &mut stream,
@@ -79,6 +92,27 @@ pub fn serve_http(
             "application/json",
             &stats_json(&shared.all_stats()),
         ),
+        ("GET", "/trace") => match trace_dump(shared, &req) {
+            Ok(json) => respond(&mut stream, 200, "application/json", &json),
+            Err((status, msg)) => respond(
+                &mut stream,
+                status,
+                "application/json",
+                &format!("{{\"ok\":false,\"error\":{}}}\n", json_string(&msg)),
+            ),
+        },
+        ("GET", "/slowlog") => {
+            let n = req
+                .query_param("n")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(10);
+            respond(
+                &mut stream,
+                200,
+                "application/json",
+                &format!("{}\n", classic_obs::global_slowlog().render_json(n)),
+            )
+        }
         ("GET", "/lint") => {
             let tenant_name = req.query_param("tenant").unwrap_or("default");
             let cone = matches!(req.query_param("cone"), Some("1" | "true"));
@@ -94,7 +128,27 @@ pub fn serve_http(
         }
         ("POST", "/eval") => {
             let tenant_name = req.query_param("tenant").unwrap_or("default");
-            let body = match eval_body(shared, tenant_name, &req.body) {
+            // Adopt the client's trace id or mint one; a bad header is a
+            // positioned 400, never a silently minted id.
+            let trace_id = match req.trace.as_deref() {
+                Some(raw) => match TraceId::parse(raw) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        return respond(
+                            &mut stream,
+                            400,
+                            "application/json",
+                            &format!(
+                                "{{\"ok\":false,\"error\":{}}}\n",
+                                json_string(&format!("X-Classic-Trace: {e}"))
+                            ),
+                        )
+                    }
+                },
+                None => TraceId::mint(),
+            };
+            let id_hex = trace_id.to_string();
+            let body = match eval_body(shared, tenant_name, &req.body, trace_id) {
                 Ok(json) => json,
                 Err(msg) => {
                     return respond(
@@ -105,7 +159,7 @@ pub fn serve_http(
                     )
                 }
             };
-            respond(&mut stream, 200, "application/json", &body)
+            respond_traced(&mut stream, 200, "application/json", &body, Some(&id_hex))
         }
         ("POST", "/ingest") => {
             let tenant_name = req.query_param("tenant").unwrap_or("default");
@@ -136,6 +190,7 @@ struct Request {
     path: String,  // path without query string
     query: String, // query string without '?', may be empty
     body: String,
+    trace: Option<String>, // X-Classic-Trace header value, if present
 }
 
 impl Request {
@@ -193,10 +248,13 @@ fn read_request(
         None => (target.to_owned(), String::new()),
     };
     let mut content_length: Option<usize> = None;
+    let mut trace: Option<String> = None;
     for line in lines {
         if let Some((k, v)) = line.split_once(':') {
             if k.trim().eq_ignore_ascii_case("content-length") {
                 content_length = Some(v.trim().parse().map_err(|_| bad("bad content-length"))?);
+            } else if k.trim().eq_ignore_ascii_case("x-classic-trace") {
+                trace = Some(v.trim().to_owned());
             }
         }
     }
@@ -235,7 +293,33 @@ fn read_request(
         path,
         query,
         body,
+        trace,
     }))
+}
+
+/// Answer `GET /trace`: Chrome trace-event JSON (Perfetto-loadable).
+/// `?id=HEX` exports one trace from any recorder; `?tenant=T` exports
+/// everything the tenant's flight recorder retains; no parameters
+/// exports every enrolled recorder's traces.
+fn trace_dump(shared: &Arc<Shared>, req: &Request) -> Result<String, (u16, String)> {
+    if let Some(id) = req.query_param("id") {
+        let full = TraceId::parse(id)
+            .map_err(|e| (400, e.to_string()))?
+            .to_string();
+        return match classic_obs::find_trace(&full) {
+            Some(t) => Ok(classic_obs::render_chrome_trace(&[t])),
+            None => Err((404, format!("no retained trace with id {full}"))),
+        };
+    }
+    let traces = match req.query_param("tenant") {
+        Some(name) => shared
+            .tenant(name)
+            .map_err(|e| (400, e.to_string()))?
+            .recorder()
+            .traces(),
+        None => classic_obs::all_traces(),
+    };
+    Ok(classic_obs::render_chrome_trace(&traces))
 }
 
 /// Answer `GET /lint`: the tenant's diagnostics from its incremental
@@ -254,12 +338,31 @@ fn lint_tenant(shared: &Arc<Shared>, tenant_name: &str, cone: bool) -> Result<St
 
 /// Execute the forms in `body` against `tenant_name`, in order,
 /// stopping at the first failure (which becomes the final element).
-fn eval_body(shared: &Arc<Shared>, tenant_name: &str, body: &str) -> Result<String, String> {
+///
+/// The whole request evaluates under one `server.request` root span
+/// (kind `http.eval`) on the tenant's recorder, and its wall time feeds
+/// the request histogram, exemplar store, and slowlog — same pipeline
+/// as a line-protocol form.
+fn eval_body(
+    shared: &Arc<Shared>,
+    tenant_name: &str,
+    body: &str,
+    trace_id: TraceId,
+) -> Result<String, String> {
     let tenant = shared.tenant(tenant_name).map_err(|e| e.to_string())?;
     let commands = classic_lang::parse(body).map_err(|e| e.to_string())?;
+    let ctx = RequestCtx {
+        trace_id,
+        tenant: tenant_name.to_owned(),
+        session: classic_obs::next_session_id(),
+        kind: "http.eval",
+    };
+    let started = Instant::now();
+    let guard = classic_obs::request_span(tenant.recorder(), "server.request", ctx.clone());
     let mut results = Vec::with_capacity(commands.len());
     for cmd in &commands {
         shared.metrics.requests.bump();
+        tenant.count_request();
         match tenant.execute(cmd) {
             Ok(o) => results.push(format!("{{\"ok\":true,\"result\":{}}}", o.render_json())),
             Err(e) => {
@@ -271,6 +374,16 @@ fn eval_body(shared: &Arc<Shared>, tenant_name: &str, body: &str) -> Result<Stri
                 break;
             }
         }
+    }
+    let dur_ns = started.elapsed().as_nanos() as u64;
+    let trace = guard.finish();
+    shared.metrics.request_ns.record(dur_ns);
+    if classic_obs::counters_enabled() {
+        shared
+            .metrics
+            .exemplars
+            .observe(dur_ns, &ctx.trace_id.to_string());
+        classic_obs::global_slowlog().record(ctx, dur_ns, trace);
     }
     Ok(format!("[{}]\n", results.join(",")))
 }
@@ -359,6 +472,18 @@ fn respond(
     content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
+    respond_traced(stream, status, content_type, body, None)
+}
+
+/// Like [`respond`], echoing the trace id in effect for the request in
+/// an `X-Classic-Trace` response header.
+fn respond_traced(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    trace_id: Option<&str>,
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -369,9 +494,13 @@ fn respond(
         431 => "Request Header Fields Too Large",
         _ => "Internal Server Error",
     };
+    let trace_header = match trace_id {
+        Some(id) => format!("X-Classic-Trace: {id}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         {trace_header}Content-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;
@@ -394,6 +523,7 @@ mod tests {
             path: "/eval".into(),
             query: "tenant=t1&x=2".into(),
             body: String::new(),
+            trace: None,
         };
         assert_eq!(r.query_param("tenant"), Some("t1"));
         assert_eq!(r.query_param("x"), Some("2"));

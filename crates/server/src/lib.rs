@@ -61,6 +61,7 @@
 //!     addr: "127.0.0.1:0".into(),
 //!     data_dir: dir.clone(),
 //!     workers: 1,
+//!     ..ServerConfig::default()
 //! })?;
 //!
 //! let conn = std::net::TcpStream::connect(handle.local_addr())?;
@@ -83,6 +84,7 @@
 #![deny(missing_docs)]
 
 pub mod http;
+pub mod push;
 pub mod server;
 pub mod session;
 pub mod tenant;

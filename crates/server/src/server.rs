@@ -20,17 +20,17 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use classic_core::{ClassicError, Result};
-use classic_obs::{Counter, Histogram, Registry};
+use classic_obs::{Counter, ExemplarStore, Histogram, ObsLevel, Registry};
 
 use crate::http;
 use crate::session::{Control, WireSession};
 use crate::tenant::{Tenant, TenantStats};
 
 /// How long a worker blocks in `read` before re-checking shutdown.
-const POLL: Duration = Duration::from_millis(100);
+pub(crate) const POLL: Duration = Duration::from_millis(100);
 
 /// Server configuration; `Default` gives a loopback ephemeral port,
 /// a `classic-data` directory, and four workers.
@@ -42,6 +42,19 @@ pub struct ServerConfig {
     pub data_dir: PathBuf,
     /// Worker threads (= max concurrent connections served).
     pub workers: usize,
+    /// Operator floor for `(obs-level …)` over the wire: sessions may
+    /// raise the global level above this but never lower it below.
+    pub obs_floor: ObsLevel,
+    /// Operator floor for `(obs-sample …)` over the wire: sessions may
+    /// not set a head-sampling rate below this.
+    pub sample_floor: f64,
+    /// When set, a background thread POSTs the full `/metrics`
+    /// exposition to this URL (`http://host:port[/path]`) every
+    /// [`ServerConfig::push_interval_secs`], with one final flush on
+    /// graceful shutdown.
+    pub push_gateway: Option<String>,
+    /// Seconds between push-gateway deliveries (min 1).
+    pub push_interval_secs: u64,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +63,10 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             data_dir: PathBuf::from("classic-data"),
             workers: 4,
+            obs_floor: ObsLevel::Counters,
+            sample_floor: 0.0,
+            push_gateway: None,
+            push_interval_secs: 5,
         }
     }
 }
@@ -68,8 +85,13 @@ pub struct ServerMetrics {
     pub errors: Counter,
     /// HTTP requests handled.
     pub http_requests: Counter,
+    /// Push-gateway deliveries completed.
+    pub pushes: Counter,
     /// Per-form wall time, nanoseconds.
     pub request_ns: Histogram,
+    /// Recent trace ids per latency bucket of `request_ns`, rendered as
+    /// OpenMetrics exemplars on `/metrics`.
+    pub exemplars: ExemplarStore,
 }
 
 impl ServerMetrics {
@@ -94,9 +116,14 @@ impl ServerMetrics {
                 "classic_server_http_requests_total",
                 "HTTP requests handled",
             )),
+            pushes: mk(registry.counter(
+                "classic_server_metric_pushes_total",
+                "push-gateway deliveries completed",
+            )),
             request_ns: registry
                 .histogram("classic_server_request_ns", "per-form wall time (ns)")
                 .expect("server metric names are static and valid"),
+            exemplars: ExemplarStore::new(),
             registry,
         }
     }
@@ -109,15 +136,19 @@ pub struct Shared {
     /// Request-level counters and timings.
     pub metrics: ServerMetrics,
     shutdown: AtomicBool,
+    obs_floor: ObsLevel,
+    sample_floor: f64,
 }
 
 impl Shared {
-    fn new(data_dir: PathBuf) -> Shared {
+    fn new(config: &ServerConfig) -> Shared {
         Shared {
-            data_dir,
+            data_dir: config.data_dir.clone(),
             tenants: Mutex::new(HashMap::new()),
             metrics: ServerMetrics::new(),
             shutdown: AtomicBool::new(false),
+            obs_floor: config.obs_floor,
+            sample_floor: config.sample_floor,
         }
     }
 
@@ -165,6 +196,48 @@ impl Shared {
     pub fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
     }
+
+    /// The operator floor wire sessions cannot lower `(obs-level)` below.
+    pub fn obs_floor(&self) -> ObsLevel {
+        self.obs_floor
+    }
+
+    /// The operator floor wire sessions cannot lower `(obs-sample)` below.
+    pub fn sample_floor(&self) -> f64 {
+        self.sample_floor
+    }
+
+    /// Every open tenant, sorted by name (for `/metrics` sections).
+    pub fn tenants(&self) -> Vec<Arc<Tenant>> {
+        let mut out: Vec<Arc<Tenant>> = {
+            let map = self
+                .tenants
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            map.values().cloned().collect()
+        };
+        out.sort_by(|a, b| a.name().cmp(b.name()));
+        out
+    }
+
+    /// The full `/metrics` exposition: the process-global roll-up (with
+    /// OpenMetrics exemplars on the request-latency histogram), followed
+    /// by one `tenant="…"`-labeled section per open tenant. The labeled
+    /// sections carry no `# TYPE` metadata — the roll-up ahead of them
+    /// already types every series name exactly once.
+    pub fn metrics_exposition(&self) -> String {
+        let mut out = classic_obs::render_all_prometheus_exemplars(&[(
+            "classic_server_request_ns",
+            self.metrics.exemplars.snapshot(),
+        )]);
+        for tenant in self.tenants() {
+            out.push_str(&classic_obs::render_prometheus_labeled(
+                &tenant.registry().snapshot(),
+                &[("tenant", tenant.name())],
+            ));
+        }
+        out
+    }
 }
 
 /// Tenant names become directory names and JSON payloads; keep them
@@ -190,6 +263,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    pusher: Option<JoinHandle<()>>,
     conn_tx: Option<Sender<TcpStream>>,
 }
 
@@ -238,6 +312,11 @@ impl ServerHandle {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        // The pusher exits after one final flush once it observes the
+        // shutdown flag (or never, under plain join()).
+        if let Some(h) = self.pusher.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -253,7 +332,7 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle> {
         generation: None,
         detail: format!("resolving bound address: {e}"),
     })?;
-    let shared = Arc::new(Shared::new(config.data_dir));
+    let shared = Arc::new(Shared::new(&config));
 
     let (conn_tx, conn_rx) = channel::<TcpStream>();
     let conn_rx = Arc::new(Mutex::new(conn_rx));
@@ -292,11 +371,22 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle> {
             .expect("spawning accept thread")
     };
 
+    let pusher = config.push_gateway.as_ref().map(|url| {
+        let url = url.clone();
+        let shared = Arc::clone(&shared);
+        let interval = Duration::from_secs(config.push_interval_secs.max(1));
+        std::thread::Builder::new()
+            .name("classic-push".to_owned())
+            .spawn(move || crate::push::push_loop(&url, interval, &shared))
+            .expect("spawning push thread")
+    });
+
     Ok(ServerHandle {
         local_addr,
         shared,
         accept: Some(accept),
         workers,
+        pusher,
         conn_tx: Some(conn_tx),
     })
 }
@@ -382,12 +472,9 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Res
                     return Ok(());
                 }
             };
-            let started = Instant::now();
+            // Timing, tracing, slowlog, and exemplar recording all live
+            // in handle_form, which owns the request context.
             let (reply, control) = session.handle_form(&form);
-            shared
-                .metrics
-                .request_ns
-                .record(started.elapsed().as_nanos() as u64);
             stream.write_all(reply.as_bytes())?;
             stream.write_all(b"\n")?;
             buf.drain(..end);

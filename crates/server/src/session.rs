@@ -12,11 +12,27 @@
 //! | `(sandbox commit)`   | replay sandbox mutations into the tenant      |
 //! | `(sandbox rollback)` | discard the sandbox                           |
 //! | `(lint-on-write on)` | attach cone diagnostics to mutation replies   |
+//! | `(trace-id "HEX")`   | adopt a client trace id for the *next* form   |
 //! | `(ping)`             | liveness probe                                |
 //! | `(quit)`             | close the connection                          |
 //!
 //! Every form gets exactly one reply line:
 //! `{"ok":true,"result":<outcome>}` or `{"ok":false,"error":"..."}`.
+//!
+//! ## Request tracing
+//!
+//! Every form is a *request*: the session mints a fresh
+//! [`classic_obs::TraceId`] (or takes the one a preceding `(trace-id)`
+//! form adopted), opens a `server.request` root span on the bound
+//! tenant's flight recorder so every span the evaluation opens nests
+//! under it, and on completion feeds the wall time to the server's
+//! request histogram (with the trace id as an OpenMetrics exemplar) and
+//! the process slowlog. A malformed or oversize client id is answered
+//! with a positioned error and **not** adopted — the next form gets a
+//! minted id, never a corrupted one. `(obs-level)` and `(obs-sample)`
+//! are global switches, so the wire gates them: a session may raise
+//! observability above the operator's `--obs-floor`/`--sample-floor`
+//! but never lower it below.
 //!
 //! A sandbox is the paper's `what-if` operator promoted from one
 //! assertion to a whole session: the KB is cloned, mutations evaluate
@@ -27,9 +43,10 @@
 //! sandbox) and reports how many landed.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use classic_lang::Command;
-use classic_obs::json_string;
+use classic_obs::{json_string, RequestCtx, TraceId};
 
 use crate::server::Shared;
 use crate::tenant::Tenant;
@@ -48,11 +65,26 @@ struct Sandbox {
     recorded: Vec<Command>,
 }
 
+/// How a form classifies before evaluation: the split is computed up
+/// front so the request root span can carry the command kind.
+enum Parsed {
+    /// A session form (tenant/sandbox/ping/quit/…): the split words.
+    Session(Vec<String>),
+    /// Exactly one surface command.
+    Command(Command),
+    /// Parse failure, empty input, or more than one form.
+    Reject(String),
+}
+
 /// One client's protocol state.
 pub struct WireSession {
     shared: Arc<Shared>,
     tenant: Arc<Tenant>,
     sandbox: Option<Sandbox>,
+    /// Server-assigned session number, attached to every request ctx.
+    session_id: u64,
+    /// A client-adopted trace id waiting for the next form.
+    pending_trace: Option<TraceId>,
 }
 
 fn ok(result_json: &str) -> String {
@@ -71,7 +103,14 @@ impl WireSession {
             shared,
             tenant,
             sandbox: None,
+            session_id: classic_obs::next_session_id(),
+            pending_trace: None,
         })
+    }
+
+    /// The server-assigned session number carried in request contexts.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
     }
 
     /// The tenant this session is bound to.
@@ -86,34 +125,56 @@ impl WireSession {
 
     /// Handle one complete top-level form; returns the reply line (no
     /// trailing newline) and whether to keep the connection open.
+    ///
+    /// This is the tracing front: the form is classified first (so the
+    /// root span knows the command kind), evaluated under a
+    /// `server.request` root span carrying the request context, and the
+    /// wall time lands in `classic_server_request_ns` (with the trace
+    /// id as an exemplar) and the process slowlog.
     pub fn handle_form(&mut self, form: &str) -> (String, Control) {
         self.shared.metrics.requests.bump();
-        let (reply, control) = self.dispatch(form);
+        self.tenant.count_request();
+        let parsed = classify(form);
+        let kind = match &parsed {
+            Parsed::Session(_) => "session",
+            Parsed::Command(c) => c.kind(),
+            Parsed::Reject(_) => "parse-error",
+        };
+        let ctx = RequestCtx {
+            trace_id: self.pending_trace.take().unwrap_or_else(TraceId::mint),
+            tenant: self.tenant.name().to_owned(),
+            session: self.session_id,
+            kind,
+        };
+        let recorder = Arc::clone(self.tenant.recorder());
+        let started = Instant::now();
+        let guard = classic_obs::request_span(&recorder, "server.request", ctx.clone());
+        let (reply, control) = self.dispatch(parsed);
+        let dur_ns = started.elapsed().as_nanos() as u64;
+        let trace = guard.finish();
+        self.shared.metrics.request_ns.record(dur_ns);
+        if classic_obs::counters_enabled() {
+            self.shared
+                .metrics
+                .exemplars
+                .observe(dur_ns, &ctx.trace_id.to_string());
+            classic_obs::global_slowlog().record(ctx, dur_ns, trace);
+        }
         if reply.starts_with("{\"ok\":false") {
             self.shared.metrics.errors.bump();
         }
         (reply, control)
     }
 
-    fn dispatch(&mut self, form: &str) -> (String, Control) {
-        if let Some(words) = session_form(form) {
-            return self.session_command(&words);
+    fn dispatch(&mut self, parsed: Parsed) -> (String, Control) {
+        let cmd = match parsed {
+            Parsed::Session(words) => return self.session_command(&words),
+            Parsed::Reject(msg) => return (err(&msg), Control::Continue),
+            Parsed::Command(c) => c,
+        };
+        if let Some(reply) = self.gate_obs_command(&cmd) {
+            return (reply, Control::Continue);
         }
-        let commands = match classic_lang::parse(form) {
-            Ok(c) => c,
-            Err(e) => return (err(&e.to_string()), Control::Continue),
-        };
-        let mut cmd_iter = commands.into_iter();
-        let cmd = match (cmd_iter.next(), cmd_iter.next()) {
-            (Some(c), None) => c,
-            (None, _) => return (err("empty form"), Control::Continue),
-            (Some(_), Some(_)) => {
-                // The framing layer feeds one balanced form at a time,
-                // so this is unreachable in practice; fail loudly
-                // rather than silently evaluate half the input.
-                return (err("expected exactly one form"), Control::Continue);
-            }
-        };
         let outcome = match &mut self.sandbox {
             Some(sandbox) => {
                 // Sandbox evaluation is fully isolated: `(lint-kb)` here
@@ -143,6 +204,37 @@ impl WireSession {
         }
     }
 
+    /// Operator-floor gating for the global observability switches: a
+    /// wire session may raise the level or sampling rate, never lower
+    /// them below the floors the server was started with. Returns a
+    /// rejection reply when the command must not reach evaluation.
+    fn gate_obs_command(&self, cmd: &Command) -> Option<String> {
+        match cmd {
+            Command::ObsLevel(Some(level)) => {
+                // Unknown level names fall through to eval's own error.
+                let requested = classic_obs::ObsLevel::parse(level)?;
+                let floor = self.shared.obs_floor();
+                (requested < floor).then(|| {
+                    err(&format!(
+                        "obs-level {level} is below the server's operator floor \
+                         ({}); sessions may raise observability, not lower it",
+                        floor.name()
+                    ))
+                })
+            }
+            Command::ObsSample(Some(rate)) => {
+                let floor = self.shared.sample_floor();
+                (*rate < floor).then(|| {
+                    err(&format!(
+                        "obs-sample {rate} is below the server's operator floor \
+                         ({floor}); sessions may raise the sampling rate, not lower it"
+                    ))
+                })
+            }
+            _ => None,
+        }
+    }
+
     fn session_command(&mut self, words: &[String]) -> (String, Control) {
         match words {
             [w] if w == "ping" => (ok("{\"type\":\"pong\"}"), Control::Continue),
@@ -168,6 +260,28 @@ impl WireSession {
                     Err(e) => (err(&e.to_string()), Control::Continue),
                 }
             }
+            [w, id] if w == "trace-id" => {
+                // Accept the id bare or quoted. A malformed or oversize
+                // id is a positioned error and adopts NOTHING — the next
+                // form gets a minted id, never a corrupted one.
+                match TraceId::parse(id.trim_matches('"')) {
+                    Ok(t) => {
+                        self.pending_trace = Some(t);
+                        (
+                            ok(&format!(
+                                "{{\"type\":\"trace-id\",\"id\":{}}}",
+                                json_string(&t.to_string())
+                            )),
+                            Control::Continue,
+                        )
+                    }
+                    Err(e) => (err(&e.to_string()), Control::Continue),
+                }
+            }
+            [w] if w == "trace-id" => (
+                err("trace-id takes one hex id of 1-32 digits"),
+                Control::Continue,
+            ),
             [w, mode] if w == "lint-on-write" => match mode.as_str() {
                 "on" | "off" => {
                     self.tenant.set_lint_on_write(mode == "on");
@@ -241,6 +355,28 @@ impl WireSession {
     }
 }
 
+/// Classify one framed form: session form, exactly one surface command,
+/// or a rejection message — computed before evaluation so the request
+/// root span can name the command kind.
+fn classify(form: &str) -> Parsed {
+    if let Some(words) = session_form(form) {
+        return Parsed::Session(words);
+    }
+    let commands = match classic_lang::parse(form) {
+        Ok(c) => c,
+        Err(e) => return Parsed::Reject(e.to_string()),
+    };
+    let mut cmd_iter = commands.into_iter();
+    match (cmd_iter.next(), cmd_iter.next()) {
+        (Some(c), None) => Parsed::Command(c),
+        (None, _) => Parsed::Reject("empty form".to_owned()),
+        // The framing layer feeds one balanced form at a time, so this
+        // is unreachable in practice; fail loudly rather than silently
+        // evaluate half the input.
+        (Some(_), Some(_)) => Parsed::Reject("expected exactly one form".to_owned()),
+    }
+}
+
 /// Recognize a session form: a single flat s-expression whose head is
 /// one of the session keywords. Returns the words inside the parens.
 /// Anything else (including all KB commands) returns `None` and flows
@@ -253,7 +389,7 @@ fn session_form(form: &str) -> Option<Vec<String>> {
     }
     let words: Vec<String> = inner.split_whitespace().map(str::to_owned).collect();
     match words.first().map(String::as_str) {
-        Some("tenant" | "sandbox" | "ping" | "quit" | "lint-on-write") => Some(words),
+        Some("tenant" | "sandbox" | "ping" | "quit" | "lint-on-write" | "trace-id") => Some(words),
         _ => None,
     }
 }
@@ -267,6 +403,7 @@ mod tests {
         assert!(session_form("(ping)").is_some());
         assert!(session_form(" (tenant t1) ").is_some());
         assert!(session_form("(sandbox begin)").is_some());
+        assert!(session_form("(trace-id \"deadbeef\")").is_some());
         assert!(session_form("(define-role r)").is_none());
         assert!(session_form("(retrieve (and A B) ?x)").is_none());
         // Nested parens never match, even with a meta head.

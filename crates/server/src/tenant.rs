@@ -30,6 +30,7 @@ use classic_analyze::AnalysisState;
 use classic_core::{ClassicError, Result};
 use classic_kb::Kb;
 use classic_lang::{Command, LintReport, Outcome};
+use classic_obs::{Counter, FlightRecorder, Registry};
 use classic_store::DurableKb;
 
 /// A poisoned tenant lock means some earlier evaluation panicked while
@@ -98,6 +99,19 @@ pub struct Tenant {
     /// When set, every mutation reply carries the cone diagnostics its
     /// write re-derived (`(lint-on-write on)`).
     lint_on_write: AtomicBool,
+    /// The tenant KB's metric registry, cached at open so `/metrics`
+    /// can render a tenant-labeled section without the primary lock.
+    /// `Kb::clone` shares this `Arc`, so snapshot and sandbox evals
+    /// land in the same registry.
+    registry: Arc<Registry>,
+    /// The tenant KB's flight recorder, cached for the same reason:
+    /// request root spans and `GET /trace?tenant=…` both need it
+    /// without waiting behind a writer.
+    recorder: Arc<FlightRecorder>,
+    /// Wire requests routed to this tenant (line protocol and HTTP),
+    /// registered in the tenant's own registry so the roll-up sums it
+    /// and the labeled section attributes it.
+    requests: Counter,
 }
 
 /// A point-in-time summary of one tenant, for `/stats`.
@@ -132,7 +146,17 @@ impl Tenant {
             generation: None,
             detail: format!("creating tenant directory: {e}"),
         })?;
-        let store = DurableKb::open(dir.join("kb.log"), |_| {})?;
+        let mut store = DurableKb::open(dir.join("kb.log"), |_| {})?;
+        let (registry, recorder) = {
+            let kb = store.kb_mut_for_queries();
+            (Arc::clone(kb.metrics()), Arc::clone(kb.flight_recorder()))
+        };
+        let requests = registry
+            .counter(
+                "classic_tenant_requests_total",
+                "wire requests routed to this tenant",
+            )
+            .map_err(|e| ClassicError::Malformed(e.to_string()))?;
         Ok(Tenant {
             name: name.to_owned(),
             version: AtomicU64::new(0),
@@ -140,6 +164,9 @@ impl Tenant {
             snap: Mutex::new(None),
             analysis: Mutex::new(AnalysisState::new()),
             lint_on_write: AtomicBool::new(false),
+            registry,
+            recorder,
+            requests,
         })
     }
 
@@ -151,6 +178,24 @@ impl Tenant {
     /// Current version: the number of successful mutations so far.
     pub fn version(&self) -> u64 {
         self.version.load(Ordering::Acquire)
+    }
+
+    /// The tenant KB's metric registry (snapshot/sandbox clones share
+    /// it); `/metrics` renders its series under a `tenant="…"` label.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The tenant KB's flight recorder: every request root span for
+    /// this tenant records here, and `GET /trace?tenant=…` reads it.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Count one wire request (line-protocol form or HTTP eval) routed
+    /// to this tenant.
+    pub fn count_request(&self) {
+        self.requests.bump();
     }
 
     fn lock_primary(&self) -> Result<MutexGuard<'_, DurableKb>> {

@@ -17,10 +17,15 @@ fn tmpdir(tag: &str) -> PathBuf {
 }
 
 fn start(dir: &Path) -> ServerHandle {
+    start_with(dir, ServerConfig::default())
+}
+
+fn start_with(dir: &Path, config: ServerConfig) -> ServerHandle {
     classic_server::start(ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
         data_dir: dir.to_path_buf(),
         workers: 4,
+        ..config
     })
     .expect("server starts")
 }
@@ -458,6 +463,376 @@ fn http_endpoints_serve_eval_stats_and_metrics() {
     assert_eq!(status, 404);
 
     handle.shutdown().expect("clean shutdown");
+}
+
+/// Send one HTTP request verbatim and return (status, head, body) — for
+/// tests that need to inspect response headers.
+fn http_headers(handle: &ServerHandle, request: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_owned(), b.to_owned()))
+        .unwrap_or((response.clone(), String::new()));
+    (status, head, body)
+}
+
+/// The tentpole end to end on the line protocol: a client-adopted trace
+/// id flows through the session into the span layer, the resulting span
+/// tree roots at `server.request` with tenant/session/kind attribution,
+/// and `GET /trace?id=…` exports it as strict, monotonically consistent
+/// Chrome trace-event JSON. Malformed, oversize, and zero ids are
+/// positioned errors that adopt nothing.
+#[test]
+fn trace_ids_adopt_propagate_and_export_as_chrome_json() {
+    let dir = tmpdir("trace");
+    let handle = start(&dir);
+    // The level is process-global and tests run in parallel: only ever
+    // raise it (Full is a superset of every lower level), never restore,
+    // so no test can yank tracing out from under another.
+    classic_obs::set_level(classic_obs::ObsLevel::Full);
+    let mut c = Client::connect(&handle);
+    c.ok("(tenant traced)");
+
+    // Adoption: the reply echoes the zero-extended id, the *next* form
+    // runs under it.
+    let r = c.ok("(trace-id \"deadbeef\")");
+    assert_eq!(
+        r.get("id").and_then(Json::as_str),
+        Some("000000000000000000000000deadbeef")
+    );
+    c.ok("(define-role child)");
+
+    let (status, body) = http(&handle, "GET", "/trace?id=deadbeef", "");
+    assert_eq!(status, 200, "trace export failed: {body}");
+    let dump = Json::parse(body.trim()).expect("chrome dump parses under the strict parser");
+    let events = dump
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let spans: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .collect();
+    assert!(!spans.is_empty(), "no spans exported: {body}");
+
+    // The root span is the wire request, attributed to tenant and kind.
+    let root = spans
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("server.request"))
+        .expect("span tree roots at server.request");
+    let args = root.get("args").expect("root span carries args");
+    assert_eq!(
+        args.get("trace_id").and_then(Json::as_str),
+        Some("000000000000000000000000deadbeef")
+    );
+    assert_eq!(args.get("tenant").and_then(Json::as_str), Some("traced"));
+    assert_eq!(args.get("kind").and_then(Json::as_str), Some("define-role"));
+    assert!(args.get("session").and_then(Json::as_num).is_some());
+
+    // ts/dur are monotonically consistent: every span nests inside the
+    // request root's [ts, ts+dur] window.
+    let ts = |e: &Json| e.get("ts").and_then(Json::as_num).expect("ts");
+    let dur = |e: &Json| e.get("dur").and_then(Json::as_num).expect("dur");
+    let (rts, rdur) = (ts(root), dur(root));
+    for s in &spans {
+        assert!(ts(s) + 1e-3 >= rts, "span starts before the root: {s:?}");
+        assert!(
+            ts(s) + dur(s) <= rts + rdur + 1e-3,
+            "span outlives the root: {s:?}"
+        );
+    }
+
+    // Malformed, oversize, and zero ids: positioned errors, nothing
+    // adopted, connection intact.
+    let msg = c.err("(trace-id \"xyz\")");
+    assert!(
+        msg.contains("invalid trace id") && msg.contains("byte"),
+        "unpositioned error: {msg}"
+    );
+    let msg = c.err(&format!("(trace-id \"{}\")", "a".repeat(33)));
+    assert!(msg.contains("oversize"), "unhelpful error: {msg}");
+    let msg = c.err("(trace-id \"0\")");
+    assert!(msg.contains("zero"), "unhelpful error: {msg}");
+    let msg = c.err("(trace-id)");
+    assert!(msg.contains("trace-id"), "unhelpful error: {msg}");
+    c.ok("(ping)");
+
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// `POST /eval` adopts `X-Classic-Trace`, echoes the id in effect on
+/// the response, and answers a malformed header with a positioned 400
+/// rather than silently minting a fresh id.
+#[test]
+fn http_eval_adopts_and_echoes_trace_ids() {
+    let dir = tmpdir("http-trace");
+    let handle = start(&dir);
+
+    let post = |trace_header: &str, body: &str| {
+        format!(
+            "POST /eval?tenant=webtrace HTTP/1.1\r\nHost: test\r\n{trace_header}\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+    };
+
+    // Client-supplied id comes back zero-extended in the echo header.
+    // (`(ping)` is a session form the stateless endpoint rejects, so
+    // the probe command here is a real one.)
+    let (status, head, _) = http_headers(&handle, &post("X-Classic-Trace: abc\r\n", "(obs-stats)"));
+    assert_eq!(status, 200);
+    assert!(
+        head.contains("X-Classic-Trace: 00000000000000000000000000000abc"),
+        "echo header missing or wrong: {head}"
+    );
+
+    // No header: a minted 32-hex id is echoed.
+    let (status, head, _) = http_headers(&handle, &post("", "(obs-stats)"));
+    assert_eq!(status, 200);
+    let echoed = head
+        .lines()
+        .find_map(|l| l.strip_prefix("X-Classic-Trace: "))
+        .expect("minted id echoed");
+    assert_eq!(echoed.trim().len(), 32, "minted id not 32 hex: {echoed:?}");
+    assert!(echoed.trim().chars().all(|c| c.is_ascii_hexdigit()));
+
+    // Malformed header: positioned 400 naming the header, not a mint.
+    let (status, _, body) = http_headers(
+        &handle,
+        &post("X-Classic-Trace: not-hex!\r\n", "(obs-stats)"),
+    );
+    assert_eq!(status, 400, "malformed trace header accepted: {body}");
+    let err = Json::parse(body.trim()).expect("error body is JSON");
+    let msg = err.get("error").and_then(Json::as_str).expect("message");
+    assert!(
+        msg.contains("X-Classic-Trace") && msg.contains("byte"),
+        "unpositioned error: {msg}"
+    );
+
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// The process slowlog captures wire requests with tenant attribution
+/// and serves them as strict JSON on `GET /slowlog`; at Full the
+/// entries carry span trees rooted at `server.request`.
+#[test]
+fn slowlog_attributes_requests_and_serves_json() {
+    let dir = tmpdir("slowlog");
+    let handle = start(&dir);
+    // Raise, never lower (see the trace test).
+    classic_obs::set_level(classic_obs::ObsLevel::Full);
+    // The slowlog is process-global (tests share it): clear, then make
+    // our entries — admission is guaranteed while it is under capacity.
+    classic_obs::global_slowlog().clear();
+
+    let mut c = Client::connect(&handle);
+    c.ok("(tenant slowtenant)");
+    c.ok("(define-role r)");
+
+    let (status, body) = http(&handle, "GET", "/slowlog?n=32", "");
+    assert_eq!(status, 200);
+    let log = Json::parse(body.trim()).expect("slowlog is strict JSON");
+    let entries = log
+        .get("slowlog")
+        .and_then(Json::as_arr)
+        .expect("slowlog array");
+    let ours: Vec<&Json> = entries
+        .iter()
+        .filter(|e| e.get("tenant").and_then(Json::as_str) == Some("slowtenant"))
+        .collect();
+    assert!(
+        !ours.is_empty(),
+        "no slowlog entries for our tenant: {body}"
+    );
+    for e in &ours {
+        let id = e.get("trace_id").and_then(Json::as_str).expect("trace id");
+        assert_eq!(id.len(), 32, "trace id not 32 hex: {id:?}");
+        assert!(e.get("dur_ns").and_then(Json::as_num).unwrap_or(-1.0) >= 0.0);
+        // Entries traced at Full root at the wire request.
+        if e.get("sampled").and_then(Json::as_bool) == Some(true) {
+            assert_eq!(
+                e.get("root").and_then(Json::as_str),
+                Some("server.request"),
+                "slowlog entry not rooted at the request: {e:?}"
+            );
+        }
+    }
+    assert!(
+        ours.iter()
+            .any(|e| e.get("kind").and_then(Json::as_str) == Some("define-role")),
+        "mutation kind missing from slowlog: {body}"
+    );
+
+    // The same forensics over the wire as a REPL-style form.
+    let r = c.ok("(obs-slowlog 5)");
+    assert_eq!(result_type(&r), "description");
+
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// `(obs-level)`/`(obs-sample)` over the wire are gated by the operator
+/// floors: lowering below the floor is rejected (in and out of
+/// sandboxes), raising and querying are allowed.
+#[test]
+fn obs_switches_are_floor_gated_over_the_wire() {
+    let dir = tmpdir("floors");
+    let handle = start_with(
+        &dir,
+        ServerConfig {
+            sample_floor: 0.5,
+            ..ServerConfig::default()
+        },
+    );
+    let mut c = Client::connect(&handle);
+
+    // Default obs floor is counters: off is below it.
+    let msg = c.err("(obs-level off)");
+    assert!(msg.contains("operator floor"), "unhelpful error: {msg}");
+    let msg = c.err("(obs-sample 0.25)");
+    assert!(msg.contains("operator floor"), "unhelpful error: {msg}");
+
+    // Raising and querying pass the gate. (Only raises here: the level
+    // and rate are process-global, and parallel tests depend on them
+    // never dropping.)
+    assert_eq!(result_type(&c.ok("(obs-level)")), "description");
+    assert_eq!(result_type(&c.ok("(obs-sample)")), "description");
+    assert_eq!(result_type(&c.ok("(obs-sample 1.0)")), "description");
+    assert_eq!(result_type(&c.ok("(obs-level full)")), "description");
+
+    // The gate also covers sandboxed evaluation — the switches are
+    // global, so the sandbox is no escape hatch.
+    c.ok("(sandbox begin)");
+    let msg = c.err("(obs-level off)");
+    assert!(msg.contains("operator floor"), "sandbox bypassed the gate");
+    let msg = c.err("(obs-sample 0.1)");
+    assert!(msg.contains("operator floor"), "sandbox bypassed the gate");
+    c.ok("(sandbox rollback)");
+
+    // Nonsense levels still get the evaluator's own error.
+    let msg = c.err("(obs-level loud)");
+    assert!(msg.contains("loud"), "unhelpful error: {msg}");
+
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// `/metrics` carries per-tenant labeled sections and an OpenMetrics
+/// exemplar on the request-latency histogram.
+#[test]
+fn metrics_carry_tenant_labels_and_exemplars() {
+    let dir = tmpdir("labeled");
+    let handle = start(&dir);
+    let mut c = Client::connect(&handle);
+    c.ok("(tenant acme)");
+    c.ok("(ping)");
+
+    let (status, body) = http(&handle, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("classic_tenant_requests_total{tenant=\"acme\"}"),
+        "per-tenant labeled series missing: {body}"
+    );
+    // The tenant's own KB series are labeled too.
+    assert!(
+        body.lines()
+            .any(|l| l.contains("{tenant=\"acme\"") || l.contains(",tenant=\"acme\"")),
+        "no labeled section for acme"
+    );
+    assert!(
+        body.lines().any(|l| {
+            l.starts_with("classic_server_request_ns_bucket") && l.contains(" # {trace_id=\"")
+        }),
+        "no exemplar on the request histogram: {body}"
+    );
+
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// The push-gateway flusher delivers the full exposition over HTTP and
+/// performs one final flush during graceful shutdown.
+#[test]
+fn push_gateway_receives_the_exposition() {
+    use std::net::TcpListener;
+
+    let gw = TcpListener::bind("127.0.0.1:0").expect("bind gateway");
+    let gw_addr = gw.local_addr().expect("gateway addr");
+    let gw_thread = std::thread::spawn(move || -> Vec<String> {
+        let mut bodies = Vec::new();
+        for stream in gw.incoming() {
+            let Ok(mut s) = stream else { break };
+            let _ = s.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+            let mut data = Vec::new();
+            let mut tmp = [0u8; 4096];
+            loop {
+                // A full request has its declared body; a sentinel (no
+                // Content-Length) ends at EOF.
+                let done = std::str::from_utf8(&data).ok().is_some_and(|t| {
+                    t.split_once("\r\n\r\n").is_some_and(|(head, body)| {
+                        head.lines()
+                            .filter_map(|l| l.split_once(':'))
+                            .find(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))
+                            .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+                            .is_some_and(|n| body.len() >= n)
+                    })
+                });
+                if done {
+                    break;
+                }
+                match s.read(&mut tmp) {
+                    Ok(0) => break,
+                    Ok(n) => data.extend_from_slice(&tmp[..n]),
+                    Err(_) => break,
+                }
+            }
+            let text = String::from_utf8_lossy(&data).into_owned();
+            if text.starts_with("STOP") {
+                break;
+            }
+            let _ =
+                s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 0\r\nConnection: close\r\n\r\n");
+            bodies.push(text);
+        }
+        bodies
+    });
+
+    let dir = tmpdir("push");
+    let handle = start_with(
+        &dir,
+        ServerConfig {
+            push_gateway: Some(format!("http://{gw_addr}/push/classic")),
+            push_interval_secs: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let mut c = Client::connect(&handle);
+    c.ok("(ping)");
+    drop(c);
+    // shutdown() joins the pusher, which flushes once more on its way
+    // out — so by the time this returns, the gateway has seen a POST.
+    handle.shutdown().expect("clean shutdown");
+
+    let mut stop = TcpStream::connect(gw_addr).expect("stop gateway");
+    stop.write_all(b"STOP").expect("send stop");
+    let _ = stop.shutdown(std::net::Shutdown::Write);
+    drop(stop);
+    let bodies = gw_thread.join().expect("gateway thread");
+    assert!(!bodies.is_empty(), "gateway never received a push");
+    let push = bodies
+        .iter()
+        .find(|b| b.contains("classic_server_requests_total"))
+        .expect("push carries the exposition");
+    assert!(
+        push.starts_with("POST /push/classic HTTP/1.1"),
+        "push used the wrong route: {}",
+        push.lines().next().unwrap_or("")
+    );
 }
 
 /// Acknowledged writes survive a full server restart: the second

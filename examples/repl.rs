@@ -73,6 +73,7 @@ fn main() {
                      (why? I N) (what-if? I expr) (provenance I) \
                      (parents N) (children N) (lint-kb)\n  \
                      (obs-stats [json]) (obs-trace op|*) (obs-reset) (obs-level [off|counters|full])\n\
+                     (obs-sample [rate]) (obs-slowlog [n])\n\
                      meta: :stats :snapshot :quit"
                 );
                 continue;

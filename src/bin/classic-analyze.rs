@@ -1,7 +1,8 @@
 //! `classic-analyze` — lint CLASSIC surface-language scripts from CI.
 //!
 //! ```text
-//! classic-analyze [--deny warnings|errors] [--json] [--quiet] [--metrics <path>] <script.classic>...
+//! classic-analyze [--deny warnings|errors] [--json] [--quiet] [--metrics <path>]
+//!                 [--trace-out <path>] <script.classic>...
 //! ```
 //!
 //! `--json` switches the report to machine-readable output: one JSON
@@ -13,6 +14,11 @@
 //! `--metrics <path>` dumps the engine's metric roll-up after analysis
 //! (loading the scripts exercises assertion/propagation/classification):
 //! Prometheus text at `<path>`, JSON at `<path>.json`.
+//!
+//! `--trace-out <path>` raises observability to Full and, after all
+//! scripts have been analyzed, dumps the retained span trees as Chrome
+//! trace-event JSON (Perfetto-loadable) — a profile of where load and
+//! analysis time went.
 //!
 //! Each script is loaded into its own fresh session (so a broken schema in
 //! one file cannot mask findings in another), then the static analyzer
@@ -30,7 +36,8 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: classic-analyze [--deny warnings|errors] [--json] [--quiet] [--metrics <path>] <script.classic>..."
+        "usage: classic-analyze [--deny warnings|errors] [--json] [--quiet] [--metrics <path>]\n\
+         \x20                      [--trace-out <path>] <script.classic>..."
     );
     ExitCode::from(2)
 }
@@ -40,6 +47,7 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut quiet = false;
     let mut metrics: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut scripts: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -51,6 +59,14 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--metrics" => match args.next() {
                 Some(path) => metrics = Some(path),
+                None => return usage(),
+            },
+            "--trace-out" => match args.next() {
+                Some(path) => {
+                    // Spans only record at Full; raise before any work.
+                    classic::obs::set_level(classic::obs::ObsLevel::Full);
+                    trace_out = Some(path);
+                }
                 None => return usage(),
             },
             "--quiet" | "-q" => quiet = true,
@@ -104,6 +120,13 @@ fn main() -> ExitCode {
         let json_path = format!("{path}.json");
         if let Err(e) = std::fs::write(&json_path, classic::obs::render_all_json()) {
             eprintln!("{json_path}: cannot write metrics: {e}");
+            broken = true;
+        }
+    }
+    if let Some(path) = trace_out {
+        let traces = classic::obs::all_traces();
+        if let Err(e) = std::fs::write(&path, classic::obs::render_chrome_trace(&traces)) {
+            eprintln!("{path}: cannot write trace dump: {e}");
             broken = true;
         }
     }
